@@ -1,0 +1,145 @@
+// Experiment APPB — numerical validation of the Appendix B proof
+// machinery behind Theorem 5.2:
+//
+//  1. Lemma B.2: Ent(Ytilde) <= 2 rho ln(1/rho)/(1-rho) / d_B for the
+//     i.i.d. surrogate Ytilde = Binomial(d_B, p)/d_B (exact pmf sum).
+//  2. Lemma B.3: |Ent(Y_S) - Ent(Ytilde)| <= sqrt(2 ln^2(d_B)/d_B), with
+//     Ent(Y_S) estimated by Monte Carlo over the true (hypergeometric-row)
+//     random relation model.
+//  3. Lemma B.4 (Poissonization): max_b P[Z=b]/P[W=b] <= 21 d_A^2 for
+//     Z ~ Hypergeometric(d_A d_B, d_B, eta), W ~ Poisson(eta/d_A).
+//  4. Proposition 5.5: empirical tail of |H(A_S) - E H(A_S)| vs the stated
+//     bound.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/experiment.h"
+#include "info/entropy.h"
+#include "io/table_printer.h"
+#include "random/random_relation.h"
+#include "random/rng.h"
+#include "stats/binomial.h"
+#include "stats/functional_entropy.h"
+#include "stats/hypergeometric.h"
+#include "stats/poisson.h"
+#include "stats/special.h"
+#include "util/math.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ajd;
+
+// Exact Ent(Ytilde) for Ytilde = Binomial(d_b, p) / d_b.
+double ExactEntBinomialAverage(uint64_t d_b, double p) {
+  Binomial bin(d_b, p);
+  std::vector<double> values, probs;
+  for (uint64_t k = 0; k <= d_b; ++k) {
+    values.push_back(static_cast<double>(k) / static_cast<double>(d_b));
+    probs.push_back(bin.Pmf(k));
+  }
+  return FunctionalEntropy(values, probs);
+}
+
+// Monte-Carlo Ent(Y_S): Y_S = (fraction of row 1 of [d_a] x [d_b] present
+// in a random eta-subset).
+double McEntRowFraction(uint64_t d_a, uint64_t d_b, uint64_t eta,
+                        uint32_t trials, Rng* rng) {
+  std::vector<double> samples;
+  samples.reserve(trials);
+  for (uint32_t t = 0; t < trials; ++t) {
+    // Row-1 occupancy is Hypergeometric(d_a d_b, d_b, eta); sampling the
+    // count directly is equivalent to sampling the full relation.
+    Hypergeometric h(d_a * d_b, d_b, eta);
+    samples.push_back(static_cast<double>(h.Sample(rng)) /
+                      static_cast<double>(d_b));
+  }
+  return FunctionalEntropyOfSamples(samples);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ajd;
+  Rng rng(515);
+  std::printf("== APPB: Appendix B proof machinery, numerically ==\n\n");
+
+  std::printf("Lemmas B.2 + B.3: functional entropy of the row-occupancy\n"
+              "average (rho_bar = d_a d_b/eta - 1 must be in (0,1))\n");
+  TablePrinter t1({"d_a=d_b", "eta", "rho_bar", "Ent(Ytilde) exact",
+                   "B.2 bound", "Ent(Y_S) MC", "|diff|", "B.3 bound"});
+  for (uint64_t d : {64ull, 128ull, 256ull}) {
+    uint64_t eta = d * d * 10 / 11;  // rho_bar = 0.1
+    double p = static_cast<double>(eta) /
+               (static_cast<double>(d) * static_cast<double>(d));
+    double rho_bar = 1.0 / p - 1.0;
+    double ent_tilde = ExactEntBinomialAverage(d, p);
+    double b2 = LemmaB2EntBound(rho_bar, static_cast<double>(d));
+    double ent_ys = McEntRowFraction(d, d, eta, 4000, &rng);
+    double b3 = LemmaB3CouplingBound(static_cast<double>(d));
+    t1.AddRow({std::to_string(d), std::to_string(eta),
+               FormatDouble(rho_bar, 4), FormatDouble(ent_tilde, 6),
+               FormatDouble(b2, 6), FormatDouble(ent_ys, 6),
+               FormatDouble(std::fabs(ent_ys - ent_tilde), 6),
+               FormatDouble(b3, 4)});
+  }
+  std::printf("%s\n", t1.Render().c_str());
+
+  std::printf("Lemma B.4 (Poissonization): max pmf ratio vs 21 d_a^2\n");
+  TablePrinter t2({"d_a", "d_b", "eta", "max ratio", "21 d_a^2", "holds"});
+  for (uint64_t d_a : {8ull, 16ull, 32ull}) {
+    uint64_t d_b = d_a;
+    for (uint64_t eta : {d_a, 4 * d_a, d_a * d_b - d_b}) {
+      Hypergeometric z(d_a * d_b, d_b, eta);
+      Poisson w(static_cast<double>(eta) / static_cast<double>(d_a));
+      double max_ratio = 0.0;
+      for (uint64_t b = 0; b <= d_b; ++b) {
+        double pw = w.Pmf(b);
+        if (pw <= 0.0) continue;
+        max_ratio = std::max(max_ratio, z.Pmf(b) / pw);
+      }
+      double factor = PoissonizationFactor(static_cast<double>(d_a));
+      t2.AddRow({std::to_string(d_a), std::to_string(d_b),
+                 std::to_string(eta), FormatDouble(max_ratio, 5),
+                 FormatDouble(factor, 5),
+                 max_ratio <= factor ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", t2.Render().c_str());
+
+  std::printf("Prop 5.5: empirical tail of |H(A_S) - E H(A_S)| vs bound\n");
+  TablePrinter t3({"d", "eta", "t", "empirical P", "Prop 5.5 bound"});
+  const uint64_t d = 32;
+  const uint64_t eta = 600;
+  const uint32_t trials = 400;
+  std::vector<double> entropies;
+  for (uint32_t i = 0; i < trials; ++i) {
+    RandomRelationSpec spec;
+    spec.domain_sizes = {d, d};
+    spec.num_tuples = eta;
+    Relation r = SampleRandomRelation(spec, &rng).value();
+    entropies.push_back(EntropyOf(r, AttrSet{0}));
+  }
+  double mean = Mean(entropies);
+  for (double t : {0.02, 0.05, 0.1, 0.5}) {
+    uint32_t exceed = 0;
+    for (double h : entropies) {
+      if (std::fabs(h - mean) > t) ++exceed;
+    }
+    t3.AddRow({std::to_string(d), std::to_string(eta), FormatDouble(t, 3),
+               FormatDouble(static_cast<double>(exceed) / trials, 4),
+               FormatDouble(std::min(1.0, Proposition55TailBound(d, d, eta,
+                                                                 t)),
+                            4)});
+  }
+  std::printf("%s\n", t3.Render().c_str());
+  std::printf(
+      "Shape: B.2/B.3 bounds dominate the measured functional entropies;\n"
+      "Poissonization ratios sit far below 21 d_a^2; the Prop 5.5 tail\n"
+      "bound dominates the empirical tail (it is vacuous ( >1 ) for small\n"
+      "t at this scale — the constants target asymptotics).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Experiment EQ44 — the per-group decomposition used in the proof of
+// Theorem 5.1 (Eq. 44 and Lemma C.1):
+//
+//   ln(1 + rho(R, phi)) <= ln d_C - H(C) + sum_c P(c) ln(1 + rhobar(c)),
+//
+// a deterministic consequence of the log sum inequality, and the
+// Lemma C.1 group-size condition min_c N(c) >= 128 d_A ln(128 d_A/delta)
+// with its Serfling-based failure probability.
+#include <cmath>
+#include <cstdio>
+
+#include "core/groupwise.h"
+#include "io/table_printer.h"
+#include "random/random_relation.h"
+#include "random/rng.h"
+#include "stats/hypergeometric.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ajd;
+  Rng rng(616);
+  std::printf("== EQ44: groupwise decomposition + Lemma C.1 ==\n\n");
+
+  std::printf("Eq. (44) slack across densities (dA=dB=16, dC=8):\n");
+  TablePrinter t1({"N", "ln(1+rho)", "Eq44 rhs", "slack", "ln dC - H(C)",
+                   "min group", "holds"});
+  for (uint64_t n : {128ull, 512ull, 1024ull, 1536ull}) {
+    RandomRelationSpec spec;
+    spec.domain_sizes = {16, 16, 8};
+    spec.num_tuples = n;
+    spec.attr_names = {"A", "B", "C"};
+    Relation r = SampleRandomRelation(spec, &rng).value();
+    GroupwiseMvdReport report =
+        AnalyzeMvdGroupwise(r, AttrSet{0}, AttrSet{1}, AttrSet{2}).value();
+    t1.AddRow({std::to_string(n), FormatDouble(report.log1p_rho, 5),
+               FormatDouble(report.eq44_rhs, 5),
+               FormatDouble(report.eq44_rhs - report.log1p_rho, 5),
+               FormatDouble(std::log(static_cast<double>(report.d_c)) -
+                                report.h_c,
+                            5),
+               std::to_string(report.min_group),
+               report.log1p_rho <= report.eq44_rhs + 1e-9 ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t1.Render().c_str());
+
+  std::printf("Lemma C.1: P[min group < E/2] vs the Serfling union bound\n"
+              "(groups are hypergeometric; dC groups of mean N/dC)\n");
+  TablePrinter t2({"N", "dC", "E[N(c)]", "empirical P[min < E/2]",
+                   "Serfling union bound"});
+  const uint64_t d_a = 16, d_b = 16;
+  for (uint64_t d_c : {4ull, 8ull}) {
+    for (uint64_t n : {256ull, 1024ull}) {
+      const double expect = static_cast<double>(n) / d_c;
+      const uint32_t trials = 300;
+      uint32_t bad = 0;
+      for (uint32_t t = 0; t < trials; ++t) {
+        RandomRelationSpec spec;
+        spec.domain_sizes = {d_a, d_b, d_c};
+        spec.num_tuples = n;
+        Relation r = SampleRandomRelation(spec, &rng).value();
+        GroupwiseMvdReport report =
+            AnalyzeMvdGroupwise(r, AttrSet{0}, AttrSet{1}, AttrSet{2})
+                .value();
+        if (static_cast<double>(report.min_group) < expect / 2.0) ++bad;
+      }
+      // Union bound over dC groups, each Serfling with eps = N/(2 dC).
+      double per_group =
+          SerflingTailBound(d_a * d_b * d_c, n,
+                            static_cast<double>(n) / (2.0 * d_c));
+      double bound = std::min(1.0, static_cast<double>(d_c) * per_group);
+      t2.AddRow({std::to_string(n), std::to_string(d_c),
+                 FormatDouble(expect, 4),
+                 FormatDouble(static_cast<double>(bad) / trials, 4),
+                 FormatDouble(bound, 4)});
+    }
+  }
+  std::printf("%s\n", t2.Render().c_str());
+  std::printf("Shape: Eq. (44) holds in every row (it is an identity-level\n"
+              "inequality); the empirical small-group probability sits\n"
+              "below the Serfling union bound.\n");
+  return 0;
+}

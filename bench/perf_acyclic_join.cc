@@ -1,0 +1,90 @@
+// Experiment PERF-JOIN — substrate performance: Yannakakis count
+// propagation vs materializing the acyclic join, and the hash-join /
+// projection primitives, across input sizes. google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "core/loss.h"
+#include "core/worstcase.h"
+#include "random/random_relation.h"
+#include "random/rng.h"
+#include "relation/acyclic_join.h"
+#include "relation/ops.h"
+
+namespace {
+
+using namespace ajd;
+
+Relation MakeInput(uint64_t n, uint64_t domain) {
+  Rng rng(7);
+  RandomRelationSpec spec;
+  spec.domain_sizes = {domain, domain, domain, domain};
+  spec.num_tuples = n;
+  return SampleRandomRelation(spec, &rng).value();
+}
+
+JoinTree PathTree() {
+  return JoinTree::Path({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{2, 3}})
+      .value();
+}
+
+void BM_YannakakisCount(benchmark::State& state) {
+  Relation r = MakeInput(state.range(0), 64);
+  JoinTree t = PathTree();
+  for (auto _ : state) {
+    AcyclicJoinCount c = CountAcyclicJoin(r, t);
+    benchmark::DoNotOptimize(c.approx);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_YannakakisCount)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_MaterializeAcyclicJoin(benchmark::State& state) {
+  // Keep the join output bounded: small domains inflate the output, so use
+  // a moderate domain and input size.
+  Relation r = MakeInput(state.range(0), 64);
+  JoinTree t = PathTree();
+  for (auto _ : state) {
+    Relation joined = MaterializeAcyclicJoin(r, t).value();
+    benchmark::DoNotOptimize(joined.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MaterializeAcyclicJoin)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_Projection(benchmark::State& state) {
+  Relation r = MakeInput(state.range(0), 64);
+  for (auto _ : state) {
+    Relation p = Project(r, AttrSet{0, 1});
+    benchmark::DoNotOptimize(p.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Projection)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_HashJoin(benchmark::State& state) {
+  Relation r = MakeInput(state.range(0), 64);
+  Relation left = Project(r, AttrSet{0, 1});
+  Relation right = Project(r, AttrSet{1, 2});
+  for (auto _ : state) {
+    Relation j = NaturalJoin(left, right).value();
+    benchmark::DoNotOptimize(j.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_MvdLossCounting(benchmark::State& state) {
+  // ComputeMvdLoss never materializes; contrast with BM_HashJoin.
+  Relation r = MakeInput(state.range(0), 64);
+  Mvd mvd = MakeMvd(AttrSet{1}, AttrSet{0}, AttrSet{2, 3});
+  for (auto _ : state) {
+    auto loss = ComputeMvdLoss(r, mvd);
+    benchmark::DoNotOptimize(loss.value().rho);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MvdLossCounting)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Experiment PERF-INFO — entropy / CMI / J-measure / KL throughput across
+// relation sizes and attribute counts. google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "info/entropy.h"
+#include "info/factorized.h"
+#include "info/j_measure.h"
+#include "random/random_relation.h"
+#include "random/rng.h"
+
+namespace {
+
+using namespace ajd;
+
+Relation MakeInput(uint64_t n, uint32_t attrs, uint64_t domain) {
+  Rng rng(11);
+  RandomRelationSpec spec;
+  spec.domain_sizes.assign(attrs, domain);
+  spec.num_tuples = n;
+  return SampleRandomRelation(spec, &rng).value();
+}
+
+void BM_Entropy(benchmark::State& state) {
+  Relation r = MakeInput(state.range(0), 4, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EntropyOf(r, AttrSet{0, 1, 2}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Entropy)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_CmiCold(benchmark::State& state) {
+  Relation r = MakeInput(state.range(0), 4, 32);
+  for (auto _ : state) {
+    EntropyCalculator calc(&r);
+    benchmark::DoNotOptimize(calc.ConditionalMutualInformation(
+        AttrSet{0}, AttrSet{1}, AttrSet{2, 3}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CmiCold)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_CmiCached(benchmark::State& state) {
+  Relation r = MakeInput(1 << 14, 4, 32);
+  EntropyCalculator calc(&r);
+  // Warm the cache with all 16 subsets.
+  for (uint32_t mask = 0; mask < 16; ++mask) {
+    calc.Entropy(AttrSet::FromMask(mask));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.ConditionalMutualInformation(
+        AttrSet{0}, AttrSet{1}, AttrSet{2, 3}));
+  }
+}
+BENCHMARK(BM_CmiCached);
+
+void BM_JMeasure(benchmark::State& state) {
+  Relation r = MakeInput(state.range(0), 4, 32);
+  JoinTree t =
+      JoinTree::Path({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{2, 3}}).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JMeasure(r, t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JMeasure)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_KlFromFactorized(benchmark::State& state) {
+  Relation r = MakeInput(state.range(0), 4, 32);
+  JoinTree t =
+      JoinTree::Path({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{2, 3}}).value();
+  for (auto _ : state) {
+    FactorizedDistribution pt(r, t);
+    benchmark::DoNotOptimize(pt.KlFromEmpirical());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KlFromFactorized)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

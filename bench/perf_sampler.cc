@@ -1,0 +1,66 @@
+// Experiment PERF-SAMPLER — random relation sampling strategies across
+// densities N/D: rejection wins when sparse, shuffle when dense, Floyd is
+// the robust middle. google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "random/random_relation.h"
+#include "random/rng.h"
+
+namespace {
+
+using namespace ajd;
+
+void SampleWith(benchmark::State& state, SampleStrategy strategy,
+                uint64_t domain, uint64_t n) {
+  Rng rng(13);
+  for (auto _ : state) {
+    auto result = SampleDistinctIndices(domain, n, &rng, strategy);
+    benchmark::DoNotOptimize(result.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_FloydSparse(benchmark::State& state) {
+  SampleWith(state, SampleStrategy::kFloyd, 1 << 24, state.range(0));
+}
+BENCHMARK(BM_FloydSparse)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RejectionSparse(benchmark::State& state) {
+  SampleWith(state, SampleStrategy::kRejection, 1 << 24, state.range(0));
+}
+BENCHMARK(BM_RejectionSparse)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_FloydDense(benchmark::State& state) {
+  // N = D/2: rejection would thrash; Floyd stays at N draws.
+  SampleWith(state, SampleStrategy::kFloyd, 2 * state.range(0),
+             state.range(0));
+}
+BENCHMARK(BM_FloydDense)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ShuffleDense(benchmark::State& state) {
+  SampleWith(state, SampleStrategy::kShuffle, 2 * state.range(0),
+             state.range(0));
+}
+BENCHMARK(BM_ShuffleDense)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_AutoStrategy(benchmark::State& state) {
+  SampleWith(state, SampleStrategy::kAuto, 1 << 22, state.range(0));
+}
+BENCHMARK(BM_AutoStrategy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_EndToEndRelationSampling(benchmark::State& state) {
+  Rng rng(17);
+  RandomRelationSpec spec;
+  spec.domain_sizes = {1000, 1000};
+  spec.num_tuples = state.range(0);
+  for (auto _ : state) {
+    auto r = SampleRandomRelation(spec, &rng);
+    benchmark::DoNotOptimize(r.value().NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndToEndRelationSampling)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

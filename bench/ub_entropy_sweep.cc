@@ -1,0 +1,59 @@
+// Experiment UB-ENT — Theorem 5.2 / Proposition 5.4: for the random
+// relation model over [d] x [d] with eta tuples,
+//   0 <= ln d - H(A_S) <= 20 sqrt(d ln^3(eta/delta)/eta)   w.p. 1 - delta,
+// and the MEAN gap is at most C(d) = 2 ln(d)/sqrt(d) (Prop 5.4, eta>=60d).
+// We sweep d and the density eta/d and report empirical gaps vs both
+// bounds.
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "io/table_printer.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ajd;
+  std::printf("== UB-ENT: Thm 5.2 entropy confidence interval ==\n\n");
+
+  std::printf("Sweep 1: d = 32, growing eta (density eta/d^2)\n");
+  TablePrinter t1({"eta", "gap mean", "gap q90", "gap max", "Prop5.4 C(d)",
+                   "Thm5.2 dev", "eta>=(40)", "within"});
+  for (uint64_t eta : {128ull, 512ull, 1016ull}) {
+    EntropyDeviationConfig config;
+    config.d = 32;
+    config.eta = eta;
+    config.trials = 40;
+    config.seed = 3000 + eta;
+    EntropyDeviationResult r = RunEntropyDeviation(config).value();
+    t1.AddRow({std::to_string(eta), FormatDouble(r.gap.mean, 5),
+               FormatDouble(r.gap.q90, 5), FormatDouble(r.gap.max, 5),
+               FormatDouble(r.prop54_bound, 4),
+               FormatDouble(r.thm52_bound, 4),
+               r.eta_qualifies ? "yes" : "no",
+               FormatDouble(r.frac_within, 3)});
+  }
+  std::printf("%s\n", t1.Render().c_str());
+
+  std::printf("Sweep 2: growing d with eta = 60 d (Prop 5.4's regime;\n"
+              "d >= 60 so that eta fits in the d x d domain)\n");
+  TablePrinter t2({"d", "eta", "gap mean", "gap max", "Prop5.4 C(d)",
+                   "Thm5.2 dev", "within"});
+  for (uint64_t d : {64ull, 96ull, 128ull, 192ull}) {
+    EntropyDeviationConfig config;
+    config.d = d;
+    config.eta = 60 * d;
+    config.trials = 30;
+    config.seed = 4000 + d;
+    EntropyDeviationResult r = RunEntropyDeviation(config).value();
+    t2.AddRow({std::to_string(d), std::to_string(config.eta),
+               FormatDouble(r.gap.mean, 5), FormatDouble(r.gap.max, 5),
+               FormatDouble(r.prop54_bound, 4),
+               FormatDouble(r.thm52_bound, 4),
+               FormatDouble(r.frac_within, 3)});
+  }
+  std::printf("%s\n", t2.Render().c_str());
+  std::printf(
+      "Paper shape: gaps are >= 0 (H(A_S) <= ln d), mean gap <= C(d), all\n"
+      "trials within the Thm 5.2 deviation, and the gap shrinks as eta\n"
+      "grows.\n");
+  return 0;
+}

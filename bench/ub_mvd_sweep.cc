@@ -1,0 +1,62 @@
+// Experiment UB-MVD — Theorem 5.1's shape: for a random relation over
+// [dA] x [dB] x [dC] with N tuples, the deviation
+//   ln(1 + rho(R, phi)) - I(A;B|C)
+// is nonnegative (Lemma 4.1) and, with high probability, at most
+// eps*(phi, N, delta) = 60 sqrt(dA d ln^3(6 N dC/delta)/N) — which shrinks
+// like Otilde(sqrt(dA d / N)). We sweep N (at fixed domains) and d (at
+// proportional N) and report empirical deviation quantiles against eps*.
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "io/table_printer.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ajd;
+  std::printf("== UB-MVD: Thm 5.1 deviation vs eps* ==\n\n");
+
+  std::printf("Sweep 1: fixed domains dA=dB=16, dC=4; growing N\n");
+  TablePrinter t1({"N", "dev q50", "dev q90", "dev max", "eps*",
+                   "qualifies(37)", "within eps*"});
+  for (uint64_t n : {64ull, 256ull, 768ull, 1016ull}) {
+    MvdDeviationConfig config;
+    config.d_a = 16;
+    config.d_b = 16;
+    config.d_c = 4;
+    config.n = n;
+    config.trials = 40;
+    config.seed = 1000 + n;
+    MvdDeviationResult r = RunMvdDeviation(config).value();
+    t1.AddRow({std::to_string(n), FormatDouble(r.dev.q50, 5),
+               FormatDouble(r.dev.q90, 5), FormatDouble(r.dev.max, 5),
+               FormatDouble(r.eps_star, 4),
+               r.thm51_applies ? "yes" : "no",
+               FormatDouble(r.frac_within, 3)});
+  }
+  std::printf("%s\n", t1.Render().c_str());
+
+  std::printf("Sweep 2: dA=dB=dC=d, N = d^3/2 (the paper's concrete\n"
+              "example: deviation ~ O(sqrt(ln^3 d / d)))\n");
+  TablePrinter t2({"d", "N", "dev q50", "dev q90", "dev max", "eps*",
+                   "within eps*"});
+  for (uint64_t d : {8ull, 12ull, 16ull, 20ull, 24ull}) {
+    MvdDeviationConfig config;
+    config.d_a = d;
+    config.d_b = d;
+    config.d_c = d;
+    config.n = d * d * d / 2;
+    config.trials = 25;
+    config.seed = 2000 + d;
+    MvdDeviationResult r = RunMvdDeviation(config).value();
+    t2.AddRow({std::to_string(d), std::to_string(config.n),
+               FormatDouble(r.dev.q50, 5), FormatDouble(r.dev.q90, 5),
+               FormatDouble(r.dev.max, 5), FormatDouble(r.eps_star, 4),
+               FormatDouble(r.frac_within, 3)});
+  }
+  std::printf("%s\n", t2.Render().c_str());
+  std::printf(
+      "Paper shape: deviations are >= 0, SHRINK as N (resp. d) grows, and\n"
+      "always sit far below eps* (the constants 60/256/384 are worst-case;\n"
+      "'within eps*' should read 1.000 everywhere).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Compression audit: factorize a synthetic sales dataset through a declared
+// snowflake-style acyclic schema (the paper's Section 1 application [22]:
+// factorization as compression while maintaining data integrity), measure
+// the storage savings, and audit the integrity loss with the paper's
+// J-measure / KL machinery — including materializing the actual spurious
+// tuples for inspection.
+//
+//   ./build/examples/compression_audit
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "io/table_printer.h"
+#include "jointree/gyo.h"
+#include "random/rng.h"
+#include "relation/acyclic_join.h"
+#include "relation/ops.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ajd;
+
+// sales(order, customer, region, product, category): region is determined
+// by customer; category by product — except for a few "dirty" rows that
+// violate the hierarchy (real data is noisy; Section 1).
+Relation MakeSales(uint32_t orders, uint32_t dirty, Rng* rng) {
+  Schema schema = Schema::Make({{"order_id", 0},
+                                {"customer", 0},
+                                {"region", 0},
+                                {"product", 0},
+                                {"category", 0}})
+                      .value();
+  RelationBuilder b(schema);
+  const uint32_t num_customers = 40, num_regions = 5;
+  const uint32_t num_products = 30, num_categories = 6;
+  for (uint32_t o = 0; o < orders; ++o) {
+    uint32_t customer = static_cast<uint32_t>(rng->UniformU64(num_customers));
+    uint32_t product = static_cast<uint32_t>(rng->UniformU64(num_products));
+    bool is_dirty = o < dirty;
+    uint32_t region = is_dirty
+                          ? static_cast<uint32_t>(rng->UniformU64(num_regions))
+                          : customer % num_regions;
+    uint32_t category = product % num_categories;
+    b.AddRow({o, customer, region, product, category});
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ajd;
+  Rng rng(1618);
+  Relation clean = MakeSales(500, /*dirty=*/0, &rng);
+  Relation dirty = MakeSales(500, /*dirty=*/12, &rng);
+
+  // Declared snowflake decomposition:
+  //   fact(order, customer, product) + dim(customer, region) +
+  //   dim(product, category).
+  auto schema_of = [](const Relation& r) {
+    AttrSet fact = r.schema().SetOf({"order_id", "customer", "product"})
+                       .value();
+    AttrSet dim_customer = r.schema().SetOf({"customer", "region"}).value();
+    AttrSet dim_product = r.schema().SetOf({"product", "category"}).value();
+    return std::vector<AttrSet>{fact, dim_customer, dim_product};
+  };
+
+  TablePrinter table({"dataset", "N", "rho", "J (nats)", "rho >= e^J-1",
+                      "cells saved", "verdict"});
+  for (const auto& [name, rel] :
+       {std::pair<const char*, const Relation*>{"clean", &clean},
+        std::pair<const char*, const Relation*>{"dirty", &dirty}}) {
+    Result<JoinTree> tree = BuildJoinTree(schema_of(*rel));
+    if (!tree.ok()) {
+      std::printf("schema not acyclic: %s\n",
+                  tree.status().ToString().c_str());
+      return 1;
+    }
+    AjdAnalysis a = AnalyzeAjd(*rel, tree.value()).value();
+    uint64_t original = rel->NumRows() * rel->NumAttrs();
+    uint64_t decomposed = 0;
+    for (uint32_t v = 0; v < tree.value().NumNodes(); ++v) {
+      AttrSet bag = tree.value().bag(v);
+      decomposed += CountDistinct(*rel, bag) * bag.Count();
+    }
+    table.AddRow({name, std::to_string(rel->NumRows()),
+                  FormatDouble(a.loss.rho, 5), FormatDouble(a.j, 5),
+                  FormatDouble(a.rho_lower_bound, 5),
+                  FormatDouble(100.0 * (1.0 - static_cast<double>(decomposed) /
+                                                  static_cast<double>(original)),
+                               3) + "%",
+                  a.lossless ? "SAFE to factorize" : "LOSSY"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // For the dirty dataset, show a few concrete phantom rows the factorized
+  // store would invent.
+  Result<JoinTree> tree = BuildJoinTree(schema_of(dirty));
+  Relation spurious = SpuriousTuples(dirty, tree.value()).value();
+  std::printf("dirty dataset: %llu spurious tuples; first few:\n",
+              static_cast<unsigned long long>(spurious.NumRows()));
+  std::printf("%s", spurious.ToString(5).c_str());
+  std::printf(
+      "\nReading: on clean data the snowflake factorization is lossless and\n"
+      "saves storage; 12 dirty rows make it lossy, and the J-measure flags\n"
+      "it BEFORE any join is materialized (Lemma 4.1's bound is the\n"
+      "certificate).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Random-model study: a compact version of the paper's evaluation — how the
+// information-theoretic quantities concentrate under the random relation
+// model (Definition 5.2), and how the Section 4/5 bounds bracket the true
+// loss of a single MVD.
+//
+//   ./build/examples/random_model_study [d [rho_bar]]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bounds.h"
+#include "core/experiment.h"
+#include "core/loss.h"
+#include "info/entropy.h"
+#include "io/table_printer.h"
+#include "random/random_relation.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ajd;
+  const uint64_t d = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  const double rho_bar = argc > 2 ? std::atof(argv[2]) : 0.10;
+
+  std::printf("Random relation model over [%llu] x [%llu], target rho = %g\n",
+              static_cast<unsigned long long>(d),
+              static_cast<unsigned long long>(d), rho_bar);
+
+  // Part 1: the Figure 1 phenomenon at a single d — MI across trials.
+  Rng rng(2718);
+  const uint64_t n = static_cast<uint64_t>(
+      static_cast<double>(d) * static_cast<double>(d) / (1.0 + rho_bar));
+  TablePrinter t1({"trial", "I(A;B) nats", "ln(1+rho_bar)", "gap"});
+  const double target =
+      std::log(static_cast<double>(d) * static_cast<double>(d) /
+               static_cast<double>(n));
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomRelationSpec spec;
+    spec.domain_sizes = {d, d};
+    spec.num_tuples = n;
+    spec.attr_names = {"A", "B"};
+    Relation r = SampleRandomRelation(spec, &rng).value();
+    EntropyCalculator calc(&r);
+    double mi = calc.MutualInformation(AttrSet{0}, AttrSet{1});
+    t1.AddRow({std::to_string(trial), FormatDouble(mi, 6),
+               FormatDouble(target, 6), FormatDouble(target - mi, 4)});
+  }
+  std::printf("\nPart 1 — MI concentration (Figure 1 at one d):\n%s",
+              t1.Render().c_str());
+
+  // Part 2: a conditional MVD C ->> A | B with d_C groups; compare the true
+  // loss against the Lemma 4.1 lower bound and the Theorem 5.1 budget.
+  const uint64_t d_c = 8;
+  const uint64_t small_d = 24;
+  TablePrinter t2({"N", "ln(1+rho)", "I(A;B|C)", "deviation", "eps*(0.05)",
+                   "Thm 5.1 applies"});
+  for (uint64_t num : {small_d * small_d * d_c / 8,
+                       small_d * small_d * d_c / 4,
+                       small_d * small_d * d_c / 2}) {
+    RandomRelationSpec spec;
+    spec.domain_sizes = {small_d, small_d, d_c};
+    spec.num_tuples = num;
+    spec.attr_names = {"A", "B", "C"};
+    Relation r = SampleRandomRelation(spec, &rng).value();
+    Mvd mvd = MakeMvd(AttrSet{2}, AttrSet{0}, AttrSet{1});
+    LossReport loss = ComputeMvdLoss(r, mvd).value();
+    EntropyCalculator calc(&r);
+    double cmi = calc.ConditionalMutualInformation(AttrSet{0}, AttrSet{1},
+                                                   AttrSet{2});
+    double eps = EpsilonStarMvd(small_d, small_d, d_c, num, 0.05);
+    t2.AddRow({std::to_string(num), FormatDouble(loss.log1p_rho, 5),
+               FormatDouble(cmi, 5),
+               FormatDouble(loss.log1p_rho - cmi, 5),
+               FormatDouble(eps, 4),
+               Theorem51Applies(small_d, small_d, d_c, num, 0.05) ? "yes"
+                                                                  : "no"});
+  }
+  std::printf("\nPart 2 — MVD loss vs CMI (Lemma 4.1: deviation >= 0;\n"
+              "Thm 5.1: deviation <= eps* w.h.p.):\n%s",
+              t2.Render().c_str());
+
+  std::printf("\nReading: I(A;B|C) under-estimates ln(1+rho) by a vanishing\n"
+              "deviation; the paper's eps* budget is loose but safe.\n");
+  return 0;
+}

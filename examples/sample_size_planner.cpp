@@ -1,0 +1,60 @@
+// Sample-size planner: invert Theorem 5.1. Given the attribute domain
+// sizes of an MVD C ->> A | B and a target certainty, how many tuples must
+// a dataset have before the information-theoretic proxy I(A;B|C) certifies
+// the spurious-tuple fraction within a chosen budget?
+//
+//   ./build/examples/sample_size_planner [dA [dC [delta]]]
+//
+// This is the planning question behind the paper's "applications that
+// apply factorization as a means of compression, while wishing to maintain
+// the integrity of the data" (Section 1).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bounds.h"
+#include "core/certificate.h"
+#include "io/table_printer.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ajd;
+  const uint64_t d_a =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1 << 10;
+  const uint64_t d_c = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  const double delta = argc > 3 ? std::atof(argv[3]) : 0.05;
+
+  std::printf("Planning for MVD C ->> A | B with dA = dB = %llu, dC = %llu,"
+              " delta = %g\n\n",
+              static_cast<unsigned long long>(d_a),
+              static_cast<unsigned long long>(d_c), delta);
+
+  std::printf("Qualifying sample size (Eq. 37): N >= %s\n\n",
+              FormatDouble(Theorem51MinN(d_a, d_a, d_c, delta), 4).c_str());
+
+  TablePrinter table({"target eps (nats)", "== rho slack factor", "min N",
+                      "N / (dA*dC)"});
+  for (double eps : {2.0, 1.0, 0.5, 0.2, 0.1}) {
+    Result<uint64_t> n = PlanSampleSize(d_a, d_a, d_c, delta, eps);
+    if (!n.ok()) {
+      table.AddRow({FormatDouble(eps, 3), FormatDouble(std::exp(eps), 4),
+                    "unreachable", "-"});
+      continue;
+    }
+    table.AddRow(
+        {FormatDouble(eps, 3), FormatDouble(std::exp(eps), 4),
+         std::to_string(n.value()),
+         FormatDouble(static_cast<double>(n.value()) /
+                          (static_cast<double>(d_a) *
+                           static_cast<double>(d_c)),
+                      4)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Reading: eps is the additive gap between ln(1+rho) and I(A;B|C)\n"
+      "that Theorem 5.1 certifies with probability 1-delta; e^eps is the\n"
+      "multiplicative slack on (1+rho). The required N scales like\n"
+      "dA*max(dA,dC) times polylog factors — the paper's N = omega(dA*dC)\n"
+      "regime made concrete.\n");
+  return 0;
+}

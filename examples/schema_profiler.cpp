@@ -1,0 +1,127 @@
+// Schema profiler: load a CSV, mine an approximate acyclic schema with the
+// J-measure-guided miner, and report the loss with the paper's bounds.
+// This is the end-to-end workflow the paper motivates (Section 1): fitting
+// an acyclic schema to a dataset while controlling the number of spurious
+// tuples.
+//
+//   ./build/examples/schema_profiler [data.csv [max_bag_size]]
+//
+// Without arguments, a built-in employee dataset is profiled.
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/analysis.h"
+#include "discovery/fd.h"
+#include "discovery/miner.h"
+#include "discovery/normalize.h"
+#include "io/csv.h"
+#include "jointree/gyo.h"
+#include "relation/ops.h"
+
+namespace {
+
+const char* kDemoCsv =
+    "emp,dept,building,city,dept_head\n"
+    "ann,db,dragon,seattle,codd\n"
+    "bob,db,dragon,seattle,codd\n"
+    "cat,db,dragon,seattle,codd\n"
+    "dan,ml,lion,portland,mitchell\n"
+    "eve,ml,lion,portland,mitchell\n"
+    "fay,sys,lion,portland,tanenbaum\n"
+    "gil,sys,lion,portland,tanenbaum\n"
+    "hal,net,tiger,seattle,cerf\n"
+    "ivy,net,tiger,seattle,cerf\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ajd;
+
+  Result<Relation> loaded = [&]() -> Result<Relation> {
+    if (argc > 1) return ReadCsvFile(argv[1]);
+    std::istringstream in(kDemoCsv);
+    return ReadCsv(in);
+  }();
+  if (!loaded.ok()) {
+    std::printf("failed to load data: %s\n",
+                loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Relation& r = loaded.value();
+  std::printf("loaded relation: %s (N = %llu)\n",
+              r.schema().ToString().c_str(),
+              static_cast<unsigned long long>(r.NumRows()));
+
+  MinerOptions options;
+  options.max_bag_size =
+      argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 2;
+  options.max_separator_size = 2;
+  options.cmi_threshold = 1e-6;
+
+  Result<MinerReport> mined = MineJoinTree(r, options);
+  if (!mined.ok()) {
+    std::printf("mining failed: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", mined.value().ToString(r.schema()).c_str());
+
+  Result<AjdAnalysis> analysis = AnalyzeAjd(r, mined.value().tree);
+  if (!analysis.ok()) {
+    std::printf("analysis failed: %s\n",
+                analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", analysis.value().ToString().c_str());
+
+  // Storage accounting for the factorized representation.
+  uint64_t original_cells = r.NumRows() * r.NumAttrs();
+  uint64_t decomposed_cells = 0;
+  for (uint32_t v = 0; v < mined.value().tree.NumNodes(); ++v) {
+    AttrSet bag = mined.value().tree.bag(v);
+    decomposed_cells += CountDistinct(r, bag) * bag.Count();
+  }
+  std::printf(
+      "\nstorage: %llu cells originally, %llu cells decomposed (%.1f%%)\n",
+      static_cast<unsigned long long>(original_cells),
+      static_cast<unsigned long long>(decomposed_cells),
+      100.0 * static_cast<double>(decomposed_cells) /
+          static_cast<double>(original_cells));
+
+  // Explain WHY: the functional dependencies behind the schema, and how
+  // classic BCNF normalization compares to the mined decomposition.
+  Result<std::vector<Fd>> fds = DiscoverFds(r);
+  if (fds.ok()) {
+    std::printf("\nfunctional dependencies (minimal, exact):\n");
+    for (const Fd& fd : fds.value()) {
+      std::printf("  %s\n", fd.ToString(r.schema()).c_str());
+    }
+    Result<std::vector<AttrSet>> bcnf =
+        BcnfDecompose(r.schema().AllAttrs(), fds.value());
+    if (bcnf.ok()) {
+      std::printf("BCNF decomposition from those FDs:\n");
+      for (AttrSet bag : bcnf.value()) {
+        std::string names = "{";
+        bool first = true;
+        bag.ForEach([&](uint32_t pos) {
+          if (!first) names += ",";
+          first = false;
+          names += r.schema().attr(pos).name;
+        });
+        std::printf("  %s}\n", names.c_str());
+      }
+      Result<JoinTree> bcnf_tree = BuildJoinTree(bcnf.value());
+      if (bcnf_tree.ok()) {
+        Result<AjdAnalysis> bcnf_analysis = AnalyzeAjd(r, bcnf_tree.value());
+        if (bcnf_analysis.ok()) {
+          std::printf("BCNF schema loss: rho = %g (lossless by "
+                      "construction)\n",
+                      bcnf_analysis.value().loss.rho);
+        }
+      } else {
+        std::printf("(BCNF schema is cyclic; AJD analysis not applicable)\n");
+      }
+    }
+  }
+  return 0;
+}

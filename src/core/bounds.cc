@@ -1,0 +1,127 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ajd {
+
+double RhoLowerBoundFromJ(double j) {
+  AJD_CHECK(j >= 0.0);
+  return std::expm1(j);
+}
+
+double JUpperBoundFromRho(double rho) {
+  AJD_CHECK(rho >= 0.0);
+  return std::log1p(rho);
+}
+
+double Proposition51ProductBound(const std::vector<double>& mvd_losses) {
+  double sum = 0.0;
+  for (double rho : mvd_losses) {
+    AJD_CHECK(rho >= -1e-12);
+    sum += std::log1p(std::max(rho, 0.0));
+  }
+  return sum;
+}
+
+namespace {
+
+// Theorem 5.1 assumes w.l.o.g. dA >= dB; callers pass the raw domain sizes
+// and we apply the swap here.
+void SwapForWlog(uint64_t* d_a, uint64_t* d_b) {
+  if (*d_a < *d_b) std::swap(*d_a, *d_b);
+}
+
+}  // namespace
+
+double EpsilonStarMvd(uint64_t d_a, uint64_t d_b, uint64_t d_c, uint64_t n,
+                      double delta) {
+  AJD_CHECK(delta > 0.0 && delta < 1.0);
+  AJD_CHECK(n > 0);
+  SwapForWlog(&d_a, &d_b);
+  const double d = static_cast<double>(std::max(d_a, d_c));
+  const double da = static_cast<double>(d_a);
+  const double nn = static_cast<double>(n);
+  const double log_term =
+      std::log(6.0 * nn * static_cast<double>(d_c) / delta);
+  return 60.0 * std::sqrt(da * d * log_term * log_term * log_term / nn);
+}
+
+double Theorem51MinN(uint64_t d_a, uint64_t d_b, uint64_t d_c, double delta) {
+  AJD_CHECK(delta > 0.0 && delta < 1.0);
+  SwapForWlog(&d_a, &d_b);
+  const double d = static_cast<double>(std::max(d_a, d_c));
+  return 256.0 * static_cast<double>(d_a) * d * std::log(384.0 * d / delta);
+}
+
+bool Theorem51Applies(uint64_t d_a, uint64_t d_b, uint64_t d_c, uint64_t n,
+                      double delta) {
+  return static_cast<double>(n) >= Theorem51MinN(d_a, d_b, d_c, delta);
+}
+
+SchemaUpperBound Proposition53Bound(const std::vector<double>& cmis,
+                                    const std::vector<double>& epsilons,
+                                    double j) {
+  AJD_CHECK(cmis.size() == epsilons.size());
+  SchemaUpperBound out;
+  double sum_eps = 0.0;
+  for (size_t i = 0; i < cmis.size(); ++i) {
+    out.sum_cmi_plus_eps += cmis[i] + epsilons[i];
+    sum_eps += epsilons[i];
+  }
+  out.via_j = static_cast<double>(cmis.size()) * j + sum_eps;
+  return out;
+}
+
+double Theorem52EntropyDeviation(uint64_t d_a, uint64_t eta, double delta) {
+  AJD_CHECK(delta > 0.0 && delta < 1.0);
+  AJD_CHECK(eta > 0);
+  const double log_term = std::log(static_cast<double>(eta) / delta);
+  return 20.0 * std::sqrt(static_cast<double>(d_a) * log_term * log_term *
+                          log_term / static_cast<double>(eta));
+}
+
+double Theorem52MinEta(uint64_t d_a, double delta) {
+  AJD_CHECK(delta > 0.0 && delta < 1.0);
+  const double da = static_cast<double>(d_a);
+  return 128.0 * da * std::log(128.0 * da / delta);
+}
+
+bool Theorem52Applies(uint64_t d_a, uint64_t d_b, uint64_t eta,
+                      double delta) {
+  if (d_a < d_b) std::swap(d_a, d_b);
+  return static_cast<double>(eta) >= Theorem52MinEta(d_a, delta);
+}
+
+double Corollary521Deviation(uint64_t d_a, uint64_t eta, double delta) {
+  AJD_CHECK(delta > 0.0 && delta < 1.0);
+  const double log_term = std::log(2.0 * static_cast<double>(eta) / delta);
+  return 40.0 * std::sqrt(static_cast<double>(d_a) * log_term * log_term *
+                          log_term / static_cast<double>(eta));
+}
+
+double Proposition54ExpectedEntropyGap(uint64_t d_b) {
+  return EntropySlackC(static_cast<double>(d_b));
+}
+
+double Proposition55TailBound(uint64_t d_a, uint64_t d_b, uint64_t eta,
+                              double t) {
+  AJD_CHECK(t >= 0.0);
+  const double da = static_cast<double>(d_a);
+  const double e = static_cast<double>(eta);
+  // Eq. (59): r = max(0, t - 8 dA/eta - C(dB)).
+  const double r = std::max(
+      0.0, t - 8.0 * da / e - EntropySlackC(static_cast<double>(d_b)));
+  // Eq. (58).
+  const double first = 0.5 * std::exp(-e / 12.0);
+  const double log_eta_over_e = std::log(e / std::exp(1.0));
+  const double h = TLog1p(r / (2.0 * log_eta_over_e));
+  const double second =
+      0.5 * std::exp(-(e / (2.0 * da)) * h + 4.0 * std::log(e));
+  return first + second;
+}
+
+}  // namespace ajd

@@ -1,0 +1,102 @@
+// The paper's quantitative bounds, each tagged with its equation/claim:
+//
+//  * Lemma 4.1       — deterministic lower bound: J <= ln(1 + rho), hence
+//                      rho >= e^J - 1.
+//  * Proposition 5.1 — ln(1 + rho(R,S)) <= sum_i ln(1 + rho(R, phi_i)).
+//  * Theorem 5.1     — high-probability per-MVD upper bound with deviation
+//                      eps*(phi, N, delta) (Eq. 38) under condition (37).
+//  * Proposition 5.3 — schema-level high-probability upper bound assembled
+//                      from the per-MVD bounds (Eqs. 33-34).
+//  * Theorem 5.2     — entropy confidence interval (Eq. 41) under (40).
+//  * Corollary 5.2.1 — MI lower bound for the degenerate-C model (Eq. 42).
+//  * Proposition 5.4 — expected-entropy gap bound C(d_B) (Eq. 46).
+//  * Proposition 5.5 — concentration tail for H(A_S) (Eqs. 58-59).
+//
+// All information quantities in nats.
+#ifndef AJD_CORE_BOUNDS_H_
+#define AJD_CORE_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ajd {
+
+// ---------------------------------------------------------------------------
+// Section 4: deterministic lower bound.
+// ---------------------------------------------------------------------------
+
+/// Lemma 4.1 rearranged: any relation with J-measure `j` has
+/// rho >= e^j - 1. Returns that lower bound on rho.
+double RhoLowerBoundFromJ(double j);
+
+/// Lemma 4.1 as stated: J <= ln(1 + rho). Returns the upper bound on J.
+double JUpperBoundFromRho(double rho);
+
+// ---------------------------------------------------------------------------
+// Section 5: high-probability upper bound.
+// ---------------------------------------------------------------------------
+
+/// Proposition 5.1: ln(1 + rho(R,S)) <= sum_i ln(1 + rho(R, phi_i)).
+/// Input: per-MVD losses rho(R, phi_i). Returns the right-hand side.
+double Proposition51ProductBound(const std::vector<double>& mvd_losses);
+
+/// Theorem 5.1, Eq. (38): the deviation term
+///   eps*(phi, N, delta) = 60 sqrt( dA * d * ln^3(6 N dC / delta) / N ),
+/// where (w.l.o.g.) dA >= dB is enforced by swapping, and
+/// d = max(dA, dC).
+double EpsilonStarMvd(uint64_t d_a, uint64_t d_b, uint64_t d_c, uint64_t n,
+                      double delta);
+
+/// Theorem 5.1, Eq. (37): the qualifying sample size
+///   N >= 256 dA d ln(384 d / delta), d = max(dA, dC), after the
+/// dA >= dB swap.
+double Theorem51MinN(uint64_t d_a, uint64_t d_b, uint64_t d_c, double delta);
+
+/// True iff (37) holds for these parameters.
+bool Theorem51Applies(uint64_t d_a, uint64_t d_b, uint64_t d_c, uint64_t n,
+                      double delta);
+
+/// Proposition 5.3 assembled bound: given per-MVD conditional mutual
+/// informations and deviations, returns
+///   sum_i (cmi_i + eps_i)                      (Eq. 33)
+/// and, given J, the weaker (m-1) J + sum_i eps_i (Eq. 34).
+struct SchemaUpperBound {
+  double sum_cmi_plus_eps = 0.0;  ///< Eq. (33) right-hand side.
+  double via_j = 0.0;             ///< Eq. (34) right-hand side.
+};
+SchemaUpperBound Proposition53Bound(const std::vector<double>& cmis,
+                                    const std::vector<double>& epsilons,
+                                    double j);
+
+// ---------------------------------------------------------------------------
+// Section 5.2 / Appendix B: entropy confidence machinery (degenerate C).
+// ---------------------------------------------------------------------------
+
+/// Theorem 5.2, Eq. (41): with probability 1 - delta,
+///   ln dA >= H(A_S) >= ln dA - 20 sqrt( dA ln^3(eta/delta) / eta ).
+/// Returns the deviation 20 sqrt(...).
+double Theorem52EntropyDeviation(uint64_t d_a, uint64_t eta, double delta);
+
+/// Theorem 5.2, Eq. (40): qualifying eta >= 128 dA ln(128 dA / delta).
+double Theorem52MinEta(uint64_t d_a, double delta);
+
+/// True iff (40) holds.
+bool Theorem52Applies(uint64_t d_a, uint64_t d_b, uint64_t eta, double delta);
+
+/// Corollary 5.2.1, Eq. (42) deviation: 40 sqrt(dA ln^3(2 eta/delta)/eta).
+/// With probability 1 - delta,
+///   I(A_S; B_S) >= ln(1 + rho_bar) - deviation, rho_bar = dA dB/eta - 1.
+double Corollary521Deviation(uint64_t d_a, uint64_t eta, double delta);
+
+/// Proposition 5.4, Eq. (46): 0 <= ln dA - E[H(A_S)] <= C(dB), with
+/// C(d) = 2 ln(d)/sqrt(d). Returns C(dB). Requires eta >= 60 dA.
+double Proposition54ExpectedEntropyGap(uint64_t d_b);
+
+/// Proposition 5.5, Eqs. (58)-(59): the two-term tail bound on
+/// P[|H(A_S) - E H(A_S)| > t]. Returns the bound value.
+double Proposition55TailBound(uint64_t d_a, uint64_t d_b, uint64_t eta,
+                              double t);
+
+}  // namespace ajd
+
+#endif  // AJD_CORE_BOUNDS_H_

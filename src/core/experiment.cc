@@ -1,0 +1,131 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bounds.h"
+#include "core/loss.h"
+#include "info/entropy.h"
+#include "random/random_relation.h"
+#include "random/rng.h"
+#include "util/math.h"
+
+namespace ajd {
+
+SampleSummary Summarize(const std::vector<double>& xs) {
+  SampleSummary s;
+  if (xs.empty()) return s;
+  s.mean = Mean(xs);
+  s.stddev = SampleStdDev(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.q50 = Quantile(xs, 0.50);
+  s.q90 = Quantile(xs, 0.90);
+  s.q99 = Quantile(xs, 0.99);
+  return s;
+}
+
+Result<std::vector<Fig1Row>> RunFig1(const Fig1Config& config) {
+  if (config.rho_bar <= 0.0) {
+    return Status::InvalidArgument("rho_bar must be positive");
+  }
+  if (config.d_min == 0 || config.d_step == 0 ||
+      config.d_min > config.d_max) {
+    return Status::InvalidArgument("invalid d range");
+  }
+  Rng rng(config.seed);
+  std::vector<Fig1Row> rows;
+  for (uint64_t d = config.d_min; d <= config.d_max; d += config.d_step) {
+    Fig1Row row;
+    row.d = d;
+    const double domain = static_cast<double>(d) * static_cast<double>(d);
+    row.n = static_cast<uint64_t>(
+        std::llround(domain / (1.0 + config.rho_bar)));
+    if (row.n == 0 || row.n > d * d) {
+      return Status::OutOfRange("rho_bar incompatible with domain size");
+    }
+    row.rho_bar_realized = domain / static_cast<double>(row.n) - 1.0;
+    row.target = std::log1p(row.rho_bar_realized);
+    for (uint32_t t = 0; t < config.trials; ++t) {
+      RandomRelationSpec spec;
+      spec.domain_sizes = {d, d};
+      spec.num_tuples = row.n;
+      spec.attr_names = {"A", "B"};
+      Result<Relation> r = SampleRandomRelation(spec, &rng);
+      if (!r.ok()) return r.status();
+      EntropyCalculator calc(&r.value());
+      row.mi_samples.push_back(
+          calc.MutualInformation(AttrSet{0}, AttrSet{1}));
+    }
+    row.mi = Summarize(row.mi_samples);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<MvdDeviationResult> RunMvdDeviation(const MvdDeviationConfig& config) {
+  Rng rng(config.seed);
+  MvdDeviationResult out;
+  out.eps_star = EpsilonStarMvd(config.d_a, config.d_b, config.d_c, config.n,
+                                config.delta);
+  out.min_n =
+      Theorem51MinN(config.d_a, config.d_b, config.d_c, config.delta);
+  out.thm51_applies = Theorem51Applies(config.d_a, config.d_b, config.d_c,
+                                       config.n, config.delta);
+  // Attributes ordered (A, B, C) = positions (0, 1, 2).
+  const AttrSet a{0}, b{1}, c{2};
+  Mvd mvd = MakeMvd(c, a, b);
+  uint32_t within = 0;
+  for (uint32_t t = 0; t < config.trials; ++t) {
+    RandomRelationSpec spec;
+    spec.domain_sizes = {config.d_a, config.d_b, config.d_c};
+    spec.num_tuples = config.n;
+    spec.attr_names = {"A", "B", "C"};
+    Result<Relation> r = SampleRandomRelation(spec, &rng);
+    if (!r.ok()) return r.status();
+    Result<LossReport> loss = ComputeMvdLoss(r.value(), mvd);
+    if (!loss.ok()) return loss.status();
+    EntropyCalculator calc(&r.value());
+    double cmi = calc.ConditionalMutualInformation(a, b, c);
+    double deviation = loss.value().log1p_rho - cmi;
+    if (deviation <= out.eps_star) ++within;
+    out.deviations.push_back(deviation);
+  }
+  out.dev = Summarize(out.deviations);
+  out.frac_within = config.trials == 0
+                        ? 0.0
+                        : static_cast<double>(within) / config.trials;
+  return out;
+}
+
+Result<EntropyDeviationResult> RunEntropyDeviation(
+    const EntropyDeviationConfig& config) {
+  Rng rng(config.seed);
+  EntropyDeviationResult out;
+  out.thm52_bound =
+      Theorem52EntropyDeviation(config.d, config.eta, config.delta);
+  out.prop54_bound = Proposition54ExpectedEntropyGap(config.d);
+  out.eta_qualifies =
+      Theorem52Applies(config.d, config.d, config.eta, config.delta);
+  const double log_d = std::log(static_cast<double>(config.d));
+  uint32_t within = 0;
+  for (uint32_t t = 0; t < config.trials; ++t) {
+    RandomRelationSpec spec;
+    spec.domain_sizes = {config.d, config.d};
+    spec.num_tuples = config.eta;
+    spec.attr_names = {"A", "B"};
+    Result<Relation> r = SampleRandomRelation(spec, &rng);
+    if (!r.ok()) return r.status();
+    double h = EntropyOf(r.value(), AttrSet{0});
+    double gap = log_d - h;
+    if (gap <= out.thm52_bound) ++within;
+    out.gaps.push_back(gap);
+  }
+  out.gap = Summarize(out.gaps);
+  out.frac_within = config.trials == 0
+                        ? 0.0
+                        : static_cast<double>(within) / config.trials;
+  return out;
+}
+
+}  // namespace ajd

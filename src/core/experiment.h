@@ -1,0 +1,120 @@
+// Monte-Carlo experiment drivers regenerating the paper's evaluation
+// artifacts (see DESIGN.md experiment index):
+//
+//  * RunFig1            — Figure 1: MI scattering vs ln(1 + rho_bar) under
+//                         the random relation model with d_C = 1,
+//                         d_A = d_B = d.
+//  * RunMvdDeviation    — Theorem 5.1: distribution of
+//                         ln(1 + rho(R,phi)) - I(A;B|C) vs eps*.
+//  * RunEntropyDeviation— Theorem 5.2 / Prop 5.4: distribution of
+//                         ln d_A - H(A_S) vs the confidence bound.
+//
+// Every driver is deterministic given the config seed.
+#ifndef AJD_CORE_EXPERIMENT_H_
+#define AJD_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ajd {
+
+/// Summary statistics of a sample.
+struct SampleSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double q50 = 0.0;
+  double q90 = 0.0;
+  double q99 = 0.0;
+};
+
+/// Computes summary statistics (empty input gives zeros).
+SampleSummary Summarize(const std::vector<double>& xs);
+
+// ---------------------------------------------------------------------------
+// Figure 1.
+// ---------------------------------------------------------------------------
+
+/// Protocol of Figure 1: for each d in [d_min, d_max] step d_step, fix the
+/// target spurious fraction rho_bar, set N = round(d^2 / (1 + rho_bar)),
+/// draw `trials` relations from the random relation model over [d] x [d],
+/// and record I(A_S; B_S).
+struct Fig1Config {
+  double rho_bar = 0.10;     ///< Paper's y-range ~[0.094, 0.0955] nats.
+  uint64_t d_min = 100;
+  uint64_t d_max = 1000;
+  uint64_t d_step = 100;
+  uint32_t trials = 5;
+  uint64_t seed = 42;
+};
+
+/// One Figure-1 point set (one value of d).
+struct Fig1Row {
+  uint64_t d = 0;
+  uint64_t n = 0;                  ///< N = round(d^2/(1+rho_bar))
+  double rho_bar_realized = 0.0;   ///< d^2/N - 1 after rounding
+  double target = 0.0;             ///< ln(1 + rho_bar_realized)
+  std::vector<double> mi_samples;  ///< I(A_S;B_S) per trial, nats
+  SampleSummary mi;
+};
+
+/// Runs the Figure 1 protocol.
+Result<std::vector<Fig1Row>> RunFig1(const Fig1Config& config);
+
+// ---------------------------------------------------------------------------
+// Theorem 5.1 (per-MVD deviation).
+// ---------------------------------------------------------------------------
+
+/// Monte-Carlo study of the Theorem 5.1 deviation for one MVD C ->> A | B
+/// over domains [d_a] x [d_b] x [d_c] with N tuples.
+struct MvdDeviationConfig {
+  uint64_t d_a = 32, d_b = 32, d_c = 4;
+  uint64_t n = 1 << 14;
+  double delta = 0.05;
+  uint32_t trials = 50;
+  uint64_t seed = 7;
+};
+
+struct MvdDeviationResult {
+  std::vector<double> deviations;  ///< ln(1+rho) - I(A;B|C) per trial
+  SampleSummary dev;
+  double eps_star = 0.0;           ///< Eq. (38)
+  double min_n = 0.0;              ///< Eq. (37)
+  bool thm51_applies = false;
+  double frac_within = 0.0;        ///< fraction of trials <= eps_star
+};
+
+Result<MvdDeviationResult> RunMvdDeviation(const MvdDeviationConfig& config);
+
+// ---------------------------------------------------------------------------
+// Theorem 5.2 (entropy deviation, degenerate C).
+// ---------------------------------------------------------------------------
+
+/// Monte-Carlo study of ln d_A - H(A_S) for the random relation model over
+/// [d] x [d] with eta tuples.
+struct EntropyDeviationConfig {
+  uint64_t d = 64;
+  uint64_t eta = 1 << 16;
+  double delta = 0.05;
+  uint32_t trials = 50;
+  uint64_t seed = 11;
+};
+
+struct EntropyDeviationResult {
+  std::vector<double> gaps;    ///< ln d - H(A_S) per trial
+  SampleSummary gap;
+  double thm52_bound = 0.0;    ///< Eq. (41) deviation
+  double prop54_bound = 0.0;   ///< C(d_B), Eq. (46): bound on the MEAN gap
+  bool eta_qualifies = false;  ///< Eq. (40)
+  double frac_within = 0.0;    ///< fraction of trials <= thm52_bound
+};
+
+Result<EntropyDeviationResult> RunEntropyDeviation(
+    const EntropyDeviationConfig& config);
+
+}  // namespace ajd
+
+#endif  // AJD_CORE_EXPERIMENT_H_

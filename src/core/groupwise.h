@@ -1,0 +1,68 @@
+// Per-group decomposition of an MVD C ->> A | B, mirroring the structure of
+// the proof of Theorem 5.1 (Section 5.1 / Appendix C):
+//
+//  * per C-group statistics: group size N(c), per-group loss, per-group
+//    mutual information I(A;B | C=c);
+//  * the exact mixture identity I(A;B|C) = sum_c P(c) I(A;B|C=c) (Eq. 336);
+//  * the log-sum-based inequality of Eq. (44):
+//      ln(1 + rho(R, phi)) <= ln d_C - H(C) + sum_c P(c) ln(1 + rhobar(c)),
+//    where rhobar(c) = d_A d_B / N(c) - 1 uses the FULL domain sizes (the
+//    proof bounds per-group join sizes by d_A d_B);
+//  * the Lemma C.1 qualifying check: every group large enough for the
+//    Corollary 5.2.1 machinery, with the Serfling-based failure bound.
+#ifndef AJD_CORE_GROUPWISE_H_
+#define AJD_CORE_GROUPWISE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/attr_set.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace ajd {
+
+/// Statistics of one C-group.
+struct GroupStat {
+  std::vector<uint32_t> c_value;  ///< the group's C tuple
+  uint64_t n = 0;                 ///< N(c): rows in the group
+  uint64_t distinct_a = 0;        ///< |Pi_A(R_c)|
+  uint64_t distinct_b = 0;        ///< |Pi_B(R_c)|
+  double rho = 0.0;               ///< per-group loss (active counts)
+  double mi = 0.0;                ///< I(A;B | C=c), nats
+};
+
+/// Groupwise analysis of a (disjoint) MVD C ->> A | B.
+struct GroupwiseMvdReport {
+  std::vector<GroupStat> groups;
+  uint64_t n = 0;            ///< |R|
+  uint64_t d_a = 1;          ///< full domain product of A (schema sizes)
+  uint64_t d_b = 1;          ///< full domain product of B
+  uint64_t d_c = 1;          ///< full domain product of C
+  double h_c = 0.0;          ///< H(C), nats
+  double cmi = 0.0;          ///< I(A;B|C), nats
+  double mixture_cmi = 0.0;  ///< sum_c P(c) I(A;B|C=c); == cmi (Eq. 336)
+  double log1p_rho = 0.0;    ///< ln(1 + rho(R, phi))
+  double eq44_rhs = 0.0;     ///< the Eq. (44) right-hand side
+  uint64_t min_group = 0;    ///< min_c N(c)
+  double lemma_c1_threshold = 0.0;  ///< 128 d_A ln(128 d_A / delta)
+  bool lemma_c1_holds = false;      ///< min_group >= threshold
+
+  std::string ToString() const;
+};
+
+/// Computes the groupwise report for the MVD with determinant `c_attrs`
+/// and branches `a_attrs`, `b_attrs` (pairwise disjoint, jointly covering
+/// a subset of R's attributes). `delta` feeds the Lemma C.1 threshold.
+/// Requires a non-empty relation and non-empty a/b branches; `c_attrs` may
+/// be empty (single group).
+Result<GroupwiseMvdReport> AnalyzeMvdGroupwise(const Relation& r,
+                                               AttrSet a_attrs,
+                                               AttrSet b_attrs,
+                                               AttrSet c_attrs,
+                                               double delta = 0.05);
+
+}  // namespace ajd
+
+#endif  // AJD_CORE_GROUPWISE_H_

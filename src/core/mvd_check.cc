@@ -1,0 +1,67 @@
+#include "core/mvd_check.h"
+
+#include "core/loss.h"
+#include "relation/row_hash.h"
+
+namespace ajd {
+
+Result<bool> SatisfiesMvd(const Relation& r, const Mvd& mvd) {
+  Result<LossReport> loss = ComputeMvdLoss(r, mvd);
+  if (!loss.ok()) return loss.status();
+  return loss.value().rho == 0.0;
+}
+
+Result<bool> SatisfiesAjd(const Relation& r, const JoinTree& tree) {
+  if (tree.AllAttrs() != r.schema().AllAttrs()) {
+    return Status::InvalidArgument(
+        "AJD check requires the tree to cover all attributes");
+  }
+  Result<LossReport> loss = ComputeLoss(r, tree);
+  if (!loss.ok()) return loss.status();
+  return loss.value().rho == 0.0;
+}
+
+Result<bool> SatisfiesFd(const Relation& r, AttrSet lhs, AttrSet rhs) {
+  if (!lhs.Union(rhs).IsSubsetOf(r.schema().AllAttrs())) {
+    return Status::InvalidArgument(
+        "FD references attributes outside the relation");
+  }
+  if (rhs.Empty()) return true;
+  // Group rows by lhs; within a group, all rhs values must coincide.
+  std::vector<uint32_t> lhs_pos = lhs.ToIndices();
+  std::vector<uint32_t> rhs_pos = rhs.ToIndices();
+  TupleCounter groups(std::max<size_t>(lhs_pos.size(), 1), r.NumRows());
+  // First rhs tuple seen per group, stored flat.
+  std::vector<uint32_t> first_rhs;
+  std::vector<uint32_t> lhs_key(std::max<size_t>(lhs_pos.size(), 1), 0);
+  std::vector<uint32_t> rhs_key(rhs_pos.size());
+  for (uint64_t i = 0; i < r.NumRows(); ++i) {
+    const uint32_t* row = r.Row(i);
+    for (size_t k = 0; k < lhs_pos.size(); ++k) lhs_key[k] = row[lhs_pos[k]];
+    for (size_t k = 0; k < rhs_pos.size(); ++k) rhs_key[k] = row[rhs_pos[k]];
+    uint32_t idx = groups.Find(lhs_key.data());
+    if (idx == UINT32_MAX) {
+      idx = groups.Add(lhs_key.data());
+      first_rhs.insert(first_rhs.end(), rhs_key.begin(), rhs_key.end());
+      continue;
+    }
+    const uint32_t* stored = first_rhs.data() +
+                             static_cast<size_t>(idx) * rhs_pos.size();
+    for (size_t k = 0; k < rhs_pos.size(); ++k) {
+      if (stored[k] != rhs_key[k]) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> SatisfiesAllSupportMvds(const Relation& r,
+                                     const JoinTree& tree) {
+  for (const Mvd& mvd : tree.SupportMvds()) {
+    Result<bool> ok = SatisfiesMvd(r, mvd);
+    if (!ok.ok()) return ok.status();
+    if (!ok.value()) return false;
+  }
+  return true;
+}
+
+}  // namespace ajd

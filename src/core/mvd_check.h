@@ -1,0 +1,36 @@
+// Decision procedures for the dependencies themselves:
+//   R |= MVD (X ->> Y1 | Y2)     via the join-size criterion (Eq. 28 = 0),
+//   R |= AJD(S)                  via Yannakakis counting (rho = 0),
+//   and the Beeri et al. equivalence R |= AJD(S) <=> R satisfies every
+//   support MVD, exposed so downstream code can verify either side.
+#ifndef AJD_CORE_MVD_CHECK_H_
+#define AJD_CORE_MVD_CHECK_H_
+
+#include "jointree/join_tree.h"
+#include "jointree/mvd.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace ajd {
+
+/// True iff R satisfies the MVD: |Pi_a(R) join Pi_b(R)| == |R|.
+Result<bool> SatisfiesMvd(const Relation& r, const Mvd& mvd);
+
+/// True iff R satisfies the acyclic join dependency of `tree`:
+/// |join_i R[Omega_i]| == |R|. Requires chi(T) == attrs(R).
+Result<bool> SatisfiesAjd(const Relation& r, const JoinTree& tree);
+
+/// True iff R satisfies the functional dependency lhs -> rhs, i.e. no two
+/// rows agree on lhs but differ on rhs. FDs are the 1-tuple-branch special
+/// case of MVDs (Section 1). lhs may be empty (then rhs must be constant).
+Result<bool> SatisfiesFd(const Relation& r, AttrSet lhs, AttrSet rhs);
+
+/// The Beeri et al. check: evaluates every support MVD of `tree`
+/// individually; returns true iff all hold. Equivalent to SatisfiesAjd by
+/// [3, Thm 8.8] — the test suite asserts the equivalence on random inputs.
+Result<bool> SatisfiesAllSupportMvds(const Relation& r,
+                                     const JoinTree& tree);
+
+}  // namespace ajd
+
+#endif  // AJD_CORE_MVD_CHECK_H_

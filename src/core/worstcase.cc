@@ -1,0 +1,136 @@
+#include "core/worstcase.h"
+
+#include <unordered_set>
+
+#include "relation/row_hash.h"
+#include "util/math.h"
+
+namespace ajd {
+
+Result<Instance> MakeDiagonalInstance(uint64_t n) {
+  if (n == 0) return Status::InvalidArgument("n must be >= 1");
+  if (n > UINT32_MAX) return Status::CapacityExceeded("n must fit in uint32");
+  Result<Schema> schema = Schema::MakeUniform({"A", "B"}, n);
+  if (!schema.ok()) return schema.status();
+  RelationBuilder b(std::move(schema).value());
+  b.Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    b.AddRow({static_cast<uint32_t>(i), static_cast<uint32_t>(i)});
+  }
+  Relation r = std::move(b).Build(/*dedupe=*/false);
+  Result<JoinTree> tree =
+      JoinTree::Make({AttrSet{0}, AttrSet{1}}, {{0, 1}});
+  if (!tree.ok()) return tree.status();
+  return Instance{std::move(r), std::move(tree).value()};
+}
+
+Result<Instance> MakeLosslessMvdInstance(uint64_t d_a, uint64_t d_b,
+                                         uint64_t d_c, uint64_t per_group_a,
+                                         uint64_t per_group_b, Rng* rng) {
+  if (d_a == 0 || d_b == 0 || d_c == 0) {
+    return Status::InvalidArgument("domain sizes must be >= 1");
+  }
+  if (per_group_a == 0 || per_group_a > d_a || per_group_b == 0 ||
+      per_group_b > d_b) {
+    return Status::InvalidArgument(
+        "per-group sizes must be in [1, domain size]");
+  }
+  Result<Schema> schema = Schema::Make(
+      {{"A", d_a}, {"B", d_b}, {"C", d_c}});
+  if (!schema.ok()) return schema.status();
+  RelationBuilder b(std::move(schema).value());
+  // For each c in [d_c], choose per_group_a values of A and per_group_b
+  // values of B and emit their full cross product: within every C-group the
+  // relation is a product, so C ->> A | B holds exactly.
+  std::vector<uint32_t> a_vals;
+  std::vector<uint32_t> b_vals;
+  for (uint64_t c = 0; c < d_c; ++c) {
+    a_vals.clear();
+    b_vals.clear();
+    std::unordered_set<uint64_t> seen;
+    while (a_vals.size() < per_group_a) {
+      uint64_t v = rng->UniformU64(d_a);
+      if (seen.insert(v).second) a_vals.push_back(static_cast<uint32_t>(v));
+    }
+    seen.clear();
+    while (b_vals.size() < per_group_b) {
+      uint64_t v = rng->UniformU64(d_b);
+      if (seen.insert(v).second) b_vals.push_back(static_cast<uint32_t>(v));
+    }
+    for (uint32_t a : a_vals) {
+      for (uint32_t bb : b_vals) {
+        b.AddRow({a, bb, static_cast<uint32_t>(c)});
+      }
+    }
+  }
+  Relation r = std::move(b).Build(/*dedupe=*/false);
+  // Tree {A,C} - {B,C} (separator {C}).
+  Result<JoinTree> tree =
+      JoinTree::Make({AttrSet{0, 2}, AttrSet{1, 2}}, {{0, 1}});
+  if (!tree.ok()) return tree.status();
+  return Instance{std::move(r), std::move(tree).value()};
+}
+
+Result<Instance> MakeThm22DfsCounterexample() {
+  Result<Schema> schema =
+      Schema::Make({{"X", 2}, {"Y", 1}, {"Z", 2}, {"W", 2}});
+  if (!schema.ok()) return schema.status();
+  RelationBuilder b(std::move(schema).value());
+  for (uint32_t x = 0; x < 2; ++x) {
+    for (uint32_t z = 0; z < 2; ++z) b.AddRow({x, 0, z, x});
+  }
+  Relation r = std::move(b).Build(/*dedupe=*/false);
+  Result<JoinTree> tree = JoinTree::Make(
+      {AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{0, 3}}, {{0, 1}, {0, 2}});
+  if (!tree.ok()) return tree.status();
+  return Instance{std::move(r), std::move(tree).value()};
+}
+
+Result<Instance> MakeProp51Counterexample() {
+  Result<Schema> schema = Schema::Make({{"A", 4}, {"B", 2}, {"D", 4}});
+  if (!schema.ok()) return schema.status();
+  RelationBuilder b(std::move(schema).value());
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t d = 0; d < 3; ++d) b.AddRow({a, 0, d});
+  }
+  b.AddRow({3, 1, 3});
+  Relation r = std::move(b).Build(/*dedupe=*/false);
+  Result<JoinTree> tree =
+      JoinTree::Path({AttrSet{0}, AttrSet{1}, AttrSet{2}});
+  if (!tree.ok()) return tree.status();
+  return Instance{std::move(r), std::move(tree).value()};
+}
+
+Result<Relation> AddNoiseTuples(const Relation& r, uint64_t extra, Rng* rng) {
+  const uint32_t width = r.NumAttrs();
+  if (width == 0) return Status::InvalidArgument("relation has no attributes");
+  std::vector<uint64_t> dims;
+  for (uint32_t a = 0; a < width; ++a) {
+    dims.push_back(r.schema().attr(a).domain_size);
+  }
+  auto capacity = CheckedProduct(dims);
+  if (!capacity || *capacity < r.NumRows() + extra) {
+    return Status::OutOfRange(
+        "domain too small to host the requested noise tuples");
+  }
+  TupleCounter existing(width, r.NumRows() + extra);
+  for (uint64_t i = 0; i < r.NumRows(); ++i) existing.Add(r.Row(i));
+
+  RelationBuilder b(r.schema());
+  b.Reserve(r.NumRows() + extra);
+  for (uint64_t i = 0; i < r.NumRows(); ++i) b.AddRowPtr(r.Row(i));
+  std::vector<uint32_t> row(width);
+  uint64_t added = 0;
+  while (added < extra) {
+    for (uint32_t a = 0; a < width; ++a) {
+      row[a] = static_cast<uint32_t>(rng->UniformU64(dims[a]));
+    }
+    if (existing.Find(row.data()) != UINT32_MAX) continue;
+    existing.Add(row.data());
+    b.AddRow(row);
+    ++added;
+  }
+  return std::move(b).Build(/*dedupe=*/false);
+}
+
+}  // namespace ajd

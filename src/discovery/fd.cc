@@ -1,0 +1,72 @@
+#include "discovery/fd.h"
+
+#include <algorithm>
+
+namespace ajd {
+
+double FdError(EntropyCalculator* calc, AttrSet lhs, uint32_t rhs) {
+  double err = calc->ConditionalEntropy(AttrSet::Singleton(rhs), lhs);
+  return err < 0.0 && err > -1e-9 ? 0.0 : err;
+}
+
+Result<std::vector<Fd>> DiscoverFds(const Relation& r,
+                                    const FdDiscoveryOptions& options) {
+  if (r.NumRows() == 0) {
+    return Status::FailedPrecondition("empty relation");
+  }
+  const uint32_t n = r.NumAttrs();
+  if (n > 24) {
+    return Status::CapacityExceeded(
+        "FD discovery is levelwise; 24 attributes max");
+  }
+  EntropyCalculator calc(&r);
+  std::vector<Fd> found;
+  // Per-rhs list of minimal determinants found so far, for pruning.
+  std::vector<std::vector<AttrSet>> minimal(n);
+
+  const uint32_t max_lhs = std::min(options.max_lhs_size, n - 1);
+  AttrSet universe = r.schema().AllAttrs();
+  for (uint32_t size = 0; size <= max_lhs; ++size) {
+    ForEachSubsetOfSize(universe, size, [&](AttrSet lhs) {
+      for (uint32_t rhs = 0; rhs < n; ++rhs) {
+        if (lhs.Contains(rhs)) continue;
+        if (options.minimal_only) {
+          bool dominated = false;
+          for (AttrSet m : minimal[rhs]) {
+            if (m.IsSubsetOf(lhs)) {
+              dominated = true;
+              break;
+            }
+          }
+          if (dominated) continue;
+        }
+        double err = FdError(&calc, lhs, rhs);
+        if (err <= options.max_error) {
+          found.push_back({lhs, rhs, err});
+          minimal[rhs].push_back(lhs);
+        }
+      }
+    });
+  }
+  std::sort(found.begin(), found.end(), [](const Fd& a, const Fd& b) {
+    if (a.rhs != b.rhs) return a.rhs < b.rhs;
+    if (a.lhs.Count() != b.lhs.Count()) return a.lhs.Count() < b.lhs.Count();
+    return a.lhs < b.lhs;
+  });
+  return found;
+}
+
+std::string Fd::ToString(const Schema& schema) const {
+  std::string s = "{";
+  bool first = true;
+  lhs.ForEach([&](uint32_t pos) {
+    if (!first) s += ",";
+    first = false;
+    s += schema.attr(pos).name;
+  });
+  s += "} -> " + schema.attr(rhs).name;
+  if (error > 0.0) s += " (err " + std::to_string(error) + ")";
+  return s;
+}
+
+}  // namespace ajd

@@ -1,0 +1,51 @@
+// Approximate functional-dependency discovery. FDs are the degenerate
+// dependencies the paper's Section 1 places at the bottom of the hierarchy
+// (FD => MVD => JD); profiling them alongside the mined acyclic schema
+// explains WHY a decomposition is lossless (e.g. course -> teacher makes
+// course ->> student | teacher hold).
+//
+// The error measure is information-theoretic to match the rest of the
+// library: err(lhs -> rhs) = H(rhs | lhs) in nats, which is 0 iff the FD
+// holds exactly.
+#ifndef AJD_DISCOVERY_FD_H_
+#define AJD_DISCOVERY_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "info/entropy.h"
+#include "relation/attr_set.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace ajd {
+
+/// A (possibly approximate) functional dependency lhs -> rhs.
+struct Fd {
+  AttrSet lhs;
+  uint32_t rhs = 0;      ///< single right-hand attribute position
+  double error = 0.0;    ///< H(rhs | lhs), nats; 0 iff exact
+
+  /// "{a,b} -> c (err)" with attribute names.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Options for discovery.
+struct FdDiscoveryOptions {
+  uint32_t max_lhs_size = 2;   ///< determinant size cap
+  double max_error = 1e-9;     ///< report FDs with H(rhs|lhs) <= this
+  bool minimal_only = true;    ///< drop lhs supersets of reported lhs
+};
+
+/// Levelwise discovery of (approximate) FDs. Intended for profiling-scale
+/// schemas (InvalidArgument beyond 24 attributes: the lattice explodes).
+/// Results are sorted by (rhs, lhs size, lhs mask).
+Result<std::vector<Fd>> DiscoverFds(const Relation& r,
+                                    const FdDiscoveryOptions& options = {});
+
+/// The information-theoretic FD error H(rhs | lhs) for one candidate.
+double FdError(EntropyCalculator* calc, AttrSet lhs, uint32_t rhs);
+
+}  // namespace ajd
+
+#endif  // AJD_DISCOVERY_FD_H_

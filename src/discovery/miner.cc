@@ -1,0 +1,337 @@
+#include "discovery/miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/bounds.h"
+#include "info/entropy.h"
+#include "info/j_measure.h"
+#include "util/string_util.h"
+
+namespace ajd {
+
+namespace {
+
+// A candidate split of one bag.
+struct SplitCandidate {
+  AttrSet separator;
+  AttrSet side_a;  // A u C
+  AttrSet side_b;  // B u C
+  double cmi = std::numeric_limits<double>::infinity();
+  double sep_entropy = std::numeric_limits<double>::infinity();
+  bool valid = false;
+};
+
+// Ordering on candidates: primarily by CMI; ties (within tolerance) go to
+// the separator with smaller entropy. Without the tie-break, conditioning
+// on a key attribute always achieves CMI = 0 while duplicating the key into
+// every bag — a useless decomposition for storage.
+bool BetterThan(const SplitCandidate& a, const SplitCandidate& b) {
+  if (!a.valid) return false;
+  if (!b.valid) return true;
+  if (a.cmi < b.cmi - 1e-12) return true;
+  if (a.cmi > b.cmi + 1e-12) return false;
+  return a.sep_entropy < b.sep_entropy - 1e-12;
+}
+
+// The units that must stay on one side of a split: the (separator-minus-C)
+// groups of existing neighbor edges, plus singletons for loose attributes.
+std::vector<AttrSet> BuildUnits(AttrSet bag, AttrSet c,
+                                const std::vector<AttrSet>& neighbor_seps) {
+  std::vector<AttrSet> units;
+  AttrSet grouped;
+  for (AttrSet sep : neighbor_seps) {
+    AttrSet residual = sep.Minus(c);
+    if (residual.Empty()) continue;
+    // Merge overlapping residuals into one unit (both constraints then pin
+    // the union to a single side).
+    AttrSet merged = residual;
+    std::vector<AttrSet> next_units;
+    for (AttrSet u : units) {
+      if (!u.DisjointFrom(merged)) {
+        merged = merged.Union(u);
+      } else {
+        next_units.push_back(u);
+      }
+    }
+    next_units.push_back(merged);
+    units = std::move(next_units);
+    grouped = grouped.Union(residual);
+  }
+  AttrSet loose = bag.Minus(c).Minus(grouped);
+  loose.ForEach([&](uint32_t a) { units.push_back(AttrSet::Singleton(a)); });
+  return units;
+}
+
+// Scores an assignment (bitmask over units: 1 = side A) and returns the CMI.
+double ScoreAssignment(EntropyCalculator* calc,
+                       const std::vector<AttrSet>& units, uint64_t mask,
+                       AttrSet c, AttrSet* side_a, AttrSet* side_b) {
+  AttrSet a, b;
+  for (size_t u = 0; u < units.size(); ++u) {
+    if ((mask >> u) & 1) {
+      a = a.Union(units[u]);
+    } else {
+      b = b.Union(units[u]);
+    }
+  }
+  *side_a = a.Union(c);
+  *side_b = b.Union(c);
+  return calc->ConditionalMutualInformation(a, b, c);
+}
+
+// Finds the best bipartition of `units` for separator `c` (min CMI), by
+// exhaustive enumeration when feasible, hill climbing otherwise. Both sides
+// must be non-empty.
+SplitCandidate BestBipartition(EntropyCalculator* calc,
+                      const std::vector<AttrSet>& units, AttrSet c,
+                      const MinerOptions& options, Rng* rng) {
+  SplitCandidate best;
+  best.separator = c;
+  const size_t k = units.size();
+  if (k < 2) return best;  // cannot split
+
+  if (k <= 16) {
+    const uint64_t total = uint64_t{1} << k;
+    // Skip empty/full masks; halve the space by fixing unit 0 on side A.
+    for (uint64_t mask = 1; mask < total; ++mask) {
+      if ((mask & 1) == 0) continue;        // unit 0 pinned to A
+      if (mask == total - 1) continue;      // side B empty
+      AttrSet sa, sb;
+      double cmi = ScoreAssignment(calc, units, mask, c, &sa, &sb);
+      if (cmi < best.cmi) {
+        best.cmi = cmi;
+        best.side_a = sa;
+        best.side_b = sb;
+        best.valid = true;
+      }
+    }
+    return best;
+  }
+
+  // Hill climbing with restarts: flip single units while it improves.
+  for (uint32_t restart = 0; restart < options.hill_climb_restarts;
+       ++restart) {
+    uint64_t mask = 0;
+    // Random non-trivial start.
+    for (size_t u = 0; u < k; ++u) {
+      if (rng->Bernoulli(0.5)) mask |= uint64_t{1} << u;
+    }
+    if (mask == 0) mask = 1;
+    if (mask == (uint64_t{1} << k) - 1) mask &= ~uint64_t{1};
+    AttrSet sa, sb;
+    double current = ScoreAssignment(calc, units, mask, c, &sa, &sb);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (size_t u = 0; u < k; ++u) {
+        uint64_t flipped = mask ^ (uint64_t{1} << u);
+        if (flipped == 0 || flipped == (uint64_t{1} << k) - 1) continue;
+        AttrSet ta, tb;
+        double cmi = ScoreAssignment(calc, units, flipped, c, &ta, &tb);
+        if (cmi < current - 1e-15) {
+          current = cmi;
+          mask = flipped;
+          sa = ta;
+          sb = tb;
+          improved = true;
+        }
+      }
+    }
+    if (current < best.cmi) {
+      best.cmi = current;
+      best.side_a = sa;
+      best.side_b = sb;
+      best.valid = true;
+    }
+  }
+  return best;
+}
+
+// Finds the best split of `bag` over all separators up to the size cap.
+SplitCandidate BestSplit(EntropyCalculator* calc, AttrSet bag,
+                const std::vector<AttrSet>& neighbor_seps,
+                const MinerOptions& options, Rng* rng) {
+  SplitCandidate best;
+  uint32_t max_sep = std::min(options.max_separator_size, bag.Count());
+  for (uint32_t size = 0; size <= max_sep; ++size) {
+    ForEachSubsetOfSize(bag, size, [&](AttrSet c) {
+      std::vector<AttrSet> units = BuildUnits(bag, c, neighbor_seps);
+      SplitCandidate s = BestBipartition(calc, units, c, options, rng);
+      if (!s.valid) return;
+      s.sep_entropy = calc->Entropy(c);
+      if (BetterThan(s, best)) best = s;
+    });
+  }
+  return best;
+}
+
+// Mutable tree under construction.
+struct WorkTree {
+  std::vector<AttrSet> bags;
+  std::vector<bool> alive;
+  // Edges as (u, v) pairs over work indexes; dead nodes have no edges.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+
+  std::vector<uint32_t> NeighborsOf(uint32_t v) const {
+    std::vector<uint32_t> out;
+    for (auto [a, b] : edges) {
+      if (a == v) out.push_back(b);
+      if (b == v) out.push_back(a);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<MinerReport> MineJoinTree(const Relation& r,
+                                 const MinerOptions& options) {
+  if (r.NumAttrs() < 2) {
+    return Status::InvalidArgument("miner needs at least two attributes");
+  }
+  if (r.NumRows() == 0) {
+    return Status::InvalidArgument("miner needs a non-empty relation");
+  }
+  EntropyCalculator calc(&r);
+  Rng rng(options.seed);
+
+  WorkTree work;
+  work.bags.push_back(r.schema().AllAttrs());
+  work.alive.push_back(true);
+
+  std::vector<SplitRecord> splits;
+  double sum_cmi = 0.0;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (uint32_t v = 0; v < work.bags.size(); ++v) {
+      if (!work.alive[v]) continue;
+      AttrSet bag = work.bags[v];
+      if (bag.Count() < 2) continue;
+      std::vector<uint32_t> neighbors = work.NeighborsOf(v);
+      std::vector<AttrSet> neighbor_seps;
+      neighbor_seps.reserve(neighbors.size());
+      for (uint32_t u : neighbors) {
+        neighbor_seps.push_back(bag.Intersect(work.bags[u]));
+      }
+      SplitCandidate split = BestSplit(&calc, bag, neighbor_seps, options, &rng);
+      if (!split.valid) continue;
+      const bool forced = bag.Count() > options.max_bag_size;
+      if (!forced && split.cmi > options.cmi_threshold) continue;
+
+      // Apply: v becomes side A; a fresh node becomes side B.
+      uint32_t vb = static_cast<uint32_t>(work.bags.size());
+      work.bags[v] = split.side_a;
+      work.bags.push_back(split.side_b);
+      work.alive.push_back(true);
+      // Re-attach neighbors to the side containing their separator.
+      for (auto& [a, b] : work.edges) {
+        uint32_t* endpoint = nullptr;
+        uint32_t other = 0;
+        if (a == v) {
+          endpoint = &a;
+          other = b;
+        } else if (b == v) {
+          endpoint = &b;
+          other = a;
+        } else {
+          continue;
+        }
+        AttrSet sep = work.bags[other].Intersect(bag);
+        if (!sep.IsSubsetOf(split.side_a)) {
+          AJD_CHECK(sep.IsSubsetOf(split.side_b));
+          *endpoint = vb;
+        }
+      }
+      work.edges.emplace_back(v, vb);
+      splits.push_back({split.separator, split.side_a, split.side_b,
+                        std::max(split.cmi, 0.0)});
+      sum_cmi += std::max(split.cmi, 0.0);
+      progress = true;
+    }
+  }
+
+  // Contract bags contained in a neighbor (keeps the schema reduced).
+  bool contracted = true;
+  while (contracted) {
+    contracted = false;
+    for (uint32_t v = 0; v < work.bags.size() && !contracted; ++v) {
+      if (!work.alive[v]) continue;
+      for (uint32_t u : work.NeighborsOf(v)) {
+        if (work.bags[v].IsSubsetOf(work.bags[u])) {
+          // Move v's other edges to u, drop v.
+          std::vector<std::pair<uint32_t, uint32_t>> next_edges;
+          for (auto [a, b] : work.edges) {
+            if ((a == v && b == u) || (a == u && b == v)) continue;
+            if (a == v) a = u;
+            if (b == v) b = u;
+            next_edges.emplace_back(a, b);
+          }
+          work.edges = std::move(next_edges);
+          work.alive[v] = false;
+          contracted = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Compact to final ids and build the validated JoinTree.
+  std::vector<uint32_t> remap(work.bags.size(), UINT32_MAX);
+  std::vector<AttrSet> bags;
+  for (uint32_t v = 0; v < work.bags.size(); ++v) {
+    if (work.alive[v]) {
+      remap[v] = static_cast<uint32_t>(bags.size());
+      bags.push_back(work.bags[v]);
+    }
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (auto [a, b] : work.edges) {
+    AJD_CHECK(remap[a] != UINT32_MAX && remap[b] != UINT32_MAX);
+    edges.emplace_back(remap[a], remap[b]);
+  }
+  Result<JoinTree> tree = JoinTree::Make(std::move(bags), std::move(edges));
+  if (!tree.ok()) {
+    return Status::Internal("miner produced an invalid tree: " +
+                            tree.status().ToString());
+  }
+
+  MinerReport report{std::move(tree).value(), std::move(splits), sum_cmi,
+                     0.0, 0.0};
+  report.j = JMeasure(&calc, report.tree);
+  report.rho_lower_bound = RhoLowerBoundFromJ(report.j);
+  return report;
+}
+
+std::string MinerReport::ToString(const Schema& schema) const {
+  auto names = [&schema](AttrSet s) {
+    std::string out = "{";
+    bool first = true;
+    s.ForEach([&](uint32_t pos) {
+      if (!first) out += ",";
+      first = false;
+      out += schema.attr(pos).name;
+    });
+    return out + "}";
+  };
+  std::string s = "Mined join tree with " +
+                  std::to_string(tree.NumNodes()) + " bags:\n";
+  for (uint32_t v = 0; v < tree.NumNodes(); ++v) {
+    s += "  bag " + std::to_string(v) + " = " + names(tree.bag(v)) + "\n";
+  }
+  s += "splits:\n";
+  for (const SplitRecord& sp : splits) {
+    s += "  " + names(sp.separator) + " ->> " + names(sp.side_a) + " | " +
+         names(sp.side_b) + "  CMI = " + FormatDouble(sp.cmi) + "\n";
+  }
+  s += "sum split CMI = " + FormatDouble(sum_split_cmi) +
+       " (>= J), J = " + FormatDouble(j) +
+       ", Lemma 4.1 loss lower bound rho >= " +
+       FormatDouble(rho_lower_bound) + "\n";
+  return s;
+}
+
+}  // namespace ajd

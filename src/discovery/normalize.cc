@@ -1,0 +1,118 @@
+#include "discovery/normalize.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ajd {
+
+AttrSet Closure(AttrSet attrs, const std::vector<Fd>& fds) {
+  AttrSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds) {
+      if (fd.lhs.IsSubsetOf(closure) && !closure.Contains(fd.rhs)) {
+        closure.Add(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const std::vector<Fd>& fds, AttrSet lhs, AttrSet rhs) {
+  return rhs.IsSubsetOf(Closure(lhs, fds));
+}
+
+Result<std::vector<AttrSet>> CandidateKeys(AttrSet universe,
+                                           const std::vector<Fd>& fds) {
+  if (universe.Count() > 20) {
+    return Status::CapacityExceeded(
+        "candidate-key search is exponential; 20 attributes max");
+  }
+  std::vector<AttrSet> keys;
+  // Enumerate subsets by increasing size; a set is a candidate key iff its
+  // closure is the universe and no smaller key is contained in it.
+  for (uint32_t size = 0; size <= universe.Count(); ++size) {
+    ForEachSubsetOfSize(universe, size, [&](AttrSet s) {
+      for (AttrSet k : keys) {
+        if (k.IsSubsetOf(s)) return;  // superset of a key: not minimal
+      }
+      if (Closure(s, fds).IsSubsetOf(universe) &&
+          universe.IsSubsetOf(Closure(s, fds))) {
+        keys.push_back(s);
+      }
+    });
+  }
+  return keys;
+}
+
+BcnfViolation FindBcnfViolation(AttrSet bag, const std::vector<Fd>& fds) {
+  BcnfViolation out;
+  // A violation is a set X inside the bag whose closure gains some bag
+  // attribute beyond X but does not reach the whole bag. Searching subsets
+  // by increasing size finds the most "local" violation first.
+  const uint32_t n = bag.Count();
+  for (uint32_t size = 1; size < n && !out.found; ++size) {
+    ForEachSubsetOfSize(bag, size, [&](AttrSet x) {
+      if (out.found) return;
+      AttrSet closure_in_bag = Closure(x, fds).Intersect(bag);
+      if (closure_in_bag == x) return;            // nothing gained
+      if (bag.IsSubsetOf(closure_in_bag)) return;  // X is a superkey: fine
+      out.found = true;
+      out.lhs = x;
+      out.closure_in_bag = closure_in_bag;
+    });
+  }
+  return out;
+}
+
+bool IsBcnf(AttrSet bag, const std::vector<Fd>& fds) {
+  return !FindBcnfViolation(bag, fds).found;
+}
+
+Result<std::vector<AttrSet>> BcnfDecompose(AttrSet universe,
+                                           const std::vector<Fd>& fds) {
+  if (universe.Count() > 20) {
+    return Status::CapacityExceeded(
+        "BCNF decomposition search is exponential; 20 attributes max");
+  }
+  std::vector<AttrSet> work = {universe};
+  std::vector<AttrSet> done;
+  while (!work.empty()) {
+    AttrSet bag = work.back();
+    work.pop_back();
+    BcnfViolation violation = FindBcnfViolation(bag, fds);
+    if (!violation.found) {
+      done.push_back(bag);
+      continue;
+    }
+    // Split on X -> (closure cap bag): one bag holds X with everything it
+    // determines inside the bag, the other keeps X plus the remainder.
+    AttrSet with_closure = violation.closure_in_bag;
+    AttrSet remainder =
+        bag.Minus(violation.closure_in_bag).Union(violation.lhs);
+    AJD_CHECK(with_closure != bag && remainder != bag);
+    work.push_back(with_closure);
+    work.push_back(remainder);
+  }
+  // Drop bags contained in others (keep the schema reduced).
+  std::vector<AttrSet> reduced;
+  for (AttrSet b : done) {
+    bool contained = false;
+    for (AttrSet other : done) {
+      if (other != b && b.IsSubsetOf(other)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) reduced.push_back(b);
+  }
+  // Deduplicate identical bags.
+  std::sort(reduced.begin(), reduced.end());
+  reduced.erase(std::unique(reduced.begin(), reduced.end()), reduced.end());
+  return reduced;
+}
+
+}  // namespace ajd

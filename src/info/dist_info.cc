@@ -1,0 +1,102 @@
+#include "info/dist_info.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ajd {
+
+double MarginalEntropy(const SparseDistribution& p, AttrSet attrs) {
+  std::vector<uint32_t> positions = attrs.ToIndices();
+  for (uint32_t pos : positions) AJD_CHECK(pos < p.arity());
+  return p.Marginal(positions).Entropy();
+}
+
+double JMeasureOfDistribution(const SparseDistribution& p,
+                              const JoinTree& tree) {
+  AJD_CHECK(tree.AllAttrs().IsSubsetOf(AttrSet::Range(
+      static_cast<uint32_t>(p.arity()))));
+  double j = 0.0;
+  for (uint32_t v = 0; v < tree.NumNodes(); ++v) {
+    j += MarginalEntropy(p, tree.bag(v));
+  }
+  for (const auto& [u, v] : tree.Edges()) {
+    j -= MarginalEntropy(p, tree.bag(u).Intersect(tree.bag(v)));
+  }
+  j -= MarginalEntropy(p, tree.AllAttrs());
+  return j < 0.0 && j > -1e-9 ? 0.0 : j;
+}
+
+DistFactorized::DistFactorized(const SparseDistribution& p,
+                               const JoinTree& tree, uint32_t root)
+    : p_(&p) {
+  DfsDecomposition dec = tree.Decompose(root);
+  auto make_factor = [&p](AttrSet attrs) {
+    Factor f;
+    f.positions = attrs.ToIndices();
+    f.marginal = p.Marginal(f.positions);
+    return f;
+  };
+  for (uint32_t v = 0; v < tree.NumNodes(); ++v) {
+    bag_factors_.push_back(make_factor(tree.bag(v)));
+  }
+  for (const DfsStep& s : dec.steps) {
+    sep_factors_.push_back(make_factor(s.delta));
+  }
+}
+
+double DistFactorized::FactorProb(const Factor& f,
+                                  const uint32_t* tuple) const {
+  if (f.positions.empty()) return 1.0;
+  uint32_t key[kMaxAttrs];
+  for (size_t k = 0; k < f.positions.size(); ++k) {
+    key[k] = tuple[f.positions[k]];
+  }
+  return f.marginal.Prob(key);
+}
+
+double DistFactorized::Density(const uint32_t* tuple) const {
+  double num = 1.0;
+  for (const Factor& f : bag_factors_) {
+    double p = FactorProb(f, tuple);
+    if (p == 0.0) return 0.0;
+    num *= p;
+  }
+  double den = 1.0;
+  for (const Factor& f : sep_factors_) {
+    double p = FactorProb(f, tuple);
+    AJD_CHECK(p > 0.0);
+    den *= p;
+  }
+  return num / den;
+}
+
+double DistFactorized::KlFromSource() const {
+  double kl = 0.0;
+  for (uint32_t i = 0; i < p_->SupportSize(); ++i) {
+    double pi = p_->ProbAt(i);
+    if (pi <= 0.0) continue;
+    double qi = Density(p_->TupleAt(i));
+    AJD_CHECK_MSG(qi > 0.0, "P^T must dominate P on its support");
+    kl += pi * std::log(pi / qi);
+  }
+  return kl < 0.0 && kl > -1e-9 ? 0.0 : kl;
+}
+
+double KlToFactorizedOf(const SparseDistribution& p,
+                        const SparseDistribution& q, const JoinTree& tree) {
+  AJD_CHECK(p.arity() == q.arity());
+  DistFactorized qt(q, tree);
+  double kl = 0.0;
+  for (uint32_t i = 0; i < p.SupportSize(); ++i) {
+    double pi = p.ProbAt(i);
+    if (pi <= 0.0) continue;
+    double qi = qt.Density(p.TupleAt(i));
+    if (qi <= 0.0) return std::numeric_limits<double>::infinity();
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+}  // namespace ajd

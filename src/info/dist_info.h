@@ -1,0 +1,68 @@
+// Distribution-level information machinery: Theorem 3.2 holds for ANY
+// joint probability distribution P, not only the empirical distribution of
+// a relation. This module evaluates, over a SparseDistribution whose tuple
+// positions are the attribute positions of a join tree:
+//
+//   * marginal entropies and the J-measure J(T) (Eq. 7),
+//   * the factorized distribution P^T (Eq. 10) pointwise,
+//   * D_KL(P || P^T), which Theorem 3.2 says equals J(T),
+//   * D_KL(P || Q) against any other tree-factorized Q (Lemma 3.4 says the
+//     minimum over Q |= T is attained at Q = P^T).
+//
+// The test suite uses this to verify Theorem 3.2 and Lemma 3.4 on random
+// NON-UNIFORM distributions — a strictly stronger check than the
+// relation-level one.
+#ifndef AJD_INFO_DIST_INFO_H_
+#define AJD_INFO_DIST_INFO_H_
+
+#include "info/distribution.h"
+#include "jointree/join_tree.h"
+
+namespace ajd {
+
+/// Entropy (nats) of the marginal of `p` over attribute positions `attrs`
+/// (positions index into the tuple; must be < p.arity()).
+double MarginalEntropy(const SparseDistribution& p, AttrSet attrs);
+
+/// J(T) of Eq. (7) over an arbitrary joint distribution `p` whose tuple
+/// positions 0..arity-1 carry the join tree's attributes. chi(T) must be a
+/// subset of the positions.
+double JMeasureOfDistribution(const SparseDistribution& p,
+                              const JoinTree& tree);
+
+/// P^T evaluated over the support of `p` plus the factor tables, for
+/// arbitrary `p` (Eq. 10). Lightweight: holds the bag and separator
+/// marginals of `p`.
+class DistFactorized {
+ public:
+  DistFactorized(const SparseDistribution& p, const JoinTree& tree,
+                 uint32_t root = 0);
+
+  /// P^T(x) for a full tuple over p's positions.
+  double Density(const uint32_t* tuple) const;
+
+  /// D_KL(p || P^T) in nats; equals J(T) by Theorem 3.2.
+  double KlFromSource() const;
+
+ private:
+  struct Factor {
+    std::vector<uint32_t> positions;
+    SparseDistribution marginal{0};
+  };
+  double FactorProb(const Factor& f, const uint32_t* tuple) const;
+
+  const SparseDistribution* p_;
+  std::vector<Factor> bag_factors_;
+  std::vector<Factor> sep_factors_;
+};
+
+/// D_KL(p || q^T) where q^T is the factorized distribution of ANOTHER
+/// distribution `q` over the same positions and the same tree — used to
+/// verify Lemma 3.4: the KL projection onto {Q : Q |= T} is p^T itself,
+/// i.e. KL(p || p^T) <= KL(p || q^T) for every q.
+double KlToFactorizedOf(const SparseDistribution& p,
+                        const SparseDistribution& q, const JoinTree& tree);
+
+}  // namespace ajd
+
+#endif  // AJD_INFO_DIST_INFO_H_

@@ -1,0 +1,117 @@
+#include "info/distribution.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/math.h"
+
+namespace ajd {
+
+SparseDistribution::SparseDistribution(size_t arity)
+    : arity_(arity), keys_(std::max<size_t>(arity, 1)) {}
+
+SparseDistribution SparseDistribution::Empirical(const Relation& r,
+                                                 AttrSet attrs) {
+  AJD_CHECK(attrs.IsSubsetOf(r.schema().AllAttrs()));
+  std::vector<uint32_t> positions = attrs.ToIndices();
+  SparseDistribution dist(positions.size());
+  if (r.NumRows() == 0) return dist;
+  const double w = 1.0 / static_cast<double>(r.NumRows());
+  if (positions.empty()) {
+    for (uint64_t i = 0; i < r.NumRows(); ++i) dist.Add(nullptr, w);
+    return dist;
+  }
+  std::vector<uint32_t> key(positions.size());
+  for (uint64_t i = 0; i < r.NumRows(); ++i) {
+    const uint32_t* row = r.Row(i);
+    for (size_t k = 0; k < positions.size(); ++k) key[k] = row[positions[k]];
+    dist.Add(key.data(), w);
+  }
+  return dist;
+}
+
+void SparseDistribution::Add(const uint32_t* tuple, double prob) {
+  if (arity_ == 0) {
+    mass0_ += prob;
+    return;
+  }
+  uint32_t idx = keys_.Find(tuple);
+  if (idx == UINT32_MAX) {
+    idx = keys_.Add(tuple);
+    probs_.push_back(0.0);
+  }
+  probs_[idx] += prob;
+}
+
+double SparseDistribution::Prob(const uint32_t* tuple) const {
+  if (arity_ == 0) return mass0_;
+  uint32_t idx = keys_.Find(tuple);
+  return idx == UINT32_MAX ? 0.0 : probs_[idx];
+}
+
+double SparseDistribution::TotalMass() const {
+  if (arity_ == 0) return mass0_;
+  double total = 0.0;
+  for (double p : probs_) total += p;
+  return total;
+}
+
+double SparseDistribution::Entropy() const {
+  if (arity_ == 0) return 0.0;
+  double h = 0.0;
+  for (double p : probs_) h -= XLogX(p);
+  return h;
+}
+
+SparseDistribution SparseDistribution::Marginal(
+    const std::vector<uint32_t>& local_positions) const {
+  for (size_t k = 0; k < local_positions.size(); ++k) {
+    AJD_CHECK(local_positions[k] < arity_);
+    if (k > 0) AJD_CHECK(local_positions[k] > local_positions[k - 1]);
+  }
+  SparseDistribution out(local_positions.size());
+  if (arity_ == 0) {
+    out.mass0_ = mass0_;
+    return out;
+  }
+  std::vector<uint32_t> key(local_positions.size());
+  for (uint32_t i = 0; i < probs_.size(); ++i) {
+    const uint32_t* t = keys_.TupleAt(i);
+    for (size_t k = 0; k < local_positions.size(); ++k) {
+      key[k] = t[local_positions[k]];
+    }
+    out.Add(local_positions.empty() ? nullptr : key.data(), probs_[i]);
+  }
+  return out;
+}
+
+double KlDivergence(const SparseDistribution& p, const SparseDistribution& q) {
+  AJD_CHECK(p.arity() == q.arity());
+  if (p.arity() == 0) return 0.0;
+  double kl = 0.0;
+  for (uint32_t i = 0; i < p.SupportSize(); ++i) {
+    double pi = p.ProbAt(i);
+    if (pi <= 0.0) continue;
+    double qi = q.Prob(p.TupleAt(i));
+    if (qi <= 0.0) return std::numeric_limits<double>::infinity();
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+double TotalVariation(const SparseDistribution& p,
+                      const SparseDistribution& q) {
+  AJD_CHECK(p.arity() == q.arity());
+  if (p.arity() == 0) return 0.5 * std::fabs(p.TotalMass() - q.TotalMass());
+  double sum = 0.0;
+  for (uint32_t i = 0; i < p.SupportSize(); ++i) {
+    sum += std::fabs(p.ProbAt(i) - q.Prob(p.TupleAt(i)));
+  }
+  // Mass of q outside p's support.
+  for (uint32_t i = 0; i < q.SupportSize(); ++i) {
+    if (p.Prob(q.TupleAt(i)) == 0.0) sum += q.ProbAt(i);
+  }
+  return 0.5 * sum;
+}
+
+}  // namespace ajd

@@ -1,0 +1,78 @@
+// SparseDistribution: a discrete probability distribution over fixed-arity
+// uint32 tuples, stored sparsely (support only). This is the concrete
+// representation of the paper's empirical distributions and their marginals
+// (Section 2.2).
+#ifndef AJD_INFO_DISTRIBUTION_H_
+#define AJD_INFO_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/attr_set.h"
+#include "relation/relation.h"
+#include "relation/row_hash.h"
+
+namespace ajd {
+
+/// A sparse distribution: tuple -> probability mass.
+class SparseDistribution {
+ public:
+  /// Creates an empty distribution over tuples of `arity` words.
+  /// Arity 0 is allowed and represents the distribution of an empty
+  /// variable set (a single point of mass once Add'ed).
+  explicit SparseDistribution(size_t arity);
+
+  /// The empirical marginal distribution of `r` over `attrs`:
+  /// P(y) = |{rows i : row_i[attrs] = y}| / N. `attrs` may be empty (point
+  /// mass). Multiset relations are weighted by multiplicity.
+  static SparseDistribution Empirical(const Relation& r, AttrSet attrs);
+
+  /// Accumulates `prob` mass on `tuple` (arity words; ignored for arity 0).
+  void Add(const uint32_t* tuple, double prob);
+
+  /// Tuple arity.
+  size_t arity() const { return arity_; }
+
+  /// Number of support points.
+  size_t SupportSize() const { return probs_.size(); }
+
+  /// The i-th support tuple (arity words; nullptr semantics for arity 0).
+  const uint32_t* TupleAt(uint32_t i) const {
+    return arity_ == 0 ? nullptr : keys_.TupleAt(i);
+  }
+
+  /// The probability of the i-th support point.
+  double ProbAt(uint32_t i) const { return probs_[i]; }
+
+  /// The probability of `tuple` (0 when outside the support).
+  double Prob(const uint32_t* tuple) const;
+
+  /// Total mass (1.0 for a proper distribution, up to rounding).
+  double TotalMass() const;
+
+  /// Shannon entropy in nats: -sum p ln p over the support.
+  double Entropy() const;
+
+  /// Marginal over `local_positions` (positions within the tuple). The
+  /// positions must be strictly increasing and < arity().
+  SparseDistribution Marginal(
+      const std::vector<uint32_t>& local_positions) const;
+
+ private:
+  size_t arity_;
+  TupleCounter keys_;          // tuple -> dense index (counts unused)
+  std::vector<double> probs_;  // probability per dense index
+  double mass0_ = 0.0;         // mass for arity 0
+};
+
+/// KL divergence D(p || q) in nats. Requires both to have the same arity.
+/// Returns +infinity if p puts mass outside q's support.
+double KlDivergence(const SparseDistribution& p, const SparseDistribution& q);
+
+/// Total variation distance (1/2) sum |p - q| over the union of supports.
+double TotalVariation(const SparseDistribution& p,
+                      const SparseDistribution& q);
+
+}  // namespace ajd
+
+#endif  // AJD_INFO_DISTRIBUTION_H_

@@ -1,0 +1,55 @@
+// Entropies and (conditional) mutual information over the empirical
+// distribution of a relation (Section 2.2, Eqs. 2-4). All values in nats.
+//
+// EntropyCalculator memoizes per-attribute-set entropies: the J-measure,
+// Theorem 2.2 sandwiches, and the schema miner all evaluate many overlapping
+// entropy terms over the same relation.
+#ifndef AJD_INFO_ENTROPY_H_
+#define AJD_INFO_ENTROPY_H_
+
+#include <unordered_map>
+
+#include "relation/attr_set.h"
+#include "relation/relation.h"
+
+namespace ajd {
+
+/// H(attrs) over the empirical distribution of r, in nats. H(empty) = 0.
+/// For a duplicate-free relation, H(all attrs) = ln N.
+double EntropyOf(const Relation& r, AttrSet attrs);
+
+/// Memoizing entropy oracle over one relation.
+///
+/// The relation must outlive the calculator.
+class EntropyCalculator {
+ public:
+  explicit EntropyCalculator(const Relation* r) : r_(r) {}
+
+  /// H(attrs) in nats, memoized.
+  double Entropy(AttrSet attrs);
+
+  /// H(a | c) = H(a u c) - H(c).
+  double ConditionalEntropy(AttrSet a, AttrSet c);
+
+  /// I(a ; b | c) = H(a u c) + H(b u c) - H(a u b u c) - H(c)  (Eq. 4).
+  /// The sets may overlap; overlapping variables contribute their
+  /// conditional entropy, matching the paper's usage.
+  double ConditionalMutualInformation(AttrSet a, AttrSet b, AttrSet c);
+
+  /// I(a ; b) = I(a ; b | empty).
+  double MutualInformation(AttrSet a, AttrSet b);
+
+  /// The relation being measured.
+  const Relation& relation() const { return *r_; }
+
+  /// Number of distinct entropy terms computed so far (cache size).
+  size_t CacheSize() const { return cache_.size(); }
+
+ private:
+  const Relation* r_;
+  std::unordered_map<AttrSet, double, AttrSetHash> cache_;
+};
+
+}  // namespace ajd
+
+#endif  // AJD_INFO_ENTROPY_H_

@@ -1,0 +1,137 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace ajd {
+
+namespace {
+
+// Splits one CSV line honoring double-quoted fields with doubled quotes.
+std::vector<std::string> SplitCsvLine(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& s, char sep) {
+  return s.find(sep) != std::string::npos ||
+         s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s, char sep) {
+  if (!NeedsQuoting(s, sep)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> ReadCsv(std::istream& in, const CsvOptions& options) {
+  std::string line;
+  std::vector<std::string> header;
+  bool have_header = false;
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line, options.separator);
+    if (!have_header) {
+      if (options.has_header) {
+        header = std::move(fields);
+        have_header = true;
+        continue;
+      }
+      header.reserve(fields.size());
+      for (size_t i = 0; i < fields.size(); ++i) {
+        header.push_back("col" + std::to_string(i));
+      }
+      have_header = true;
+    }
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "ragged CSV row: expected " + std::to_string(header.size()) +
+          " fields, got " + std::to_string(fields.size()));
+    }
+    rows.push_back(std::move(fields));
+  }
+  if (!have_header) return Status::InvalidArgument("empty CSV input");
+
+  Result<Schema> schema = Schema::MakeUniform(header, 0);
+  if (!schema.ok()) return schema.status();
+  RelationBuilder b(std::move(schema).value());
+  b.Reserve(rows.size());
+  for (const auto& row : rows) b.AddStringRow(row);
+  return std::move(b).Build(options.dedupe);
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadCsv(in, options);
+}
+
+Status WriteCsv(const Relation& r, std::ostream& out, char separator) {
+  for (uint32_t a = 0; a < r.NumAttrs(); ++a) {
+    if (a > 0) out << separator;
+    out << QuoteField(r.schema().attr(a).name, separator);
+  }
+  out << '\n';
+  for (uint64_t i = 0; i < r.NumRows(); ++i) {
+    for (uint32_t a = 0; a < r.NumAttrs(); ++a) {
+      if (a > 0) out << separator;
+      uint32_t code = r.At(i, a);
+      const Dictionary* d = r.dict(a);
+      if (d != nullptr) {
+        out << QuoteField(d->ValueOf(code), separator);
+      } else {
+        out << code;
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("stream write failure");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Relation& r, const std::string& path,
+                    char separator) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return WriteCsv(r, out, separator);
+}
+
+}  // namespace ajd

@@ -1,0 +1,41 @@
+// CSV input/output for relations. All columns are dictionary-encoded
+// strings; the first row may carry attribute names. Minimal quoting support
+// (double quotes, embedded commas, doubled quotes).
+#ifndef AJD_IO_CSV_H_
+#define AJD_IO_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace ajd {
+
+/// Options for CSV parsing.
+struct CsvOptions {
+  char separator = ',';
+  bool has_header = true;   ///< First row holds attribute names.
+  bool dedupe = true;       ///< Build a set (drop duplicate rows).
+};
+
+/// Parses a relation from a stream. Without a header, attributes are named
+/// "col0".."col{k-1}". Ragged rows yield InvalidArgument.
+Result<Relation> ReadCsv(std::istream& in, const CsvOptions& options = {});
+
+/// Parses a relation from a file.
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// Writes a relation as CSV (header + rows; dictionary values when
+/// available, otherwise numeric codes).
+Status WriteCsv(const Relation& r, std::ostream& out, char separator = ',');
+
+/// Writes a relation to a file.
+Status WriteCsvFile(const Relation& r, const std::string& path,
+                    char separator = ',');
+
+}  // namespace ajd
+
+#endif  // AJD_IO_CSV_H_

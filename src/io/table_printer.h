@@ -1,0 +1,32 @@
+// Fixed-width console tables for the benchmark harness and examples.
+#ifndef AJD_IO_TABLE_PRINTER_H_
+#define AJD_IO_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace ajd {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; its width must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders headers, a rule, and all rows with right-padded columns.
+  std::string Render() const;
+
+  /// Number of data rows.
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ajd
+
+#endif  // AJD_IO_TABLE_PRINTER_H_

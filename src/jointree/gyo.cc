@@ -1,0 +1,96 @@
+#include "jointree/gyo.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ajd {
+
+namespace {
+
+// Number of active bags containing each attribute.
+std::vector<uint32_t> AttrOccurrences(const std::vector<AttrSet>& bags,
+                                      const std::vector<bool>& active) {
+  std::vector<uint32_t> occ(kMaxAttrs, 0);
+  for (uint32_t i = 0; i < bags.size(); ++i) {
+    if (!active[i]) continue;
+    bags[i].ForEach([&](uint32_t a) { ++occ[a]; });
+  }
+  return occ;
+}
+
+}  // namespace
+
+Result<GyoResult> RunGyo(const std::vector<AttrSet>& bags) {
+  if (bags.empty()) {
+    return Status::InvalidArgument("GYO needs at least one bag");
+  }
+  const uint32_t m = static_cast<uint32_t>(bags.size());
+  std::vector<bool> active(m, true);
+  uint32_t num_active = m;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;  // (ear, witness)
+
+  bool progress = true;
+  while (num_active > 1 && progress) {
+    progress = false;
+    std::vector<uint32_t> occ = AttrOccurrences(bags, active);
+    for (uint32_t i = 0; i < m && num_active > 1; ++i) {
+      if (!active[i]) continue;
+      // The attributes of bag i that also occur in some other active bag.
+      AttrSet shared;
+      bags[i].ForEach([&](uint32_t a) {
+        if (occ[a] > 1) shared.Add(a);
+      });
+      // Bag i is an ear iff `shared` is contained in a single other active
+      // bag (the witness). An all-exclusive bag (shared empty) is an ear
+      // with any other active bag as witness.
+      uint32_t witness = UINT32_MAX;
+      for (uint32_t j = 0; j < m; ++j) {
+        if (j == i || !active[j]) continue;
+        if (shared.IsSubsetOf(bags[j])) {
+          witness = j;
+          break;
+        }
+      }
+      if (witness == UINT32_MAX) continue;
+      // Remove the ear.
+      active[i] = false;
+      --num_active;
+      edges.emplace_back(i, witness);
+      bags[i].ForEach([&](uint32_t a) { --occ[a]; });
+      progress = true;
+    }
+  }
+
+  GyoResult result;
+  if (num_active > 1) {
+    result.acyclic = false;
+    for (uint32_t i = 0; i < m; ++i) {
+      if (active[i]) result.residual.push_back(i);
+    }
+    return result;
+  }
+
+  result.acyclic = true;
+  Result<JoinTree> tree = JoinTree::Make(bags, std::move(edges));
+  AJD_CHECK_MSG(tree.ok(), "GYO built an invalid join tree: %s",
+                tree.status().ToString().c_str());
+  result.tree = std::move(tree).value();
+  return result;
+}
+
+bool IsAcyclicSchema(const std::vector<AttrSet>& bags) {
+  Result<GyoResult> r = RunGyo(bags);
+  return r.ok() && r.value().acyclic;
+}
+
+Result<JoinTree> BuildJoinTree(const std::vector<AttrSet>& bags) {
+  Result<GyoResult> r = RunGyo(bags);
+  if (!r.ok()) return r.status();
+  if (!r.value().acyclic) {
+    return Status::FailedPrecondition("schema is cyclic");
+  }
+  return std::move(r.value().tree.value());
+}
+
+}  // namespace ajd

@@ -1,0 +1,46 @@
+// GYO reduction (Graham / Yu-Ozsoyoglu): decides whether a schema (a set of
+// attribute bags) is acyclic, and if so constructs a join tree for it.
+//
+// An "ear" is a bag whose attributes are each either exclusive to it or
+// contained in a single witness bag. Repeatedly removing ears empties the
+// schema iff it is acyclic; recording ear -> witness edges yields a join
+// tree satisfying the running intersection property.
+#ifndef AJD_JOINTREE_GYO_H_
+#define AJD_JOINTREE_GYO_H_
+
+#include <optional>
+#include <vector>
+
+#include "jointree/join_tree.h"
+#include "relation/attr_set.h"
+#include "util/status.h"
+
+namespace ajd {
+
+/// Outcome of a GYO reduction.
+struct GyoResult {
+  /// True iff the input schema is acyclic.
+  bool acyclic = false;
+  /// When acyclic: a join tree whose bags are exactly the input bags (same
+  /// indexes). Unset otherwise.
+  std::optional<JoinTree> tree;
+  /// When cyclic: indexes of the bags remaining after exhaustive reduction
+  /// (the cyclic core).
+  std::vector<uint32_t> residual;
+};
+
+/// Runs GYO reduction on `bags`. Returns InvalidArgument for an empty
+/// schema. Duplicate or contained bags are permitted (a contained bag is an
+/// ear with its container as witness).
+Result<GyoResult> RunGyo(const std::vector<AttrSet>& bags);
+
+/// Convenience: true iff `bags` form an acyclic schema.
+bool IsAcyclicSchema(const std::vector<AttrSet>& bags);
+
+/// Convenience: join tree for an acyclic schema; FailedPrecondition if the
+/// schema is cyclic.
+Result<JoinTree> BuildJoinTree(const std::vector<AttrSet>& bags);
+
+}  // namespace ajd
+
+#endif  // AJD_JOINTREE_GYO_H_

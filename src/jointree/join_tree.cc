@@ -1,0 +1,263 @@
+#include "jointree/join_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ajd {
+
+Result<JoinTree> JoinTree::Make(
+    std::vector<AttrSet> bags,
+    std::vector<std::pair<uint32_t, uint32_t>> edges) {
+  if (bags.empty()) {
+    return Status::InvalidArgument("join tree needs at least one bag");
+  }
+  const uint32_t m = static_cast<uint32_t>(bags.size());
+  if (edges.size() != m - 1) {
+    return Status::InvalidArgument("a tree over " + std::to_string(m) +
+                                   " nodes needs exactly " +
+                                   std::to_string(m - 1) + " edges, got " +
+                                   std::to_string(edges.size()));
+  }
+  std::vector<std::vector<uint32_t>> adj(m);
+  for (auto& [u, v] : edges) {
+    if (u >= m || v >= m) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (u == v) return Status::InvalidArgument("self-loop edge");
+    if (u > v) std::swap(u, v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  // Connectivity check (m-1 edges + connected => tree).
+  std::vector<bool> seen(m, false);
+  std::vector<uint32_t> stack = {0};
+  seen[0] = true;
+  uint32_t visited = 1;
+  while (!stack.empty()) {
+    uint32_t v = stack.back();
+    stack.pop_back();
+    for (uint32_t w : adj[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  if (visited != m) {
+    return Status::InvalidArgument("edges do not form a connected tree");
+  }
+  if (!SatisfiesRunningIntersection(bags, adj)) {
+    return Status::InvalidArgument(
+        "bags violate the running intersection property");
+  }
+  JoinTree t;
+  t.bags_ = std::move(bags);
+  t.adj_ = std::move(adj);
+  t.edges_ = std::move(edges);
+  for (AttrSet b : t.bags_) t.all_attrs_ = t.all_attrs_.Union(b);
+  for (auto& nbrs : t.adj_) std::sort(nbrs.begin(), nbrs.end());
+  return t;
+}
+
+Result<JoinTree> JoinTree::Path(std::vector<AttrSet> bags) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 1; i < bags.size(); ++i) edges.emplace_back(i - 1, i);
+  return Make(std::move(bags), std::move(edges));
+}
+
+Result<JoinTree> JoinTree::FromMvdPartition(AttrSet x,
+                                            std::vector<AttrSet> branches) {
+  if (branches.empty()) {
+    return Status::InvalidArgument("MVD needs at least one branch");
+  }
+  AttrSet seen = x;
+  std::vector<AttrSet> bags;
+  for (AttrSet y : branches) {
+    if (!y.DisjointFrom(seen)) {
+      return Status::InvalidArgument(
+          "MVD branches must be pairwise disjoint and disjoint from X");
+    }
+    seen = seen.Union(y);
+    bags.push_back(x.Union(y));
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 1; i < bags.size(); ++i) edges.emplace_back(0, i);
+  return Make(std::move(bags), std::move(edges));
+}
+
+bool JoinTree::SchemaIsReduced() const {
+  for (uint32_t i = 0; i < NumNodes(); ++i) {
+    for (uint32_t j = 0; j < NumNodes(); ++j) {
+      if (i != j && bags_[i].IsSubsetOf(bags_[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool JoinTree::SatisfiesRunningIntersection(
+    const std::vector<AttrSet>& bags,
+    const std::vector<std::vector<uint32_t>>& adj) {
+  AttrSet all;
+  for (AttrSet b : bags) all = all.Union(b);
+  // For each attribute, the nodes containing it must induce a connected
+  // subtree: BFS restricted to nodes containing the attribute must reach
+  // all of them from the first one.
+  bool ok = true;
+  all.ForEach([&](uint32_t attr) {
+    if (!ok) return;
+    std::vector<uint32_t> holders;
+    for (uint32_t v = 0; v < bags.size(); ++v) {
+      if (bags[v].Contains(attr)) holders.push_back(v);
+    }
+    if (holders.size() <= 1) return;
+    std::vector<bool> seen(bags.size(), false);
+    std::vector<uint32_t> stack = {holders[0]};
+    seen[holders[0]] = true;
+    size_t reached = 1;
+    while (!stack.empty()) {
+      uint32_t v = stack.back();
+      stack.pop_back();
+      for (uint32_t w : adj[v]) {
+        if (!seen[w] && bags[w].Contains(attr)) {
+          seen[w] = true;
+          ++reached;
+          stack.push_back(w);
+        }
+      }
+    }
+    if (reached != holders.size()) ok = false;
+  });
+  return ok;
+}
+
+DfsDecomposition JoinTree::Decompose(uint32_t root) const {
+  AJD_CHECK(root < NumNodes());
+  const uint32_t m = NumNodes();
+  DfsDecomposition out;
+  out.root = root;
+  out.order.reserve(m);
+
+  std::vector<uint32_t> parent(m, UINT32_MAX);
+  std::vector<bool> seen(m, false);
+  // Iterative DFS visiting children in ascending node-id order.
+  std::vector<uint32_t> stack = {root};
+  seen[root] = true;
+  while (!stack.empty()) {
+    uint32_t v = stack.back();
+    stack.pop_back();
+    out.order.push_back(v);
+    // Push in descending order so that the smallest id pops first.
+    std::vector<uint32_t> kids;
+    for (uint32_t w : adj_[v]) {
+      if (!seen[w]) kids.push_back(w);
+    }
+    std::sort(kids.begin(), kids.end(), std::greater<uint32_t>());
+    for (uint32_t w : kids) {
+      seen[w] = true;
+      parent[w] = v;
+      stack.push_back(w);
+    }
+  }
+  AJD_CHECK(out.order.size() == m);
+
+  // Subtree attribute unions, bottom-up over the DFS order.
+  std::vector<AttrSet> subtree(m);
+  for (uint32_t v = 0; v < m; ++v) subtree[v] = bags_[v];
+  for (size_t i = m; i-- > 1;) {
+    uint32_t v = out.order[i];
+    subtree[parent[v]] = subtree[parent[v]].Union(subtree[v]);
+  }
+
+  // Suffix unions Omega_{i:m}: computed backwards over the order.
+  std::vector<AttrSet> suffix(m);
+  AttrSet acc;
+  for (size_t i = m; i-- > 0;) {
+    acc = acc.Union(bags_[out.order[i]]);
+    suffix[i] = acc;
+  }
+
+  AttrSet prefix = bags_[root];
+  out.steps.reserve(m - 1);
+  for (size_t i = 1; i < m; ++i) {
+    uint32_t v = out.order[i];
+    DfsStep step;
+    step.node = v;
+    step.parent = parent[v];
+    step.bag = bags_[v];
+    step.delta = bags_[v].Intersect(bags_[parent[v]]);
+    step.prefix = prefix;
+    step.suffix = suffix[i];
+    step.subtree = subtree[v];
+    out.steps.push_back(step);
+    prefix = prefix.Union(bags_[v]);
+  }
+  return out;
+}
+
+std::vector<Mvd> JoinTree::SupportMvds() const {
+  // For each edge (u,v): removing it splits the node set into the component
+  // of u and the component of v; the MVD sides are the attribute unions of
+  // the two components.
+  std::vector<Mvd> support;
+  support.reserve(edges_.size());
+  for (const auto& [u, v] : edges_) {
+    // Attributes of the component containing v when edge (u,v) is removed.
+    AttrSet side_v;
+    std::vector<bool> seen(NumNodes(), false);
+    std::vector<uint32_t> stack = {v};
+    seen[v] = true;
+    seen[u] = true;  // block traversal through u
+    while (!stack.empty()) {
+      uint32_t w = stack.back();
+      stack.pop_back();
+      side_v = side_v.Union(bags_[w]);
+      for (uint32_t x : adj_[w]) {
+        if (!seen[x]) {
+          seen[x] = true;
+          stack.push_back(x);
+        }
+      }
+    }
+    AttrSet side_u = AttrSet();
+    for (uint32_t w = 0; w < NumNodes(); ++w) {
+      if (!seen[w] || w == u) side_u = side_u.Union(bags_[w]);
+    }
+    Mvd mvd;
+    mvd.lhs = bags_[u].Intersect(bags_[v]);
+    mvd.side_a = side_u;
+    mvd.side_b = side_v;
+    support.push_back(mvd);
+  }
+  return support;
+}
+
+std::vector<Mvd> JoinTree::DfsMvds(uint32_t root) const {
+  DfsDecomposition dec = Decompose(root);
+  std::vector<Mvd> out;
+  out.reserve(dec.steps.size());
+  for (const DfsStep& s : dec.steps) {
+    Mvd mvd;
+    mvd.lhs = s.delta;
+    mvd.side_a = s.prefix;
+    mvd.side_b = s.suffix;
+    out.push_back(mvd);
+  }
+  return out;
+}
+
+std::string JoinTree::ToString() const {
+  std::string out = "JoinTree(bags:";
+  for (uint32_t v = 0; v < NumNodes(); ++v) {
+    out += " " + std::to_string(v) + "=" + bags_[v].ToString();
+  }
+  out += "; edges:";
+  for (const auto& [u, v] : edges_) {
+    out += " (" + std::to_string(u) + "," + std::to_string(v) + ")";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ajd

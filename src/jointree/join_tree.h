@@ -1,0 +1,123 @@
+// JoinTree (a.k.a. junction tree, Definition 2.1): an undirected tree whose
+// nodes carry attribute-set bags satisfying the running intersection
+// property. The bags form the acyclic schema S = {Omega_1, ..., Omega_m}.
+//
+// Provides the derived objects the paper works with:
+//  * DFS enumerations u_1..u_m with separators Delta_i = chi(parent) cap
+//    chi(u_i), prefix unions Omega_{1:i-1}, suffix unions Omega_{i:m}, and
+//    subtree unions chi(T_i) (Section 2.3).
+//  * The MVD support: one MVD per edge, chi(u) cap chi(v) ->> chi(Tu)|chi(Tv)
+//    (Beeri et al., Section 2.1).
+#ifndef AJD_JOINTREE_JOIN_TREE_H_
+#define AJD_JOINTREE_JOIN_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "jointree/mvd.h"
+#include "relation/attr_set.h"
+#include "util/status.h"
+
+namespace ajd {
+
+/// One step of a rooted DFS enumeration (positions 2..m in paper numbering).
+struct DfsStep {
+  uint32_t node = 0;     ///< Node id u_i.
+  uint32_t parent = 0;   ///< Node id of parent(u_i).
+  AttrSet bag;           ///< Omega_i = chi(u_i).
+  AttrSet delta;         ///< Delta_i = chi(parent(u_i)) cap chi(u_i).
+  AttrSet prefix;        ///< Omega_{1:i-1}, union of bags enumerated before.
+  AttrSet suffix;        ///< Omega_{i:m}, union of bags from u_i onward.
+  AttrSet subtree;       ///< chi(T_i), union of bags in the subtree of u_i.
+};
+
+/// A rooted DFS enumeration of a join tree plus the paper's per-step sets.
+struct DfsDecomposition {
+  uint32_t root = 0;
+  std::vector<uint32_t> order;  ///< Node ids u_1..u_m (order[0] == root).
+  std::vector<DfsStep> steps;   ///< Steps for u_2..u_m (size m-1).
+};
+
+/// An undirected tree of attribute bags satisfying running intersection.
+class JoinTree {
+ public:
+  /// Validates and builds a join tree from bags and edges (node ids index
+  /// `bags`). Requirements: at least one node; edges form a tree (connected,
+  /// exactly m-1 edges, no self-loops/duplicates); the running intersection
+  /// property holds. Bags are NOT required to be pairwise incomparable
+  /// (GYO intermediate trees may have comparable bags), but
+  /// SchemaIsReduced() reports whether they are.
+  static Result<JoinTree> Make(std::vector<AttrSet> bags,
+                               std::vector<std::pair<uint32_t, uint32_t>> edges);
+
+  /// A path tree bag_0 - bag_1 - ... - bag_{k-1}.
+  static Result<JoinTree> Path(std::vector<AttrSet> bags);
+
+  /// A star tree with bags {X u Y_i} for the MVD X ->> Y1 | ... | Yk,
+  /// centered on the first bag. The Y_i must be disjoint and disjoint
+  /// from X; k >= 1.
+  static Result<JoinTree> FromMvdPartition(AttrSet x,
+                                           std::vector<AttrSet> branches);
+
+  /// Number of nodes m.
+  uint32_t NumNodes() const { return static_cast<uint32_t>(bags_.size()); }
+
+  /// Bag of node `v`.
+  AttrSet bag(uint32_t v) const { return bags_[v]; }
+
+  /// All bags, indexed by node id (the acyclic schema S, possibly with
+  /// comparable bags).
+  const std::vector<AttrSet>& bags() const { return bags_; }
+
+  /// Neighbors of node `v`.
+  const std::vector<uint32_t>& Neighbors(uint32_t v) const {
+    return adj_[v];
+  }
+
+  /// The edges as (u, v) pairs with u < v.
+  const std::vector<std::pair<uint32_t, uint32_t>>& Edges() const {
+    return edges_;
+  }
+
+  /// Union of all bags, chi(T) = Omega.
+  AttrSet AllAttrs() const { return all_attrs_; }
+
+  /// True iff no bag is contained in another (the paper's schema
+  /// requirement Omega_i !subset Omega_j).
+  bool SchemaIsReduced() const;
+
+  /// Rooted DFS enumeration with the paper's per-step attribute sets.
+  /// Children are visited in ascending node-id order (deterministic).
+  DfsDecomposition Decompose(uint32_t root = 0) const;
+
+  /// The MVD support (Section 2.1): one MVD per edge (u,v), namely
+  /// chi(u) cap chi(v) ->> chi(Tu) | chi(Tv). Size m-1.
+  std::vector<Mvd> SupportMvds() const;
+
+  /// The DFS-order MVDs of Theorem 2.2 / Eq. (9): for i in [2, m],
+  /// Delta_i ->> Omega_{1:i-1} | Omega_{i:m}.
+  std::vector<Mvd> DfsMvds(uint32_t root = 0) const;
+
+  /// Verifies the running intersection property (always true for a
+  /// successfully built tree; exposed for testing foreign constructions).
+  static bool SatisfiesRunningIntersection(
+      const std::vector<AttrSet>& bags,
+      const std::vector<std::vector<uint32_t>>& adj);
+
+  /// "bags: ...; edges: ..." rendering.
+  std::string ToString() const;
+
+ private:
+  JoinTree() = default;
+
+  std::vector<AttrSet> bags_;
+  std::vector<std::vector<uint32_t>> adj_;
+  std::vector<std::pair<uint32_t, uint32_t>> edges_;
+  AttrSet all_attrs_;
+};
+
+}  // namespace ajd
+
+#endif  // AJD_JOINTREE_JOIN_TREE_H_

@@ -1,0 +1,13 @@
+#include "jointree/mvd.h"
+
+namespace ajd {
+
+Mvd MakeMvd(AttrSet x, AttrSet y1, AttrSet y2) {
+  Mvd mvd;
+  mvd.lhs = x;
+  mvd.side_a = x.Union(y1);
+  mvd.side_b = x.Union(y2);
+  return mvd;
+}
+
+}  // namespace ajd

@@ -1,0 +1,54 @@
+// Mvd: a multivalued dependency X ->> Y1 | Y2, represented by the two sides
+// (each *including* the determinant X) as attribute sets.
+//
+// In this library MVDs arise as the support of a join tree: removing edge
+// (u,v) splits the tree into components Tu, Tv, and the associated MVD is
+// chi(u) cap chi(v) ->> chi(Tu) | chi(Tv)  (Section 2.1 of the paper).
+#ifndef AJD_JOINTREE_MVD_H_
+#define AJD_JOINTREE_MVD_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/attr_set.h"
+
+namespace ajd {
+
+/// A two-branch multivalued dependency over an attribute universe.
+struct Mvd {
+  /// The determinant X (always = side_a cap side_b for support MVDs).
+  AttrSet lhs;
+  /// First side, X u Y1.
+  AttrSet side_a;
+  /// Second side, X u Y2.
+  AttrSet side_b;
+
+  /// The full attribute universe covered, side_a u side_b.
+  AttrSet Universe() const { return side_a.Union(side_b); }
+
+  /// True iff the MVD is structurally well-formed: lhs is contained in both
+  /// sides and neither side is contained in the other's complement trivially
+  /// (both sides non-empty beyond lhs is not required; degenerate MVDs with
+  /// an empty branch hold vacuously).
+  bool WellFormed() const {
+    return lhs.IsSubsetOf(side_a) && lhs.IsSubsetOf(side_b);
+  }
+
+  /// "{C} ->> {A}|{B}" rendering with attribute positions.
+  std::string ToString() const {
+    return lhs.ToString() + " ->> " + side_a.Minus(lhs).ToString() + "|" +
+           side_b.Minus(lhs).ToString();
+  }
+
+  bool operator==(const Mvd& o) const {
+    return lhs == o.lhs && side_a == o.side_a && side_b == o.side_b;
+  }
+};
+
+/// Builds the MVD X ->> Y1 | Y2 from the determinant and the two (disjoint
+/// from X) branches.
+Mvd MakeMvd(AttrSet x, AttrSet y1, AttrSet y2);
+
+}  // namespace ajd
+
+#endif  // AJD_JOINTREE_MVD_H_

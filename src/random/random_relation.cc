@@ -1,0 +1,142 @@
+#include "random/random_relation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/math.h"
+
+namespace ajd {
+
+namespace {
+
+constexpr uint64_t kShuffleMaxDomain = uint64_t{1} << 27;
+
+std::vector<uint64_t> FloydSample(uint64_t domain, uint64_t n, Rng* rng) {
+  // Robert Floyd's algorithm: iterate j over the last n positions; insert a
+  // uniform draw from [0, j], falling back to j itself on collision. The
+  // result is a uniform random n-subset using exactly n draws.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(n * 2);
+  for (uint64_t j = domain - n; j < domain; ++j) {
+    uint64_t t = rng->UniformU64(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<uint64_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> RejectionSample(uint64_t domain, uint64_t n, Rng* rng) {
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(n * 2);
+  while (chosen.size() < n) chosen.insert(rng->UniformU64(domain));
+  std::vector<uint64_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> ShuffleSample(uint64_t domain, uint64_t n, Rng* rng) {
+  std::vector<uint64_t> pool(domain);
+  for (uint64_t i = 0; i < domain; ++i) pool[i] = i;
+  // Partial Fisher-Yates: after i swaps, pool[0..i) is a uniform prefix.
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t j = i + rng->UniformU64(domain - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(n);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace
+
+Result<std::vector<uint64_t>> SampleDistinctIndices(uint64_t domain,
+                                                    uint64_t n, Rng* rng,
+                                                    SampleStrategy strategy) {
+  if (n > domain) {
+    return Status::OutOfRange("cannot sample " + std::to_string(n) +
+                              " distinct indices from a domain of " +
+                              std::to_string(domain));
+  }
+  if (n == 0) return std::vector<uint64_t>{};
+
+  if (strategy == SampleStrategy::kAuto) {
+    const bool dense = n > domain / 2;
+    if (dense && domain <= kShuffleMaxDomain) {
+      strategy = SampleStrategy::kShuffle;
+    } else if (n <= domain / 16) {
+      strategy = SampleStrategy::kRejection;
+    } else {
+      strategy = SampleStrategy::kFloyd;
+    }
+  }
+  switch (strategy) {
+    case SampleStrategy::kFloyd:
+      return FloydSample(domain, n, rng);
+    case SampleStrategy::kRejection:
+      return RejectionSample(domain, n, rng);
+    case SampleStrategy::kShuffle:
+      if (domain > kShuffleMaxDomain) {
+        return Status::CapacityExceeded(
+            "kShuffle requires the domain to fit in memory (<= 2^27)");
+      }
+      return ShuffleSample(domain, n, rng);
+    case SampleStrategy::kAuto:
+      break;
+  }
+  return Status::Internal("unhandled sampling strategy");
+}
+
+Result<Relation> SampleRandomRelation(const RandomRelationSpec& spec,
+                                      Rng* rng, SampleStrategy strategy) {
+  if (spec.domain_sizes.empty()) {
+    return Status::InvalidArgument("need at least one attribute");
+  }
+  for (uint64_t d : spec.domain_sizes) {
+    if (d == 0) return Status::InvalidArgument("domain sizes must be >= 1");
+    if (d > UINT32_MAX) {
+      return Status::CapacityExceeded(
+          "per-attribute domain sizes must fit in uint32");
+    }
+  }
+  MixedRadixCodec codec(spec.domain_sizes);
+  if (!codec.Valid()) {
+    return Status::CapacityExceeded("product domain exceeds uint64");
+  }
+  if (spec.num_tuples == 0 || spec.num_tuples > codec.Size()) {
+    return Status::OutOfRange(
+        "num_tuples must satisfy 0 < N <= prod(domain sizes)");
+  }
+
+  Result<std::vector<uint64_t>> indices =
+      SampleDistinctIndices(codec.Size(), spec.num_tuples, rng, strategy);
+  if (!indices.ok()) return indices.status();
+
+  Result<Schema> schema =
+      spec.attr_names.empty()
+          ? Schema::MakeSynthetic(spec.domain_sizes)
+          : [&]() -> Result<Schema> {
+              if (spec.attr_names.size() != spec.domain_sizes.size()) {
+                return Status::InvalidArgument(
+                    "attr_names size must match domain_sizes size");
+              }
+              std::vector<Attribute> attrs;
+              for (size_t i = 0; i < spec.attr_names.size(); ++i) {
+                attrs.push_back({spec.attr_names[i], spec.domain_sizes[i]});
+              }
+              return Schema::Make(std::move(attrs));
+            }();
+  if (!schema.ok()) return schema.status();
+
+  RelationBuilder b(std::move(schema).value());
+  b.Reserve(spec.num_tuples);
+  std::vector<uint32_t> row;
+  for (uint64_t index : indices.value()) {
+    codec.Decode(index, &row);
+    b.AddRowPtr(row.data());
+  }
+  // Rows are distinct by construction; skip the dedupe pass.
+  return std::move(b).Build(/*dedupe=*/false);
+}
+
+}  // namespace ajd

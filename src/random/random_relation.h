@@ -1,0 +1,59 @@
+// The random relation model of Definition 5.2: a relation of exactly N
+// tuples drawn uniformly at random, WITHOUT replacement, from the product
+// domain [d_1] x ... x [d_n].
+//
+// Sampling strategies (selected automatically by density N/D):
+//  * kFloyd     — Robert Floyd's algorithm: exactly N uniform draws plus a
+//                 hash set; works for any domain size D that fits in uint64.
+//  * kRejection — repeated uniform draws until N distinct indices; fast
+//                 when N << D.
+//  * kShuffle   — partial Fisher-Yates over a materialized [0, D) array;
+//                 best when N is a large fraction of a small D.
+#ifndef AJD_RANDOM_RANDOM_RELATION_H_
+#define AJD_RANDOM_RANDOM_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace ajd {
+
+/// Strategy for sampling N distinct indices from [0, D).
+enum class SampleStrategy {
+  kAuto,
+  kFloyd,
+  kRejection,
+  kShuffle,
+};
+
+/// Parameters of the random relation model.
+struct RandomRelationSpec {
+  /// Per-attribute domain sizes d_1..d_n (all >= 1). The product D must fit
+  /// in uint64.
+  std::vector<uint64_t> domain_sizes;
+  /// Number of tuples N, 0 < N <= D.
+  uint64_t num_tuples = 0;
+  /// Optional attribute names; defaults to X0..X{n-1}.
+  std::vector<std::string> attr_names;
+};
+
+/// Samples `n` distinct indices uniformly from [0, domain). The result is
+/// sorted ascending (the draw is a uniform random *set*; order carries no
+/// information). OutOfRange if n > domain; kShuffle additionally requires
+/// domain <= 2^27 (memory).
+Result<std::vector<uint64_t>> SampleDistinctIndices(
+    uint64_t domain, uint64_t n, Rng* rng,
+    SampleStrategy strategy = SampleStrategy::kAuto);
+
+/// Samples a relation from the random relation model. The schema is
+/// synthetic (names X0.. or spec.attr_names) with the given domain sizes.
+Result<Relation> SampleRandomRelation(
+    const RandomRelationSpec& spec, Rng* rng,
+    SampleStrategy strategy = SampleStrategy::kAuto);
+
+}  // namespace ajd
+
+#endif  // AJD_RANDOM_RANDOM_RELATION_H_

@@ -1,0 +1,76 @@
+#include "random/rng.h"
+
+#include <cmath>
+
+namespace ajd {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& w : s_) w = SplitMix64(&sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  AJD_CHECK(bound > 0);
+  // Lemire's method with rejection for exact uniformity.
+  while (true) {
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<uint64_t>(m >> 64);
+    }
+  }
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) {
+  AJD_CHECK(lo <= hi);
+  uint64_t span = hi - lo + 1;
+  if (span == 0) return NextU64();  // full range
+  return lo + UniformU64(span);
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xda3e39cb94b95bdbULL); }
+
+}  // namespace ajd

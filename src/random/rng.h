@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generator (xoshiro256++ seeded via
+// splitmix64). All experiments in this library are reproducible from a
+// 64-bit seed; the paper's random relation model (Definition 5.2) is driven
+// exclusively through this class.
+#ifndef AJD_RANDOM_RNG_H_
+#define AJD_RANDOM_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ajd {
+
+/// xoshiro256++ generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64-bit output.
+  uint64_t NextU64();
+
+  /// UniformRandomBitGenerator interface.
+  result_type operator()() { return NextU64(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform integer in [0, bound); bound must be positive. Unbiased
+  /// (Lemire's multiply-shift with rejection).
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Bernoulli(p) draw.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (fresh pair each call; no caching so
+  /// the stream stays simple to reason about).
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel trials).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ajd
+
+#endif  // AJD_RANDOM_RNG_H_

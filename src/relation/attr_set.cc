@@ -1,0 +1,17 @@
+#include "relation/attr_set.h"
+
+namespace ajd {
+
+std::string AttrSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](uint32_t pos) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(pos);
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace ajd

@@ -1,0 +1,199 @@
+// AttrSet: a set of attribute positions represented as a 64-bit bitmask.
+//
+// Attribute positions index into a Schema (relation/schema.h). The 64-attr
+// capacity matches the scale of schema-design workloads (the paper's schemas
+// have m <= |Omega| <= 64 attributes by a wide margin).
+#ifndef AJD_RELATION_ATTR_SET_H_
+#define AJD_RELATION_ATTR_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ajd {
+
+/// Maximum number of attributes an AttrSet can hold.
+inline constexpr uint32_t kMaxAttrs = 64;
+
+/// A set of attribute positions (0..63) backed by a single uint64 bitmask.
+/// Value type: cheap to copy, totally ordered (by mask) for use in maps.
+class AttrSet {
+ public:
+  /// The empty set.
+  constexpr AttrSet() : mask_(0) {}
+
+  /// The set containing exactly the given positions.
+  AttrSet(std::initializer_list<uint32_t> positions) : mask_(0) {
+    for (uint32_t p : positions) Add(p);
+  }
+
+  /// Builds a set from a raw bitmask.
+  static constexpr AttrSet FromMask(uint64_t mask) { return AttrSet(mask); }
+
+  /// The singleton {pos}.
+  static AttrSet Singleton(uint32_t pos) {
+    AJD_CHECK(pos < kMaxAttrs);
+    return AttrSet(uint64_t{1} << pos);
+  }
+
+  /// The set {0, 1, ..., n-1}.
+  static AttrSet Range(uint32_t n) {
+    AJD_CHECK(n <= kMaxAttrs);
+    return AttrSet(n == kMaxAttrs ? ~uint64_t{0} : (uint64_t{1} << n) - 1);
+  }
+
+  /// The set containing the listed positions.
+  static AttrSet FromIndices(const std::vector<uint32_t>& positions) {
+    AttrSet s;
+    for (uint32_t p : positions) s.Add(p);
+    return s;
+  }
+
+  /// Raw bitmask.
+  constexpr uint64_t mask() const { return mask_; }
+
+  /// Number of attributes in the set.
+  uint32_t Count() const {
+    return static_cast<uint32_t>(__builtin_popcountll(mask_));
+  }
+
+  /// True iff the set is empty.
+  constexpr bool Empty() const { return mask_ == 0; }
+
+  /// True iff `pos` is in the set.
+  bool Contains(uint32_t pos) const {
+    AJD_CHECK(pos < kMaxAttrs);
+    return (mask_ >> pos) & 1;
+  }
+
+  /// Adds `pos` to the set.
+  void Add(uint32_t pos) {
+    AJD_CHECK(pos < kMaxAttrs);
+    mask_ |= uint64_t{1} << pos;
+  }
+
+  /// Removes `pos` from the set (no-op if absent).
+  void Remove(uint32_t pos) {
+    AJD_CHECK(pos < kMaxAttrs);
+    mask_ &= ~(uint64_t{1} << pos);
+  }
+
+  /// True iff this is a subset of `other` (improper subsets allowed).
+  constexpr bool IsSubsetOf(AttrSet other) const {
+    return (mask_ & ~other.mask_) == 0;
+  }
+
+  /// True iff the two sets share no attribute.
+  constexpr bool DisjointFrom(AttrSet other) const {
+    return (mask_ & other.mask_) == 0;
+  }
+
+  /// Set union.
+  constexpr AttrSet Union(AttrSet other) const {
+    return AttrSet(mask_ | other.mask_);
+  }
+
+  /// Set intersection.
+  constexpr AttrSet Intersect(AttrSet other) const {
+    return AttrSet(mask_ & other.mask_);
+  }
+
+  /// Set difference (this \ other).
+  constexpr AttrSet Minus(AttrSet other) const {
+    return AttrSet(mask_ & ~other.mask_);
+  }
+
+  /// The positions in ascending order.
+  std::vector<uint32_t> ToIndices() const {
+    std::vector<uint32_t> out;
+    out.reserve(Count());
+    uint64_t m = mask_;
+    while (m != 0) {
+      uint32_t pos = static_cast<uint32_t>(__builtin_ctzll(m));
+      out.push_back(pos);
+      m &= m - 1;
+    }
+    return out;
+  }
+
+  /// Calls `fn(pos)` for each position in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint64_t m = mask_;
+    while (m != 0) {
+      fn(static_cast<uint32_t>(__builtin_ctzll(m)));
+      m &= m - 1;
+    }
+  }
+
+  /// The lowest position; set must be non-empty.
+  uint32_t First() const {
+    AJD_CHECK(mask_ != 0);
+    return static_cast<uint32_t>(__builtin_ctzll(mask_));
+  }
+
+  /// "{0,2,5}" style rendering (positions).
+  std::string ToString() const;
+
+  friend constexpr bool operator==(AttrSet a, AttrSet b) {
+    return a.mask_ == b.mask_;
+  }
+  friend constexpr bool operator!=(AttrSet a, AttrSet b) {
+    return a.mask_ != b.mask_;
+  }
+  friend constexpr bool operator<(AttrSet a, AttrSet b) {
+    return a.mask_ < b.mask_;
+  }
+
+ private:
+  explicit constexpr AttrSet(uint64_t mask) : mask_(mask) {}
+
+  uint64_t mask_;
+};
+
+/// Hash functor for AttrSet (for unordered containers).
+struct AttrSetHash {
+  size_t operator()(AttrSet s) const {
+    uint64_t x = s.mask();
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+/// Enumerates all subsets of `universe` of size exactly `k`, invoking
+/// `fn(subset)`. Intended for small universes (miner separator search).
+template <typename Fn>
+void ForEachSubsetOfSize(AttrSet universe, uint32_t k, Fn&& fn) {
+  std::vector<uint32_t> idx = universe.ToIndices();
+  if (k > idx.size()) return;
+  std::vector<uint32_t> pick(k);
+  // Standard lexicographic combination enumeration.
+  for (uint32_t i = 0; i < k; ++i) pick[i] = i;
+  while (true) {
+    AttrSet s;
+    for (uint32_t i = 0; i < k; ++i) s.Add(idx[pick[i]]);
+    fn(s);
+    if (k == 0) return;
+    // Advance.
+    int32_t i = static_cast<int32_t>(k) - 1;
+    while (i >= 0 && pick[i] == idx.size() - k + static_cast<uint32_t>(i)) {
+      --i;
+    }
+    if (i < 0) return;
+    ++pick[i];
+    for (uint32_t j = static_cast<uint32_t>(i) + 1; j < k; ++j) {
+      pick[j] = pick[j - 1] + 1;
+    }
+  }
+}
+
+}  // namespace ajd
+
+#endif  // AJD_RELATION_ATTR_SET_H_

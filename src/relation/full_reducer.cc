@@ -1,0 +1,72 @@
+#include "relation/full_reducer.h"
+
+#include "relation/ops.h"
+
+namespace ajd {
+
+namespace {
+
+// Semijoin-reduces node `v` against node `w` in place; returns the number
+// of tuples removed from v.
+Result<uint64_t> ReduceAgainst(std::vector<Relation>* per_node, uint32_t v,
+                               uint32_t w) {
+  uint64_t before = (*per_node)[v].NumRows();
+  Result<Relation> reduced = SemiJoin((*per_node)[v], (*per_node)[w]);
+  if (!reduced.ok()) return reduced.status();
+  (*per_node)[v] = std::move(reduced).value();
+  return before - (*per_node)[v].NumRows();
+}
+
+}  // namespace
+
+Result<ReducedProjections> FullReduce(const Relation& r,
+                                      const JoinTree& tree) {
+  if (!tree.AllAttrs().IsSubsetOf(r.schema().AllAttrs())) {
+    return Status::InvalidArgument(
+        "join tree references attributes outside the relation");
+  }
+  std::vector<Relation> per_node;
+  per_node.reserve(tree.NumNodes());
+  for (uint32_t v = 0; v < tree.NumNodes(); ++v) {
+    per_node.push_back(Project(r, tree.bag(v)));
+  }
+  return FullReduceRelations(std::move(per_node), tree);
+}
+
+Result<ReducedProjections> FullReduceRelations(
+    std::vector<Relation> per_node, const JoinTree& tree) {
+  if (per_node.size() != tree.NumNodes()) {
+    return Status::InvalidArgument(
+        "need exactly one relation per tree node");
+  }
+  ReducedProjections out;
+  out.removed.assign(tree.NumNodes(), 0);
+
+  DfsDecomposition dec = tree.Decompose(0);
+
+  // Pass 1 (leaf to root): each node is semijoin-reduced against its
+  // children, in reverse DFS order, so parents see fully reduced subtrees.
+  for (size_t i = dec.order.size(); i-- > 1;) {
+    uint32_t v = dec.order[i];
+    uint32_t p = dec.steps[i - 1].parent;
+    Result<uint64_t> removed = ReduceAgainst(&per_node, p, v);
+    if (!removed.ok()) return removed.status();
+    out.removed[p] += removed.value();
+  }
+
+  // Pass 2 (root to leaf): each node is reduced against its parent, in DFS
+  // order, propagating global consistency downward.
+  for (size_t i = 1; i < dec.order.size(); ++i) {
+    uint32_t v = dec.order[i];
+    uint32_t p = dec.steps[i - 1].parent;
+    Result<uint64_t> removed = ReduceAgainst(&per_node, v, p);
+    if (!removed.ok()) return removed.status();
+    out.removed[v] += removed.value();
+  }
+
+  for (uint64_t c : out.removed) out.total_removed += c;
+  out.per_node = std::move(per_node);
+  return out;
+}
+
+}  // namespace ajd

@@ -1,0 +1,163 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+
+#include "relation/row_hash.h"
+
+namespace ajd {
+
+uint32_t Dictionary::Intern(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  uint32_t code = static_cast<uint32_t>(values_.size());
+  values_.push_back(value);
+  index_.emplace(value, code);
+  return code;
+}
+
+std::optional<uint32_t> Dictionary::Lookup(const std::string& value) const {
+  auto it = index_.find(value);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::ValueOf(uint32_t code) const {
+  AJD_CHECK(code < values_.size());
+  return values_[code];
+}
+
+Result<Relation> Relation::FromRows(Schema schema,
+                                    std::vector<std::vector<uint32_t>> rows,
+                                    bool dedupe) {
+  const uint32_t width = schema.size();
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      return Status::InvalidArgument(
+          "row width " + std::to_string(row.size()) +
+          " does not match schema width " + std::to_string(width));
+    }
+  }
+  RelationBuilder b(std::move(schema));
+  b.Reserve(rows.size());
+  for (const auto& row : rows) b.AddRow(row);
+  return std::move(b).Build(dedupe);
+}
+
+bool Relation::HasDuplicateRows() const {
+  return NumDistinctRows() != num_rows_;
+}
+
+uint64_t Relation::NumDistinctRows() const {
+  if (num_rows_ == 0) return 0;
+  TupleCounter counter(NumAttrs(), num_rows_);
+  for (uint64_t i = 0; i < num_rows_; ++i) counter.Add(Row(i));
+  return counter.NumDistinct();
+}
+
+bool Relation::ContainsRow(const uint32_t* row) const {
+  const uint32_t width = NumAttrs();
+  for (uint64_t i = 0; i < num_rows_; ++i) {
+    if (std::memcmp(Row(i), row, width * sizeof(uint32_t)) == 0) return true;
+  }
+  return false;
+}
+
+void Relation::SetDict(uint32_t pos, Dictionary d) {
+  AJD_CHECK(pos < NumAttrs());
+  if (dicts_.size() < NumAttrs()) dicts_.resize(NumAttrs());
+  dicts_[pos] = std::move(d);
+}
+
+std::string Relation::RowToString(uint64_t i) const {
+  std::string out = "(";
+  for (uint32_t a = 0; a < NumAttrs(); ++a) {
+    if (a > 0) out += ", ";
+    uint32_t code = At(i, a);
+    const Dictionary* d = dict(a);
+    out += d != nullptr ? d->ValueOf(code) : std::to_string(code);
+  }
+  out += ")";
+  return out;
+}
+
+std::string Relation::ToString(uint64_t max_rows) const {
+  std::string out = "Relation[" + schema_.ToString() + "] N=" +
+                    std::to_string(num_rows_) + "\n";
+  uint64_t shown = std::min(num_rows_, max_rows);
+  for (uint64_t i = 0; i < shown; ++i) {
+    out += "  " + RowToString(i) + "\n";
+  }
+  if (shown < num_rows_) {
+    out += "  ... (" + std::to_string(num_rows_ - shown) + " more)\n";
+  }
+  return out;
+}
+
+RelationBuilder::RelationBuilder(Schema schema)
+    : schema_(std::move(schema)) {
+  dicts_.resize(schema_.size());
+}
+
+void RelationBuilder::AddRow(const std::vector<uint32_t>& row) {
+  AJD_CHECK_MSG(row.size() == schema_.size(),
+                "row width %zu != schema width %u", row.size(),
+                schema_.size());
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++num_rows_;
+}
+
+void RelationBuilder::AddRowPtr(const uint32_t* row) {
+  data_.insert(data_.end(), row, row + schema_.size());
+  ++num_rows_;
+}
+
+void RelationBuilder::AddStringRow(const std::vector<std::string>& row) {
+  AJD_CHECK_MSG(row.size() == schema_.size(),
+                "row width %zu != schema width %u", row.size(),
+                schema_.size());
+  for (uint32_t a = 0; a < schema_.size(); ++a) {
+    if (!dicts_[a].has_value()) dicts_[a].emplace();
+    data_.push_back(dicts_[a]->Intern(row[a]));
+  }
+  ++num_rows_;
+}
+
+void RelationBuilder::Reserve(uint64_t rows) {
+  data_.reserve(data_.size() + rows * schema_.size());
+}
+
+Relation RelationBuilder::Build(bool dedupe) && {
+  Relation r;
+  r.schema_ = std::move(schema_);
+  r.dicts_ = std::move(dicts_);
+  const uint32_t width = r.schema_.size();
+  if (dedupe && num_rows_ > 0 && width > 0) {
+    TupleCounter counter(width, num_rows_);
+    std::vector<uint32_t> unique;
+    unique.reserve(data_.size());
+    for (uint64_t i = 0; i < num_rows_; ++i) {
+      const uint32_t* row = data_.data() + i * width;
+      size_t before = counter.NumDistinct();
+      counter.Add(row);
+      if (counter.NumDistinct() > before) {
+        unique.insert(unique.end(), row, row + width);
+      }
+    }
+    r.data_ = std::move(unique);
+    r.num_rows_ = r.data_.size() / width;
+  } else {
+    r.data_ = std::move(data_);
+    r.num_rows_ = num_rows_;
+  }
+  // Grow domain sizes to cover observed codes.
+  for (uint32_t a = 0; a < width; ++a) {
+    uint64_t max_code = 0;
+    for (uint64_t i = 0; i < r.num_rows_; ++i) {
+      max_code = std::max<uint64_t>(max_code, r.Row(i)[a]);
+    }
+    if (r.num_rows_ > 0) r.schema_.EnsureDomainSize(a, max_code + 1);
+  }
+  return r;
+}
+
+}  // namespace ajd

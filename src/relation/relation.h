@@ -1,0 +1,148 @@
+// Relation: an in-memory relation instance — a set of tuples over a Schema.
+//
+// Values are uint32 codes; string data is dictionary-encoded per attribute
+// (see Dictionary). Rows are stored row-major for cache-friendly projection
+// and hashing. Relation instances are *sets*: builders deduplicate unless
+// multiset semantics is requested explicitly (the paper's empirical
+// distribution also covers multisets, so both are supported).
+#ifndef AJD_RELATION_RELATION_H_
+#define AJD_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relation/attr_set.h"
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace ajd {
+
+/// Per-attribute dictionary mapping string values to dense codes.
+class Dictionary {
+ public:
+  /// Returns the code for `value`, inserting it if new.
+  uint32_t Intern(const std::string& value);
+
+  /// Returns the code for `value` if already interned.
+  std::optional<uint32_t> Lookup(const std::string& value) const;
+
+  /// The string for `code`; aborts if out of range.
+  const std::string& ValueOf(uint32_t code) const;
+
+  /// Number of interned values.
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+/// A relation instance: Schema + N rows of uint32 codes.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Builds a relation from rows (each of schema.size() codes).
+  /// Deduplicates rows when `dedupe` (set semantics; the default matches the
+  /// paper's relation instances). Domain sizes in the schema are grown to
+  /// cover the data.
+  static Result<Relation> FromRows(Schema schema,
+                                   std::vector<std::vector<uint32_t>> rows,
+                                   bool dedupe = true);
+
+  /// The schema.
+  const Schema& schema() const { return schema_; }
+
+  /// Number of rows, N = |R|.
+  uint64_t NumRows() const { return num_rows_; }
+
+  /// Number of attributes.
+  uint32_t NumAttrs() const { return schema_.size(); }
+
+  /// Pointer to row `i` (NumAttrs() codes).
+  const uint32_t* Row(uint64_t i) const {
+    return data_.data() + i * NumAttrs();
+  }
+
+  /// Value of attribute `pos` in row `i`.
+  uint32_t At(uint64_t i, uint32_t pos) const { return Row(i)[pos]; }
+
+  /// Raw row-major data (NumRows() * NumAttrs() codes).
+  const std::vector<uint32_t>& data() const { return data_; }
+
+  /// True iff some row appears more than once (multiset data).
+  bool HasDuplicateRows() const;
+
+  /// Number of distinct rows.
+  uint64_t NumDistinctRows() const;
+
+  /// True iff row `r` (NumAttrs() codes) is present.
+  bool ContainsRow(const uint32_t* row) const;
+
+  /// Per-attribute dictionaries (empty for purely numeric relations).
+  /// dict(i) may be nullptr when attribute i was never interned.
+  const Dictionary* dict(uint32_t pos) const {
+    return pos < dicts_.size() && dicts_[pos].has_value() ? &*dicts_[pos]
+                                                          : nullptr;
+  }
+
+  /// Installs (or replaces) the dictionary for attribute `pos`. Used by
+  /// operators to propagate dictionaries to derived relations.
+  void SetDict(uint32_t pos, Dictionary d);
+
+  /// Renders row `i` using dictionaries when available.
+  std::string RowToString(uint64_t i) const;
+
+  /// Multi-line preview of up to `max_rows` rows for debugging/examples.
+  std::string ToString(uint64_t max_rows = 20) const;
+
+ private:
+  friend class RelationBuilder;
+
+  Schema schema_;
+  std::vector<uint32_t> data_;
+  uint64_t num_rows_ = 0;
+  std::vector<std::optional<Dictionary>> dicts_;
+};
+
+/// Incremental construction of a Relation.
+///
+///   RelationBuilder b(schema);
+///   b.AddRow({0, 1, 2});
+///   b.AddStringRow({"ann", "db", "ta"});   // dictionary-encodes
+///   Relation r = std::move(b).Build(/*dedupe=*/true);
+class RelationBuilder {
+ public:
+  explicit RelationBuilder(Schema schema);
+
+  /// Appends a row of codes; aborts if the width mismatches the schema.
+  void AddRow(const std::vector<uint32_t>& row);
+
+  /// Appends a row of codes from a raw pointer (schema width codes).
+  void AddRowPtr(const uint32_t* row);
+
+  /// Appends a row of strings, interning each into its dictionary.
+  void AddStringRow(const std::vector<std::string>& row);
+
+  /// Number of rows added so far.
+  uint64_t NumRows() const { return num_rows_; }
+
+  /// Reserves space for `rows` rows.
+  void Reserve(uint64_t rows);
+
+  /// Finalizes. Deduplicates when `dedupe`. Grows schema domain sizes to
+  /// cover observed codes.
+  Relation Build(bool dedupe = true) &&;
+
+ private:
+  Schema schema_;
+  std::vector<uint32_t> data_;
+  uint64_t num_rows_ = 0;
+  std::vector<std::optional<Dictionary>> dicts_;
+};
+
+}  // namespace ajd
+
+#endif  // AJD_RELATION_RELATION_H_

@@ -1,0 +1,118 @@
+#include "relation/schema.h"
+
+#include <algorithm>
+
+#include "util/math.h"
+
+namespace ajd {
+
+Result<Schema> Schema::Make(std::vector<Attribute> attrs) {
+  if (attrs.size() > kMaxAttrs) {
+    return Status::CapacityExceeded("schema has more than 64 attributes");
+  }
+  Schema s;
+  for (uint32_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i].name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    auto [it, inserted] = s.index_.emplace(attrs[i].name, i);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate attribute name: " +
+                                     attrs[i].name);
+    }
+  }
+  s.attrs_ = std::move(attrs);
+  return s;
+}
+
+Result<Schema> Schema::MakeUniform(const std::vector<std::string>& names,
+                                   uint64_t domain_size) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const auto& n : names) attrs.push_back({n, domain_size});
+  return Make(std::move(attrs));
+}
+
+Result<Schema> Schema::MakeSynthetic(const std::vector<uint64_t>& dims) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    attrs.push_back({"X" + std::to_string(i), dims[i]});
+  }
+  return Make(std::move(attrs));
+}
+
+std::optional<uint32_t> Schema::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint32_t Schema::PositionOf(const std::string& name) const {
+  auto pos = Find(name);
+  AJD_CHECK_MSG(pos.has_value(), "no attribute named '%s'", name.c_str());
+  return *pos;
+}
+
+Result<AttrSet> Schema::SetOf(const std::vector<std::string>& names) const {
+  AttrSet s;
+  for (const auto& n : names) {
+    auto pos = Find(n);
+    if (!pos) return Status::NotFound("no attribute named '" + n + "'");
+    s.Add(*pos);
+  }
+  return s;
+}
+
+std::optional<uint64_t> Schema::DomainProduct(AttrSet attrs) const {
+  uint64_t prod = 1;
+  bool overflow = false;
+  attrs.ForEach([&](uint32_t pos) {
+    AJD_CHECK(pos < size());
+    auto next = CheckedMul(prod, attrs_[pos].domain_size);
+    if (!next) {
+      overflow = true;
+    } else {
+      prod = *next;
+    }
+  });
+  if (overflow) return std::nullopt;
+  return prod;
+}
+
+std::vector<std::string> Schema::NamesOf(AttrSet attrs) const {
+  std::vector<std::string> names;
+  attrs.ForEach([&](uint32_t pos) {
+    AJD_CHECK(pos < size());
+    names.push_back(attrs_[pos].name);
+  });
+  return names;
+}
+
+void Schema::EnsureDomainSize(uint32_t pos, uint64_t size) {
+  AJD_CHECK(pos < this->size());
+  attrs_[pos].domain_size = std::max(attrs_[pos].domain_size, size);
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (uint32_t i = 0; i < size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].name + ":" + std::to_string(attrs_[i].domain_size);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attrs_.size() != other.attrs_.size()) return false;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name != other.attrs_[i].name ||
+        attrs_[i].domain_size != other.attrs_[i].domain_size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ajd

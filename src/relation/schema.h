@@ -1,0 +1,87 @@
+// Schema: the ordered attribute header of a relation (names + domain sizes).
+//
+// Attribute *positions* (0-based indexes into a Schema) are what AttrSet
+// holds; names exist for I/O and natural joins across relations.
+#ifndef AJD_RELATION_SCHEMA_H_
+#define AJD_RELATION_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/attr_set.h"
+#include "util/status.h"
+
+namespace ajd {
+
+/// One attribute: a name and the size of its active domain.
+///
+/// `domain_size` is the number of distinct value codes this attribute may
+/// take (values are codes in [0, domain_size)). For data loaded from files
+/// the dictionary defines the codes; for synthetic domains [d] the codes are
+/// the values themselves.
+struct Attribute {
+  std::string name;
+  uint64_t domain_size = 0;
+};
+
+/// An ordered list of attributes with unique names.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from attributes; returns InvalidArgument on duplicate
+  /// names, empty names, or more than kMaxAttrs attributes.
+  static Result<Schema> Make(std::vector<Attribute> attrs);
+
+  /// Convenience: attributes named from `names`, all with `domain_size`.
+  static Result<Schema> MakeUniform(const std::vector<std::string>& names,
+                                    uint64_t domain_size);
+
+  /// Convenience for synthetic experiments: n attributes "X0".."X{n-1}"
+  /// with the given per-attribute domain sizes.
+  static Result<Schema> MakeSynthetic(const std::vector<uint64_t>& dims);
+
+  /// Number of attributes.
+  uint32_t size() const { return static_cast<uint32_t>(attrs_.size()); }
+
+  /// The attribute at `pos`.
+  const Attribute& attr(uint32_t pos) const { return attrs_[pos]; }
+
+  /// Position of the attribute named `name`, if present.
+  std::optional<uint32_t> Find(const std::string& name) const;
+
+  /// Position of `name`; aborts if absent (for tests/examples where the
+  /// name is known statically).
+  uint32_t PositionOf(const std::string& name) const;
+
+  /// The set of all positions, {0..size-1}.
+  AttrSet AllAttrs() const { return AttrSet::Range(size()); }
+
+  /// AttrSet of the named attributes; NotFound if any is missing.
+  Result<AttrSet> SetOf(const std::vector<std::string>& names) const;
+
+  /// Product of domain sizes over `attrs`, or nullopt on uint64 overflow.
+  std::optional<uint64_t> DomainProduct(AttrSet attrs) const;
+
+  /// Names of the attributes in `attrs`, ascending by position.
+  std::vector<std::string> NamesOf(AttrSet attrs) const;
+
+  /// Grows attribute `pos`'s domain to at least `size`.
+  void EnsureDomainSize(uint32_t pos, uint64_t size);
+
+  /// "name:domain_size, ..." rendering.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace ajd
+
+#endif  // AJD_RELATION_SCHEMA_H_

@@ -1,0 +1,49 @@
+#include "stats/binomial.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ajd {
+
+Binomial::Binomial(uint64_t n, double p) : n_(n), p_(p) {
+  AJD_CHECK(p >= 0.0 && p <= 1.0);
+}
+
+double Binomial::LogPmf(uint64_t k) const {
+  if (k > n_) return -std::numeric_limits<double>::infinity();
+  if (p_ == 0.0) {
+    return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  if (p_ == 1.0) {
+    return k == n_ ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  return LogBinomial(n_, k) + static_cast<double>(k) * std::log(p_) +
+         static_cast<double>(n_ - k) * std::log1p(-p_);
+}
+
+double Binomial::Pmf(uint64_t k) const { return std::exp(LogPmf(k)); }
+
+double Binomial::Cdf(uint64_t k) const {
+  double total = 0.0;
+  uint64_t hi = std::min(k, n_);
+  for (uint64_t i = 0; i <= hi; ++i) total += Pmf(i);
+  return std::min(total, 1.0);
+}
+
+uint64_t Binomial::Sample(Rng* rng) const {
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    if (rng->Bernoulli(p_)) ++hits;
+  }
+  return hits;
+}
+
+double BinomialRelativeChernoffBound(uint64_t n, double p, double xi) {
+  AJD_CHECK(xi >= 0.0 && xi <= 1.0);
+  return 2.0 * std::exp(-xi * xi * p * static_cast<double>(n) / 3.0);
+}
+
+}  // namespace ajd

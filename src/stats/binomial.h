@@ -1,0 +1,49 @@
+// Binomial distribution and the relative Chernoff bound (Lemma D.2), used
+// for the event A in the proof of Proposition 5.4.
+#ifndef AJD_STATS_BINOMIAL_H_
+#define AJD_STATS_BINOMIAL_H_
+
+#include <cstdint>
+
+#include "random/rng.h"
+
+namespace ajd {
+
+/// Binomial(n, p).
+class Binomial {
+ public:
+  Binomial(uint64_t n, double p);
+
+  uint64_t n() const { return n_; }
+  double p() const { return p_; }
+
+  double Mean() const { return static_cast<double>(n_) * p_; }
+  double Variance() const {
+    return static_cast<double>(n_) * p_ * (1.0 - p_);
+  }
+
+  /// ln P[X = k].
+  double LogPmf(uint64_t k) const;
+
+  /// P[X = k].
+  double Pmf(uint64_t k) const;
+
+  /// P[X <= k] by summation.
+  double Cdf(uint64_t k) const;
+
+  /// Draws a sample (sum of Bernoullis; O(n)).
+  uint64_t Sample(Rng* rng) const;
+
+ private:
+  uint64_t n_;
+  double p_;
+};
+
+/// Relative Chernoff bound (Lemma D.2): for i.i.d. Bernoulli(p) B_1..B_n and
+/// any xi in [0,1],
+///   P[ |(1/n) sum B_i - p| >= xi p ] <= 2 exp(-xi^2 p n / 3).
+double BinomialRelativeChernoffBound(uint64_t n, double p, double xi);
+
+}  // namespace ajd
+
+#endif  // AJD_STATS_BINOMIAL_H_

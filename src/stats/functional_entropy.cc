@@ -1,0 +1,99 @@
+#include "stats/functional_entropy.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ajd {
+
+double FunctionalEntropy(const std::vector<double>& values,
+                         const std::vector<double>& probs) {
+  AJD_CHECK(values.size() == probs.size());
+  double e_xlogx = 0.0;
+  double e_x = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    AJD_CHECK(values[i] >= 0.0);
+    e_xlogx += probs[i] * XLogX(values[i]);
+    e_x += probs[i] * values[i];
+  }
+  return e_xlogx - XLogX(e_x);
+}
+
+double FunctionalEntropyOfSamples(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double e_xlogx = 0.0;
+  double e_x = 0.0;
+  const double w = 1.0 / static_cast<double>(samples.size());
+  for (double x : samples) {
+    AJD_CHECK(x >= 0.0);
+    e_xlogx += w * XLogX(x);
+    e_x += w * x;
+  }
+  return e_xlogx - XLogX(e_x);
+}
+
+double BernoulliLsiCoefficient(double p) {
+  AJD_CHECK(p > 0.0 && p < 1.0);
+  if (std::fabs(p - 0.5) < 1e-9) return 2.0;
+  return std::log((1.0 - p) / p) / (1.0 - 2.0 * p);
+}
+
+double EfronSteinVariance(
+    const std::function<double(const std::vector<int>&)>& g, uint32_t d,
+    double p, Rng* rng, uint32_t mc_samples) {
+  AJD_CHECK(d >= 1);
+  AJD_CHECK(p > 0.0 && p < 1.0);
+  auto sq_flip_sum = [&](std::vector<int>* r) {
+    double base = g(*r);
+    double sum = 0.0;
+    for (uint32_t j = 0; j < d; ++j) {
+      (*r)[j] = -(*r)[j];
+      double flipped = g(*r);
+      (*r)[j] = -(*r)[j];
+      double diff = base - flipped;
+      sum += diff * diff;
+    }
+    return sum;
+  };
+
+  double expectation = 0.0;
+  if (d <= 20) {
+    // Exact enumeration over all 2^d sign vectors.
+    std::vector<int> r(d, -1);
+    const uint64_t total = uint64_t{1} << d;
+    for (uint64_t mask = 0; mask < total; ++mask) {
+      double prob = 1.0;
+      uint32_t ones = 0;
+      for (uint32_t j = 0; j < d; ++j) {
+        r[j] = (mask >> j) & 1 ? 1 : -1;
+        if (r[j] == 1) ++ones;
+      }
+      prob = std::pow(p, ones) * std::pow(1.0 - p, d - ones);
+      expectation += prob * sq_flip_sum(&r);
+    }
+  } else {
+    std::vector<int> r(d);
+    for (uint32_t s = 0; s < mc_samples; ++s) {
+      for (uint32_t j = 0; j < d; ++j) r[j] = rng->Bernoulli(p) ? 1 : -1;
+      expectation += sq_flip_sum(&r);
+    }
+    expectation /= static_cast<double>(mc_samples);
+  }
+  return p * (1.0 - p) * expectation;
+}
+
+double LemmaB2EntBound(double rho, double d_b) {
+  AJD_CHECK(rho > 0.0 && rho < 1.0);
+  return 2.0 * rho * std::log(1.0 / rho) / (1.0 - rho) / d_b;
+}
+
+double LemmaB3CouplingBound(double d_b) {
+  AJD_CHECK(d_b > 0.0);
+  double l = std::log(d_b);
+  return std::sqrt(2.0 * l * l / d_b);
+}
+
+double PoissonEntUpperBound() { return 4.0; }
+
+}  // namespace ajd

@@ -1,0 +1,54 @@
+// Functional entropy Ent(X) = E[X ln X] - E[X] ln E[X] (Eq. 53) and the
+// logarithmic-Sobolev machinery of Section 5.2.1: the Bernoulli LSI
+// coefficient (Lemma D.1), Efron-Stein variance estimation, and the paper's
+// closed-form bound on Ent(Ytilde) (Lemma B.2).
+#ifndef AJD_STATS_FUNCTIONAL_ENTROPY_H_
+#define AJD_STATS_FUNCTIONAL_ENTROPY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace ajd {
+
+/// Ent(X) for a discrete nonnegative random variable given as support
+/// values and probabilities: E[X ln X] - E[X] ln E[X]. Nonnegative by
+/// Jensen (t ln t is convex). Values must be >= 0; probabilities must sum
+/// to ~1 (not enforced).
+double FunctionalEntropy(const std::vector<double>& values,
+                         const std::vector<double>& probs);
+
+/// Empirical Ent over equally weighted samples.
+double FunctionalEntropyOfSamples(const std::vector<double>& samples);
+
+/// The LSI coefficient of Lemma D.1 for Bernoulli(p) variables:
+///   c(p) = (1 / (1 - 2p)) ln((1-p)/p),
+/// continuously extended to c(1/2) = 2. The LSI is Ent(g^2) <= c(p) E(g).
+double BernoulliLsiCoefficient(double p);
+
+/// Monte-Carlo estimate of the Efron-Stein variance E(g) of Eq. (340) for a
+/// function g over d i.i.d. {-1,+1} variables with P[+1] = p:
+///   E(g) = p(1-p) E[ sum_j (g(R) - g(R with R_j flipped))^2 ].
+/// Exact enumeration when d <= 20 (2^d evaluations), Monte Carlo otherwise.
+double EfronSteinVariance(
+    const std::function<double(const std::vector<int>&)>& g, uint32_t d,
+    double p, Rng* rng, uint32_t mc_samples = 20000);
+
+/// The paper's closed-form bound on Ent(Ytilde) (Lemma B.2):
+///   Ent(Ytilde) <= 2 rho ln(1/rho) / (1 - rho) * (1/d_b),
+/// where rho = d_a d_b / eta - 1 in (0, 1). Requires rho in (0, 1).
+double LemmaB2EntBound(double rho, double d_b);
+
+/// The bound on |Ent(Y_S) - Ent(Ytilde)| of Lemma B.3:
+///   sqrt(2 ln^2(d_b) / d_b).
+double LemmaB3CouplingBound(double d_b);
+
+/// Ent(W) <= 4 for any Poisson W with mean > 1 (proof of Lemma B.5,
+/// Eq. 281). Exposed as the constant for bench validation.
+double PoissonEntUpperBound();
+
+}  // namespace ajd
+
+#endif  // AJD_STATS_FUNCTIONAL_ENTROPY_H_

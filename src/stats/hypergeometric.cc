@@ -1,0 +1,89 @@
+#include "stats/hypergeometric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ajd {
+
+Hypergeometric::Hypergeometric(uint64_t population, uint64_t successes,
+                               uint64_t draws)
+    : population_(population), successes_(successes), draws_(draws) {
+  AJD_CHECK(successes <= population);
+  AJD_CHECK(draws <= population);
+}
+
+uint64_t Hypergeometric::SupportMin() const {
+  uint64_t failures = population_ - successes_;
+  return draws_ > failures ? draws_ - failures : 0;
+}
+
+uint64_t Hypergeometric::SupportMax() const {
+  return std::min(successes_, draws_);
+}
+
+double Hypergeometric::Mean() const {
+  return static_cast<double>(draws_) * static_cast<double>(successes_) /
+         static_cast<double>(population_);
+}
+
+double Hypergeometric::Variance() const {
+  if (population_ <= 1) return 0.0;
+  double p = static_cast<double>(successes_) / static_cast<double>(population_);
+  double l = static_cast<double>(draws_);
+  double fpc = (static_cast<double>(population_) - l) /
+               (static_cast<double>(population_) - 1.0);
+  return l * p * (1.0 - p) * fpc;
+}
+
+double Hypergeometric::LogPmf(uint64_t k) const {
+  if (k < SupportMin() || k > SupportMax()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return LogBinomial(successes_, k) +
+         LogBinomial(population_ - successes_, draws_ - k) -
+         LogBinomial(population_, draws_);
+}
+
+double Hypergeometric::Pmf(uint64_t k) const { return std::exp(LogPmf(k)); }
+
+double Hypergeometric::Cdf(uint64_t k) const {
+  double total = 0.0;
+  uint64_t hi = std::min(k, SupportMax());
+  for (uint64_t i = SupportMin(); i <= hi; ++i) total += Pmf(i);
+  return std::min(total, 1.0);
+}
+
+uint64_t Hypergeometric::Sample(Rng* rng) const {
+  // Sequential urn simulation: at each of the `draws_` steps, the next item
+  // is a success with probability (remaining successes / remaining items).
+  uint64_t remaining_successes = successes_;
+  uint64_t remaining_population = population_;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < draws_; ++i) {
+    uint64_t pick = rng->UniformU64(remaining_population);
+    if (pick < remaining_successes) {
+      ++hits;
+      --remaining_successes;
+    }
+    --remaining_population;
+  }
+  return hits;
+}
+
+double SerflingTailBound(uint64_t population, uint64_t draws, double eps,
+                         bool sharp) {
+  AJD_CHECK(draws >= 1);
+  double l = static_cast<double>(draws);
+  double denom = l;
+  if (sharp) {
+    denom = l * (1.0 - (l - 1.0) / static_cast<double>(population));
+    if (denom <= 0.0) return 0.0;  // drew the whole population: no deviation
+  }
+  return std::exp(-2.0 * eps * eps / denom);
+}
+
+}  // namespace ajd

@@ -1,0 +1,64 @@
+// Hypergeometric distribution Hypergeometric(L, M, l): the number of
+// successes when drawing l items without replacement from a population of
+// size L containing M successes. This is the law of the per-group sizes
+// N_S(l) and of Z_S(i) in the paper's random relation model (Section 5.2.2,
+// Lemma C.1), together with Serfling's inequality (Lemma D.7).
+#ifndef AJD_STATS_HYPERGEOMETRIC_H_
+#define AJD_STATS_HYPERGEOMETRIC_H_
+
+#include <cstdint>
+
+#include "random/rng.h"
+
+namespace ajd {
+
+/// Hypergeometric(L, M, l) with population L, successes M, draws l.
+class Hypergeometric {
+ public:
+  /// Requires M <= L and l <= L.
+  Hypergeometric(uint64_t population, uint64_t successes, uint64_t draws);
+
+  uint64_t population() const { return population_; }
+  uint64_t successes() const { return successes_; }
+  uint64_t draws() const { return draws_; }
+
+  /// Smallest value with positive probability: max(0, l - (L - M)).
+  uint64_t SupportMin() const;
+
+  /// Largest value with positive probability: min(M, l).
+  uint64_t SupportMax() const;
+
+  /// E[Y] = l * M / L.
+  double Mean() const;
+
+  /// Var[Y] = l * (M/L) * (1 - M/L) * (L - l) / (L - 1).
+  double Variance() const;
+
+  /// ln P[Y = k]; -inf outside the support.
+  double LogPmf(uint64_t k) const;
+
+  /// P[Y = k].
+  double Pmf(uint64_t k) const;
+
+  /// P[Y <= k] by summation over the support.
+  double Cdf(uint64_t k) const;
+
+  /// Draws a sample by sequential (urn) simulation, O(draws).
+  uint64_t Sample(Rng* rng) const;
+
+ private:
+  uint64_t population_;
+  uint64_t successes_;
+  uint64_t draws_;
+};
+
+/// Serfling's inequality, simplified form (Lemma D.7):
+///   P[Y - E[Y] >= eps] <= exp(-2 eps^2 / (l (1 - (l-1)/L)))
+/// for Y ~ Hypergeometric(L, K, l). `sharp` selects the (tighter) version
+/// with the finite-population factor; otherwise the plain exp(-2 eps^2 / l).
+double SerflingTailBound(uint64_t population, uint64_t draws, double eps,
+                         bool sharp = true);
+
+}  // namespace ajd
+
+#endif  // AJD_STATS_HYPERGEOMETRIC_H_

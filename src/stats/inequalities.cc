@@ -1,0 +1,48 @@
+#include "stats/inequalities.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ajd {
+
+LogSumSides LogSumInequality(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  AJD_CHECK(a.size() == b.size());
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  double rhs = 0.0;
+  bool rhs_infinite = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    AJD_CHECK(a[i] >= 0.0 && b[i] >= 0.0);
+    sum_a += a[i];
+    sum_b += b[i];
+    if (a[i] > 0.0) {
+      if (b[i] == 0.0) {
+        rhs_infinite = true;
+      } else {
+        rhs += a[i] * std::log(a[i] / b[i]);
+      }
+    }
+  }
+  LogSumSides out;
+  out.lhs = (sum_a > 0.0 && sum_b > 0.0) ? sum_a * std::log(sum_a / sum_b)
+                                         : 0.0;
+  out.rhs = rhs_infinite ? std::numeric_limits<double>::infinity() : rhs;
+  return out;
+}
+
+double NegTLogTChordBound(double s, double t) {
+  AJD_CHECK(s >= 0.0 && s <= 1.0 && t >= 0.0 && t <= 1.0);
+  return 2.0 * NegTLogT(std::fabs(s - t));
+}
+
+double LemmaD6Threshold(double y) {
+  AJD_CHECK(y >= std::exp(1.0));
+  // 2 y ln y, not the paper's y ln y — see the header's erratum note.
+  return 2.0 * y * std::log(y);
+}
+
+}  // namespace ajd

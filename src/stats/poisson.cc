@@ -1,0 +1,75 @@
+#include "stats/poisson.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ajd {
+
+Poisson::Poisson(double lambda) : lambda_(lambda) {
+  AJD_CHECK(lambda > 0.0);
+}
+
+double Poisson::LogPmf(uint64_t k) const {
+  return static_cast<double>(k) * std::log(lambda_) - lambda_ -
+         LogFactorial(k);
+}
+
+double Poisson::Pmf(uint64_t k) const { return std::exp(LogPmf(k)); }
+
+double Poisson::Cdf(uint64_t k) const {
+  // Stable forward recursion on the pmf.
+  double term = std::exp(-lambda_);
+  double total = term;
+  for (uint64_t i = 1; i <= k; ++i) {
+    term *= lambda_ / static_cast<double>(i);
+    total += term;
+  }
+  return std::min(total, 1.0);
+}
+
+namespace {
+
+// Knuth's product method; valid while exp(-lambda) does not underflow.
+uint64_t SampleSmall(double lambda, Rng* rng) {
+  const double threshold = std::exp(-lambda);
+  uint64_t k = 0;
+  double p = 1.0;
+  while (true) {
+    p *= rng->NextDouble();
+    if (p <= threshold) return k;
+    ++k;
+  }
+}
+
+}  // namespace
+
+uint64_t Poisson::Sample(Rng* rng) const {
+  // Split large lambda into halves (Poisson additivity) until the product
+  // method is numerically safe.
+  double remaining = lambda_;
+  uint64_t total = 0;
+  while (remaining > 500.0) {
+    total += SampleSmall(250.0, rng);
+    remaining -= 250.0;
+  }
+  return total + SampleSmall(remaining, rng);
+}
+
+double PoissonChernoffBound(double lambda, double alpha) {
+  AJD_CHECK(alpha > 3.0 * std::exp(1.0));
+  return std::exp(-lambda) *
+         std::exp(alpha * lambda * (1.0 - std::log(alpha)));
+}
+
+double PoissonLipschitzTailBound(double lambda, double t) {
+  AJD_CHECK(t > 0.0);
+  return std::exp(-(t / 4.0) * std::log1p(t / (2.0 * lambda)));
+}
+
+double PoissonExpectedInverseOnePlus(double lambda) {
+  return (1.0 - std::exp(-lambda)) / lambda;
+}
+
+}  // namespace ajd

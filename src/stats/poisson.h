@@ -1,0 +1,56 @@
+// Poisson distribution and the Poisson concentration tools of Appendix D:
+// Chernoff's bound (Lemma D.3) and concentration of Lipschitz functions
+// (Lemma D.4), used in the proof of Proposition 5.5 after Poissonization.
+#ifndef AJD_STATS_POISSON_H_
+#define AJD_STATS_POISSON_H_
+
+#include <cstdint>
+
+#include "random/rng.h"
+
+namespace ajd {
+
+/// Poisson(lambda), lambda > 0.
+class Poisson {
+ public:
+  explicit Poisson(double lambda);
+
+  double lambda() const { return lambda_; }
+
+  double Mean() const { return lambda_; }
+  double Variance() const { return lambda_; }
+
+  /// ln P[W = k] = k ln(lambda) - lambda - ln(k!).
+  double LogPmf(uint64_t k) const;
+
+  /// P[W = k].
+  double Pmf(uint64_t k) const;
+
+  /// P[W <= k] by summation.
+  double Cdf(uint64_t k) const;
+
+  /// Draws a sample. Inversion-by-search for small lambda; for large lambda
+  /// the sum-of-halves recursion keeps the per-sample work O(lambda) with
+  /// small constants (adequate for test/bench workloads).
+  uint64_t Sample(Rng* rng) const;
+
+ private:
+  double lambda_;
+};
+
+/// Chernoff bound for Poisson (Lemma D.3): for alpha > 3e,
+///   P[X >= alpha * lambda] <= e^{-lambda} (e/alpha)^{alpha lambda}
+///                          <= e^{-alpha lambda}.
+/// Returns the middle (tighter) expression.
+double PoissonChernoffBound(double lambda, double alpha);
+
+/// Concentration of 1-Lipschitz functions of a Poisson (Lemma D.4):
+///   P[f(W) - E f(W) > t] <= exp(-(t/4) ln(1 + t/(2 lambda))).
+double PoissonLipschitzTailBound(double lambda, double t);
+
+/// E[1/(1+W)] for W ~ Poisson(lambda): (1 - e^-lambda)/lambda (Eq. 280).
+double PoissonExpectedInverseOnePlus(double lambda);
+
+}  // namespace ajd
+
+#endif  // AJD_STATS_POISSON_H_

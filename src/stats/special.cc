@@ -1,0 +1,38 @@
+#include "stats/special.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ajd {
+
+double GHat(double t, double zeta) {
+  AJD_CHECK(zeta >= std::exp(1.0));
+  AJD_CHECK(t >= 0.0);
+  if (t <= 1.0 / zeta) {
+    return t * std::log(zeta / std::exp(1.0)) + 1.0 / zeta;
+  }
+  return NegTLogT(t);
+}
+
+double GTilde(double t, double eta) {
+  const double inv_e = std::exp(-1.0);
+  if (t <= inv_e) return GHat(t, eta);
+  return GHat(inv_e, eta);
+}
+
+double FZeta(uint64_t w, double zeta) {
+  AJD_CHECK(zeta > 2.0);
+  return w == 0 ? 1.0 / zeta : static_cast<double>(w);
+}
+
+double PoissonizationFactor(double d_a) { return 21.0 * d_a * d_a; }
+
+double GHatLipschitzConstant(double eta) {
+  return std::log(eta / std::exp(1.0));
+}
+
+double GHatApproxError(double zeta) { return 1.0 / zeta; }
+
+}  // namespace ajd

@@ -1,0 +1,39 @@
+// The scalar special functions used in the proofs of Section 5 / Appendix B:
+// the Lipschitz surrogates of g(t) = -t ln t, the Poissonization constant,
+// and small helpers. These are exposed so the benchmark harness can validate
+// the analytic machinery numerically.
+#ifndef AJD_STATS_SPECIAL_H_
+#define AJD_STATS_SPECIAL_H_
+
+#include <cstdint>
+
+namespace ajd {
+
+/// ghat_zeta(t), Eq. (209): the Lipschitz modification of g(t) = -t ln t,
+///   ghat(t) = t ln(zeta/e) + 1/zeta  for 0 <= t <= 1/zeta,
+///   ghat(t) = -t ln t                for t >= 1/zeta.
+/// Requires zeta >= e. On [0,1] it is ln(zeta/e)-Lipschitz and
+/// sup |ghat - g| = 1/zeta (Eq. 210).
+double GHat(double t, double zeta);
+
+/// gtilde_eta(t), Eq. (219): GHat capped at its maximum,
+///   gtilde(t) = ghat_eta(t)      for 0 <= t <= 1/e,
+///   gtilde(t) = ghat_eta(1/e)    for t > 1/e.
+double GTilde(double t, double eta);
+
+/// f_zeta(w), Eq. (261): f(0) = 1/zeta, f(w) = w for w >= 1 (zeta > 2).
+double FZeta(uint64_t w, double zeta);
+
+/// The Poissonization pre-factor of Lemma B.4: P[Z = b] <= 21 dA^2 P[W = b]
+/// for hypergeometric Z and Poisson W with matched means.
+double PoissonizationFactor(double d_a);
+
+/// The Lipschitz semi-norm of ghat_eta on [0, 1]: ln(eta / e).
+double GHatLipschitzConstant(double eta);
+
+/// max_t |ghat_zeta(t) - g(t)| = 1/zeta on [0, 1] (Eq. 210).
+double GHatApproxError(double zeta);
+
+}  // namespace ajd
+
+#endif  // AJD_STATS_SPECIAL_H_

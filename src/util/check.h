@@ -1,0 +1,34 @@
+// Assertion macros for programmer errors (contract violations). These abort
+// with a diagnostic; they are NOT for data-dependent failures, which surface
+// as ajd::Status.
+#ifndef AJD_UTIL_CHECK_H_
+#define AJD_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message if `cond` is false. Active in all build types:
+/// the invariants guarded by AJD_CHECK are cheap relative to the numeric
+/// work around them, and silent corruption is worse than an abort.
+#define AJD_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "AJD_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// AJD_CHECK with an extra printf-style explanation.
+#define AJD_CHECK_MSG(cond, ...)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "AJD_CHECK failed: %s at %s:%d: ", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // AJD_UTIL_CHECK_H_

@@ -1,0 +1,113 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ajd {
+
+std::optional<uint64_t> CheckedMul(uint64_t a, uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<uint64_t>::max() / a) {
+    return std::nullopt;
+  }
+  return a * b;
+}
+
+std::optional<uint64_t> CheckedAdd(uint64_t a, uint64_t b) {
+  if (b > std::numeric_limits<uint64_t>::max() - a) return std::nullopt;
+  return a + b;
+}
+
+std::optional<uint64_t> CheckedProduct(const std::vector<uint64_t>& dims) {
+  uint64_t prod = 1;
+  for (uint64_t d : dims) {
+    auto next = CheckedMul(prod, d);
+    if (!next) return std::nullopt;
+    prod = *next;
+  }
+  return prod;
+}
+
+double LogBinomial(uint64_t n, uint64_t k) {
+  AJD_CHECK(k <= n);
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+MixedRadixCodec::MixedRadixCodec(std::vector<uint64_t> dims)
+    : dims_(std::move(dims)) {
+  strides_.assign(dims_.size(), 1);
+  uint64_t prod = 1;
+  bool ok = true;
+  for (size_t i = dims_.size(); i-- > 0;) {
+    if (dims_[i] == 0) {
+      ok = false;
+      break;
+    }
+    strides_[i] = prod;
+    auto next = CheckedMul(prod, dims_[i]);
+    if (!next) {
+      ok = false;
+      break;
+    }
+    prod = *next;
+  }
+  size_ = prod;
+  valid_ = ok;
+}
+
+void MixedRadixCodec::Decode(uint64_t index, std::vector<uint32_t>* out) const {
+  AJD_CHECK(valid_);
+  AJD_CHECK(index < size_);
+  out->resize(dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    uint64_t coord = index / strides_[i];
+    index -= coord * strides_[i];
+    (*out)[i] = static_cast<uint32_t>(coord);
+  }
+}
+
+uint64_t MixedRadixCodec::Encode(const std::vector<uint32_t>& coords) const {
+  AJD_CHECK(valid_);
+  AJD_CHECK(coords.size() == dims_.size());
+  uint64_t index = 0;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    AJD_CHECK(coords[i] < dims_[i]);
+    index += coords[i] * strides_[i];
+  }
+  return index;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mu = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  AJD_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double pos = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+bool ApproxEqual(double a, double b, double tol) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace ajd

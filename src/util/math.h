@@ -1,0 +1,113 @@
+// Numeric helpers shared across the library: logarithm conventions, safe
+// integer arithmetic over huge product domains, mixed-radix codecs, and the
+// small scalar functions used throughout the paper's bounds.
+//
+// Convention: ALL information-theoretic quantities in this library are in
+// nats (natural logarithm). See DESIGN.md. NatsToBits/BitsToNats convert.
+#ifndef AJD_UTIL_MATH_H_
+#define AJD_UTIL_MATH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ajd {
+
+/// ln(2), used to convert between nats and bits.
+inline constexpr double kLn2 = 0.6931471805599453094;
+
+/// Converts an information quantity from nats to bits.
+inline double NatsToBits(double nats) { return nats / kLn2; }
+
+/// Converts an information quantity from bits to nats.
+inline double BitsToNats(double bits) { return bits * kLn2; }
+
+/// x * ln(x) with the standard continuous extension 0 ln 0 = 0.
+/// This is the building block of all entropy computations.
+inline double XLogX(double x) { return x > 0.0 ? x * std::log(x) : 0.0; }
+
+/// The paper's g(t) = -t ln t (Section 5.2.2), continuously extended at 0.
+inline double NegTLogT(double t) { return -XLogX(t); }
+
+/// The paper's h(t) = t ln(1 + t) (Eq. 57).
+inline double TLog1p(double t) { return t * std::log1p(t); }
+
+/// The paper's C(d) = 2 ln(d) / sqrt(d) (Eq. 45): the additive slack in the
+/// expected-entropy bound of Proposition 5.4.
+inline double EntropySlackC(double d) {
+  return 2.0 * std::log(d) / std::sqrt(d);
+}
+
+/// Returns a*b, or nullopt on uint64 overflow.
+std::optional<uint64_t> CheckedMul(uint64_t a, uint64_t b);
+
+/// Returns a+b, or nullopt on uint64 overflow.
+std::optional<uint64_t> CheckedAdd(uint64_t a, uint64_t b);
+
+/// Product of `dims`, or nullopt on overflow. Empty product is 1.
+std::optional<uint64_t> CheckedProduct(const std::vector<uint64_t>& dims);
+
+/// ln Gamma(x) for x > 0 (thin wrapper over std::lgamma; kept behind a
+/// named function so call sites read as math, not libc).
+inline double LogGamma(double x) { return std::lgamma(x); }
+
+/// ln(n!) via lgamma.
+inline double LogFactorial(uint64_t n) {
+  return LogGamma(static_cast<double>(n) + 1.0);
+}
+
+/// ln C(n, k), the log binomial coefficient. Requires k <= n.
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// Mixed-radix codec for the product domain [d_0] x ... x [d_{n-1}].
+/// Encodes a coordinate vector as a single index in [0, prod d_i) and back.
+/// Coordinates are 0-based; index 0 maps to the all-zero tuple, and the
+/// LAST dimension varies fastest (row-major).
+class MixedRadixCodec {
+ public:
+  /// Creates a codec over the given per-dimension sizes. All sizes must be
+  /// >= 1 and the product must fit in uint64 (checked by Valid()).
+  explicit MixedRadixCodec(std::vector<uint64_t> dims);
+
+  /// True iff all dims >= 1 and the total product fits in uint64.
+  bool Valid() const { return valid_; }
+
+  /// Total number of points, prod d_i. Only meaningful when Valid().
+  uint64_t Size() const { return size_; }
+
+  /// Number of dimensions.
+  size_t NumDims() const { return dims_.size(); }
+
+  /// Size of dimension i.
+  uint64_t Dim(size_t i) const { return dims_[i]; }
+
+  /// Decodes `index` into `out` (resized to NumDims()). index < Size().
+  void Decode(uint64_t index, std::vector<uint32_t>* out) const;
+
+  /// Encodes a coordinate vector (coords[i] < Dim(i)) into an index.
+  uint64_t Encode(const std::vector<uint32_t>& coords) const;
+
+ private:
+  std::vector<uint64_t> dims_;
+  std::vector<uint64_t> strides_;  // strides_[i] = prod_{j>i} dims_[j]
+  uint64_t size_ = 0;
+  bool valid_ = false;
+};
+
+/// Mean of a vector (0 for empty input).
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation (0 for n < 2).
+double SampleStdDev(const std::vector<double>& xs);
+
+/// q-quantile (0 <= q <= 1) by linear interpolation on the sorted copy.
+/// Returns 0 for empty input.
+double Quantile(std::vector<double> xs, double q);
+
+/// True iff |a - b| <= tol * max(1, |a|, |b|) (relative-absolute blend).
+bool ApproxEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace ajd
+
+#endif  // AJD_UTIL_MATH_H_

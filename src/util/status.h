@@ -1,0 +1,130 @@
+// Status / Result error-handling primitives, in the RocksDB style: library
+// operations that can fail for data-dependent reasons return a Status (or a
+// Result<T> carrying a value), never throw.
+#ifndef AJD_UTIL_STATUS_H_
+#define AJD_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ajd {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed structurally invalid input.
+  kNotFound,          ///< A referenced entity (attribute, file, ...) is absent.
+  kOutOfRange,        ///< A numeric parameter lies outside its legal range.
+  kFailedPrecondition,///< Object state does not admit the operation.
+  kCapacityExceeded,  ///< A size limit (e.g. 64 attributes) was exceeded.
+  kIoError,           ///< Underlying file / stream failure.
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an explanatory message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy when OK
+/// (message is empty) and carry a diagnostic string otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category.
+  StatusCode code() const { return code_; }
+
+  /// The diagnostic message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union: either holds a T (status OK) or an error Status.
+///
+/// Usage:
+///   Result<Relation> r = Relation::FromRows(...);
+///   if (!r.ok()) return r.status();
+///   UseRelation(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status (OK if a value is held).
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  /// The held value or `fallback` when this is an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace ajd
+
+#endif  // AJD_UTIL_STATUS_H_

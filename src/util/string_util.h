@@ -1,0 +1,28 @@
+// Small string helpers used by I/O and diagnostics.
+#ifndef AJD_UTIL_STRING_UTIL_H_
+#define AJD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ajd {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Formats a double with `precision` significant digits (for tables/CSV).
+std::string FormatDouble(double x, int precision = 6);
+
+/// True iff `s` parses entirely as a non-negative integer; stores it in *out.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+}  // namespace ajd
+
+#endif  // AJD_UTIL_STRING_UTIL_H_

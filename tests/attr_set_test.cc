@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "relation/attr_set.h"
+
+namespace ajd {
+namespace {
+
+TEST(AttrSet, EmptyByDefault) {
+  AttrSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+}
+
+TEST(AttrSet, InitializerListAndContains) {
+  AttrSet s{0, 5, 63};
+  EXPECT_EQ(s.Count(), 3u);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_FALSE(s.Contains(1));
+}
+
+TEST(AttrSet, AddRemove) {
+  AttrSet s;
+  s.Add(7);
+  EXPECT_TRUE(s.Contains(7));
+  s.Remove(7);
+  EXPECT_FALSE(s.Contains(7));
+  s.Remove(7);  // removing an absent element is a no-op
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(AttrSet, RangeCoversPrefix) {
+  AttrSet s = AttrSet::Range(5);
+  EXPECT_EQ(s.Count(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_TRUE(s.Contains(i));
+  EXPECT_FALSE(s.Contains(5));
+  EXPECT_EQ(AttrSet::Range(0).Count(), 0u);
+  EXPECT_EQ(AttrSet::Range(64).Count(), 64u);
+}
+
+TEST(AttrSet, SingletonAndFirst) {
+  AttrSet s = AttrSet::Singleton(12);
+  EXPECT_EQ(s.Count(), 1u);
+  EXPECT_EQ(s.First(), 12u);
+}
+
+TEST(AttrSet, SetAlgebra) {
+  AttrSet a{0, 1, 2};
+  AttrSet b{2, 3};
+  EXPECT_EQ(a.Union(b), (AttrSet{0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), (AttrSet{2}));
+  EXPECT_EQ(a.Minus(b), (AttrSet{0, 1}));
+  EXPECT_TRUE((AttrSet{0, 1}).IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE((AttrSet{0}).DisjointFrom(AttrSet{1}));
+  EXPECT_FALSE(a.DisjointFrom(b));
+}
+
+TEST(AttrSet, ToIndicesAscending) {
+  AttrSet s{9, 1, 40};
+  EXPECT_EQ(s.ToIndices(), (std::vector<uint32_t>{1, 9, 40}));
+}
+
+TEST(AttrSet, ForEachVisitsAscending) {
+  AttrSet s{3, 0, 17};
+  std::vector<uint32_t> seen;
+  s.ForEach([&](uint32_t p) { seen.push_back(p); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{0, 3, 17}));
+}
+
+TEST(AttrSet, ToStringRendering) {
+  EXPECT_EQ((AttrSet{0, 2}).ToString(), "{0,2}");
+  EXPECT_EQ(AttrSet().ToString(), "{}");
+}
+
+TEST(AttrSet, OrderingByMask) {
+  EXPECT_LT(AttrSet{0}, AttrSet{1});
+  EXPECT_LT(AttrSet(), AttrSet{0});
+}
+
+TEST(AttrSet, HashDistinguishesSets) {
+  AttrSetHash h;
+  EXPECT_NE(h(AttrSet{0}), h(AttrSet{1}));
+  EXPECT_EQ(h(AttrSet{0, 5}), h(AttrSet{5, 0}));
+}
+
+TEST(AttrSet, FromMaskRoundTrip) {
+  AttrSet s = AttrSet::FromMask(0b1011);
+  EXPECT_EQ(s, (AttrSet{0, 1, 3}));
+  EXPECT_EQ(s.mask(), 0b1011u);
+}
+
+TEST(ForEachSubsetOfSize, EnumeratesAllCombinations) {
+  AttrSet universe{1, 3, 5, 7};
+  std::set<uint64_t> seen;
+  ForEachSubsetOfSize(universe, 2, [&](AttrSet s) {
+    EXPECT_EQ(s.Count(), 2u);
+    EXPECT_TRUE(s.IsSubsetOf(universe));
+    seen.insert(s.mask());
+  });
+  EXPECT_EQ(seen.size(), 6u);  // C(4,2)
+}
+
+TEST(ForEachSubsetOfSize, SizeZeroYieldsEmptySetOnce) {
+  int count = 0;
+  ForEachSubsetOfSize(AttrSet{2, 4}, 0, [&](AttrSet s) {
+    EXPECT_TRUE(s.Empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ForEachSubsetOfSize, OversizeYieldsNothing) {
+  int count = 0;
+  ForEachSubsetOfSize(AttrSet{1}, 2, [&](AttrSet) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ForEachSubsetOfSize, FullSizeYieldsUniverse) {
+  AttrSet universe{0, 9, 33};
+  int count = 0;
+  ForEachSubsetOfSize(universe, 3, [&](AttrSet s) {
+    EXPECT_EQ(s, universe);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace ajd

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "info/dist_info.h"
+#include "info/j_measure.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+// A random joint distribution over `arity` variables with the given domain
+// size per variable: a random subset of the product domain with Dirichlet-
+// style random masses.
+SparseDistribution RandomDistribution(Rng* rng, size_t arity,
+                                      uint32_t domain, uint32_t support) {
+  SparseDistribution p(arity);
+  std::vector<uint32_t> tuple(arity);
+  std::vector<double> masses;
+  double total = 0.0;
+  for (uint32_t s = 0; s < support; ++s) {
+    for (size_t k = 0; k < arity; ++k) {
+      tuple[k] = static_cast<uint32_t>(rng->UniformU64(domain));
+    }
+    double m = -std::log(1.0 - rng->NextDouble() + 1e-12);  // Exp(1)
+    p.Add(tuple.data(), m);  // duplicate tuples just accumulate
+    total += m;
+  }
+  // Normalize by rebuilding (SparseDistribution has no scale; divide).
+  SparseDistribution out(arity);
+  for (uint32_t i = 0; i < p.SupportSize(); ++i) {
+    out.Add(p.TupleAt(i), p.ProbAt(i) / total);
+  }
+  (void)masses;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.2 on arbitrary (non-uniform, non-empirical) distributions:
+// J(T) = D_KL(P || P^T) for every P and every join tree.
+// ---------------------------------------------------------------------------
+
+class DistTheorem32Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistTheorem32Test, JEqualsKlForArbitraryDistributions) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    SparseDistribution p = RandomDistribution(&rng, 4, 3, 40);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 4);
+    double j = JMeasureOfDistribution(p, t);
+    DistFactorized pt(p, t);
+    EXPECT_NEAR(j, pt.KlFromSource(), 1e-8) << t.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistTheorem32Test,
+                         ::testing::Values(401, 402, 403, 404, 405));
+
+// ---------------------------------------------------------------------------
+// Lemma 3.4: P^T minimizes KL(P || Q) over tree-factorized Q. We compare
+// against factorizations of OTHER random distributions.
+// ---------------------------------------------------------------------------
+
+class DistLemma34Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistLemma34Test, FactorizedSourceMinimizesKl) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    SparseDistribution p = RandomDistribution(&rng, 3, 3, 25);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 3);
+    DistFactorized pt(p, t);
+    double own = pt.KlFromSource();
+    for (int other = 0; other < 5; ++other) {
+      SparseDistribution q = RandomDistribution(&rng, 3, 3, 25);
+      double cross = KlToFactorizedOf(p, q, t);
+      EXPECT_GE(cross + 1e-8, own) << t.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistLemma34Test,
+                         ::testing::Values(411, 412, 413));
+
+TEST(DistInfo, MarginalEntropyMatchesDirectComputation) {
+  Rng rng(420);
+  SparseDistribution p = RandomDistribution(&rng, 3, 4, 30);
+  // H over positions {0,2} by hand.
+  SparseDistribution m = p.Marginal({0, 2});
+  EXPECT_NEAR(MarginalEntropy(p, AttrSet{0, 2}), m.Entropy(), 1e-12);
+}
+
+TEST(DistInfo, ProductDistributionHasZeroJ) {
+  // P(x,y) = P(x)P(y): the 2-bag schema {0},{1} is exact.
+  SparseDistribution p(2);
+  double px[2] = {0.3, 0.7};
+  double py[3] = {0.2, 0.5, 0.3};
+  for (uint32_t x = 0; x < 2; ++x) {
+    for (uint32_t y = 0; y < 3; ++y) {
+      uint32_t t[2] = {x, y};
+      p.Add(t, px[x] * py[y]);
+    }
+  }
+  JoinTree tree = JoinTree::Make({AttrSet{0}, AttrSet{1}}, {{0, 1}}).value();
+  EXPECT_NEAR(JMeasureOfDistribution(p, tree), 0.0, 1e-12);
+  DistFactorized pt(p, tree);
+  // P^T equals P pointwise.
+  for (uint32_t i = 0; i < p.SupportSize(); ++i) {
+    EXPECT_NEAR(pt.Density(p.TupleAt(i)), p.ProbAt(i), 1e-12);
+  }
+}
+
+TEST(DistInfo, MarkovChainFactorizesExactly) {
+  // P(x,y,z) = P(x) P(y|x) P(z|y): the path {0,1},{1,2} captures it.
+  Rng rng(421);
+  SparseDistribution p(3);
+  double px[2] = {0.4, 0.6};
+  double pyx[2][2] = {{0.1, 0.9}, {0.8, 0.2}};
+  double pzy[2][2] = {{0.5, 0.5}, {0.3, 0.7}};
+  for (uint32_t x = 0; x < 2; ++x) {
+    for (uint32_t y = 0; y < 2; ++y) {
+      for (uint32_t z = 0; z < 2; ++z) {
+        uint32_t t[3] = {x, y, z};
+        p.Add(t, px[x] * pyx[x][y] * pzy[y][z]);
+      }
+    }
+  }
+  JoinTree tree =
+      JoinTree::Make({AttrSet{0, 1}, AttrSet{1, 2}}, {{0, 1}}).value();
+  EXPECT_NEAR(JMeasureOfDistribution(p, tree), 0.0, 1e-12);
+  // The wrong conditional structure is NOT captured: {0,2},{1,2} requires
+  // X _||_ Y | Z which fails for generic parameters.
+  JoinTree wrong =
+      JoinTree::Make({AttrSet{0, 2}, AttrSet{1, 2}}, {{0, 1}}).value();
+  EXPECT_GT(JMeasureOfDistribution(p, wrong), 1e-4);
+}
+
+TEST(DistInfo, AgreesWithRelationLevelMachineryOnEmpirical) {
+  Rng rng(422);
+  for (int trial = 0; trial < 10; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 40);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 4);
+    SparseDistribution p =
+        SparseDistribution::Empirical(r, r.schema().AllAttrs());
+    EXPECT_NEAR(JMeasureOfDistribution(p, t), JMeasure(r, t), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ajd

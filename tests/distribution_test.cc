@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "info/distribution.h"
+#include "random/rng.h"
+#include "test_util.h"
+#include "util/math.h"
+
+namespace ajd {
+namespace {
+
+TEST(SparseDistribution, EmpiricalIsUniformOnDistinctRows) {
+  Schema s = Schema::Make({{"A", 3}, {"B", 3}}).value();
+  Relation r = Relation::FromRows(s, {{0, 0}, {1, 1}, {2, 2}}).value();
+  SparseDistribution d = SparseDistribution::Empirical(r, AttrSet{0, 1});
+  EXPECT_EQ(d.SupportSize(), 3u);
+  for (uint32_t i = 0; i < d.SupportSize(); ++i) {
+    EXPECT_NEAR(d.ProbAt(i), 1.0 / 3.0, 1e-12);
+  }
+  EXPECT_NEAR(d.TotalMass(), 1.0, 1e-12);
+}
+
+TEST(SparseDistribution, EmpiricalMarginalAggregates) {
+  Schema s = Schema::Make({{"A", 2}, {"B", 2}}).value();
+  Relation r =
+      Relation::FromRows(s, {{0, 0}, {0, 1}, {1, 0}, {1, 1}}).value();
+  SparseDistribution d = SparseDistribution::Empirical(r, AttrSet{0});
+  EXPECT_EQ(d.SupportSize(), 2u);
+  uint32_t key0[] = {0};
+  EXPECT_NEAR(d.Prob(key0), 0.5, 1e-12);
+}
+
+TEST(SparseDistribution, EntropyOfUniform) {
+  Schema s = Schema::Make({{"A", 4}}).value();
+  Relation r = Relation::FromRows(s, {{0}, {1}, {2}, {3}}).value();
+  SparseDistribution d = SparseDistribution::Empirical(r, AttrSet{0});
+  EXPECT_NEAR(d.Entropy(), std::log(4.0), 1e-12);
+}
+
+TEST(SparseDistribution, EmptyAttrSetIsPointMass) {
+  Schema s = Schema::Make({{"A", 2}}).value();
+  Relation r = Relation::FromRows(s, {{0}, {1}}).value();
+  SparseDistribution d = SparseDistribution::Empirical(r, AttrSet());
+  EXPECT_EQ(d.arity(), 0u);
+  EXPECT_NEAR(d.TotalMass(), 1.0, 1e-12);
+  EXPECT_NEAR(d.Entropy(), 0.0, 1e-12);
+}
+
+TEST(SparseDistribution, MarginalOfMarginalConsistency) {
+  Rng rng(41);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 3, 50);
+  SparseDistribution joint =
+      SparseDistribution::Empirical(r, AttrSet{0, 1, 2});
+  // Marginalize the joint onto local positions {0,2} -> attrs {0,2}.
+  SparseDistribution via_joint = joint.Marginal({0, 2});
+  SparseDistribution direct = SparseDistribution::Empirical(r, AttrSet{0, 2});
+  EXPECT_EQ(via_joint.SupportSize(), direct.SupportSize());
+  for (uint32_t i = 0; i < direct.SupportSize(); ++i) {
+    EXPECT_NEAR(direct.ProbAt(i), via_joint.Prob(direct.TupleAt(i)), 1e-12);
+  }
+}
+
+TEST(SparseDistribution, ProbOutsideSupportIsZero) {
+  Schema s = Schema::Make({{"A", 5}}).value();
+  Relation r = Relation::FromRows(s, {{1}}).value();
+  SparseDistribution d = SparseDistribution::Empirical(r, AttrSet{0});
+  uint32_t missing[] = {4};
+  EXPECT_EQ(d.Prob(missing), 0.0);
+}
+
+TEST(KlDivergence, ZeroForIdenticalDistributions) {
+  Rng rng(42);
+  Relation r = testing_util::RandomTestRelation(&rng, 2, 4, 30);
+  SparseDistribution p = SparseDistribution::Empirical(r, AttrSet{0, 1});
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDivergence, NonNegativeOnRandomPairs) {
+  Rng rng(43);
+  for (int trial = 0; trial < 30; ++trial) {
+    Relation r1 = testing_util::RandomTestRelation(&rng, 2, 3, 40);
+    Relation r2 = testing_util::RandomTestRelation(&rng, 2, 3, 40);
+    SparseDistribution p = SparseDistribution::Empirical(r1, AttrSet{0, 1});
+    SparseDistribution q = SparseDistribution::Empirical(r2, AttrSet{0, 1});
+    double kl = KlDivergence(p, q);
+    EXPECT_GE(kl, -1e-12);  // may be +inf, which also passes
+  }
+}
+
+TEST(KlDivergence, InfiniteWhenSupportEscapes) {
+  Schema s = Schema::Make({{"A", 3}}).value();
+  Relation r1 = Relation::FromRows(s, {{0}, {1}}).value();
+  Relation r2 = Relation::FromRows(s, {{0}}).value();
+  SparseDistribution p = SparseDistribution::Empirical(r1, AttrSet{0});
+  SparseDistribution q = SparseDistribution::Empirical(r2, AttrSet{0});
+  EXPECT_TRUE(std::isinf(KlDivergence(p, q)));
+  EXPECT_FALSE(std::isinf(KlDivergence(q, p)));
+}
+
+TEST(TotalVariation, BoundsAndSymmetry) {
+  Rng rng(44);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r1 = testing_util::RandomTestRelation(&rng, 2, 3, 30);
+    Relation r2 = testing_util::RandomTestRelation(&rng, 2, 3, 30);
+    SparseDistribution p = SparseDistribution::Empirical(r1, AttrSet{0, 1});
+    SparseDistribution q = SparseDistribution::Empirical(r2, AttrSet{0, 1});
+    double tv = TotalVariation(p, q);
+    EXPECT_GE(tv, 0.0);
+    EXPECT_LE(tv, 1.0 + 1e-12);
+    EXPECT_NEAR(tv, TotalVariation(q, p), 1e-12);
+  }
+}
+
+TEST(TotalVariation, PinskerInequality) {
+  // KL >= 2 * TV^2 (in nats). A classic sanity check tying the two
+  // divergences together.
+  Rng rng(45);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r1 = testing_util::RandomTestRelation(&rng, 2, 3, 60);
+    Relation r2 = testing_util::RandomTestRelation(&rng, 2, 3, 60);
+    SparseDistribution p = SparseDistribution::Empirical(r1, AttrSet{0, 1});
+    SparseDistribution q = SparseDistribution::Empirical(r2, AttrSet{0, 1});
+    double kl = KlDivergence(p, q);
+    if (std::isinf(kl)) continue;
+    double tv = TotalVariation(p, q);
+    EXPECT_GE(kl + 1e-12, 2.0 * tv * tv);
+  }
+}
+
+}  // namespace
+}  // namespace ajd

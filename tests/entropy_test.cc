@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "info/distribution.h"
+#include "info/entropy.h"
+#include "random/rng.h"
+#include "test_util.h"
+#include "util/math.h"
+
+namespace ajd {
+namespace {
+
+TEST(EntropyOf, FullSetOfDuplicateFreeRelationIsLogN) {
+  Rng rng(50);
+  for (int trial = 0; trial < 10; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 3, 4, 40);
+    EXPECT_NEAR(EntropyOf(r, r.schema().AllAttrs()),
+                std::log(static_cast<double>(r.NumRows())), 1e-9);
+  }
+}
+
+TEST(EntropyOf, EmptySetIsZero) {
+  Rng rng(51);
+  Relation r = testing_util::RandomTestRelation(&rng, 2, 3, 10);
+  EXPECT_EQ(EntropyOf(r, AttrSet()), 0.0);
+}
+
+TEST(EntropyOf, ConstantColumnIsZero) {
+  Schema s = Schema::Make({{"A", 1}, {"B", 4}}).value();
+  Relation r =
+      Relation::FromRows(s, {{0, 0}, {0, 1}, {0, 2}, {0, 3}}).value();
+  EXPECT_NEAR(EntropyOf(r, AttrSet{0}), 0.0, 1e-12);
+  EXPECT_NEAR(EntropyOf(r, AttrSet{1}), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyOf, MatchesSparseDistributionEntropy) {
+  Rng rng(52);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 3, 3, 40);
+    for (uint32_t mask = 1; mask < 8; ++mask) {
+      AttrSet attrs = AttrSet::FromMask(mask);
+      SparseDistribution d = SparseDistribution::Empirical(r, attrs);
+      EXPECT_NEAR(EntropyOf(r, attrs), d.Entropy(), 1e-9);
+    }
+  }
+}
+
+TEST(EntropyOf, MultisetWeighting) {
+  Schema s = Schema::Make({{"A", 2}}).value();
+  RelationBuilder b(s);
+  b.AddRow({0});
+  b.AddRow({0});
+  b.AddRow({0});
+  b.AddRow({1});
+  Relation r = std::move(b).Build(/*dedupe=*/false);
+  // P(0) = 3/4, P(1) = 1/4.
+  double expected = -(0.75 * std::log(0.75) + 0.25 * std::log(0.25));
+  EXPECT_NEAR(EntropyOf(r, AttrSet{0}), expected, 1e-12);
+}
+
+TEST(EntropyCalculator, CachesResults) {
+  Rng rng(53);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 3, 30);
+  EntropyCalculator calc(&r);
+  double h1 = calc.Entropy(AttrSet{0, 1});
+  EXPECT_EQ(calc.CacheSize(), 1u);
+  double h2 = calc.Entropy(AttrSet{0, 1});
+  EXPECT_EQ(calc.CacheSize(), 1u);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(EntropyCalculator, MonotoneInAttributeSets) {
+  // H is monotone: adding attributes cannot decrease entropy.
+  Rng rng(54);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 40);
+    EntropyCalculator calc(&r);
+    for (uint32_t mask = 1; mask < 16; ++mask) {
+      AttrSet small = AttrSet::FromMask(mask);
+      AttrSet big = small.Union(AttrSet{0});
+      EXPECT_LE(calc.Entropy(small), calc.Entropy(big) + 1e-9);
+    }
+  }
+}
+
+TEST(EntropyCalculator, Submodularity) {
+  // H(A u C) + H(B u C) >= H(A u B u C) + H(C) for all A,B,C — the CMI is
+  // nonnegative. The paper's Eq. (4) quantities rely on this.
+  Rng rng(55);
+  for (int trial = 0; trial < 30; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 40);
+    EntropyCalculator calc(&r);
+    for (int k = 0; k < 10; ++k) {
+      AttrSet a = AttrSet::FromMask(rng.UniformU64(16));
+      AttrSet b = AttrSet::FromMask(rng.UniformU64(16));
+      AttrSet c = AttrSet::FromMask(rng.UniformU64(16));
+      EXPECT_GE(calc.ConditionalMutualInformation(a, b, c), -1e-9);
+    }
+  }
+}
+
+TEST(EntropyCalculator, ConditionalEntropyChainRule) {
+  // H(A | C) = H(AC) - H(C).
+  Rng rng(56);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 3, 40);
+  EntropyCalculator calc(&r);
+  AttrSet a{0}, c{1, 2};
+  EXPECT_NEAR(calc.ConditionalEntropy(a, c),
+              calc.Entropy(a.Union(c)) - calc.Entropy(c), 1e-12);
+}
+
+TEST(EntropyCalculator, MutualInformationSymmetry) {
+  Rng rng(57);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 50);
+    EntropyCalculator calc(&r);
+    AttrSet a = AttrSet::FromMask(1 + rng.UniformU64(15));
+    AttrSet b = AttrSet::FromMask(1 + rng.UniformU64(15));
+    EXPECT_NEAR(calc.MutualInformation(a, b), calc.MutualInformation(b, a),
+                1e-12);
+  }
+}
+
+TEST(EntropyCalculator, IndependentColumnsHaveZeroMi) {
+  // Full cross product: A and B are independent under the empirical
+  // distribution.
+  Schema s = Schema::Make({{"A", 3}, {"B", 3}}).value();
+  std::vector<std::vector<uint32_t>> rows;
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = 0; b < 3; ++b) rows.push_back({a, b});
+  }
+  Relation r = Relation::FromRows(s, rows).value();
+  EntropyCalculator calc(&r);
+  EXPECT_NEAR(calc.MutualInformation(AttrSet{0}, AttrSet{1}), 0.0, 1e-12);
+}
+
+TEST(EntropyCalculator, PerfectlyCorrelatedColumnsHaveFullMi) {
+  // Diagonal: I(A;B) = H(A) = ln N.
+  Schema s = Schema::Make({{"A", 5}, {"B", 5}}).value();
+  std::vector<std::vector<uint32_t>> rows;
+  for (uint32_t i = 0; i < 5; ++i) rows.push_back({i, i});
+  Relation r = Relation::FromRows(s, rows).value();
+  EntropyCalculator calc(&r);
+  EXPECT_NEAR(calc.MutualInformation(AttrSet{0}, AttrSet{1}), std::log(5.0),
+              1e-12);
+}
+
+TEST(EntropyCalculator, CmiDetectsConditionalIndependence) {
+  // Within each C group, A x B is a full product: I(A;B|C) = 0 even though
+  // I(A;B) > 0 (groups use disjoint A values).
+  Schema s = Schema::Make({{"A", 4}, {"B", 2}, {"C", 2}}).value();
+  std::vector<std::vector<uint32_t>> rows;
+  for (uint32_t c = 0; c < 2; ++c) {
+    for (uint32_t a = 0; a < 2; ++a) {
+      for (uint32_t b = 0; b < 2; ++b) rows.push_back({c * 2 + a, b, c});
+    }
+  }
+  Relation r = Relation::FromRows(s, rows).value();
+  EntropyCalculator calc(&r);
+  EXPECT_NEAR(
+      calc.ConditionalMutualInformation(AttrSet{0}, AttrSet{1}, AttrSet{2}),
+      0.0, 1e-12);
+  EXPECT_GT(calc.MutualInformation(AttrSet{0}, AttrSet{2}), 0.1);
+}
+
+}  // namespace
+}  // namespace ajd

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.h"
+
+namespace ajd {
+namespace {
+
+TEST(Summarize, BasicStatistics) {
+  SampleSummary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(s.mean, 2.5, 1e-12);
+  EXPECT_NEAR(s.min, 1.0, 1e-12);
+  EXPECT_NEAR(s.max, 4.0, 1e-12);
+  EXPECT_NEAR(s.q50, 2.5, 1e-12);
+}
+
+TEST(Summarize, EmptyIsZeros) {
+  SampleSummary s = Summarize({});
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(RunFig1, SmallSweepHasExpectedShape) {
+  Fig1Config config;
+  config.rho_bar = 0.10;
+  config.d_min = 40;
+  config.d_max = 120;
+  config.d_step = 40;
+  config.trials = 3;
+  config.seed = 7;
+  std::vector<Fig1Row> rows = RunFig1(config).value();
+  ASSERT_EQ(rows.size(), 3u);
+  for (const Fig1Row& row : rows) {
+    EXPECT_EQ(row.mi_samples.size(), 3u);
+    // N = d^2 / 1.1 within rounding.
+    EXPECT_NEAR(static_cast<double>(row.n),
+                static_cast<double>(row.d) * row.d / 1.1, 1.0);
+    // MI must not exceed the hard cap ln(1 + rho_bar_realized): Corollary
+    // 5.2.1 remark — I <= ln(dA dB / eta).
+    for (double mi : row.mi_samples) {
+      EXPECT_LE(mi, row.target + 1e-9);
+      EXPECT_GT(mi, 0.0);
+    }
+  }
+  // Concentration improves with d: the spread at the largest d is smaller
+  // than at the smallest d.
+  double spread_small = rows.front().mi.max - rows.front().mi.min;
+  double spread_large = rows.back().mi.max - rows.back().mi.min;
+  EXPECT_LT(spread_large, spread_small + 0.05);
+}
+
+TEST(RunFig1, DeterministicForFixedSeed) {
+  Fig1Config config;
+  config.d_min = 30;
+  config.d_max = 30;
+  config.trials = 2;
+  config.seed = 99;
+  auto a = RunFig1(config).value();
+  auto b = RunFig1(config).value();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].mi_samples, b[0].mi_samples);
+}
+
+TEST(RunFig1, RejectsBadConfig) {
+  Fig1Config config;
+  config.rho_bar = -1.0;
+  EXPECT_FALSE(RunFig1(config).ok());
+  config = Fig1Config();
+  config.d_min = 100;
+  config.d_max = 50;
+  EXPECT_FALSE(RunFig1(config).ok());
+}
+
+TEST(RunMvdDeviation, DeviationsMostlyWithinEps) {
+  MvdDeviationConfig config;
+  config.d_a = 8;
+  config.d_b = 8;
+  config.d_c = 2;
+  config.n = 96;
+  config.trials = 30;
+  config.seed = 3;
+  MvdDeviationResult result = RunMvdDeviation(config).value();
+  EXPECT_EQ(result.deviations.size(), 30u);
+  // eps* at this scale is enormous (the constants are worst-case), so all
+  // trials must fall within it.
+  EXPECT_EQ(result.frac_within, 1.0);
+  EXPECT_GT(result.eps_star, 0.0);
+}
+
+TEST(RunMvdDeviation, LemmaFourOneSideAlwaysHolds) {
+  // deviation = log1p(rho) - CMI >= ... can be negative; but CMI <=
+  // log1p(rho) + eps means deviation <= eps; ALSO Lemma 4.1 gives
+  // CMI <= log1p(rho): deviation >= 0 for the MVD tree. (The MVD CMI is
+  // exactly J of the 2-bag schema.)
+  MvdDeviationConfig config;
+  config.d_a = 6;
+  config.d_b = 6;
+  config.d_c = 3;
+  config.n = 60;
+  config.trials = 25;
+  config.seed = 5;
+  MvdDeviationResult result = RunMvdDeviation(config).value();
+  for (double dev : result.deviations) {
+    EXPECT_GE(dev, -1e-8);
+  }
+}
+
+TEST(RunEntropyDeviation, GapsWithinTheoremBound) {
+  EntropyDeviationConfig config;
+  config.d = 16;
+  config.eta = 160;
+  config.trials = 25;
+  config.seed = 6;
+  EntropyDeviationResult result = RunEntropyDeviation(config).value();
+  EXPECT_EQ(result.gaps.size(), 25u);
+  for (double gap : result.gaps) {
+    EXPECT_GE(gap, -1e-9);  // H(A_S) <= ln d always
+  }
+  EXPECT_EQ(result.frac_within, 1.0);  // bound constants are generous
+  EXPECT_GT(result.thm52_bound, 0.0);
+}
+
+TEST(RunEntropyDeviation, MeanGapShrinksWithDensity) {
+  // More tuples per attribute value => empirical marginal closer to
+  // uniform => smaller gap.
+  EntropyDeviationConfig sparse;
+  sparse.d = 16;
+  sparse.eta = 32;
+  sparse.trials = 20;
+  sparse.seed = 8;
+  EntropyDeviationConfig dense = sparse;
+  dense.eta = 192;
+  double g_sparse = RunEntropyDeviation(sparse).value().gap.mean;
+  double g_dense = RunEntropyDeviation(dense).value().gap.mean;
+  EXPECT_LT(g_dense, g_sparse);
+}
+
+}  // namespace
+}  // namespace ajd

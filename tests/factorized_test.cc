@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/worstcase.h"
+#include "info/factorized.h"
+#include "relation/acyclic_join.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+// Proposition 3.1 / normalization: P^T is a probability distribution whose
+// support is contained in R' = materialized acyclic join.
+TEST(FactorizedDistribution, NormalizesOverAcyclicJoin) {
+  Rng rng(70);
+  for (int trial = 0; trial < 30; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 35);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 4);
+    if (t.AllAttrs() != r.schema().AllAttrs()) continue;
+    FactorizedDistribution pt(r, t);
+    Relation joined = MaterializeAcyclicJoin(r, t).value();
+    EXPECT_NEAR(pt.TotalMassOver(joined), 1.0, 1e-8) << t.ToString();
+  }
+}
+
+// Lemma 3.3: P^T preserves every bag marginal and separator marginal of P.
+TEST(FactorizedDistribution, PreservesBagMarginals) {
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 30);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 4);
+    if (t.AllAttrs() != r.schema().AllAttrs()) continue;
+    FactorizedDistribution pt(r, t);
+    Relation joined = MaterializeAcyclicJoin(r, t).value();
+    for (AttrSet bag : pt.BagSets()) {
+      SparseDistribution pt_marginal = pt.MarginalOver(joined, bag);
+      SparseDistribution p_marginal = SparseDistribution::Empirical(r, bag);
+      ASSERT_EQ(pt_marginal.arity(), p_marginal.arity());
+      for (uint32_t i = 0; i < p_marginal.SupportSize(); ++i) {
+        EXPECT_NEAR(p_marginal.ProbAt(i),
+                    pt_marginal.Prob(p_marginal.TupleAt(i)), 1e-8)
+            << "bag " << bag.ToString();
+      }
+    }
+  }
+}
+
+TEST(FactorizedDistribution, PreservesSeparatorMarginals) {
+  Rng rng(72);
+  for (int trial = 0; trial < 15; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 30);
+    JoinTree t = testing_util::RandomPathJoinTree(&rng, 4);
+    if (t.AllAttrs() != r.schema().AllAttrs()) continue;
+    FactorizedDistribution pt(r, t);
+    Relation joined = MaterializeAcyclicJoin(r, t).value();
+    for (AttrSet sep : pt.SeparatorSets()) {
+      if (sep.Empty()) continue;
+      SparseDistribution pt_marginal = pt.MarginalOver(joined, sep);
+      SparseDistribution p_marginal = SparseDistribution::Empirical(r, sep);
+      for (uint32_t i = 0; i < p_marginal.SupportSize(); ++i) {
+        EXPECT_NEAR(p_marginal.ProbAt(i),
+                    pt_marginal.Prob(p_marginal.TupleAt(i)), 1e-8);
+      }
+    }
+  }
+}
+
+// P^T dominates P: positive density on every row of R.
+TEST(FactorizedDistribution, PositiveOnSupport) {
+  Rng rng(73);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 30);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 4);
+    FactorizedDistribution pt(r, t);
+    for (uint64_t i = 0; i < r.NumRows(); ++i) {
+      EXPECT_GT(pt.Density(r.Row(i)), 0.0);
+    }
+  }
+}
+
+// When R models the tree exactly, P = P^T on R's support and KL = 0.
+TEST(FactorizedDistribution, LosslessMeansPEqualsPt) {
+  Rng rng(74);
+  Instance inst = MakeLosslessMvdInstance(6, 6, 3, 2, 2, &rng).value();
+  FactorizedDistribution pt(inst.relation, inst.tree);
+  const double p = 1.0 / static_cast<double>(inst.relation.NumRows());
+  for (uint64_t i = 0; i < inst.relation.NumRows(); ++i) {
+    EXPECT_NEAR(pt.Density(inst.relation.Row(i)), p, 1e-12);
+  }
+  EXPECT_NEAR(pt.KlFromEmpirical(), 0.0, 1e-10);
+}
+
+// The factorized density does not depend on the DFS root used to collect
+// separators (the separator multiset is root-invariant).
+TEST(FactorizedDistribution, RootInvariantDensity) {
+  Rng rng(75);
+  Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 30);
+  JoinTree t = testing_util::RandomPathJoinTree(&rng, 4);
+  FactorizedDistribution pt0(r, t, 0);
+  FactorizedDistribution pt1(r, t, t.NumNodes() - 1);
+  for (uint64_t i = 0; i < r.NumRows(); ++i) {
+    EXPECT_NEAR(pt0.Density(r.Row(i)), pt1.Density(r.Row(i)), 1e-12);
+  }
+}
+
+// Diagonal family: P^T is uniform over the N^2 product, so each original
+// row has density 1/N^2 and KL = ln N.
+TEST(FactorizedDistribution, DiagonalFamilyDensities) {
+  Instance inst = MakeDiagonalInstance(6).value();
+  FactorizedDistribution pt(inst.relation, inst.tree);
+  for (uint64_t i = 0; i < inst.relation.NumRows(); ++i) {
+    EXPECT_NEAR(pt.Density(inst.relation.Row(i)), 1.0 / 36.0, 1e-12);
+  }
+  EXPECT_NEAR(pt.KlFromEmpirical(), std::log(6.0), 1e-10);
+}
+
+}  // namespace
+}  // namespace ajd

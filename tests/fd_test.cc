@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/mvd_check.h"
+#include "discovery/fd.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+Relation EmployeeData() {
+  Schema s = Schema::Make(
+                 {{"emp", 0}, {"dept", 0}, {"head", 0}, {"building", 0}})
+                 .value();
+  RelationBuilder b(s);
+  b.AddStringRow({"ann", "db", "codd", "dragon"});
+  b.AddStringRow({"bob", "db", "codd", "dragon"});
+  b.AddStringRow({"cat", "ml", "mitchell", "lion"});
+  b.AddStringRow({"dan", "ml", "mitchell", "lion"});
+  b.AddStringRow({"eve", "sys", "tanenbaum", "lion"});
+  return std::move(b).Build();
+}
+
+TEST(FdDiscovery, FindsDeptDeterminesHeadAndBuilding) {
+  Relation r = EmployeeData();
+  std::vector<Fd> fds = DiscoverFds(r).value();
+  auto has = [&](AttrSet lhs, uint32_t rhs) {
+    for (const Fd& fd : fds) {
+      if (fd.lhs == lhs && fd.rhs == rhs) return true;
+    }
+    return false;
+  };
+  uint32_t dept = r.schema().PositionOf("dept");
+  uint32_t head = r.schema().PositionOf("head");
+  uint32_t building = r.schema().PositionOf("building");
+  uint32_t emp = r.schema().PositionOf("emp");
+  EXPECT_TRUE(has(AttrSet::Singleton(dept), head));
+  EXPECT_TRUE(has(AttrSet::Singleton(dept), building));
+  EXPECT_TRUE(has(AttrSet::Singleton(head), dept));  // 1:1 here
+  EXPECT_TRUE(has(AttrSet::Singleton(emp), dept));   // emp is a key
+  EXPECT_FALSE(has(AttrSet::Singleton(building), dept));  // lion is shared
+}
+
+TEST(FdDiscovery, MinimalityPruning) {
+  Relation r = EmployeeData();
+  std::vector<Fd> fds = DiscoverFds(r).value();
+  uint32_t dept = r.schema().PositionOf("dept");
+  uint32_t head = r.schema().PositionOf("head");
+  // {dept} -> head is reported; {dept, building} -> head must be pruned.
+  for (const Fd& fd : fds) {
+    if (fd.rhs == head) {
+      EXPECT_FALSE(AttrSet::Singleton(dept).IsSubsetOf(fd.lhs) &&
+                   fd.lhs.Count() > 1)
+          << "non-minimal determinant reported";
+    }
+  }
+}
+
+TEST(FdDiscovery, DiscoveredFdsActuallyHold) {
+  Rng rng(330);
+  for (int trial = 0; trial < 15; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 20);
+    FdDiscoveryOptions options;
+    options.max_lhs_size = 2;
+    std::vector<Fd> fds = DiscoverFds(r, options).value();
+    for (const Fd& fd : fds) {
+      EXPECT_TRUE(
+          SatisfiesFd(r, fd.lhs, AttrSet::Singleton(fd.rhs)).value())
+          << fd.ToString(r.schema());
+      EXPECT_EQ(fd.error, 0.0);
+    }
+  }
+}
+
+TEST(FdDiscovery, ExhaustiveAgainstBruteForce) {
+  // Cross-check discovery (minimality off) against the direct decision
+  // procedure on all candidates.
+  Rng rng(331);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 3, 15);
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.minimal_only = false;
+  std::vector<Fd> fds = DiscoverFds(r, options).value();
+  auto reported = [&](AttrSet lhs, uint32_t rhs) {
+    for (const Fd& fd : fds) {
+      if (fd.lhs == lhs && fd.rhs == rhs) return true;
+    }
+    return false;
+  };
+  AttrSet universe = r.schema().AllAttrs();
+  for (uint32_t size = 0; size <= 2; ++size) {
+    ForEachSubsetOfSize(universe, size, [&](AttrSet lhs) {
+      for (uint32_t rhs = 0; rhs < r.NumAttrs(); ++rhs) {
+        if (lhs.Contains(rhs)) continue;
+        bool holds =
+            SatisfiesFd(r, lhs, AttrSet::Singleton(rhs)).value();
+        EXPECT_EQ(reported(lhs, rhs), holds)
+            << lhs.ToString() << " -> " << rhs;
+      }
+    });
+  }
+}
+
+TEST(FdDiscovery, ApproximateThresholdAdmitsNoisyFds) {
+  // dept -> head with one dirty row: exact discovery misses it, a relaxed
+  // error threshold finds it.
+  Schema s = Schema::Make({{"dept", 0}, {"head", 0}}).value();
+  RelationBuilder b(s);
+  for (int i = 0; i < 20; ++i) {
+    b.AddStringRow({"db", "codd" + std::string(i == 0 ? "X" : "")});
+  }
+  for (int i = 0; i < 20; ++i) b.AddStringRow({"ml", "mitchell"});
+  Relation r = std::move(b).Build(/*dedupe=*/false);
+
+  FdDiscoveryOptions exact;
+  exact.max_lhs_size = 1;
+  std::vector<Fd> strict = DiscoverFds(r, exact).value();
+  bool strict_found = false;
+  for (const Fd& fd : strict) {
+    if (fd.rhs == 1 && fd.lhs == AttrSet{0}) strict_found = true;
+  }
+  EXPECT_FALSE(strict_found);
+
+  FdDiscoveryOptions relaxed = exact;
+  relaxed.max_error = 0.2;
+  std::vector<Fd> loose = DiscoverFds(r, relaxed).value();
+  bool loose_found = false;
+  for (const Fd& fd : loose) {
+    if (fd.rhs == 1 && fd.lhs == AttrSet{0}) {
+      loose_found = true;
+      EXPECT_GT(fd.error, 0.0);
+      EXPECT_LE(fd.error, 0.2);
+    }
+  }
+  EXPECT_TRUE(loose_found);
+}
+
+TEST(FdDiscovery, ValidatesInputs) {
+  Schema s = Schema::Make({{"A", 2}}).value();
+  Relation empty = Relation::FromRows(s, {}).value();
+  EXPECT_FALSE(DiscoverFds(empty).ok());
+}
+
+TEST(Fd, RendersWithNames) {
+  Relation r = EmployeeData();
+  Fd fd{AttrSet::Singleton(r.schema().PositionOf("dept")),
+        r.schema().PositionOf("head"), 0.0};
+  EXPECT_EQ(fd.ToString(r.schema()), "{dept} -> head");
+}
+
+}  // namespace
+}  // namespace ajd

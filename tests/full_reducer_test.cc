@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/worstcase.h"
+#include "random/rng.h"
+#include "relation/acyclic_join.h"
+#include "relation/full_reducer.h"
+#include "relation/ops.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+// Joins the per-node relations in DFS order (helper for cross-checking).
+Relation JoinAll(const std::vector<Relation>& per_node,
+                 const JoinTree& tree) {
+  DfsDecomposition dec = tree.Decompose(0);
+  Relation acc = per_node[dec.order[0]];
+  for (size_t i = 1; i < dec.order.size(); ++i) {
+    acc = NaturalJoin(acc, per_node[dec.order[i]]).value();
+  }
+  return acc;
+}
+
+TEST(FullReducer, PreservesJoinResult) {
+  Rng rng(301);
+  for (int trial = 0; trial < 40; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 35);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 4);
+    ReducedProjections reduced = FullReduce(r, t).value();
+    Relation join_reduced = JoinAll(reduced.per_node, t);
+    Relation join_direct = MaterializeAcyclicJoin(r, t).value();
+    // Compare as sets after aligning column order by name.
+    std::vector<std::string> names;
+    for (uint32_t a = 0; a < join_direct.NumAttrs(); ++a) {
+      names.push_back(join_direct.schema().attr(a).name);
+    }
+    Relation aligned = ReorderColumns(join_reduced, names).value();
+    EXPECT_TRUE(SetEquals(aligned, join_direct)) << t.ToString();
+  }
+}
+
+TEST(FullReducer, NoDanglingTuplesRemain) {
+  // Global consistency: every tuple of every reduced projection appears in
+  // the projection of the final join onto that bag.
+  Rng rng(302);
+  for (int trial = 0; trial < 25; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 30);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 4);
+    ReducedProjections reduced = FullReduce(r, t).value();
+    Relation joined = MaterializeAcyclicJoin(r, t).value();
+    for (uint32_t v = 0; v < t.NumNodes(); ++v) {
+      if (joined.NumRows() == 0) {
+        EXPECT_EQ(reduced.per_node[v].NumRows(), 0u);
+        continue;
+      }
+      // Project the join onto the bag's attribute names and compare sets.
+      std::vector<std::string> names;
+      for (uint32_t a = 0; a < reduced.per_node[v].NumAttrs(); ++a) {
+        names.push_back(reduced.per_node[v].schema().attr(a).name);
+      }
+      Relation joined_bag = ReorderColumns(joined, names).value();
+      Relation joined_bag_distinct =
+          Project(joined_bag, joined_bag.schema().AllAttrs());
+      EXPECT_TRUE(SetEquals(reduced.per_node[v], joined_bag_distinct))
+          << "node " << v << " of " << t.ToString();
+    }
+  }
+}
+
+TEST(FullReducer, LosslessInstanceRemovesNothing) {
+  Rng rng(303);
+  Instance inst = MakeLosslessMvdInstance(8, 8, 4, 3, 3, &rng).value();
+  ReducedProjections reduced = FullReduce(inst.relation, inst.tree).value();
+  EXPECT_EQ(reduced.total_removed, 0u);
+}
+
+TEST(FullReducer, RemovesDanglingTuples) {
+  // Two bag relations with a tuple on each side that has no join partner.
+  Schema ab = Schema::Make({{"A", 4}, {"B", 4}}).value();
+  Schema bc = Schema::Make({{"B", 4}, {"C", 4}}).value();
+  Relation left =
+      Relation::FromRows(ab, {{0, 0}, {1, 1}, {2, 3}}).value();  // B=3 dangles
+  Relation right =
+      Relation::FromRows(bc, {{0, 0}, {1, 2}, {2, 2}}).value();  // B=2 dangles
+  JoinTree t =
+      JoinTree::Make({AttrSet{0, 1}, AttrSet{1, 2}}, {{0, 1}}).value();
+  ReducedProjections reduced =
+      FullReduceRelations({left, right}, t).value();
+  EXPECT_EQ(reduced.per_node[0].NumRows(), 2u);
+  EXPECT_EQ(reduced.per_node[1].NumRows(), 2u);
+  EXPECT_EQ(reduced.total_removed, 2u);
+}
+
+TEST(FullReducer, EmptyIntersectionPropagates) {
+  // If one projection becomes empty, everything must become empty.
+  Schema ab = Schema::Make({{"A", 4}, {"B", 4}}).value();
+  Schema bc = Schema::Make({{"B", 4}, {"C", 4}}).value();
+  Relation left = Relation::FromRows(ab, {{0, 0}}).value();
+  Relation right = Relation::FromRows(bc, {{1, 0}}).value();  // no match
+  JoinTree t =
+      JoinTree::Make({AttrSet{0, 1}, AttrSet{1, 2}}, {{0, 1}}).value();
+  ReducedProjections reduced =
+      FullReduceRelations({left, right}, t).value();
+  EXPECT_EQ(reduced.per_node[0].NumRows(), 0u);
+  EXPECT_EQ(reduced.per_node[1].NumRows(), 0u);
+}
+
+TEST(FullReducer, SizeValidation) {
+  Schema ab = Schema::Make({{"A", 2}, {"B", 2}}).value();
+  Relation left = Relation::FromRows(ab, {{0, 0}}).value();
+  JoinTree t =
+      JoinTree::Make({AttrSet{0, 1}, AttrSet{1}}, {{0, 1}}).value();
+  EXPECT_FALSE(FullReduceRelations({left}, t).ok());
+}
+
+TEST(FullReducer, ProjectionsFromRNeverDangleIntoEmptiness) {
+  // Projections of a single relation always have at least R itself in the
+  // join, so reduction never empties them.
+  Rng rng(304);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 25);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 4);
+    ReducedProjections reduced = FullReduce(r, t).value();
+    for (const Relation& proj : reduced.per_node) {
+      EXPECT_GT(proj.NumRows(), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ajd

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/groupwise.h"
+#include "core/loss.h"
+#include "core/worstcase.h"
+#include "info/entropy.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+// The mixture identity (Eq. 336): the groupwise-assembled CMI equals the
+// Eq. (4) conditional mutual information, exactly.
+TEST(Groupwise, MixtureIdentityMatchesEq4Cmi) {
+  Rng rng(320);
+  for (int trial = 0; trial < 30; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 3, 4, 50);
+    GroupwiseMvdReport report =
+        AnalyzeMvdGroupwise(r, AttrSet{0}, AttrSet{1}, AttrSet{2}).value();
+    EntropyCalculator calc(&r);
+    double eq4 = calc.ConditionalMutualInformation(AttrSet{0}, AttrSet{1},
+                                                   AttrSet{2});
+    EXPECT_NEAR(report.cmi, eq4, 1e-9);
+  }
+}
+
+// The groupwise join-size accounting matches ComputeMvdLoss.
+TEST(Groupwise, LossMatchesComputeMvdLoss) {
+  Rng rng(321);
+  for (int trial = 0; trial < 30; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 3, 4, 40);
+    GroupwiseMvdReport report =
+        AnalyzeMvdGroupwise(r, AttrSet{0}, AttrSet{1}, AttrSet{2}).value();
+    Mvd mvd = MakeMvd(AttrSet{2}, AttrSet{0}, AttrSet{1});
+    LossReport loss = ComputeMvdLoss(r, mvd).value();
+    EXPECT_NEAR(report.log1p_rho, loss.log1p_rho, 1e-9);
+  }
+}
+
+// Eq. (44) is a deterministic consequence of the log sum inequality; it
+// must hold for every relation.
+TEST(Groupwise, Eq44HoldsAlways) {
+  Rng rng(322);
+  for (int trial = 0; trial < 60; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 3, 3 + trial % 4,
+                                                  20 + trial * 3);
+    GroupwiseMvdReport report =
+        AnalyzeMvdGroupwise(r, AttrSet{0}, AttrSet{1}, AttrSet{2}).value();
+    EXPECT_LE(report.log1p_rho, report.eq44_rhs + 1e-9);
+  }
+}
+
+TEST(Groupwise, GroupSizesSumToN) {
+  Rng rng(323);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 4, 60);
+  GroupwiseMvdReport report =
+      AnalyzeMvdGroupwise(r, AttrSet{0}, AttrSet{1}, AttrSet{2}).value();
+  uint64_t total = 0;
+  for (const GroupStat& g : report.groups) {
+    total += g.n;
+    EXPECT_GE(g.n, report.min_group);
+    EXPECT_GE(g.rho, 0.0);
+    EXPECT_GE(g.mi, 0.0);
+  }
+  EXPECT_EQ(total, r.NumRows());
+}
+
+TEST(Groupwise, LosslessInstanceHasZeroGroupMis) {
+  Rng rng(324);
+  Instance inst = MakeLosslessMvdInstance(8, 8, 5, 3, 3, &rng).value();
+  GroupwiseMvdReport report =
+      AnalyzeMvdGroupwise(inst.relation, AttrSet{0}, AttrSet{1}, AttrSet{2})
+          .value();
+  for (const GroupStat& g : report.groups) {
+    EXPECT_NEAR(g.mi, 0.0, 1e-9);
+    EXPECT_EQ(g.rho, 0.0);
+  }
+  EXPECT_NEAR(report.cmi, 0.0, 1e-9);
+}
+
+TEST(Groupwise, EmptyCGivesSingleGroup) {
+  Instance inst = MakeDiagonalInstance(6).value();
+  GroupwiseMvdReport report =
+      AnalyzeMvdGroupwise(inst.relation, AttrSet{0}, AttrSet{1}, AttrSet())
+          .value();
+  EXPECT_EQ(report.groups.size(), 1u);
+  EXPECT_NEAR(report.h_c, 0.0, 1e-12);
+  EXPECT_NEAR(report.cmi, std::log(6.0), 1e-9);
+}
+
+TEST(Groupwise, ValidatesArguments) {
+  Instance inst = MakeDiagonalInstance(4).value();
+  // Overlapping branches.
+  EXPECT_FALSE(AnalyzeMvdGroupwise(inst.relation, AttrSet{0}, AttrSet{0},
+                                   AttrSet())
+                   .ok());
+  // Empty branch.
+  EXPECT_FALSE(AnalyzeMvdGroupwise(inst.relation, AttrSet(), AttrSet{1},
+                                   AttrSet())
+                   .ok());
+  // Bad delta.
+  EXPECT_FALSE(AnalyzeMvdGroupwise(inst.relation, AttrSet{0}, AttrSet{1},
+                                   AttrSet(), 2.0)
+                   .ok());
+}
+
+TEST(Groupwise, LemmaC1ThresholdBehaviour) {
+  // Tiny groups cannot satisfy the (deliberately huge) Lemma C.1
+  // threshold; the report must say so rather than pretend.
+  Rng rng(325);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 4, 50);
+  GroupwiseMvdReport report =
+      AnalyzeMvdGroupwise(r, AttrSet{0}, AttrSet{1}, AttrSet{2}).value();
+  EXPECT_GT(report.lemma_c1_threshold, 128.0);
+  EXPECT_FALSE(report.lemma_c1_holds);
+  EXPECT_NE(report.ToString().find("below Lemma C.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ajd

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "jointree/gyo.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+TEST(Gyo, EmptySchemaIsError) {
+  EXPECT_FALSE(RunGyo({}).ok());
+}
+
+TEST(Gyo, SingleBagIsAcyclic) {
+  GyoResult r = RunGyo({AttrSet{0, 1, 2}}).value();
+  EXPECT_TRUE(r.acyclic);
+  EXPECT_EQ(r.tree->NumNodes(), 1u);
+}
+
+TEST(Gyo, PathSchemaIsAcyclic) {
+  GyoResult r =
+      RunGyo({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{2, 3}}).value();
+  ASSERT_TRUE(r.acyclic);
+  EXPECT_EQ(r.tree->NumNodes(), 3u);
+  EXPECT_TRUE(r.tree->SchemaIsReduced());
+}
+
+TEST(Gyo, TriangleIsCyclic) {
+  GyoResult r =
+      RunGyo({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{0, 2}}).value();
+  EXPECT_FALSE(r.acyclic);
+  EXPECT_EQ(r.residual.size(), 3u);
+  EXPECT_FALSE(r.tree.has_value());
+}
+
+TEST(Gyo, CycleOfLengthFourIsCyclic) {
+  GyoResult r = RunGyo({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{2, 3},
+                        AttrSet{3, 0}})
+                    .value();
+  EXPECT_FALSE(r.acyclic);
+}
+
+TEST(Gyo, TriangleWithCoveringBagIsAcyclic) {
+  // Adding {0,1,2} makes the triangle's edges ears.
+  GyoResult r = RunGyo({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{0, 2},
+                        AttrSet{0, 1, 2}})
+                    .value();
+  EXPECT_TRUE(r.acyclic);
+}
+
+TEST(Gyo, StarSchemaIsAcyclic) {
+  GyoResult r = RunGyo({AttrSet{0, 1}, AttrSet{0, 2}, AttrSet{0, 3}}).value();
+  ASSERT_TRUE(r.acyclic);
+  EXPECT_EQ(r.tree->NumNodes(), 3u);
+}
+
+TEST(Gyo, DisjointBagsAreAcyclic) {
+  GyoResult r = RunGyo({AttrSet{0}, AttrSet{1}, AttrSet{2}}).value();
+  EXPECT_TRUE(r.acyclic);
+}
+
+TEST(Gyo, ContainedBagIsAnEar) {
+  GyoResult r = RunGyo({AttrSet{0, 1, 2}, AttrSet{1, 2}}).value();
+  ASSERT_TRUE(r.acyclic);
+  EXPECT_EQ(r.tree->NumNodes(), 2u);
+}
+
+TEST(Gyo, BuildJoinTreeFailsOnCyclic) {
+  Result<JoinTree> t =
+      BuildJoinTree({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{0, 2}});
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Gyo, IsAcyclicSchemaConvenience) {
+  EXPECT_TRUE(IsAcyclicSchema({AttrSet{0, 1}, AttrSet{1, 2}}));
+  EXPECT_FALSE(
+      IsAcyclicSchema({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{0, 2}}));
+}
+
+// Property: the bags of any valid join tree form an acyclic schema, and
+// GYO rebuilds a tree over exactly those bags satisfying RIP.
+TEST(Gyo, RoundTripsRandomJoinTreeBags) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    JoinTree t = testing_util::RandomJoinTree(&rng, 6);
+    GyoResult r = RunGyo(t.bags()).value();
+    ASSERT_TRUE(r.acyclic) << t.ToString();
+    EXPECT_EQ(r.tree->NumNodes(), t.NumNodes());
+    for (uint32_t v = 0; v < t.NumNodes(); ++v) {
+      EXPECT_EQ(r.tree->bag(v), t.bag(v));
+    }
+  }
+}
+
+// Property: the rebuilt tree's schema equals the input schema and its
+// support has m-1 MVDs.
+TEST(Gyo, RebuiltTreeHasFullSupport) {
+  Rng rng(32);
+  for (int trial = 0; trial < 50; ++trial) {
+    JoinTree t = testing_util::RandomPathJoinTree(&rng, 5);
+    Result<JoinTree> rebuilt = BuildJoinTree(t.bags());
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(rebuilt.value().SupportMvds().size(), t.NumNodes() - 1);
+  }
+}
+
+}  // namespace
+}  // namespace ajd

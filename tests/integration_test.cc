@@ -1,0 +1,164 @@
+// End-to-end pipelines across modules: sample -> mine -> analyze -> verify
+// the paper's relationships; CSV -> profile; random model -> bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/analysis.h"
+#include "core/bounds.h"
+#include "core/experiment.h"
+#include "core/worstcase.h"
+#include "discovery/miner.h"
+#include "info/j_measure.h"
+#include "io/csv.h"
+#include "jointree/gyo.h"
+#include "random/random_relation.h"
+#include "relation/acyclic_join.h"
+#include "relation/ops.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+// Pipeline 1: plant an AJD with noise, mine a schema, and confirm the mined
+// schema's measured loss respects both the Lemma 4.1 lower bound and the
+// Prop 5.1 upper decomposition.
+TEST(Integration, PlantMineAnalyze) {
+  Rng rng(201);
+  Instance planted = MakeLosslessMvdInstance(12, 12, 8, 4, 4, &rng).value();
+  Relation noisy = AddNoiseTuples(planted.relation, 16, &rng).value();
+
+  MinerOptions options;
+  options.max_bag_size = 2;
+  MinerReport mined = MineJoinTree(noisy, options).value();
+  AjdAnalysis a = AnalyzeAjd(noisy, mined.tree).value();
+
+  EXPECT_NEAR(a.j, a.kl, 1e-8);
+  EXPECT_LE(a.j, a.loss.log1p_rho + 1e-8);
+  EXPECT_LE(a.loss.log1p_rho, a.prop51_bound + 1e-8);
+  // The mined schema must beat the worst case (full independence).
+  JoinTree independent =
+      JoinTree::FromMvdPartition(
+          AttrSet(), {AttrSet{0}, AttrSet{1}, AttrSet{2}})
+          .value();
+  AjdAnalysis worst = AnalyzeAjd(noisy, independent).value();
+  EXPECT_LE(a.loss.rho, worst.loss.rho + 1e-9);
+}
+
+// Pipeline 2: CSV in, GYO over a hand-written schema, loss analysis out.
+TEST(Integration, CsvProfileWithDeclaredSchema) {
+  std::istringstream in(
+      "emp,dept,building\n"
+      "ann,db,dragon\n"
+      "bob,db,dragon\n"
+      "cat,ml,lion\n"
+      "dan,ml,lion\n"
+      "eve,sys,lion\n");
+  Relation r = ReadCsv(in).value();
+  // Schema {emp,dept},{dept,building}: dept determines building here, so
+  // the decomposition is lossless.
+  AttrSet ed = r.schema().SetOf({"emp", "dept"}).value();
+  AttrSet db = r.schema().SetOf({"dept", "building"}).value();
+  Result<JoinTree> tree = BuildJoinTree({ed, db});
+  ASSERT_TRUE(tree.ok());
+  AjdAnalysis a = AnalyzeAjd(r, tree.value()).value();
+  EXPECT_TRUE(a.lossless);
+  EXPECT_NEAR(a.j, 0.0, 1e-10);
+}
+
+// Pipeline 3: the random relation model feeds the Theorem 5.1 study whose
+// outcome is consistent with the deterministic bounds.
+TEST(Integration, RandomModelRespectsAllBounds) {
+  Rng rng(202);
+  RandomRelationSpec spec;
+  spec.domain_sizes = {16, 16, 4};
+  spec.num_tuples = 256;
+  for (int trial = 0; trial < 10; ++trial) {
+    Relation r = SampleRandomRelation(spec, &rng).value();
+    JoinTree t =
+        JoinTree::Make({AttrSet{0, 2}, AttrSet{1, 2}}, {{0, 1}}).value();
+    AjdAnalysis a = AnalyzeAjd(r, t).value();
+    EXPECT_LE(a.j, a.loss.log1p_rho + 1e-8);           // Lemma 4.1
+    EXPECT_NEAR(a.j, a.kl, 1e-8);                      // Theorem 3.2
+    EXPECT_LE(a.loss.log1p_rho, a.prop51_bound + 1e-8);  // Prop 5.1
+  }
+}
+
+// Pipeline 4: spurious tuples materialized agree with the loss accounting
+// end to end, after mining.
+TEST(Integration, SpuriousTupleAccounting) {
+  Rng rng(203);
+  Relation r = testing_util::RandomTestRelation(&rng, 4, 4, 60);
+  MinerOptions options;
+  options.max_bag_size = 3;
+  MinerReport mined = MineJoinTree(r, options).value();
+  Relation spurious = SpuriousTuples(r, mined.tree).value();
+  LossReport loss = ComputeLoss(r, mined.tree).value();
+  EXPECT_EQ(loss.join_size_exact.value(),
+            r.NumRows() + spurious.NumRows());
+  // Every spurious tuple projects into the relation on every bag.
+  for (uint32_t v = 0; v < mined.tree.NumNodes(); ++v) {
+    Relation bag_proj = Project(r, mined.tree.bag(v));
+    Relation spur_proj =
+        spurious.NumRows() > 0
+            ? Project(spurious, mined.tree.bag(v))
+            : bag_proj;
+    for (uint64_t i = 0; i < spur_proj.NumRows(); ++i) {
+      EXPECT_TRUE(bag_proj.ContainsRow(spur_proj.Row(i)));
+    }
+  }
+}
+
+// Pipeline 5: Figure 1 in miniature — the concentration phenomenon the
+// paper plots. As d grows with fixed rho_bar, the sample MI approaches
+// ln(1 + rho_bar) from below.
+TEST(Integration, Fig1ConcentrationShape) {
+  Fig1Config config;
+  config.rho_bar = 0.10;
+  config.d_min = 30;
+  config.d_max = 150;
+  config.d_step = 60;
+  config.trials = 4;
+  config.seed = 17;
+  std::vector<Fig1Row> rows = RunFig1(config).value();
+  ASSERT_EQ(rows.size(), 3u);
+  // Gap to the target shrinks monotonically in this deterministic run.
+  double gap_first = rows.front().target - rows.front().mi.mean;
+  double gap_last = rows.back().target - rows.back().mi.mean;
+  EXPECT_GT(gap_first, gap_last);
+  EXPECT_GT(gap_last, 0.0);
+}
+
+// Pipeline 6: a cyclic schema is rejected up front, the acyclic repair is
+// accepted.
+TEST(Integration, CyclicSchemaRejectedAcyclicRepairAccepted) {
+  std::vector<AttrSet> triangle = {AttrSet{0, 1}, AttrSet{1, 2},
+                                   AttrSet{0, 2}};
+  EXPECT_FALSE(IsAcyclicSchema(triangle));
+  std::vector<AttrSet> repaired = {AttrSet{0, 1, 2}};
+  EXPECT_TRUE(IsAcyclicSchema(repaired));
+  std::vector<AttrSet> repaired2 = {AttrSet{0, 1}, AttrSet{1, 2}};
+  EXPECT_TRUE(IsAcyclicSchema(repaired2));
+}
+
+// Pipeline 7: factorization as compression — storage of bag projections vs
+// the base relation, with integrity guarded by the loss bound.
+TEST(Integration, FactorizationCompressionAccounting) {
+  Rng rng(204);
+  Instance planted = MakeLosslessMvdInstance(20, 20, 30, 6, 6, &rng).value();
+  const Relation& r = planted.relation;
+  AjdAnalysis a = AnalyzeAjd(r, planted.tree).value();
+  ASSERT_TRUE(a.lossless);
+  // Cells stored by the decomposition vs the original.
+  uint64_t original_cells = r.NumRows() * r.NumAttrs();
+  uint64_t decomposed_cells = 0;
+  for (uint32_t v = 0; v < planted.tree.NumNodes(); ++v) {
+    AttrSet bag = planted.tree.bag(v);
+    decomposed_cells += CountDistinct(r, bag) * bag.Count();
+  }
+  EXPECT_LT(decomposed_cells, original_cells);
+}
+
+}  // namespace
+}  // namespace ajd

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.h"
+#include "io/table_printer.h"
+#include "relation/ops.h"
+
+namespace ajd {
+namespace {
+
+TEST(Csv, ReadSimpleWithHeader) {
+  std::istringstream in("city,state\nSeattle,WA\nPortland,OR\n");
+  Relation r = ReadCsv(in).value();
+  EXPECT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.schema().attr(0).name, "city");
+  EXPECT_EQ(r.RowToString(0), "(Seattle, WA)");
+}
+
+TEST(Csv, ReadWithoutHeaderNamesColumns) {
+  std::istringstream in("1,2\n3,4\n");
+  CsvOptions options;
+  options.has_header = false;
+  Relation r = ReadCsv(in, options).value();
+  EXPECT_EQ(r.schema().attr(0).name, "col0");
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST(Csv, DedupesByDefault) {
+  std::istringstream in("a,b\nx,y\nx,y\nx,z\n");
+  Relation r = ReadCsv(in).value();
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST(Csv, MultisetModeKeepsDuplicates) {
+  std::istringstream in("a\nv\nv\n");
+  CsvOptions options;
+  options.dedupe = false;
+  Relation r = ReadCsv(in, options).value();
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST(Csv, QuotedFieldsWithCommasAndQuotes) {
+  std::istringstream in("name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\n");
+  Relation r = ReadCsv(in).value();
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.dict(0)->ValueOf(r.At(0, 0)), "Smith, John");
+  EXPECT_EQ(r.dict(1)->ValueOf(r.At(0, 1)), "said \"hi\"");
+}
+
+TEST(Csv, RaggedRowsFail) {
+  std::istringstream in("a,b\n1\n");
+  EXPECT_FALSE(ReadCsv(in).ok());
+}
+
+TEST(Csv, EmptyInputFails) {
+  std::istringstream in("");
+  EXPECT_FALSE(ReadCsv(in).ok());
+}
+
+TEST(Csv, RoundTripPreservesRelation) {
+  std::istringstream in("a,b\nx,1\ny,2\nz,1\n");
+  Relation r = ReadCsv(in).value();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(r, out).ok());
+  std::istringstream back(out.str());
+  Relation r2 = ReadCsv(back).value();
+  EXPECT_TRUE(SetEquals(Project(r, r.schema().AllAttrs()),
+                        Project(r2, r2.schema().AllAttrs())));
+}
+
+TEST(Csv, WriteQuotesWhenNeeded) {
+  Schema s = Schema::Make({{"n", 0}}).value();
+  RelationBuilder b(s);
+  b.AddStringRow({"has,comma"});
+  Relation r = std::move(b).Build();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(r, out).ok());
+  EXPECT_NE(out.str().find("\"has,comma\""), std::string::npos);
+}
+
+TEST(Csv, FileRoundTrip) {
+  Schema s = Schema::Make({{"k", 0}, {"v", 0}}).value();
+  RelationBuilder b(s);
+  b.AddStringRow({"a", "1"});
+  b.AddStringRow({"b", "2"});
+  Relation r = std::move(b).Build();
+  const std::string path = "/tmp/ajd_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(r, path).ok());
+  Relation r2 = ReadCsvFile(path).value();
+  EXPECT_EQ(r2.NumRows(), 2u);
+}
+
+TEST(Csv, MissingFileFails) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/x.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"id", "value"});
+  t.AddRow({"1", "short"});
+  t.AddRow({"22", "a-much-longer-value"});
+  std::string out = t.Render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("id"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-value"), std::string::npos);
+}
+
+TEST(TablePrinter, CountsRows) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.NumRows(), 0u);
+  t.AddRow({"1"});
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+}  // namespace
+}  // namespace ajd

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "jointree/join_tree.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+// The running example: bags {A,B}, {B,C}, {C,D} on a path.
+JoinTree PathAbBcCd() {
+  return JoinTree::Path({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{2, 3}})
+      .value();
+}
+
+TEST(JoinTree, MakeValidatesEdgeCount) {
+  EXPECT_FALSE(JoinTree::Make({AttrSet{0}, AttrSet{1}}, {}).ok());
+  EXPECT_FALSE(
+      JoinTree::Make({AttrSet{0}}, {{0, 0}}).ok());  // too many edges
+}
+
+TEST(JoinTree, MakeRejectsSelfLoopsAndRangeErrors) {
+  EXPECT_FALSE(
+      JoinTree::Make({AttrSet{0}, AttrSet{1}}, {{0, 0}}).ok());
+  EXPECT_FALSE(
+      JoinTree::Make({AttrSet{0}, AttrSet{1}}, {{0, 5}}).ok());
+}
+
+TEST(JoinTree, MakeRejectsDisconnected) {
+  // 4 nodes, 3 edges, but one component of 2 + a 2-cycle elsewhere.
+  EXPECT_FALSE(JoinTree::Make(
+                   {AttrSet{0}, AttrSet{1}, AttrSet{2}, AttrSet{3}},
+                   {{0, 1}, {2, 3}, {2, 3}})
+                   .ok());
+}
+
+TEST(JoinTree, MakeRejectsRunningIntersectionViolation) {
+  // Attribute 0 appears in bags 0 and 2 but not bag 1 on the path 0-1-2.
+  EXPECT_FALSE(JoinTree::Make(
+                   {AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{0, 2}},
+                   {{0, 1}, {1, 2}})
+                   .ok());
+}
+
+TEST(JoinTree, SingleNodeTreeIsValid) {
+  JoinTree t = JoinTree::Make({AttrSet{0, 1}}, {}).value();
+  EXPECT_EQ(t.NumNodes(), 1u);
+  EXPECT_EQ(t.AllAttrs(), (AttrSet{0, 1}));
+  EXPECT_TRUE(t.SupportMvds().empty());
+}
+
+TEST(JoinTree, DisjointBagsAreAllowed) {
+  // {A} - {B}: empty separator; RIP holds trivially.
+  JoinTree t = JoinTree::Make({AttrSet{0}, AttrSet{1}}, {{0, 1}}).value();
+  EXPECT_EQ(t.SupportMvds().size(), 1u);
+  EXPECT_TRUE(t.SupportMvds()[0].lhs.Empty());
+}
+
+TEST(JoinTree, SchemaIsReducedDetectsContainment) {
+  JoinTree reduced = PathAbBcCd();
+  EXPECT_TRUE(reduced.SchemaIsReduced());
+  JoinTree not_reduced =
+      JoinTree::Make({AttrSet{0, 1}, AttrSet{0}}, {{0, 1}}).value();
+  EXPECT_FALSE(not_reduced.SchemaIsReduced());
+}
+
+TEST(JoinTree, DecomposeProducesValidDfsOrder) {
+  JoinTree t = PathAbBcCd();
+  DfsDecomposition dec = t.Decompose(0);
+  EXPECT_EQ(dec.order.size(), 3u);
+  EXPECT_EQ(dec.order[0], 0u);
+  EXPECT_EQ(dec.steps.size(), 2u);
+  // Parents must appear earlier in the order.
+  for (const DfsStep& s : dec.steps) {
+    auto pos_of = [&](uint32_t node) {
+      for (size_t i = 0; i < dec.order.size(); ++i) {
+        if (dec.order[i] == node) return i;
+      }
+      return size_t{999};
+    };
+    EXPECT_LT(pos_of(s.parent), pos_of(s.node));
+  }
+}
+
+TEST(JoinTree, DecomposeSeparatorsOnPath) {
+  JoinTree t = PathAbBcCd();
+  DfsDecomposition dec = t.Decompose(0);
+  EXPECT_EQ(dec.steps[0].delta, (AttrSet{1}));  // {A,B} cap {B,C} = {B}
+  EXPECT_EQ(dec.steps[1].delta, (AttrSet{2}));  // {B,C} cap {C,D} = {C}
+  EXPECT_EQ(dec.steps[0].prefix, (AttrSet{0, 1}));
+  EXPECT_EQ(dec.steps[0].suffix, (AttrSet{1, 2, 3}));
+  EXPECT_EQ(dec.steps[1].subtree, (AttrSet{2, 3}));
+}
+
+// Paper Section 2.3: Delta_i = Omega_{1:i-1} cap Omega_i for any DFS order.
+TEST(JoinTree, DeltaEqualsPrefixIntersectBagProperty) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    JoinTree t = testing_util::RandomJoinTree(&rng, 5);
+    for (uint32_t root = 0; root < t.NumNodes(); ++root) {
+      DfsDecomposition dec = t.Decompose(root);
+      for (const DfsStep& s : dec.steps) {
+        EXPECT_EQ(s.delta, s.prefix.Intersect(s.bag))
+            << t.ToString() << " root=" << root;
+      }
+    }
+  }
+}
+
+TEST(JoinTree, SubtreeSetsAreContainedInSuffix) {
+  Rng rng(18);
+  for (int trial = 0; trial < 50; ++trial) {
+    JoinTree t = testing_util::RandomJoinTree(&rng, 5);
+    DfsDecomposition dec = t.Decompose(0);
+    for (const DfsStep& s : dec.steps) {
+      EXPECT_TRUE(s.subtree.IsSubsetOf(s.suffix));
+      EXPECT_TRUE(s.bag.IsSubsetOf(s.subtree));
+    }
+  }
+}
+
+TEST(JoinTree, SupportMvdSidesCoverUniverseAndMeetInLhs) {
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    JoinTree t = testing_util::RandomJoinTree(&rng, 5);
+    for (const Mvd& mvd : t.SupportMvds()) {
+      EXPECT_EQ(mvd.Universe(), t.AllAttrs());
+      // RIP: the two component attribute sets meet exactly in the edge
+      // separator.
+      EXPECT_EQ(mvd.side_a.Intersect(mvd.side_b), mvd.lhs);
+      EXPECT_TRUE(mvd.WellFormed());
+    }
+    EXPECT_EQ(t.SupportMvds().size(), t.NumNodes() - 1);
+  }
+}
+
+TEST(JoinTree, DfsMvdsCoverUniverse) {
+  Rng rng(20);
+  for (int trial = 0; trial < 30; ++trial) {
+    JoinTree t = testing_util::RandomJoinTree(&rng, 5);
+    for (const Mvd& mvd : t.DfsMvds()) {
+      EXPECT_EQ(mvd.Universe(), t.AllAttrs());
+      EXPECT_TRUE(mvd.lhs.IsSubsetOf(mvd.side_a));
+      EXPECT_TRUE(mvd.lhs.IsSubsetOf(mvd.side_b));
+    }
+  }
+}
+
+TEST(JoinTree, FromMvdPartitionBuildsStar) {
+  JoinTree t =
+      JoinTree::FromMvdPartition(AttrSet{0}, {AttrSet{1}, AttrSet{2},
+                                              AttrSet{3}})
+          .value();
+  EXPECT_EQ(t.NumNodes(), 3u);
+  EXPECT_EQ(t.bag(0), (AttrSet{0, 1}));
+  EXPECT_EQ(t.bag(2), (AttrSet{0, 3}));
+  EXPECT_EQ(t.Neighbors(0).size(), 2u);
+}
+
+TEST(JoinTree, FromMvdPartitionRejectsOverlap) {
+  EXPECT_FALSE(
+      JoinTree::FromMvdPartition(AttrSet{0}, {AttrSet{1}, AttrSet{1}}).ok());
+  EXPECT_FALSE(
+      JoinTree::FromMvdPartition(AttrSet{0}, {AttrSet{0}}).ok());
+}
+
+TEST(JoinTree, RunningIntersectionCheckerOnForeignStructures) {
+  std::vector<AttrSet> bags = {AttrSet{0, 1}, AttrSet{1, 2}};
+  std::vector<std::vector<uint32_t>> adj = {{1}, {0}};
+  EXPECT_TRUE(JoinTree::SatisfiesRunningIntersection(bags, adj));
+  bags = {AttrSet{0, 1}, AttrSet{2}, AttrSet{0, 2}};
+  adj = {{1}, {0, 2}, {1}};
+  EXPECT_FALSE(JoinTree::SatisfiesRunningIntersection(bags, adj));
+}
+
+TEST(Mvd, MakeMvdComposesSides) {
+  Mvd mvd = MakeMvd(AttrSet{2}, AttrSet{0}, AttrSet{1});
+  EXPECT_EQ(mvd.lhs, (AttrSet{2}));
+  EXPECT_EQ(mvd.side_a, (AttrSet{0, 2}));
+  EXPECT_EQ(mvd.side_b, (AttrSet{1, 2}));
+  EXPECT_TRUE(mvd.WellFormed());
+  EXPECT_EQ(mvd.ToString(), "{2} ->> {0}|{1}");
+}
+
+}  // namespace
+}  // namespace ajd

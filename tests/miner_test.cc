@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.h"
+#include "core/worstcase.h"
+#include "discovery/miner.h"
+#include "info/j_measure.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+TEST(Miner, RecoversPlantedMvd) {
+  // Data satisfying C ->> A | B exactly: the miner must find a 2-bag tree
+  // with J ~ 0.
+  Rng rng(150);
+  Instance inst = MakeLosslessMvdInstance(10, 10, 6, 3, 3, &rng).value();
+  MinerOptions options;
+  options.max_bag_size = 2;
+  MinerReport report = MineJoinTree(inst.relation, options).value();
+  EXPECT_NEAR(report.j, 0.0, 1e-9);
+  EXPECT_GE(report.tree.NumNodes(), 2u);
+  // The separator of some split must be exactly {C} (= position 2).
+  bool found_c = false;
+  for (const SplitRecord& s : report.splits) {
+    if (s.separator == AttrSet{2}) found_c = true;
+  }
+  EXPECT_TRUE(found_c);
+}
+
+TEST(Miner, LosslessMinedSchemaHasZeroLoss) {
+  Rng rng(151);
+  Instance inst = MakeLosslessMvdInstance(8, 8, 5, 2, 4, &rng).value();
+  MinerReport report = MineJoinTree(inst.relation).value();
+  AjdAnalysis a = AnalyzeAjd(inst.relation, report.tree).value();
+  EXPECT_TRUE(a.lossless);
+}
+
+TEST(Miner, ForcedSplittingRespectsMaxBagSize) {
+  Rng rng(152);
+  Relation r = testing_util::RandomTestRelation(&rng, 6, 3, 60);
+  MinerOptions options;
+  options.max_bag_size = 3;
+  options.max_separator_size = 2;
+  MinerReport report = MineJoinTree(r, options).value();
+  for (uint32_t v = 0; v < report.tree.NumNodes(); ++v) {
+    EXPECT_LE(report.tree.bag(v).Count(), 3u) << report.tree.ToString();
+  }
+}
+
+TEST(Miner, SumOfSplitCmisUpperBoundsJ) {
+  Rng rng(153);
+  for (int trial = 0; trial < 10; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 5, 3, 50);
+    MinerOptions options;
+    options.max_bag_size = 2;
+    MinerReport report = MineJoinTree(r, options).value();
+    EXPECT_GE(report.sum_split_cmi + 1e-8, report.j);
+  }
+}
+
+TEST(Miner, ProducesValidTreeOnRandomData) {
+  Rng rng(154);
+  for (int trial = 0; trial < 15; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 5, 4, 80);
+    MinerOptions options;
+    options.max_bag_size = 1 + trial % 4;
+    MinerReport report = MineJoinTree(r, options).value();
+    // Tree covers all attributes (JoinTree::Make already validated RIP).
+    EXPECT_EQ(report.tree.AllAttrs(), r.schema().AllAttrs());
+    // Lemma 4.1 prediction is consistent with the actual loss.
+    AjdAnalysis a = AnalyzeAjd(r, report.tree).value();
+    EXPECT_LE(report.rho_lower_bound, a.loss.rho + 1e-6);
+  }
+}
+
+TEST(Miner, HighThresholdKeepsSingleBag) {
+  Rng rng(155);
+  Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 40);
+  MinerOptions options;
+  options.max_bag_size = 64;    // never force
+  options.cmi_threshold = -1.0; // never accept
+  MinerReport report = MineJoinTree(r, options).value();
+  EXPECT_EQ(report.tree.NumNodes(), 1u);
+  EXPECT_NEAR(report.j, 0.0, 1e-12);
+}
+
+TEST(Miner, RejectsDegenerateInputs) {
+  Schema s1 = Schema::Make({{"A", 2}}).value();
+  Relation one_attr = Relation::FromRows(s1, {{0}}).value();
+  EXPECT_FALSE(MineJoinTree(one_attr).ok());
+
+  Schema s2 = Schema::Make({{"A", 2}, {"B", 2}}).value();
+  Relation empty = Relation::FromRows(s2, {}).value();
+  EXPECT_FALSE(MineJoinTree(empty).ok());
+}
+
+TEST(Miner, NestedMvdsYieldPathDecomposition) {
+  // Build data with two nested independencies: A _||_ B | C and
+  // (AB C) _||_ D | B. Construct as product structure.
+  Schema s = Schema::Make({{"A", 4}, {"B", 4}, {"C", 2}, {"D", 4}}).value();
+  std::vector<std::vector<uint32_t>> rows;
+  for (uint32_t c = 0; c < 2; ++c) {
+    for (uint32_t a = 0; a < 2; ++a) {
+      for (uint32_t b = 0; b < 2; ++b) {
+        for (uint32_t d = 0; d < 2; ++d) {
+          // Within C-group: A x B product; D depends only on B.
+          rows.push_back({c * 2 + a, c * 2 + b, c, b * 2 + d});
+        }
+      }
+    }
+  }
+  Relation r = Relation::FromRows(s, rows).value();
+  MinerOptions options;
+  options.max_bag_size = 2;
+  MinerReport report = MineJoinTree(r, options).value();
+  EXPECT_NEAR(report.j, 0.0, 1e-9);
+  AjdAnalysis a = AnalyzeAjd(r, report.tree).value();
+  EXPECT_TRUE(a.lossless);
+}
+
+TEST(Miner, ReportRendersWithNames) {
+  Rng rng(156);
+  Instance inst = MakeLosslessMvdInstance(6, 6, 3, 2, 2, &rng).value();
+  MinerOptions options;
+  options.max_bag_size = 2;
+  MinerReport report = MineJoinTree(inst.relation, options).value();
+  std::string text = report.ToString(inst.relation.schema());
+  EXPECT_NE(text.find("bag"), std::string::npos);
+  EXPECT_NE(text.find("CMI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ajd

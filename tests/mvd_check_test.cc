@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/mvd_check.h"
+#include "core/worstcase.h"
+#include "info/j_measure.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+TEST(SatisfiesMvd, HoldsOnPlantedInstance) {
+  Rng rng(310);
+  Instance inst = MakeLosslessMvdInstance(8, 8, 4, 3, 3, &rng).value();
+  Mvd mvd = MakeMvd(AttrSet{2}, AttrSet{0}, AttrSet{1});
+  EXPECT_TRUE(SatisfiesMvd(inst.relation, mvd).value());
+}
+
+TEST(SatisfiesMvd, FailsOnDiagonal) {
+  Instance inst = MakeDiagonalInstance(4).value();
+  Mvd mvd = MakeMvd(AttrSet(), AttrSet{0}, AttrSet{1});
+  EXPECT_FALSE(SatisfiesMvd(inst.relation, mvd).value());
+}
+
+TEST(SatisfiesAjd, MatchesLossZero) {
+  Rng rng(311);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 30);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 4);
+    if (t.AllAttrs() != r.schema().AllAttrs()) continue;
+    bool ajd = SatisfiesAjd(r, t).value();
+    double j = JMeasure(r, t);
+    EXPECT_EQ(ajd, j < 1e-9) << t.ToString();
+  }
+}
+
+// Beeri et al. [3, Thm 8.8]: R |= AJD(S) iff R satisfies every support MVD.
+TEST(SatisfiesAjd, EquivalentToSupportMvds) {
+  Rng rng(312);
+  for (int trial = 0; trial < 40; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 30);
+    JoinTree t = testing_util::RandomJoinTree(&rng, 4);
+    if (t.AllAttrs() != r.schema().AllAttrs()) continue;
+    EXPECT_EQ(SatisfiesAjd(r, t).value(),
+              SatisfiesAllSupportMvds(r, t).value())
+        << t.ToString();
+  }
+}
+
+TEST(SatisfiesAjd, RequiresFullCoverage) {
+  Rng rng(313);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 3, 10);
+  JoinTree t = JoinTree::Make({AttrSet{0}, AttrSet{1}}, {{0, 1}}).value();
+  EXPECT_FALSE(SatisfiesAjd(r, t).ok());
+}
+
+TEST(SatisfiesFd, DetectsFunctionalDependency) {
+  // dept -> head holds; emp -> dept holds; dept -> emp does not.
+  Schema s = Schema::Make({{"emp", 4}, {"dept", 2}, {"head", 2}}).value();
+  Relation r = Relation::FromRows(
+                   s, {{0, 0, 0}, {1, 0, 0}, {2, 1, 1}, {3, 1, 1}})
+                   .value();
+  EXPECT_TRUE(SatisfiesFd(r, AttrSet{1}, AttrSet{2}).value());
+  EXPECT_TRUE(SatisfiesFd(r, AttrSet{0}, AttrSet{1, 2}).value());
+  EXPECT_FALSE(SatisfiesFd(r, AttrSet{1}, AttrSet{0}).value());
+}
+
+TEST(SatisfiesFd, EmptyLhsMeansConstant) {
+  Schema s = Schema::Make({{"A", 2}, {"B", 1}}).value();
+  Relation r = Relation::FromRows(s, {{0, 0}, {1, 0}}).value();
+  EXPECT_TRUE(SatisfiesFd(r, AttrSet(), AttrSet{1}).value());
+  EXPECT_FALSE(SatisfiesFd(r, AttrSet(), AttrSet{0}).value());
+}
+
+TEST(SatisfiesFd, EmptyRhsIsTrivial) {
+  Schema s = Schema::Make({{"A", 2}}).value();
+  Relation r = Relation::FromRows(s, {{0}, {1}}).value();
+  EXPECT_TRUE(SatisfiesFd(r, AttrSet{0}, AttrSet()).value());
+}
+
+// An FD lhs -> rhs implies the MVD lhs ->> rhs | rest (Section 1: FDs are
+// special MVDs).
+TEST(SatisfiesFd, FdImpliesMvd) {
+  Rng rng(314);
+  for (int trial = 0; trial < 30; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 25);
+    for (uint32_t lhs_attr = 0; lhs_attr < 4; ++lhs_attr) {
+      for (uint32_t rhs_attr = 0; rhs_attr < 4; ++rhs_attr) {
+        if (lhs_attr == rhs_attr) continue;
+        AttrSet lhs = AttrSet::Singleton(lhs_attr);
+        AttrSet rhs = AttrSet::Singleton(rhs_attr);
+        if (!SatisfiesFd(r, lhs, rhs).value()) continue;
+        AttrSet rest =
+            r.schema().AllAttrs().Minus(lhs).Minus(rhs);
+        Mvd mvd = MakeMvd(lhs, rhs, rest);
+        EXPECT_TRUE(SatisfiesMvd(r, mvd).value())
+            << "FD " << lhs_attr << "->" << rhs_attr;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ajd

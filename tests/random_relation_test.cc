@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "random/random_relation.h"
+#include "relation/ops.h"
+
+namespace ajd {
+namespace {
+
+TEST(SampleDistinctIndices, ExactCountAndDistinct) {
+  Rng rng(21);
+  for (SampleStrategy strategy :
+       {SampleStrategy::kFloyd, SampleStrategy::kRejection,
+        SampleStrategy::kShuffle}) {
+    auto result = SampleDistinctIndices(1000, 200, &rng, strategy);
+    ASSERT_TRUE(result.ok());
+    const auto& v = result.value();
+    EXPECT_EQ(v.size(), 200u);
+    std::set<uint64_t> distinct(v.begin(), v.end());
+    EXPECT_EQ(distinct.size(), 200u);
+    for (uint64_t x : v) EXPECT_LT(x, 1000u);
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  }
+}
+
+TEST(SampleDistinctIndices, FullDomain) {
+  Rng rng(22);
+  auto result = SampleDistinctIndices(50, 50, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 50u);
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_EQ(result.value()[i], i);
+}
+
+TEST(SampleDistinctIndices, RejectsOversample) {
+  Rng rng(23);
+  EXPECT_EQ(SampleDistinctIndices(10, 11, &rng).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SampleDistinctIndices, ZeroIsEmpty) {
+  Rng rng(24);
+  EXPECT_TRUE(SampleDistinctIndices(10, 0, &rng).value().empty());
+}
+
+TEST(SampleDistinctIndices, FirstMomentUniform) {
+  // Each index should be included with probability n/D.
+  Rng rng(25);
+  const uint64_t domain = 40, n = 10;
+  std::vector<int> counts(domain, 0);
+  const int trials = 8000;
+  for (int t = 0; t < trials; ++t) {
+    auto result = SampleDistinctIndices(domain, n, &rng);
+    for (uint64_t x : result.value()) ++counts[x];
+  }
+  const double expected = trials * static_cast<double>(n) / domain;
+  for (uint64_t i = 0; i < domain; ++i) {
+    EXPECT_NEAR(counts[i], expected, expected * 0.12) << i;
+  }
+}
+
+TEST(SampleDistinctIndices, FloydMatchesDistributionOfShuffle) {
+  // Both strategies should produce uniform random subsets: compare the
+  // frequency of a fixed index between strategies.
+  const uint64_t domain = 20, n = 5;
+  const int trials = 6000;
+  int count_floyd = 0, count_shuffle = 0;
+  Rng rng_a(26), rng_b(27);
+  for (int t = 0; t < trials; ++t) {
+    auto f =
+        SampleDistinctIndices(domain, n, &rng_a, SampleStrategy::kFloyd);
+    auto s =
+        SampleDistinctIndices(domain, n, &rng_b, SampleStrategy::kShuffle);
+    for (uint64_t x : f.value()) {
+      if (x == 0) ++count_floyd;
+    }
+    for (uint64_t x : s.value()) {
+      if (x == 0) ++count_shuffle;
+    }
+  }
+  EXPECT_NEAR(count_floyd, count_shuffle, trials * 0.05);
+}
+
+TEST(SampleRandomRelation, SizeAndDistinctness) {
+  Rng rng(28);
+  RandomRelationSpec spec;
+  spec.domain_sizes = {6, 7, 3};
+  spec.num_tuples = 50;
+  Result<Relation> r = SampleRandomRelation(spec, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumRows(), 50u);
+  EXPECT_FALSE(r.value().HasDuplicateRows());
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_LT(r.value().At(i, 0), 6u);
+    EXPECT_LT(r.value().At(i, 1), 7u);
+    EXPECT_LT(r.value().At(i, 2), 3u);
+  }
+}
+
+TEST(SampleRandomRelation, CustomNames) {
+  Rng rng(29);
+  RandomRelationSpec spec;
+  spec.domain_sizes = {4, 4};
+  spec.num_tuples = 8;
+  spec.attr_names = {"A", "B"};
+  Result<Relation> r = SampleRandomRelation(spec, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().attr(0).name, "A");
+}
+
+TEST(SampleRandomRelation, ValidatesSpec) {
+  Rng rng(30);
+  RandomRelationSpec spec;
+  spec.domain_sizes = {};
+  spec.num_tuples = 1;
+  EXPECT_FALSE(SampleRandomRelation(spec, &rng).ok());
+  spec.domain_sizes = {3, 0};
+  EXPECT_FALSE(SampleRandomRelation(spec, &rng).ok());
+  spec.domain_sizes = {3, 3};
+  spec.num_tuples = 10;  // > 9
+  EXPECT_EQ(SampleRandomRelation(spec, &rng).status().code(),
+            StatusCode::kOutOfRange);
+  spec.num_tuples = 0;
+  EXPECT_FALSE(SampleRandomRelation(spec, &rng).ok());
+}
+
+TEST(SampleRandomRelation, HugeSparseDomain) {
+  // D = 10^9; rejection/Floyd must handle this without materializing.
+  Rng rng(31);
+  RandomRelationSpec spec;
+  spec.domain_sizes = {1000, 1000, 1000};
+  spec.num_tuples = 5000;
+  Result<Relation> r = SampleRandomRelation(spec, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumRows(), 5000u);
+  EXPECT_FALSE(r.value().HasDuplicateRows());
+}
+
+TEST(SampleRandomRelation, DeterministicGivenSeed) {
+  RandomRelationSpec spec;
+  spec.domain_sizes = {9, 9};
+  spec.num_tuples = 20;
+  Rng a(55), b(55);
+  Relation ra = SampleRandomRelation(spec, &a).value();
+  Relation rb = SampleRandomRelation(spec, &b).value();
+  EXPECT_TRUE(SetEquals(ra, rb));
+}
+
+TEST(SampleRandomRelation, MarginalFrequenciesRoughlyUniform) {
+  // With N = D/2 over [8] x [8], each attribute value should appear in
+  // about N/8 rows.
+  Rng rng(56);
+  RandomRelationSpec spec;
+  spec.domain_sizes = {8, 8};
+  spec.num_tuples = 32;
+  std::vector<int> counts(8, 0);
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    Relation r = SampleRandomRelation(spec, &rng).value();
+    for (uint64_t i = 0; i < r.NumRows(); ++i) ++counts[r.At(i, 0)];
+  }
+  const double expected = trials * 32.0 / 8.0;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.08);
+}
+
+// Parameterized grid: every strategy must produce exact-size, distinct,
+// in-range samples across densities from 1% to 100%.
+struct SamplerGridParam {
+  SampleStrategy strategy;
+  uint64_t domain;
+  uint64_t n;
+};
+
+class SamplerGridTest : public ::testing::TestWithParam<SamplerGridParam> {};
+
+TEST_P(SamplerGridTest, ExactDistinctInRange) {
+  const SamplerGridParam& p = GetParam();
+  Rng rng(0xABCDEF ^ p.domain ^ (p.n << 20));
+  for (int trial = 0; trial < 5; ++trial) {
+    auto result = SampleDistinctIndices(p.domain, p.n, &rng, p.strategy);
+    ASSERT_TRUE(result.ok());
+    const auto& v = result.value();
+    ASSERT_EQ(v.size(), p.n);
+    for (size_t i = 1; i < v.size(); ++i) {
+      EXPECT_LT(v[i - 1], v[i]);  // sorted implies distinct
+    }
+    if (!v.empty()) {
+      EXPECT_LT(v.back(), p.domain);
+    }
+  }
+}
+
+std::vector<SamplerGridParam> MakeSamplerGrid() {
+  std::vector<SamplerGridParam> grid;
+  for (SampleStrategy s :
+       {SampleStrategy::kFloyd, SampleStrategy::kRejection,
+        SampleStrategy::kShuffle, SampleStrategy::kAuto}) {
+    for (uint64_t domain : {100ull, 4096ull}) {
+      for (uint64_t n : {domain / 100 + 1, domain / 4, domain / 2, domain}) {
+        grid.push_back({s, domain, n});
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SamplerGridTest,
+                         ::testing::ValuesIn(MakeSamplerGrid()));
+
+}  // namespace
+}  // namespace ajd

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "relation/relation.h"
+#include "relation/row_hash.h"
+#include "relation/schema.h"
+
+namespace ajd {
+namespace {
+
+TEST(Schema, MakeRejectsDuplicatesAndEmptyNames) {
+  EXPECT_FALSE(Schema::Make({{"A", 2}, {"A", 3}}).ok());
+  EXPECT_FALSE(Schema::Make({{"", 2}}).ok());
+  EXPECT_TRUE(Schema::Make({{"A", 2}, {"B", 3}}).ok());
+}
+
+TEST(Schema, MakeRejectsTooManyAttributes) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 65; ++i) attrs.push_back({"X" + std::to_string(i), 2});
+  EXPECT_EQ(Schema::Make(attrs).status().code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(Schema, FindAndPositionOf) {
+  Schema s = Schema::Make({{"A", 2}, {"B", 3}}).value();
+  EXPECT_EQ(s.Find("B").value(), 1u);
+  EXPECT_FALSE(s.Find("C").has_value());
+  EXPECT_EQ(s.PositionOf("A"), 0u);
+}
+
+TEST(Schema, SetOfNames) {
+  Schema s = Schema::Make({{"A", 2}, {"B", 3}, {"C", 4}}).value();
+  EXPECT_EQ(s.SetOf({"A", "C"}).value(), (AttrSet{0, 2}));
+  EXPECT_FALSE(s.SetOf({"A", "Z"}).ok());
+}
+
+TEST(Schema, DomainProduct) {
+  Schema s = Schema::Make({{"A", 3}, {"B", 5}, {"C", 7}}).value();
+  EXPECT_EQ(s.DomainProduct(AttrSet{0, 2}).value(), 21u);
+  EXPECT_EQ(s.DomainProduct(AttrSet()).value(), 1u);
+}
+
+TEST(Schema, MakeSyntheticNames) {
+  Schema s = Schema::MakeSynthetic({2, 3}).value();
+  EXPECT_EQ(s.attr(0).name, "X0");
+  EXPECT_EQ(s.attr(1).name, "X1");
+  EXPECT_EQ(s.attr(1).domain_size, 3u);
+}
+
+TEST(Dictionary, InternIsIdempotent) {
+  Dictionary d;
+  uint32_t a = d.Intern("alpha");
+  uint32_t b = d.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("alpha"), a);
+  EXPECT_EQ(d.ValueOf(a), "alpha");
+  EXPECT_EQ(d.Lookup("beta").value(), b);
+  EXPECT_FALSE(d.Lookup("gamma").has_value());
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(RelationBuilder, BuildsAndDedupes) {
+  Schema s = Schema::Make({{"A", 0}, {"B", 0}}).value();
+  RelationBuilder b(s);
+  b.AddRow({0, 1});
+  b.AddRow({0, 1});
+  b.AddRow({1, 1});
+  Relation r = std::move(b).Build(/*dedupe=*/true);
+  EXPECT_EQ(r.NumRows(), 2u);
+  EXPECT_FALSE(r.HasDuplicateRows());
+}
+
+TEST(RelationBuilder, MultisetModeKeepsDuplicates) {
+  Schema s = Schema::Make({{"A", 0}}).value();
+  RelationBuilder b(s);
+  b.AddRow({3});
+  b.AddRow({3});
+  Relation r = std::move(b).Build(/*dedupe=*/false);
+  EXPECT_EQ(r.NumRows(), 2u);
+  EXPECT_TRUE(r.HasDuplicateRows());
+  EXPECT_EQ(r.NumDistinctRows(), 1u);
+}
+
+TEST(RelationBuilder, GrowsDomainSizes) {
+  Schema s = Schema::Make({{"A", 1}}).value();
+  RelationBuilder b(s);
+  b.AddRow({9});
+  Relation r = std::move(b).Build();
+  EXPECT_EQ(r.schema().attr(0).domain_size, 10u);
+}
+
+TEST(RelationBuilder, StringRowsInternAndRender) {
+  Schema s = Schema::Make({{"City", 0}, {"State", 0}}).value();
+  RelationBuilder b(s);
+  b.AddStringRow({"Seattle", "WA"});
+  b.AddStringRow({"Portland", "OR"});
+  b.AddStringRow({"Seattle", "WA"});
+  Relation r = std::move(b).Build();
+  EXPECT_EQ(r.NumRows(), 2u);
+  ASSERT_NE(r.dict(0), nullptr);
+  EXPECT_EQ(r.RowToString(0), "(Seattle, WA)");
+}
+
+TEST(Relation, FromRowsChecksWidth) {
+  Schema s = Schema::Make({{"A", 2}, {"B", 2}}).value();
+  EXPECT_FALSE(Relation::FromRows(s, {{0}}).ok());
+  Result<Relation> r = Relation::FromRows(s, {{0, 1}, {1, 0}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumRows(), 2u);
+}
+
+TEST(Relation, ContainsRow) {
+  Schema s = Schema::Make({{"A", 3}, {"B", 3}}).value();
+  Relation r = Relation::FromRows(s, {{0, 1}, {2, 2}}).value();
+  uint32_t present[] = {0, 1};
+  uint32_t absent[] = {1, 0};
+  EXPECT_TRUE(r.ContainsRow(present));
+  EXPECT_FALSE(r.ContainsRow(absent));
+}
+
+TEST(Relation, ToStringTruncates) {
+  Schema s = Schema::Make({{"A", 10}}).value();
+  std::vector<std::vector<uint32_t>> rows;
+  for (uint32_t i = 0; i < 10; ++i) rows.push_back({i});
+  Relation r = Relation::FromRows(s, rows).value();
+  std::string text = r.ToString(3);
+  EXPECT_NE(text.find("(7 more)"), std::string::npos);
+}
+
+TEST(TupleCounter, CountsAndDenseIndexes) {
+  TupleCounter c(2);
+  uint32_t t1[] = {1, 2};
+  uint32_t t2[] = {3, 4};
+  EXPECT_EQ(c.Add(t1), 0u);
+  EXPECT_EQ(c.Add(t2), 1u);
+  EXPECT_EQ(c.Add(t1), 0u);
+  EXPECT_EQ(c.NumDistinct(), 2u);
+  EXPECT_EQ(c.CountAt(0), 2u);
+  EXPECT_EQ(c.CountAt(1), 1u);
+  EXPECT_EQ(c.TotalCount(), 3u);
+  EXPECT_EQ(c.Find(t2), 1u);
+  uint32_t t3[] = {9, 9};
+  EXPECT_EQ(c.Find(t3), UINT32_MAX);
+}
+
+TEST(TupleCounter, SurvivesGrowth) {
+  TupleCounter c(1, 2);
+  for (uint32_t i = 0; i < 10000; ++i) {
+    uint32_t t[] = {i};
+    EXPECT_EQ(c.Add(t), i);
+  }
+  EXPECT_EQ(c.NumDistinct(), 10000u);
+  for (uint32_t i = 0; i < 10000; ++i) {
+    uint32_t t[] = {i};
+    EXPECT_EQ(c.Find(t), i);
+    EXPECT_EQ(c.TupleAt(i)[0], i);
+  }
+}
+
+TEST(TupleCounter, WeightedAdds) {
+  TupleCounter c(1);
+  uint32_t t[] = {5};
+  c.AddWeighted(t, 7);
+  c.AddWeighted(t, 3);
+  EXPECT_EQ(c.CountAt(0), 10u);
+  EXPECT_EQ(c.TotalCount(), 10u);
+}
+
+}  // namespace
+}  // namespace ajd

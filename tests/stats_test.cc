@@ -1,0 +1,428 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "random/rng.h"
+#include "stats/binomial.h"
+#include "stats/functional_entropy.h"
+#include "stats/hypergeometric.h"
+#include "stats/inequalities.h"
+#include "stats/poisson.h"
+#include "stats/special.h"
+#include "util/math.h"
+
+namespace ajd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hypergeometric.
+// ---------------------------------------------------------------------------
+
+TEST(Hypergeometric, PmfSumsToOne) {
+  Hypergeometric h(50, 20, 10);
+  double total = 0.0;
+  for (uint64_t k = h.SupportMin(); k <= h.SupportMax(); ++k) {
+    total += h.Pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(Hypergeometric, SupportBounds) {
+  Hypergeometric h(10, 7, 6);
+  EXPECT_EQ(h.SupportMin(), 3u);  // 6 - (10-7)
+  EXPECT_EQ(h.SupportMax(), 6u);
+  EXPECT_EQ(h.Pmf(2), 0.0);
+  EXPECT_EQ(h.Pmf(7), 0.0);
+}
+
+TEST(Hypergeometric, MeanMatchesPmf) {
+  Hypergeometric h(40, 15, 12);
+  double mean = 0.0;
+  for (uint64_t k = h.SupportMin(); k <= h.SupportMax(); ++k) {
+    mean += static_cast<double>(k) * h.Pmf(k);
+  }
+  EXPECT_NEAR(mean, h.Mean(), 1e-9);
+}
+
+TEST(Hypergeometric, VarianceMatchesPmf) {
+  Hypergeometric h(40, 15, 12);
+  double mean = h.Mean();
+  double var = 0.0;
+  for (uint64_t k = h.SupportMin(); k <= h.SupportMax(); ++k) {
+    var += (static_cast<double>(k) - mean) *
+           (static_cast<double>(k) - mean) * h.Pmf(k);
+  }
+  EXPECT_NEAR(var, h.Variance(), 1e-9);
+}
+
+TEST(Hypergeometric, SampleMomentsConverge) {
+  Hypergeometric h(100, 30, 25);
+  Rng rng(81);
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(h.Sample(&rng));
+  double mean = sum / n;
+  EXPECT_NEAR(mean, h.Mean(), 0.15);
+}
+
+TEST(Hypergeometric, SampleStaysInSupport) {
+  Hypergeometric h(12, 8, 7);
+  Rng rng(82);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t s = h.Sample(&rng);
+    EXPECT_GE(s, h.SupportMin());
+    EXPECT_LE(s, h.SupportMax());
+  }
+}
+
+TEST(Hypergeometric, CdfReachesOne) {
+  Hypergeometric h(30, 10, 10);
+  EXPECT_NEAR(h.Cdf(h.SupportMax()), 1.0, 1e-10);
+  EXPECT_LT(h.Cdf(h.SupportMin()), 1.0);
+}
+
+// Serfling's bound is a valid tail bound: Monte-Carlo tail frequencies never
+// exceed it (statistically).
+TEST(Hypergeometric, SerflingBoundDominatesEmpiricalTail) {
+  const uint64_t population = 200, successes = 80, draws = 50;
+  Hypergeometric h(population, successes, draws);
+  Rng rng(83);
+  const int trials = 3000;
+  for (double eps : {3.0, 5.0, 8.0}) {
+    int exceed = 0;
+    for (int i = 0; i < trials; ++i) {
+      if (static_cast<double>(h.Sample(&rng)) - h.Mean() >= eps) ++exceed;
+    }
+    double freq = static_cast<double>(exceed) / trials;
+    double bound = SerflingTailBound(population, draws, eps);
+    EXPECT_LE(freq, bound + 0.03) << "eps=" << eps;
+  }
+}
+
+TEST(Hypergeometric, SerflingSharpIsTighter) {
+  EXPECT_LE(SerflingTailBound(100, 60, 4.0, /*sharp=*/true),
+            SerflingTailBound(100, 60, 4.0, /*sharp=*/false) + 1e-15);
+}
+
+// ---------------------------------------------------------------------------
+// Poisson.
+// ---------------------------------------------------------------------------
+
+TEST(Poisson, PmfSumsToOne) {
+  Poisson p(4.2);
+  double total = 0.0;
+  for (uint64_t k = 0; k < 60; ++k) total += p.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(Poisson, MeanAndVarianceMatchPmf) {
+  Poisson p(3.5);
+  double mean = 0.0, second = 0.0;
+  for (uint64_t k = 0; k < 80; ++k) {
+    mean += static_cast<double>(k) * p.Pmf(k);
+    second += static_cast<double>(k) * static_cast<double>(k) * p.Pmf(k);
+  }
+  EXPECT_NEAR(mean, 3.5, 1e-8);
+  EXPECT_NEAR(second - mean * mean, 3.5, 1e-7);
+}
+
+TEST(Poisson, SampleMomentsConverge) {
+  Poisson p(7.0);
+  Rng rng(84);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(p.Sample(&rng));
+  EXPECT_NEAR(sum / n, 7.0, 0.2);
+}
+
+TEST(Poisson, LargeLambdaSampling) {
+  Poisson p(1200.0);
+  Rng rng(85);
+  double sum = 0.0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(p.Sample(&rng));
+  EXPECT_NEAR(sum / n / 1200.0, 1.0, 0.02);
+}
+
+TEST(Poisson, ChernoffBoundDominatesTail) {
+  const double lambda = 2.0;
+  Poisson p(lambda);
+  const double alpha = 9.0;  // > 3e
+  // Exact tail P[X >= alpha*lambda] = P[X >= 18].
+  double tail = 0.0;
+  for (uint64_t k = 18; k < 100; ++k) tail += p.Pmf(k);
+  EXPECT_LE(tail, PoissonChernoffBound(lambda, alpha));
+}
+
+TEST(Poisson, LipschitzTailBoundDecreasesInT) {
+  double prev = 1.0;
+  for (double t = 0.5; t < 10.0; t += 0.5) {
+    double b = PoissonLipschitzTailBound(4.0, t);
+    EXPECT_LE(b, prev + 1e-12);
+    prev = b;
+  }
+}
+
+TEST(Poisson, ExpectedInverseOnePlusMatchesSeries) {
+  // Eq. (280): E[1/(1+W)] = (1 - e^-lambda)/lambda.
+  const double lambda = 2.7;
+  Poisson p(lambda);
+  double expect = 0.0;
+  for (uint64_t k = 0; k < 80; ++k) {
+    expect += p.Pmf(k) / (1.0 + static_cast<double>(k));
+  }
+  EXPECT_NEAR(expect, PoissonExpectedInverseOnePlus(lambda), 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Binomial.
+// ---------------------------------------------------------------------------
+
+TEST(Binomial, PmfSumsToOne) {
+  Binomial b(25, 0.3);
+  double total = 0.0;
+  for (uint64_t k = 0; k <= 25; ++k) total += b.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(Binomial, EdgeProbabilities) {
+  Binomial zero(10, 0.0);
+  EXPECT_NEAR(zero.Pmf(0), 1.0, 1e-12);
+  EXPECT_EQ(zero.Pmf(1), 0.0);
+  Binomial one(10, 1.0);
+  EXPECT_NEAR(one.Pmf(10), 1.0, 1e-12);
+}
+
+TEST(Binomial, SampleMomentsConverge) {
+  Binomial b(40, 0.25);
+  Rng rng(86);
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(b.Sample(&rng));
+  EXPECT_NEAR(sum / n, b.Mean(), 0.2);
+}
+
+TEST(Binomial, RelativeChernoffDominatesEmpiricalTail) {
+  // Lemma D.2 with n=200, p=0.5, xi=0.2.
+  const uint64_t n = 200;
+  const double p = 0.5, xi = 0.2;
+  Binomial b(n, p);
+  Rng rng(87);
+  const int trials = 2000;
+  int exceed = 0;
+  for (int i = 0; i < trials; ++i) {
+    double frac = static_cast<double>(b.Sample(&rng)) / n;
+    if (std::fabs(frac - p) >= xi * p) ++exceed;
+  }
+  double freq = static_cast<double>(exceed) / trials;
+  EXPECT_LE(freq, BinomialRelativeChernoffBound(n, p, xi) + 0.03);
+}
+
+// ---------------------------------------------------------------------------
+// Inequalities.
+// ---------------------------------------------------------------------------
+
+TEST(LogSum, InequalityHoldsOnRandomInputs) {
+  Rng rng(88);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 1 + rng.UniformU64(6);
+    std::vector<double> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.NextDouble() * 3.0;
+      b[i] = rng.NextDouble() * 3.0 + 1e-6;
+    }
+    LogSumSides sides = LogSumInequality(a, b);
+    EXPECT_LE(sides.lhs, sides.rhs + 1e-9);
+  }
+}
+
+TEST(LogSum, EqualityWhenProportional) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {2.0, 4.0, 6.0};
+  LogSumSides sides = LogSumInequality(a, b);
+  EXPECT_NEAR(sides.lhs, sides.rhs, 1e-12);
+}
+
+TEST(LogSum, InfiniteRhsWhenBVanishes) {
+  LogSumSides sides = LogSumInequality({1.0}, {0.0});
+  EXPECT_TRUE(std::isinf(sides.rhs));
+}
+
+TEST(ChordBound, HoldsForAllPairsOnGrid) {
+  // Lemma D.2 second part: |g(t) - g(s)| <= 2 g(|s-t|) on [0,1].
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    for (double t = 0.0; t <= 1.0; t += 0.05) {
+      double lhs = std::fabs(NegTLogT(t) - NegTLogT(s));
+      EXPECT_LE(lhs, NegTLogTChordBound(s, t) + 1e-12)
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(LemmaD6, CorrectedThresholdImpliesInequality) {
+  for (double y : {3.0, 10.0, 100.0, 5000.0, 1e7}) {
+    double x = LemmaD6Threshold(y);
+    EXPECT_GE(x / std::log(x), y - 1e-9) << y;
+    // And beyond the threshold it keeps holding (x/ln x is increasing).
+    EXPECT_GE(2 * x / std::log(2 * x), y - 1e-9) << y;
+  }
+}
+
+TEST(LemmaD6, PaperThresholdIsInsufficient) {
+  // Documents the erratum: at the paper's threshold x = y ln y the claimed
+  // inequality x / ln x >= y FAILS for y > e.
+  for (double y : {10.0, 100.0, 5000.0}) {
+    double x_paper = y * std::log(y);
+    EXPECT_LT(x_paper / std::log(x_paper), y) << y;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Special functions (Section 5 surrogates).
+// ---------------------------------------------------------------------------
+
+TEST(Special, GHatMatchesGAboveKnee) {
+  const double zeta = 50.0;
+  for (double t = 1.0 / zeta; t <= 1.0; t += 0.01) {
+    EXPECT_NEAR(GHat(t, zeta), NegTLogT(t), 1e-12);
+  }
+}
+
+TEST(Special, GHatApproxErrorIsOneOverZeta) {
+  const double zeta = 40.0;
+  double max_err = 0.0;
+  for (double t = 0.0; t <= 1.0; t += 0.001) {
+    max_err = std::max(max_err, std::fabs(GHat(t, zeta) - NegTLogT(t)));
+  }
+  EXPECT_LE(max_err, GHatApproxError(zeta) + 1e-9);
+  EXPECT_NEAR(max_err, 1.0 / zeta, 1e-6);  // attained at t = 0
+}
+
+TEST(Special, GHatIsLipschitz) {
+  const double zeta = 30.0;
+  const double lip = GHatLipschitzConstant(zeta);
+  const double step = 1e-4;
+  for (double t = 0.0; t + step <= 1.0; t += step) {
+    double slope = (GHat(t + step, zeta) - GHat(t, zeta)) / step;
+    EXPECT_LE(std::fabs(slope), lip + 1e-6) << t;
+  }
+}
+
+TEST(Special, GTildeCapsAtInverseE) {
+  const double eta = 100.0;
+  const double inv_e = std::exp(-1.0);
+  EXPECT_NEAR(GTilde(inv_e, eta), GHat(inv_e, eta), 1e-12);
+  EXPECT_NEAR(GTilde(5.0, eta), GHat(inv_e, eta), 1e-12);
+  EXPECT_NEAR(GTilde(0.1, eta), GHat(0.1, eta), 1e-12);
+}
+
+TEST(Special, FZetaDefinition) {
+  EXPECT_NEAR(FZeta(0, 8.0), 0.125, 1e-12);
+  EXPECT_EQ(FZeta(3, 8.0), 3.0);
+}
+
+TEST(Special, PoissonizationFactorQuadratic) {
+  EXPECT_EQ(PoissonizationFactor(10.0), 2100.0);
+}
+
+// Lemma B.4 numerically: P[Z = b] <= 21 dA^2 P[W = b] on a small instance.
+TEST(Special, PoissonizationBoundHoldsNumerically) {
+  const uint64_t d_a = 8, d_b = 6, eta = 16;  // eta in [dA, dA dB - dB]
+  Hypergeometric z(d_a * d_b, d_b, eta);
+  Poisson w(static_cast<double>(eta) / static_cast<double>(d_a));
+  for (uint64_t b = 0; b <= d_b; ++b) {
+    EXPECT_LE(z.Pmf(b), PoissonizationFactor(static_cast<double>(d_a)) *
+                            w.Pmf(b) + 1e-12)
+        << "b=" << b;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Functional entropy.
+// ---------------------------------------------------------------------------
+
+TEST(FunctionalEntropy, ZeroForConstant) {
+  EXPECT_NEAR(FunctionalEntropy({2.0, 2.0}, {0.4, 0.6}), 0.0, 1e-12);
+}
+
+TEST(FunctionalEntropy, NonNegativeOnRandomInputs) {
+  Rng rng(89);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t n = 2 + rng.UniformU64(5);
+    std::vector<double> values(n), probs(n);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = rng.NextDouble() * 5.0;
+      probs[i] = rng.NextDouble() + 0.01;
+      total += probs[i];
+    }
+    for (size_t i = 0; i < n; ++i) probs[i] /= total;
+    EXPECT_GE(FunctionalEntropy(values, probs), -1e-10);
+  }
+}
+
+TEST(FunctionalEntropy, SampleVersionMatchesUniformWeights) {
+  std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> probs(4, 0.25);
+  EXPECT_NEAR(FunctionalEntropyOfSamples(samples),
+              FunctionalEntropy(samples, probs), 1e-12);
+}
+
+TEST(BernoulliLsi, CoefficientContinuousAtHalf) {
+  EXPECT_NEAR(BernoulliLsiCoefficient(0.5), 2.0, 1e-9);
+  EXPECT_NEAR(BernoulliLsiCoefficient(0.5 - 1e-7), 2.0, 1e-4);
+  EXPECT_GT(BernoulliLsiCoefficient(0.05), 2.0);
+}
+
+// The LSI of Lemma D.1: Ent(g^2) <= c(p) E(g), exercised on the averaging
+// function used in the paper's proof (g = sqrt of the normalized sum).
+TEST(BernoulliLsi, InequalityHoldsForSqrtAverage) {
+  const uint32_t d = 10;
+  const double p = 0.3;
+  Rng rng(90);
+  auto g = [](const std::vector<int>& r) {
+    double sum = 0.0;
+    for (int v : r) sum += (v + 1) / 2.0;
+    return std::sqrt(sum / static_cast<double>(r.size()));
+  };
+  double es = EfronSteinVariance(g, d, p, &rng);
+  // Exact Ent(g^2) by enumeration.
+  std::vector<double> values, probs;
+  for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+    std::vector<int> r(d);
+    double prob = 1.0;
+    for (uint32_t j = 0; j < d; ++j) {
+      r[j] = (mask >> j) & 1 ? 1 : -1;
+      prob *= r[j] == 1 ? p : 1.0 - p;
+    }
+    double gv = g(r);
+    values.push_back(gv * gv);
+    probs.push_back(prob);
+  }
+  double ent = FunctionalEntropy(values, probs);
+  EXPECT_LE(ent, BernoulliLsiCoefficient(p) * es + 1e-9);
+}
+
+TEST(LemmaB2B3, BoundsArePositiveAndShrink) {
+  EXPECT_GT(LemmaB2EntBound(0.1, 100.0), 0.0);
+  EXPECT_GT(LemmaB2EntBound(0.1, 100.0), LemmaB2EntBound(0.1, 10000.0));
+  EXPECT_GT(LemmaB3CouplingBound(100.0), LemmaB3CouplingBound(100000.0));
+  EXPECT_EQ(PoissonEntUpperBound(), 4.0);
+}
+
+// Ent(W) <= 4 for Poisson W (Eq. 281), checked numerically.
+TEST(LemmaB5, PoissonFunctionalEntropyBelowFour) {
+  for (double lambda : {1.5, 3.0, 10.0, 60.0}) {
+    Poisson p(lambda);
+    std::vector<double> values, probs;
+    for (uint64_t k = 0; k < 400; ++k) {
+      values.push_back(static_cast<double>(k));
+      probs.push_back(p.Pmf(k));
+    }
+    EXPECT_LE(FunctionalEntropy(values, probs), PoissonEntUpperBound())
+        << lambda;
+  }
+}
+
+}  // namespace
+}  // namespace ajd

@@ -1,0 +1,100 @@
+// Shared helpers for randomized/property tests: random relations and random
+// join trees with validity guaranteed by construction.
+#ifndef AJD_TESTS_TEST_UTIL_H_
+#define AJD_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "jointree/join_tree.h"
+#include "random/rng.h"
+#include "relation/relation.h"
+#include "util/check.h"
+
+namespace ajd {
+namespace testing_util {
+
+/// A random relation over `num_attrs` attributes with per-attribute domain
+/// `domain`, built from `rows` draws WITH replacement and then deduplicated
+/// (so N <= rows). Always non-empty for rows >= 1.
+inline Relation RandomTestRelation(Rng* rng, uint32_t num_attrs,
+                                   uint32_t domain, uint32_t rows) {
+  AJD_CHECK(num_attrs >= 1 && domain >= 1 && rows >= 1);
+  std::vector<uint64_t> dims(num_attrs, domain);
+  Result<Schema> schema = Schema::MakeSynthetic(dims);
+  AJD_CHECK(schema.ok());
+  RelationBuilder b(std::move(schema).value());
+  std::vector<uint32_t> row(num_attrs);
+  for (uint32_t i = 0; i < rows; ++i) {
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      row[a] = static_cast<uint32_t>(rng->UniformU64(domain));
+    }
+    b.AddRow(row);
+  }
+  return std::move(b).Build(/*dedupe=*/true);
+}
+
+/// A random PATH join tree over attributes {0..num_attrs-1}: each attribute
+/// is assigned a random interval of the m bag slots, which guarantees the
+/// running intersection property. All bags are non-empty and every
+/// attribute is covered. m is in [2, max_bags].
+inline JoinTree RandomPathJoinTree(Rng* rng, uint32_t num_attrs,
+                                   uint32_t max_bags = 4) {
+  AJD_CHECK(num_attrs >= 2 && max_bags >= 2);
+  while (true) {
+    uint32_t m = 2 + static_cast<uint32_t>(rng->UniformU64(max_bags - 1));
+    std::vector<AttrSet> bags(m);
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      uint32_t lo = static_cast<uint32_t>(rng->UniformU64(m));
+      uint32_t hi = lo + static_cast<uint32_t>(rng->UniformU64(m - lo));
+      for (uint32_t j = lo; j <= hi; ++j) bags[j].Add(a);
+    }
+    bool ok = true;
+    for (const AttrSet& b : bags) ok = ok && !b.Empty();
+    if (!ok) continue;
+    Result<JoinTree> tree = JoinTree::Path(std::move(bags));
+    if (tree.ok()) return std::move(tree).value();
+  }
+}
+
+/// A random star join tree for an MVD X ->> Y1 | ... | Yk over all
+/// attributes: X is a random (possibly empty) subset, the rest are randomly
+/// partitioned into k >= 2 non-empty branches.
+inline JoinTree RandomStarJoinTree(Rng* rng, uint32_t num_attrs) {
+  AJD_CHECK(num_attrs >= 2);
+  while (true) {
+    AttrSet x;
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      if (rng->Bernoulli(0.25)) x.Add(a);
+    }
+    AttrSet rest = AttrSet::Range(num_attrs).Minus(x);
+    if (rest.Count() < 2) continue;
+    uint32_t k = 2 + static_cast<uint32_t>(
+                         rng->UniformU64(std::max(1u, rest.Count() - 1)));
+    std::vector<AttrSet> branches(k);
+    uint32_t idx = 0;
+    // Ensure the first k attributes of `rest` seed distinct branches.
+    rest.ForEach([&](uint32_t a) {
+      if (idx < k) {
+        branches[idx].Add(a);
+      } else {
+        branches[rng->UniformU64(k)].Add(a);
+      }
+      ++idx;
+    });
+    if (idx < k) continue;  // fewer rest attrs than branches
+    Result<JoinTree> tree = JoinTree::FromMvdPartition(x, branches);
+    if (tree.ok()) return std::move(tree).value();
+  }
+}
+
+/// Alternates between path and star trees.
+inline JoinTree RandomJoinTree(Rng* rng, uint32_t num_attrs) {
+  return rng->Bernoulli(0.5) ? RandomPathJoinTree(rng, num_attrs)
+                             : RandomStarJoinTree(rng, num_attrs);
+}
+
+}  // namespace testing_util
+}  // namespace ajd
+
+#endif  // AJD_TESTS_TEST_UTIL_H_

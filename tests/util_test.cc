@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/math.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace ajd {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCapacityExceeded),
+               "CapacityExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(Math, NatsBitsRoundTrip) {
+  EXPECT_NEAR(NatsToBits(kLn2), 1.0, 1e-15);
+  EXPECT_NEAR(BitsToNats(1.0), kLn2, 1e-15);
+  EXPECT_NEAR(BitsToNats(NatsToBits(0.73)), 0.73, 1e-12);
+}
+
+TEST(Math, XLogXAtZero) {
+  EXPECT_EQ(XLogX(0.0), 0.0);
+  EXPECT_NEAR(XLogX(1.0), 0.0, 1e-15);
+  EXPECT_NEAR(XLogX(std::exp(1.0)), std::exp(1.0), 1e-12);
+}
+
+TEST(Math, NegTLogTIsNonNegativeOnUnitInterval) {
+  for (double t = 0.0; t <= 1.0; t += 0.01) {
+    EXPECT_GE(NegTLogT(t), -1e-15) << t;
+  }
+}
+
+TEST(Math, EntropySlackCMatchesFormula) {
+  EXPECT_NEAR(EntropySlackC(100.0), 2.0 * std::log(100.0) / 10.0, 1e-12);
+}
+
+TEST(Math, CheckedMulDetectsOverflow) {
+  EXPECT_EQ(CheckedMul(1ull << 32, 1ull << 31).value(), 1ull << 63);
+  EXPECT_FALSE(CheckedMul(1ull << 32, 1ull << 32).has_value());
+  EXPECT_EQ(CheckedMul(0, ~0ull).value(), 0u);
+}
+
+TEST(Math, CheckedAddDetectsOverflow) {
+  EXPECT_EQ(CheckedAdd(~0ull - 1, 1).value(), ~0ull);
+  EXPECT_FALSE(CheckedAdd(~0ull, 1).has_value());
+}
+
+TEST(Math, CheckedProductEmptyIsOne) {
+  EXPECT_EQ(CheckedProduct({}).value(), 1u);
+  EXPECT_EQ(CheckedProduct({3, 5, 7}).value(), 105u);
+  EXPECT_FALSE(CheckedProduct({1ull << 60, 1ull << 60}).has_value());
+}
+
+TEST(Math, LogBinomialMatchesSmallCases) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-9);
+}
+
+TEST(MixedRadixCodec, RoundTripsAllPointsOfSmallDomain) {
+  MixedRadixCodec codec({3, 4, 2});
+  ASSERT_TRUE(codec.Valid());
+  EXPECT_EQ(codec.Size(), 24u);
+  std::vector<uint32_t> coords;
+  for (uint64_t i = 0; i < codec.Size(); ++i) {
+    codec.Decode(i, &coords);
+    EXPECT_EQ(codec.Encode(coords), i);
+  }
+}
+
+TEST(MixedRadixCodec, DecodeIsRowMajor) {
+  MixedRadixCodec codec({2, 3});
+  std::vector<uint32_t> coords;
+  codec.Decode(0, &coords);
+  EXPECT_EQ(coords, (std::vector<uint32_t>{0, 0}));
+  codec.Decode(1, &coords);
+  EXPECT_EQ(coords, (std::vector<uint32_t>{0, 1}));
+  codec.Decode(3, &coords);
+  EXPECT_EQ(coords, (std::vector<uint32_t>{1, 0}));
+}
+
+TEST(MixedRadixCodec, RejectsOverflowAndZeroDims) {
+  MixedRadixCodec overflow({1ull << 60, 1ull << 60});
+  EXPECT_FALSE(overflow.Valid());
+  MixedRadixCodec zero({3, 0, 2});
+  EXPECT_FALSE(zero.Valid());
+}
+
+TEST(Math, MeanAndStdDev) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(Mean({1, 2, 3, 4}), 2.5, 1e-12);
+  EXPECT_NEAR(SampleStdDev({2, 4, 4, 4, 5, 5, 7, 9}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(SampleStdDev({1.0}), 0.0);
+}
+
+TEST(Math, QuantileInterpolates) {
+  std::vector<double> xs = {4, 1, 3, 2};
+  EXPECT_NEAR(Quantile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile(xs, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(Quantile(xs, 0.5), 2.5, 1e-12);
+}
+
+TEST(Math, ApproxEqualBlendsRelativeAndAbsolute) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1e12, 1e12 * (1 + 1e-10), 1e-9));
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtil, JoinRoundTrip) {
+  std::vector<std::string> parts = {"a", "bb", "ccc"};
+  EXPECT_EQ(Join(parts, "-"), "a-bb-ccc");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtil, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \n "), "");
+}
+
+TEST(StringUtil, ParseUint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_TRUE(ParseUint64(" 7 ", &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-3", &v));
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+}
+
+}  // namespace
+}  // namespace ajd

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/loss.h"
+#include "core/worstcase.h"
+#include "info/j_measure.h"
+#include "random/rng.h"
+
+namespace ajd {
+namespace {
+
+TEST(MakeDiagonalInstance, StructureIsCorrect) {
+  Instance inst = MakeDiagonalInstance(5).value();
+  EXPECT_EQ(inst.relation.NumRows(), 5u);
+  EXPECT_EQ(inst.relation.NumAttrs(), 2u);
+  EXPECT_EQ(inst.tree.NumNodes(), 2u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(inst.relation.At(i, 0), inst.relation.At(i, 1));
+  }
+}
+
+TEST(MakeDiagonalInstance, RejectsZero) {
+  EXPECT_FALSE(MakeDiagonalInstance(0).ok());
+}
+
+TEST(MakeDiagonalInstance, ExampleFourOneIdentities) {
+  // H(A) = H(B) = H(AB) = ln N; I(A;B) = ln N; rho = N - 1.
+  Instance inst = MakeDiagonalInstance(16).value();
+  double j = JMeasure(inst.relation, inst.tree);
+  LossReport loss = ComputeLoss(inst.relation, inst.tree).value();
+  EXPECT_NEAR(j, std::log(16.0), 1e-10);
+  EXPECT_NEAR(loss.rho, 15.0, 1e-10);
+  EXPECT_NEAR(j, loss.log1p_rho, 1e-10);
+}
+
+TEST(MakeLosslessMvdInstance, SatisfiesAjd) {
+  Rng rng(130);
+  Instance inst = MakeLosslessMvdInstance(10, 8, 5, 3, 4, &rng).value();
+  EXPECT_EQ(inst.relation.NumRows(), 5u * 3u * 4u);
+  LossReport loss = ComputeLoss(inst.relation, inst.tree).value();
+  EXPECT_EQ(loss.rho, 0.0);
+  EXPECT_NEAR(JMeasure(inst.relation, inst.tree), 0.0, 1e-10);
+}
+
+TEST(MakeLosslessMvdInstance, ValidatesArguments) {
+  Rng rng(131);
+  EXPECT_FALSE(MakeLosslessMvdInstance(0, 5, 2, 1, 1, &rng).ok());
+  EXPECT_FALSE(MakeLosslessMvdInstance(5, 5, 2, 6, 1, &rng).ok());
+  EXPECT_FALSE(MakeLosslessMvdInstance(5, 5, 2, 0, 1, &rng).ok());
+}
+
+TEST(AddNoiseTuples, IncreasesSizeAndKeepsDistinct) {
+  Rng rng(132);
+  Instance inst = MakeLosslessMvdInstance(6, 6, 3, 2, 2, &rng).value();
+  uint64_t before = inst.relation.NumRows();
+  Relation noisy = AddNoiseTuples(inst.relation, 7, &rng).value();
+  EXPECT_EQ(noisy.NumRows(), before + 7);
+  EXPECT_FALSE(noisy.HasDuplicateRows());
+}
+
+TEST(AddNoiseTuples, NoiseMakesInstanceLossy) {
+  Rng rng(133);
+  Instance inst = MakeLosslessMvdInstance(8, 8, 4, 3, 3, &rng).value();
+  Relation noisy = AddNoiseTuples(inst.relation, 20, &rng).value();
+  double j = JMeasure(noisy, inst.tree);
+  LossReport loss = ComputeLoss(noisy, inst.tree).value();
+  EXPECT_GT(j, 0.0);
+  EXPECT_GT(loss.rho, 0.0);
+  // Lemma 4.1 still binds.
+  EXPECT_LE(j, loss.log1p_rho + 1e-9);
+}
+
+TEST(AddNoiseTuples, RejectsWhenDomainFull) {
+  Rng rng(134);
+  Instance inst = MakeDiagonalInstance(3).value();  // domain 3x3 = 9
+  EXPECT_FALSE(AddNoiseTuples(inst.relation, 7, &rng).ok());
+  EXPECT_TRUE(AddNoiseTuples(inst.relation, 6, &rng).ok());
+}
+
+TEST(AddNoiseTuples, ZeroNoiseIsIdentityInSize) {
+  Rng rng(135);
+  Instance inst = MakeDiagonalInstance(4).value();
+  Relation same = AddNoiseTuples(inst.relation, 0, &rng).value();
+  EXPECT_EQ(same.NumRows(), 4u);
+}
+
+}  // namespace
+}  // namespace ajd
