@@ -8,6 +8,7 @@
 #include "core/analysis.h"
 #include "core/worstcase.h"
 #include "discovery/miner.h"
+#include "engine/analysis_session.h"
 #include "io/table_printer.h"
 #include "random/rng.h"
 #include "util/string_util.h"
@@ -30,15 +31,18 @@ int main() {
     MinerOptions options;
     options.max_bag_size = 2;
     options.cmi_threshold = 1e-9;
-    MinerReport mined = MineJoinTree(r, options).value();
-    AjdAnalysis a = AnalyzeAjd(r, mined.tree).value();
+    // One session per relation: the analysis after mining answers its
+    // entropy terms from the cache the split search already filled.
+    AnalysisSession session;
+    MinerReport mined = MineJoinTree(&session, r, options).value();
+    AjdAnalysis a = AnalyzeAjd(&session, r, mined.tree).value();
 
     // Baseline: fully-independent star schema {A},{B},{C}.
     JoinTree baseline =
         JoinTree::FromMvdPartition(AttrSet(),
                                    {AttrSet{0}, AttrSet{1}, AttrSet{2}})
             .value();
-    AjdAnalysis base = AnalyzeAjd(r, baseline).value();
+    AjdAnalysis base = AnalyzeAjd(&session, r, baseline).value();
 
     table.AddRow({std::to_string(noise), std::to_string(r.NumRows()),
                   std::to_string(mined.tree.NumNodes()),

@@ -2,6 +2,10 @@
 // relation sizes and attribute counts. google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "engine/analysis_session.h"
+#include "engine/entropy_engine.h"
 #include "info/entropy.h"
 #include "info/factorized.h"
 #include "info/j_measure.h"
@@ -64,6 +68,65 @@ void BM_JMeasure(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_JMeasure)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+// Engine-backed paths: the same workloads answered by the shared columnar
+// EntropyEngine (partition refinement + AttrSet-keyed cache).
+void BM_EngineEntropyCold(benchmark::State& state) {
+  Relation r = MakeInput(state.range(0), 4, 32);
+  for (auto _ : state) {
+    EntropyEngine engine(&r);
+    benchmark::DoNotOptimize(engine.Entropy(AttrSet{0, 1, 2}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEntropyCold)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_EngineLatticeSweep(benchmark::State& state) {
+  // All 15 non-empty subsets of 4 attributes — the shape of a J-measure
+  // or miner workload. The engine extends cached partitions instead of
+  // re-scanning per subset.
+  Relation r = MakeInput(state.range(0), 4, 32);
+  std::vector<AttrSet> sets;
+  for (uint32_t mask = 1; mask < 16; ++mask) {
+    sets.push_back(AttrSet::FromMask(mask));
+  }
+  for (auto _ : state) {
+    EntropyEngine engine(&r);
+    benchmark::DoNotOptimize(engine.BatchEntropy(sets));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 15);
+}
+BENCHMARK(BM_EngineLatticeSweep)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_LegacyLatticeSweep(benchmark::State& state) {
+  // The same sweep through per-call EntropyOf, for comparison.
+  Relation r = MakeInput(state.range(0), 4, 32);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (uint32_t mask = 1; mask < 16; ++mask) {
+      sum += EntropyOf(r, AttrSet::FromMask(mask));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 15);
+}
+BENCHMARK(BM_LegacyLatticeSweep)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SessionAnalysisAfterMining(benchmark::State& state) {
+  // The reuse story end to end: JMeasure over a session already warmed by
+  // the same tree's terms.
+  Relation r = MakeInput(1 << 14, 4, 32);
+  JoinTree t =
+      JoinTree::Path({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{2, 3}}).value();
+  AnalysisSession session;
+  EntropyCalculator warm(&session, &r);
+  JMeasure(&warm, t);
+  for (auto _ : state) {
+    EntropyCalculator calc(&session, &r);
+    benchmark::DoNotOptimize(JMeasure(&calc, t));
+  }
+}
+BENCHMARK(BM_SessionAnalysisAfterMining);
 
 void BM_KlFromFactorized(benchmark::State& state) {
   Relation r = MakeInput(state.range(0), 4, 32);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/bounds.h"
+#include "engine/analysis_session.h"
 #include "info/entropy.h"
 #include "info/factorized.h"
 #include "info/j_measure.h"
@@ -14,6 +15,12 @@ namespace ajd {
 
 Result<AjdAnalysis> AnalyzeAjd(const Relation& r, const JoinTree& tree,
                                double delta) {
+  AnalysisSession session;
+  return AnalyzeAjd(&session, r, tree, delta);
+}
+
+Result<AjdAnalysis> AnalyzeAjd(AnalysisSession* session, const Relation& r,
+                               const JoinTree& tree, double delta) {
   if (delta <= 0.0 || delta >= 1.0) {
     return Status::InvalidArgument("delta must be in (0, 1)");
   }
@@ -25,17 +32,19 @@ Result<AjdAnalysis> AnalyzeAjd(const Relation& r, const JoinTree& tree,
   out.loss = loss.value();
   out.delta = delta;
 
-  out.j = JMeasure(r, tree);
+  // One calculator backed by the session's engine serves every entropy
+  // term below — J, the chain rule, the sandwich, and the support CMIs all
+  // walk overlapping sublattices of the same attribute lattice.
+  EntropyCalculator calc(session, &r);
+  out.j = JMeasure(&calc, tree);
   FactorizedDistribution pt(r, tree);
   out.kl = pt.KlFromEmpirical();
-  out.chain_rule_j = JMeasureViaChainRule(r, tree);
-  SandwichBounds sandwich = DfsSandwich(r, tree);
+  out.chain_rule_j = JMeasureViaChainRule(&calc, tree);
+  SandwichBounds sandwich = DfsSandwich(&calc, tree);
   out.max_dfs_cmi = sandwich.max_cmi;
   out.sum_dfs_cmi = sandwich.sum_cmi;
 
   out.rho_lower_bound = RhoLowerBoundFromJ(out.j);
-
-  EntropyCalculator calc(&r);
   std::vector<double> losses;
   std::vector<double> cmis;
   std::vector<double> epsilons;

@@ -6,6 +6,7 @@
 #ifndef AJD_CORE_ANALYSIS_H_
 #define AJD_CORE_ANALYSIS_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "util/status.h"
 
 namespace ajd {
+
+class AnalysisSession;  // engine/analysis_session.h
 
 /// Statistics for one MVD in the support of the schema.
 struct MvdStat {
@@ -71,6 +74,13 @@ struct AjdAnalysis {
 /// in |R| times the number of bags; nothing is materialized.
 Result<AjdAnalysis> AnalyzeAjd(const Relation& r, const JoinTree& tree,
                                double delta = 0.05);
+
+/// Session-sharing variant: every entropy term (bags, separators, DFS
+/// sandwich, support CMIs) is answered by the session's engine for `r`, so
+/// analysis after mining — or repeated analyses of candidate trees over the
+/// same relation — reuses all cached work.
+Result<AjdAnalysis> AnalyzeAjd(AnalysisSession* session, const Relation& r,
+                               const JoinTree& tree, double delta = 0.05);
 
 }  // namespace ajd
 

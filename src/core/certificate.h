@@ -19,6 +19,7 @@
 #ifndef AJD_CORE_CERTIFICATE_H_
 #define AJD_CORE_CERTIFICATE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -4,17 +4,54 @@
 #include <cmath>
 
 #include "core/bounds.h"
+#include "engine/analysis_session.h"
 #include "relation/row_hash.h"
 #include "util/math.h"
 #include "util/string_util.h"
 
 namespace ajd {
 
+namespace {
+Result<GroupwiseMvdReport> AnalyzeMvdGroupwiseImpl(const Relation& r,
+                                                   AttrSet a_attrs,
+                                                   AttrSet b_attrs,
+                                                   AttrSet c_attrs,
+                                                   double delta);
+}  // namespace
+
 Result<GroupwiseMvdReport> AnalyzeMvdGroupwise(const Relation& r,
                                                AttrSet a_attrs,
                                                AttrSet b_attrs,
                                                AttrSet c_attrs,
                                                double delta) {
+  return AnalyzeMvdGroupwiseImpl(r, a_attrs, b_attrs, c_attrs, delta);
+}
+
+Result<GroupwiseMvdReport> AnalyzeMvdGroupwise(AnalysisSession* session,
+                                               const Relation& r,
+                                               AttrSet a_attrs,
+                                               AttrSet b_attrs,
+                                               AttrSet c_attrs,
+                                               double delta) {
+  Result<GroupwiseMvdReport> report =
+      AnalyzeMvdGroupwiseImpl(r, a_attrs, b_attrs, c_attrs, delta);
+  if (report.ok()) {
+    // Warm the session's engine with the Eq. (4) terms of this MVD; the
+    // value is the mixture CMI again (Eq. 336), so only the caching side
+    // effect matters here.
+    session->EngineFor(r).ConditionalMutualInformation(a_attrs, b_attrs,
+                                                       c_attrs);
+  }
+  return report;
+}
+
+namespace {
+
+Result<GroupwiseMvdReport> AnalyzeMvdGroupwiseImpl(const Relation& r,
+                                                   AttrSet a_attrs,
+                                                   AttrSet b_attrs,
+                                                   AttrSet c_attrs,
+                                                   double delta) {
   if (r.NumRows() == 0) {
     return Status::FailedPrecondition("empty relation");
   }
@@ -144,6 +181,8 @@ Result<GroupwiseMvdReport> AnalyzeMvdGroupwise(const Relation& r,
       static_cast<double>(report.min_group) >= report.lemma_c1_threshold;
   return report;
 }
+
+}  // namespace
 
 std::string GroupwiseMvdReport::ToString() const {
   std::string s = "Groupwise MVD analysis: " + std::to_string(groups.size()) +

@@ -23,6 +23,8 @@
 
 namespace ajd {
 
+class AnalysisSession;  // engine/analysis_session.h
+
 /// Statistics of one C-group.
 struct GroupStat {
   std::vector<uint32_t> c_value;  ///< the group's C tuple
@@ -58,6 +60,17 @@ struct GroupwiseMvdReport {
 /// Requires a non-empty relation and non-empty a/b branches; `c_attrs` may
 /// be empty (single group).
 Result<GroupwiseMvdReport> AnalyzeMvdGroupwise(const Relation& r,
+                                               AttrSet a_attrs,
+                                               AttrSet b_attrs,
+                                               AttrSet c_attrs,
+                                               double delta = 0.05);
+
+/// Session-sharing variant: same report, but additionally evaluates the
+/// Eq. (4) terms H(AC), H(BC), H(ABC), H(C) through the session's engine
+/// for `r`, leaving them cached for any subsequent analysis over the same
+/// relation (the engine-side CMI equals the mixture by Eq. 336).
+Result<GroupwiseMvdReport> AnalyzeMvdGroupwise(AnalysisSession* session,
+                                               const Relation& r,
                                                AttrSet a_attrs,
                                                AttrSet b_attrs,
                                                AttrSet c_attrs,

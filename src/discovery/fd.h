@@ -10,6 +10,7 @@
 #ifndef AJD_DISCOVERY_FD_H_
 #define AJD_DISCOVERY_FD_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

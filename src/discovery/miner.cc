@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/bounds.h"
+#include "engine/analysis_session.h"
 #include "info/entropy.h"
 #include "info/j_measure.h"
 #include "util/string_util.h"
@@ -64,18 +65,24 @@ std::vector<AttrSet> BuildUnits(AttrSet bag, AttrSet c,
   return units;
 }
 
-// Scores an assignment (bitmask over units: 1 = side A) and returns the CMI.
+// Expands an assignment (bitmask over units: 1 = side A) into its sides.
+void ExpandMask(const std::vector<AttrSet>& units, uint64_t mask, AttrSet* a,
+                AttrSet* b) {
+  for (size_t u = 0; u < units.size(); ++u) {
+    if ((mask >> u) & 1) {
+      *a = a->Union(units[u]);
+    } else {
+      *b = b->Union(units[u]);
+    }
+  }
+}
+
+// Scores an assignment and returns the CMI.
 double ScoreAssignment(EntropyCalculator* calc,
                        const std::vector<AttrSet>& units, uint64_t mask,
                        AttrSet c, AttrSet* side_a, AttrSet* side_b) {
   AttrSet a, b;
-  for (size_t u = 0; u < units.size(); ++u) {
-    if ((mask >> u) & 1) {
-      a = a.Union(units[u]);
-    } else {
-      b = b.Union(units[u]);
-    }
-  }
+  ExpandMask(units, mask, &a, &b);
   *side_a = a.Union(c);
   *side_b = b.Union(c);
   return calc->ConditionalMutualInformation(a, b, c);
@@ -95,9 +102,35 @@ SplitCandidate BestBipartition(EntropyCalculator* calc,
   if (k <= 16) {
     const uint64_t total = uint64_t{1} << k;
     // Skip empty/full masks; halve the space by fixing unit 0 on side A.
+    // When the engine has a real thread pool, pre-warm the cache with the
+    // candidates' entropy terms as one deduped batch (every mask shares
+    // H(A u B u C) and H(C), neighboring masks share side terms) so the
+    // independent misses fan out across workers. With a serial engine the
+    // scoring loop below fills the same cache at the same cost, so the
+    // batch would be pure overhead.
+    if (calc->engine().ParallelBatches()) {
+      std::vector<AttrSet> terms;
+      terms.reserve(2 * static_cast<size_t>(total) + 2);
+      AttrSet everything = c;
+      for (AttrSet u : units) everything = everything.Union(u);
+      terms.push_back(everything);
+      terms.push_back(c);
+      for (uint64_t mask = 1; mask < total; ++mask) {
+        if ((mask & 1) == 0) continue;      // unit 0 pinned to A
+        if (mask == total - 1) continue;    // side B empty
+        AttrSet a, b;
+        ExpandMask(units, mask, &a, &b);
+        terms.push_back(a.Union(c));
+        terms.push_back(b.Union(c));
+      }
+      std::sort(terms.begin(), terms.end());
+      terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+      calc->BatchEntropy(terms);  // warm the cache; values re-read below
+    }
+
     for (uint64_t mask = 1; mask < total; ++mask) {
-      if ((mask & 1) == 0) continue;        // unit 0 pinned to A
-      if (mask == total - 1) continue;      // side B empty
+      if ((mask & 1) == 0) continue;
+      if (mask == total - 1) continue;
       AttrSet sa, sb;
       double cmi = ScoreAssignment(calc, units, mask, c, &sa, &sb);
       if (cmi < best.cmi) {
@@ -188,13 +221,19 @@ struct WorkTree {
 
 Result<MinerReport> MineJoinTree(const Relation& r,
                                  const MinerOptions& options) {
+  AnalysisSession session;
+  return MineJoinTree(&session, r, options);
+}
+
+Result<MinerReport> MineJoinTree(AnalysisSession* session, const Relation& r,
+                                 const MinerOptions& options) {
   if (r.NumAttrs() < 2) {
     return Status::InvalidArgument("miner needs at least two attributes");
   }
   if (r.NumRows() == 0) {
     return Status::InvalidArgument("miner needs a non-empty relation");
   }
-  EntropyCalculator calc(&r);
+  EntropyCalculator calc(session, &r);
   Rng rng(options.seed);
 
   WorkTree work;

@@ -27,6 +27,8 @@
 
 namespace ajd {
 
+class AnalysisSession;  // engine/analysis_session.h
+
 /// Tuning knobs for the miner.
 struct MinerOptions {
   /// Maximum separator size |C| considered per split.
@@ -66,6 +68,12 @@ struct MinerReport {
 /// Mines a join tree for `r`. The relation must have at least 2 attributes
 /// and at least 1 row.
 Result<MinerReport> MineJoinTree(const Relation& r,
+                                 const MinerOptions& options = {});
+
+/// Session-sharing variant: the thousands of overlapping entropy terms the
+/// split search evaluates are cached in the session's engine for `r`, so a
+/// subsequent AnalyzeAjd(session, r, mined_tree) answers mostly from cache.
+Result<MinerReport> MineJoinTree(AnalysisSession* session, const Relation& r,
                                  const MinerOptions& options = {});
 
 }  // namespace ajd

@@ -1,0 +1,52 @@
+#include "engine/analysis_session.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ajd {
+
+AnalysisSession::AnalysisSession(EngineOptions options)
+    : options_(options) {}
+
+EntropyEngine& AnalysisSession::EngineFor(const Relation& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(&r);
+  if (it == engines_.end()) {
+    it = engines_
+             .emplace(&r, std::make_unique<EntropyEngine>(&r, options_))
+             .first;
+  } else {
+    // Relations are keyed by address: if a relation died and another now
+    // occupies its address, the cached engine would silently serve the old
+    // relation's entropies. Abort instead.
+    AJD_CHECK_MSG(
+        it->second->fingerprint() == EntropyEngine::RelationFingerprint(r),
+        "relation at %p changed since its engine was built; keep relations "
+        "alive and unmodified for the session's lifetime",
+        static_cast<const void*>(&r));
+  }
+  return *it->second;
+}
+
+size_t AnalysisSession::NumRelations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engines_.size();
+}
+
+EngineStats AnalysisSession::TotalStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineStats total;
+  for (const auto& entry : engines_) {
+    EngineStats s = entry.second->Stats();
+    total.queries += s.queries;
+    total.hits += s.hits;
+    total.base_reuses += s.base_reuses;
+    total.partition_builds += s.partition_builds;
+    total.refinements += s.refinements;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
+
+}  // namespace ajd

@@ -1,0 +1,55 @@
+// AnalysisSession: one handle owning a ColumnStore + EntropyEngine per
+// relation, so that analysis-after-mining (or any sequence of library calls
+// over the same relation) reuses every cached entropy and partition.
+//
+//   AnalysisSession session;
+//   auto mined = MineJoinTree(&session, r);            // warms the caches
+//   auto report = AnalyzeAjd(&session, r, mined->tree); // hits them
+//
+// Relations are identified by address: callers must keep a relation alive
+// and at a stable address for as long as the session serves queries on it.
+// The session is safe to share across threads.
+#ifndef AJD_ENGINE_ANALYSIS_SESSION_H_
+#define AJD_ENGINE_ANALYSIS_SESSION_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "engine/entropy_engine.h"
+#include "relation/relation.h"
+
+namespace ajd {
+
+/// Owns one EntropyEngine per relation, created lazily on first use.
+class AnalysisSession {
+ public:
+  explicit AnalysisSession(EngineOptions options = {});
+
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
+
+  /// The engine for `r`, building its ColumnStore on first use. The
+  /// returned reference stays valid for the session's lifetime.
+  EntropyEngine& EngineFor(const Relation& r);
+
+  /// Number of relations with a live engine.
+  size_t NumRelations() const;
+
+  /// Aggregated counters across all engines.
+  EngineStats TotalStats() const;
+
+  /// The options new engines are created with.
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  EngineOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<const Relation*, std::unique_ptr<EntropyEngine>>
+      engines_;
+};
+
+}  // namespace ajd
+
+#endif  // AJD_ENGINE_ANALYSIS_SESSION_H_

@@ -1,0 +1,60 @@
+#include "engine/column_store.h"
+
+#include <unordered_map>
+
+namespace ajd {
+
+namespace {
+
+// Remaps one attribute's raw codes to dense first-occurrence codes. Uses a
+// direct-address table when the raw code range is comparable to the row
+// count, a hash map otherwise (raw codes are arbitrary uint32 values when
+// relations are built from FromRows without dictionaries).
+Column DensifyColumn(const Relation& r, uint32_t pos) {
+  const uint64_t n = r.NumRows();
+  Column col;
+  col.codes.resize(n);
+  uint32_t max_raw = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t raw = r.At(i, pos);
+    if (raw > max_raw) max_raw = raw;
+    col.codes[i] = raw;  // staging; remapped below
+  }
+  const uint64_t direct_limit = 4 * n + 1024;
+  if (static_cast<uint64_t>(max_raw) < direct_limit) {
+    std::vector<uint32_t> remap(static_cast<size_t>(max_raw) + 1, UINT32_MAX);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t raw = col.codes[i];
+      if (remap[raw] == UINT32_MAX) remap[raw] = col.cardinality++;
+      col.codes[i] = remap[raw];
+    }
+  } else {
+    std::unordered_map<uint32_t, uint32_t> remap;
+    remap.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      auto [it, inserted] = remap.emplace(col.codes[i], col.cardinality);
+      if (inserted) ++col.cardinality;
+      col.codes[i] = it->second;
+    }
+  }
+  return col;
+}
+
+}  // namespace
+
+ColumnStore::ColumnStore(const Relation* r)
+    : r_(r),
+      columns_(r != nullptr ? r->NumAttrs() : 0),
+      built_(std::make_unique<std::once_flag[]>(
+          r != nullptr ? r->NumAttrs() : 0)) {
+  AJD_CHECK(r != nullptr);
+}
+
+const Column& ColumnStore::column(uint32_t pos) const {
+  AJD_CHECK(pos < columns_.size());
+  std::call_once(built_[pos],
+                 [this, pos] { columns_[pos] = DensifyColumn(*r_, pos); });
+  return columns_[pos];
+}
+
+}  // namespace ajd

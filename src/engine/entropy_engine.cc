@@ -1,0 +1,283 @@
+#include "engine/entropy_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "relation/row_hash.h"
+
+namespace ajd {
+
+EntropyEngine::EntropyEngine(const Relation* r, EngineOptions options)
+    : store_(r),
+      options_(options),
+      fingerprint_(RelationFingerprint(*r)),
+      keys_by_count_(kMaxAttrs + 1) {}
+
+uint64_t EntropyEngine::RelationFingerprint(const Relation& r) {
+  uint64_t h =
+      Mix64(r.NumRows() ^ (static_cast<uint64_t>(r.NumAttrs()) << 32));
+  for (uint32_t a = 0; a < r.NumAttrs(); ++a) {
+    h = Mix64(h ^ r.schema().attr(a).domain_size);
+    h = Mix64(h ^ std::hash<std::string>{}(r.schema().attr(a).name));
+  }
+  const uint64_t n = r.NumRows();
+  if (n > 0) {
+    // Sample three full rows; enough to catch realistic address reuse
+    // without an O(N) pass per session lookup.
+    for (uint64_t i : {uint64_t{0}, n / 2, n - 1}) {
+      const uint32_t* row = r.Row(i);
+      for (uint32_t a = 0; a < r.NumAttrs(); ++a) {
+        h = Mix64(h ^ ((i << 32) | row[a]));
+      }
+    }
+  }
+  return h;
+}
+
+double EntropyEngine::Entropy(AttrSet attrs) {
+  AJD_CHECK(attrs.IsSubsetOf(relation().schema().AllAttrs()));
+  if (attrs.Empty() || relation().NumRows() == 0) return 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+    auto it = entropies_.find(attrs);
+    if (it != entropies_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  return ComputeEntropy(attrs);
+}
+
+double EntropyEngine::ComputeEntropy(AttrSet attrs) {
+  const uint64_t n = relation().NumRows();
+
+  // Best cached base: the largest subset of attrs with a live partition;
+  // ties go to the partition with fewer stripped rows (more refined, so
+  // less downstream work).
+  std::shared_ptr<const Partition> base;
+  AttrSet base_set;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint32_t level = attrs.Count(); level >= 1 && base == nullptr;
+         --level) {
+      // Within the first level that contains a subset, prefer the most
+      // refined partition (fewest stripped rows): less downstream work.
+      uint64_t best_rows = UINT64_MAX;
+      for (AttrSet key : keys_by_count_[level]) {
+        if (!key.IsSubsetOf(attrs)) continue;
+        auto it = partitions_.find(key);
+        uint64_t stripped = it->second.partition->NumStrippedRows();
+        if (stripped < best_rows) {
+          best_rows = stripped;
+          base_set = key;
+        }
+      }
+      if (best_rows != UINT64_MAX) {
+        auto it = partitions_.find(base_set);
+        base = it->second.partition;
+        it->second.last_used = ++tick_;
+        ++stats_.base_reuses;
+      }
+    }
+  }
+
+  // Refine by the missing attributes, widest columns first: high-cardinality
+  // columns shatter blocks fastest, shrinking later refinement passes.
+  std::vector<uint32_t> missing = attrs.Minus(base_set).ToIndices();
+  std::sort(missing.begin(), missing.end(), [this](uint32_t a, uint32_t b) {
+    return store_.column(a).cardinality > store_.column(b).cardinality;
+  });
+
+  uint64_t builds = 0;
+  uint64_t refinements = 0;
+  std::vector<std::pair<AttrSet, std::shared_ptr<const Partition>>> fresh;
+  std::shared_ptr<const Partition> cur = std::move(base);
+  AttrSet cur_set = base_set;
+  double h = 0.0;
+  bool have_h = false;
+  for (size_t i = 0; i < missing.size(); ++i) {
+    const uint32_t a = missing[i];
+    const Column& col = store_.column(a);
+    if (cur == nullptr) {
+      cur = std::make_shared<Partition>(Partition::OfColumn(col));
+      ++builds;
+    } else if (i + 1 == missing.size()) {
+      // Last step: only H is needed, so run the fused counting pass and
+      // skip materializing the final partition. If a later query wants it
+      // as a base, it refines from the cached prefix at one step's cost.
+      h = cur->RefinedEntropy(col, n);
+      have_h = true;
+      ++refinements;
+      break;
+    } else {
+      cur = std::make_shared<Partition>(cur->RefinedBy(col));
+      ++refinements;
+    }
+    cur_set.Add(a);
+    fresh.emplace_back(cur_set, cur);
+    // All rows already unique: every superset partition is all-singletons
+    // too, so H(attrs) = ln N and the remaining refinements are no-ops.
+    if (cur->NumStrippedRows() == 0) {
+      if (cur_set != attrs) {
+        // The full set's stripped partition is empty too; cache a fresh
+        // empty instance rather than aliasing cur, so the byte accounting
+        // doesn't count one allocation twice.
+        fresh.emplace_back(attrs, std::make_shared<Partition>());
+      }
+      break;
+    }
+  }
+  if (!have_h) {
+    AJD_CHECK(cur != nullptr);
+    h = cur->EntropyNats(n);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.partition_builds += builds;
+    stats_.refinements += refinements;
+    entropies_.emplace(attrs, h);
+    for (auto& entry : fresh) {
+      InsertPartitionLocked(entry.first, std::move(entry.second));
+    }
+  }
+  return h;
+}
+
+void EntropyEngine::InsertPartitionLocked(
+    AttrSet attrs, std::shared_ptr<const Partition> p) {
+  auto [it, inserted] = partitions_.emplace(attrs, CachedPartition{});
+  if (inserted) {
+    partition_bytes_ += p->MemoryBytes();
+    it->second.partition = std::move(p);
+    keys_by_count_[attrs.Count()].push_back(attrs);
+  }
+  it->second.last_used = ++tick_;
+  // Evict least-recently-used partitions past the budget, sparing the entry
+  // just touched. Linear scans are fine: the cache holds at most a few
+  // hundred lattice points in practice.
+  while (partition_bytes_ > options_.partition_budget_bytes &&
+         partitions_.size() > 1) {
+    auto victim = partitions_.end();
+    uint64_t oldest = UINT64_MAX;
+    for (auto jt = partitions_.begin(); jt != partitions_.end(); ++jt) {
+      if (jt->first == attrs) continue;
+      if (jt->second.last_used < oldest) {
+        oldest = jt->second.last_used;
+        victim = jt;
+      }
+    }
+    if (victim == partitions_.end()) break;
+    partition_bytes_ -= victim->second.partition->MemoryBytes();
+    std::vector<AttrSet>& bucket = keys_by_count_[victim->first.Count()];
+    auto pos = std::find(bucket.begin(), bucket.end(), victim->first);
+    AJD_CHECK(pos != bucket.end());
+    *pos = bucket.back();
+    bucket.pop_back();
+    partitions_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+bool EntropyEngine::ParallelBatches() const {
+  return (options_.num_threads != 0
+              ? options_.num_threads
+              : std::max(1u, std::thread::hardware_concurrency())) > 1;
+}
+
+uint32_t EntropyEngine::PoolSizeFor(size_t n) const {
+  if (n < 4) return 1;  // a thread per trivial batch costs more than it buys
+  uint32_t threads = options_.num_threads != 0
+                         ? options_.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<uint32_t>(
+      std::min<size_t>(threads, n));
+}
+
+void EntropyEngine::BatchEntropy(const AttrSet* sets, size_t n, double* out) {
+  // Size the pool by expected *misses*, not batch size: spawning threads to
+  // service cache hits costs more than the hits themselves (the miner
+  // re-batches mostly-warm term lists every split round).
+  size_t misses = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      if (!sets[i].Empty() &&
+          entropies_.find(sets[i]) == entropies_.end()) {
+        ++misses;
+      }
+    }
+  }
+  const uint32_t pool = PoolSizeFor(misses);
+  if (pool <= 1) {
+    for (size_t i = 0; i < n; ++i) out[i] = Entropy(sets[i]);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      out[i] = Entropy(sets[i]);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(pool - 1);
+  for (uint32_t t = 0; t + 1 < pool; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& th : threads) th.join();
+}
+
+std::vector<double> EntropyEngine::BatchEntropy(
+    const std::vector<AttrSet>& sets) {
+  std::vector<double> out(sets.size());
+  BatchEntropy(sets.data(), sets.size(), out.data());
+  return out;
+}
+
+double EntropyEngine::ConditionalEntropy(AttrSet a, AttrSet c) {
+  return Entropy(a.Union(c)) - Entropy(c);
+}
+
+double EntropyEngine::ConditionalMutualInformation(AttrSet a, AttrSet b,
+                                                   AttrSet c) {
+  double h_ac = Entropy(a.Union(c));
+  double h_bc = Entropy(b.Union(c));
+  double h_abc = Entropy(a.Union(b).Union(c));
+  double h_c = Entropy(c);
+  double cmi = h_ac + h_bc - h_abc - h_c;
+  // Clamp tiny negative values from floating-point cancellation.
+  return cmi < 0.0 && cmi > -1e-9 ? 0.0 : cmi;
+}
+
+double EntropyEngine::MutualInformation(AttrSet a, AttrSet b) {
+  return ConditionalMutualInformation(a, b, AttrSet());
+}
+
+size_t EntropyEngine::CacheSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entropies_.size();
+}
+
+size_t EntropyEngine::PartitionCacheSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_.size();
+}
+
+size_t EntropyEngine::PartitionBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partition_bytes_;
+}
+
+EngineStats EntropyEngine::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ajd

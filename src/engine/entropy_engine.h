@@ -1,0 +1,165 @@
+// EntropyEngine: the shared, lattice-aware marginal-entropy oracle.
+//
+// Every quantity the paper computes — J(T) (Eq. 7), the Theorem 2.2
+// sandwich, Lemma 4.1's loss bound, the miner's per-split CMIs — reduces to
+// entropies H(attrs) over one relation's empirical distribution. The engine
+// answers those queries out of an AttrSet-keyed cache of entropies AND
+// stripped partitions (engine/partition.h): a miss for H(S) finds the
+// largest cached subset T of S and refines T's partition by the dense
+// columns of S \ T, instead of re-hashing N * |S| words from scratch.
+//
+// Thread safety: all public methods are safe to call concurrently; the
+// caches are guarded by a mutex and the heavy refinement work runs outside
+// it. BatchEntropy evaluates independent terms on a small std::thread pool
+// — the shape of the miner's candidate-split enumeration.
+#ifndef AJD_ENGINE_ENTROPY_ENGINE_H_
+#define AJD_ENGINE_ENTROPY_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/column_store.h"
+#include "engine/partition.h"
+#include "relation/attr_set.h"
+#include "relation/relation.h"
+
+namespace ajd {
+
+/// Tuning knobs for an EntropyEngine.
+struct EngineOptions {
+  /// Cap on the total heap bytes of cached partitions. Entropy values
+  /// themselves (16 bytes a term) are always cached; partitions are the
+  /// bulky part and are evicted least-recently-used past this budget.
+  size_t partition_budget_bytes = size_t{256} << 20;
+  /// Threads for BatchEntropy; 0 means std::thread::hardware_concurrency().
+  /// Defaults to 1 (serial): concurrent workers race the partition cache,
+  /// which perturbs fp accumulation order and costs seeded experiment
+  /// drivers their bit-for-bit reproducibility. Opt in per engine where
+  /// last-ulp determinism doesn't matter.
+  uint32_t num_threads = 1;
+};
+
+/// Monotonically increasing counters describing engine behavior. Hit rate
+/// is the fraction of Entropy() queries answered from the entropy cache.
+struct EngineStats {
+  uint64_t queries = 0;          ///< Entropy() calls (incl. batch members).
+  uint64_t hits = 0;             ///< answered from the entropy cache.
+  uint64_t base_reuses = 0;      ///< misses that refined a cached partition.
+  uint64_t partition_builds = 0; ///< partitions built from a raw column.
+  uint64_t refinements = 0;      ///< RefinedBy steps performed.
+  uint64_t evictions = 0;        ///< partitions dropped for the budget.
+
+  double HitRate() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(queries);
+  }
+};
+
+/// The per-relation entropy oracle. The relation must outlive the engine.
+/// Not copyable; share one instance per relation (see AnalysisSession).
+class EntropyEngine {
+ public:
+  explicit EntropyEngine(const Relation* r, EngineOptions options = {});
+
+  EntropyEngine(const EntropyEngine&) = delete;
+  EntropyEngine& operator=(const EntropyEngine&) = delete;
+
+  /// H(attrs) in nats over the relation's empirical distribution.
+  /// H(empty) = 0. Agrees with EntropyOf (info/entropy.h) up to
+  /// floating-point accumulation order — the partition path sums c ln c
+  /// in refinement order, which depends on prior query history, so expect
+  /// ~1e-12 relative agreement, not bit identity.
+  double Entropy(AttrSet attrs);
+
+  /// Evaluates n independent entropy terms, writing out[i] = H(sets[i]).
+  /// Runs on the engine's thread pool when it pays; safe to call while
+  /// other threads query the engine.
+  void BatchEntropy(const AttrSet* sets, size_t n, double* out);
+
+  /// True when BatchEntropy can actually fan out (num_threads resolves to
+  /// more than one worker). Callers that only batch to exploit
+  /// parallelism — e.g. the miner's split enumeration — can skip building
+  /// the batch otherwise.
+  bool ParallelBatches() const;
+
+  /// Convenience vector form of BatchEntropy.
+  std::vector<double> BatchEntropy(const std::vector<AttrSet>& sets);
+
+  /// H(a | c) = H(a u c) - H(c).
+  double ConditionalEntropy(AttrSet a, AttrSet c);
+
+  /// I(a ; b | c) = H(a u c) + H(b u c) - H(a u b u c) - H(c) (Eq. 4),
+  /// with tiny negative fp noise clamped to 0 exactly as the legacy
+  /// EntropyCalculator did.
+  double ConditionalMutualInformation(AttrSet a, AttrSet b, AttrSet c);
+
+  /// I(a ; b) = I(a ; b | empty).
+  double MutualInformation(AttrSet a, AttrSet b);
+
+  /// The relation being measured.
+  const Relation& relation() const { return store_.relation(); }
+
+  /// The shared column-major view.
+  const ColumnStore& columns() const { return store_; }
+
+  /// Number of distinct entropy terms cached so far.
+  size_t CacheSize() const;
+
+  /// Number of partitions currently cached.
+  size_t PartitionCacheSize() const;
+
+  /// Heap bytes held by cached partitions.
+  size_t PartitionBytes() const;
+
+  /// Snapshot of the counters.
+  EngineStats Stats() const;
+
+  /// Cheap content fingerprint of a relation (row/attr counts, schema,
+  /// sampled data words). AnalysisSession compares it against the value
+  /// captured at engine construction to catch a relation being destroyed
+  /// and a different one reusing its address mid-session.
+  static uint64_t RelationFingerprint(const Relation& r);
+
+  /// The fingerprint captured at construction.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  struct CachedPartition {
+    std::shared_ptr<const Partition> partition;
+    uint64_t last_used = 0;
+  };
+
+  /// Computes H(attrs) on a cache miss; called without holding mu_.
+  double ComputeEntropy(AttrSet attrs);
+
+  /// Inserts a partition and evicts LRU entries past the budget. Requires
+  /// mu_ held.
+  void InsertPartitionLocked(AttrSet attrs, std::shared_ptr<const Partition> p);
+
+  /// Resolved BatchEntropy pool size for a batch of n terms.
+  uint32_t PoolSizeFor(size_t n) const;
+
+  ColumnStore store_;
+  EngineOptions options_;
+  uint64_t fingerprint_ = 0;
+
+  mutable std::mutex mu_;
+  std::unordered_map<AttrSet, double, AttrSetHash> entropies_;
+  std::unordered_map<AttrSet, CachedPartition, AttrSetHash> partitions_;
+  /// Cached partition keys bucketed by popcount, so the best-base lookup
+  /// scans the largest-subset levels first and stops at the first hit
+  /// instead of walking the whole cache.
+  std::vector<std::vector<AttrSet>> keys_by_count_;
+  size_t partition_bytes_ = 0;
+  uint64_t tick_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace ajd
+
+#endif  // AJD_ENGINE_ENTROPY_ENGINE_H_

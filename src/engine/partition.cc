@@ -1,0 +1,136 @@
+#include "engine/partition.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace ajd {
+
+Partition Partition::Trivial(uint64_t num_rows) {
+  AJD_CHECK(num_rows < UINT32_MAX);
+  Partition out;
+  if (num_rows < 2) return out;  // a lone row is a singleton: stripped away
+  out.rows_.resize(num_rows);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    out.rows_[i] = static_cast<uint32_t>(i);
+  }
+  out.starts_ = {0, static_cast<uint32_t>(num_rows)};
+  return out;
+}
+
+Partition Partition::OfColumn(const Column& col) {
+  const size_t n = col.codes.size();
+  AJD_CHECK(n < UINT32_MAX);
+  Partition out;
+  if (n == 0) return out;
+  std::vector<uint32_t> count(col.cardinality, 0);
+  for (uint32_t c : col.codes) ++count[c];
+  std::vector<uint32_t> offset(col.cardinality, UINT32_MAX);
+  uint32_t total = 0;
+  for (uint32_t c = 0; c < col.cardinality; ++c) {
+    if (count[c] >= 2) {
+      offset[c] = total;
+      total += count[c];
+      out.starts_.push_back(total);  // ends; start sentinel inserted below
+    }
+  }
+  if (total == 0) {
+    out.starts_.clear();
+    return out;
+  }
+  out.starts_.insert(out.starts_.begin(), 0);
+  out.rows_.resize(total);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t c = col.codes[i];
+    if (offset[c] != UINT32_MAX) out.rows_[offset[c]++] = i;
+  }
+  return out;
+}
+
+Partition Partition::RefinedBy(const Column& col) const {
+  Partition out;
+  if (NumBlocks() == 0) return out;
+  // Scratch over dense codes, reused across calls (refinement is the hot
+  // loop of every entropy miss). Invariant: `count` is all-zero on entry
+  // and on exit — the emission pass below resets every touched entry.
+  static thread_local std::vector<uint32_t> count;
+  static thread_local std::vector<uint32_t> offset;
+  static thread_local std::vector<uint32_t> touched;
+  if (count.size() < col.cardinality) {
+    count.resize(col.cardinality, 0);
+    offset.resize(col.cardinality);
+  }
+  out.rows_.reserve(rows_.size());
+  out.starts_.push_back(0);
+  for (uint32_t b = 0; b < NumBlocks(); ++b) {
+    const uint32_t* begin = BlockBegin(b);
+    const uint32_t* end = BlockEnd(b);
+    touched.clear();
+    for (const uint32_t* p = begin; p != end; ++p) {
+      uint32_t c = col.codes[*p];
+      if (count[c]++ == 0) touched.push_back(c);
+    }
+    const uint32_t base = static_cast<uint32_t>(out.rows_.size());
+    uint32_t pos = 0;
+    for (uint32_t c : touched) {
+      if (count[c] >= 2) {
+        offset[c] = base + pos;
+        pos += count[c];
+        out.starts_.push_back(base + pos);
+      } else {
+        offset[c] = UINT32_MAX;
+      }
+    }
+    out.rows_.resize(base + pos);
+    for (const uint32_t* p = begin; p != end; ++p) {
+      uint32_t c = col.codes[*p];
+      if (offset[c] != UINT32_MAX) out.rows_[offset[c]++] = *p;
+      count[c] = 0;
+    }
+  }
+  if (out.starts_.size() == 1) out.starts_.clear();
+  // Drop reserve slack before the caller caches the result: the engine's
+  // budget counts capacity, and a sharply-shrinking refinement would
+  // otherwise pin parent-sized dead allocations in the cache.
+  if (out.rows_.capacity() > out.rows_.size() + out.rows_.size() / 2) {
+    out.rows_.shrink_to_fit();
+  }
+  return out;
+}
+
+double Partition::RefinedEntropy(const Column& col,
+                                 uint64_t num_rows) const {
+  if (num_rows == 0) return 0.0;
+  static thread_local std::vector<uint32_t> count;
+  static thread_local std::vector<uint32_t> touched;
+  if (count.size() < col.cardinality) count.resize(col.cardinality, 0);
+  double sum_clogc = 0.0;
+  for (uint32_t b = 0; b < NumBlocks(); ++b) {
+    const uint32_t* begin = BlockBegin(b);
+    const uint32_t* end = BlockEnd(b);
+    touched.clear();
+    for (const uint32_t* p = begin; p != end; ++p) {
+      uint32_t c = col.codes[*p];
+      if (count[c]++ == 0) touched.push_back(c);
+    }
+    for (uint32_t c : touched) {
+      // XLogX(1) == 0: sub-singletons vanish, exactly as if stripped.
+      sum_clogc += XLogX(static_cast<double>(count[c]));
+      count[c] = 0;
+    }
+  }
+  const double n = static_cast<double>(num_rows);
+  return std::log(n) - sum_clogc / n;
+}
+
+double Partition::EntropyNats(uint64_t num_rows) const {
+  if (num_rows == 0) return 0.0;
+  const double n = static_cast<double>(num_rows);
+  double sum_clogc = 0.0;
+  for (uint32_t b = 0; b < NumBlocks(); ++b) {
+    sum_clogc += XLogX(static_cast<double>(BlockSize(b)));
+  }
+  return std::log(n) - sum_clogc / n;
+}
+
+}  // namespace ajd

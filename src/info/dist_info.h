@@ -15,6 +15,9 @@
 #ifndef AJD_INFO_DIST_INFO_H_
 #define AJD_INFO_DIST_INFO_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "info/distribution.h"
 #include "jointree/join_tree.h"
 

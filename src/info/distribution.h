@@ -5,6 +5,7 @@
 #ifndef AJD_INFO_DISTRIBUTION_H_
 #define AJD_INFO_DISTRIBUTION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "engine/analysis_session.h"
 #include "relation/row_hash.h"
 #include "util/math.h"
 
@@ -28,32 +29,33 @@ double EntropyOf(const Relation& r, AttrSet attrs) {
   return std::log(n) - sum_clogc / n;
 }
 
+EntropyCalculator::EntropyCalculator(const Relation* r)
+    : owned_(std::make_unique<EntropyEngine>(r)), engine_(owned_.get()) {}
+
+EntropyCalculator::EntropyCalculator(AnalysisSession* session,
+                                     const Relation* r)
+    : engine_(&session->EngineFor(*r)) {}
+
 double EntropyCalculator::Entropy(AttrSet attrs) {
-  if (attrs.Empty()) return 0.0;
-  auto it = cache_.find(attrs);
-  if (it != cache_.end()) return it->second;
-  double h = EntropyOf(*r_, attrs);
-  cache_.emplace(attrs, h);
-  return h;
+  return engine_->Entropy(attrs);
+}
+
+std::vector<double> EntropyCalculator::BatchEntropy(
+    const std::vector<AttrSet>& sets) {
+  return engine_->BatchEntropy(sets);
 }
 
 double EntropyCalculator::ConditionalEntropy(AttrSet a, AttrSet c) {
-  return Entropy(a.Union(c)) - Entropy(c);
+  return engine_->ConditionalEntropy(a, c);
 }
 
 double EntropyCalculator::ConditionalMutualInformation(AttrSet a, AttrSet b,
                                                        AttrSet c) {
-  double h_ac = Entropy(a.Union(c));
-  double h_bc = Entropy(b.Union(c));
-  double h_abc = Entropy(a.Union(b).Union(c));
-  double h_c = Entropy(c);
-  double cmi = h_ac + h_bc - h_abc - h_c;
-  // Clamp tiny negative values from floating-point cancellation.
-  return cmi < 0.0 && cmi > -1e-9 ? 0.0 : cmi;
+  return engine_->ConditionalMutualInformation(a, b, c);
 }
 
 double EntropyCalculator::MutualInformation(AttrSet a, AttrSet b) {
-  return ConditionalMutualInformation(a, b, AttrSet());
+  return engine_->MutualInformation(a, b);
 }
 
 }  // namespace ajd

@@ -1,32 +1,54 @@
 // Entropies and (conditional) mutual information over the empirical
 // distribution of a relation (Section 2.2, Eqs. 2-4). All values in nats.
 //
-// EntropyCalculator memoizes per-attribute-set entropies: the J-measure,
-// Theorem 2.2 sandwiches, and the schema miner all evaluate many overlapping
-// entropy terms over the same relation.
+// EntropyCalculator keeps its historical API but delegates to the shared
+// columnar EntropyEngine (engine/entropy_engine.h): entropies are answered
+// from an AttrSet-keyed cache backed by partition refinement instead of
+// re-scanning the row-major data per call. Construct it with an
+// AnalysisSession to share one engine (and every cached term) across the
+// J-measure, the Theorem 2.2 sandwiches, and the schema miner.
 #ifndef AJD_INFO_ENTROPY_H_
 #define AJD_INFO_ENTROPY_H_
 
-#include <unordered_map>
+#include <cstddef>
+#include <memory>
+#include <vector>
 
+#include "engine/entropy_engine.h"
 #include "relation/attr_set.h"
 #include "relation/relation.h"
 
 namespace ajd {
 
+class AnalysisSession;  // engine/analysis_session.h
+
 /// H(attrs) over the empirical distribution of r, in nats. H(empty) = 0.
 /// For a duplicate-free relation, H(all attrs) = ln N.
+///
+/// This is the legacy single-shot path: it re-scans the relation on every
+/// call. Use EntropyCalculator (or an AnalysisSession-backed engine) for
+/// anything that evaluates more than one term.
 double EntropyOf(const Relation& r, AttrSet attrs);
 
-/// Memoizing entropy oracle over one relation.
+/// Memoizing entropy oracle over one relation, backed by an EntropyEngine.
 ///
-/// The relation must outlive the calculator.
+/// The relation must outlive the calculator; when constructed from an
+/// AnalysisSession, the session must outlive it too.
 class EntropyCalculator {
  public:
-  explicit EntropyCalculator(const Relation* r) : r_(r) {}
+  /// Stand-alone calculator owning a private engine for `r`.
+  explicit EntropyCalculator(const Relation* r);
+
+  /// Calculator sharing the session's engine for `r`: terms cached by any
+  /// other consumer of the session are visible here and vice versa.
+  EntropyCalculator(AnalysisSession* session, const Relation* r);
 
   /// H(attrs) in nats, memoized.
   double Entropy(AttrSet attrs);
+
+  /// Batch form: out[i] = H(sets[i]), evaluated on the engine's thread
+  /// pool when the batch is large enough to pay for it.
+  std::vector<double> BatchEntropy(const std::vector<AttrSet>& sets);
 
   /// H(a | c) = H(a u c) - H(c).
   double ConditionalEntropy(AttrSet a, AttrSet c);
@@ -40,14 +62,17 @@ class EntropyCalculator {
   double MutualInformation(AttrSet a, AttrSet b);
 
   /// The relation being measured.
-  const Relation& relation() const { return *r_; }
+  const Relation& relation() const { return engine_->relation(); }
 
-  /// Number of distinct entropy terms computed so far (cache size).
-  size_t CacheSize() const { return cache_.size(); }
+  /// The backing engine (shared when session-constructed).
+  EntropyEngine& engine() { return *engine_; }
+
+  /// Number of distinct entropy terms cached so far in the backing engine.
+  size_t CacheSize() const { return engine_->CacheSize(); }
 
  private:
-  const Relation* r_;
-  std::unordered_map<AttrSet, double, AttrSetHash> cache_;
+  std::unique_ptr<EntropyEngine> owned_;  // null when session-backed
+  EntropyEngine* engine_;
 };
 
 }  // namespace ajd

@@ -8,6 +8,7 @@
 #ifndef AJD_INFO_FACTORIZED_H_
 #define AJD_INFO_FACTORIZED_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "info/distribution.h"

@@ -9,6 +9,7 @@
 #ifndef AJD_INFO_J_MEASURE_H_
 #define AJD_INFO_J_MEASURE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "info/entropy.h"
@@ -34,6 +35,10 @@ struct JMeasureBreakdown {
 /// J(T) with its breakdown.
 JMeasureBreakdown JMeasureDetailed(const Relation& r, const JoinTree& tree);
 
+/// J(T) with its breakdown, through a shared entropy cache.
+JMeasureBreakdown JMeasureDetailed(EntropyCalculator* calc,
+                                   const JoinTree& tree);
+
 /// Theorem 2.2 quantities for the DFS enumeration rooted at `root`:
 /// per-step CMIs I(Omega_{1:i-1}; Omega_{i:m} | Delta_i), their max and sum.
 /// The theorem asserts max <= J <= sum.
@@ -47,6 +52,10 @@ struct SandwichBounds {
 SandwichBounds DfsSandwich(const Relation& r, const JoinTree& tree,
                            uint32_t root = 0);
 
+/// The sandwich through a shared entropy cache.
+SandwichBounds DfsSandwich(EntropyCalculator* calc, const JoinTree& tree,
+                           uint32_t root = 0);
+
 /// The exact chain-rule identity: J(T) = sum_{i=2}^m
 /// I(Omega_{1:i-1}; Omega_i | Delta_i) for any DFS enumeration. Returns the
 /// sum; equals JMeasure up to floating point. (This is the telescoping
@@ -54,10 +63,18 @@ SandwichBounds DfsSandwich(const Relation& r, const JoinTree& tree,
 double JMeasureViaChainRule(const Relation& r, const JoinTree& tree,
                             uint32_t root = 0);
 
+/// The chain-rule identity through a shared entropy cache.
+double JMeasureViaChainRule(EntropyCalculator* calc, const JoinTree& tree,
+                            uint32_t root = 0);
+
 /// Per-edge support CMIs: for each support MVD chi(u) cap chi(v) ->>
 /// chi(Tu) | chi(Tv), the value I(chi(Tu); chi(Tv) | chi(u) cap chi(v)).
 /// Order matches tree.SupportMvds().
 std::vector<double> SupportCmis(const Relation& r, const JoinTree& tree);
+
+/// Support CMIs through a shared entropy cache.
+std::vector<double> SupportCmis(EntropyCalculator* calc,
+                                const JoinTree& tree);
 
 }  // namespace ajd
 

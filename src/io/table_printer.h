@@ -2,6 +2,7 @@
 #ifndef AJD_IO_TABLE_PRINTER_H_
 #define AJD_IO_TABLE_PRINTER_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

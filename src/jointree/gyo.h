@@ -8,6 +8,7 @@
 #ifndef AJD_JOINTREE_GYO_H_
 #define AJD_JOINTREE_GYO_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 

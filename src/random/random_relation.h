@@ -13,6 +13,7 @@
 #define AJD_RANDOM_RANDOM_RELATION_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "random/rng.h"

@@ -5,7 +5,9 @@
 #ifndef AJD_RANDOM_RNG_H_
 #define AJD_RANDOM_RNG_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"

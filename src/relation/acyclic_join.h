@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "jointree/join_tree.h"
 #include "relation/relation.h"

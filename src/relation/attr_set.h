@@ -6,6 +6,7 @@
 #ifndef AJD_RELATION_ATTR_SET_H_
 #define AJD_RELATION_ATTR_SET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <string>

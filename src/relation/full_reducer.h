@@ -12,6 +12,7 @@
 #ifndef AJD_RELATION_FULL_REDUCER_H_
 #define AJD_RELATION_FULL_REDUCER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "jointree/join_tree.h"

@@ -7,8 +7,10 @@
 #ifndef AJD_RELATION_ROW_HASH_H_
 #define AJD_RELATION_ROW_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"

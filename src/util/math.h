@@ -8,6 +8,7 @@
 #define AJD_UTIL_MATH_H_
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

@@ -2,6 +2,7 @@
 #ifndef AJD_UTIL_STRING_UTIL_H_
 #define AJD_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>

@@ -1,0 +1,286 @@
+// Tests for the columnar entropy engine (engine/): ColumnStore dense
+// coding, stripped-partition algebra, randomized equivalence of
+// EntropyEngine against the legacy per-call EntropyOf, cache/batch/budget
+// behavior, and cross-consumer reuse through an AnalysisSession.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/groupwise.h"
+#include "discovery/miner.h"
+#include "engine/analysis_session.h"
+#include "engine/column_store.h"
+#include "engine/entropy_engine.h"
+#include "engine/partition.h"
+#include "info/entropy.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+// A random relation kept as a multiset (duplicate rows preserved), so the
+// empirical distribution is genuinely weighted.
+Relation RandomMultisetRelation(Rng* rng, uint32_t num_attrs, uint32_t domain,
+                                uint32_t rows) {
+  std::vector<uint64_t> dims(num_attrs, domain);
+  Schema schema = Schema::MakeSynthetic(dims).value();
+  RelationBuilder b(schema);
+  std::vector<uint32_t> row(num_attrs);
+  for (uint32_t i = 0; i < rows; ++i) {
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      row[a] = static_cast<uint32_t>(rng->UniformU64(domain));
+    }
+    b.AddRow(row);
+  }
+  return std::move(b).Build(/*dedupe=*/false);
+}
+
+TEST(ColumnStore, DenseCodesPreserveEquality) {
+  Rng rng(900);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 5, 60);
+  ColumnStore store(&r);
+  ASSERT_EQ(store.NumAttrs(), r.NumAttrs());
+  ASSERT_EQ(store.NumRows(), r.NumRows());
+  for (uint32_t a = 0; a < r.NumAttrs(); ++a) {
+    const Column& col = store.column(a);
+    ASSERT_EQ(col.codes.size(), r.NumRows());
+    for (uint64_t i = 0; i < r.NumRows(); ++i) {
+      EXPECT_LT(col.codes[i], col.cardinality);
+      for (uint64_t j = i + 1; j < r.NumRows(); ++j) {
+        EXPECT_EQ(r.At(i, a) == r.At(j, a), col.codes[i] == col.codes[j]);
+      }
+    }
+  }
+}
+
+TEST(ColumnStore, DensifiesSparseCodes) {
+  // Raw codes far above the row count force the hash-map remap path.
+  Schema s = Schema::Make({{"A", 0}}).value();
+  Relation r = Relation::FromRows(
+                   s, {{4000000000u}, {7u}, {4000000000u}, {123456789u}})
+                   .value();
+  ColumnStore store(&r);
+  EXPECT_EQ(store.column(0).cardinality, 3u);
+}
+
+TEST(Partition, TrivialAndColumnBasics) {
+  EXPECT_EQ(Partition::Trivial(0).NumBlocks(), 0u);
+  EXPECT_EQ(Partition::Trivial(1).NumBlocks(), 0u);  // singleton stripped
+  Partition all = Partition::Trivial(5);
+  ASSERT_EQ(all.NumBlocks(), 1u);
+  EXPECT_EQ(all.BlockSize(0), 5u);
+  EXPECT_NEAR(all.EntropyNats(5), 0.0, 1e-12);
+
+  Column col;
+  col.codes = {0, 1, 0, 2, 1, 0};
+  col.cardinality = 3;
+  Partition p = Partition::OfColumn(col);
+  // Code 0 has 3 rows, code 1 has 2; code 2 is a stripped singleton.
+  ASSERT_EQ(p.NumBlocks(), 2u);
+  EXPECT_EQ(p.NumStrippedRows(), 5u);
+  // H = ln 6 - (3 ln 3 + 2 ln 2) / 6.
+  EXPECT_NEAR(p.EntropyNats(6),
+              std::log(6.0) - (3 * std::log(3.0) + 2 * std::log(2.0)) / 6.0,
+              1e-12);
+}
+
+TEST(Partition, RefinementMatchesDirectGrouping) {
+  Rng rng(901);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 3, 3, 40);
+    ColumnStore store(&r);
+    Partition p01 =
+        Partition::OfColumn(store.column(0)).RefinedBy(store.column(1));
+    // Refining {0} by column 1 must give the grouping of {0,1}: compare
+    // entropies against the legacy path (same formula, same data).
+    EXPECT_NEAR(p01.EntropyNats(r.NumRows()),
+                EntropyOf(r, AttrSet{0, 1}), 1e-9);
+    Partition p012 = p01.RefinedBy(store.column(2));
+    EXPECT_NEAR(p012.EntropyNats(r.NumRows()),
+                EntropyOf(r, AttrSet{0, 1, 2}), 1e-9);
+  }
+}
+
+TEST(EntropyEngine, RandomizedEquivalenceWithEntropyOf) {
+  Rng rng(902);
+  for (int trial = 0; trial < 25; ++trial) {
+    uint32_t num_attrs = 2 + static_cast<uint32_t>(rng.UniformU64(4));
+    uint32_t domain = 2 + static_cast<uint32_t>(rng.UniformU64(5));
+    uint32_t rows = 10 + static_cast<uint32_t>(rng.UniformU64(80));
+    Relation r = rng.Bernoulli(0.5)
+                     ? testing_util::RandomTestRelation(&rng, num_attrs,
+                                                        domain, rows)
+                     : RandomMultisetRelation(&rng, num_attrs, domain, rows);
+    EntropyEngine engine(&r);
+    const uint32_t limit = uint32_t{1} << num_attrs;
+    // Every subset, queried in random order (exercises subset reuse both
+    // up and down the lattice), including empty and full sets.
+    std::vector<uint32_t> masks(limit);
+    for (uint32_t m = 0; m < limit; ++m) masks[m] = m;
+    rng.Shuffle(&masks);
+    for (uint32_t m : masks) {
+      AttrSet attrs = AttrSet::FromMask(m);
+      EXPECT_NEAR(engine.Entropy(attrs), EntropyOf(r, attrs), 1e-9)
+          << "attrs=" << attrs.ToString() << " trial=" << trial;
+    }
+    // Re-query everything: all hits, same values.
+    for (uint32_t m : masks) {
+      AttrSet attrs = AttrSet::FromMask(m);
+      EXPECT_NEAR(engine.Entropy(attrs), EntropyOf(r, attrs), 1e-9);
+    }
+    EngineStats stats = engine.Stats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.base_reuses, 0u);
+  }
+}
+
+TEST(EntropyEngine, EmptyAndDegenerateInputs) {
+  Schema s = Schema::Make({{"A", 2}, {"B", 2}}).value();
+  Relation empty = Relation::FromRows(s, {}).value();
+  EntropyEngine engine(&empty);
+  EXPECT_EQ(engine.Entropy(AttrSet{0, 1}), 0.0);
+  EXPECT_EQ(engine.Entropy(AttrSet()), 0.0);
+
+  Relation one = Relation::FromRows(s, {{1, 0}}).value();
+  EntropyEngine engine1(&one);
+  EXPECT_NEAR(engine1.Entropy(AttrSet{0, 1}), 0.0, 1e-12);
+}
+
+TEST(EntropyEngine, BatchEntropyMatchesSerialAndUsesThreads) {
+  Rng rng(903);
+  Relation r = testing_util::RandomTestRelation(&rng, 5, 4, 200);
+  EngineOptions options;
+  options.num_threads = 4;  // force a real pool regardless of the host
+  EntropyEngine engine(&r, options);
+  std::vector<AttrSet> sets;
+  for (uint32_t m = 0; m < 32; ++m) sets.push_back(AttrSet::FromMask(m));
+  std::vector<double> batch = engine.BatchEntropy(sets);
+  ASSERT_EQ(batch.size(), sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_NEAR(batch[i], EntropyOf(r, sets[i]), 1e-9);
+  }
+  EXPECT_EQ(engine.Stats().queries, 31u);  // empty set short-circuits
+}
+
+TEST(EntropyEngine, CmiMatchesLegacyCalculatorSemantics) {
+  Rng rng(904);
+  for (int trial = 0; trial < 15; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 60);
+    EntropyEngine engine(&r);
+    for (int k = 0; k < 12; ++k) {
+      AttrSet a = AttrSet::FromMask(rng.UniformU64(16));
+      AttrSet b = AttrSet::FromMask(rng.UniformU64(16));
+      AttrSet c = AttrSet::FromMask(rng.UniformU64(16));
+      double via_engine = engine.ConditionalMutualInformation(a, b, c);
+      double via_entropy_of =
+          EntropyOf(r, a.Union(c)) + EntropyOf(r, b.Union(c)) -
+          EntropyOf(r, a.Union(b).Union(c)) - EntropyOf(r, c);
+      EXPECT_GE(via_engine, 0.0);
+      EXPECT_NEAR(via_engine, std::max(via_entropy_of, 0.0), 1e-9);
+    }
+  }
+}
+
+TEST(EntropyEngine, PartitionBudgetEvicts) {
+  Rng rng(905);
+  Relation r = testing_util::RandomTestRelation(&rng, 6, 3, 300);
+  EngineOptions options;
+  options.partition_budget_bytes = 4096;  // deliberately tiny
+  EntropyEngine engine(&r, options);
+  for (uint32_t m = 1; m < 64; ++m) {
+    engine.Entropy(AttrSet::FromMask(m));
+  }
+  EXPECT_LE(engine.PartitionBytes(), options.partition_budget_bytes);
+  EXPECT_GT(engine.Stats().evictions, 0u);
+  // Entropy values stay cached and correct even with partitions evicted.
+  for (uint32_t m = 1; m < 64; ++m) {
+    AttrSet attrs = AttrSet::FromMask(m);
+    EXPECT_NEAR(engine.Entropy(attrs), EntropyOf(r, attrs), 1e-9);
+  }
+}
+
+TEST(AnalysisSession, MinerAndAnalysisShareOneEngine) {
+  Rng rng(906);
+  Relation r = testing_util::RandomTestRelation(&rng, 5, 3, 120);
+
+  AnalysisSession session;
+  MinerReport mined = MineJoinTree(&session, r).value();
+  EXPECT_EQ(session.NumRelations(), 1u);
+
+  EngineStats after_mining = session.TotalStats();
+  EXPECT_GT(after_mining.queries, 0u);
+  size_t cached_after_mining = session.EngineFor(r).CacheSize();
+  EXPECT_GT(cached_after_mining, 0u);
+
+  AjdAnalysis analysis = AnalyzeAjd(&session, r, mined.tree).value();
+  EngineStats after_analysis = session.TotalStats();
+  // The analysis re-walks terms the miner already evaluated: the hit
+  // count must strictly grow, and the J-measures must agree.
+  EXPECT_GT(after_analysis.hits, after_mining.hits);
+  EXPECT_NEAR(analysis.j, mined.j, 1e-9);
+  EXPECT_EQ(session.NumRelations(), 1u);
+
+  // The same tree analyzed without the session gives identical numbers.
+  AjdAnalysis cold = AnalyzeAjd(r, mined.tree).value();
+  EXPECT_NEAR(cold.j, analysis.j, 1e-12);
+  EXPECT_NEAR(cold.sum_dfs_cmi, analysis.sum_dfs_cmi, 1e-12);
+  EXPECT_NEAR(cold.loss.rho, analysis.loss.rho, 1e-12);
+}
+
+TEST(AnalysisSession, GroupwiseEngineCmiMatchesMixture) {
+  Rng rng(907);
+  for (int trial = 0; trial < 10; ++trial) {
+    Relation r = testing_util::RandomTestRelation(&rng, 3, 4, 50);
+    AnalysisSession session;
+    GroupwiseMvdReport report =
+        AnalyzeMvdGroupwise(&session, r, AttrSet{0}, AttrSet{1}, AttrSet{2})
+            .value();
+    // Eq. 336: the engine-side global CMI equals the groupwise mixture.
+    double engine_cmi = session.EngineFor(r).ConditionalMutualInformation(
+        AttrSet{0}, AttrSet{1}, AttrSet{2});
+    EXPECT_NEAR(engine_cmi, report.mixture_cmi, 1e-9);
+    // The four Eq. (4) terms are now cached for whoever uses the session
+    // next.
+    EXPECT_GE(session.EngineFor(r).CacheSize(), 4u);
+  }
+}
+
+TEST(AnalysisSession, ParallelMinerMatchesSerial) {
+  // A parallel-batch session takes the miner's pre-warm path in
+  // BestBipartition (dead under the serial default); the mined tree and
+  // scores must match the serial run.
+  Rng rng(909);
+  Relation r = testing_util::RandomTestRelation(&rng, 6, 3, 150);
+  AnalysisSession serial_session;
+  EngineOptions parallel;
+  parallel.num_threads = 4;
+  AnalysisSession parallel_session(parallel);
+  MinerReport a = MineJoinTree(&serial_session, r).value();
+  MinerReport b = MineJoinTree(&parallel_session, r).value();
+  ASSERT_EQ(a.tree.NumNodes(), b.tree.NumNodes());
+  for (uint32_t v = 0; v < a.tree.NumNodes(); ++v) {
+    EXPECT_EQ(a.tree.bag(v), b.tree.bag(v));
+  }
+  EXPECT_NEAR(a.j, b.j, 1e-9);
+  EXPECT_NEAR(a.sum_split_cmi, b.sum_split_cmi, 1e-9);
+}
+
+TEST(EntropyCalculator, SessionBackedSharesCache) {
+  Rng rng(908);
+  Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 80);
+  AnalysisSession session;
+  EntropyCalculator first(&session, &r);
+  EntropyCalculator second(&session, &r);
+  first.Entropy(AttrSet{0, 1, 2});
+  uint64_t hits_before = session.TotalStats().hits;
+  second.Entropy(AttrSet{0, 1, 2});  // same engine: a hit, not a recompute
+  EXPECT_EQ(session.TotalStats().hits, hits_before + 1);
+  EXPECT_EQ(first.CacheSize(), second.CacheSize());
+}
+
+}  // namespace
+}  // namespace ajd

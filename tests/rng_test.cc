@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "random/rng.h"
@@ -129,7 +131,14 @@ TEST(Rng, ForkProducesIndependentStream) {
 }
 
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
-  static_assert(std::uniform_random_bit_generator<Rng>);
+  // C++17 spelling of the UniformRandomBitGenerator requirements (the
+  // std::uniform_random_bit_generator concept is C++20).
+  static_assert(std::is_unsigned<Rng::result_type>::value,
+                "result_type must be unsigned");
+  static_assert(
+      std::is_same<decltype(std::declval<Rng&>()()), Rng::result_type>::value,
+      "operator() must return result_type");
+  static_assert(Rng::min() < Rng::max(), "min() must be less than max()");
   Rng rng(13);
   EXPECT_EQ(Rng::min(), 0u);
   EXPECT_EQ(Rng::max(), ~uint64_t{0});

@@ -4,6 +4,7 @@
 #define AJD_TESTS_TEST_UTIL_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "jointree/join_tree.h"
