@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <unordered_map>
 #include <vector>
 
@@ -67,11 +68,17 @@ std::vector<AttrSet> SplitWorkload(uint32_t num_attrs,
 
 }  // namespace
 
-int main() {
-  const uint32_t kAttrs = 12;
-  const uint64_t kRows = 4000;
+int main(int argc, char** argv) {
+  // --smoke: CI-friendly sizes that keep the JSON emitter and the
+  // equivalence guard exercised without meaningful timings.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const uint32_t kAttrs = smoke ? 8 : 12;
+  const uint64_t kRows = smoke ? 500 : 4000;
   const uint32_t kDomain = 3;
-  const uint32_t kMasksPerSeparator = 12;
+  const uint32_t kMasksPerSeparator = smoke ? 4 : 12;
 
   Rng rng(20260730);
   RandomRelationSpec spec;
@@ -123,12 +130,14 @@ int main() {
   EngineStats stats = engine.Stats();
   const double n_terms = static_cast<double>(terms.size());
   std::printf(
-      "{\"bench\":\"perf_entropy_engine\",\"rows\":%llu,\"attrs\":%u,"
+      "{\"bench\":\"perf_entropy_engine\",\"smoke\":%s,"
+      "\"rows\":%llu,\"attrs\":%u,"
       "\"terms\":%zu,\"unique_terms\":%zu,"
       "\"legacy_ns_per_op\":%.1f,\"memoized_legacy_ns_per_op\":%.1f,"
       "\"engine_ns_per_op\":%.1f,"
       "\"speedup_vs_legacy\":%.2f,\"speedup_vs_memoized\":%.2f,"
       "\"cache_hit_rate\":%.4f,\"base_reuses\":%llu,\"refinements\":%llu}\n",
+      smoke ? "true" : "false",
       static_cast<unsigned long long>(r.NumRows()), kAttrs, terms.size(),
       engine.CacheSize(), legacy_ns / n_terms, memo_ns / n_terms,
       engine_ns / n_terms, legacy_ns / engine_ns, memo_ns / engine_ns,

@@ -5,6 +5,7 @@
 
 #include "core/bounds.h"
 #include "core/groupwise.h"
+#include "engine/analysis_session.h"
 #include "info/entropy.h"
 #include "relation/ops.h"
 #include "util/string_util.h"
@@ -12,6 +13,13 @@
 namespace ajd {
 
 Result<LossCertificate> CertifyLoss(const Relation& r, const JoinTree& tree,
+                                    double delta) {
+  AnalysisSession session;
+  return CertifyLoss(&session, r, tree, delta);
+}
+
+Result<LossCertificate> CertifyLoss(AnalysisSession* session,
+                                    const Relation& r, const JoinTree& tree,
                                     double delta) {
   if (delta <= 0.0 || delta >= 1.0) {
     return Status::InvalidArgument("delta must be in (0, 1)");
@@ -34,7 +42,7 @@ Result<LossCertificate> CertifyLoss(const Relation& r, const JoinTree& tree,
   const std::vector<Mvd> support = tree.SupportMvds();
   const double per_mvd_delta = delta / static_cast<double>(support.size());
 
-  EntropyCalculator calc(&r);
+  EntropyCalculator calc(session, &r);
   bool all_qualified = true;
   for (const Mvd& mvd : support) {
     MvdCertificate mc;
@@ -53,7 +61,7 @@ Result<LossCertificate> CertifyLoss(const Relation& r, const JoinTree& tree,
     // Lemma C.1 group condition via the groupwise analyzer (branches must
     // be disjoint for it; support MVDs satisfy this by RIP).
     Result<GroupwiseMvdReport> group = AnalyzeMvdGroupwise(
-        r, a_branch.Empty() ? mvd.side_a : a_branch,
+        session, r, a_branch.Empty() ? mvd.side_a : a_branch,
         b_branch.Empty() ? mvd.side_b : b_branch, mvd.lhs, per_mvd_delta);
     if (group.ok()) {
       mc.min_group = group.value().min_group;

@@ -30,6 +30,8 @@
 
 namespace ajd {
 
+class AnalysisSession;  // engine/analysis_session.h
+
 /// Per-MVD ingredient of a certificate.
 struct MvdCertificate {
   Mvd mvd;
@@ -60,6 +62,13 @@ struct LossCertificate {
 /// Requirements: non-empty relation, tree covering its attributes,
 /// delta in (0,1), and at least 2 bags.
 Result<LossCertificate> CertifyLoss(const Relation& r, const JoinTree& tree,
+                                    double delta = 0.05);
+
+/// Session-sharing variant: certifying a mined tree right after
+/// MineJoinTree(session, r, ...) answers the per-MVD CMIs (and the
+/// groupwise Lemma C.1 scans) from the session's warmed cache.
+Result<LossCertificate> CertifyLoss(AnalysisSession* session,
+                                    const Relation& r, const JoinTree& tree,
                                     double delta = 0.05);
 
 /// Planning helper: the smallest N for which Theorem 5.1's qualifying

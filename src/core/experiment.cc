@@ -5,6 +5,7 @@
 
 #include "core/bounds.h"
 #include "core/loss.h"
+#include "engine/analysis_session.h"
 #include "info/entropy.h"
 #include "random/random_relation.h"
 #include "random/rng.h"
@@ -26,6 +27,12 @@ SampleSummary Summarize(const std::vector<double>& xs) {
 }
 
 Result<std::vector<Fig1Row>> RunFig1(const Fig1Config& config) {
+  AnalysisSession session;
+  return RunFig1(&session, config);
+}
+
+Result<std::vector<Fig1Row>> RunFig1(AnalysisSession* session,
+                                     const Fig1Config& config) {
   if (config.rho_bar <= 0.0) {
     return Status::InvalidArgument("rho_bar must be positive");
   }
@@ -53,9 +60,12 @@ Result<std::vector<Fig1Row>> RunFig1(const Fig1Config& config) {
       spec.attr_names = {"A", "B"};
       Result<Relation> r = SampleRandomRelation(spec, &rng);
       if (!r.ok()) return r.status();
-      EntropyCalculator calc(&r.value());
+      EntropyCalculator calc(session, &r.value());
       row.mi_samples.push_back(
           calc.MutualInformation(AttrSet{0}, AttrSet{1}));
+      // The trial relation dies with this iteration; drop its engine so a
+      // later trial reusing the address gets a fresh one.
+      session->Release(r.value());
     }
     row.mi = Summarize(row.mi_samples);
     rows.push_back(std::move(row));
@@ -64,6 +74,12 @@ Result<std::vector<Fig1Row>> RunFig1(const Fig1Config& config) {
 }
 
 Result<MvdDeviationResult> RunMvdDeviation(const MvdDeviationConfig& config) {
+  AnalysisSession session;
+  return RunMvdDeviation(&session, config);
+}
+
+Result<MvdDeviationResult> RunMvdDeviation(AnalysisSession* session,
+                                           const MvdDeviationConfig& config) {
   Rng rng(config.seed);
   MvdDeviationResult out;
   out.eps_star = EpsilonStarMvd(config.d_a, config.d_b, config.d_c, config.n,
@@ -85,8 +101,9 @@ Result<MvdDeviationResult> RunMvdDeviation(const MvdDeviationConfig& config) {
     if (!r.ok()) return r.status();
     Result<LossReport> loss = ComputeMvdLoss(r.value(), mvd);
     if (!loss.ok()) return loss.status();
-    EntropyCalculator calc(&r.value());
+    EntropyCalculator calc(session, &r.value());
     double cmi = calc.ConditionalMutualInformation(a, b, c);
+    session->Release(r.value());
     double deviation = loss.value().log1p_rho - cmi;
     if (deviation <= out.eps_star) ++within;
     out.deviations.push_back(deviation);
@@ -100,6 +117,12 @@ Result<MvdDeviationResult> RunMvdDeviation(const MvdDeviationConfig& config) {
 
 Result<EntropyDeviationResult> RunEntropyDeviation(
     const EntropyDeviationConfig& config) {
+  AnalysisSession session;
+  return RunEntropyDeviation(&session, config);
+}
+
+Result<EntropyDeviationResult> RunEntropyDeviation(
+    AnalysisSession* session, const EntropyDeviationConfig& config) {
   Rng rng(config.seed);
   EntropyDeviationResult out;
   out.thm52_bound =
@@ -116,7 +139,9 @@ Result<EntropyDeviationResult> RunEntropyDeviation(
     spec.attr_names = {"A", "B"};
     Result<Relation> r = SampleRandomRelation(spec, &rng);
     if (!r.ok()) return r.status();
-    double h = EntropyOf(r.value(), AttrSet{0});
+    EntropyCalculator calc(session, &r.value());
+    double h = calc.Entropy(AttrSet{0});
+    session->Release(r.value());
     double gap = log_d - h;
     if (gap <= out.thm52_bound) ++within;
     out.gaps.push_back(gap);

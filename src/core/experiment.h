@@ -20,6 +20,8 @@
 
 namespace ajd {
 
+class AnalysisSession;  // engine/analysis_session.h
+
 /// Summary statistics of a sample.
 struct SampleSummary {
   double mean = 0.0;
@@ -64,6 +66,12 @@ struct Fig1Row {
 /// Runs the Figure 1 protocol.
 Result<std::vector<Fig1Row>> RunFig1(const Fig1Config& config);
 
+/// Session-sharing variant: trial relations are served through `session`
+/// (its EngineOptions — e.g. num_threads — govern the entropy evaluation)
+/// and released again before each trial relation is destroyed.
+Result<std::vector<Fig1Row>> RunFig1(AnalysisSession* session,
+                                     const Fig1Config& config);
+
 // ---------------------------------------------------------------------------
 // Theorem 5.1 (per-MVD deviation).
 // ---------------------------------------------------------------------------
@@ -88,6 +96,10 @@ struct MvdDeviationResult {
 };
 
 Result<MvdDeviationResult> RunMvdDeviation(const MvdDeviationConfig& config);
+
+/// Session-sharing variant (see RunFig1).
+Result<MvdDeviationResult> RunMvdDeviation(AnalysisSession* session,
+                                           const MvdDeviationConfig& config);
 
 // ---------------------------------------------------------------------------
 // Theorem 5.2 (entropy deviation, degenerate C).
@@ -114,6 +126,10 @@ struct EntropyDeviationResult {
 
 Result<EntropyDeviationResult> RunEntropyDeviation(
     const EntropyDeviationConfig& config);
+
+/// Session-sharing variant (see RunFig1).
+Result<EntropyDeviationResult> RunEntropyDeviation(
+    AnalysisSession* session, const EntropyDeviationConfig& config);
 
 }  // namespace ajd
 

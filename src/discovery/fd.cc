@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "engine/analysis_session.h"
+
 namespace ajd {
+
+namespace {
+
+Result<std::vector<Fd>> DiscoverFdsImpl(EntropyCalculator* calc,
+                                        const Relation& r,
+                                        const FdDiscoveryOptions& options);
+
+}  // namespace
 
 double FdError(EntropyCalculator* calc, AttrSet lhs, uint32_t rhs) {
   double err = calc->ConditionalEntropy(AttrSet::Singleton(rhs), lhs);
@@ -11,15 +21,30 @@ double FdError(EntropyCalculator* calc, AttrSet lhs, uint32_t rhs) {
 
 Result<std::vector<Fd>> DiscoverFds(const Relation& r,
                                     const FdDiscoveryOptions& options) {
+  AnalysisSession session;
+  return DiscoverFds(&session, r, options);
+}
+
+Result<std::vector<Fd>> DiscoverFds(AnalysisSession* session,
+                                    const Relation& r,
+                                    const FdDiscoveryOptions& options) {
   if (r.NumRows() == 0) {
     return Status::FailedPrecondition("empty relation");
   }
-  const uint32_t n = r.NumAttrs();
-  if (n > 24) {
+  if (r.NumAttrs() > 24) {
     return Status::CapacityExceeded(
         "FD discovery is levelwise; 24 attributes max");
   }
-  EntropyCalculator calc(&r);
+  EntropyCalculator calc(session, &r);
+  return DiscoverFdsImpl(&calc, r, options);
+}
+
+namespace {
+
+Result<std::vector<Fd>> DiscoverFdsImpl(EntropyCalculator* calc,
+                                        const Relation& r,
+                                        const FdDiscoveryOptions& options) {
+  const uint32_t n = r.NumAttrs();
   std::vector<Fd> found;
   // Per-rhs list of minimal determinants found so far, for pruning.
   std::vector<std::vector<AttrSet>> minimal(n);
@@ -40,7 +65,7 @@ Result<std::vector<Fd>> DiscoverFds(const Relation& r,
           }
           if (dominated) continue;
         }
-        double err = FdError(&calc, lhs, rhs);
+        double err = FdError(calc, lhs, rhs);
         if (err <= options.max_error) {
           found.push_back({lhs, rhs, err});
           minimal[rhs].push_back(lhs);
@@ -55,6 +80,8 @@ Result<std::vector<Fd>> DiscoverFds(const Relation& r,
   });
   return found;
 }
+
+}  // namespace
 
 std::string Fd::ToString(const Schema& schema) const {
   std::string s = "{";

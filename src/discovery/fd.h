@@ -44,6 +44,14 @@ struct FdDiscoveryOptions {
 Result<std::vector<Fd>> DiscoverFds(const Relation& r,
                                     const FdDiscoveryOptions& options = {});
 
+/// Session-sharing variant: the H(lhs) / H(lhs u rhs) lattice the levelwise
+/// scan evaluates is served from (and left in) the session's engine for
+/// `r`, so profiling FDs after mining a schema over the same relation
+/// reuses every cached term.
+Result<std::vector<Fd>> DiscoverFds(AnalysisSession* session,
+                                    const Relation& r,
+                                    const FdDiscoveryOptions& options = {});
+
 /// The information-theoretic FD error H(rhs | lhs) for one candidate.
 double FdError(EntropyCalculator* calc, AttrSet lhs, uint32_t rhs);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_set>
 
 #include "core/bounds.h"
 #include "engine/analysis_session.h"
@@ -24,6 +25,16 @@ struct SplitCandidate {
   bool valid = false;
 };
 
+// Margin a candidate must win by before it replaces the incumbent in any
+// scoring or candidate comparison. Entropy values may differ by ~1e-12
+// between runs with different cache-fill histories (serial vs threaded
+// fills perturb fp accumulation order), so any argmin decided by a smaller
+// gap would let that noise pick different splits in different modes. At or
+// below this margin the earliest candidate in the deterministic scan order
+// wins instead. Must comfortably dominate the fill-order noise; 1e-9
+// matches the CMI clamp in the engine.
+constexpr double kSelectionEps = 1e-9;
+
 // Ordering on candidates: primarily by CMI; ties (within tolerance) go to
 // the separator with smaller entropy. Without the tie-break, conditioning
 // on a key attribute always achieves CMI = 0 while duplicating the key into
@@ -31,9 +42,9 @@ struct SplitCandidate {
 bool BetterThan(const SplitCandidate& a, const SplitCandidate& b) {
   if (!a.valid) return false;
   if (!b.valid) return true;
-  if (a.cmi < b.cmi - 1e-12) return true;
-  if (a.cmi > b.cmi + 1e-12) return false;
-  return a.sep_entropy < b.sep_entropy - 1e-12;
+  if (a.cmi < b.cmi - kSelectionEps) return true;
+  if (a.cmi > b.cmi + kSelectionEps) return false;
+  return a.sep_entropy < b.sep_entropy - kSelectionEps;
 }
 
 // The units that must stay on one side of a split: the (separator-minus-C)
@@ -88,62 +99,77 @@ double ScoreAssignment(EntropyCalculator* calc,
   return calc->ConditionalMutualInformation(a, b, c);
 }
 
-// Finds the best bipartition of `units` for separator `c` (min CMI), by
-// exhaustive enumeration when feasible, hill climbing otherwise. Both sides
-// must be non-empty.
-SplitCandidate BestBipartition(EntropyCalculator* calc,
-                      const std::vector<AttrSet>& units, AttrSet c,
-                      const MinerOptions& options, Rng* rng) {
+// Exhaustive enumeration is feasible up to this many units (2^15 candidate
+// masks); beyond it BestBipartition hill-climbs.
+constexpr size_t kMaxExhaustiveUnits = 16;
+
+// Adds the side terms H(A u C), H(B u C) of every exhaustive candidate
+// mask for `units` under separator `c` to *terms. Deduping at insertion
+// keeps the transient bounded by the number of DISTINCT attr-sets (side
+// terms overlap heavily across masks and separators), not by the mask
+// count. No-op when the space is too large to enumerate (the hill-climb
+// case batches per neighborhood instead).
+void CollectExhaustiveTerms(const std::vector<AttrSet>& units, AttrSet c,
+                            std::unordered_set<AttrSet, AttrSetHash>* terms) {
+  const size_t k = units.size();
+  if (k < 2 || k > kMaxExhaustiveUnits) return;
+  const uint64_t total = uint64_t{1} << k;
+  // Skip empty/full masks; halve the space by fixing unit 0 on side A
+  // (mirrors the scoring loop below).
+  for (uint64_t mask = 1; mask < total; ++mask) {
+    if ((mask & 1) == 0) continue;      // unit 0 pinned to A
+    if (mask == total - 1) continue;    // side B empty
+    AttrSet a, b;
+    ExpandMask(units, mask, &a, &b);
+    terms->insert(a.Union(c));
+    terms->insert(b.Union(c));
+  }
+}
+
+// Exhaustive best bipartition: every candidate's terms were already batched
+// by BestSplit, so the mask-order scan below reads a warm cache; selection
+// is deterministic regardless of how many threads filled it.
+SplitCandidate BestBipartitionExhaustive(EntropyCalculator* calc,
+                                         const std::vector<AttrSet>& units,
+                                         AttrSet c) {
   SplitCandidate best;
   best.separator = c;
   const size_t k = units.size();
-  if (k < 2) return best;  // cannot split
-
-  if (k <= 16) {
-    const uint64_t total = uint64_t{1} << k;
-    // Skip empty/full masks; halve the space by fixing unit 0 on side A.
-    // When the engine has a real thread pool, pre-warm the cache with the
-    // candidates' entropy terms as one deduped batch (every mask shares
-    // H(A u B u C) and H(C), neighboring masks share side terms) so the
-    // independent misses fan out across workers. With a serial engine the
-    // scoring loop below fills the same cache at the same cost, so the
-    // batch would be pure overhead.
-    if (calc->engine().ParallelBatches()) {
-      std::vector<AttrSet> terms;
-      terms.reserve(2 * static_cast<size_t>(total) + 2);
-      AttrSet everything = c;
-      for (AttrSet u : units) everything = everything.Union(u);
-      terms.push_back(everything);
-      terms.push_back(c);
-      for (uint64_t mask = 1; mask < total; ++mask) {
-        if ((mask & 1) == 0) continue;      // unit 0 pinned to A
-        if (mask == total - 1) continue;    // side B empty
-        AttrSet a, b;
-        ExpandMask(units, mask, &a, &b);
-        terms.push_back(a.Union(c));
-        terms.push_back(b.Union(c));
-      }
-      std::sort(terms.begin(), terms.end());
-      terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
-      calc->BatchEntropy(terms);  // warm the cache; values re-read below
+  const uint64_t total = uint64_t{1} << k;
+  for (uint64_t mask = 1; mask < total; ++mask) {
+    if ((mask & 1) == 0) continue;
+    if (mask == total - 1) continue;
+    AttrSet sa, sb;
+    double cmi = ScoreAssignment(calc, units, mask, c, &sa, &sb);
+    if (!best.valid || cmi < best.cmi - kSelectionEps) {
+      best.cmi = cmi;
+      best.side_a = sa;
+      best.side_b = sb;
+      best.valid = true;
     }
-
-    for (uint64_t mask = 1; mask < total; ++mask) {
-      if ((mask & 1) == 0) continue;
-      if (mask == total - 1) continue;
-      AttrSet sa, sb;
-      double cmi = ScoreAssignment(calc, units, mask, c, &sa, &sb);
-      if (cmi < best.cmi) {
-        best.cmi = cmi;
-        best.side_a = sa;
-        best.side_b = sb;
-        best.valid = true;
-      }
-    }
-    return best;
   }
+  return best;
+}
 
-  // Hill climbing with restarts: flip single units while it improves.
+// Hill climbing with restarts for spaces too large to enumerate. Each sweep
+// scores the whole neighborhood — the k single-unit flips of the current
+// mask, 4 entropy terms each of which H(A u B u C) and H(C) are shared —
+// as one deduped batch, then applies the steepest strictly-improving flip.
+// Selection happens after the batch completes, in ascending unit order, so
+// serial and threaded engines walk identical trajectories.
+SplitCandidate BestBipartitionHillClimb(EntropyCalculator* calc,
+                                        const std::vector<AttrSet>& units,
+                                        AttrSet c, const MinerOptions& options,
+                                        Rng* rng) {
+  SplitCandidate best;
+  best.separator = c;
+  const size_t k = units.size();
+  // k can reach 64 (a kMaxAttrs relation under the empty separator), where
+  // `1 << k` would be undefined.
+  const uint64_t full =
+      k >= 64 ? ~uint64_t{0} : (uint64_t{1} << k) - 1;
+  const bool batch = calc->engine().ParallelBatches();
+  std::vector<AttrSet> terms;
   for (uint32_t restart = 0; restart < options.hill_climb_restarts;
        ++restart) {
     uint64_t mask = 0;
@@ -152,27 +178,48 @@ SplitCandidate BestBipartition(EntropyCalculator* calc,
       if (rng->Bernoulli(0.5)) mask |= uint64_t{1} << u;
     }
     if (mask == 0) mask = 1;
-    if (mask == (uint64_t{1} << k) - 1) mask &= ~uint64_t{1};
+    if (mask == full) mask &= ~uint64_t{1};
     AttrSet sa, sb;
     double current = ScoreAssignment(calc, units, mask, c, &sa, &sb);
     bool improved = true;
     while (improved) {
       improved = false;
+      if (batch) {
+        terms.clear();
+        for (size_t u = 0; u < k; ++u) {
+          uint64_t flipped = mask ^ (uint64_t{1} << u);
+          if (flipped == 0 || flipped == full) continue;
+          AttrSet a, b;
+          ExpandMask(units, flipped, &a, &b);
+          terms.push_back(a.Union(c));
+          terms.push_back(b.Union(c));
+        }
+        calc->engine().WarmEntropies(terms);  // values re-read below
+      }
+      size_t best_u = k;
+      double best_cmi = current;
+      AttrSet ba, bb;
       for (size_t u = 0; u < k; ++u) {
         uint64_t flipped = mask ^ (uint64_t{1} << u);
-        if (flipped == 0 || flipped == (uint64_t{1} << k) - 1) continue;
+        if (flipped == 0 || flipped == full) continue;
         AttrSet ta, tb;
         double cmi = ScoreAssignment(calc, units, flipped, c, &ta, &tb);
-        if (cmi < current - 1e-15) {
-          current = cmi;
-          mask = flipped;
-          sa = ta;
-          sb = tb;
-          improved = true;
+        if (cmi < best_cmi - kSelectionEps) {
+          best_cmi = cmi;
+          best_u = u;
+          ba = ta;
+          bb = tb;
         }
       }
+      if (best_u < k) {
+        mask ^= uint64_t{1} << best_u;
+        current = best_cmi;
+        sa = ba;
+        sb = bb;
+        improved = true;
+      }
     }
-    if (current < best.cmi) {
+    if (!best.valid || current < best.cmi - kSelectionEps) {
       best.cmi = current;
       best.side_a = sa;
       best.side_b = sb;
@@ -182,20 +229,65 @@ SplitCandidate BestBipartition(EntropyCalculator* calc,
   return best;
 }
 
+// One separator's share of a split search: the separator and the immovable
+// unit groups of the remainder.
+struct SeparatorWork {
+  AttrSet c;
+  std::vector<AttrSet> units;
+};
+
 // Finds the best split of `bag` over all separators up to the size cap.
+// All separators of one size build their candidate entropy-term lists up
+// front and fan out through one deduped batch, so a threaded engine
+// saturates its pool on the misses; the selection pass that follows runs
+// in subset-enumeration order either way, keeping the result independent
+// of thread count.
 SplitCandidate BestSplit(EntropyCalculator* calc, AttrSet bag,
                 const std::vector<AttrSet>& neighbor_seps,
                 const MinerOptions& options, Rng* rng) {
   SplitCandidate best;
   uint32_t max_sep = std::min(options.max_separator_size, bag.Count());
   for (uint32_t size = 0; size <= max_sep; ++size) {
+    std::vector<SeparatorWork> work;
     ForEachSubsetOfSize(bag, size, [&](AttrSet c) {
-      std::vector<AttrSet> units = BuildUnits(bag, c, neighbor_seps);
-      SplitCandidate s = BestBipartition(calc, units, c, options, rng);
-      if (!s.valid) return;
-      s.sep_entropy = calc->Entropy(c);
-      if (BetterThan(s, best)) best = s;
+      work.push_back({c, BuildUnits(bag, c, neighbor_seps)});
     });
+
+    // Seed the separator ancestors: every candidate term is a superset of
+    // its separator, so a materialized C partition turns each A u C / B u C
+    // miss into a single refinement step. Worth it even on a serial engine.
+    std::vector<AttrSet> seps;
+    seps.reserve(work.size());
+    for (const SeparatorWork& w : work) seps.push_back(w.c);
+    calc->engine().PrewarmSubsets(seps);
+
+    if (calc->engine().ParallelBatches()) {
+      // One deduped batch for every exhaustive candidate this size emits
+      // (every mask shares H(bag) and H(C), neighboring masks share side
+      // terms). With a serial engine the scoring loop below fills the same
+      // cache at the same cost, so the batch would be pure overhead.
+      std::unordered_set<AttrSet, AttrSetHash> term_set;
+      term_set.insert(bag);
+      for (const SeparatorWork& w : work) {
+        if (!w.c.Empty()) term_set.insert(w.c);
+        CollectExhaustiveTerms(w.units, w.c, &term_set);
+      }
+      // Set order is irrelevant: WarmEntropies sorts its miss list before
+      // computing, so the cache fill stays deterministic.
+      calc->engine().WarmEntropies(
+          std::vector<AttrSet>(term_set.begin(), term_set.end()));
+    }
+
+    for (const SeparatorWork& w : work) {
+      if (w.units.size() < 2) continue;  // cannot split
+      SplitCandidate s =
+          w.units.size() <= kMaxExhaustiveUnits
+              ? BestBipartitionExhaustive(calc, w.units, w.c)
+              : BestBipartitionHillClimb(calc, w.units, w.c, options, rng);
+      if (!s.valid) continue;
+      s.sep_entropy = calc->Entropy(w.c);
+      if (BetterThan(s, best)) best = s;
+    }
   }
   return best;
 }
@@ -221,7 +313,9 @@ struct WorkTree {
 
 Result<MinerReport> MineJoinTree(const Relation& r,
                                  const MinerOptions& options) {
-  AnalysisSession session;
+  EngineOptions engine_options;
+  engine_options.num_threads = options.num_threads;
+  AnalysisSession session(engine_options);
   return MineJoinTree(&session, r, options);
 }
 
@@ -338,8 +432,12 @@ Result<MinerReport> MineJoinTree(AnalysisSession* session, const Relation& r,
                             tree.status().ToString());
   }
 
-  MinerReport report{std::move(tree).value(), std::move(splits), sum_cmi,
-                     0.0, 0.0};
+  // Member-by-member assembly (not positional aggregate init): adding a
+  // field to MinerReport must not silently shift later initializers onto
+  // the wrong members.
+  MinerReport report{std::move(tree).value()};
+  report.splits = std::move(splits);
+  report.sum_split_cmi = sum_cmi;
   report.j = JMeasure(&calc, report.tree);
   report.rho_lower_bound = RhoLowerBoundFromJ(report.j);
   return report;

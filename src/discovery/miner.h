@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "jointree/join_tree.h"
@@ -44,6 +45,14 @@ struct MinerOptions {
   uint32_t hill_climb_restarts = 4;
   /// Seed for hill-climb randomization.
   uint64_t seed = 1234;
+  /// Engine threads for batched entropy scoring in the convenience overload
+  /// (0 = all hardware threads). The default 1 keeps the fully serial
+  /// engine. The mined tree and scores are the same either way — candidate
+  /// scoring batches fan the entropy misses out, and selection happens
+  /// after each batch completes, in deterministic mask order — so threads
+  /// buy wall clock, not different answers. The session overload uses the
+  /// session's own EngineOptions instead.
+  uint32_t num_threads = 1;
 };
 
 /// One accepted split, for diagnostics.
@@ -54,8 +63,13 @@ struct SplitRecord {
   double cmi = 0.0;
 };
 
-/// Miner output: the discovered join tree and quality metrics.
+/// Miner output: the discovered join tree and quality metrics. Every field
+/// but the tree carries a member default — construct from the tree and
+/// assign the metrics by name, so adding a field can never silently shift
+/// positional initializers onto the wrong members.
 struct MinerReport {
+  explicit MinerReport(JoinTree t) : tree(std::move(t)) {}
+
   JoinTree tree;
   std::vector<SplitRecord> splits;
   double sum_split_cmi = 0.0;   ///< Upper-bounds J(T) (chain rule).

@@ -29,6 +29,11 @@ EntropyEngine& AnalysisSession::EngineFor(const Relation& r) {
   return *it->second;
 }
 
+bool AnalysisSession::Release(const Relation& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engines_.erase(&r) > 0;
+}
+
 size_t AnalysisSession::NumRelations() const {
   std::lock_guard<std::mutex> lock(mu_);
   return engines_.size();

@@ -34,6 +34,14 @@ class AnalysisSession {
   /// returned reference stays valid for the session's lifetime.
   EntropyEngine& EngineFor(const Relation& r);
 
+  /// Drops the engine (and every cached term) for `r`, if any; returns
+  /// whether one existed. Call before destroying a relation when the
+  /// session outlives it — e.g. experiment sweeps that draw a fresh
+  /// relation per trial — so a later relation reusing the address gets a
+  /// fresh engine instead of tripping the fingerprint guard. Any
+  /// EntropyEngine references previously returned for `r` are invalidated.
+  bool Release(const Relation& r);
+
   /// Number of relations with a live engine.
   size_t NumRelations() const;
 

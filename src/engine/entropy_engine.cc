@@ -18,6 +18,15 @@ EntropyEngine::EntropyEngine(const Relation* r, EngineOptions options)
       fingerprint_(RelationFingerprint(*r)),
       keys_by_count_(kMaxAttrs + 1) {}
 
+EntropyEngine::~EntropyEngine() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_shutdown_ = true;
+  }
+  pool_wake_cv_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
 uint64_t EntropyEngine::RelationFingerprint(const Relation& r) {
   uint64_t h =
       Mix64(r.NumRows() ^ (static_cast<uint64_t>(r.NumAttrs()) << 32));
@@ -54,45 +63,66 @@ double EntropyEngine::Entropy(AttrSet attrs) {
   return ComputeEntropy(attrs);
 }
 
-double EntropyEngine::ComputeEntropy(AttrSet attrs) {
+double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
   const uint64_t n = relation().NumRows();
 
-  // Best cached base: the largest subset of attrs with a live partition;
-  // ties go to the partition with fewer stripped rows (more refined, so
-  // less downstream work).
+  // Best cached base under the refinement cost model: each remaining step
+  // scans at most the base's stripped rows, so refining base T costs about
+  // NumStrippedRows(T) * |attrs \ T|, against N * |attrs| for a build from
+  // a raw column. This prefers the largest cached subset when masses are
+  // comparable, but lets a sharply refined smaller subset (e.g. a cached
+  // near-key whose stripped partition is tiny) win over a barely refined
+  // big one. Levels are scanned descending, so on a cost tie the first
+  // (highest) level wins and within a level the smaller mask does — the
+  // choice is deterministic given the cache contents.
   std::shared_ptr<const Partition> base;
   AttrSet base_set;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (uint32_t level = attrs.Count(); level >= 1 && base == nullptr;
+    double best_cost = static_cast<double>(n) *
+                       std::max<uint32_t>(attrs.Count(), 1);  // from scratch
+    uint32_t best_level = 0;
+    for (uint32_t level = attrs.Count(); level >= 1 && best_cost > 0.0;
          --level) {
-      // Within the first level that contains a subset, prefer the most
-      // refined partition (fewest stripped rows): less downstream work.
-      uint64_t best_rows = UINT64_MAX;
+      // A zero-cost base (an all-singleton subset partition: H is already
+      // ln N) cannot be beaten; stop scanning the lattice the moment one
+      // appears, or misses over a cache full of collapsed partitions turn
+      // the scan itself into the bottleneck.
       for (AttrSet key : keys_by_count_[level]) {
         if (!key.IsSubsetOf(attrs)) continue;
         auto it = partitions_.find(key);
-        uint64_t stripped = it->second.partition->NumStrippedRows();
-        if (stripped < best_rows) {
-          best_rows = stripped;
+        const uint64_t mass = it->second.partition->NumStrippedRows();
+        const uint32_t steps = attrs.Count() - level;
+        const double cost = static_cast<double>(mass) *
+                            std::max<uint32_t>(steps, 1);
+        const bool better =
+            cost < best_cost ||
+            (cost == best_cost &&
+             (base == nullptr ||
+              (level == best_level && key < base_set)));
+        if (better) {
+          best_cost = cost;
+          best_level = level;
           base_set = key;
+          base = it->second.partition;
+          if (best_cost == 0.0) break;
         }
       }
-      if (best_rows != UINT64_MAX) {
-        auto it = partitions_.find(base_set);
-        base = it->second.partition;
-        it->second.last_used = ++tick_;
-        ++stats_.base_reuses;
-      }
+    }
+    if (base != nullptr) {
+      auto it = partitions_.find(base_set);
+      it->second.last_used = ++tick_;
+      ++stats_.base_reuses;
     }
   }
 
-  // Refine by the missing attributes, widest columns first: high-cardinality
-  // columns shatter blocks fastest, shrinking later refinement passes.
+  // Refine by the missing attributes in order of estimated block-splitting
+  // power: a column's distinct count saturated at the current stripped
+  // mass. Early on this is plain descending cardinality (wide columns
+  // shatter blocks fastest); once the mass has collapsed below the widest
+  // cardinalities, every saturated column splits equally well and the
+  // cheapest one — smallest counting-scratch footprint — goes first.
   std::vector<uint32_t> missing = attrs.Minus(base_set).ToIndices();
-  std::sort(missing.begin(), missing.end(), [this](uint32_t a, uint32_t b) {
-    return store_.column(a).cardinality > store_.column(b).cardinality;
-  });
 
   uint64_t builds = 0;
   uint64_t refinements = 0;
@@ -102,12 +132,31 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs) {
   double h = 0.0;
   bool have_h = false;
   for (size_t i = 0; i < missing.size(); ++i) {
+    const uint64_t mass = cur == nullptr ? n : cur->NumStrippedRows();
+    // Pick the next column adaptively: max saturated splitting power,
+    // cheapest (narrowest) column among the saturated, index as the final
+    // deterministic tie-break.
+    size_t pick = i;
+    auto power = [&](uint32_t a) {
+      return std::min<uint64_t>(store_.column(a).cardinality, mass);
+    };
+    for (size_t j = i + 1; j < missing.size(); ++j) {
+      const uint64_t pj = power(missing[j]);
+      const uint64_t pp = power(missing[pick]);
+      const uint32_t cj = store_.column(missing[j]).cardinality;
+      const uint32_t cp = store_.column(missing[pick]).cardinality;
+      if (pj > pp || (pj == pp && (cj < cp || (cj == cp && missing[j] <
+                                                              missing[pick]))))
+        pick = j;
+    }
+    std::swap(missing[i], missing[pick]);
+
     const uint32_t a = missing[i];
     const Column& col = store_.column(a);
     if (cur == nullptr) {
       cur = std::make_shared<Partition>(Partition::OfColumn(col));
       ++builds;
-    } else if (i + 1 == missing.size()) {
+    } else if (!materialize_final && i + 1 == missing.size()) {
       // Last step: only H is needed, so run the fused counting pass and
       // skip materializing the final partition. If a later query wants it
       // as a base, it refines from the cached prefix at one step's cost.
@@ -192,46 +241,102 @@ bool EntropyEngine::ParallelBatches() const {
 }
 
 uint32_t EntropyEngine::PoolSizeFor(size_t n) const {
-  if (n < 4) return 1;  // a thread per trivial batch costs more than it buys
+  // Demand a few misses per participant: waking the pool for a handful of
+  // terms costs more in wakeup latency and cache-mutex contention than the
+  // misses themselves (hill-climb sweeps re-batch mostly-warm
+  // neighborhoods).
+  constexpr size_t kMinMissesPerWorker = 4;
+  if (n < 2 * kMinMissesPerWorker) return 1;
   uint32_t threads = options_.num_threads != 0
                          ? options_.num_threads
                          : std::max(1u, std::thread::hardware_concurrency());
   return static_cast<uint32_t>(
-      std::min<size_t>(threads, n));
+      std::min<size_t>(threads, n / kMinMissesPerWorker));
+}
+
+void EntropyEngine::RunOnPool(size_t n, uint32_t workers,
+                              const std::function<void(size_t)>& fn) {
+  std::lock_guard<std::mutex> submit(pool_submit_mu_);
+  auto batch = std::make_shared<PoolBatch>();
+  batch->fn = &fn;
+  batch->n = n;
+  batch->max_helpers = workers - 1;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    while (pool_.size() + 1 < workers) {
+      pool_.emplace_back([this] { PoolWorkerLoop(); });
+    }
+    pool_batch_ = batch;
+    ++pool_epoch_;
+  }
+  pool_wake_cv_.notify_all();
+  TakeBatchShare(batch.get());
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  pool_done_cv_.wait(lock, [&] { return batch->completed.load() == n; });
+}
+
+void EntropyEngine::TakeBatchShare(PoolBatch* batch) {
+  const size_t n = batch->n;
+  while (true) {
+    size_t i = batch->next.fetch_add(1);
+    if (i >= n) return;
+    (*batch->fn)(i);
+    if (batch->completed.fetch_add(1) + 1 == n) {
+      // Notify under the waiter's mutex so the wakeup cannot be missed.
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      pool_done_cv_.notify_all();
+    }
+  }
+}
+
+void EntropyEngine::PoolWorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  while (true) {
+    pool_wake_cv_.wait(
+        lock, [&] { return pool_shutdown_ || pool_epoch_ != seen; });
+    if (pool_shutdown_) return;
+    seen = pool_epoch_;
+    // Snapshot the batch under the lock: a worker waking after this batch
+    // already finished (and a new one started) must share in the state its
+    // epoch observation belongs to, never a recycled slot.
+    std::shared_ptr<PoolBatch> batch = pool_batch_;
+    lock.unlock();
+    if (batch->helpers.fetch_add(1) < batch->max_helpers) {
+      TakeBatchShare(batch.get());
+    }
+    lock.lock();
+  }
 }
 
 void EntropyEngine::BatchEntropy(const AttrSet* sets, size_t n, double* out) {
-  // Size the pool by expected *misses*, not batch size: spawning threads to
+  // Size the pool by *distinct misses*, not batch size: waking workers to
   // service cache hits costs more than the hits themselves (the miner
-  // re-batches mostly-warm term lists every split round).
-  size_t misses = 0;
+  // re-batches mostly-warm term lists every split round), and dispatching
+  // duplicate sets to the pool would compute the same refinement chain
+  // once per copy (the cache dedups only at the final insert).
+  std::vector<AttrSet> misses;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < n; ++i) {
       if (!sets[i].Empty() &&
           entropies_.find(sets[i]) == entropies_.end()) {
-        ++misses;
+        misses.push_back(sets[i]);
       }
     }
   }
-  const uint32_t pool = PoolSizeFor(misses);
-  if (pool <= 1) {
-    for (size_t i = 0; i < n; ++i) out[i] = Entropy(sets[i]);
-    return;
+  std::sort(misses.begin(), misses.end());
+  misses.erase(std::unique(misses.begin(), misses.end()), misses.end());
+  const uint32_t pool = PoolSizeFor(misses.size());
+  if (pool > 1) {
+    // Fill the cache from the deduped miss list in parallel, then read the
+    // whole batch out of it below.
+    std::function<void(size_t)> fn = [this, &misses](size_t i) {
+      ComputeEntropy(misses[i]);
+    };
+    RunOnPool(misses.size(), pool, fn);
   }
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    while (true) {
-      size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      out[i] = Entropy(sets[i]);
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(pool - 1);
-  for (uint32_t t = 0; t + 1 < pool; ++t) threads.emplace_back(worker);
-  worker();
-  for (std::thread& th : threads) th.join();
+  for (size_t i = 0; i < n; ++i) out[i] = Entropy(sets[i]);
 }
 
 std::vector<double> EntropyEngine::BatchEntropy(
@@ -239,6 +344,62 @@ std::vector<double> EntropyEngine::BatchEntropy(
   std::vector<double> out(sets.size());
   BatchEntropy(sets.data(), sets.size(), out.data());
   return out;
+}
+
+void EntropyEngine::WarmEntropies(const std::vector<AttrSet>& sets) {
+  std::vector<AttrSet> need;
+  need.reserve(sets.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (AttrSet s : sets) {
+      if (!s.Empty() && entropies_.find(s) == entropies_.end()) {
+        need.push_back(s);
+      }
+    }
+  }
+  if (relation().NumRows() == 0) return;
+  std::sort(need.begin(), need.end());
+  need.erase(std::unique(need.begin(), need.end()), need.end());
+  if (need.empty()) return;
+  const uint32_t pool = PoolSizeFor(need.size());
+  if (pool <= 1) {
+    for (AttrSet s : need) ComputeEntropy(s);
+    return;
+  }
+  std::function<void(size_t)> fn = [this, &need](size_t i) {
+    ComputeEntropy(need[i]);
+  };
+  RunOnPool(need.size(), pool, fn);
+}
+
+void EntropyEngine::PrewarmSubsets(const std::vector<AttrSet>& sets) {
+  // Only sets without a materialized partition need work; sorting the
+  // survivors makes the serial fill order (and thus the exact cached
+  // values) independent of the caller's enumeration order.
+  std::vector<AttrSet> need;
+  need.reserve(sets.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (AttrSet s : sets) {
+      if (s.Empty()) continue;
+      AJD_CHECK(s.IsSubsetOf(relation().schema().AllAttrs()));
+      if (partitions_.find(s) == partitions_.end()) need.push_back(s);
+    }
+  }
+  if (relation().NumRows() == 0) return;
+  std::sort(need.begin(), need.end());
+  need.erase(std::unique(need.begin(), need.end()), need.end());
+  if (need.empty()) return;
+
+  const uint32_t pool = PoolSizeFor(need.size());
+  if (pool <= 1) {
+    for (AttrSet s : need) ComputeEntropy(s, /*materialize_final=*/true);
+    return;
+  }
+  std::function<void(size_t)> fn = [this, &need](size_t i) {
+    ComputeEntropy(need[i], /*materialize_final=*/true);
+  };
+  RunOnPool(need.size(), pool, fn);
 }
 
 double EntropyEngine::ConditionalEntropy(AttrSet a, AttrSet c) {

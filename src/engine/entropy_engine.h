@@ -4,9 +4,13 @@
 // sandwich, Lemma 4.1's loss bound, the miner's per-split CMIs — reduces to
 // entropies H(attrs) over one relation's empirical distribution. The engine
 // answers those queries out of an AttrSet-keyed cache of entropies AND
-// stripped partitions (engine/partition.h): a miss for H(S) finds the
-// largest cached subset T of S and refines T's partition by the dense
-// columns of S \ T, instead of re-hashing N * |S| words from scratch.
+// stripped partitions (engine/partition.h): a miss for H(S) picks the
+// cached subset T of S minimizing the modeled refinement cost (stripped
+// rows of T times the number of missing columns) and refines T's partition
+// by the dense columns of S \ T, instead of re-hashing N * |S| words from
+// scratch. Missing columns are applied in order of estimated
+// block-splitting power — distinct count saturated at the current stripped
+// mass — so the mass collapses as early as possible.
 //
 // Thread safety: all public methods are safe to call concurrently; the
 // caches are guarded by a mutex and the heavy refinement work runs outside
@@ -15,10 +19,14 @@
 #ifndef AJD_ENGINE_ENTROPY_ENGINE_H_
 #define AJD_ENGINE_ENTROPY_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -35,11 +43,14 @@ struct EngineOptions {
   /// themselves (16 bytes a term) are always cached; partitions are the
   /// bulky part and are evicted least-recently-used past this budget.
   size_t partition_budget_bytes = size_t{256} << 20;
-  /// Threads for BatchEntropy; 0 means std::thread::hardware_concurrency().
-  /// Defaults to 1 (serial): concurrent workers race the partition cache,
-  /// which perturbs fp accumulation order and costs seeded experiment
-  /// drivers their bit-for-bit reproducibility. Opt in per engine where
-  /// last-ulp determinism doesn't matter.
+  /// Threads for BatchEntropy/PrewarmSubsets; 0 means
+  /// std::thread::hardware_concurrency(). Defaults to 1 (serial):
+  /// concurrent workers race the partition cache, which perturbs fp
+  /// accumulation order and costs seeded experiment drivers their
+  /// bit-for-bit reproducibility (values still agree to ~1e-12, so
+  /// rounded renderings like MinerReport::ToString stay byte-identical).
+  /// MinerOptions::num_threads and AnalysisSession plumb this knob through
+  /// to the mining hot path.
   uint32_t num_threads = 1;
 };
 
@@ -65,6 +76,7 @@ struct EngineStats {
 class EntropyEngine {
  public:
   explicit EntropyEngine(const Relation* r, EngineOptions options = {});
+  ~EntropyEngine();
 
   EntropyEngine(const EntropyEngine&) = delete;
   EntropyEngine& operator=(const EntropyEngine&) = delete;
@@ -89,6 +101,23 @@ class EntropyEngine {
 
   /// Convenience vector form of BatchEntropy.
   std::vector<double> BatchEntropy(const std::vector<AttrSet>& sets);
+
+  /// Cache-warming form of BatchEntropy: computes and caches H(s) for
+  /// every set not already cached (duplicates folded), fanning the misses
+  /// out on the pool; returns nothing. The fit for callers that re-read
+  /// the values through Entropy() afterwards — the miner's scoring loops —
+  /// where a mostly-warm batch should cost one hash probe per term, not a
+  /// full query round-trip.
+  void WarmEntropies(const std::vector<AttrSet>& sets);
+
+  /// Ensures the entropy AND the materialized partition of every given set
+  /// are cached, fanning the misses out on the batch pool. Plain Entropy()
+  /// skips materializing the final partition of a refinement chain (the
+  /// fused counting pass is cheaper), so a caller about to issue a burst of
+  /// superset queries — the miner's A u C / B u C terms over each separator
+  /// C — seeds the shared ancestors here first and every burst member then
+  /// resolves in single-step refinements. Empty sets are ignored.
+  void PrewarmSubsets(const std::vector<AttrSet>& sets);
 
   /// H(a | c) = H(a u c) - H(c).
   double ConditionalEntropy(AttrSet a, AttrSet c);
@@ -134,8 +163,11 @@ class EntropyEngine {
     uint64_t last_used = 0;
   };
 
-  /// Computes H(attrs) on a cache miss; called without holding mu_.
-  double ComputeEntropy(AttrSet attrs);
+  /// Computes H(attrs) on a cache miss; called without holding mu_. When
+  /// `materialize_final` is set, the last refinement step builds and caches
+  /// the full partition of `attrs` instead of taking the fused
+  /// entropy-only pass (the PrewarmSubsets path).
+  double ComputeEntropy(AttrSet attrs, bool materialize_final = false);
 
   /// Inserts a partition and evicts LRU entries past the budget. Requires
   /// mu_ held.
@@ -143,6 +175,39 @@ class EntropyEngine {
 
   /// Resolved BatchEntropy pool size for a batch of n terms.
   uint32_t PoolSizeFor(size_t n) const;
+
+  /// One batch in flight on the persistent pool. Heap-held via shared_ptr
+  /// so a worker waking late for an already-finished batch touches valid
+  /// (exhausted) state instead of a reused slot. `fn` points into the
+  /// submitting frame; it is only dereferenced for claimed indexes < n,
+  /// all of which are processed before the submitter returns.
+  struct PoolBatch {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    /// Parked workers beyond this many skip the batch: notify_all wakes
+    /// the whole roster, but a batch sized for fewer participants (misses
+    /// are scarce) must not pay the cache-mutex contention of all of them.
+    uint32_t max_helpers = 0;
+    std::atomic<uint32_t> helpers{0};
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+  };
+
+  /// Runs fn(0..n-1) with `workers` total participants (the calling thread
+  /// included), blocking until every index is processed. Pool threads are
+  /// spawned lazily on first use and parked between batches — the miner
+  /// submits one small batch per hill-climb sweep, so per-batch thread
+  /// spawns would dominate the work.
+  void RunOnPool(size_t n, uint32_t workers,
+                 const std::function<void(size_t)>& fn);
+
+  /// Claims and processes indexes of `batch` until none remain; notifies
+  /// the submitter when the last index completes.
+  void TakeBatchShare(PoolBatch* batch);
+
+  /// The parked worker loop: wait for a new batch epoch, share in it,
+  /// repeat until shutdown.
+  void PoolWorkerLoop();
 
   ColumnStore store_;
   EngineOptions options_;
@@ -158,6 +223,18 @@ class EntropyEngine {
   size_t partition_bytes_ = 0;
   uint64_t tick_ = 0;
   EngineStats stats_;
+
+  /// Persistent batch pool. One batch runs at a time (pool_submit_mu_);
+  /// pool_mu_ guards the worker roster, the current-batch slot, and the
+  /// epoch counter the parked workers watch.
+  std::mutex pool_submit_mu_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_wake_cv_;
+  std::condition_variable pool_done_cv_;
+  std::vector<std::thread> pool_;
+  std::shared_ptr<PoolBatch> pool_batch_;
+  uint64_t pool_epoch_ = 0;
+  bool pool_shutdown_ = false;
 };
 
 }  // namespace ajd

@@ -269,6 +269,58 @@ TEST(AnalysisSession, ParallelMinerMatchesSerial) {
   EXPECT_NEAR(a.sum_split_cmi, b.sum_split_cmi, 1e-9);
 }
 
+TEST(EntropyEngine, PrewarmSubsetsSeedsPartitionsAndPreservesValues) {
+  Rng rng(911);
+  Relation r = testing_util::RandomTestRelation(&rng, 5, 4, 120);
+  EntropyEngine engine(&r);
+  // Prewarm materializes the full partition of each set (plain Entropy
+  // would take the fused entropy-only pass on the last step), and ignores
+  // empty sets and duplicates.
+  std::vector<AttrSet> seeds = {AttrSet{0}, AttrSet{0, 1}, AttrSet{0, 1},
+                                AttrSet()};
+  engine.PrewarmSubsets(seeds);
+  EXPECT_GE(engine.PartitionCacheSize(), 2u);
+  // Values answered after the prewarm match the reference path.
+  for (AttrSet s : {AttrSet{0}, AttrSet{0, 1}, AttrSet{0, 1, 2}}) {
+    EXPECT_NEAR(engine.Entropy(s), EntropyOf(r, s), 1e-9);
+  }
+  // A superset query now refines from the warmed ancestor instead of
+  // rebuilding from a raw column.
+  EngineStats before = engine.Stats();
+  engine.Entropy(AttrSet{0, 1, 3});
+  EngineStats after = engine.Stats();
+  EXPECT_GT(after.base_reuses, before.base_reuses);
+}
+
+TEST(EntropyEngine, PrewarmedEntropyValueIsUnchanged) {
+  // Prewarming after a value is cached must not overwrite it, and
+  // prewarming before must yield the same number the fused path would
+  // report (to fp accumulation order).
+  Rng rng(912);
+  Relation r = RandomMultisetRelation(&rng, 4, 3, 200);
+  EntropyEngine cold(&r);
+  double fused = cold.Entropy(AttrSet{0, 1, 2});
+  EntropyEngine warmed(&r);
+  warmed.PrewarmSubsets({AttrSet{0, 1, 2}});
+  EXPECT_NEAR(warmed.Entropy(AttrSet{0, 1, 2}), fused, 1e-9);
+  cold.PrewarmSubsets({AttrSet{0, 1, 2}});
+  EXPECT_EQ(cold.Entropy(AttrSet{0, 1, 2}), fused);
+}
+
+TEST(AnalysisSession, ReleaseDropsTheEngine) {
+  Rng rng(913);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 3, 50);
+  AnalysisSession session;
+  session.EngineFor(r).Entropy(AttrSet{0, 1});
+  EXPECT_EQ(session.NumRelations(), 1u);
+  EXPECT_TRUE(session.Release(r));
+  EXPECT_EQ(session.NumRelations(), 0u);
+  EXPECT_FALSE(session.Release(r));  // nothing left to drop
+  // A fresh engine serves the relation again after the release.
+  EXPECT_NEAR(session.EngineFor(r).Entropy(AttrSet{0, 1}),
+              EntropyOf(r, AttrSet{0, 1}), 1e-9);
+}
+
 TEST(EntropyCalculator, SessionBackedSharesCache) {
   Rng rng(908);
   Relation r = testing_util::RandomTestRelation(&rng, 4, 3, 80);

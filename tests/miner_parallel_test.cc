@@ -1,0 +1,88 @@
+// Determinism of the parallelized mining hot path: threaded engines batch
+// candidate scoring, but selection always happens after a batch completes,
+// in mask order, so the mined tree and every reported score must be
+// independent of the thread count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "discovery/miner.h"
+#include "engine/analysis_session.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+// Randomized matrix over attrs/rows/threads: for every relation the serial
+// rendering is the reference and every thread count must reproduce it
+// byte for byte (FormatDouble rounds away the <= 1e-12 fp-accumulation
+// wiggle different cache-fill orders can produce).
+TEST(MinerParallel, MatchesSerialAcrossMatrix) {
+  Rng rng(4242);
+  const uint32_t attr_counts[] = {4, 5, 6};
+  const uint32_t row_counts[] = {50, 140};
+  const uint32_t thread_counts[] = {2, 4};
+  for (uint32_t attrs : attr_counts) {
+    for (uint32_t rows : row_counts) {
+      Relation r = testing_util::RandomTestRelation(&rng, attrs, 3, rows);
+      MinerOptions options;
+      options.max_bag_size = 2;
+      options.seed = 99;
+      options.num_threads = 1;
+      MinerReport serial = MineJoinTree(r, options).value();
+      const std::string expected = serial.ToString(r.schema());
+      for (uint32_t threads : thread_counts) {
+        options.num_threads = threads;
+        MinerReport threaded = MineJoinTree(r, options).value();
+        EXPECT_EQ(threaded.ToString(r.schema()), expected)
+            << "attrs=" << attrs << " rows=" << rows
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// 18 loose attributes with size-<=1 separators put ~17 units in every
+// neighborhood, which overflows the exhaustive mask space and forces the
+// hill-climb path. The batched neighborhood scoring (threaded) must walk
+// the exact trajectory of flip-at-a-time scoring (serial): same restarts,
+// same steepest-descent flip choices, same final report.
+TEST(MinerParallel, BatchedHillClimbMatchesFlipAtATime) {
+  Rng rng(777);
+  Relation r = testing_util::RandomTestRelation(&rng, 18, 2, 90);
+  MinerOptions options;
+  options.max_separator_size = 1;
+  options.max_bag_size = 12;
+  options.hill_climb_restarts = 2;
+  options.seed = 7;
+  options.num_threads = 1;
+  MinerReport serial = MineJoinTree(r, options).value();
+  ASSERT_GE(serial.splits.size(), 1u);
+  options.num_threads = 4;
+  MinerReport threaded = MineJoinTree(r, options).value();
+  EXPECT_EQ(threaded.ToString(r.schema()), serial.ToString(r.schema()));
+}
+
+// The session overload must be just as thread-count-agnostic, and the
+// session arriving pre-warmed (a prior mine over the same relation) must
+// not change the answer either.
+TEST(MinerParallel, WarmSessionDoesNotChangeTheAnswer) {
+  Rng rng(4711);
+  Relation r = testing_util::RandomTestRelation(&rng, 5, 3, 120);
+  MinerOptions options;
+  options.max_bag_size = 2;
+  MinerReport cold = MineJoinTree(r, options).value();
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  AnalysisSession session(engine_options);
+  MinerReport first = MineJoinTree(&session, r, options).value();
+  MinerReport again = MineJoinTree(&session, r, options).value();
+  EXPECT_EQ(first.ToString(r.schema()), cold.ToString(r.schema()));
+  EXPECT_EQ(again.ToString(r.schema()), cold.ToString(r.schema()));
+}
+
+}  // namespace
+}  // namespace ajd
