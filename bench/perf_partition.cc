@@ -1,0 +1,263 @@
+// Experiment PERF-PARTITION — kernel-by-kernel ns/row of the partition
+// refinement suite (engine/refine_kernels.h) over cardinality and skew
+// sweeps, plus the fused multi-column kernels against the chains they
+// replace.
+//
+// The adaptive thresholds (kDenseCardinalityMax, the sort cutover at
+// cardinality >= mass, the SIMD block gate) were picked from this sweep;
+// rerun it when the hardware changes. Every timed case first asserts that
+// the kernel under test produces output IDENTICAL to the reference scalar
+// path — block boundaries, block order, row order, and bit-for-bit entropy
+// — so the bench doubles as an equivalence guard and exits 1 on mismatch.
+//
+// One machine-readable JSON line per case. `--smoke` shrinks sizes to keep
+// the guard and the emitter alive in CI, where shared-runner timings mean
+// nothing.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/column_store.h"
+#include "engine/partition.h"
+#include "engine/refine_kernels.h"
+#include "random/rng.h"
+
+namespace {
+
+using namespace ajd;
+
+double NowNs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// A synthetic dense column. skew == 0 is uniform; higher skews concentrate
+// mass on low codes (u^(1+skew) keeps codes in range and head-heavy), with
+// code 0 re-densified so every code < cardinality stays possible.
+Column MakeColumn(uint32_t rows, uint32_t cardinality, double skew,
+                  Rng* rng) {
+  Column col;
+  col.cardinality = cardinality;
+  col.codes.resize(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    if (skew == 0.0) {
+      col.codes[i] = static_cast<uint32_t>(rng->UniformU64(cardinality));
+    } else {
+      const double u = rng->NextDouble();
+      const double v = std::pow(u, 1.0 + skew);
+      uint32_t c = static_cast<uint32_t>(v * cardinality);
+      col.codes[i] = c >= cardinality ? cardinality - 1 : c;
+    }
+  }
+  return col;
+}
+
+bool SamePartition(const Partition& a, const Partition& b) {
+  if (a.NumBlocks() != b.NumBlocks()) return false;
+  if (a.NumStrippedRows() != b.NumStrippedRows()) return false;
+  for (uint32_t blk = 0; blk < a.NumBlocks(); ++blk) {
+    if (a.BlockSize(blk) != b.BlockSize(blk)) return false;
+    const uint32_t* pa = a.BlockBegin(blk);
+    const uint32_t* pb = b.BlockBegin(blk);
+    for (uint32_t i = 0; i < a.BlockSize(blk); ++i) {
+      if (pa[i] != pb[i]) return false;
+    }
+  }
+  return true;
+}
+
+bool g_all_ok = true;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "MISMATCH: %s\n", what);
+    g_all_ok = false;
+  }
+}
+
+const char* KernelName(RefineKernel k) {
+  switch (k) {
+    case RefineKernel::kAuto:
+      return "auto";
+    case RefineKernel::kDense:
+      return "dense";
+    case RefineKernel::kMid:
+      return "mid";
+    case RefineKernel::kSort:
+      return "sort";
+  }
+  return "?";
+}
+
+// Times fn() (already-verified work) and returns the best-of-reps wall ns.
+template <typename Fn>
+double TimeNs(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = NowNs();
+    fn();
+    const double dt = NowNs() - t0;
+    if (r == 0 || dt < best) best = dt;
+  }
+  return best;
+}
+
+void EmitLine(bool smoke, const char* op, const char* kernel, uint32_t rows,
+              uint64_t mass, uint32_t cardinality, double skew,
+              double ns_per_row) {
+  std::printf(
+      "{\"bench\":\"perf_partition\",\"smoke\":%s,\"op\":\"%s\","
+      "\"kernel\":\"%s\",\"rows\":%u,\"mass\":%llu,\"cardinality\":%u,"
+      "\"skew\":%.1f,\"ns_per_row\":%.2f,\"simd\":%s}\n",
+      smoke ? "true" : "false", op, kernel, rows,
+      static_cast<unsigned long long>(mass), cardinality, skew, ns_per_row,
+      SimdTallyEnabled() ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const uint32_t kRows = smoke ? 20000 : 1000000;
+  const int kReps = smoke ? 1 : 3;
+  Rng rng(20260730);
+
+  // The base partition every kernel refines: a medium-cardinality grouping,
+  // so blocks span the tiny-to-large spectrum the engine actually sees.
+  Column base_col = MakeColumn(kRows, 64, 0.0, &rng);
+  Partition base = Partition::OfColumn(base_col);
+  const uint64_t mass = base.NumStrippedRows();
+
+  const std::vector<uint32_t> cards = {4,     64,        4096,
+                                       65536, kRows / 2, 2 * kRows};
+  const std::vector<double> skews = {0.0, 3.0};
+  for (uint32_t card : cards) {
+    for (double skew : skews) {
+      Column col = MakeColumn(kRows, card, skew, &rng);
+      // Reference outputs from the forced-scalar path.
+      Partition ref = base.RefinedBy(col, RefineKernel::kDense);
+      const double ref_h = base.RefinedEntropy(col, kRows,
+                                               RefineKernel::kDense);
+      for (RefineKernel k : {RefineKernel::kDense, RefineKernel::kMid,
+                             RefineKernel::kSort, RefineKernel::kAuto}) {
+        Check(SamePartition(ref, base.RefinedBy(col, k)),
+              "RefinedBy kernel vs dense");
+        Check(ref_h == base.RefinedEntropy(col, kRows, k),
+              "RefinedEntropy kernel vs dense (bitwise)");
+        const double refine_ns =
+            TimeNs(kReps, [&] { base.RefinedBy(col, k); });
+        EmitLine(smoke, "refine", KernelName(k), kRows, mass, card, skew,
+                 refine_ns / static_cast<double>(mass));
+        const double entropy_ns =
+            TimeNs(kReps, [&] { base.RefinedEntropy(col, kRows, k); });
+        EmitLine(smoke, "entropy", KernelName(k), kRows, mass, card, skew,
+                 entropy_ns / static_cast<double>(mass));
+      }
+    }
+  }
+
+  // Fused multi-column kernels vs the chains they replace (k = 2, 3).
+  for (size_t k = 2; k <= 3; ++k) {
+    std::vector<Column> cols;
+    std::vector<const Column*> ptrs;
+    uint32_t product = 1;
+    for (size_t j = 0; j < k; ++j) {
+      cols.push_back(MakeColumn(kRows, 16, j == 0 ? 0.0 : 2.0, &rng));
+      product *= 16;
+    }
+    for (const Column& c : cols) ptrs.push_back(&c);
+
+    Partition chained = base;
+    for (size_t j = 0; j + 1 < k; ++j) chained = chained.RefinedBy(cols[j]);
+    const double chain_h = chained.RefinedEntropy(cols[k - 1], kRows);
+    Partition chain_full = chained.RefinedBy(cols[k - 1]);
+
+    Check(SamePartition(chain_full,
+                        base.RefinedByAll(ptrs.data(), k, product)),
+          "RefinedByAll vs RefinedBy chain");
+    Check(chain_h ==
+              base.RefinedEntropyAll(ptrs.data(), k, product, kRows),
+          "RefinedEntropyAll vs chain (bitwise)");
+    const std::string op_m = "fused" + std::to_string(k) + "_materialize";
+    const std::string op_e = "fused" + std::to_string(k) + "_entropy";
+    const std::string op_cm = "chain" + std::to_string(k) + "_materialize";
+    const std::string op_ce = "chain" + std::to_string(k) + "_entropy";
+    EmitLine(smoke, op_m.c_str(), "fused", kRows, mass, product, 0.0,
+             TimeNs(kReps, [&] { base.RefinedByAll(ptrs.data(), k, product); }) /
+                 static_cast<double>(mass));
+    EmitLine(smoke, op_e.c_str(), "fused", kRows, mass, product, 0.0,
+             TimeNs(kReps,
+                    [&] {
+                      base.RefinedEntropyAll(ptrs.data(), k, product, kRows);
+                    }) /
+                 static_cast<double>(mass));
+    EmitLine(smoke, op_cm.c_str(), "chain", kRows, mass, product, 0.0,
+             TimeNs(kReps,
+                    [&] {
+                      Partition p = base;
+                      for (size_t j = 0; j < k; ++j) p = p.RefinedBy(cols[j]);
+                    }) /
+                 static_cast<double>(mass));
+    EmitLine(smoke, op_ce.c_str(), "chain", kRows, mass, product, 0.0,
+             TimeNs(kReps,
+                    [&] {
+                      Partition p = base;
+                      for (size_t j = 0; j + 1 < k; ++j) {
+                        p = p.RefinedBy(cols[j]);
+                      }
+                      p.RefinedEntropy(cols[k - 1], kRows);
+                    }) /
+                 static_cast<double>(mass));
+
+    if (k == 2) {
+      // The chain-finale kernel: materialize + final entropy in one pass.
+      Partition fin;
+      const double fin_h =
+          base.RefinedByWithEntropy(cols[0], cols[1], product, kRows, &fin);
+      Partition step = base.RefinedBy(cols[0]);
+      Check(SamePartition(step, fin), "RefinedByWithEntropy partition");
+      Check(step.RefinedEntropy(cols[1], kRows) == fin_h,
+            "RefinedByWithEntropy entropy (bitwise)");
+      EmitLine(smoke, "finale2", "fused", kRows, mass, product, 0.0,
+               TimeNs(kReps,
+                      [&] {
+                        Partition p;
+                        base.RefinedByWithEntropy(cols[0], cols[1], product,
+                                                  kRows, &p);
+                      }) /
+                   static_cast<double>(mass));
+    }
+  }
+
+  // Near-key OfColumn: the sort path must match the counting construction.
+  {
+    Column near_key = MakeColumn(kRows, 2 * kRows, 0.0, &rng);
+    Partition via_sort = Partition::OfColumn(near_key);
+    Partition via_refine =
+        Partition::Trivial(kRows).RefinedBy(near_key, RefineKernel::kDense);
+    // OfColumn emits blocks in code order; Trivial-refine in
+    // first-occurrence order. For a non-densified synthetic column the two
+    // orders differ, so compare mass/blocks plus entropy (order-free).
+    Check(via_sort.NumStrippedRows() == via_refine.NumStrippedRows(),
+          "near-key OfColumn stripped mass");
+    Check(via_sort.NumBlocks() == via_refine.NumBlocks(),
+          "near-key OfColumn block count");
+    Check(std::abs(via_sort.EntropyNats(kRows) -
+                   via_refine.EntropyNats(kRows)) < 1e-12,
+          "near-key OfColumn entropy");
+    EmitLine(smoke, "of_column_near_key", "sort", kRows, kRows, 2 * kRows,
+             0.0,
+             TimeNs(kReps, [&] { Partition::OfColumn(near_key); }) /
+                 static_cast<double>(kRows));
+  }
+
+  return g_all_ok ? 0 : 1;
+}

@@ -315,6 +315,7 @@ Result<MinerReport> MineJoinTree(const Relation& r,
                                  const MinerOptions& options) {
   EngineOptions engine_options;
   engine_options.num_threads = options.num_threads;
+  engine_options.worker_pool = options.worker_pool;
   AnalysisSession session(engine_options);
   return MineJoinTree(&session, r, options);
 }

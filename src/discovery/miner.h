@@ -17,6 +17,7 @@
 #define AJD_DISCOVERY_MINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,6 +30,7 @@
 namespace ajd {
 
 class AnalysisSession;  // engine/analysis_session.h
+class WorkerPool;       // engine/worker_pool.h
 
 /// Tuning knobs for the miner.
 struct MinerOptions {
@@ -53,6 +55,11 @@ struct MinerOptions {
   /// buy wall clock, not different answers. The session overload uses the
   /// session's own EngineOptions instead.
   uint32_t num_threads = 1;
+  /// Batch pool for the convenience overload's session. nullptr = the
+  /// process-wide shared pool; inject one to isolate a miner run's
+  /// threading from the rest of the process. The session overload uses the
+  /// session's pool instead.
+  std::shared_ptr<WorkerPool> worker_pool;
 };
 
 /// One accepted split, for diagnostics.

@@ -7,7 +7,13 @@
 namespace ajd {
 
 AnalysisSession::AnalysisSession(EngineOptions options)
-    : options_(options) {}
+    : options_(std::move(options)) {
+  // Resolve the pool once at session scope: engines created later all
+  // share it, and TotalStats/worker_pool() observers need a stable handle.
+  if (options_.worker_pool == nullptr) {
+    options_.worker_pool = WorkerPool::Shared();
+  }
+}
 
 EntropyEngine& AnalysisSession::EngineFor(const Relation& r) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -49,6 +55,7 @@ EngineStats AnalysisSession::TotalStats() const {
     total.base_reuses += s.base_reuses;
     total.partition_builds += s.partition_builds;
     total.refinements += s.refinements;
+    total.fused_refinements += s.fused_refinements;
     total.evictions += s.evictions;
   }
   return total;

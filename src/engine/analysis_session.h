@@ -18,11 +18,19 @@
 #include <unordered_map>
 
 #include "engine/entropy_engine.h"
+#include "engine/worker_pool.h"
 #include "relation/relation.h"
 
 namespace ajd {
 
 /// Owns one EntropyEngine per relation, created lazily on first use.
+///
+/// The session also owns the batch pool its engines fan out on: the
+/// constructor resolves EngineOptions::worker_pool once (defaulting to the
+/// process-wide WorkerPool::Shared()), so every engine of the session —
+/// and, by default, every session in the process — submits batches to ONE
+/// pool that serializes them, instead of each engine spawning its own
+/// threads and oversubscribing the machine on many-relation sweeps.
 class AnalysisSession {
  public:
   explicit AnalysisSession(EngineOptions options = {});
@@ -48,8 +56,11 @@ class AnalysisSession {
   /// Aggregated counters across all engines.
   EngineStats TotalStats() const;
 
-  /// The options new engines are created with.
+  /// The options new engines are created with (worker_pool resolved).
   const EngineOptions& options() const { return options_; }
+
+  /// The batch pool shared by all of this session's engines.
+  WorkerPool& worker_pool() const { return *options_.worker_pool; }
 
  private:
   EngineOptions options_;

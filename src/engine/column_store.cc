@@ -1,6 +1,10 @@
 #include "engine/column_store.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "util/math.h"
 
 namespace ajd {
 
@@ -42,10 +46,71 @@ Column DensifyColumn(const Relation& r, uint32_t pos) {
 
 }  // namespace
 
+// Builds the sampled distinct curve for one dense column: sample_size rows
+// spread evenly (and deterministically) across the relation, with distinct
+// counts recorded at power-of-two prefixes. One pass over at most
+// kMaxSamples rows, so sketching every column of a wide relation stays
+// cheap next to a single refinement.
+DistinctSketch BuildSketch(const Column& col) {
+  DistinctSketch sketch;
+  const uint64_t n = col.codes.size();
+  if (n == 0) return sketch;
+  const uint32_t s = static_cast<uint32_t>(
+      std::min<uint64_t>(n, DistinctSketch::kMaxSamples));
+  sketch.sample_size = s;
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(s);
+  uint32_t next_record = 1;
+  for (uint32_t i = 0; i < s; ++i) {
+    // i-th sample at floor(i * n / s): even coverage without an RNG, so
+    // the sketch — and every ordering decision made from it — is
+    // reproducible across runs and thread counts.
+    seen.insert(col.codes[i * n / s]);
+    if (i + 1 == next_record || i + 1 == s) {
+      sketch.prefix_at.push_back(i + 1);
+      sketch.distinct_at.push_back(static_cast<uint32_t>(seen.size()));
+      while (next_record <= i + 1) next_record *= 2;
+    }
+  }
+  return sketch;
+}
+
+double DistinctSketch::EstimateDistinct(uint64_t m,
+                                        uint32_t cardinality) const {
+  if (m == 0 || sample_size == 0) return 0.0;
+  const double card = static_cast<double>(cardinality);
+  if (m >= sample_size) {
+    // Beyond the sample, extrapolate the average show-up rate; the true
+    // curve is concave, so this overestimates — but it is clamped by the
+    // cardinality, and relative order among saturated columns is what the
+    // caller needs.
+    const double extrapolated = static_cast<double>(distinct_at.back()) *
+                                static_cast<double>(m) /
+                                static_cast<double>(sample_size);
+    return std::min(extrapolated, card);
+  }
+  // Piecewise-linear interpolation between the recorded prefixes.
+  size_t hi = 0;
+  while (prefix_at[hi] < m) ++hi;
+  if (prefix_at[hi] == m || hi == 0) {
+    return std::min(static_cast<double>(distinct_at[hi]), card);
+  }
+  const double x0 = static_cast<double>(prefix_at[hi - 1]);
+  const double x1 = static_cast<double>(prefix_at[hi]);
+  const double y0 = static_cast<double>(distinct_at[hi - 1]);
+  const double y1 = static_cast<double>(distinct_at[hi]);
+  const double y =
+      y0 + (y1 - y0) * (static_cast<double>(m) - x0) / (x1 - x0);
+  return std::min(y, card);
+}
+
 ColumnStore::ColumnStore(const Relation* r)
     : r_(r),
       columns_(r != nullptr ? r->NumAttrs() : 0),
       built_(std::make_unique<std::once_flag[]>(
+          r != nullptr ? r->NumAttrs() : 0)),
+      sketches_(r != nullptr ? r->NumAttrs() : 0),
+      sketch_built_(std::make_unique<std::once_flag[]>(
           r != nullptr ? r->NumAttrs() : 0)) {
   AJD_CHECK(r != nullptr);
 }
@@ -55,6 +120,36 @@ const Column& ColumnStore::column(uint32_t pos) const {
   std::call_once(built_[pos],
                  [this, pos] { columns_[pos] = DensifyColumn(*r_, pos); });
   return columns_[pos];
+}
+
+const DistinctSketch& ColumnStore::sketch(uint32_t pos) const {
+  AJD_CHECK(pos < sketches_.size());
+  std::call_once(sketch_built_[pos],
+                 [this, pos] { sketches_[pos] = BuildSketch(column(pos)); });
+  return sketches_[pos];
+}
+
+Column ColumnStore::ComposeColumns(const std::vector<uint32_t>& attrs) const {
+  AJD_CHECK(!attrs.empty());
+  const uint64_t n = NumRows();
+  Column out;
+  uint64_t product = 1;
+  for (uint32_t a : attrs) {
+    product *= column(a).cardinality;
+    AJD_CHECK(product <= UINT32_MAX);
+  }
+  out.cardinality = static_cast<uint32_t>(product);
+  out.codes.resize(n);
+  const Column& first = column(attrs[0]);
+  for (uint64_t i = 0; i < n; ++i) out.codes[i] = first.codes[i];
+  for (size_t j = 1; j < attrs.size(); ++j) {
+    const Column& col = column(attrs[j]);
+    const uint32_t card = col.cardinality;
+    for (uint64_t i = 0; i < n; ++i) {
+      out.codes[i] = out.codes[i] * card + col.codes[i];
+    }
+  }
+  return out;
 }
 
 }  // namespace ajd

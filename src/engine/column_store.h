@@ -29,6 +29,30 @@ struct Column {
   uint32_t cardinality = 0;
 };
 
+/// Sampled distinct-count curve of one column: how many distinct values
+/// appear among the first 1, 2, 4, ... sampled rows (rows sampled evenly
+/// across the relation, deterministically). Global cardinality says how
+/// many values EXIST; this curve says how fast they SHOW UP — on a skewed
+/// column the two diverge sharply, and it is the show-up rate that predicts
+/// how well refining by the column splits a partition of a given stripped
+/// mass.
+struct DistinctSketch {
+  /// Rows sampled per column (capped by the row count).
+  static constexpr uint32_t kMaxSamples = 1024;
+
+  /// distinct_at[i] = distinct values among the first prefix_at[i] sampled
+  /// rows. Prefix sizes are 1, 2, 4, ... and finally sample_size.
+  std::vector<uint32_t> prefix_at;
+  std::vector<uint32_t> distinct_at;
+  uint32_t sample_size = 0;
+
+  /// Estimated number of distinct values among `m` rows of the column
+  /// (the splitting power against a stripped block of m rows). Piecewise
+  /// linear over the curve below the sample size, linear extrapolation
+  /// clamped to `cardinality` above it. Monotone in m.
+  double EstimateDistinct(uint64_t m, uint32_t cardinality) const;
+};
+
 /// Column-major view of a Relation. The relation must outlive the store.
 ///
 /// Columns densify lazily on first touch (thread-safe), so constructing a
@@ -50,10 +74,24 @@ class ColumnStore {
   /// The dense column for attribute `pos`, built on first use.
   const Column& column(uint32_t pos) const;
 
+  /// The sampled distinct sketch for attribute `pos`, built on first use
+  /// (densifies the column if needed). Thread-safe.
+  const DistinctSketch& sketch(uint32_t pos) const;
+
+  /// Materializes the mixed-radix composition of the given attributes'
+  /// columns into one temporary column: codes are
+  /// ((c0 * card1 + c1) * card2 + c2)..., cardinality the product (which
+  /// must fit uint32). Two rows share a composite code iff they agree on
+  /// every listed attribute, so the composite column induces the same
+  /// grouping as refining by the columns in sequence.
+  Column ComposeColumns(const std::vector<uint32_t>& attrs) const;
+
  private:
   const Relation* r_;
   mutable std::vector<Column> columns_;
   mutable std::unique_ptr<std::once_flag[]> built_;
+  mutable std::vector<DistinctSketch> sketches_;
+  mutable std::unique_ptr<std::once_flag[]> sketch_built_;
 };
 
 }  // namespace ajd

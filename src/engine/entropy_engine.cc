@@ -1,31 +1,37 @@
 #include "engine/entropy_engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <functional>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "engine/refine_kernels.h"
+#include "engine/worker_pool.h"
 #include "relation/row_hash.h"
 
 namespace ajd {
+
+namespace {
+
+// Fused refinement applies at most this many missing columns in one
+// composite pass. Deeper tails are rare (the cost model usually finds a
+// close cached base) and would dilute the intermediate-partition reuse the
+// cache lives on.
+constexpr size_t kMaxFuseColumns = 4;
+
+}  // namespace
 
 EntropyEngine::EntropyEngine(const Relation* r, EngineOptions options)
     : store_(r),
       options_(options),
       fingerprint_(RelationFingerprint(*r)),
+      pool_(options.worker_pool != nullptr ? options.worker_pool
+                                           : WorkerPool::Shared()),
       keys_by_count_(kMaxAttrs + 1) {}
 
-EntropyEngine::~EntropyEngine() {
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    pool_shutdown_ = true;
-  }
-  pool_wake_cv_.notify_all();
-  for (std::thread& t : pool_) t.join();
-}
+EntropyEngine::~EntropyEngine() = default;
 
 uint64_t EntropyEngine::RelationFingerprint(const Relation& r) {
   uint64_t h =
@@ -77,8 +83,16 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
   // choice is deterministic given the cache contents.
   std::shared_ptr<const Partition> base;
   AttrSet base_set;
+  bool cache_pressure = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Partition-cache pressure: evictions have happened and the cache sits
+    // near its budget, so intermediates cached now are unlikely to survive
+    // until a reuse — the signal that lets the fused path run (below)
+    // without starving future base lookups.
+    cache_pressure =
+        stats_.evictions > 0 &&
+        partition_bytes_ * 4 >= options_.partition_budget_bytes * 3;
     double best_cost = static_cast<double>(n) *
                        std::max<uint32_t>(attrs.Count(), 1);  // from scratch
     uint32_t best_level = 0;
@@ -88,68 +102,124 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
       // ln N) cannot be beaten; stop scanning the lattice the moment one
       // appears, or misses over a cache full of collapsed partitions turn
       // the scan itself into the bottleneck.
-      for (AttrSet key : keys_by_count_[level]) {
-        if (!key.IsSubsetOf(attrs)) continue;
-        auto it = partitions_.find(key);
-        const uint64_t mass = it->second.partition->NumStrippedRows();
+      for (const KeyEntry& entry : keys_by_count_[level]) {
+        if (!entry.set.IsSubsetOf(attrs)) continue;
         const uint32_t steps = attrs.Count() - level;
-        const double cost = static_cast<double>(mass) *
+        const double cost = static_cast<double>(entry.mass) *
                             std::max<uint32_t>(steps, 1);
         const bool better =
             cost < best_cost ||
             (cost == best_cost &&
-             (base == nullptr ||
-              (level == best_level && key < base_set)));
+             (best_level == 0 ||
+              (level == best_level && entry.set < base_set)));
         if (better) {
           best_cost = cost;
           best_level = level;
-          base_set = key;
-          base = it->second.partition;
+          base_set = entry.set;
           if (best_cost == 0.0) break;
         }
       }
     }
-    if (base != nullptr) {
+    if (best_level != 0) {
       auto it = partitions_.find(base_set);
+      base = it->second.partition;
       it->second.last_used = ++tick_;
       ++stats_.base_reuses;
     }
   }
 
   // Refine by the missing attributes in order of estimated block-splitting
-  // power: a column's distinct count saturated at the current stripped
-  // mass. Early on this is plain descending cardinality (wide columns
-  // shatter blocks fastest); once the mass has collapsed below the widest
-  // cardinalities, every saturated column splits equally well and the
-  // cheapest one — smallest counting-scratch footprint — goes first.
+  // power: the sampled distinct sketch's show-up rate at the current
+  // stripped mass (NOT the global cardinality — on skewed data a wide but
+  // head-heavy column splits far worse than its cardinality suggests).
+  // Early on this is roughly descending cardinality (wide columns shatter
+  // blocks fastest); once the mass has collapsed, every saturated column
+  // splits equally well and the cheapest one — smallest counting-scratch
+  // footprint — goes first. When fusion policy allows (see
+  // EngineOptions::max_fuse_columns) and the remaining columns'
+  // cardinality product fits the fuse budget, they are applied as ONE
+  // composite pass, bit-identical to a chain applied in the same (frozen)
+  // column order; an unfused chain may re-rank mid-way as the mass
+  // shrinks, so the two can differ by fp accumulation noise.
   std::vector<uint32_t> missing = attrs.Minus(base_set).ToIndices();
 
   uint64_t builds = 0;
   uint64_t refinements = 0;
+  uint64_t fused = 0;
   std::vector<std::pair<AttrSet, std::shared_ptr<const Partition>>> fresh;
   std::shared_ptr<const Partition> cur = std::move(base);
   AttrSet cur_set = base_set;
   double h = 0.0;
   bool have_h = false;
-  for (size_t i = 0; i < missing.size(); ++i) {
+  size_t i = 0;
+  while (i < missing.size()) {
     const uint64_t mass = cur == nullptr ? n : cur->NumStrippedRows();
-    // Pick the next column adaptively: max saturated splitting power,
-    // cheapest (narrowest) column among the saturated, index as the final
-    // deterministic tie-break.
-    size_t pick = i;
-    auto power = [&](uint32_t a) {
-      return std::min<uint64_t>(store_.column(a).cardinality, mass);
+    // Order the remaining columns: max estimated splitting power, narrowest
+    // column then index as deterministic tie-breaks (the sketch is itself
+    // deterministic, so serial and threaded runs order identically).
+    struct ColRank {
+      double power;
+      uint32_t cardinality;
+      uint32_t attr;
     };
-    for (size_t j = i + 1; j < missing.size(); ++j) {
-      const uint64_t pj = power(missing[j]);
-      const uint64_t pp = power(missing[pick]);
-      const uint32_t cj = store_.column(missing[j]).cardinality;
-      const uint32_t cp = store_.column(missing[pick]).cardinality;
-      if (pj > pp || (pj == pp && (cj < cp || (cj == cp && missing[j] <
-                                                              missing[pick]))))
-        pick = j;
+    ColRank ranks[kMaxAttrs];
+    const size_t tail = missing.size() - i;
+    for (size_t j = 0; j < tail; ++j) {
+      const uint32_t a = missing[i + j];
+      const Column& col = store_.column(a);
+      // Quantized to whole distinct values: sampling noise below one value
+      // must not reorder columns on unskewed data, where every column ties
+      // and the cardinality/index tie-breaks keep the old deterministic
+      // order. Genuine skew shifts the estimate by many values and wins.
+      const double p = std::floor(std::min(
+          store_.sketch(a).EstimateDistinct(mass, col.cardinality),
+          static_cast<double>(mass)));
+      ranks[j] = {p, col.cardinality, a};
     }
-    std::swap(missing[i], missing[pick]);
+    std::sort(ranks, ranks + tail, [](const ColRank& x, const ColRank& y) {
+      if (x.power != y.power) return x.power > y.power;
+      if (x.cardinality != y.cardinality) return x.cardinality < y.cardinality;
+      return x.attr < y.attr;
+    });
+    for (size_t j = 0; j < tail; ++j) missing[i + j] = ranks[j].attr;
+
+    // Fused tail: apply every remaining column in one composite pass when
+    // policy allows and the code space fits the budget. Fusing skips
+    // materializing AND caching the chain's intermediate partitions — the
+    // most-refined, smallest-mass entries, i.e. precisely the best future
+    // bases — so on reuse-heavy workloads (the miner's overlapping term
+    // sets) it loses more downstream than the skipped passes save, and it
+    // only runs when those intermediates would not survive anyway (cache
+    // pressure) or the caller forced it (max_fuse_columns >= 2).
+    const size_t remaining = tail;
+    const uint32_t fuse_limit =
+        options_.max_fuse_columns == 0
+            ? (cache_pressure ? kMaxFuseColumns : 1)
+            : std::min<uint32_t>(options_.max_fuse_columns, kMaxFuseColumns);
+    if (cur != nullptr && remaining >= 2 && remaining <= fuse_limit) {
+      const Column* cols[kMaxFuseColumns];
+      for (size_t j = 0; j < remaining; ++j) {
+        cols[j] = &store_.column(missing[i + j]);
+      }
+      const uint64_t composite_card =
+          FusedCardinality(cols, remaining, FuseBudget(mass));
+      if (composite_card > 0) {
+        refinements += remaining;
+        ++fused;
+        if (!materialize_final) {
+          h = cur->RefinedEntropyAll(
+              cols, remaining, static_cast<uint32_t>(composite_card), n);
+          have_h = true;
+          break;
+        }
+        cur = std::make_shared<Partition>(cur->RefinedByAll(
+            cols, remaining, static_cast<uint32_t>(composite_card)));
+        cur_set = attrs;
+        fresh.emplace_back(cur_set, cur);
+        i = missing.size();
+        break;
+      }
+    }
 
     const uint32_t a = missing[i];
     const Column& col = store_.column(a);
@@ -170,6 +240,7 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
     }
     cur_set.Add(a);
     fresh.emplace_back(cur_set, cur);
+    ++i;
     // All rows already unique: every superset partition is all-singletons
     // too, so H(attrs) = ln N and the remaining refinements are no-ops.
     if (cur->NumStrippedRows() == 0) {
@@ -191,6 +262,7 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.partition_builds += builds;
     stats_.refinements += refinements;
+    stats_.fused_refinements += fused;
     entropies_.emplace(attrs, h);
     for (auto& entry : fresh) {
       InsertPartitionLocked(entry.first, std::move(entry.second));
@@ -204,8 +276,8 @@ void EntropyEngine::InsertPartitionLocked(
   auto [it, inserted] = partitions_.emplace(attrs, CachedPartition{});
   if (inserted) {
     partition_bytes_ += p->MemoryBytes();
+    keys_by_count_[attrs.Count()].push_back({attrs, p->NumStrippedRows()});
     it->second.partition = std::move(p);
-    keys_by_count_[attrs.Count()].push_back(attrs);
   }
   it->second.last_used = ++tick_;
   // Evict least-recently-used partitions past the budget, sparing the entry
@@ -224,8 +296,10 @@ void EntropyEngine::InsertPartitionLocked(
     }
     if (victim == partitions_.end()) break;
     partition_bytes_ -= victim->second.partition->MemoryBytes();
-    std::vector<AttrSet>& bucket = keys_by_count_[victim->first.Count()];
-    auto pos = std::find(bucket.begin(), bucket.end(), victim->first);
+    std::vector<KeyEntry>& bucket = keys_by_count_[victim->first.Count()];
+    auto pos = std::find_if(
+        bucket.begin(), bucket.end(),
+        [&](const KeyEntry& e) { return e.set == victim->first; });
     AJD_CHECK(pos != bucket.end());
     *pos = bucket.back();
     bucket.pop_back();
@@ -254,61 +328,6 @@ uint32_t EntropyEngine::PoolSizeFor(size_t n) const {
       std::min<size_t>(threads, n / kMinMissesPerWorker));
 }
 
-void EntropyEngine::RunOnPool(size_t n, uint32_t workers,
-                              const std::function<void(size_t)>& fn) {
-  std::lock_guard<std::mutex> submit(pool_submit_mu_);
-  auto batch = std::make_shared<PoolBatch>();
-  batch->fn = &fn;
-  batch->n = n;
-  batch->max_helpers = workers - 1;
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    while (pool_.size() + 1 < workers) {
-      pool_.emplace_back([this] { PoolWorkerLoop(); });
-    }
-    pool_batch_ = batch;
-    ++pool_epoch_;
-  }
-  pool_wake_cv_.notify_all();
-  TakeBatchShare(batch.get());
-  std::unique_lock<std::mutex> lock(pool_mu_);
-  pool_done_cv_.wait(lock, [&] { return batch->completed.load() == n; });
-}
-
-void EntropyEngine::TakeBatchShare(PoolBatch* batch) {
-  const size_t n = batch->n;
-  while (true) {
-    size_t i = batch->next.fetch_add(1);
-    if (i >= n) return;
-    (*batch->fn)(i);
-    if (batch->completed.fetch_add(1) + 1 == n) {
-      // Notify under the waiter's mutex so the wakeup cannot be missed.
-      std::lock_guard<std::mutex> lock(pool_mu_);
-      pool_done_cv_.notify_all();
-    }
-  }
-}
-
-void EntropyEngine::PoolWorkerLoop() {
-  uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(pool_mu_);
-  while (true) {
-    pool_wake_cv_.wait(
-        lock, [&] { return pool_shutdown_ || pool_epoch_ != seen; });
-    if (pool_shutdown_) return;
-    seen = pool_epoch_;
-    // Snapshot the batch under the lock: a worker waking after this batch
-    // already finished (and a new one started) must share in the state its
-    // epoch observation belongs to, never a recycled slot.
-    std::shared_ptr<PoolBatch> batch = pool_batch_;
-    lock.unlock();
-    if (batch->helpers.fetch_add(1) < batch->max_helpers) {
-      TakeBatchShare(batch.get());
-    }
-    lock.lock();
-  }
-}
-
 void EntropyEngine::BatchEntropy(const AttrSet* sets, size_t n, double* out) {
   // Size the pool by *distinct misses*, not batch size: waking workers to
   // service cache hits costs more than the hits themselves (the miner
@@ -334,7 +353,7 @@ void EntropyEngine::BatchEntropy(const AttrSet* sets, size_t n, double* out) {
     std::function<void(size_t)> fn = [this, &misses](size_t i) {
       ComputeEntropy(misses[i]);
     };
-    RunOnPool(misses.size(), pool, fn);
+    pool_->Run(misses.size(), pool, fn);
   }
   for (size_t i = 0; i < n; ++i) out[i] = Entropy(sets[i]);
 }
@@ -369,7 +388,7 @@ void EntropyEngine::WarmEntropies(const std::vector<AttrSet>& sets) {
   std::function<void(size_t)> fn = [this, &need](size_t i) {
     ComputeEntropy(need[i]);
   };
-  RunOnPool(need.size(), pool, fn);
+  pool_->Run(need.size(), pool, fn);
 }
 
 void EntropyEngine::PrewarmSubsets(const std::vector<AttrSet>& sets) {
@@ -399,7 +418,7 @@ void EntropyEngine::PrewarmSubsets(const std::vector<AttrSet>& sets) {
   std::function<void(size_t)> fn = [this, &need](size_t i) {
     ComputeEntropy(need[i], /*materialize_final=*/true);
   };
-  RunOnPool(need.size(), pool, fn);
+  pool_->Run(need.size(), pool, fn);
 }
 
 double EntropyEngine::ConditionalEntropy(AttrSet a, AttrSet c) {

@@ -9,24 +9,25 @@
 // rows of T times the number of missing columns) and refines T's partition
 // by the dense columns of S \ T, instead of re-hashing N * |S| words from
 // scratch. Missing columns are applied in order of estimated
-// block-splitting power — distinct count saturated at the current stripped
-// mass — so the mass collapses as early as possible.
+// block-splitting power — the sampled distinct sketch's show-up rate at
+// the current stripped mass (engine/column_store.h) — so the mass
+// collapses as early as possible. When fusion policy allows
+// (EngineOptions::max_fuse_columns) and the remaining columns' cardinality
+// product fits the fuse budget, they are applied as ONE fused composite
+// pass (engine/refine_kernels.h) instead of a refinement chain.
 //
 // Thread safety: all public methods are safe to call concurrently; the
 // caches are guarded by a mutex and the heavy refinement work runs outside
-// it. BatchEntropy evaluates independent terms on a small std::thread pool
-// — the shape of the miner's candidate-split enumeration.
+// it. BatchEntropy evaluates independent terms on a WorkerPool
+// (engine/worker_pool.h) shared across engines — the shape of the miner's
+// candidate-split enumeration.
 #ifndef AJD_ENGINE_ENTROPY_ENGINE_H_
 #define AJD_ENGINE_ENTROPY_ENGINE_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,8 @@
 #include "relation/relation.h"
 
 namespace ajd {
+
+class WorkerPool;  // engine/worker_pool.h
 
 /// Tuning knobs for an EntropyEngine.
 struct EngineOptions {
@@ -52,6 +55,27 @@ struct EngineOptions {
   /// MinerOptions::num_threads and AnalysisSession plumb this knob through
   /// to the mining hot path.
   uint32_t num_threads = 1;
+  /// The batch pool to fan out on. nullptr = the process-wide shared pool
+  /// (WorkerPool::Shared()). AnalysisSession resolves this once, so all of
+  /// a session's engines share one pool and a many-relation sweep stops
+  /// oversubscribing cores.
+  std::shared_ptr<WorkerPool> worker_pool;
+  /// Most missing columns a cache miss may apply as ONE fused composite
+  /// pass (engine/refine_kernels.h) instead of a refinement chain. Fusing
+  /// skips materializing and caching the chain's intermediate partitions —
+  /// the smallest-mass, most-reusable future bases — so it trades future
+  /// base reuse for present speed. 0 (default) is adaptive: fuse only
+  /// while the partition cache is under eviction pressure, where
+  /// intermediates would be evicted before reuse anyway. 1 disables
+  /// fusion; 2..4 force fusing tails up to that length (the fit for
+  /// one-shot, low-reuse workloads). A fused pass is bit-identical to a
+  /// chain applied in the SAME column order; with 3+ columns the unfused
+  /// engine may re-rank the remaining columns mid-chain as the mass
+  /// shrinks, so toggling fusion can shift values within fp accumulation
+  /// noise (~1e-15 relative) — the same class, and the same rounded-output
+  /// guarantees, as the engine's documented serial-vs-threaded
+  /// nondeterminism. It never changes results beyond that.
+  uint32_t max_fuse_columns = 0;
 };
 
 /// Monotonically increasing counters describing engine behavior. Hit rate
@@ -61,7 +85,10 @@ struct EngineStats {
   uint64_t hits = 0;             ///< answered from the entropy cache.
   uint64_t base_reuses = 0;      ///< misses that refined a cached partition.
   uint64_t partition_builds = 0; ///< partitions built from a raw column.
-  uint64_t refinements = 0;      ///< RefinedBy steps performed.
+  uint64_t refinements = 0;      ///< single-column refinement steps applied
+                                 ///< (fused steps count once per column).
+  uint64_t fused_refinements = 0; ///< fused composite passes (each replaces
+                                  ///< 2+ chained refinement steps).
   uint64_t evictions = 0;        ///< partitions dropped for the budget.
 
   double HitRate() const {
@@ -176,65 +203,31 @@ class EntropyEngine {
   /// Resolved BatchEntropy pool size for a batch of n terms.
   uint32_t PoolSizeFor(size_t n) const;
 
-  /// One batch in flight on the persistent pool. Heap-held via shared_ptr
-  /// so a worker waking late for an already-finished batch touches valid
-  /// (exhausted) state instead of a reused slot. `fn` points into the
-  /// submitting frame; it is only dereferenced for claimed indexes < n,
-  /// all of which are processed before the submitter returns.
-  struct PoolBatch {
-    const std::function<void(size_t)>* fn = nullptr;
-    size_t n = 0;
-    /// Parked workers beyond this many skip the batch: notify_all wakes
-    /// the whole roster, but a batch sized for fewer participants (misses
-    /// are scarce) must not pay the cache-mutex contention of all of them.
-    uint32_t max_helpers = 0;
-    std::atomic<uint32_t> helpers{0};
-    std::atomic<size_t> next{0};
-    std::atomic<size_t> completed{0};
-  };
-
-  /// Runs fn(0..n-1) with `workers` total participants (the calling thread
-  /// included), blocking until every index is processed. Pool threads are
-  /// spawned lazily on first use and parked between batches — the miner
-  /// submits one small batch per hill-climb sweep, so per-batch thread
-  /// spawns would dominate the work.
-  void RunOnPool(size_t n, uint32_t workers,
-                 const std::function<void(size_t)>& fn);
-
-  /// Claims and processes indexes of `batch` until none remain; notifies
-  /// the submitter when the last index completes.
-  void TakeBatchShare(PoolBatch* batch);
-
-  /// The parked worker loop: wait for a new batch epoch, share in it,
-  /// repeat until shutdown.
-  void PoolWorkerLoop();
-
   ColumnStore store_;
   EngineOptions options_;
   uint64_t fingerprint_ = 0;
+  /// The shared batch pool (options_.worker_pool, or the process-wide
+  /// default). Engines only ever submit batches; the pool owns the
+  /// threads and serializes batches across engines.
+  std::shared_ptr<WorkerPool> pool_;
 
   mutable std::mutex mu_;
   std::unordered_map<AttrSet, double, AttrSetHash> entropies_;
   std::unordered_map<AttrSet, CachedPartition, AttrSetHash> partitions_;
+  /// One cached-partition index entry: the key and its (immutable)
+  /// stripped mass, so the best-base scan prices candidates without a
+  /// hash lookup per key.
+  struct KeyEntry {
+    AttrSet set;
+    uint64_t mass;
+  };
   /// Cached partition keys bucketed by popcount, so the best-base lookup
   /// scans the largest-subset levels first and stops at the first hit
   /// instead of walking the whole cache.
-  std::vector<std::vector<AttrSet>> keys_by_count_;
+  std::vector<std::vector<KeyEntry>> keys_by_count_;
   size_t partition_bytes_ = 0;
   uint64_t tick_ = 0;
   EngineStats stats_;
-
-  /// Persistent batch pool. One batch runs at a time (pool_submit_mu_);
-  /// pool_mu_ guards the worker roster, the current-batch slot, and the
-  /// epoch counter the parked workers watch.
-  std::mutex pool_submit_mu_;
-  std::mutex pool_mu_;
-  std::condition_variable pool_wake_cv_;
-  std::condition_variable pool_done_cv_;
-  std::vector<std::thread> pool_;
-  std::shared_ptr<PoolBatch> pool_batch_;
-  uint64_t pool_epoch_ = 0;
-  bool pool_shutdown_ = false;
 };
 
 }  // namespace ajd

@@ -4,75 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "engine/refine_kernels.h"
 #include "util/math.h"
 
 namespace ajd {
-
-namespace {
-
-// Thread-local scratch shared by the two block-scan loops (RefinedBy and
-// RefinedEntropy): code-indexed counters plus the list of codes touched in
-// the current block. Invariant: `count` is all-zero between blocks and
-// between calls — every user resets exactly the entries it touched.
-struct RefineScratch {
-  std::vector<uint32_t> count;    // code -> multiplicity within the block
-  std::vector<uint32_t> offset;   // code -> write cursor (RefinedBy only)
-  std::vector<uint32_t> touched;  // codes seen in the current block
-};
-
-RefineScratch& LocalScratch() {
-  static thread_local RefineScratch scratch;
-  return scratch;
-}
-
-// Releases pathologically large scratch when the guarded call finishes: a
-// single refinement against a near-key column sizes the code-indexed arrays
-// to that column's cardinality, and without the guard every worker thread
-// would pin that allocation for the rest of the process.
-class ScratchGuard {
- public:
-  ScratchGuard(RefineScratch* scratch, uint32_t cardinality)
-      : scratch_(scratch), cardinality_(cardinality) {
-    if (scratch_->count.size() < cardinality_) {
-      scratch_->count.resize(cardinality_, 0);
-      scratch_->offset.resize(cardinality_);
-    }
-  }
-
-  ScratchGuard(const ScratchGuard&) = delete;
-  ScratchGuard& operator=(const ScratchGuard&) = delete;
-
-  ~ScratchGuard() {
-    static constexpr size_t kKeepEntries = size_t{1} << 16;
-    const size_t cap = scratch_->count.capacity();
-    if (cap > kKeepEntries && cap / 4 > cardinality_) {
-      // This call was a spike relative to the steady state; drop the
-      // buffers entirely (the next call re-sizes to what it needs).
-      std::vector<uint32_t>().swap(scratch_->count);
-      std::vector<uint32_t>().swap(scratch_->offset);
-      std::vector<uint32_t>().swap(scratch_->touched);
-    }
-  }
-
- private:
-  RefineScratch* scratch_;
-  uint32_t cardinality_;
-};
-
-// The common counting pass: tallies the block's dense codes into
-// scratch->count, recording each first-seen code in scratch->touched. The
-// caller must zero the touched entries before the next block.
-inline void CountBlockCodes(const uint32_t* begin, const uint32_t* end,
-                            const std::vector<uint32_t>& codes,
-                            RefineScratch* scratch) {
-  scratch->touched.clear();
-  for (const uint32_t* p = begin; p != end; ++p) {
-    uint32_t c = codes[*p];
-    if (scratch->count[c]++ == 0) scratch->touched.push_back(c);
-  }
-}
-
-}  // namespace
 
 Partition Partition::Trivial(uint64_t num_rows) {
   AJD_CHECK(num_rows < UINT32_MAX);
@@ -91,6 +26,14 @@ Partition Partition::OfColumn(const Column& col) {
   AJD_CHECK(n < UINT32_MAX);
   Partition out;
   if (n == 0) return out;
+  if (col.cardinality >= n) {
+    // Near-key column: the counting construction below would allocate two
+    // cardinality-sized vectors (count + offset) to strip almost every
+    // row. The sort path's scratch is row-sized and its output — blocks in
+    // ascending code order, rows ascending — is identical.
+    SortPartitionOfColumn(col, PartitionBuild{&out.rows_, &out.starts_});
+    return out;
+  }
   std::vector<uint32_t> count(col.cardinality, 0);
   for (uint32_t c : col.codes) ++count[c];
   std::vector<uint32_t> offset(col.cardinality, UINT32_MAX);
@@ -115,64 +58,59 @@ Partition Partition::OfColumn(const Column& col) {
   return out;
 }
 
-Partition Partition::RefinedBy(const Column& col) const {
+Partition Partition::RefinedBy(const Column& col, RefineKernel kernel) const {
   Partition out;
-  if (NumBlocks() == 0) return out;
-  // Scratch over dense codes, reused across calls (refinement is the hot
-  // loop of every entropy miss); the guard sheds it again after a
-  // high-cardinality spike.
-  RefineScratch& scratch = LocalScratch();
-  ScratchGuard guard(&scratch, col.cardinality);
-  out.rows_.reserve(rows_.size());
-  out.starts_.push_back(0);
-  for (uint32_t b = 0; b < NumBlocks(); ++b) {
-    const uint32_t* begin = BlockBegin(b);
-    const uint32_t* end = BlockEnd(b);
-    CountBlockCodes(begin, end, col.codes, &scratch);
-    const uint32_t base = static_cast<uint32_t>(out.rows_.size());
-    uint32_t pos = 0;
-    for (uint32_t c : scratch.touched) {
-      if (scratch.count[c] >= 2) {
-        scratch.offset[c] = base + pos;
-        pos += scratch.count[c];
-        out.starts_.push_back(base + pos);
-      } else {
-        scratch.offset[c] = UINT32_MAX;
-      }
-    }
-    out.rows_.resize(base + pos);
-    for (const uint32_t* p = begin; p != end; ++p) {
-      uint32_t c = col.codes[*p];
-      if (scratch.offset[c] != UINT32_MAX) out.rows_[scratch.offset[c]++] = *p;
-      scratch.count[c] = 0;
-    }
-  }
-  if (out.starts_.size() == 1) out.starts_.clear();
-  // Drop reserve slack before the caller caches the result: the engine's
-  // budget counts capacity, and a sharply-shrinking refinement would
-  // otherwise pin parent-sized dead allocations in the cache.
+  // The kernel stages into thread-local scratch and copies out at exact
+  // size, so the result carries no dead capacity into the engine's cache.
+  RefineByColumn(PartitionView{rows_.data(), starts_.data(), NumBlocks()},
+                 col, kernel, PartitionBuild{&out.rows_, &out.starts_});
+  return out;
+}
+
+double Partition::RefinedEntropy(const Column& col, uint64_t num_rows,
+                                 RefineKernel kernel) const {
+  if (num_rows == 0) return 0.0;
+  return RefineEntropy(PartitionView{rows_.data(), starts_.data(),
+                                     NumBlocks()},
+                       col, kernel, num_rows);
+}
+
+Partition Partition::RefinedByAll(const Column* const* cols, size_t k,
+                                  uint32_t composite_card) const {
+  Partition out;
+  RefineByComposite(PartitionView{rows_.data(), starts_.data(), NumBlocks()},
+                    cols, k, composite_card,
+                    PartitionBuild{&out.rows_, &out.starts_});
   if (out.rows_.capacity() > out.rows_.size() + out.rows_.size() / 2) {
     out.rows_.shrink_to_fit();
   }
   return out;
 }
 
-double Partition::RefinedEntropy(const Column& col,
-                                 uint64_t num_rows) const {
+double Partition::RefinedEntropyAll(const Column* const* cols, size_t k,
+                                    uint32_t composite_card,
+                                    uint64_t num_rows) const {
   if (num_rows == 0) return 0.0;
-  RefineScratch& scratch = LocalScratch();
-  ScratchGuard guard(&scratch, col.cardinality);
-  double sum_clogc = 0.0;
-  for (uint32_t b = 0; b < NumBlocks(); ++b) {
-    CountBlockCodes(BlockBegin(b), BlockEnd(b), col.codes, &scratch);
-    for (uint32_t c : scratch.touched) {
-      // XLogX(1) == 0: sub-singletons vanish, exactly as if stripped.
-      sum_clogc += XLogX(static_cast<double>(scratch.count[c]));
-      scratch.count[c] = 0;
-    }
+  return RefineCompositeEntropy(
+      PartitionView{rows_.data(), starts_.data(), NumBlocks()}, cols, k,
+      composite_card, num_rows);
+}
+
+double Partition::RefinedByWithEntropy(const Column& c1, const Column& c2,
+                                       uint32_t composite_card,
+                                       uint64_t num_rows,
+                                       Partition* out) const {
+  if (num_rows == 0) {
+    *out = RefinedBy(c1);
+    return 0.0;
   }
-  const double n = static_cast<double>(num_rows);
-  return std::log(n) - sum_clogc / n;
+  const double h = RefineByColumnWithEntropy(
+      PartitionView{rows_.data(), starts_.data(), NumBlocks()}, c1, c2,
+      composite_card, num_rows, PartitionBuild{&out->rows_, &out->starts_});
+  if (out->rows_.capacity() > out->rows_.size() + out->rows_.size() / 2) {
+    out->rows_.shrink_to_fit();
+  }
+  return h;
 }
 
 double Partition::EntropyNats(uint64_t num_rows) const {
@@ -180,7 +118,7 @@ double Partition::EntropyNats(uint64_t num_rows) const {
   const double n = static_cast<double>(num_rows);
   double sum_clogc = 0.0;
   for (uint32_t b = 0; b < NumBlocks(); ++b) {
-    sum_clogc += XLogX(static_cast<double>(BlockSize(b)));
+    sum_clogc += XLogXCount(BlockSize(b));
   }
   return std::log(n) - sum_clogc / n;
 }

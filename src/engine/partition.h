@@ -18,31 +18,73 @@
 #include <vector>
 
 #include "engine/column_store.h"
+#include "engine/refine_kernels.h"
 
 namespace ajd {
 
 /// A stripped partition of row indices. Value type; refinement returns a
 /// fresh partition and never mutates its input, so cached partitions can be
 /// shared across threads read-only.
+///
+/// Invariant: rows within every block are in ascending order (every factory
+/// scans rows ascending, and refinement preserves relative order). The
+/// sort-based refinement kernel relies on it.
 class Partition {
  public:
   /// The trivial partition {all rows}: what the empty attribute set induces.
   static Partition Trivial(uint64_t num_rows);
 
-  /// The partition induced by one dense column (counting sort, O(N + card)).
+  /// The partition induced by one dense column. Counting sort (O(N + card))
+  /// while the cardinality is below the row count; a row-sized sort path
+  /// past that, so near-key columns stop allocating two cardinality-sized
+  /// vectors just to strip almost every row.
   static Partition OfColumn(const Column& col);
 
   /// The partition induced by this partition's attribute set plus the
   /// column's attribute: splits every block by the column's dense codes.
-  /// O(stripped rows + cardinality).
-  Partition RefinedBy(const Column& col) const;
+  /// The refinement kernel is chosen per call from the column cardinality
+  /// and the stripped mass (engine/refine_kernels.h); every kernel yields
+  /// bit-identical output. The two-argument form forces a kernel (tests
+  /// and benches).
+  Partition RefinedBy(const Column& col) const {
+    return RefinedBy(col, RefineKernel::kAuto);
+  }
+  Partition RefinedBy(const Column& col, RefineKernel kernel) const;
 
   /// H of the refined grouping WITHOUT materializing it: a single fused
   /// counting pass over the stripped rows. Equivalent to
   /// RefinedBy(col).EntropyNats(num_rows) at roughly half the cost — the
   /// right call for the last step of a refinement chain, where only the
   /// entropy (not a reusable partition) is needed.
-  double RefinedEntropy(const Column& col, uint64_t num_rows) const;
+  double RefinedEntropy(const Column& col, uint64_t num_rows) const {
+    return RefinedEntropy(col, num_rows, RefineKernel::kAuto);
+  }
+  double RefinedEntropy(const Column& col, uint64_t num_rows,
+                        RefineKernel kernel) const;
+
+  /// Fused multi-column refinement: identical output (block boundaries,
+  /// block order, row order) to RefinedBy(cols[0]).RefinedBy(cols[1])...,
+  /// in ONE pass over the stripped rows. `composite_card` must be the
+  /// product of the columns' cardinalities (see FusedCardinality), which
+  /// bounds the counting scratch.
+  Partition RefinedByAll(const Column* const* cols, size_t k,
+                         uint32_t composite_card) const;
+
+  /// Count-only form of RefinedByAll: bit-identical to chaining k-1
+  /// RefinedBy steps and one final RefinedEntropy.
+  double RefinedEntropyAll(const Column* const* cols, size_t k,
+                           uint32_t composite_card, uint64_t num_rows) const;
+
+  /// Chain finale: materializes RefinedBy(c1) into *out AND returns
+  /// RefinedBy(c1).RefinedEntropy(c2, num_rows) — both bit-identical to
+  /// the two-step chain — in one fused pass over this partition's rows.
+  /// The last count-only pass of a refinement chain re-gathers almost the
+  /// mass the penultimate step just scanned; here it dissolves into that
+  /// step's tally. `composite_card` must be the two cardinalities'
+  /// product (see FusedCardinality).
+  double RefinedByWithEntropy(const Column& c1, const Column& c2,
+                              uint32_t composite_card, uint64_t num_rows,
+                              Partition* out) const;
 
   /// H over the empirical distribution whose grouping this partition is,
   /// in nats: ln n - (1/n) sum_blocks c ln c. `num_rows` is |R| (the

@@ -1,0 +1,1094 @@
+#include "engine/refine_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/math.h"
+
+#if defined(__x86_64__) && !defined(AJD_DISABLE_SIMD)
+#include <immintrin.h>
+#define AJD_SIMD_AVX2 1
+#elif defined(__ARM_NEON) && !defined(AJD_DISABLE_SIMD)
+#include <arm_neon.h>
+#define AJD_SIMD_NEON 1
+#endif
+
+namespace ajd {
+
+namespace {
+
+// Thread-local scratch shared by every kernel. Invariant: `count` is
+// all-zero between blocks and between calls — every user resets exactly the
+// entries it touched.
+struct RefineScratch {
+  std::vector<uint32_t> count;      // code -> multiplicity within the block
+  std::vector<uint32_t> offset;     // code -> write cursor (materializing)
+  std::vector<uint32_t> touched;    // codes seen in the current block
+  std::vector<uint32_t> first_pos;  // finale: per-group emit-slot flags
+  std::vector<uint32_t> comp;       // fused: composite code per block row
+  std::vector<uint64_t> pairs;      // sort: (code << 32) | row
+  std::vector<uint64_t> pairs_tmp;  // sort: radix ping-pong buffer
+  std::vector<uint32_t> groups;     // sort/fused: flat group/leaf workspace
+  std::vector<uint32_t> leaf_keys;  // fused: (k-1) chain-order keys per leaf
+  // Fused-path per-prefix-level state (FusedTally/ChainOrderLeaves):
+  std::vector<uint32_t> lvl_seq;     // arena: prefix slot -> block rank
+  std::vector<uint32_t> lvl_touched; // arena slots to reset next block
+  // Chain-finale (RefineByColumnWithEntropy) per-c1-group state:
+  std::vector<uint32_t> count1;     // c1 code -> multiplicity within block
+  std::vector<uint32_t> seq1;       // c1 code -> index into touched1
+  std::vector<uint32_t> touched1;   // c1 codes seen, first-occurrence order
+  std::vector<uint32_t> leaf_group; // leaf -> its c1 group's seq, + cursors
+  // Output staging: kernels build the refined partition here (reused
+  // across calls, so no per-call allocation or zero-fill) and copy the
+  // exact-size result out once at the end — the cached partition then
+  // holds no dead capacity at all.
+  std::vector<uint32_t> stage_rows;
+  std::vector<uint32_t> stage_starts;
+  size_t block_watermark = 0;       // largest block touched this call
+  size_t stage_watermark = 0;       // largest staged mass this call
+};
+
+RefineScratch& LocalScratch() {
+  static thread_local RefineScratch scratch;
+  return scratch;
+}
+
+// c ln c for small integer counts, which is nearly every stripped block:
+// entropy passes call it once per distinct group, and std::log costs more
+// than the whole tally of a tiny block. Entries are XLogX(c) verbatim, so
+// substituting the table is bit-identical.
+constexpr uint32_t kXLogXTableSize = 1024;
+
+}  // namespace
+
+double XLogXCount(uint32_t c) {
+  static const std::vector<double>& table = *[] {
+    auto* t = new std::vector<double>(kXLogXTableSize);
+    for (uint32_t i = 0; i < kXLogXTableSize; ++i) {
+      (*t)[i] = XLogX(static_cast<double>(i));
+    }
+    return t;
+  }();
+  return c < kXLogXTableSize ? table[c] : XLogX(static_cast<double>(c));
+}
+
+namespace {
+
+// Releases pathologically large scratch when the guarded call finishes: a
+// single refinement against a near-key column (or a wide composite) sizes
+// the code-indexed arrays to that cardinality, and without the guard every
+// worker thread would pin that allocation for the rest of the process. The
+// sort buffers are sized by the largest block instead and shed by the same
+// spike rule.
+class ScratchGuard {
+ public:
+  // cardinality == 0 means the call needs no code-indexed arrays (sort
+  // path); they are left untouched and only the block-sized buffers are
+  // policed.
+  ScratchGuard(RefineScratch* scratch, uint64_t cardinality)
+      : scratch_(scratch), cardinality_(cardinality) {
+    scratch_->block_watermark = 0;
+    scratch_->stage_watermark = 0;
+    if (cardinality_ > 0 && scratch_->count.size() < cardinality_) {
+      scratch_->count.resize(cardinality_, 0);
+      scratch_->offset.resize(cardinality_);
+    }
+  }
+
+  ScratchGuard(const ScratchGuard&) = delete;
+  ScratchGuard& operator=(const ScratchGuard&) = delete;
+
+  ~ScratchGuard() {
+    static constexpr size_t kKeepEntries = size_t{1} << 16;
+    const size_t cap = scratch_->count.capacity();
+    // cardinality_ == 0 (sort path) never touched the counter arrays, so
+    // it must not judge — or shed — them.
+    if (cardinality_ > 0 && cap > kKeepEntries && cap / 4 > cardinality_) {
+      // This call was a spike relative to the steady state; drop the
+      // buffers entirely (the next call re-sizes to what it needs). The
+      // fused level arenas are sized by prefix-cardinality sums bounded by
+      // the same composite cardinality, so they follow the same rule.
+      std::vector<uint32_t>().swap(scratch_->count);
+      std::vector<uint32_t>().swap(scratch_->offset);
+      std::vector<uint32_t>().swap(scratch_->touched);
+      std::vector<uint32_t>().swap(scratch_->lvl_seq);
+      scratch_->lvl_touched.clear();
+      // The finale's c1-group arrays are bounded by the same composite
+      // cardinality that spiked; shed them with the counters.
+      std::vector<uint32_t>().swap(scratch_->count1);
+      std::vector<uint32_t>().swap(scratch_->seq1);
+    }
+    const size_t sort_cap = scratch_->pairs.capacity();
+    if (sort_cap > kKeepEntries && sort_cap / 4 > scratch_->block_watermark) {
+      std::vector<uint64_t>().swap(scratch_->pairs);
+      std::vector<uint64_t>().swap(scratch_->pairs_tmp);
+    }
+    // Block-sized buffers (largest block seen): same spike rule as pairs.
+    const size_t comp_cap = scratch_->comp.capacity();
+    if (comp_cap > kKeepEntries && comp_cap / 4 > scratch_->block_watermark) {
+      std::vector<uint32_t>().swap(scratch_->comp);
+      std::vector<uint32_t>().swap(scratch_->leaf_keys);
+      std::vector<uint32_t>().swap(scratch_->touched);
+    }
+    const size_t stage_cap = scratch_->stage_rows.capacity();
+    if (stage_cap > kKeepEntries && stage_cap / 4 > scratch_->stage_watermark) {
+      std::vector<uint32_t>().swap(scratch_->stage_rows);
+      std::vector<uint32_t>().swap(scratch_->stage_starts);
+    }
+  }
+
+ private:
+  RefineScratch* scratch_;
+  uint64_t cardinality_;
+};
+
+// ---------------------------------------------------------------------------
+// Counting tallies. Each fills scratch->count for the block and records the
+// first occurrence of every code in scratch->touched[0..t), returning t.
+// All variants tally in block-scan order, so the touched order — and with
+// it every downstream output — is identical across them.
+// ---------------------------------------------------------------------------
+
+// The branchless counting tally. `hard_end` is the end of the WHOLE
+// partition's row array, not the block: blocks are contiguous slices of
+// it, so the gather prefetch runs against the global end and keeps the
+// pipeline primed across block boundaries — the case that matters, since
+// refined partitions shatter into blocks far shorter than any useful
+// prefetch distance. kPrefetchCounts (the kMid variant) additionally
+// prefetches the count[code] line close ahead, for cardinalities whose
+// counter array no longer sits in cache; at dense cardinalities it is
+// pure overhead. kKeepCodes streams every gathered code into
+// s->comp[0..m), so a following scatter pass re-reads codes sequentially
+// from L1 instead of re-gathering — the gather is the dominant cost of a
+// refinement once the column outgrows L1.
+template <bool kPrefetchCounts, bool kKeepCodes>
+size_t Tally(const uint32_t* begin, const uint32_t* end,
+             const uint32_t* hard_end, const uint32_t* codes,
+             RefineScratch* s) {
+  const size_t m = static_cast<size_t>(end - begin);
+  if (m > s->block_watermark) s->block_watermark = m;
+  uint32_t* comp = nullptr;
+  if (kKeepCodes) {
+    if (s->comp.size() < m) s->comp.resize(m);
+    comp = s->comp.data();
+  }
+  if (s->touched.size() < m) s->touched.resize(m);
+  uint32_t* touched = s->touched.data();
+  uint32_t* count = s->count.data();
+  constexpr size_t kGatherAhead = 16;
+  constexpr size_t kCountAhead = 4;
+  size_t t = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (begin + i + kGatherAhead < hard_end) {
+      __builtin_prefetch(&codes[begin[i + kGatherAhead]]);
+    }
+    if (kPrefetchCounts && i + kCountAhead < m) {
+      __builtin_prefetch(&count[codes[begin[i + kCountAhead]]]);
+    }
+    const uint32_t c = codes[begin[i]];
+    if (kKeepCodes) comp[i] = c;
+    touched[t] = c;
+    t += (count[c] == 0);
+    ++count[c];
+  }
+  return t;
+}
+
+#if defined(AJD_SIMD_AVX2)
+// AVX2 tally: the codes[row] gather runs 8 lanes wide; the tally itself
+// stays scalar and in lane order, so touched order (and every bit of
+// downstream output) matches the scalar kernels exactly.
+__attribute__((target("avx2"))) size_t SimdTally(const uint32_t* begin,
+                                                 const uint32_t* end,
+                                                 const uint32_t* codes,
+                                                 RefineScratch* s) {
+  const size_t m = static_cast<size_t>(end - begin);
+  if (m > s->block_watermark) s->block_watermark = m;
+  if (s->touched.size() < m) s->touched.resize(m);
+  uint32_t* touched = s->touched.data();
+  uint32_t* count = s->count.data();
+  size_t t = 0;
+  size_t i = 0;
+  alignas(32) uint32_t buf[8];
+  for (; i + 8 <= m; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(begin + i));
+    const __m256i gathered = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(codes), idx, sizeof(uint32_t));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(buf), gathered);
+    for (int j = 0; j < 8; ++j) {
+      const uint32_t c = buf[j];
+      touched[t] = c;
+      t += (count[c] == 0);
+      ++count[c];
+    }
+  }
+  for (; i < m; ++i) {
+    const uint32_t c = codes[begin[i]];
+    touched[t] = c;
+    t += (count[c] == 0);
+    ++count[c];
+  }
+  return t;
+}
+
+bool CpuHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+#elif defined(AJD_SIMD_NEON)
+// AArch64 has no gather; the NEON variant loads row indexes vector-wide and
+// keeps four scalar gather+tally chains in flight per iteration.
+size_t SimdTally(const uint32_t* begin, const uint32_t* end,
+                 const uint32_t* codes, RefineScratch* s) {
+  const size_t m = static_cast<size_t>(end - begin);
+  if (m > s->block_watermark) s->block_watermark = m;
+  if (s->touched.size() < m) s->touched.resize(m);
+  uint32_t* touched = s->touched.data();
+  uint32_t* count = s->count.data();
+  size_t t = 0;
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    if (i + 16 < m) __builtin_prefetch(&codes[begin[i + 16]]);
+    const uint32x4_t idx = vld1q_u32(begin + i);
+    const uint32_t c0 = codes[vgetq_lane_u32(idx, 0)];
+    const uint32_t c1 = codes[vgetq_lane_u32(idx, 1)];
+    const uint32_t c2 = codes[vgetq_lane_u32(idx, 2)];
+    const uint32_t c3 = codes[vgetq_lane_u32(idx, 3)];
+    touched[t] = c0; t += (count[c0] == 0); ++count[c0];
+    touched[t] = c1; t += (count[c1] == 0); ++count[c1];
+    touched[t] = c2; t += (count[c2] == 0); ++count[c2];
+    touched[t] = c3; t += (count[c3] == 0); ++count[c3];
+  }
+  for (; i < m; ++i) {
+    const uint32_t c = codes[begin[i]];
+    touched[t] = c;
+    t += (count[c] == 0);
+    ++count[c];
+  }
+  return t;
+}
+#endif
+
+// The SIMD tally needs enough rows per block to amortize its vector setup
+// (and on gather-slow microarchitectures, to win at all); below this the
+// scalar kernels are faster. Measured on the perf_partition sweep.
+constexpr ptrdiff_t kSimdMinBlock = 256;
+
+// Picks the tally for a count-only (entropy) pass.
+size_t EntropyTally(const uint32_t* begin, const uint32_t* end,
+                    const uint32_t* hard_end, const uint32_t* codes,
+                    RefineKernel kernel, RefineScratch* s) {
+#if defined(AJD_SIMD_AVX2)
+  if (CpuHasAvx2() && end - begin >= kSimdMinBlock) {
+    return SimdTally(begin, end, codes, s);
+  }
+#elif defined(AJD_SIMD_NEON)
+  if (end - begin >= kSimdMinBlock) return SimdTally(begin, end, codes, s);
+#endif
+  return kernel == RefineKernel::kMid
+             ? Tally<true, false>(begin, end, hard_end, codes, s)
+             : Tally<false, false>(begin, end, hard_end, codes, s);
+}
+
+// ---------------------------------------------------------------------------
+// Tiny-block path. Real partitions are dominated by blocks of a handful of
+// rows (a half-refined relation shatters into thousands of 2-16 row
+// blocks), where the counting kernels' per-block costs — scratch resets,
+// touched bookkeeping, output resizing — dwarf the row work itself. Blocks
+// this small are grouped by direct comparison over a register-resident
+// buffer instead: no code-indexed scratch is read OR written, so the path
+// is also immune to the cardinality.
+// ---------------------------------------------------------------------------
+
+// Must stay <= 32 (group membership lives in a uint32 bitmask).
+constexpr size_t kTinyBlockMax = 4;
+
+// Refines one tiny block, appending sub-blocks (first-occurrence order,
+// rows ascending — identical to the counting path) at out_rows[total...].
+// Returns the new total.
+inline uint32_t TinyBlockRefine(const uint32_t* begin, size_t m,
+                                const uint32_t* codes, uint32_t* out_rows,
+                                uint32_t total, uint32_t* out_starts,
+                                uint32_t* num_out) {
+  uint32_t buf[kTinyBlockMax];
+  for (size_t i = 0; i < m; ++i) buf[i] = codes[begin[i]];
+  uint32_t done = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if ((done >> i) & 1) continue;
+    const uint32_t c = buf[i];
+    uint32_t members = uint32_t{1} << i;
+    uint32_t cnt = 1;
+    for (size_t j = i + 1; j < m; ++j) {
+      if (buf[j] == c) {
+        members |= uint32_t{1} << j;
+        ++cnt;
+      }
+    }
+    done |= members;
+    if (cnt >= 2) {
+      for (size_t j = i; j < m; ++j) {
+        if ((members >> j) & 1) out_rows[total++] = begin[j];
+      }
+      out_starts[(*num_out)++] = total;
+    }
+  }
+  return total;
+}
+
+// Count-only form: adds the tiny block's c ln c terms (first-occurrence
+// order; singleton groups contribute an exact 0, so skipping them leaves
+// the accumulation bit-identical to the counting path).
+inline double TinyBlockEntropy(const uint32_t* begin, size_t m,
+                               const uint32_t* codes) {
+  uint32_t buf[kTinyBlockMax];
+  for (size_t i = 0; i < m; ++i) buf[i] = codes[begin[i]];
+  uint32_t done = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    if ((done >> i) & 1) continue;
+    const uint32_t c = buf[i];
+    uint32_t members = uint32_t{1} << i;
+    uint32_t cnt = 1;
+    for (size_t j = i + 1; j < m; ++j) {
+      if (buf[j] == c) {
+        members |= uint32_t{1} << j;
+        ++cnt;
+      }
+    }
+    done |= members;
+    if (cnt >= 2) sum += XLogXCount(cnt);
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Sort path: per-block radix sort of (code << 32) | row. Scratch is sized
+// by the block, never the cardinality.
+// ---------------------------------------------------------------------------
+
+// Blocks at or below this size use std::sort; the radix histograms cost
+// more than a comparison sort on tiny inputs.
+constexpr size_t kSortSmallBlock = 64;
+
+// LSD radix sort of pairs[0..m) by the code (high 32 bits), one 8-bit digit
+// per pass, only as many passes as max_code needs. Stable, so the row order
+// within equal codes — ascending, the block invariant — is preserved.
+void RadixSortByCode(RefineScratch* s, size_t m, uint32_t max_code) {
+  uint64_t* a = s->pairs.data();
+  uint64_t* b = s->pairs_tmp.data();
+  uint32_t hist[256];
+  for (uint32_t shift = 32; max_code != 0; shift += 8, max_code >>= 8) {
+    std::memset(hist, 0, sizeof(hist));
+    for (size_t i = 0; i < m; ++i) ++hist[(a[i] >> shift) & 0xff];
+    uint32_t sum = 0;
+    for (uint32_t d = 0; d < 256; ++d) {
+      const uint32_t c = hist[d];
+      hist[d] = sum;
+      sum += c;
+    }
+    for (size_t i = 0; i < m; ++i) b[hist[(a[i] >> shift) & 0xff]++] = a[i];
+    std::swap(a, b);
+  }
+  if (a != s->pairs.data()) {
+    std::memcpy(s->pairs.data(), a, m * sizeof(uint64_t));
+  }
+}
+
+// Sorts one block's (code, row) pairs into scratch->pairs and appends the
+// [start, len] descriptors of every size >= 2 run (code-ascending order) to
+// scratch->groups as flat pairs. Returns the number of such groups.
+size_t SortBlockIntoGroups(const uint32_t* begin, const uint32_t* end,
+                           const uint32_t* codes, uint32_t cardinality,
+                           RefineScratch* s) {
+  const size_t m = static_cast<size_t>(end - begin);
+  if (m > s->block_watermark) s->block_watermark = m;
+  if (s->pairs.size() < m) {
+    s->pairs.resize(m);
+    s->pairs_tmp.resize(m);
+  }
+  uint64_t* pairs = s->pairs.data();
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t r = begin[i];
+    pairs[i] = (static_cast<uint64_t>(codes[r]) << 32) | r;
+  }
+  if (m <= kSortSmallBlock) {
+    // Full-key sort: rows ascend within a block, so ordering by
+    // (code, row) equals the stable-by-code order.
+    std::sort(pairs, pairs + m);
+  } else {
+    RadixSortByCode(s, m, cardinality == 0 ? 0 : cardinality - 1);
+  }
+  s->groups.clear();
+  size_t num_groups = 0;
+  size_t run = 0;
+  for (size_t i = 1; i <= m; ++i) {
+    if (i == m || (pairs[i] >> 32) != (pairs[run] >> 32)) {
+      if (i - run >= 2) {
+        s->groups.push_back(static_cast<uint32_t>(run));
+        s->groups.push_back(static_cast<uint32_t>(i - run));
+        ++num_groups;
+      }
+      run = i;
+    }
+  }
+  return num_groups;
+}
+
+// Reorders the flat [start, len] group list by each group's first row —
+// which, rows ascending within the block, is its first-occurrence position,
+// i.e. exactly the order the counting kernels' touched list would emit.
+void OrderGroupsByFirstRow(RefineScratch* s, size_t num_groups) {
+  struct GroupRef {
+    uint32_t first_row;
+    uint32_t start;
+    uint32_t len;
+  };
+  static thread_local std::vector<GroupRef> refs;
+  refs.clear();
+  refs.reserve(num_groups);
+  const uint64_t* pairs = s->pairs.data();
+  for (size_t g = 0; g < num_groups; ++g) {
+    const uint32_t start = s->groups[2 * g];
+    const uint32_t len = s->groups[2 * g + 1];
+    refs.push_back({static_cast<uint32_t>(pairs[start]), start, len});
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const GroupRef& a, const GroupRef& b) {
+              return a.first_row < b.first_row;  // first rows are distinct
+            });
+  for (size_t g = 0; g < num_groups; ++g) {
+    s->groups[2 * g] = refs[g].start;
+    s->groups[2 * g + 1] = refs[g].len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused (composite) kernels.
+// ---------------------------------------------------------------------------
+
+// Tallies one block's composite codes (storing them in scratch->comp for a
+// later scatter when `keep_codes`), recording each distinct code in
+// scratch->touched in first-occurrence order. Alongside, every leaf
+// remembers the first-occurrence RANK of each of its nested column
+// prefixes within this block (leaf_keys, k-1 ranks per leaf; rank arenas
+// in lvl_seq with per-level offsets, reset lazily via lvl_touched), and
+// lvl_ng[l] counts the distinct level-(l+1) prefixes seen. Those ranks
+// are everything ChainOrderLeaves needs. Returns the touched count.
+//
+// The caller must size s->count (ScratchGuard over the composite
+// cardinality) and reset the touched counts afterwards; the level arenas
+// reset themselves at the next call.
+size_t FusedTally(const uint32_t* begin, const uint32_t* end,
+                  const Column* const* cols, size_t k, bool keep_codes,
+                  RefineScratch* s, uint32_t* lvl_ng) {
+  const size_t m = static_cast<size_t>(end - begin);
+  if (m > s->block_watermark) s->block_watermark = m;
+  s->touched.clear();
+  if (keep_codes && s->comp.size() < m) s->comp.resize(m);
+  // Per-level rank arenas: level l (prefix of the first l+1 columns) gets
+  // a slab of prefix-cardinality slots; the slabs sum to less than the
+  // composite cardinality, so the same guard budget covers them.
+  const size_t levels = k - 1;
+  uint64_t lvl_off[kMaxAttrs];
+  uint64_t arena = 0;
+  {
+    uint64_t prefix_card = 1;
+    for (size_t l = 0; l < levels; ++l) {
+      prefix_card *= cols[l]->cardinality;
+      lvl_off[l] = arena;
+      arena += prefix_card;
+    }
+  }
+  if (s->lvl_seq.size() < arena) s->lvl_seq.resize(arena, UINT32_MAX);
+  // Reset the PREVIOUS block's slots (cheap: one write per touched prefix).
+  for (uint32_t slot : s->lvl_touched) s->lvl_seq[slot] = UINT32_MAX;
+  s->lvl_touched.clear();
+  for (size_t l = 0; l < levels; ++l) lvl_ng[l] = 0;
+  if (s->leaf_keys.size() < m * levels) s->leaf_keys.resize(m * levels);
+  uint32_t* count = s->count.data();
+  uint32_t* lvl_seq = s->lvl_seq.data();
+  uint32_t* keys = s->leaf_keys.data();
+
+  // The common miner shape (k == 2, one prefix level) gets a dedicated
+  // loop; the generic one costs a branch per column per row.
+  if (k == 2) {
+    const uint32_t* codes0 = cols[0]->codes.data();
+    const uint32_t* codes1 = cols[1]->codes.data();
+    const uint32_t card1 = cols[1]->cardinality;
+    for (size_t i = 0; i < m; ++i) {
+      const uint32_t r = begin[i];
+      const uint32_t a = codes0[r];
+      const uint32_t c = a * card1 + codes1[r];
+      if (keep_codes) s->comp[i] = c;
+      uint32_t rank = lvl_seq[a];
+      if (rank == UINT32_MAX) {
+        rank = lvl_ng[0]++;
+        lvl_seq[a] = rank;
+        s->lvl_touched.push_back(a);
+      }
+      if (count[c]++ == 0) {
+        keys[s->touched.size()] = rank;
+        s->touched.push_back(c);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      const uint32_t r = begin[i];
+      uint64_t pref = 0;
+      uint32_t ranks[kMaxAttrs];
+      for (size_t l = 0; l < levels; ++l) {
+        pref = pref * cols[l]->cardinality + cols[l]->codes[r];
+        const uint32_t slot = static_cast<uint32_t>(lvl_off[l] + pref);
+        uint32_t rank = lvl_seq[slot];
+        if (rank == UINT32_MAX) {
+          rank = lvl_ng[l]++;
+          lvl_seq[slot] = rank;
+          s->lvl_touched.push_back(slot);
+        }
+        ranks[l] = rank;
+      }
+      const uint32_t c = static_cast<uint32_t>(
+          pref * cols[k - 1]->cardinality + cols[k - 1]->codes[r]);
+      if (keep_codes) s->comp[i] = c;
+      if (count[c]++ == 0) {
+        for (size_t l = 0; l < levels; ++l) {
+          keys[s->touched.size() * levels + l] = ranks[l];
+        }
+        s->touched.push_back(c);
+      }
+    }
+  }
+  return s->touched.size();
+}
+
+// Orders the block's touched composite codes exactly as the k-step
+// RefinedBy chain would emit the corresponding sub-blocks, leaving the
+// permutation (indexes into touched) in scratch->groups.
+//
+// Why this works: within one input block, the chain emits leaves sorted
+// lexicographically by the first-occurrence positions of their nested
+// prefix groups — level l compares by the earliest block-scan position at
+// which the leaf's first l columns' value combination appears. (A chained
+// refinement splits a block in first-occurrence order of the new column,
+// and a sub-block's scan order is a subsequence of its parent's, so "first
+// occurrence within the sub-block" and "first occurrence within the
+// original block" order prefix groups identically.) FusedTally already
+// recorded each prefix's first-occurrence RANK — order-isomorphic to its
+// position — so the sort is k-1 stable counting passes, least-significant
+// level first, seeded by the touched list itself (leaf first-occurrence
+// order). No comparisons anywhere.
+void ChainOrderLeaves(size_t k, size_t t, const uint32_t* lvl_ng,
+                      RefineScratch* s) {
+  if (s->groups.size() < t) s->groups.resize(t);
+  uint32_t* a = s->groups.data();
+  for (size_t i = 0; i < t; ++i) a[i] = static_cast<uint32_t>(i);
+  if (k < 2 || t < 2) return;
+  const size_t levels = k - 1;
+  if (s->leaf_group.size() < t) s->leaf_group.resize(t);
+  uint32_t* b = s->leaf_group.data();
+  const uint32_t* keys = s->leaf_keys.data();
+  for (size_t l = levels; l-- > 0;) {
+    const uint32_t ng = lvl_ng[l];
+    s->touched1.assign(ng + 1, 0);
+    uint32_t* hist = s->touched1.data();
+    for (size_t i = 0; i < t; ++i) ++hist[keys[a[i] * levels + l]];
+    uint32_t sum = 0;
+    for (uint32_t d = 0; d < ng; ++d) {
+      const uint32_t c = hist[d];
+      hist[d] = sum;
+      sum += c;
+    }
+    for (size_t i = 0; i < t; ++i) {
+      b[hist[keys[a[i] * levels + l]]++] = a[i];
+    }
+    std::swap(a, b);
+  }
+  if (a != s->groups.data()) {
+    std::memcpy(s->groups.data(), a, t * sizeof(uint32_t));
+  }
+}
+
+uint64_t StrippedMass(const PartitionView& in) {
+  return in.num_blocks == 0 ? 0 : in.starts[in.num_blocks];
+}
+
+}  // namespace
+
+RefineKernel ChooseRefineKernel(uint32_t cardinality,
+                                uint64_t stripped_rows) {
+  // The sort path exists to avoid cardinality-sized scratch, so it only
+  // pays once that scratch is genuinely large: below the ScratchGuard's
+  // keep threshold the counter arrays stay allocated and cache-warm across
+  // calls, and counting beats sorting at every block size (perf_partition
+  // sweep). Past it, the counting pass walks a counter array it can never
+  // keep cached (and a near-key refinement would allocate, touch, and shed
+  // megabytes per call just to strip almost every row); the measured
+  // crossover sits near cardinality ~ half the stripped mass.
+  if (cardinality > kSortMinCardinality &&
+      cardinality >= stripped_rows / 2) {
+    return RefineKernel::kSort;
+  }
+  if (cardinality <= kDenseCardinalityMax) return RefineKernel::kDense;
+  return RefineKernel::kMid;
+}
+
+bool SimdTallyEnabled() {
+#if defined(AJD_SIMD_AVX2)
+  return CpuHasAvx2();
+#elif defined(AJD_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+uint64_t FusedCardinality(const Column* const* cols, size_t k,
+                          uint64_t budget) {
+  uint64_t product = 1;
+  for (size_t j = 0; j < k; ++j) {
+    product *= cols[j]->cardinality;
+    if (cols[j]->cardinality == 0 || product > budget) return 0;
+  }
+  return product;
+}
+
+void RefineByColumn(const PartitionView& in, const Column& col,
+                    RefineKernel kernel, const PartitionBuild& out) {
+  out.rows->clear();
+  out.starts->clear();
+  if (in.num_blocks == 0) return;
+  const uint64_t mass = StrippedMass(in);
+  if (kernel == RefineKernel::kAuto) {
+    kernel = ChooseRefineKernel(col.cardinality, mass);
+  }
+  RefineScratch& scratch = LocalScratch();
+  const uint32_t* codes = col.codes.data();
+  // The guard must be constructed BEFORE `stage_watermark = mass` below:
+  // its constructor resets the shed watermarks, so the reverse order would
+  // zero the recorded mass and let the destructor (at function exit) shed
+  // staging capacity this call legitimately used — and a nested guard
+  // inside a branch would do the same mid-call, freeing the staging
+  // buffers before the final copy-out reads them (ASan caught exactly
+  // that during development).
+  ScratchGuard guard(&scratch,
+                     kernel == RefineKernel::kSort ? 0 : col.cardinality);
+  // Build into the reusable staging buffers (no per-call allocation or
+  // zero-fill; raw-pointer writes per block — partitions shatter into
+  // thousands of tiny blocks, and a resize call per block would cost more
+  // than the row work), then copy the exact-size result out once at the
+  // end: the cached partition holds no dead capacity at all.
+  if (scratch.stage_rows.size() < mass) scratch.stage_rows.resize(mass);
+  if (scratch.stage_starts.size() < mass + 1) {
+    scratch.stage_starts.resize(mass + 1);
+  }
+  scratch.stage_watermark = mass;
+  uint32_t* out_rows = scratch.stage_rows.data();
+  uint32_t* out_starts = scratch.stage_starts.data();
+  uint32_t total = 0;
+  uint32_t num_out = 0;
+  out_starts[num_out++] = 0;
+
+  if (kernel == RefineKernel::kSort) {
+    for (uint32_t b = 0; b < in.num_blocks; ++b) {
+      const uint32_t* begin = in.rows + in.starts[b];
+      const uint32_t* end = in.rows + in.starts[b + 1];
+      const size_t m = static_cast<size_t>(end - begin);
+      if (m <= kTinyBlockMax) {
+        total = TinyBlockRefine(begin, m, codes, out_rows, total, out_starts,
+                                &num_out);
+        continue;
+      }
+      const size_t num_groups =
+          SortBlockIntoGroups(begin, end, codes, col.cardinality, &scratch);
+      OrderGroupsByFirstRow(&scratch, num_groups);
+      const uint64_t* pairs = scratch.pairs.data();
+      for (size_t g = 0; g < num_groups; ++g) {
+        const uint32_t start = scratch.groups[2 * g];
+        const uint32_t len = scratch.groups[2 * g + 1];
+        for (uint32_t i = 0; i < len; ++i) {
+          out_rows[total++] = static_cast<uint32_t>(pairs[start + i]);
+        }
+        out_starts[num_out++] = total;
+      }
+    }
+  } else {
+    const uint32_t* hard_end = in.rows + in.starts[in.num_blocks];
+    for (uint32_t b = 0; b < in.num_blocks; ++b) {
+      const uint32_t* begin = in.rows + in.starts[b];
+      const uint32_t* end = in.rows + in.starts[b + 1];
+      const size_t m = static_cast<size_t>(end - begin);
+      if (m <= kTinyBlockMax) {
+        total = TinyBlockRefine(begin, m, codes, out_rows, total, out_starts,
+                                &num_out);
+        continue;
+      }
+      const size_t t =
+          kernel == RefineKernel::kMid
+              ? Tally<true, true>(begin, end, hard_end, codes, &scratch)
+              : Tally<false, true>(begin, end, hard_end, codes, &scratch);
+      // The two degenerate outcomes dominate real chains and need no
+      // emit/scatter: a fully-shattered block (every row its own code)
+      // emits nothing, and an unsplit block (one code) is copied verbatim.
+      if (t == m) {
+        for (size_t j = 0; j < t; ++j) scratch.count[scratch.touched[j]] = 0;
+        continue;
+      }
+      if (t == 1) {
+        std::memcpy(out_rows + total, begin, m * sizeof(uint32_t));
+        total += static_cast<uint32_t>(m);
+        out_starts[num_out++] = total;
+        scratch.count[scratch.touched[0]] = 0;
+        continue;
+      }
+      const uint32_t base = total;
+      uint32_t pos = 0;
+      for (size_t j = 0; j < t; ++j) {
+        const uint32_t c = scratch.touched[j];
+        if (scratch.count[c] >= 2) {
+          scratch.offset[c] = base + pos;
+          pos += scratch.count[c];
+          out_starts[num_out++] = base + pos;
+        } else {
+          scratch.offset[c] = UINT32_MAX;
+        }
+      }
+      total = base + pos;
+      const uint32_t* comp = scratch.comp.data();
+      for (size_t i2 = 0; i2 < m; ++i2) {
+        const uint32_t c = comp[i2];
+        if (scratch.offset[c] != UINT32_MAX) {
+          out_rows[scratch.offset[c]++] = begin[i2];
+        }
+      }
+      // Reset touched counters once per block (t entries), not per row.
+      for (size_t j = 0; j < t; ++j) scratch.count[scratch.touched[j]] = 0;
+    }
+  }
+  out.rows->assign(out_rows, out_rows + total);
+  if (num_out > 1) {
+    out.starts->assign(out_starts, out_starts + num_out);
+  }
+}
+
+double RefineEntropy(const PartitionView& in, const Column& col,
+                     RefineKernel kernel, uint64_t num_rows) {
+  const uint64_t mass = StrippedMass(in);
+  if (kernel == RefineKernel::kAuto) {
+    kernel = ChooseRefineKernel(col.cardinality, mass);
+  }
+  RefineScratch& scratch = LocalScratch();
+  const uint32_t* codes = col.codes.data();
+  double sum_clogc = 0.0;
+
+  if (kernel == RefineKernel::kSort) {
+    ScratchGuard guard(&scratch, /*cardinality=*/0);
+    for (uint32_t b = 0; b < in.num_blocks; ++b) {
+      const uint32_t* begin = in.rows + in.starts[b];
+      const uint32_t* end = in.rows + in.starts[b + 1];
+      const size_t m = static_cast<size_t>(end - begin);
+      if (m <= kTinyBlockMax) {
+        sum_clogc += TinyBlockEntropy(begin, m, codes);
+        continue;
+      }
+      const size_t num_groups =
+          SortBlockIntoGroups(begin, end, codes, col.cardinality, &scratch);
+      // Singleton groups contribute XLogX(1) = 0 exactly, so summing only
+      // the size >= 2 groups — in first-occurrence order, like the counting
+      // kernels' touched list — is bit-identical to the scalar path.
+      OrderGroupsByFirstRow(&scratch, num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        sum_clogc += XLogXCount(scratch.groups[2 * g + 1]);
+      }
+    }
+  } else {
+    ScratchGuard guard(&scratch, col.cardinality);
+    // An empty partition has null arrays; guard before forming hard_end.
+    const uint32_t* hard_end =
+        in.num_blocks > 0 ? in.rows + in.starts[in.num_blocks] : nullptr;
+    for (uint32_t b = 0; b < in.num_blocks; ++b) {
+      const uint32_t* begin = in.rows + in.starts[b];
+      const uint32_t* end = in.rows + in.starts[b + 1];
+      const size_t m = static_cast<size_t>(end - begin);
+      if (m <= kTinyBlockMax) {
+        sum_clogc += TinyBlockEntropy(begin, m, codes);
+        continue;
+      }
+      const size_t t =
+          EntropyTally(begin, end, hard_end, codes, kernel, &scratch);
+      if (t == 1) {
+        // Unsplit block: one group of m rows.
+        sum_clogc += XLogXCount(static_cast<uint32_t>(m));
+        scratch.count[scratch.touched[0]] = 0;
+        continue;
+      }
+      if (t == m) {
+        // Fully shattered: every group is a sub-singleton, contributing
+        // an exact 0 apiece.
+        for (size_t j = 0; j < t; ++j) scratch.count[scratch.touched[j]] = 0;
+        continue;
+      }
+      for (size_t j = 0; j < t; ++j) {
+        const uint32_t c = scratch.touched[j];
+        // XLogX(1) == 0: sub-singletons vanish, exactly as if stripped.
+        sum_clogc += XLogXCount(scratch.count[c]);
+        scratch.count[c] = 0;
+      }
+    }
+  }
+  const double n = static_cast<double>(num_rows);
+  return std::log(n) - sum_clogc / n;
+}
+
+void RefineByComposite(const PartitionView& in, const Column* const* cols,
+                       size_t k, uint32_t composite_card,
+                       const PartitionBuild& out) {
+  AJD_CHECK(k >= 2 && composite_card > 0);
+  out.rows->clear();
+  out.starts->clear();
+  if (in.num_blocks == 0) return;
+  RefineScratch& scratch = LocalScratch();
+  ScratchGuard guard(&scratch, composite_card);
+  out.rows->reserve(StrippedMass(in));
+  out.starts->push_back(0);
+  uint32_t lvl_ng[kMaxAttrs];
+  for (uint32_t b = 0; b < in.num_blocks; ++b) {
+    const uint32_t* begin = in.rows + in.starts[b];
+    const uint32_t* end = in.rows + in.starts[b + 1];
+    const size_t t = FusedTally(begin, end, cols, k, /*keep_codes=*/true,
+                                &scratch, lvl_ng);
+    ChainOrderLeaves(k, t, lvl_ng, &scratch);
+    const uint32_t base = static_cast<uint32_t>(out.rows->size());
+    uint32_t pos = 0;
+    for (size_t j = 0; j < t; ++j) {
+      const uint32_t c = scratch.touched[scratch.groups[j]];
+      if (scratch.count[c] >= 2) {
+        scratch.offset[c] = base + pos;
+        pos += scratch.count[c];
+        out.starts->push_back(base + pos);
+      } else {
+        scratch.offset[c] = UINT32_MAX;
+      }
+    }
+    out.rows->resize(base + pos);
+    const size_t m = static_cast<size_t>(end - begin);
+    for (size_t i = 0; i < m; ++i) {
+      const uint32_t c = scratch.comp[i];
+      if (scratch.offset[c] != UINT32_MAX) {
+        (*out.rows)[scratch.offset[c]++] = begin[i];
+      }
+      scratch.count[c] = 0;
+    }
+  }
+  if (out.starts->size() == 1) out.starts->clear();
+}
+
+double RefineCompositeEntropy(const PartitionView& in,
+                              const Column* const* cols, size_t k,
+                              uint32_t composite_card, uint64_t num_rows) {
+  AJD_CHECK(k >= 2 && composite_card > 0);
+  RefineScratch& scratch = LocalScratch();
+  ScratchGuard guard(&scratch, composite_card);
+  double sum_clogc = 0.0;
+  uint32_t lvl_ng[kMaxAttrs];
+  for (uint32_t b = 0; b < in.num_blocks; ++b) {
+    const uint32_t* begin = in.rows + in.starts[b];
+    const uint32_t* end = in.rows + in.starts[b + 1];
+    const size_t t = FusedTally(begin, end, cols, k, /*keep_codes=*/false,
+                                &scratch, lvl_ng);
+    // The chain's final count-only pass visits leaves in chain order;
+    // summing in that order keeps the accumulation bit-identical to it.
+    ChainOrderLeaves(k, t, lvl_ng, &scratch);
+    for (size_t j = 0; j < t; ++j) {
+      const uint32_t c = scratch.touched[scratch.groups[j]];
+      sum_clogc += XLogXCount(scratch.count[c]);
+      scratch.count[c] = 0;
+    }
+  }
+  const double n = static_cast<double>(num_rows);
+  return std::log(n) - sum_clogc / n;
+}
+
+double RefineByColumnWithEntropy(const PartitionView& in, const Column& c1,
+                                 const Column& c2, uint32_t composite_card,
+                                 uint64_t num_rows,
+                                 const PartitionBuild& out) {
+  AJD_CHECK(composite_card > 0);
+  out.rows->clear();
+  out.starts->clear();
+  double sum_clogc = 0.0;
+  if (in.num_blocks > 0) {
+    RefineScratch& scratch = LocalScratch();
+    ScratchGuard guard(&scratch, composite_card);
+    if (scratch.count1.size() < c1.cardinality) {
+      scratch.count1.resize(c1.cardinality, 0);
+      scratch.seq1.resize(c1.cardinality);
+    }
+    const uint32_t* codes1 = c1.codes.data();
+    const uint32_t* codes2 = c2.codes.data();
+    const uint32_t card2 = c2.cardinality;
+    uint32_t* count = scratch.count.data();
+    uint32_t* count1 = scratch.count1.data();
+    uint32_t* seq1 = scratch.seq1.data();
+    out.rows->resize(StrippedMass(in));
+    uint32_t* out_rows = out.rows->data();
+    uint32_t total = 0;
+    out.starts->push_back(0);
+    for (uint32_t b = 0; b < in.num_blocks; ++b) {
+      const uint32_t* begin = in.rows + in.starts[b];
+      const uint32_t* end = in.rows + in.starts[b + 1];
+      const size_t m = static_cast<size_t>(end - begin);
+      if (m > scratch.block_watermark) scratch.block_watermark = m;
+      if (scratch.comp.size() < m) scratch.comp.resize(m);
+      uint32_t* comp1 = scratch.comp.data();  // c1 code per block row
+      // Tally composite (c1, c2) pairs and c1 groups in one scan. Every
+      // leaf (distinct pair) remembers which c1 group it belongs to;
+      // groups and leaves are both recorded in first-occurrence order.
+      scratch.touched.clear();    // leaf -> composite code
+      scratch.leaf_group.clear(); // leaf -> c1 group sequence number
+      scratch.touched1.clear();   // group -> c1 code
+      for (size_t i = 0; i < m; ++i) {
+        const uint32_t r = begin[i];
+        const uint32_t a = codes1[r];
+        const uint32_t code = a * card2 + codes2[r];
+        comp1[i] = a;
+        if (count1[a]++ == 0) {
+          seq1[a] = static_cast<uint32_t>(scratch.touched1.size());
+          scratch.touched1.push_back(a);
+        }
+        if (count[code]++ == 0) {
+          scratch.touched.push_back(code);
+          scratch.leaf_group.push_back(seq1[a]);
+        }
+      }
+      const size_t t = scratch.touched.size();
+      const size_t g = scratch.touched1.size();
+      // Emit the c1 sub-blocks in group order (identical to RefinedBy(c1))
+      // and accumulate the final c2 split's c ln c terms in chain order:
+      // group by group, and within a group in leaf first-occurrence order
+      // — exactly the order the chain's last count-only pass visits them.
+      // A c1-singleton group is stripped before the chain would refine it
+      // by c2; its lone leaf contributes an exact 0, so skipping it keeps
+      // the accumulation bit-identical. Within-group leaf order is
+      // recovered stably by a counting pass over the leaves (first_pos
+      // reused as per-group cursors).
+      if (scratch.first_pos.size() < g) scratch.first_pos.resize(g);
+      uint32_t* cursor = scratch.first_pos.data();
+      const uint32_t base = total;
+      uint32_t pos = 0;
+      for (size_t s = 0; s < g; ++s) {
+        const uint32_t a = scratch.touched1[s];
+        cursor[s] = UINT32_MAX;  // becomes the group's emit slot below
+        if (count1[a] >= 2) {
+          scratch.offset[a] = base + pos;
+          pos += count1[a];
+          out.starts->push_back(base + pos);
+          cursor[s] = 0;
+        } else {
+          scratch.offset[a] = UINT32_MAX;
+        }
+        count1[a] = 0;
+      }
+      total = base + pos;
+      // Chain-order entropy: leaves sit in GLOBAL first-occurrence order,
+      // but the chain's last pass visits them group by group (groups in
+      // first-occurrence order, leaves within a group in first-occurrence
+      // order). A stable counting regroup recovers that order in O(t + g):
+      // count leaves per group, prefix-sum, place.
+      if (g == 1) {
+        // One c1 group: global leaf order IS chain order.
+        if (cursor[0] != UINT32_MAX) {
+          for (size_t l = 0; l < t; ++l) {
+            sum_clogc += XLogXCount(count[scratch.touched[l]]);
+          }
+        }
+        for (size_t l = 0; l < t; ++l) count[scratch.touched[l]] = 0;
+      } else {
+        scratch.groups.assign(g + 1, 0);
+        for (size_t l = 0; l < t; ++l) ++scratch.groups[scratch.leaf_group[l]];
+        uint32_t run = 0;
+        for (size_t s = 0; s < g; ++s) {
+          const uint32_t len = scratch.groups[s];
+          scratch.groups[s] = run;
+          run += len;
+        }
+        if (scratch.leaf_keys.size() < t) scratch.leaf_keys.resize(t);
+        uint32_t* ordered = scratch.leaf_keys.data();
+        for (size_t l = 0; l < t; ++l) {
+          ordered[scratch.groups[scratch.leaf_group[l]]++] = static_cast<uint32_t>(l);
+        }
+        // groups[s] now holds each group's END slot; walk groups in order,
+        // skipping stripped (singleton) ones — their lone leaf's XLogX(1)
+        // is an exact 0, so the sum stays bit-identical to the chain.
+        uint32_t start = 0;
+        for (size_t s = 0; s < g; ++s) {
+          const uint32_t stop = scratch.groups[s];
+          if (cursor[s] != UINT32_MAX) {
+            for (uint32_t idx = start; idx < stop; ++idx) {
+              sum_clogc +=
+                  XLogXCount(count[scratch.touched[ordered[idx]]]);
+            }
+          }
+          start = stop;
+        }
+        for (size_t l = 0; l < t; ++l) count[scratch.touched[l]] = 0;
+      }
+      // Scatter rows into their c1 sub-blocks (scan order = ascending).
+      for (size_t i = 0; i < m; ++i) {
+        const uint32_t a = comp1[i];
+        if (scratch.offset[a] != UINT32_MAX) {
+          out_rows[scratch.offset[a]++] = begin[i];
+        }
+      }
+    }
+    out.rows->resize(total);
+    if (out.starts->size() == 1) out.starts->clear();
+  }
+  const double n = static_cast<double>(num_rows);
+  return std::log(n) - sum_clogc / n;
+}
+
+void SortPartitionOfColumn(const Column& col, const PartitionBuild& out) {
+  const size_t n = col.codes.size();
+  out.rows->clear();
+  out.starts->clear();
+  if (n == 0) return;
+  RefineScratch& scratch = LocalScratch();
+  ScratchGuard guard(&scratch, /*cardinality=*/0);
+  if (n > scratch.block_watermark) scratch.block_watermark = n;
+  if (scratch.pairs.size() < n) {
+    scratch.pairs.resize(n);
+    scratch.pairs_tmp.resize(n);
+  }
+  uint64_t* pairs = scratch.pairs.data();
+  const uint32_t* codes = col.codes.data();
+  for (size_t i = 0; i < n; ++i) {
+    pairs[i] = (static_cast<uint64_t>(codes[i]) << 32) | i;
+  }
+  if (n <= kSortSmallBlock) {
+    std::sort(pairs, pairs + n);
+  } else {
+    RadixSortByCode(&scratch, n, col.cardinality == 0 ? 0
+                                                      : col.cardinality - 1);
+  }
+  // OfColumn emits blocks in ascending CODE order (not first-occurrence
+  // order), so the code-sorted runs are emitted as-is.
+  out.starts->push_back(0);
+  size_t run = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (i == n || (pairs[i] >> 32) != (pairs[run] >> 32)) {
+      if (i - run >= 2) {
+        for (size_t j = run; j < i; ++j) {
+          out.rows->push_back(static_cast<uint32_t>(pairs[j]));
+        }
+        out.starts->push_back(static_cast<uint32_t>(out.rows->size()));
+      }
+      run = i;
+    }
+  }
+  if (out.starts->size() == 1) out.starts->clear();
+}
+
+}  // namespace ajd

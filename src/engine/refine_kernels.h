@@ -1,0 +1,156 @@
+// Cardinality-adaptive partition-refinement kernels.
+//
+// Every entropy the library computes bottoms out in refining a stripped
+// partition by a dense column (engine/partition.h). One counting strategy
+// cannot be right across the cardinality spectrum:
+//
+//   kDense — the classic counting pass over a code-indexed scratch array.
+//            Unbeatable while the counter array stays cache-resident.
+//   kMid   — the same counting pass, branchless and with software prefetch
+//            of the codes[row] gather, for cardinalities where the scratch
+//            misses cache and the gather dominates.
+//   kSort  — a per-block radix sort of (code, row) pairs. Scratch is sized
+//            by the BLOCK, not the cardinality, so a near-key column no
+//            longer spikes a cardinality-sized allocation just to strip
+//            almost everything.
+//
+// All three produce bit-identical partitions: blocks emitted per input
+// block in first-occurrence order of the code, rows in ascending order
+// (the library-wide invariant — every Partition factory scans rows in
+// ascending order, so block members are always sorted).
+//
+// The fused kernels apply k columns in ONE pass by compositing their codes
+// (code = ((c1*card2)+c2)*card3+c3...) and then emitting sub-blocks in
+// exactly the order a k-step RefinedBy chain would have produced — see
+// refine_kernels.cc for the ordering proof sketch. Fusing is the engine's
+// common miss shape (2-3 attributes missing from the best cached base) and
+// replaces k count+scatter passes with one.
+//
+// An optional SIMD tally (AVX2 on x86-64, NEON on arm; scalar fallback)
+// accelerates the count-only entropy passes. It is compile-time guarded —
+// -DAJD_DISABLE_SIMD removes it entirely — and on x86-64 additionally
+// runtime-dispatched on cpuid, so the binary stays portable. The SIMD path
+// only vectorizes the codes[row] gather; tallying stays scalar and in scan
+// order, so touched-code order (and therefore output and fp accumulation
+// order) is identical to the scalar kernels.
+#ifndef AJD_ENGINE_REFINE_KERNELS_H_
+#define AJD_ENGINE_REFINE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/column_store.h"
+
+namespace ajd {
+
+/// Refinement strategy. kAuto picks per call from the column cardinality
+/// and the partition's stripped mass (thresholds below).
+enum class RefineKernel : uint8_t { kAuto = 0, kDense, kMid, kSort };
+
+/// kDense is used up to this cardinality (counter array ~16 KiB, safely
+/// cache-resident); kMid beyond it.
+inline constexpr uint32_t kDenseCardinalityMax = 4096;
+
+/// kSort requires BOTH cardinality >= half the stripped mass (the
+/// measured crossover: past it the code-indexed scratch costs as much as
+/// the refinement itself) and cardinality above this floor — smaller
+/// counter arrays stay resident across calls (the scratch guard keeps up
+/// to 64Ki entries), where counting beats sorting at every block size.
+inline constexpr uint32_t kSortMinCardinality = uint32_t{1} << 16;
+
+RefineKernel ChooseRefineKernel(uint32_t cardinality, uint64_t stripped_rows);
+
+/// Whether the SIMD tally is compiled in AND usable on this machine.
+bool SimdTallyEnabled();
+
+/// c ln c for an integer count, via a precomputed table for small counts
+/// (bit-identical to XLogX(double(c)), which it falls back to). Entropy
+/// passes pay one of these per distinct group — at tiny group sizes the
+/// libm log call would outweigh the whole tally.
+double XLogXCount(uint32_t c);
+
+/// Fused-refinement budget: compositing k columns needs scratch sized by
+/// the product of their cardinalities, so the product must stay close to
+/// the stripped mass it will be scanned against.
+inline constexpr uint64_t kFuseBudgetFloor = uint64_t{1} << 16;
+inline constexpr uint64_t kFuseBudgetCap = uint64_t{1} << 22;
+inline uint64_t FuseBudget(uint64_t stripped_rows) {
+  const uint64_t by_mass = 4 * stripped_rows;
+  const uint64_t budget = by_mass > kFuseBudgetFloor ? by_mass
+                                                     : kFuseBudgetFloor;
+  return budget < kFuseBudgetCap ? budget : kFuseBudgetCap;
+}
+
+/// Product of the columns' cardinalities if it fits `budget`, else 0.
+uint64_t FusedCardinality(const Column* const* cols, size_t k,
+                          uint64_t budget);
+
+/// Read-only view of a stripped partition's storage (engine/partition.h
+/// passes its private arrays through this; empty partition = all null/0).
+struct PartitionView {
+  const uint32_t* rows = nullptr;    // concatenated block members
+  const uint32_t* starts = nullptr;  // block b spans [starts[b], starts[b+1])
+  uint32_t num_blocks = 0;
+};
+
+/// Output arrays of a refinement (the caller owns the vectors; starts gets
+/// the leading 0 sentinel iff any block is emitted).
+struct PartitionBuild {
+  std::vector<uint32_t>* rows = nullptr;
+  std::vector<uint32_t>* starts = nullptr;
+};
+
+/// Refines `in` by `col` with the chosen kernel (kAuto dispatches), writing
+/// the result into `out` (cleared first). Output is identical across
+/// kernels.
+void RefineByColumn(const PartitionView& in, const Column& col,
+                    RefineKernel kernel, const PartitionBuild& out);
+
+/// Entropy of the refinement WITHOUT materializing it: ln n - (1/n) sum of
+/// c ln c over the refined blocks, accumulated in emission order (so the
+/// value is bit-identical across kernels).
+double RefineEntropy(const PartitionView& in, const Column& col,
+                     RefineKernel kernel, uint64_t num_rows);
+
+/// Fused k-column refinement: identical output (block boundaries, block
+/// order, row order) to chaining RefineByColumn over cols[0..k-1] in that
+/// order. `composite_card` must be the FusedCardinality product (> 0).
+void RefineByComposite(const PartitionView& in, const Column* const* cols,
+                       size_t k, uint32_t composite_card,
+                       const PartitionBuild& out);
+
+/// Fused count-only variant of RefineByComposite: bit-identical to chaining
+/// k-1 RefineByColumn steps and one final RefineEntropy.
+double RefineCompositeEntropy(const PartitionView& in,
+                              const Column* const* cols, size_t k,
+                              uint32_t composite_card, uint64_t num_rows);
+
+/// The chain-finale kernel: materializes the refinement of `in` by `c1`
+/// into `out` AND returns the entropy of refining that result by `c2` —
+/// in ONE composite pass, with both outputs bit-identical to
+/// RefineByColumn(in, c1) followed by RefineEntropy(<result>, c2). The
+/// intermediate partition is still produced (and cacheable — no
+/// base-reuse ecology is lost, unlike RefineCompositeEntropy); the
+/// chain's separate count-only pass dissolves into the tally that was
+/// already scanning the rows. When BOTH outputs are wanted this beats the
+/// two-step chain on the perf_partition sweep (16 vs 24 ns/row at 1M
+/// rows); the EntropyEngine nevertheless keeps the two-step chain on its
+/// default path, because there the two thin passes measured faster than
+/// one fat pass on a 1-core host — re-evaluate on wider machines before
+/// wiring it in. `composite_card` must be c1.cardinality * c2.cardinality
+/// (see FusedCardinality).
+double RefineByColumnWithEntropy(const PartitionView& in, const Column& c1,
+                                 const Column& c2, uint32_t composite_card,
+                                 uint64_t num_rows,
+                                 const PartitionBuild& out);
+
+/// Sort-path construction of a column's partition (blocks in ascending code
+/// order, identical to the counting construction in Partition::OfColumn)
+/// with scratch sized by the row count, not the cardinality. Used for
+/// near-key columns where cardinality >= rows.
+void SortPartitionOfColumn(const Column& col, const PartitionBuild& out);
+
+}  // namespace ajd
+
+#endif  // AJD_ENGINE_REFINE_KERNELS_H_

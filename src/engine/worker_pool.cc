@@ -1,0 +1,86 @@
+#include "engine/worker_pool.h"
+
+namespace ajd {
+
+WorkerPool::WorkerPool() = default;
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Run(size_t n, uint32_t workers,
+                     const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->n = n;
+  batch->max_helpers = workers - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (threads_.size() + 1 < workers) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+    batch_ = batch;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  TakeBatchShare(batch.get());
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return batch->completed.load() == n; });
+}
+
+size_t WorkerPool::NumThreads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+const std::shared_ptr<WorkerPool>& WorkerPool::Shared() {
+  static const std::shared_ptr<WorkerPool> pool =
+      std::make_shared<WorkerPool>();
+  return pool;
+}
+
+void WorkerPool::TakeBatchShare(Batch* batch) {
+  const size_t n = batch->n;
+  while (true) {
+    size_t i = batch->next.fetch_add(1);
+    if (i >= n) return;
+    (*batch->fn)(i);
+    if (batch->completed.fetch_add(1) + 1 == n) {
+      // Notify under the waiter's mutex so the wakeup cannot be missed.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    wake_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+    if (shutdown_) return;
+    seen = epoch_;
+    // Snapshot the batch under the lock: a worker waking after this batch
+    // already finished (and a new one started) must share in the state its
+    // epoch observation belongs to, never a recycled slot.
+    std::shared_ptr<Batch> batch = batch_;
+    lock.unlock();
+    if (batch->helpers.fetch_add(1) < batch->max_helpers) {
+      TakeBatchShare(batch.get());
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace ajd

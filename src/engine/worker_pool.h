@@ -1,0 +1,95 @@
+// WorkerPool: a persistent, lazily-spawned batch-work pool shared across
+// EntropyEngines.
+//
+// Every engine used to own a private pool, so a many-relation sweep (one
+// engine per relation, all batching at once) oversubscribed the machine:
+// R relations x T threads each. The pool is now owned at session scope —
+// AnalysisSession resolves one pool for all of its engines, and the
+// process-wide default pool is shared by everything that doesn't ask for
+// its own — and SERIALIZES batches: one batch runs at a time, so the
+// thread roster is bounded by the widest single batch, never by the number
+// of engines.
+//
+// Workers are spawned lazily on first use and parked between batches (the
+// miner submits one small batch per hill-climb sweep, so per-batch thread
+// spawns would dominate the work).
+#ifndef AJD_ENGINE_WORKER_POOL_H_
+#define AJD_ENGINE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ajd {
+
+/// Shared batch pool. Thread-safe; concurrent Run() calls from different
+/// engines queue behind one another instead of fighting for cores.
+class WorkerPool {
+ public:
+  WorkerPool();
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs fn(0..n-1) with up to `workers` total participants (the calling
+  /// thread included), blocking until every index is processed. With
+  /// workers <= 1 the calling thread simply loops — no pool involvement.
+  void Run(size_t n, uint32_t workers, const std::function<void(size_t)>& fn);
+
+  /// Number of parked worker threads currently spawned.
+  size_t NumThreads() const;
+
+  /// The process-wide default pool: what every AnalysisSession (and every
+  /// stand-alone engine) uses unless EngineOptions::worker_pool injects a
+  /// different one.
+  static const std::shared_ptr<WorkerPool>& Shared();
+
+ private:
+  /// One batch in flight. Heap-held via shared_ptr so a worker waking late
+  /// for an already-finished batch touches valid (exhausted) state instead
+  /// of a reused slot. `fn` points into the submitting frame; it is only
+  /// dereferenced for claimed indexes < n, all of which are processed
+  /// before the submitter returns.
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    /// Parked workers beyond this many skip the batch: notify_all wakes
+    /// the whole roster, but a batch sized for fewer participants must not
+    /// pay the contention of all of them.
+    uint32_t max_helpers = 0;
+    std::atomic<uint32_t> helpers{0};
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+  };
+
+  /// Claims and processes indexes of `batch` until none remain; notifies
+  /// the submitter when the last index completes.
+  void TakeBatchShare(Batch* batch);
+
+  /// The parked worker loop: wait for a new batch epoch, share in it,
+  /// repeat until shutdown.
+  void WorkerLoop();
+
+  /// Serializes batches across submitters (one batch at a time); mu_
+  /// guards the worker roster, the current-batch slot, and the epoch
+  /// counter the parked workers watch.
+  std::mutex submit_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  std::shared_ptr<Batch> batch_;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ajd
+
+#endif  // AJD_ENGINE_WORKER_POOL_H_

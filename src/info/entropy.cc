@@ -32,6 +32,11 @@ double EntropyOf(const Relation& r, AttrSet attrs) {
 EntropyCalculator::EntropyCalculator(const Relation* r)
     : owned_(std::make_unique<EntropyEngine>(r)), engine_(owned_.get()) {}
 
+EntropyCalculator::EntropyCalculator(const Relation* r,
+                                     const EngineOptions& options)
+    : owned_(std::make_unique<EntropyEngine>(r, options)),
+      engine_(owned_.get()) {}
+
 EntropyCalculator::EntropyCalculator(AnalysisSession* session,
                                      const Relation* r)
     : engine_(&session->EngineFor(*r)) {}

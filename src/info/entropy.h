@@ -36,8 +36,13 @@ double EntropyOf(const Relation& r, AttrSet attrs);
 /// AnalysisSession, the session must outlive it too.
 class EntropyCalculator {
  public:
-  /// Stand-alone calculator owning a private engine for `r`.
+  /// Stand-alone calculator owning a private engine for `r` (default
+  /// EngineOptions: serial batches, process-shared worker pool).
   explicit EntropyCalculator(const Relation* r);
+
+  /// Stand-alone calculator with explicit engine tuning (cache budget,
+  /// batch threads, worker pool).
+  EntropyCalculator(const Relation* r, const EngineOptions& options);
 
   /// Calculator sharing the session's engine for `r`: terms cached by any
   /// other consumer of the session are visible here and vice versa.

@@ -6,6 +6,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/analysis.h"
@@ -15,6 +18,8 @@
 #include "engine/column_store.h"
 #include "engine/entropy_engine.h"
 #include "engine/partition.h"
+#include "engine/refine_kernels.h"
+#include "engine/worker_pool.h"
 #include "info/entropy.h"
 #include "random/rng.h"
 #include "test_util.h"
@@ -319,6 +324,286 @@ TEST(AnalysisSession, ReleaseDropsTheEngine) {
   // A fresh engine serves the relation again after the release.
   EXPECT_NEAR(session.EngineFor(r).Entropy(AttrSet{0, 1}),
               EntropyOf(r, AttrSet{0, 1}), 1e-9);
+}
+
+// --- Refinement kernel suite (engine/refine_kernels.h) ------------------
+
+// Exact partition equality: block count, block boundaries, block order,
+// and row order — the contract every kernel strategy must honor.
+void ExpectSamePartition(const Partition& want, const Partition& got,
+                         const std::string& what) {
+  ASSERT_EQ(want.NumBlocks(), got.NumBlocks()) << what;
+  ASSERT_EQ(want.NumStrippedRows(), got.NumStrippedRows()) << what;
+  for (uint32_t b = 0; b < want.NumBlocks(); ++b) {
+    ASSERT_EQ(want.BlockSize(b), got.BlockSize(b)) << what << " block " << b;
+    const uint32_t* pw = want.BlockBegin(b);
+    const uint32_t* pg = got.BlockBegin(b);
+    for (uint32_t i = 0; i < want.BlockSize(b); ++i) {
+      ASSERT_EQ(pw[i], pg[i]) << what << " block " << b << " row " << i;
+    }
+  }
+}
+
+// A synthetic dense column; skew > 0 concentrates mass on low codes.
+Column SyntheticColumn(Rng* rng, uint32_t rows, uint32_t cardinality,
+                       double skew) {
+  Column col;
+  col.cardinality = cardinality;
+  col.codes.resize(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    if (skew == 0.0) {
+      col.codes[i] = static_cast<uint32_t>(rng->UniformU64(cardinality));
+    } else {
+      const double u = rng->NextDouble();
+      uint32_t c = static_cast<uint32_t>(std::pow(u, 1.0 + skew) *
+                                         cardinality);
+      col.codes[i] = c >= cardinality ? cardinality - 1 : c;
+    }
+  }
+  return col;
+}
+
+TEST(RefineKernels, AllStrategiesMatchScalarAcrossCardinalityAndSkew) {
+  Rng rng(920);
+  const uint32_t kRows = 600;
+  for (uint32_t card :
+       {2u, 7u, 64u, 300u, 5000u, kRows, 3 * kRows}) {
+    for (double skew : {0.0, 2.5}) {
+      Column col = SyntheticColumn(&rng, kRows, card, skew);
+      for (uint32_t base_card : {1u, 5u, 40u}) {
+        Partition base =
+            base_card == 1
+                ? Partition::Trivial(kRows)
+                : Partition::OfColumn(
+                      SyntheticColumn(&rng, kRows, base_card, 0.0));
+        const std::string what = "card=" + std::to_string(card) +
+                                 " skew=" + std::to_string(skew) +
+                                 " base=" + std::to_string(base_card);
+        Partition ref = base.RefinedBy(col, RefineKernel::kDense);
+        const double ref_h =
+            base.RefinedEntropy(col, kRows, RefineKernel::kDense);
+        for (RefineKernel k :
+             {RefineKernel::kMid, RefineKernel::kSort, RefineKernel::kAuto}) {
+          ExpectSamePartition(ref, base.RefinedBy(col, k), what);
+          // Entropies must agree BITWISE: every kernel accumulates the
+          // c ln c terms in the same (first-occurrence) order.
+          EXPECT_EQ(ref_h, base.RefinedEntropy(col, kRows, k)) << what;
+        }
+      }
+    }
+  }
+}
+
+TEST(RefineKernels, FusedMatchesChainExactly) {
+  Rng rng(921);
+  const uint32_t kRows = 500;
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t k = 2 + static_cast<size_t>(rng.UniformU64(3));  // 2..4
+    std::vector<Column> cols;
+    std::vector<const Column*> ptrs;
+    uint32_t product = 1;
+    for (size_t j = 0; j < k; ++j) {
+      const uint32_t card = 2 + static_cast<uint32_t>(rng.UniformU64(7));
+      cols.push_back(SyntheticColumn(&rng, kRows, card,
+                                     rng.Bernoulli(0.5) ? 0.0 : 2.0));
+      product *= card;
+    }
+    for (const Column& c : cols) ptrs.push_back(&c);
+    Partition base =
+        Partition::OfColumn(SyntheticColumn(&rng, kRows, 6, 0.0));
+
+    // The reference chain, one RefinedBy per column in order.
+    Partition chain = base;
+    for (size_t j = 0; j < k; ++j) chain = chain.RefinedBy(cols[j]);
+    Partition chain_penultimate = base;
+    for (size_t j = 0; j + 1 < k; ++j) {
+      chain_penultimate = chain_penultimate.RefinedBy(cols[j]);
+    }
+    const double chain_h =
+        chain_penultimate.RefinedEntropy(cols[k - 1], kRows);
+
+    ExpectSamePartition(chain, base.RefinedByAll(ptrs.data(), k, product),
+                        "RefinedByAll k=" + std::to_string(k));
+    EXPECT_EQ(chain_h,
+              base.RefinedEntropyAll(ptrs.data(), k, product, kRows))
+        << "RefinedEntropyAll k=" << k;
+
+    if (k == 2) {
+      Partition fin;
+      const double fin_h = base.RefinedByWithEntropy(
+          cols[0], cols[1], product, kRows, &fin);
+      ExpectSamePartition(chain_penultimate, fin, "RefinedByWithEntropy");
+      EXPECT_EQ(chain_h, fin_h) << "RefinedByWithEntropy entropy";
+    }
+  }
+}
+
+TEST(Partition, OfColumnNearKeySortPathMatchesCountingConstruction) {
+  // Dense-coded near-key columns (cardinality >= rows) take the sort path;
+  // for dense codes (assigned in first-occurrence order, as ColumnStore
+  // produces them) it must equal refining the trivial partition — which is
+  // provably what the counting construction emits.
+  Rng rng(922);
+  const uint32_t kRows = 400;
+  Column col;
+  col.cardinality = 0;
+  col.codes.resize(kRows);
+  std::unordered_map<uint64_t, uint32_t> dense;
+  for (uint32_t i = 0; i < kRows; ++i) {
+    // ~70% unique raw values, densified first-occurrence.
+    const uint64_t raw = rng.UniformU64(3 * kRows);
+    auto [it, inserted] = dense.emplace(raw, col.cardinality);
+    if (inserted) ++col.cardinality;
+    col.codes[i] = it->second;
+  }
+  col.cardinality = std::max(col.cardinality, kRows);  // force sort path
+  ASSERT_GE(col.cardinality, kRows);
+  Partition via_of_column = Partition::OfColumn(col);
+  Partition via_refine =
+      Partition::Trivial(kRows).RefinedBy(col, RefineKernel::kDense);
+  ExpectSamePartition(via_refine, via_of_column, "near-key OfColumn");
+}
+
+TEST(ColumnStore, ComposeColumnsInducesTheChainGrouping) {
+  // A materialized composite column must group rows exactly like refining
+  // by its parts in sequence: same stripped mass, same block multiset —
+  // OfColumn emits composite-code order rather than chain order, so
+  // compare the order-free quantities (mass, block count, entropy).
+  Rng rng(926);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 4, 120);
+  ColumnStore store(&r);
+  Column composite = store.ComposeColumns({0, 2});
+  EXPECT_EQ(composite.cardinality,
+            store.column(0).cardinality * store.column(2).cardinality);
+  Partition via_composite = Partition::OfColumn(composite);
+  Partition via_chain =
+      Partition::OfColumn(store.column(0)).RefinedBy(store.column(2));
+  EXPECT_EQ(via_chain.NumStrippedRows(), via_composite.NumStrippedRows());
+  EXPECT_EQ(via_chain.NumBlocks(), via_composite.NumBlocks());
+  // Block ORDER differs between the two, so the c ln c accumulation order
+  // does too: compare to fp tolerance, not bitwise.
+  EXPECT_NEAR(via_chain.EntropyNats(r.NumRows()),
+              via_composite.EntropyNats(r.NumRows()), 1e-12);
+}
+
+TEST(ColumnStore, DistinctSketchSeparatesSkewFromUniform) {
+  Rng rng(923);
+  const uint32_t kRows = 4000;
+  const uint32_t kCard = 256;
+  Column uniform = SyntheticColumn(&rng, kRows, kCard, 0.0);
+  Column skewed = SyntheticColumn(&rng, kRows, kCard, 4.0);
+  DistinctSketch u, s;
+  {
+    // Build sketches through a store so the lazy path is exercised.
+    std::vector<uint64_t> dims = {kCard, kCard};
+    Schema schema = Schema::MakeSynthetic(dims).value();
+    RelationBuilder b(schema);
+    for (uint32_t i = 0; i < kRows; ++i) {
+      b.AddRow({uniform.codes[i], skewed.codes[i]});
+    }
+    Relation r = std::move(b).Build(/*dedupe=*/false);
+    ColumnStore store(&r);
+    u = store.sketch(0);
+    s = store.sketch(1);
+  }
+  // Both estimates are bounded and monotone in the block mass.
+  double prev_u = 0.0, prev_s = 0.0;
+  for (uint64_t m : {4ull, 16ull, 64ull, 256ull, 1024ull, 4000ull}) {
+    const double eu = u.EstimateDistinct(m, kCard);
+    const double es = s.EstimateDistinct(m, kCard);
+    EXPECT_LE(eu, kCard);
+    EXPECT_LE(es, kCard);
+    EXPECT_GE(eu, prev_u);
+    EXPECT_GE(es, prev_s);
+    prev_u = eu;
+    prev_s = es;
+  }
+  // On a head-heavy column values show up far slower: at moderate masses
+  // the skewed estimate must sit clearly below the uniform one, which is
+  // exactly the ordering signal the engine uses.
+  EXPECT_LT(s.EstimateDistinct(256, kCard),
+            0.8 * u.EstimateDistinct(256, kCard));
+}
+
+TEST(EntropyEngine, ForcedAndPressureFusionPreserveValues) {
+  Rng rng(924);
+  Relation r = RandomMultisetRelation(&rng, 6, 3, 300);
+  // Forced fusion: every multi-column tail is applied as one composite
+  // pass. Values must match the reference path to fp tolerance.
+  EngineOptions forced;
+  forced.max_fuse_columns = 4;
+  EntropyEngine fused_engine(&r, forced);
+  // Pressure-gated fusion: a tiny partition budget keeps the cache under
+  // eviction pressure, which turns adaptive fusion on mid-run.
+  EngineOptions tiny;
+  tiny.partition_budget_bytes = 2048;
+  EntropyEngine pressured(&r, tiny);
+  for (uint32_t m = 1; m < 64; ++m) {
+    AttrSet attrs = AttrSet::FromMask(m);
+    const double want = EntropyOf(r, attrs);
+    EXPECT_NEAR(fused_engine.Entropy(attrs), want, 1e-9) << attrs.ToString();
+    EXPECT_NEAR(pressured.Entropy(attrs), want, 1e-9) << attrs.ToString();
+  }
+  EXPECT_GT(fused_engine.Stats().fused_refinements, 0u);
+}
+
+// --- Shared WorkerPool (engine/worker_pool.h) ---------------------------
+
+TEST(WorkerPool, SharedAcrossEnginesMatchesPrivatePools) {
+  Rng rng(925);
+  Relation r1 = testing_util::RandomTestRelation(&rng, 5, 3, 150);
+  Relation r2 = RandomMultisetRelation(&rng, 5, 4, 120);
+
+  // One explicit pool serving every engine of one session.
+  auto pool = std::make_shared<WorkerPool>();
+  EngineOptions shared_options;
+  shared_options.num_threads = 4;
+  shared_options.worker_pool = pool;
+  AnalysisSession shared_session(shared_options);
+
+  // Private pools: one session (and thus one resolved pool) per relation.
+  EngineOptions private_options;
+  private_options.num_threads = 4;
+  private_options.worker_pool = std::make_shared<WorkerPool>();
+  AnalysisSession private_session1(private_options);
+  private_options.worker_pool = std::make_shared<WorkerPool>();
+  AnalysisSession private_session2(private_options);
+
+  std::vector<AttrSet> sets;
+  for (uint32_t m = 0; m < 32; ++m) sets.push_back(AttrSet::FromMask(m));
+  for (const Relation* r : {&r1, &r2}) {
+    AnalysisSession& priv = r == &r1 ? private_session1 : private_session2;
+    std::vector<double> via_shared =
+        shared_session.EngineFor(*r).BatchEntropy(sets);
+    std::vector<double> via_private = priv.EngineFor(*r).BatchEntropy(sets);
+    for (size_t i = 0; i < sets.size(); ++i) {
+      EXPECT_NEAR(via_shared[i], EntropyOf(*r, sets[i]), 1e-9);
+      EXPECT_NEAR(via_shared[i], via_private[i], 1e-9);
+    }
+  }
+  // The shared pool actually spawned workers (4 workers = caller + 3) and
+  // served both engines; neither engine grew a roster of its own.
+  EXPECT_GT(pool->NumThreads(), 0u);
+  EXPECT_LE(pool->NumThreads(), 3u);
+
+  // End to end: a miner run through a shared-pool session renders byte-
+  // identically to one through a private-pool session.
+  MinerReport a = MineJoinTree(&shared_session, r1).value();
+  EngineOptions fresh_options;
+  fresh_options.num_threads = 4;
+  fresh_options.worker_pool = std::make_shared<WorkerPool>();
+  AnalysisSession fresh_private(fresh_options);
+  MinerReport b = MineJoinTree(&fresh_private, r1).value();
+  EXPECT_EQ(a.ToString(r1.schema()), b.ToString(r1.schema()));
+}
+
+TEST(WorkerPool, ProcessSharedDefaultIsReused) {
+  // Engines built without an explicit pool all resolve to the process-wide
+  // default; sessions expose the resolved pool.
+  AnalysisSession s1;
+  AnalysisSession s2;
+  EXPECT_EQ(&s1.worker_pool(), &s2.worker_pool());
+  EXPECT_EQ(&s1.worker_pool(), WorkerPool::Shared().get());
 }
 
 TEST(EntropyCalculator, SessionBackedSharesCache) {
