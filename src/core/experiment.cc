@@ -35,8 +35,14 @@ SampleSummary Summarize(const std::vector<double>& xs) {
   return s;
 }
 
+// The convenience overloads below run each sweep through one sharded
+// session: every trial relation's engine charges the SAME cache budget
+// (SessionOptions defaults -> a session-global CacheArbiter), and the
+// per-trial Release discharges a dead trial's whole footprint in O(its
+// entries), so memory follows whichever trials are live instead of being
+// provisioned per relation.
 Result<std::vector<Fig1Row>> RunFig1(const Fig1Config& config) {
-  AnalysisSession session;
+  AnalysisSession session{SessionOptions{}};
   return RunFig1(&session, config);
 }
 
@@ -83,7 +89,7 @@ Result<std::vector<Fig1Row>> RunFig1(AnalysisSession* session,
 }
 
 Result<MvdDeviationResult> RunMvdDeviation(const MvdDeviationConfig& config) {
-  AnalysisSession session;
+  AnalysisSession session{SessionOptions{}};
   return RunMvdDeviation(&session, config);
 }
 
@@ -126,7 +132,7 @@ Result<MvdDeviationResult> RunMvdDeviation(AnalysisSession* session,
 
 Result<EntropyDeviationResult> RunEntropyDeviation(
     const EntropyDeviationConfig& config) {
-  AnalysisSession session;
+  AnalysisSession session{SessionOptions{}};
   return RunEntropyDeviation(&session, config);
 }
 

@@ -313,10 +313,13 @@ struct WorkTree {
 
 Result<MinerReport> MineJoinTree(const Relation& r,
                                  const MinerOptions& options) {
-  EngineOptions engine_options;
-  engine_options.num_threads = options.num_threads;
-  engine_options.worker_pool = options.worker_pool;
-  AnalysisSession session(engine_options);
+  // A throwaway session still shards: its engines share one worker pool
+  // and one cache budget (SessionOptions defaults), so callers that mine
+  // several relations through one session get global LRU across them.
+  SessionOptions session_options;
+  session_options.engine.num_threads = options.num_threads;
+  session_options.engine.worker_pool = options.worker_pool;
+  AnalysisSession session(session_options);
   return MineJoinTree(&session, r, options);
 }
 

@@ -6,21 +6,42 @@
 
 namespace ajd {
 
-AnalysisSession::AnalysisSession(EngineOptions options)
-    : options_(std::move(options)) {
+AnalysisSession::AnalysisSession(SessionOptions options)
+    : engine_options_(std::move(options.engine)) {
   // Resolve the pool once at session scope: engines created later all
   // share it, and TotalStats/worker_pool() observers need a stable handle.
-  if (options_.worker_pool == nullptr) {
-    options_.worker_pool = WorkerPool::Shared();
+  if (engine_options_.worker_pool == nullptr) {
+    engine_options_.worker_pool = WorkerPool::Shared();
+  }
+  // Resolve the shared cache budget the same way. cache_budget_bytes == 0
+  // means "no arbiter" (private per-engine budgets, the legacy behavior);
+  // unset promotes the per-engine budget to one session-global budget. An
+  // arbiter injected through the engine options is respected as-is
+  // (several sessions can then share ONE budget).
+  if (engine_options_.cache_arbiter == nullptr &&
+      options.cache_budget_bytes.value_or(1) != 0) {
+    ArbiterOptions arb;
+    arb.budget_bytes = options.cache_budget_bytes.value_or(
+        engine_options_.cache_budget_bytes);
+    arb.engine_floor_bytes = options.cache_floor_bytes;
+    engine_options_.cache_arbiter = std::make_shared<CacheArbiter>(arb);
   }
 }
+
+AnalysisSession::AnalysisSession(EngineOptions options)
+    : AnalysisSession([&options] {
+        SessionOptions session_options;
+        session_options.engine = std::move(options);
+        return session_options;
+      }()) {}
 
 EntropyEngine& AnalysisSession::EngineFor(const Relation& r) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = engines_.find(&r);
   if (it == engines_.end()) {
     it = engines_
-             .emplace(&r, std::make_unique<EntropyEngine>(&r, options_))
+             .emplace(&r,
+                      std::make_unique<EntropyEngine>(&r, engine_options_))
              .first;
   } else {
     // Relations are keyed by address: if a relation died and another now
@@ -36,6 +57,9 @@ EntropyEngine& AnalysisSession::EngineFor(const Relation& r) {
 }
 
 bool AnalysisSession::Release(const Relation& r) {
+  // ~EntropyEngine discharges the engine's footprint from the shared
+  // arbiter (O(its entries)); a relation without an engine — never served,
+  // or already released — is a no-op.
   std::lock_guard<std::mutex> lock(mu_);
   return engines_.erase(&r) > 0;
 }
@@ -43,6 +67,12 @@ bool AnalysisSession::Release(const Relation& r) {
 size_t AnalysisSession::NumRelations() const {
   std::lock_guard<std::mutex> lock(mu_);
   return engines_.size();
+}
+
+size_t AnalysisSession::CacheBytes() const {
+  return engine_options_.cache_arbiter == nullptr
+             ? 0
+             : engine_options_.cache_arbiter->AccountedBytes();
 }
 
 EngineStats AnalysisSession::TotalStats() const {

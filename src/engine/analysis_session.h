@@ -9,45 +9,89 @@
 // Relations are identified by address: callers must keep a relation alive
 // and at a stable address for as long as the session serves queries on it.
 // The session is safe to share across threads.
+//
+// The session is SHARDED across relations: all of its engines share one
+// WorkerPool (batches serialize instead of oversubscribing cores) and, by
+// default, one CacheArbiter (engine/cache_arbiter.h) holding a single
+// partition-cache byte budget, evicted globally-LRU across relations. A
+// sweep over dozens of relations therefore spends its memory on whichever
+// relations are actually reusing partitions, instead of provisioning an
+// even slice per relation.
 #ifndef AJD_ENGINE_ANALYSIS_SESSION_H_
 #define AJD_ENGINE_ANALYSIS_SESSION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
+#include "engine/cache_arbiter.h"
 #include "engine/entropy_engine.h"
 #include "engine/worker_pool.h"
 #include "relation/relation.h"
 
 namespace ajd {
 
+/// Session-level tuning: per-engine knobs plus the global cache budget.
+struct SessionOptions {
+  /// The options every engine of the session is created with. Its
+  /// `worker_pool` and `cache_arbiter` are resolved once at session scope
+  /// so all engines share one of each; an arbiter injected here is kept
+  /// as-is (several sessions can then share ONE budget — in which case
+  /// the two budget fields below are ignored), otherwise the session
+  /// builds its own from `cache_budget_bytes`.
+  EngineOptions engine;
+
+  /// The session-global partition-cache budget. Unset (the default)
+  /// promotes `engine.cache_budget_bytes` from a per-engine cap to ONE
+  /// cap shared by every relation. Any explicit value — including
+  /// SIZE_MAX for "never evict" — overrides it. 0 disables the shared
+  /// arbiter entirely: each engine keeps its private LRU budget (the
+  /// legacy, unsharded behavior).
+  std::optional<size_t> cache_budget_bytes;
+
+  /// Per-engine eviction floor under the shared budget: an engine at or
+  /// below this footprint is never an eviction victim, so one hot relation
+  /// cannot starve the others to zero. Self-clamps to budget / num_engines.
+  size_t cache_floor_bytes = size_t{1} << 20;
+};
+
 /// Owns one EntropyEngine per relation, created lazily on first use.
 ///
-/// The session also owns the batch pool its engines fan out on: the
-/// constructor resolves EngineOptions::worker_pool once (defaulting to the
-/// process-wide WorkerPool::Shared()), so every engine of the session —
-/// and, by default, every session in the process — submits batches to ONE
-/// pool that serializes them, instead of each engine spawning its own
-/// threads and oversubscribing the machine on many-relation sweeps.
+/// The session also owns the two resources its engines share:
+///   - the batch pool (EngineOptions::worker_pool, resolved once to the
+///     process-wide WorkerPool::Shared() by default), which SERIALIZES
+///     batches so a many-relation sweep never runs relations x threads;
+///   - the cache arbiter (SessionOptions::cache_budget_bytes), which holds
+///     one partition byte budget for all relations and evicts the globally
+///     coldest entry, with a per-engine floor.
 class AnalysisSession {
  public:
+  explicit AnalysisSession(SessionOptions options);
+  /// Legacy-shaped constructor: per-engine options with the default
+  /// session sharding (the engine budget becomes the session budget).
   explicit AnalysisSession(EngineOptions options = {});
 
   AnalysisSession(const AnalysisSession&) = delete;
   AnalysisSession& operator=(const AnalysisSession&) = delete;
 
   /// The engine for `r`, building its ColumnStore on first use. The
-  /// returned reference stays valid for the session's lifetime.
+  /// returned reference stays valid until Release(r) or the session's
+  /// destruction.
   EntropyEngine& EngineFor(const Relation& r);
 
   /// Drops the engine (and every cached term) for `r`, if any; returns
-  /// whether one existed. Call before destroying a relation when the
-  /// session outlives it — e.g. experiment sweeps that draw a fresh
-  /// relation per trial — so a later relation reusing the address gets a
-  /// fresh engine instead of tripping the fingerprint guard. Any
-  /// EntropyEngine references previously returned for `r` are invalidated.
+  /// whether one existed — false for a relation the session never served
+  /// (including a second Release of the same relation, which is a no-op).
+  /// Call before destroying a relation when the session outlives it —
+  /// e.g. experiment sweeps that draw a fresh relation per trial — so a
+  /// later relation reusing the address gets a fresh engine instead of
+  /// tripping the fingerprint guard. Under the shared arbiter this
+  /// discharges the engine's whole accounted footprint in O(its entries),
+  /// returning those bytes to the relations that remain. Any EntropyEngine
+  /// references previously returned for `r` are invalidated.
   bool Release(const Relation& r);
 
   /// Number of relations with a live engine.
@@ -56,14 +100,24 @@ class AnalysisSession {
   /// Aggregated counters across all engines.
   EngineStats TotalStats() const;
 
-  /// The options new engines are created with (worker_pool resolved).
-  const EngineOptions& options() const { return options_; }
+  /// The options new engines are created with (worker_pool and
+  /// cache_arbiter resolved).
+  const EngineOptions& options() const { return engine_options_; }
 
   /// The batch pool shared by all of this session's engines.
-  WorkerPool& worker_pool() const { return *options_.worker_pool; }
+  WorkerPool& worker_pool() const { return *engine_options_.worker_pool; }
+
+  /// The shared cache budget, or nullptr when the session was built with
+  /// cache_budget_bytes == 0 (private per-engine budgets).
+  CacheArbiter* cache_arbiter() const {
+    return engine_options_.cache_arbiter.get();
+  }
+
+  /// Bytes currently accounted by the shared budget (0 when unsharded).
+  size_t CacheBytes() const;
 
  private:
-  EngineOptions options_;
+  EngineOptions engine_options_;
   mutable std::mutex mu_;
   std::unordered_map<const Relation*, std::unique_ptr<EntropyEngine>>
       engines_;

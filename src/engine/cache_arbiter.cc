@@ -1,0 +1,145 @@
+#include "engine/cache_arbiter.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ajd {
+
+CacheArbiter::CacheArbiter(ArbiterOptions options) : options_(options) {}
+
+void CacheArbiter::RegisterEngine(const void* engine, EvictFn evict) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = engines_.emplace(engine, EngineRecord{});
+  AJD_CHECK_MSG(inserted, "engine %p registered twice", engine);
+  it->second.evict = std::move(evict);
+}
+
+void CacheArbiter::ReleaseEngine(const void* engine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(engine);
+  if (it == engines_.end()) return;
+  AJD_CHECK(total_bytes_ >= it->second.bytes);
+  total_bytes_ -= it->second.bytes;
+  engines_.erase(it);
+  UpdatePressureLocked();
+}
+
+void CacheArbiter::Charge(
+    const void* engine,
+    const std::vector<std::pair<AttrSet, size_t>>& entries) {
+  if (entries.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(engine);
+  AJD_CHECK_MSG(it != engines_.end(), "charge from unregistered engine %p",
+                engine);
+  EngineRecord& rec = it->second;
+  for (const auto& [key, bytes] : entries) {
+    auto [et, inserted] = rec.entries.emplace(key, Entry{});
+    if (inserted) {
+      et->second.bytes = bytes;
+      rec.bytes += bytes;
+      total_bytes_ += bytes;
+      ++stats_.charges;
+    } else {
+      // The engine dedups inserts under its own mutex, so a re-charge of a
+      // live key only happens after the arbiter evicted it and the engine
+      // recomputed — in which case it arrives as `inserted`. Anything else
+      // is a recency signal.
+      ++stats_.touches;
+    }
+    et->second.last_used = ++tick_;
+  }
+  EvictToBudgetLocked();
+  UpdatePressureLocked();
+}
+
+void CacheArbiter::Touch(const void* engine, AttrSet key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(engine);
+  if (it == engines_.end()) return;
+  auto et = it->second.entries.find(key);
+  if (et == it->second.entries.end()) return;
+  et->second.last_used = ++tick_;
+  ++stats_.touches;
+}
+
+size_t CacheArbiter::EffectiveFloorLocked() const {
+  if (engines_.empty()) return options_.engine_floor_bytes;
+  return std::min(options_.engine_floor_bytes,
+                  options_.budget_bytes / engines_.size());
+}
+
+void CacheArbiter::EvictToBudgetLocked() {
+  // Victim scan: the globally-coldest entry among engines above the
+  // effective floor. Linear over all entries — each engine caches at most a
+  // few hundred lattice points, so even dozens of engines scan in the
+  // microseconds an eviction's free() costs anyway.
+  //
+  // Termination: every iteration erases one entry. Progress past the
+  // budget: whenever total > budget, some engine must sit above the floor
+  // (sum of per-engine min(bytes, floor) <= num_engines * floor <= budget
+  // by the floor clamp), so a victim always exists.
+  const size_t floor = EffectiveFloorLocked();
+  while (total_bytes_ > options_.budget_bytes) {
+    EngineRecord* victim_rec = nullptr;
+    std::unordered_map<AttrSet, Entry, AttrSetHash>::iterator victim_entry;
+    uint64_t oldest = UINT64_MAX;
+    for (auto& [engine, rec] : engines_) {
+      (void)engine;
+      if (rec.bytes <= floor) continue;
+      for (auto et = rec.entries.begin(); et != rec.entries.end(); ++et) {
+        if (et->second.last_used < oldest) {
+          oldest = et->second.last_used;
+          victim_rec = &rec;
+          victim_entry = et;
+        }
+      }
+    }
+    if (victim_rec == nullptr) break;  // floors alone fit the budget
+    const AttrSet key = victim_entry->first;
+    const size_t bytes = victim_entry->second.bytes;
+    AJD_CHECK(victim_rec->bytes >= bytes && total_bytes_ >= bytes);
+    victim_rec->bytes -= bytes;
+    total_bytes_ -= bytes;
+    victim_rec->entries.erase(victim_entry);
+    ++stats_.evictions;
+    // Engine-side drop, under the arbiter -> engine lock order (see the
+    // header's locking contract). The callback tolerates already-gone keys.
+    victim_rec->evict(key);
+  }
+}
+
+void CacheArbiter::UpdatePressureLocked() {
+  pressure_.store(stats_.evictions > 0 &&
+                      total_bytes_ * 4 >= options_.budget_bytes * 3,
+                  std::memory_order_relaxed);
+}
+
+size_t CacheArbiter::AccountedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+size_t CacheArbiter::EngineBytes(const void* engine) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(engine);
+  return it == engines_.end() ? 0 : it->second.bytes;
+}
+
+size_t CacheArbiter::NumEngines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engines_.size();
+}
+
+ArbiterStats CacheArbiter::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t CacheArbiter::EffectiveFloorBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EffectiveFloorLocked();
+}
+
+}  // namespace ajd

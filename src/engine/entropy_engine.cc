@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "engine/cache_arbiter.h"
 #include "engine/refine_kernels.h"
 #include "engine/worker_pool.h"
 #include "relation/row_hash.h"
@@ -29,9 +30,23 @@ EntropyEngine::EntropyEngine(const Relation* r, EngineOptions options)
       fingerprint_(RelationFingerprint(*r)),
       pool_(options.worker_pool != nullptr ? options.worker_pool
                                            : WorkerPool::Shared()),
-      keys_by_count_(kMaxAttrs + 1) {}
+      arbiter_(options.cache_arbiter),
+      keys_by_count_(kMaxAttrs + 1) {
+  if (arbiter_ != nullptr) {
+    // No other thread can reach this engine yet, so registering before the
+    // body finishes cannot race a Charge.
+    arbiter_->RegisterEngine(
+        this, [this](AttrSet attrs) { DropPartitionForArbiter(attrs); });
+  }
+}
 
-EntropyEngine::~EntropyEngine() = default;
+EntropyEngine::~EntropyEngine() {
+  if (arbiter_ != nullptr) {
+    // Discharges this engine's whole footprint in O(its entries) — the
+    // fast path behind AnalysisSession::Release on short-lived relations.
+    arbiter_->ReleaseEngine(this);
+  }
+}
 
 uint64_t EntropyEngine::RelationFingerprint(const Relation& r) {
   uint64_t h =
@@ -83,16 +98,21 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
   // choice is deterministic given the cache contents.
   std::shared_ptr<const Partition> base;
   AttrSet base_set;
-  bool cache_pressure = false;
+  // Partition-cache pressure: evictions have happened and the cache sits
+  // near its budget, so intermediates cached now are unlikely to survive
+  // until a reuse — the signal that lets the fused path run (below)
+  // without starving future base lookups. Under an arbiter the pressure is
+  // global; it is sampled BEFORE taking mu_ because the engine must never
+  // wait on the arbiter while holding its own mutex (lock order is
+  // arbiter -> engine, see engine/cache_arbiter.h).
+  bool cache_pressure =
+      arbiter_ != nullptr && arbiter_->UnderPressure();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // Partition-cache pressure: evictions have happened and the cache sits
-    // near its budget, so intermediates cached now are unlikely to survive
-    // until a reuse — the signal that lets the fused path run (below)
-    // without starving future base lookups.
-    cache_pressure =
-        stats_.evictions > 0 &&
-        partition_bytes_ * 4 >= options_.partition_budget_bytes * 3;
+    if (arbiter_ == nullptr) {
+      cache_pressure = stats_.evictions > 0 &&
+                       partition_bytes_ * 4 >= options_.cache_budget_bytes * 3;
+    }
     double best_cost = static_cast<double>(n) *
                        std::max<uint32_t>(attrs.Count(), 1);  // from scratch
     uint32_t best_level = 0;
@@ -126,6 +146,10 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
       it->second.last_used = ++tick_;
       ++stats_.base_reuses;
     }
+  }
+  if (arbiter_ != nullptr && base != nullptr) {
+    // Recency signal for the global LRU; outside mu_ per the lock order.
+    arbiter_->Touch(this, base_set);
   }
 
   // Refine by the missing attributes in order of estimated block-splitting
@@ -258,6 +282,7 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
     h = cur->EntropyNats(n);
   }
 
+  std::vector<std::pair<AttrSet, size_t>> charged;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.partition_builds += builds;
@@ -265,25 +290,40 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
     stats_.fused_refinements += fused;
     entropies_.emplace(attrs, h);
     for (auto& entry : fresh) {
-      InsertPartitionLocked(entry.first, std::move(entry.second));
+      const AttrSet set = entry.first;
+      const size_t bytes =
+          InsertPartitionLocked(set, std::move(entry.second));
+      if (arbiter_ != nullptr && bytes > 0) charged.emplace_back(set, bytes);
     }
+  }
+  if (arbiter_ != nullptr && !charged.empty()) {
+    // Charge outside mu_: the arbiter may evict — from this engine or any
+    // other on the same budget — and its evict callbacks re-take engine
+    // mutexes (arbiter -> engine order only).
+    arbiter_->Charge(this, charged);
   }
   return h;
 }
 
-void EntropyEngine::InsertPartitionLocked(
+size_t EntropyEngine::InsertPartitionLocked(
     AttrSet attrs, std::shared_ptr<const Partition> p) {
+  size_t inserted_bytes = 0;
   auto [it, inserted] = partitions_.emplace(attrs, CachedPartition{});
   if (inserted) {
-    partition_bytes_ += p->MemoryBytes();
+    inserted_bytes = p->MemoryBytes();
+    partition_bytes_ += inserted_bytes;
     keys_by_count_[attrs.Count()].push_back({attrs, p->NumStrippedRows()});
     it->second.partition = std::move(p);
   }
   it->second.last_used = ++tick_;
+  // With a shared arbiter attached, eviction is global and happens when the
+  // caller charges the arbiter after releasing mu_; the private budget is
+  // inert.
+  if (arbiter_ != nullptr) return inserted_bytes;
   // Evict least-recently-used partitions past the budget, sparing the entry
   // just touched. Linear scans are fine: the cache holds at most a few
   // hundred lattice points in practice.
-  while (partition_bytes_ > options_.partition_budget_bytes &&
+  while (partition_bytes_ > options_.cache_budget_bytes &&
          partitions_.size() > 1) {
     auto victim = partitions_.end();
     uint64_t oldest = UINT64_MAX;
@@ -295,17 +335,31 @@ void EntropyEngine::InsertPartitionLocked(
       }
     }
     if (victim == partitions_.end()) break;
-    partition_bytes_ -= victim->second.partition->MemoryBytes();
-    std::vector<KeyEntry>& bucket = keys_by_count_[victim->first.Count()];
-    auto pos = std::find_if(
-        bucket.begin(), bucket.end(),
-        [&](const KeyEntry& e) { return e.set == victim->first; });
-    AJD_CHECK(pos != bucket.end());
-    *pos = bucket.back();
-    bucket.pop_back();
-    partitions_.erase(victim);
-    ++stats_.evictions;
+    EvictPartitionLocked(victim);
   }
+  return inserted_bytes;
+}
+
+void EntropyEngine::EvictPartitionLocked(
+    std::unordered_map<AttrSet, CachedPartition, AttrSetHash>::iterator it) {
+  const AttrSet attrs = it->first;
+  partition_bytes_ -= it->second.partition->MemoryBytes();
+  std::vector<KeyEntry>& bucket = keys_by_count_[attrs.Count()];
+  auto pos =
+      std::find_if(bucket.begin(), bucket.end(),
+                   [&](const KeyEntry& e) { return e.set == attrs; });
+  AJD_CHECK(pos != bucket.end());
+  *pos = bucket.back();
+  bucket.pop_back();
+  partitions_.erase(it);
+  ++stats_.evictions;
+}
+
+void EntropyEngine::DropPartitionForArbiter(AttrSet attrs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = partitions_.find(attrs);
+  if (it == partitions_.end()) return;
+  EvictPartitionLocked(it);
 }
 
 bool EntropyEngine::ParallelBatches() const {

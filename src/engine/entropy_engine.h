@@ -38,14 +38,17 @@
 
 namespace ajd {
 
-class WorkerPool;  // engine/worker_pool.h
+class CacheArbiter;  // engine/cache_arbiter.h
+class WorkerPool;    // engine/worker_pool.h
 
 /// Tuning knobs for an EntropyEngine.
 struct EngineOptions {
   /// Cap on the total heap bytes of cached partitions. Entropy values
   /// themselves (16 bytes a term) are always cached; partitions are the
   /// bulky part and are evicted least-recently-used past this budget.
-  size_t partition_budget_bytes = size_t{256} << 20;
+  /// Ignored when `cache_arbiter` is set: the arbiter's single global
+  /// budget governs instead, evicting across every attached engine.
+  size_t cache_budget_bytes = size_t{256} << 20;
   /// Threads for BatchEntropy/PrewarmSubsets; 0 means
   /// std::thread::hardware_concurrency(). Defaults to 1 (serial):
   /// concurrent workers race the partition cache, which perturbs fp
@@ -76,6 +79,13 @@ struct EngineOptions {
   /// guarantees, as the engine's documented serial-vs-threaded
   /// nondeterminism. It never changes results beyond that.
   uint32_t max_fuse_columns = 0;
+  /// The shared cache budget to charge cached partitions against
+  /// (engine/cache_arbiter.h). nullptr (the default) keeps the engine's
+  /// private `cache_budget_bytes` LRU — standalone engines and legacy
+  /// callers. AnalysisSession attaches one arbiter to all of its engines,
+  /// so a many-relation sweep spends ONE budget where the reuse actually
+  /// is, instead of slicing it evenly per relation.
+  std::shared_ptr<CacheArbiter> cache_arbiter;
 };
 
 /// Monotonically increasing counters describing engine behavior. Hit rate
@@ -196,9 +206,23 @@ class EntropyEngine {
   /// entropy-only pass (the PrewarmSubsets path).
   double ComputeEntropy(AttrSet attrs, bool materialize_final = false);
 
-  /// Inserts a partition and evicts LRU entries past the budget. Requires
-  /// mu_ held.
-  void InsertPartitionLocked(AttrSet attrs, std::shared_ptr<const Partition> p);
+  /// Inserts a partition; returns its heap bytes if actually inserted (0
+  /// for duplicates). With no arbiter attached, also evicts private-LRU
+  /// entries past cache_budget_bytes; with one, eviction is the arbiter's
+  /// job and the caller charges it AFTER releasing mu_. Requires mu_ held.
+  size_t InsertPartitionLocked(AttrSet attrs,
+                               std::shared_ptr<const Partition> p);
+
+  /// The arbiter's evict callback: drops one cached partition (if still
+  /// present) and counts the eviction. Takes mu_; never calls the arbiter
+  /// back, preserving the arbiter -> engine lock order.
+  void DropPartitionForArbiter(AttrSet attrs);
+
+  /// Removes one cached partition — map entry, popcount-bucket index
+  /// entry, byte accounting — and counts the eviction. Requires mu_ held.
+  void EvictPartitionLocked(
+      std::unordered_map<AttrSet, CachedPartition, AttrSetHash>::iterator
+          it);
 
   /// Resolved BatchEntropy pool size for a batch of n terms.
   uint32_t PoolSizeFor(size_t n) const;
@@ -210,6 +234,10 @@ class EntropyEngine {
   /// default). Engines only ever submit batches; the pool owns the
   /// threads and serializes batches across engines.
   std::shared_ptr<WorkerPool> pool_;
+  /// The shared cache budget, if any (options_.cache_arbiter). The engine
+  /// registers at construction and releases its whole footprint at
+  /// destruction. Arbiter calls are made only while mu_ is NOT held.
+  std::shared_ptr<CacheArbiter> arbiter_;
 
   mutable std::mutex mu_;
   std::unordered_map<AttrSet, double, AttrSetHash> entropies_;

@@ -20,7 +20,19 @@ void WorkerPool::Run(size_t n, uint32_t workers,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::lock_guard<std::mutex> submit(submit_mu_);
+  std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    // Another engine's batch owns the pool. Parking here would serialize
+    // cross-engine fan-outs end to end — with one session sharding many
+    // relations, a sweep's second engine would idle behind the first's
+    // whole batch. The calling thread exists either way, so spend it:
+    // process this batch inline and leave the roster to the batch that
+    // got there first. Values land in the same caches either way (the
+    // engine documents pool-vs-serial agreement to fp accumulation
+    // noise).
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->n = n;

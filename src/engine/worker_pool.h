@@ -13,6 +13,12 @@
 // Workers are spawned lazily on first use and parked between batches (the
 // miner submits one small batch per hill-climb sweep, so per-batch thread
 // spawns would dominate the work).
+//
+// A submitter that finds the pool busy does NOT wait: it processes its own
+// batch inline on the calling thread. Sharded sessions batch from several
+// engines at once (engine/cache_arbiter.h charges concurrently either
+// way), and head-of-line blocking behind another relation's fan-out would
+// waste exactly the thread the submitter already owns.
 #ifndef AJD_ENGINE_WORKER_POOL_H_
 #define AJD_ENGINE_WORKER_POOL_H_
 
@@ -40,7 +46,9 @@ class WorkerPool {
 
   /// Runs fn(0..n-1) with up to `workers` total participants (the calling
   /// thread included), blocking until every index is processed. With
-  /// workers <= 1 the calling thread simply loops — no pool involvement.
+  /// workers <= 1 — or when another submitter's batch currently owns the
+  /// pool — the calling thread simply loops; no pool involvement, no
+  /// waiting behind the other batch.
   void Run(size_t n, uint32_t workers, const std::function<void(size_t)>& fn);
 
   /// Number of parked worker threads currently spawned.

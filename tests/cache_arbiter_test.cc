@@ -1,0 +1,280 @@
+// Deterministic tests for the shared cache budget (engine/cache_arbiter.h):
+// cross-engine LRU victim order, per-engine floor enforcement, exact
+// discharge on engine release, and the budget=0 / budget=huge edge cases —
+// first against recording fake engines (exact victim sequences), then
+// through real EntropyEngines sharing one arbiter.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "engine/analysis_session.h"
+#include "engine/cache_arbiter.h"
+#include "engine/entropy_engine.h"
+#include "info/entropy.h"
+#include "random/rng.h"
+#include "relation/attr_set.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+// A fake engine: an identity token plus a log of the keys the arbiter told
+// it to drop, in order.
+struct FakeEngine {
+  std::vector<AttrSet> dropped;
+
+  void Register(CacheArbiter* arb) {
+    arb->RegisterEngine(this,
+                        [this](AttrSet key) { dropped.push_back(key); });
+  }
+};
+
+// Charges one (key, bytes) entry.
+void ChargeOne(CacheArbiter* arb, const FakeEngine* e, uint32_t key_mask,
+               size_t bytes) {
+  arb->Charge(e, {{AttrSet::FromMask(key_mask), bytes}});
+}
+
+TEST(CacheArbiter, EvictsGloballyColdestAcrossEngines) {
+  ArbiterOptions opts;
+  opts.budget_bytes = 1000;
+  opts.engine_floor_bytes = 0;  // pure global LRU for this test
+  CacheArbiter arb(opts);
+  FakeEngine a, b;
+  a.Register(&arb);
+  b.Register(&arb);
+
+  ChargeOne(&arb, &a, 1, 400);  // oldest
+  ChargeOne(&arb, &a, 2, 400);
+  EXPECT_EQ(arb.AccountedBytes(), 800u);
+  // b's first charge overflows: the victim is a's key 1 — an entry of the
+  // OTHER engine, because it is globally coldest.
+  ChargeOne(&arb, &b, 3, 400);
+  ASSERT_EQ(a.dropped.size(), 1u);
+  EXPECT_EQ(a.dropped[0], AttrSet::FromMask(1));
+  EXPECT_TRUE(b.dropped.empty());
+  EXPECT_EQ(arb.AccountedBytes(), 800u);
+  EXPECT_EQ(arb.EngineBytes(&a), 400u);
+  EXPECT_EQ(arb.EngineBytes(&b), 400u);
+
+  // Touch a's surviving entry: it becomes globally hottest, so the next
+  // overflow must evict b's key 3 instead.
+  arb.Touch(&a, AttrSet::FromMask(2));
+  ChargeOne(&arb, &b, 4, 400);
+  ASSERT_EQ(b.dropped.size(), 1u);
+  EXPECT_EQ(b.dropped[0], AttrSet::FromMask(3));
+  EXPECT_EQ(a.dropped.size(), 1u);  // unchanged
+  EXPECT_EQ(arb.AccountedBytes(), 800u);
+}
+
+TEST(CacheArbiter, PerEngineFloorProtectsWarmEngines) {
+  ArbiterOptions opts;
+  opts.budget_bytes = 1000;
+  opts.engine_floor_bytes = 300;  // < budget / 2, so no self-clamping
+  CacheArbiter arb(opts);
+  FakeEngine warm, hot;
+  warm.Register(&arb);
+  hot.Register(&arb);
+  EXPECT_EQ(arb.EffectiveFloorBytes(), 300u);
+
+  // The warm engine holds 250 bytes — below the floor, never a victim —
+  // in the two globally-OLDEST entries.
+  ChargeOne(&arb, &warm, 1, 125);
+  ChargeOne(&arb, &warm, 2, 125);
+  // The hot engine blows the budget; every eviction must come from the hot
+  // engine itself even though the warm entries are colder.
+  for (uint32_t k = 0; k < 6; ++k) {
+    ChargeOne(&arb, &hot, 8 + k, 200);
+    EXPECT_LE(arb.AccountedBytes(), opts.budget_bytes);
+  }
+  EXPECT_TRUE(warm.dropped.empty());
+  EXPECT_EQ(arb.EngineBytes(&warm), 250u);
+  // Hot evictions happened, oldest-first.
+  ASSERT_GE(hot.dropped.size(), 2u);
+  EXPECT_EQ(hot.dropped[0], AttrSet::FromMask(8));
+  EXPECT_EQ(hot.dropped[1], AttrSet::FromMask(9));
+}
+
+TEST(CacheArbiter, FloorSelfClampsToBudgetOverEngines) {
+  ArbiterOptions opts;
+  opts.budget_bytes = 400;
+  opts.engine_floor_bytes = 1000;  // deliberately unsatisfiable as-is
+  CacheArbiter arb(opts);
+  FakeEngine a, b;
+  a.Register(&arb);
+  b.Register(&arb);
+  // Clamped to budget / num_engines, so the floors stay jointly honorable.
+  EXPECT_EQ(arb.EffectiveFloorBytes(), 200u);
+  ChargeOne(&arb, &a, 1, 300);
+  ChargeOne(&arb, &b, 2, 300);
+  // Both engines sit above the clamped floor; the coldest (a's entry) goes.
+  EXPECT_LE(arb.AccountedBytes(), opts.budget_bytes);
+  ASSERT_EQ(a.dropped.size(), 1u);
+  EXPECT_TRUE(b.dropped.empty());
+}
+
+TEST(CacheArbiter, ReleaseEngineDischargesExactlyItsFootprint) {
+  ArbiterOptions opts;
+  opts.budget_bytes = size_t{1} << 30;
+  CacheArbiter arb(opts);
+  FakeEngine a, b;
+  a.Register(&arb);
+  b.Register(&arb);
+  ChargeOne(&arb, &a, 1, 111);
+  ChargeOne(&arb, &a, 2, 222);
+  ChargeOne(&arb, &b, 3, 555);
+  EXPECT_EQ(arb.AccountedBytes(), 888u);
+  EXPECT_EQ(arb.NumEngines(), 2u);
+
+  arb.ReleaseEngine(&a);
+  EXPECT_EQ(arb.AccountedBytes(), 555u);
+  EXPECT_EQ(arb.EngineBytes(&a), 0u);
+  EXPECT_EQ(arb.NumEngines(), 1u);
+  // Release invokes no evict callbacks: the engine is dropping its own
+  // cache, and a second release of the same engine is a no-op.
+  EXPECT_TRUE(a.dropped.empty());
+  arb.ReleaseEngine(&a);
+  EXPECT_EQ(arb.AccountedBytes(), 555u);
+}
+
+TEST(CacheArbiter, ZeroBudgetCachesNothingButNeverOverflows) {
+  ArbiterOptions opts;
+  opts.budget_bytes = 0;
+  CacheArbiter arb(opts);
+  FakeEngine a;
+  a.Register(&arb);
+  for (uint32_t k = 1; k <= 5; ++k) {
+    ChargeOne(&arb, &a, k, 64 * k);
+    EXPECT_EQ(arb.AccountedBytes(), 0u);  // evicted before Charge returned
+  }
+  EXPECT_EQ(a.dropped.size(), 5u);
+  EXPECT_EQ(arb.Stats().evictions, 5u);
+}
+
+TEST(CacheArbiter, HugeBudgetNeverEvicts) {
+  ArbiterOptions opts;
+  opts.budget_bytes = ~size_t{0};
+  CacheArbiter arb(opts);
+  FakeEngine a, b;
+  a.Register(&arb);
+  b.Register(&arb);
+  size_t total = 0;
+  for (uint32_t k = 1; k <= 32; ++k) {
+    ChargeOne(&arb, k % 2 ? &a : &b, k, 4096 * k);
+    total += 4096 * k;
+  }
+  EXPECT_EQ(arb.AccountedBytes(), total);
+  EXPECT_EQ(arb.Stats().evictions, 0u);
+  EXPECT_TRUE(a.dropped.empty());
+  EXPECT_TRUE(b.dropped.empty());
+}
+
+TEST(CacheArbiter, RechargeAfterEvictionIsAFreshEntry) {
+  ArbiterOptions opts;
+  opts.budget_bytes = 500;
+  opts.engine_floor_bytes = 0;
+  CacheArbiter arb(opts);
+  FakeEngine a;
+  a.Register(&arb);
+  ChargeOne(&arb, &a, 1, 300);
+  ChargeOne(&arb, &a, 2, 300);  // evicts key 1
+  ASSERT_EQ(a.dropped.size(), 1u);
+  // The engine recomputed key 1 and charges it again: accounted anew and
+  // the now-coldest key 2 is the next victim.
+  ChargeOne(&arb, &a, 1, 300);
+  ASSERT_EQ(a.dropped.size(), 2u);
+  EXPECT_EQ(a.dropped[1], AttrSet::FromMask(2));
+  EXPECT_EQ(arb.AccountedBytes(), 300u);
+}
+
+// --- Through real engines ----------------------------------------------
+
+TEST(CacheArbiter, RealEnginesShareOneBudgetAndStayCorrect) {
+  Rng rng(930);
+  Relation r1 = testing_util::RandomTestRelation(&rng, 5, 3, 200);
+  Relation r2 = testing_util::RandomTestRelation(&rng, 5, 4, 150);
+
+  ArbiterOptions arb_opts;
+  arb_opts.budget_bytes = 8192;  // tiny: forces cross-engine eviction
+  arb_opts.engine_floor_bytes = 1024;
+  auto arbiter = std::make_shared<CacheArbiter>(arb_opts);
+  EngineOptions opts;
+  opts.cache_arbiter = arbiter;
+  EntropyEngine e1(&r1, opts);
+  EntropyEngine e2(&r2, opts);
+
+  for (uint32_t m = 1; m < 32; ++m) {
+    AttrSet attrs = AttrSet::FromMask(m);
+    EXPECT_NEAR(e1.Entropy(attrs), EntropyOf(r1, attrs), 1e-9);
+    EXPECT_LE(arbiter->AccountedBytes(), arb_opts.budget_bytes);
+    EXPECT_NEAR(e2.Entropy(attrs), EntropyOf(r2, attrs), 1e-9);
+    EXPECT_LE(arbiter->AccountedBytes(), arb_opts.budget_bytes);
+  }
+  EXPECT_GT(arbiter->Stats().evictions, 0u);
+  // The arbiter's per-engine account matches each engine's own bookkeeping.
+  EXPECT_EQ(arbiter->EngineBytes(&e1), e1.PartitionBytes());
+  EXPECT_EQ(arbiter->EngineBytes(&e2), e2.PartitionBytes());
+  EXPECT_EQ(arbiter->AccountedBytes(),
+            e1.PartitionBytes() + e2.PartitionBytes());
+}
+
+TEST(CacheArbiter, SessionBudgetOverridesPerEngineBudget) {
+  Rng rng(931);
+  Relation r = testing_util::RandomTestRelation(&rng, 6, 3, 250);
+
+  // The engine-level budget is tiny, but the session-level budget is huge
+  // and must win: no evictions despite the engine options.
+  SessionOptions opts;
+  opts.engine.cache_budget_bytes = 512;
+  opts.cache_budget_bytes = size_t{1} << 30;
+  AnalysisSession session(opts);
+  ASSERT_NE(session.cache_arbiter(), nullptr);
+  EXPECT_EQ(session.cache_arbiter()->budget_bytes(), size_t{1} << 30);
+  EntropyEngine& engine = session.EngineFor(r);
+  for (uint32_t m = 1; m < 64; ++m) engine.Entropy(AttrSet::FromMask(m));
+  EXPECT_EQ(session.TotalStats().evictions, 0u);
+  EXPECT_GT(session.CacheBytes(), 512u);
+
+  // cache_budget_bytes = 0 disables the arbiter: the per-engine private
+  // budget (the legacy path) governs again.
+  SessionOptions legacy;
+  legacy.engine.cache_budget_bytes = 4096;
+  legacy.cache_budget_bytes = 0;
+  AnalysisSession private_session(legacy);
+  EXPECT_EQ(private_session.cache_arbiter(), nullptr);
+  EXPECT_EQ(private_session.CacheBytes(), 0u);
+  EntropyEngine& private_engine = private_session.EngineFor(r);
+  for (uint32_t m = 1; m < 64; ++m) {
+    private_engine.Entropy(AttrSet::FromMask(m));
+    EXPECT_LE(private_engine.PartitionBytes(), 4096u);
+  }
+  EXPECT_GT(private_session.TotalStats().evictions, 0u);
+}
+
+TEST(CacheArbiter, SessionReleaseReturnsBytesToSurvivors) {
+  Rng rng(932);
+  Relation keep = testing_util::RandomTestRelation(&rng, 5, 3, 200);
+  Relation drop = testing_util::RandomTestRelation(&rng, 5, 3, 220);
+
+  SessionOptions opts;
+  opts.cache_budget_bytes = size_t{1} << 30;
+  AnalysisSession session(opts);
+  for (uint32_t m = 1; m < 32; ++m) {
+    session.EngineFor(keep).Entropy(AttrSet::FromMask(m));
+    session.EngineFor(drop).Entropy(AttrSet::FromMask(m));
+  }
+  const size_t keep_bytes = session.EngineFor(keep).PartitionBytes();
+  const size_t both = session.CacheBytes();
+  EXPECT_GT(keep_bytes, 0u);
+  EXPECT_GT(both, keep_bytes);
+
+  // Release discharges exactly the dropped engine's footprint.
+  EXPECT_TRUE(session.Release(drop));
+  EXPECT_EQ(session.CacheBytes(), keep_bytes);
+  EXPECT_EQ(session.cache_arbiter()->NumEngines(), 1u);
+}
+
+}  // namespace
+}  // namespace ajd

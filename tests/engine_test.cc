@@ -194,12 +194,12 @@ TEST(EntropyEngine, PartitionBudgetEvicts) {
   Rng rng(905);
   Relation r = testing_util::RandomTestRelation(&rng, 6, 3, 300);
   EngineOptions options;
-  options.partition_budget_bytes = 4096;  // deliberately tiny
+  options.cache_budget_bytes = 4096;  // deliberately tiny
   EntropyEngine engine(&r, options);
   for (uint32_t m = 1; m < 64; ++m) {
     engine.Entropy(AttrSet::FromMask(m));
   }
-  EXPECT_LE(engine.PartitionBytes(), options.partition_budget_bytes);
+  EXPECT_LE(engine.PartitionBytes(), options.cache_budget_bytes);
   EXPECT_GT(engine.Stats().evictions, 0u);
   // Entropy values stay cached and correct even with partitions evicted.
   for (uint32_t m = 1; m < 64; ++m) {
@@ -536,7 +536,7 @@ TEST(EntropyEngine, ForcedAndPressureFusionPreserveValues) {
   // Pressure-gated fusion: a tiny partition budget keeps the cache under
   // eviction pressure, which turns adaptive fusion on mid-run.
   EngineOptions tiny;
-  tiny.partition_budget_bytes = 2048;
+  tiny.cache_budget_bytes = 2048;
   EntropyEngine pressured(&r, tiny);
   for (uint32_t m = 1; m < 64; ++m) {
     AttrSet attrs = AttrSet::FromMask(m);

@@ -1,0 +1,307 @@
+// Randomized stress/property suite for the sharded AnalysisSession: N
+// relations of random schemas and skews churned through one session —
+// created, queried, released, and recreated at REUSED addresses (the
+// fingerprint-guard path) — asserting after every operation that
+//   (a) every entropy matches the legacy EntropyOf reference to 1e-9, and
+//   (b) the shared arbiter's accounted bytes never exceed the budget.
+// Plus the cross-engine concurrency coverage: multi-threaded BatchEntropy
+// from two engines on one arbiter must be byte-identical to the serial
+// run when each engine computes serially, and correct to 1e-9 under full
+// fan-out with eviction pressure. The TSan CI leg runs this file.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "engine/analysis_session.h"
+#include "engine/cache_arbiter.h"
+#include "engine/entropy_engine.h"
+#include "engine/worker_pool.h"
+#include "info/entropy.h"
+#include "random/rng.h"
+#include "relation/attr_set.h"
+#include "relation/relation.h"
+#include "test_util.h"
+
+namespace ajd {
+namespace {
+
+// A random relation with random shape; skewed draws concentrate mass on
+// low codes so partitions (and the engine's sketch ordering) see genuinely
+// uneven data, and rows are kept as a multiset.
+Relation RandomStressRelation(Rng* rng) {
+  const uint32_t num_attrs = 2 + static_cast<uint32_t>(rng->UniformU64(4));
+  const uint32_t domain = 2 + static_cast<uint32_t>(rng->UniformU64(5));
+  const uint32_t rows = 20 + static_cast<uint32_t>(rng->UniformU64(180));
+  const bool skewed = rng->Bernoulli(0.5);
+  std::vector<uint64_t> dims(num_attrs, domain);
+  Schema schema = Schema::MakeSynthetic(dims).value();
+  RelationBuilder b(schema);
+  std::vector<uint32_t> row(num_attrs);
+  for (uint32_t i = 0; i < rows; ++i) {
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      if (skewed) {
+        const double u = rng->NextDouble();
+        uint32_t c = static_cast<uint32_t>(u * u * domain);
+        row[a] = c >= domain ? domain - 1 : c;
+      } else {
+        row[a] = static_cast<uint32_t>(rng->UniformU64(domain));
+      }
+    }
+    b.AddRow(row);
+  }
+  return std::move(b).Build(/*dedupe=*/false);
+}
+
+AttrSet RandomNonEmptySubset(Rng* rng, uint32_t num_attrs) {
+  const uint64_t limit = uint64_t{1} << num_attrs;
+  uint64_t mask = 1 + rng->UniformU64(limit - 1);
+  return AttrSet::FromMask(mask);
+}
+
+// One churn pass: `slots` relations live in std::optional storage, so a
+// recreate lands at the SAME address as the released relation — exactly
+// the address-reuse scenario the fingerprint guard exists for (a fresh
+// engine after Release, never a stale one).
+void ChurnSession(AnalysisSession* session, uint64_t seed, size_t budget) {
+  Rng rng(seed);
+  constexpr size_t kSlots = 6;
+  constexpr int kOps = 150;
+  std::vector<std::optional<Relation>> slots(kSlots);
+
+  auto check_budget = [&] {
+    if (session->cache_arbiter() != nullptr) {
+      EXPECT_LE(session->CacheBytes(), budget);
+      EXPECT_LE(session->cache_arbiter()->AccountedBytes(),
+                session->cache_arbiter()->budget_bytes());
+    }
+  };
+  auto query_and_check = [&](const Relation& r) {
+    AttrSet attrs = RandomNonEmptySubset(&rng, r.NumAttrs());
+    EXPECT_NEAR(session->EngineFor(r).Entropy(attrs), EntropyOf(r, attrs),
+                1e-9)
+        << "attrs=" << attrs.ToString();
+    check_budget();
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const size_t i = static_cast<size_t>(rng.UniformU64(kSlots));
+    std::optional<Relation>& slot = slots[i];
+    if (!slot.has_value()) {
+      slot.emplace(RandomStressRelation(&rng));
+      query_and_check(*slot);
+      continue;
+    }
+    switch (rng.UniformU64(4)) {
+      case 0:  // point query
+        query_and_check(*slot);
+        break;
+      case 1: {  // batch query, checked term by term
+        std::vector<AttrSet> sets;
+        for (int k = 0; k < 8; ++k) {
+          sets.push_back(RandomNonEmptySubset(&rng, slot->NumAttrs()));
+        }
+        std::vector<double> got =
+            session->EngineFor(*slot).BatchEntropy(sets);
+        for (size_t k = 0; k < sets.size(); ++k) {
+          EXPECT_NEAR(got[k], EntropyOf(*slot, sets[k]), 1e-9);
+        }
+        check_budget();
+        break;
+      }
+      case 2:  // release and destroy; the slot goes dormant
+        EXPECT_TRUE(session->Release(*slot));
+        slot.reset();
+        check_budget();
+        break;
+      default:  // release + recreate AT THE SAME ADDRESS, then query
+        EXPECT_TRUE(session->Release(*slot));
+        slot.emplace(RandomStressRelation(&rng));
+        query_and_check(*slot);
+        break;
+    }
+  }
+  // Drain every survivor: releases discharge exactly what is accounted, so
+  // a sharded session ends at zero accounted bytes.
+  for (auto& slot : slots) {
+    if (slot.has_value()) {
+      EXPECT_TRUE(session->Release(*slot));
+      slot.reset();
+    }
+  }
+  EXPECT_EQ(session->NumRelations(), 0u);
+  if (session->cache_arbiter() != nullptr) {
+    EXPECT_EQ(session->CacheBytes(), 0u);
+  }
+}
+
+TEST(SessionStress, RandomChurnHoldsValueAndBudgetInvariants) {
+  // Budgets spanning "evict almost everything" to "never evict", plus the
+  // legacy unsharded configuration (budget 0 = no arbiter) as control.
+  const size_t kBudgets[] = {2048, 64 << 10, size_t{1} << 30, 0};
+  uint64_t seed = 940;
+  for (size_t budget : kBudgets) {
+    SessionOptions opts;
+    opts.cache_budget_bytes = budget;
+    AnalysisSession session(opts);
+    ASSERT_EQ(session.cache_arbiter() != nullptr, budget != 0);
+    ChurnSession(&session, ++seed, budget);
+  }
+}
+
+TEST(SessionStress, ParallelEnginesChurnHoldsInvariants) {
+  // Same churn, but every engine fans batches out on the shared pool (the
+  // WorkerPool serializes batches; the arbiter sees concurrent charges
+  // from the pool's workers).
+  SessionOptions opts;
+  opts.engine.num_threads = 4;
+  opts.cache_budget_bytes = 32 << 10;
+  AnalysisSession session(opts);
+  ChurnSession(&session, 950, *opts.cache_budget_bytes);
+}
+
+TEST(SessionStress, ReleaseOfUnknownRelationIsFalseAndDoubleReleaseIsNoOp) {
+  Rng rng(951);
+  Relation served = testing_util::RandomTestRelation(&rng, 4, 3, 80);
+  Relation never_served = testing_util::RandomTestRelation(&rng, 4, 3, 80);
+  AnalysisSession session;
+  session.EngineFor(served).Entropy(AttrSet{0, 1});
+  const size_t accounted = session.CacheBytes();
+
+  // Unknown relation: false, and nothing about the session changes.
+  EXPECT_FALSE(session.Release(never_served));
+  EXPECT_EQ(session.NumRelations(), 1u);
+  EXPECT_EQ(session.CacheBytes(), accounted);
+
+  // First release drops the engine and discharges it; the second is a
+  // no-op returning false, not UB — the session stays fully usable.
+  EXPECT_TRUE(session.Release(served));
+  EXPECT_FALSE(session.Release(served));
+  EXPECT_EQ(session.NumRelations(), 0u);
+  EXPECT_EQ(session.CacheBytes(), 0u);
+  EXPECT_NEAR(session.EngineFor(served).Entropy(AttrSet{0, 1}),
+              EntropyOf(served, AttrSet{0, 1}), 1e-9);
+}
+
+TEST(SessionStressDeathTest, FingerprintGuardCatchesUnreleasedAddressReuse) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Rng rng(952);
+  std::optional<Relation> slot;
+  slot.emplace(testing_util::RandomTestRelation(&rng, 3, 3, 40));
+  AnalysisSession session;
+  session.EngineFor(*slot).Entropy(AttrSet{0, 1});
+  // Destroy and recreate at the same address WITHOUT releasing: the row
+  // counts differ, so the fingerprint cannot collide, and serving the
+  // stale engine must abort rather than return the dead relation's values.
+  slot.reset();
+  slot.emplace(testing_util::RandomTestRelation(&rng, 3, 3, 60));
+  EXPECT_DEATH(session.EngineFor(*slot), "changed since its engine");
+}
+
+TEST(WorkerPool, BusyPoolRunsSubmitterInlineInsteadOfWaiting) {
+  // One submitter parks inside its batch while holding the pool; a second
+  // submitter must complete WITHOUT waiting for it (inline on its own
+  // thread). Under the old head-of-line blocking this test deadlocks: the
+  // second Run would sit on the submit lock while the first batch waits
+  // for it to finish.
+  WorkerPool pool;
+  std::atomic<bool> first_started{false};
+  std::atomic<bool> second_done{false};
+  std::thread first([&] {
+    std::function<void(size_t)> block = [&](size_t) {
+      first_started.store(true);
+      while (!second_done.load()) std::this_thread::yield();
+    };
+    pool.Run(1, 2, block);
+  });
+  while (!first_started.load()) std::this_thread::yield();
+
+  std::atomic<int> processed{0};
+  std::function<void(size_t)> count = [&](size_t) { ++processed; };
+  pool.Run(3, 2, count);  // pool busy -> inline, cannot block
+  EXPECT_EQ(processed.load(), 3);
+  second_done.store(true);
+  first.join();
+}
+
+// --- Cross-engine concurrency on one arbiter ----------------------------
+
+TEST(SessionConcurrency, TwoEngineConcurrentBatchesAreByteIdenticalToSerial) {
+  Rng rng(960);
+  Relation r1 = testing_util::RandomTestRelation(&rng, 6, 3, 200);
+  Relation r2 = testing_util::RandomTestRelation(&rng, 6, 4, 160);
+  std::vector<AttrSet> sets;
+  for (uint32_t m = 1; m < 64; ++m) sets.push_back(AttrSet::FromMask(m));
+
+  // Serial reference: one engine after the other, huge shared budget (no
+  // evictions), each engine computing on the calling thread.
+  SessionOptions opts;
+  opts.cache_budget_bytes = size_t{1} << 30;
+  AnalysisSession serial(opts);
+  const std::vector<double> want1 = serial.EngineFor(r1).BatchEntropy(sets);
+  const std::vector<double> want2 = serial.EngineFor(r2).BatchEntropy(sets);
+
+  // Concurrent: the two engines batch simultaneously from two threads.
+  // Each engine still computes serially (num_threads = 1), so its own
+  // refinement order is fixed; the only concurrency is the shared arbiter
+  // taking charges and touches from both engines at once. Values must be
+  // byte-identical to the serial run.
+  for (int round = 0; round < 5; ++round) {
+    AnalysisSession concurrent(opts);
+    EntropyEngine& e1 = concurrent.EngineFor(r1);
+    EntropyEngine& e2 = concurrent.EngineFor(r2);
+    std::vector<double> got1, got2;
+    std::thread t1([&] { got1 = e1.BatchEntropy(sets); });
+    std::thread t2([&] { got2 = e2.BatchEntropy(sets); });
+    t1.join();
+    t2.join();
+    ASSERT_EQ(got1.size(), want1.size());
+    ASSERT_EQ(got2.size(), want2.size());
+    for (size_t i = 0; i < sets.size(); ++i) {
+      EXPECT_EQ(got1[i], want1[i]) << "round " << round << " set "
+                                   << sets[i].ToString();
+      EXPECT_EQ(got2[i], want2[i]) << "round " << round << " set "
+                                   << sets[i].ToString();
+    }
+  }
+}
+
+TEST(SessionConcurrency, FanOutUnderEvictionPressureStaysCorrect) {
+  Rng rng(961);
+  Relation r1 = testing_util::RandomTestRelation(&rng, 6, 3, 250);
+  Relation r2 = testing_util::RandomTestRelation(&rng, 6, 4, 200);
+  std::vector<AttrSet> sets;
+  for (uint32_t m = 1; m < 64; ++m) sets.push_back(AttrSet::FromMask(m));
+
+  // Full fan-out (engines use the shared pool) under a budget small enough
+  // that the arbiter evicts across engines mid-batch. Values are checked
+  // against the legacy reference; the budget invariant must hold at the
+  // end, and under TSan this is the hottest charge/evict/drop interleaving
+  // the engine has.
+  SessionOptions opts;
+  opts.engine.num_threads = 4;
+  opts.cache_budget_bytes = 8 << 10;
+  opts.cache_floor_bytes = 1 << 10;
+  AnalysisSession session(opts);
+  EntropyEngine& e1 = session.EngineFor(r1);
+  EntropyEngine& e2 = session.EngineFor(r2);
+  std::vector<double> got1, got2;
+  std::thread t1([&] { got1 = e1.BatchEntropy(sets); });
+  std::thread t2([&] { got2 = e2.BatchEntropy(sets); });
+  t1.join();
+  t2.join();
+  for (size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_NEAR(got1[i], EntropyOf(r1, sets[i]), 1e-9);
+    EXPECT_NEAR(got2[i], EntropyOf(r2, sets[i]), 1e-9);
+  }
+  EXPECT_LE(session.CacheBytes(), opts.cache_budget_bytes);
+  EXPECT_GT(session.cache_arbiter()->Stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace ajd
