@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "CMakeFiles/ajd.dir/src/core/analysis.cc.o" "gcc" "CMakeFiles/ajd.dir/src/core/analysis.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "CMakeFiles/ajd.dir/src/core/bounds.cc.o" "gcc" "CMakeFiles/ajd.dir/src/core/bounds.cc.o.d"
+  "/root/repo/src/core/certificate.cc" "CMakeFiles/ajd.dir/src/core/certificate.cc.o" "gcc" "CMakeFiles/ajd.dir/src/core/certificate.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "CMakeFiles/ajd.dir/src/core/experiment.cc.o" "gcc" "CMakeFiles/ajd.dir/src/core/experiment.cc.o.d"
+  "/root/repo/src/core/groupwise.cc" "CMakeFiles/ajd.dir/src/core/groupwise.cc.o" "gcc" "CMakeFiles/ajd.dir/src/core/groupwise.cc.o.d"
+  "/root/repo/src/core/loss.cc" "CMakeFiles/ajd.dir/src/core/loss.cc.o" "gcc" "CMakeFiles/ajd.dir/src/core/loss.cc.o.d"
+  "/root/repo/src/core/mvd_check.cc" "CMakeFiles/ajd.dir/src/core/mvd_check.cc.o" "gcc" "CMakeFiles/ajd.dir/src/core/mvd_check.cc.o.d"
+  "/root/repo/src/core/worstcase.cc" "CMakeFiles/ajd.dir/src/core/worstcase.cc.o" "gcc" "CMakeFiles/ajd.dir/src/core/worstcase.cc.o.d"
+  "/root/repo/src/discovery/fd.cc" "CMakeFiles/ajd.dir/src/discovery/fd.cc.o" "gcc" "CMakeFiles/ajd.dir/src/discovery/fd.cc.o.d"
+  "/root/repo/src/discovery/miner.cc" "CMakeFiles/ajd.dir/src/discovery/miner.cc.o" "gcc" "CMakeFiles/ajd.dir/src/discovery/miner.cc.o.d"
+  "/root/repo/src/discovery/normalize.cc" "CMakeFiles/ajd.dir/src/discovery/normalize.cc.o" "gcc" "CMakeFiles/ajd.dir/src/discovery/normalize.cc.o.d"
+  "/root/repo/src/engine/analysis_session.cc" "CMakeFiles/ajd.dir/src/engine/analysis_session.cc.o" "gcc" "CMakeFiles/ajd.dir/src/engine/analysis_session.cc.o.d"
+  "/root/repo/src/engine/cache_arbiter.cc" "CMakeFiles/ajd.dir/src/engine/cache_arbiter.cc.o" "gcc" "CMakeFiles/ajd.dir/src/engine/cache_arbiter.cc.o.d"
+  "/root/repo/src/engine/column_store.cc" "CMakeFiles/ajd.dir/src/engine/column_store.cc.o" "gcc" "CMakeFiles/ajd.dir/src/engine/column_store.cc.o.d"
+  "/root/repo/src/engine/entropy_engine.cc" "CMakeFiles/ajd.dir/src/engine/entropy_engine.cc.o" "gcc" "CMakeFiles/ajd.dir/src/engine/entropy_engine.cc.o.d"
+  "/root/repo/src/engine/partition.cc" "CMakeFiles/ajd.dir/src/engine/partition.cc.o" "gcc" "CMakeFiles/ajd.dir/src/engine/partition.cc.o.d"
+  "/root/repo/src/engine/refine_kernels.cc" "CMakeFiles/ajd.dir/src/engine/refine_kernels.cc.o" "gcc" "CMakeFiles/ajd.dir/src/engine/refine_kernels.cc.o.d"
+  "/root/repo/src/engine/worker_pool.cc" "CMakeFiles/ajd.dir/src/engine/worker_pool.cc.o" "gcc" "CMakeFiles/ajd.dir/src/engine/worker_pool.cc.o.d"
+  "/root/repo/src/info/dist_info.cc" "CMakeFiles/ajd.dir/src/info/dist_info.cc.o" "gcc" "CMakeFiles/ajd.dir/src/info/dist_info.cc.o.d"
+  "/root/repo/src/info/distribution.cc" "CMakeFiles/ajd.dir/src/info/distribution.cc.o" "gcc" "CMakeFiles/ajd.dir/src/info/distribution.cc.o.d"
+  "/root/repo/src/info/entropy.cc" "CMakeFiles/ajd.dir/src/info/entropy.cc.o" "gcc" "CMakeFiles/ajd.dir/src/info/entropy.cc.o.d"
+  "/root/repo/src/info/factorized.cc" "CMakeFiles/ajd.dir/src/info/factorized.cc.o" "gcc" "CMakeFiles/ajd.dir/src/info/factorized.cc.o.d"
+  "/root/repo/src/info/j_measure.cc" "CMakeFiles/ajd.dir/src/info/j_measure.cc.o" "gcc" "CMakeFiles/ajd.dir/src/info/j_measure.cc.o.d"
+  "/root/repo/src/io/csv.cc" "CMakeFiles/ajd.dir/src/io/csv.cc.o" "gcc" "CMakeFiles/ajd.dir/src/io/csv.cc.o.d"
+  "/root/repo/src/io/table_printer.cc" "CMakeFiles/ajd.dir/src/io/table_printer.cc.o" "gcc" "CMakeFiles/ajd.dir/src/io/table_printer.cc.o.d"
+  "/root/repo/src/jointree/gyo.cc" "CMakeFiles/ajd.dir/src/jointree/gyo.cc.o" "gcc" "CMakeFiles/ajd.dir/src/jointree/gyo.cc.o.d"
+  "/root/repo/src/jointree/join_tree.cc" "CMakeFiles/ajd.dir/src/jointree/join_tree.cc.o" "gcc" "CMakeFiles/ajd.dir/src/jointree/join_tree.cc.o.d"
+  "/root/repo/src/jointree/mvd.cc" "CMakeFiles/ajd.dir/src/jointree/mvd.cc.o" "gcc" "CMakeFiles/ajd.dir/src/jointree/mvd.cc.o.d"
+  "/root/repo/src/random/random_relation.cc" "CMakeFiles/ajd.dir/src/random/random_relation.cc.o" "gcc" "CMakeFiles/ajd.dir/src/random/random_relation.cc.o.d"
+  "/root/repo/src/random/rng.cc" "CMakeFiles/ajd.dir/src/random/rng.cc.o" "gcc" "CMakeFiles/ajd.dir/src/random/rng.cc.o.d"
+  "/root/repo/src/relation/acyclic_join.cc" "CMakeFiles/ajd.dir/src/relation/acyclic_join.cc.o" "gcc" "CMakeFiles/ajd.dir/src/relation/acyclic_join.cc.o.d"
+  "/root/repo/src/relation/attr_set.cc" "CMakeFiles/ajd.dir/src/relation/attr_set.cc.o" "gcc" "CMakeFiles/ajd.dir/src/relation/attr_set.cc.o.d"
+  "/root/repo/src/relation/full_reducer.cc" "CMakeFiles/ajd.dir/src/relation/full_reducer.cc.o" "gcc" "CMakeFiles/ajd.dir/src/relation/full_reducer.cc.o.d"
+  "/root/repo/src/relation/ops.cc" "CMakeFiles/ajd.dir/src/relation/ops.cc.o" "gcc" "CMakeFiles/ajd.dir/src/relation/ops.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "CMakeFiles/ajd.dir/src/relation/relation.cc.o" "gcc" "CMakeFiles/ajd.dir/src/relation/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "CMakeFiles/ajd.dir/src/relation/schema.cc.o" "gcc" "CMakeFiles/ajd.dir/src/relation/schema.cc.o.d"
+  "/root/repo/src/stats/binomial.cc" "CMakeFiles/ajd.dir/src/stats/binomial.cc.o" "gcc" "CMakeFiles/ajd.dir/src/stats/binomial.cc.o.d"
+  "/root/repo/src/stats/functional_entropy.cc" "CMakeFiles/ajd.dir/src/stats/functional_entropy.cc.o" "gcc" "CMakeFiles/ajd.dir/src/stats/functional_entropy.cc.o.d"
+  "/root/repo/src/stats/hypergeometric.cc" "CMakeFiles/ajd.dir/src/stats/hypergeometric.cc.o" "gcc" "CMakeFiles/ajd.dir/src/stats/hypergeometric.cc.o.d"
+  "/root/repo/src/stats/inequalities.cc" "CMakeFiles/ajd.dir/src/stats/inequalities.cc.o" "gcc" "CMakeFiles/ajd.dir/src/stats/inequalities.cc.o.d"
+  "/root/repo/src/stats/poisson.cc" "CMakeFiles/ajd.dir/src/stats/poisson.cc.o" "gcc" "CMakeFiles/ajd.dir/src/stats/poisson.cc.o.d"
+  "/root/repo/src/stats/special.cc" "CMakeFiles/ajd.dir/src/stats/special.cc.o" "gcc" "CMakeFiles/ajd.dir/src/stats/special.cc.o.d"
+  "/root/repo/src/util/math.cc" "CMakeFiles/ajd.dir/src/util/math.cc.o" "gcc" "CMakeFiles/ajd.dir/src/util/math.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/ajd.dir/src/util/status.cc.o" "gcc" "CMakeFiles/ajd.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "CMakeFiles/ajd.dir/src/util/string_util.cc.o" "gcc" "CMakeFiles/ajd.dir/src/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/acyclic_join_test.cc" "CMakeFiles/ajd_tests.dir/tests/acyclic_join_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/acyclic_join_test.cc.o.d"
+  "/root/repo/tests/analysis_test.cc" "CMakeFiles/ajd_tests.dir/tests/analysis_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/analysis_test.cc.o.d"
+  "/root/repo/tests/attr_set_test.cc" "CMakeFiles/ajd_tests.dir/tests/attr_set_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/attr_set_test.cc.o.d"
+  "/root/repo/tests/bounds_test.cc" "CMakeFiles/ajd_tests.dir/tests/bounds_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/bounds_test.cc.o.d"
+  "/root/repo/tests/cache_arbiter_test.cc" "CMakeFiles/ajd_tests.dir/tests/cache_arbiter_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/cache_arbiter_test.cc.o.d"
+  "/root/repo/tests/certificate_test.cc" "CMakeFiles/ajd_tests.dir/tests/certificate_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/certificate_test.cc.o.d"
+  "/root/repo/tests/dist_info_test.cc" "CMakeFiles/ajd_tests.dir/tests/dist_info_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/dist_info_test.cc.o.d"
+  "/root/repo/tests/distribution_test.cc" "CMakeFiles/ajd_tests.dir/tests/distribution_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/distribution_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "CMakeFiles/ajd_tests.dir/tests/edge_cases_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/edge_cases_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "CMakeFiles/ajd_tests.dir/tests/engine_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/engine_test.cc.o.d"
+  "/root/repo/tests/entropy_test.cc" "CMakeFiles/ajd_tests.dir/tests/entropy_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/entropy_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "CMakeFiles/ajd_tests.dir/tests/experiment_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/experiment_test.cc.o.d"
+  "/root/repo/tests/factorized_test.cc" "CMakeFiles/ajd_tests.dir/tests/factorized_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/factorized_test.cc.o.d"
+  "/root/repo/tests/fd_test.cc" "CMakeFiles/ajd_tests.dir/tests/fd_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/fd_test.cc.o.d"
+  "/root/repo/tests/full_reducer_test.cc" "CMakeFiles/ajd_tests.dir/tests/full_reducer_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/full_reducer_test.cc.o.d"
+  "/root/repo/tests/groupwise_test.cc" "CMakeFiles/ajd_tests.dir/tests/groupwise_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/groupwise_test.cc.o.d"
+  "/root/repo/tests/gyo_test.cc" "CMakeFiles/ajd_tests.dir/tests/gyo_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/gyo_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "CMakeFiles/ajd_tests.dir/tests/integration_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "CMakeFiles/ajd_tests.dir/tests/io_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/io_test.cc.o.d"
+  "/root/repo/tests/j_measure_test.cc" "CMakeFiles/ajd_tests.dir/tests/j_measure_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/j_measure_test.cc.o.d"
+  "/root/repo/tests/join_tree_test.cc" "CMakeFiles/ajd_tests.dir/tests/join_tree_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/join_tree_test.cc.o.d"
+  "/root/repo/tests/loss_test.cc" "CMakeFiles/ajd_tests.dir/tests/loss_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/loss_test.cc.o.d"
+  "/root/repo/tests/miner_parallel_test.cc" "CMakeFiles/ajd_tests.dir/tests/miner_parallel_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/miner_parallel_test.cc.o.d"
+  "/root/repo/tests/miner_test.cc" "CMakeFiles/ajd_tests.dir/tests/miner_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/miner_test.cc.o.d"
+  "/root/repo/tests/mvd_check_test.cc" "CMakeFiles/ajd_tests.dir/tests/mvd_check_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/mvd_check_test.cc.o.d"
+  "/root/repo/tests/normalize_test.cc" "CMakeFiles/ajd_tests.dir/tests/normalize_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/normalize_test.cc.o.d"
+  "/root/repo/tests/ops_test.cc" "CMakeFiles/ajd_tests.dir/tests/ops_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/ops_test.cc.o.d"
+  "/root/repo/tests/random_relation_test.cc" "CMakeFiles/ajd_tests.dir/tests/random_relation_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/random_relation_test.cc.o.d"
+  "/root/repo/tests/relation_test.cc" "CMakeFiles/ajd_tests.dir/tests/relation_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/relation_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "CMakeFiles/ajd_tests.dir/tests/rng_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/rng_test.cc.o.d"
+  "/root/repo/tests/session_stress_test.cc" "CMakeFiles/ajd_tests.dir/tests/session_stress_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/session_stress_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "CMakeFiles/ajd_tests.dir/tests/stats_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/stats_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "CMakeFiles/ajd_tests.dir/tests/util_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/util_test.cc.o.d"
+  "/root/repo/tests/worstcase_test.cc" "CMakeFiles/ajd_tests.dir/tests/worstcase_test.cc.o" "gcc" "CMakeFiles/ajd_tests.dir/tests/worstcase_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/ajd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

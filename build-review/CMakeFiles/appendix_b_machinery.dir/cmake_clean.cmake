@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_b_machinery.dir/bench/appendix_b_machinery.cc.o"
+  "CMakeFiles/appendix_b_machinery.dir/bench/appendix_b_machinery.cc.o.d"
+  "bench/appendix_b_machinery"
+  "bench/appendix_b_machinery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_b_machinery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

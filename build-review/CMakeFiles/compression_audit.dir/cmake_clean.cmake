@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_audit.dir/examples/compression_audit.cpp.o"
+  "CMakeFiles/compression_audit.dir/examples/compression_audit.cpp.o.d"
+  "examples/compression_audit"
+  "examples/compression_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_quality.dir/bench/discovery_quality.cc.o"
+  "CMakeFiles/discovery_quality.dir/bench/discovery_quality.cc.o.d"
+  "bench/discovery_quality"
+  "bench/discovery_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

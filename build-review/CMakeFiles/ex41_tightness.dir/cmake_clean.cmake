@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex41_tightness.dir/bench/ex41_tightness.cc.o"
+  "CMakeFiles/ex41_tightness.dir/bench/ex41_tightness.cc.o.d"
+  "bench/ex41_tightness"
+  "bench/ex41_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex41_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ex41_tightness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ex41_tightness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mi_scattering.dir/bench/fig1_mi_scattering.cc.o"
+  "CMakeFiles/fig1_mi_scattering.dir/bench/fig1_mi_scattering.cc.o.d"
+  "bench/fig1_mi_scattering"
+  "bench/fig1_mi_scattering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mi_scattering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupwise_eq44.dir/bench/groupwise_eq44.cc.o"
+  "CMakeFiles/groupwise_eq44.dir/bench/groupwise_eq44.cc.o.d"
+  "bench/groupwise_eq44"
+  "bench/groupwise_eq44.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupwise_eq44.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for groupwise_eq44.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for groupwise_eq44.
+# This may be replaced when dependencies are built.

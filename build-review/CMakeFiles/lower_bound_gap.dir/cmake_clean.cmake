@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_gap.dir/bench/lower_bound_gap.cc.o"
+  "CMakeFiles/lower_bound_gap.dir/bench/lower_bound_gap.cc.o.d"
+  "bench/lower_bound_gap"
+  "bench/lower_bound_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

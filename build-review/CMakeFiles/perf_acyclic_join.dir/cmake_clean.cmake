@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_acyclic_join.dir/bench/perf_acyclic_join.cc.o"
+  "CMakeFiles/perf_acyclic_join.dir/bench/perf_acyclic_join.cc.o.d"
+  "bench/perf_acyclic_join"
+  "bench/perf_acyclic_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_acyclic_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

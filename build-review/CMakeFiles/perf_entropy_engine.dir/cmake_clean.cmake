@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_entropy_engine.dir/bench/perf_entropy_engine.cc.o"
+  "CMakeFiles/perf_entropy_engine.dir/bench/perf_entropy_engine.cc.o.d"
+  "bench/perf_entropy_engine"
+  "bench/perf_entropy_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_entropy_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_info.dir/bench/perf_info.cc.o"
+  "CMakeFiles/perf_info.dir/bench/perf_info.cc.o.d"
+  "bench/perf_info"
+  "bench/perf_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

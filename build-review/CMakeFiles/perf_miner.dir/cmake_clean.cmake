@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_miner.dir/bench/perf_miner.cc.o"
+  "CMakeFiles/perf_miner.dir/bench/perf_miner.cc.o.d"
+  "bench/perf_miner"
+  "bench/perf_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_partition.dir/bench/perf_partition.cc.o"
+  "CMakeFiles/perf_partition.dir/bench/perf_partition.cc.o.d"
+  "bench/perf_partition"
+  "bench/perf_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_reducer.dir/bench/perf_reducer.cc.o"
+  "CMakeFiles/perf_reducer.dir/bench/perf_reducer.cc.o.d"
+  "bench/perf_reducer"
+  "bench/perf_reducer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_reducer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_sampler.dir/bench/perf_sampler.cc.o"
+  "CMakeFiles/perf_sampler.dir/bench/perf_sampler.cc.o.d"
+  "bench/perf_sampler"
+  "bench/perf_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

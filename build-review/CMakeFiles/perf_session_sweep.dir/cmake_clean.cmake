@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_session_sweep.dir/bench/perf_session_sweep.cc.o"
+  "CMakeFiles/perf_session_sweep.dir/bench/perf_session_sweep.cc.o.d"
+  "bench/perf_session_sweep"
+  "bench/perf_session_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_session_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop51_decomposition.dir/bench/prop51_decomposition.cc.o"
+  "CMakeFiles/prop51_decomposition.dir/bench/prop51_decomposition.cc.o.d"
+  "bench/prop51_decomposition"
+  "bench/prop51_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop51_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_model_study.dir/examples/random_model_study.cpp.o"
+  "CMakeFiles/random_model_study.dir/examples/random_model_study.cpp.o.d"
+  "examples/random_model_study"
+  "examples/random_model_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_model_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

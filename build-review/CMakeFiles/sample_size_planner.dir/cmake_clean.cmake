@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_size_planner.dir/examples/sample_size_planner.cpp.o"
+  "CMakeFiles/sample_size_planner.dir/examples/sample_size_planner.cpp.o.d"
+  "examples/sample_size_planner"
+  "examples/sample_size_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_size_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandwich_bounds.dir/bench/sandwich_bounds.cc.o"
+  "CMakeFiles/sandwich_bounds.dir/bench/sandwich_bounds.cc.o.d"
+  "bench/sandwich_bounds"
+  "bench/sandwich_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandwich_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_profiler.dir/examples/schema_profiler.cpp.o"
+  "CMakeFiles/schema_profiler.dir/examples/schema_profiler.cpp.o.d"
+  "examples/schema_profiler"
+  "examples/schema_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

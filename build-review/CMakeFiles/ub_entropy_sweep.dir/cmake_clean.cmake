@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ub_entropy_sweep.dir/bench/ub_entropy_sweep.cc.o"
+  "CMakeFiles/ub_entropy_sweep.dir/bench/ub_entropy_sweep.cc.o.d"
+  "bench/ub_entropy_sweep"
+  "bench/ub_entropy_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ub_entropy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ub_mvd_sweep.dir/bench/ub_mvd_sweep.cc.o"
+  "CMakeFiles/ub_mvd_sweep.dir/bench/ub_mvd_sweep.cc.o.d"
+  "bench/ub_mvd_sweep"
+  "bench/ub_mvd_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ub_mvd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
