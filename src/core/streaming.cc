@@ -1,0 +1,183 @@
+#include "core/streaming.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "info/entropy.h"
+#include "info/j_measure.h"
+#include "io/csv.h"
+#include "util/check.h"
+
+namespace ajd {
+
+namespace {
+
+std::string JsonDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string StreamingPoint::ToJsonLine() const {
+  std::string out = "{\"epoch\":" + std::to_string(epoch) +
+                    ",\"rows\":" + std::to_string(rows) +
+                    ",\"batch_rows\":" + std::to_string(batch_rows) +
+                    ",\"j\":" + JsonDouble(j) +
+                    ",\"rho_lower_bound\":" + JsonDouble(rho_lower_bound);
+  if (rho.has_value()) out += ",\"rho\":" + JsonDouble(*rho);
+  out += std::string(",\"remined\":") + (remined ? "true" : "false");
+  if (j_after_remine.has_value()) {
+    out += ",\"j_after_remine\":" + JsonDouble(*j_after_remine);
+  }
+  out += "}";
+  return out;
+}
+
+StreamingLossMonitor::StreamingLossMonitor(Relation* r, JoinTree tree,
+                                           StreamingOptions options)
+    : r_(r),
+      tree_(std::move(tree)),
+      options_(std::move(options)),
+      session_(std::make_unique<AnalysisSession>(options_.session)),
+      observed_rows_(r != nullptr ? r->NumRows() : 0) {
+  AJD_CHECK(r_ != nullptr);
+  AJD_CHECK_MSG(
+      tree_.AllAttrs().IsSubsetOf(r_->schema().AllAttrs()),
+      "monitored tree mentions attributes outside the relation's schema");
+  j_at_mine_ = CurrentJ();
+}
+
+Result<StreamingLossMonitor> StreamingLossMonitor::WithMinedTree(
+    Relation* r, StreamingOptions options) {
+  AJD_CHECK(r != nullptr);
+  // Start from the trivial one-bag tree (J = 0 by construction), then mine
+  // through the monitor's own session so the miner's terms pre-warm the
+  // monitoring cache.
+  Result<JoinTree> trivial =
+      JoinTree::Path({r->schema().AllAttrs()});
+  if (!trivial.ok()) return trivial.status();
+  StreamingLossMonitor monitor(r, std::move(trivial).value(),
+                               std::move(options));
+  Result<MinerReport> mined =
+      MineJoinTree(&monitor.session(), *r, monitor.options_.miner);
+  if (!mined.ok()) return mined.status();
+  monitor.tree_ = std::move(mined).value().tree;
+  monitor.j_at_mine_ = monitor.CurrentJ();
+  return monitor;
+}
+
+double StreamingLossMonitor::CurrentJ() {
+  // The calculator shares the session's engine for r_, which catches up to
+  // the relation's epoch on the first call — the incremental hot path.
+  EntropyCalculator calc(session_.get(), r_);
+  // Materialize every term's partition (bags, separators, chi(T)). A
+  // count-only final pass would re-tally O(mass) rows per term per batch;
+  // a materialized partition instead delta-extends at catch-up and its H
+  // is one XLogX sweep over the stored blocks. The prewarm is a no-op on
+  // every batch after the first (the partitions stay cached and hot).
+  std::vector<AttrSet> terms;
+  terms.reserve(2 * tree_.NumNodes());
+  for (AttrSet bag : tree_.bags()) terms.push_back(bag);
+  for (const auto& [u, v] : tree_.Edges()) {
+    terms.push_back(tree_.bag(u).Intersect(tree_.bag(v)));
+  }
+  terms.push_back(tree_.AllAttrs());
+  calc.engine().PrewarmSubsets(terms);
+  return JMeasureDetailed(&calc, tree_).j;
+}
+
+Result<StreamingPoint> StreamingLossMonitor::Observe() {
+  const uint64_t rows_now = r_->NumRows();
+  AJD_CHECK_MSG(rows_now >= observed_rows_,
+                "monitored relation shrank; relations are append-only");
+  StreamingPoint point;
+  point.epoch = r_->epoch();
+  point.rows = rows_now;
+  point.batch_rows = rows_now - observed_rows_;
+  point.j = CurrentJ();
+  point.rho_lower_bound = std::expm1(point.j);
+  if (options_.compute_exact_loss) {
+    // Fallible steps run BEFORE any monitor state moves: on error the
+    // appended rows simply remain unobserved, and the next Observe folds
+    // them into its batch instead of dropping a trajectory point.
+    Result<LossReport> loss = ComputeLoss(*r_, tree_);
+    if (!loss.ok()) return loss.status();
+    point.rho = loss.value().rho;
+  }
+
+  const uint32_t batches_since = batches_since_remine_ + 1;
+  JoinTree remined_tree = tree_;
+  const bool drifted = options_.drift_threshold > 0.0 &&
+                       point.j - j_at_mine_ > options_.drift_threshold;
+  if (drifted && batches_since >= options_.min_batches_between_remines &&
+      r_->NumAttrs() >= 2 && rows_now >= 1) {
+    Result<MinerReport> mined =
+        MineJoinTree(session_.get(), *r_, options_.miner);
+    if (!mined.ok()) return mined.status();
+    remined_tree = std::move(mined).value().tree;
+    point.remined = true;
+  }
+
+  // Commit: everything fallible succeeded.
+  observed_rows_ = rows_now;
+  batches_since_remine_ = point.remined ? 0 : batches_since;
+  if (point.remined) {
+    tree_ = std::move(remined_tree);
+    ++remines_;
+    point.j_after_remine = CurrentJ();
+    j_at_mine_ = *point.j_after_remine;
+  }
+  trajectory_.push_back(point);
+  return point;
+}
+
+Result<StreamingPoint> StreamingLossMonitor::IngestBatch(
+    const std::vector<std::vector<uint32_t>>& rows, bool dedupe) {
+  Status s = r_->AppendBatch(rows, dedupe);
+  if (!s.ok()) return s;
+  return Observe();
+}
+
+Result<StreamingPoint> StreamingLossMonitor::IngestStringBatch(
+    const std::vector<std::vector<std::string>>& rows, bool dedupe) {
+  Status s = r_->AppendStringBatch(rows, dedupe);
+  if (!s.ok()) return s;
+  return Observe();
+}
+
+Status IngestCsvStream(StreamingLossMonitor* monitor, std::istream& in,
+                       uint64_t batch_rows, bool has_header, char separator,
+                       bool dedupe) {
+  AJD_CHECK(monitor != nullptr);
+  CsvOptions csv;
+  csv.separator = separator;
+  csv.has_header = has_header;
+  return ReadCsvBatches(
+      in, csv, batch_rows,
+      [monitor, has_header,
+       dedupe](const std::vector<std::string>& header,
+               std::vector<std::vector<std::string>> batch) {
+        Status ok = ValidateCsvHeader(
+            header, monitor->relation().schema(), has_header);
+        if (!ok.ok()) return ok;
+        if (batch.empty()) return Status::OK();
+        Result<StreamingPoint> point =
+            monitor->IngestStringBatch(batch, dedupe);
+        return point.ok() ? Status::OK() : point.status();
+      });
+}
+
+Status IngestCsvFile(StreamingLossMonitor* monitor, const std::string& path,
+                     uint64_t batch_rows, bool has_header, char separator,
+                     bool dedupe) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return IngestCsvStream(monitor, in, batch_rows, has_header, separator,
+                         dedupe);
+}
+
+}  // namespace ajd

@@ -1,0 +1,173 @@
+// StreamingLossMonitor: tracks how close a growing relation stays to an
+// acyclic join dependency, batch by batch.
+//
+// The paper's headline quantities (the loss rho, its J-measure
+// characterization, Lemma 4.1's e^J - 1 lower bound) are defined over a
+// frozen relation; this driver serves the setting where the data ARRIVES —
+// the "mining approximate acyclic schemes from evolving tables" workload
+// the ROADMAP calls streaming monitoring. Every ingested batch appends to
+// the monitored relation (one epoch bump, relation/relation.h), and the
+// J-measure of the monitored join tree is re-evaluated through one
+// AnalysisSession whose engine catches up INCREMENTALLY: dense columns
+// extend over the appended rows, cached partitions (the tree's bag and
+// separator terms — the same sets every batch) delta-extend instead of
+// rebuilding, so the per-batch cost is O(delta), not O(N).
+//
+// Drift policy: the tree being monitored goes stale as the distribution
+// shifts. When J(T) rises more than `drift_threshold` nats above its value
+// at the last (re)mine, the monitor re-mines a tree on the data so far —
+// through the same session, so the miner's thousands of entropy terms
+// reuse everything the monitoring already cached — and continues with it.
+//
+// Threading: the monitor is single-writer by construction (ingest appends,
+// then queries), which is exactly the quiescence the engine's epoch
+// catch-up requires. Do not query the monitor's session from other threads
+// concurrently with Ingest*.
+#ifndef AJD_CORE_STREAMING_H_
+#define AJD_CORE_STREAMING_H_
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/loss.h"
+#include "discovery/miner.h"
+#include "engine/analysis_session.h"
+#include "jointree/join_tree.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace ajd {
+
+/// Tuning for a StreamingLossMonitor.
+struct StreamingOptions {
+  /// Re-mine when J(T) exceeds its last-mined value by this many nats;
+  /// <= 0 disables re-mining (pure fixed-tree monitoring).
+  double drift_threshold = 0.1;
+  /// Minimum batches between re-mines. The default 1 allows a re-mine on
+  /// the very next drifted batch (immediate re-tracking of a sustained
+  /// shift); raise it to amortize the miner against drift spikes.
+  uint32_t min_batches_between_remines = 1;
+  /// Also compute the exact loss rho (Yannakakis counting) per batch.
+  /// O(N) per batch with no incremental reuse — the J-trajectory is the
+  /// cheap default; flip this on when the exact join-size blowup matters.
+  bool compute_exact_loss = false;
+  /// Miner configuration for WithMinedTree and every re-mine.
+  MinerOptions miner;
+  /// Session tuning (cache budget, threads, shared pool/arbiter).
+  SessionOptions session;
+};
+
+/// One point of the loss trajectory: the monitored quantities right after
+/// a batch landed.
+struct StreamingPoint {
+  uint64_t epoch = 0;       ///< relation epoch after the batch.
+  uint64_t rows = 0;        ///< |R| after the batch.
+  uint64_t batch_rows = 0;  ///< rows this batch actually appended.
+  double j = 0.0;           ///< J(T) of the monitored tree, nats.
+  double rho_lower_bound = 0.0;  ///< Lemma 4.1: e^J - 1 <= rho.
+  /// Exact rho (when compute_exact_loss; otherwise unset).
+  std::optional<double> rho;
+  bool remined = false;     ///< the tree was re-mined after this batch.
+  /// J of the NEW tree when remined (the next baseline).
+  std::optional<double> j_after_remine;
+
+  /// One JSON object per point, for trajectory tooling:
+  /// {"epoch":..,"rows":..,"j":..,...}.
+  std::string ToJsonLine() const;
+};
+
+/// Monitors one caller-owned relation. The relation must outlive the
+/// monitor and must only grow through it (or at least: between Ingest
+/// calls, not during them).
+class StreamingLossMonitor {
+ public:
+  /// Monitors `r` against a fixed starting tree. The tree's attributes
+  /// must be covered by r's schema.
+  StreamingLossMonitor(Relation* r, JoinTree tree,
+                       StreamingOptions options = {});
+
+  /// Mines the starting tree from the relation's current contents (which
+  /// must satisfy the miner's preconditions: >= 2 attributes, >= 1 row).
+  static Result<StreamingLossMonitor> WithMinedTree(
+      Relation* r, StreamingOptions options = {});
+
+  StreamingLossMonitor(StreamingLossMonitor&&) = default;
+  StreamingLossMonitor& operator=(StreamingLossMonitor&&) = delete;
+
+  /// Appends a batch of code rows and records a trajectory point.
+  Result<StreamingPoint> IngestBatch(
+      const std::vector<std::vector<uint32_t>>& rows, bool dedupe = false);
+
+  /// Appends a batch of string rows (dictionary-interned) and records a
+  /// trajectory point.
+  Result<StreamingPoint> IngestStringBatch(
+      const std::vector<std::vector<std::string>>& rows,
+      bool dedupe = false);
+
+  /// Records a trajectory point for rows the CALLER already appended to
+  /// the relation (e.g. io/csv.h's AppendCsvBatches feeding AppendBatch
+  /// directly). A no-op point results if nothing was appended.
+  Result<StreamingPoint> Observe();
+
+  /// The tree currently monitored (the latest re-mine's output, or the
+  /// constructor's tree).
+  const JoinTree& tree() const { return tree_; }
+
+  /// Every recorded point, oldest first.
+  const std::vector<StreamingPoint>& trajectory() const {
+    return trajectory_;
+  }
+
+  /// Number of drift-triggered re-mines so far.
+  uint32_t NumRemines() const { return remines_; }
+
+  /// J(T) at the last (re)mine — the drift baseline.
+  double BaselineJ() const { return j_at_mine_; }
+
+  /// The session serving every entropy term (exposed so callers can run
+  /// further analyses — AnalyzeAjd, CertifyLoss — against the same warm
+  /// caches).
+  AnalysisSession& session() { return *session_; }
+
+  /// The monitored relation.
+  const Relation& relation() const { return *r_; }
+
+ private:
+  /// J(T) of the current tree via the session's (epoch-caught-up) engine.
+  double CurrentJ();
+
+  Relation* r_;
+  JoinTree tree_;
+  StreamingOptions options_;
+  /// Owned behind a pointer so the monitor stays movable (AnalysisSession
+  /// holds a mutex).
+  std::unique_ptr<AnalysisSession> session_;
+  std::vector<StreamingPoint> trajectory_;
+  double j_at_mine_ = 0.0;
+  uint32_t remines_ = 0;
+  uint32_t batches_since_remine_ = 0;
+  uint64_t observed_rows_ = 0;  ///< rows covered by the last point.
+};
+
+/// Ingests a CSV stream into the monitor's relation in `batch_rows`-sized
+/// chunks (io/csv.h ReadCsvBatches -> Relation::AppendStringBatch),
+/// recording one trajectory point per chunk. The CSV header must match
+/// the relation's schema (width always; names too when has_header).
+/// `dedupe` drops rows already present (set semantics), matching
+/// AppendCsvBatches' CsvOptions::dedupe.
+Status IngestCsvStream(StreamingLossMonitor* monitor, std::istream& in,
+                       uint64_t batch_rows, bool has_header = true,
+                       char separator = ',', bool dedupe = false);
+
+/// File form of IngestCsvStream.
+Status IngestCsvFile(StreamingLossMonitor* monitor, const std::string& path,
+                     uint64_t batch_rows, bool has_header = true,
+                     char separator = ',', bool dedupe = false);
+
+}  // namespace ajd
+
+#endif  // AJD_CORE_STREAMING_H_

@@ -94,6 +94,13 @@ Result<MinerReport> MineJoinTree(const Relation& r,
 /// Session-sharing variant: the thousands of overlapping entropy terms the
 /// split search evaluates are cached in the session's engine for `r`, so a
 /// subsequent AnalyzeAjd(session, r, mined_tree) answers mostly from cache.
+///
+/// The reuse extends ACROSS EPOCHS: after Relation::AppendBatch grows `r`,
+/// re-mining through the same session first catches the engine up
+/// incrementally (cached partitions delta-extend over the appended rows,
+/// engine/entropy_engine.h), so the re-mine pays O(delta) maintenance plus
+/// the search — not a cold rebuild of every term. core/streaming.h's
+/// re-mine-on-drift policy is built on exactly this path.
 Result<MinerReport> MineJoinTree(AnalysisSession* session, const Relation& r,
                                  const MinerOptions& options = {});
 

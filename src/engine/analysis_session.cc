@@ -38,20 +38,20 @@ AnalysisSession::AnalysisSession(EngineOptions options)
 EntropyEngine& AnalysisSession::EngineFor(const Relation& r) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = engines_.find(&r);
+  if (it != engines_.end() && it->second->relation_uid() != r.uid()) {
+    // Relations are keyed by address: a different relation (by uid) now
+    // occupies this one's address, so the cached engine describes a dead
+    // relation. Rebuild transparently — the replacement for the old
+    // fingerprint-guard abort. (Same uid with a newer epoch is NOT this
+    // case: that is legitimate growth, and the engine catches up lazily.)
+    engines_.erase(it);
+    it = engines_.end();
+  }
   if (it == engines_.end()) {
     it = engines_
              .emplace(&r,
                       std::make_unique<EntropyEngine>(&r, engine_options_))
              .first;
-  } else {
-    // Relations are keyed by address: if a relation died and another now
-    // occupies its address, the cached engine would silently serve the old
-    // relation's entropies. Abort instead.
-    AJD_CHECK_MSG(
-        it->second->fingerprint() == EntropyEngine::RelationFingerprint(r),
-        "relation at %p changed since its engine was built; keep relations "
-        "alive and unmodified for the session's lifetime",
-        static_cast<const void*>(&r));
   }
   return *it->second;
 }
@@ -87,6 +87,9 @@ EngineStats AnalysisSession::TotalStats() const {
     total.refinements += s.refinements;
     total.fused_refinements += s.fused_refinements;
     total.evictions += s.evictions;
+    total.epoch_catchups += s.epoch_catchups;
+    total.partitions_extended += s.partitions_extended;
+    total.partitions_replayed += s.partitions_replayed;
   }
   return total;
 }

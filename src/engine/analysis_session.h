@@ -6,9 +6,16 @@
 //   auto mined = MineJoinTree(&session, r);            // warms the caches
 //   auto report = AnalyzeAjd(&session, r, mined->tree); // hits them
 //
-// Relations are identified by address: callers must keep a relation alive
-// and at a stable address for as long as the session serves queries on it.
-// The session is safe to share across threads.
+// Relations are identified by address + uid: callers must keep a relation
+// alive and at a stable address for as long as the session serves queries
+// on it. Relations may GROW under the session (Relation::AppendBatch): the
+// engine observes the epoch bump and catches up incrementally on the next
+// query (engine/entropy_engine.h). If a relation dies and a different one
+// reuses its address, the uid mismatch makes EngineFor rebuild the engine
+// transparently instead of serving stale values (Release remains the tidy
+// way to drop an engine early and return its cache bytes). The session is
+// safe to share across threads; appends require the single-writer
+// quiescence documented on the engine.
 //
 // The session is SHARDED across relations: all of its engines share one
 // WorkerPool (batches serialize instead of oversubscribing cores) and, by
@@ -86,9 +93,10 @@ class AnalysisSession {
   /// whether one existed — false for a relation the session never served
   /// (including a second Release of the same relation, which is a no-op).
   /// Call before destroying a relation when the session outlives it —
-  /// e.g. experiment sweeps that draw a fresh relation per trial — so a
-  /// later relation reusing the address gets a fresh engine instead of
-  /// tripping the fingerprint guard. Under the shared arbiter this
+  /// e.g. experiment sweeps that draw a fresh relation per trial — so the
+  /// dead relation's cache bytes return to the budget immediately rather
+  /// than when a new relation's uid mismatch rebuilds the engine at that
+  /// address. Under the shared arbiter this
   /// discharges the engine's whole accounted footprint in O(its entries),
   /// returning those bytes to the relations that remain. Any EntropyEngine
   /// references previously returned for `r` are invalidated.

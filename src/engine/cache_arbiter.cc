@@ -21,6 +21,10 @@ void CacheArbiter::ReleaseEngine(const void* engine) {
   if (it == engines_.end()) return;
   AJD_CHECK(total_bytes_ >= it->second.bytes);
   total_bytes_ -= it->second.bytes;
+  for (auto& [key, entry] : it->second.entries) {
+    (void)key;
+    lru_.erase(entry.lru_it);
+  }
   engines_.erase(it);
   UpdatePressureLocked();
 }
@@ -40,15 +44,17 @@ void CacheArbiter::Charge(
       et->second.bytes = bytes;
       rec.bytes += bytes;
       total_bytes_ += bytes;
+      lru_.push_front(LruKey{engine, key});
+      et->second.lru_it = lru_.begin();
       ++stats_.charges;
     } else {
       // The engine dedups inserts under its own mutex, so a re-charge of a
       // live key only happens after the arbiter evicted it and the engine
       // recomputed — in which case it arrives as `inserted`. Anything else
       // is a recency signal.
+      lru_.splice(lru_.begin(), lru_, et->second.lru_it);
       ++stats_.touches;
     }
-    et->second.last_used = ++tick_;
   }
   EvictToBudgetLocked();
   UpdatePressureLocked();
@@ -60,8 +66,52 @@ void CacheArbiter::Touch(const void* engine, AttrSet key) {
   if (it == engines_.end()) return;
   auto et = it->second.entries.find(key);
   if (et == it->second.entries.end()) return;
-  et->second.last_used = ++tick_;
+  lru_.splice(lru_.begin(), lru_, et->second.lru_it);
   ++stats_.touches;
+}
+
+void CacheArbiter::Resize(
+    const void* engine,
+    const std::vector<std::pair<AttrSet, size_t>>& entries) {
+  if (entries.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(engine);
+  AJD_CHECK_MSG(it != engines_.end(), "resize from unregistered engine %p",
+                engine);
+  EngineRecord& rec = it->second;
+  for (const auto& [key, bytes] : entries) {
+    auto et = rec.entries.find(key);
+    if (et == rec.entries.end()) continue;  // evicted since; engine dropped it
+    // In-place revalidation: bytes move, recency does not (growing with the
+    // relation is maintenance, not a reuse signal).
+    rec.bytes += bytes;
+    rec.bytes -= et->second.bytes;
+    total_bytes_ += bytes;
+    total_bytes_ -= et->second.bytes;
+    et->second.bytes = bytes;
+  }
+  EvictToBudgetLocked();
+  UpdatePressureLocked();
+}
+
+void CacheArbiter::Discharge(const void* engine,
+                             const std::vector<AttrSet>& keys) {
+  if (keys.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(engine);
+  if (it == engines_.end()) return;
+  EngineRecord& rec = it->second;
+  for (AttrSet key : keys) {
+    auto et = rec.entries.find(key);
+    if (et == rec.entries.end()) continue;
+    AJD_CHECK(rec.bytes >= et->second.bytes &&
+              total_bytes_ >= et->second.bytes);
+    rec.bytes -= et->second.bytes;
+    total_bytes_ -= et->second.bytes;
+    lru_.erase(et->second.lru_it);
+    rec.entries.erase(et);
+  }
+  UpdatePressureLocked();
 }
 
 size_t CacheArbiter::EffectiveFloorLocked() const {
@@ -71,42 +121,43 @@ size_t CacheArbiter::EffectiveFloorLocked() const {
 }
 
 void CacheArbiter::EvictToBudgetLocked() {
-  // Victim scan: the globally-coldest entry among engines above the
-  // effective floor. Linear over all entries — each engine caches at most a
-  // few hundred lattice points, so even dozens of engines scan in the
-  // microseconds an eviction's free() costs anyway.
+  // One backward walk of the global LRU list: the tail is the coldest
+  // accounted entry, and list order is exactly the order the old
+  // linear-scan-by-tick selected victims in (every charge/touch both
+  // splices to the front and bumps the tick, so position and tick are
+  // order-isomorphic). Entries of engines at or below the floor are
+  // skipped; engine bytes only shrink during the walk, so a skipped entry
+  // never needs revisiting within the pass.
   //
-  // Termination: every iteration erases one entry. Progress past the
-  // budget: whenever total > budget, some engine must sit above the floor
-  // (sum of per-engine min(bytes, floor) <= num_engines * floor <= budget
-  // by the floor clamp), so a victim always exists.
+  // Termination: every iteration either erases one entry or moves the
+  // cursor one node toward the front. Progress past the budget: whenever
+  // total > budget, some engine must sit above the floor (sum of
+  // per-engine min(bytes, floor) <= num_engines * floor <= budget by the
+  // floor clamp), so an evictable entry exists behind the cursor.
   const size_t floor = EffectiveFloorLocked();
-  while (total_bytes_ > options_.budget_bytes) {
-    EngineRecord* victim_rec = nullptr;
-    std::unordered_map<AttrSet, Entry, AttrSetHash>::iterator victim_entry;
-    uint64_t oldest = UINT64_MAX;
-    for (auto& [engine, rec] : engines_) {
-      (void)engine;
-      if (rec.bytes <= floor) continue;
-      for (auto et = rec.entries.begin(); et != rec.entries.end(); ++et) {
-        if (et->second.last_used < oldest) {
-          oldest = et->second.last_used;
-          victim_rec = &rec;
-          victim_entry = et;
-        }
-      }
+  auto it = lru_.end();
+  while (total_bytes_ > options_.budget_bytes && it != lru_.begin()) {
+    auto cur = std::prev(it);
+    auto rec_it = engines_.find(cur->engine);
+    AJD_CHECK(rec_it != engines_.end());
+    EngineRecord& rec = rec_it->second;
+    if (rec.bytes <= floor) {
+      it = cur;
+      continue;
     }
-    if (victim_rec == nullptr) break;  // floors alone fit the budget
-    const AttrSet key = victim_entry->first;
-    const size_t bytes = victim_entry->second.bytes;
-    AJD_CHECK(victim_rec->bytes >= bytes && total_bytes_ >= bytes);
-    victim_rec->bytes -= bytes;
+    const AttrSet key = cur->key;
+    auto et = rec.entries.find(key);
+    AJD_CHECK(et != rec.entries.end());
+    const size_t bytes = et->second.bytes;
+    AJD_CHECK(rec.bytes >= bytes && total_bytes_ >= bytes);
+    rec.bytes -= bytes;
     total_bytes_ -= bytes;
-    victim_rec->entries.erase(victim_entry);
+    rec.entries.erase(et);
+    lru_.erase(cur);  // `it` stays valid: it never points at `cur`
     ++stats_.evictions;
     // Engine-side drop, under the arbiter -> engine lock order (see the
     // header's locking contract). The callback tolerates already-gone keys.
-    victim_rec->evict(key);
+    rec.evict(key);
   }
 }
 

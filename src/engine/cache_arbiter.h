@@ -21,6 +21,15 @@
 // So the only lock order that ever occurs is arbiter -> engine, never the
 // reverse. The accounted total therefore never exceeds the budget after any
 // Charge() returns, no matter how many engines charge concurrently.
+//
+// Victim selection is an intrusive LRU list threaded through every
+// accounted entry (front = most recent): charges and touches splice to the
+// front in O(1), and eviction walks from the tail, skipping entries of
+// engines at or below the floor. One EvictToBudget pass therefore costs
+// O(evicted + skipped) instead of the old O(all entries) scan per victim —
+// the order of victims is IDENTICAL to that scan (list position is
+// order-isomorphic to the last-used tick the scan minimized), which
+// tests/cache_arbiter_test.cc pins against a recorded trace.
 #ifndef AJD_ENGINE_CACHE_ARBITER_H_
 #define AJD_ENGINE_CACHE_ARBITER_H_
 
@@ -28,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -98,6 +108,23 @@ class CacheArbiter {
   /// shared_ptr, only the recency signal is lost).
   void Touch(const void* engine, AttrSet key);
 
+  /// Revalidates accounted entries in place after an epoch catch-up grew
+  /// them: each (key, new bytes) pair replaces the entry's accounted size
+  /// WITHOUT touching its recency — extension is maintenance, not reuse —
+  /// so only the byte delta is charged. Keys no longer accounted (evicted
+  /// between the engine's catch-up and this call) are skipped: the evict
+  /// callback already dropped them engine-side. Evicts to budget after the
+  /// batch is applied.
+  void Resize(const void* engine,
+              const std::vector<std::pair<AttrSet, size_t>>& entries);
+
+  /// Engine-initiated discharge of specific entries the engine already
+  /// dropped on its side (catch-up's generational policy evicts partitions
+  /// that sat idle through a whole epoch rather than paying to extend
+  /// them). No evict callbacks run — the entries are already gone — and
+  /// unknown keys are ignored.
+  void Discharge(const void* engine, const std::vector<AttrSet>& keys);
+
   /// True while the arbiter has evicted before and sits near its budget —
   /// the signal EntropyEngine's adaptive fusion policy keys on (fused
   /// misses skip caching intermediates that would not survive anyway).
@@ -128,9 +155,17 @@ class CacheArbiter {
   size_t EffectiveFloorBytes() const;
 
  private:
+  /// One LRU-list node: enough to find the owning engine's record and the
+  /// entry inside it from a list position alone.
+  struct LruKey {
+    const void* engine = nullptr;
+    AttrSet key;
+  };
   struct Entry {
     size_t bytes = 0;
-    uint64_t last_used = 0;
+    /// This entry's node in lru_ (front = most recently used); the list
+    /// position IS the recency — no per-entry tick survives the old scan.
+    std::list<LruKey>::iterator lru_it;
   };
   struct EngineRecord {
     EvictFn evict;
@@ -141,7 +176,10 @@ class CacheArbiter {
   size_t EffectiveFloorLocked() const;
 
   /// Evicts globally-coldest entries from above-floor engines until the
-  /// total fits the budget. Requires mu_ held; invokes evict callbacks.
+  /// total fits the budget: one backward walk of the LRU list, skipping
+  /// floored engines' entries (an engine's bytes only shrink during the
+  /// walk, so a skip stays valid for the rest of the pass). Requires mu_
+  /// held; invokes evict callbacks.
   void EvictToBudgetLocked();
 
   /// Recomputes the cached pressure flag. Requires mu_ held.
@@ -150,8 +188,9 @@ class CacheArbiter {
   ArbiterOptions options_;
   mutable std::mutex mu_;
   std::unordered_map<const void*, EngineRecord> engines_;
+  /// Global recency order across every accounted entry; front = MRU.
+  std::list<LruKey> lru_;
   size_t total_bytes_ = 0;
-  uint64_t tick_ = 0;
   ArbiterStats stats_;
   std::atomic<bool> pressure_{false};
 };

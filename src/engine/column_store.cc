@@ -1,50 +1,114 @@
 #include "engine/column_store.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "util/math.h"
 
 namespace ajd {
 
-namespace {
-
-// Remaps one attribute's raw codes to dense first-occurrence codes. Uses a
-// direct-address table when the raw code range is comparable to the row
-// count, a hash map otherwise (raw codes are arbitrary uint32 values when
-// relations are built from FromRows without dictionaries).
-Column DensifyColumn(const Relation& r, uint32_t pos) {
-  const uint64_t n = r.NumRows();
-  Column col;
-  col.codes.resize(n);
-  uint32_t max_raw = 0;
-  for (uint64_t i = 0; i < n; ++i) {
-    uint32_t raw = r.At(i, pos);
-    if (raw > max_raw) max_raw = raw;
-    col.codes[i] = raw;  // staging; remapped below
-  }
-  const uint64_t direct_limit = 4 * n + 1024;
-  if (static_cast<uint64_t>(max_raw) < direct_limit) {
-    std::vector<uint32_t> remap(static_cast<size_t>(max_raw) + 1, UINT32_MAX);
-    for (uint64_t i = 0; i < n; ++i) {
-      uint32_t raw = col.codes[i];
-      if (remap[raw] == UINT32_MAX) remap[raw] = col.cardinality++;
-      col.codes[i] = remap[raw];
-    }
-  } else {
-    std::unordered_map<uint32_t, uint32_t> remap;
-    remap.reserve(static_cast<size_t>(n));
-    for (uint64_t i = 0; i < n; ++i) {
-      auto [it, inserted] = remap.emplace(col.codes[i], col.cardinality);
-      if (inserted) ++col.cardinality;
-      col.codes[i] = it->second;
-    }
-  }
-  return col;
+ColumnStore::ColumnStore(const Relation* r)
+    : r_(r),
+      synced_rows_(r != nullptr ? r->NumRows() : 0),
+      states_(std::make_unique<ColumnState[]>(
+          r != nullptr ? r->NumAttrs() : 0)) {
+  AJD_CHECK(r != nullptr);
 }
 
-}  // namespace
+void ColumnStore::CatchUp() {
+  const uint64_t now = r_->NumRows();
+  AJD_CHECK_MSG(now >= synced_rows_,
+                "relation shrank from %llu to %llu rows under its "
+                "ColumnStore; relations are append-only",
+                static_cast<unsigned long long>(synced_rows_),
+                static_cast<unsigned long long>(now));
+  synced_rows_ = now;
+}
+
+// Densifies rows [st.built_rows, target): remaps each raw code to its dense
+// first-occurrence code, reusing (and growing) the remap that survives from
+// earlier epochs. First-occurrence assignment makes the result bit-identical
+// to densifying the full prefix cold, whichever remap representation — or
+// sequence of representations — was used along the way.
+void ColumnStore::ExtendColumnLocked(ColumnState& st, uint32_t pos,
+                                     uint64_t target) const {
+  const uint64_t from = st.built_rows.load(std::memory_order_relaxed);
+  Column& col = st.col;
+  col.codes.resize(target);
+
+  if (!st.ever_built) {
+    // Pick the initial representation from the first chunk's raw range: a
+    // direct-address table while raw codes are comparable to the row
+    // count, a hash map otherwise (raw codes are arbitrary uint32 values
+    // when relations are built from FromRows without dictionaries).
+    uint32_t max_raw = 0;
+    for (uint64_t i = from; i < target; ++i) {
+      max_raw = std::max(max_raw, r_->At(i, pos));
+    }
+    const uint64_t direct_limit = 4 * (target - from) + 1024;
+    st.use_direct = static_cast<uint64_t>(max_raw) < direct_limit;
+    if (st.use_direct) {
+      st.direct_remap.assign(static_cast<size_t>(max_raw) + 1, UINT32_MAX);
+    } else {
+      st.hash_remap.reserve(static_cast<size_t>(target - from));
+    }
+    st.ever_built = true;
+  }
+
+  for (uint64_t i = from; i < target; ++i) {
+    const uint32_t raw = r_->At(i, pos);
+    if (st.use_direct && static_cast<size_t>(raw) >= st.direct_remap.size()) {
+      // The appended data outgrew the table. Keep growing while the range
+      // stays comparable to the (current) row count; otherwise migrate the
+      // surviving entries to the hash map once. Either way the dense codes
+      // already assigned are untouched.
+      if (static_cast<uint64_t>(raw) < 4 * target + 1024) {
+        st.direct_remap.resize(static_cast<size_t>(raw) + 1, UINT32_MAX);
+      } else {
+        st.hash_remap.reserve(st.direct_remap.size());
+        for (size_t v = 0; v < st.direct_remap.size(); ++v) {
+          if (st.direct_remap[v] != UINT32_MAX) {
+            st.hash_remap.emplace(static_cast<uint32_t>(v),
+                                  st.direct_remap[v]);
+          }
+        }
+        std::vector<uint32_t>().swap(st.direct_remap);
+        st.use_direct = false;
+      }
+    }
+    uint32_t dense;
+    if (st.use_direct) {
+      uint32_t& slot = st.direct_remap[raw];
+      if (slot == UINT32_MAX) {
+        slot = col.cardinality++;
+        col.first_row.push_back(static_cast<uint32_t>(i));
+      }
+      dense = slot;
+    } else {
+      auto [it, inserted] = st.hash_remap.emplace(raw, col.cardinality);
+      if (inserted) {
+        ++col.cardinality;
+        col.first_row.push_back(static_cast<uint32_t>(i));
+      }
+      dense = it->second;
+    }
+    col.codes[i] = dense;
+  }
+  st.built_rows.store(target, std::memory_order_release);
+}
+
+const Column& ColumnStore::column(uint32_t pos) const {
+  AJD_CHECK(pos < r_->NumAttrs());
+  ColumnState& st = states_[pos];
+  const uint64_t target = synced_rows_;
+  if (st.built_rows.load(std::memory_order_acquire) == target) {
+    return st.col;
+  }
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.built_rows.load(std::memory_order_relaxed) != target) {
+    ExtendColumnLocked(st, pos, target);
+  }
+  return st.col;
+}
 
 // Builds the sampled distinct curve for one dense column: sample_size rows
 // spread evenly (and deterministically) across the relation, with distinct
@@ -75,6 +139,75 @@ DistinctSketch BuildSketch(const Column& col) {
   return sketch;
 }
 
+// Rebuilds or extends st.sketch to cover `target` rows, bit-identical to
+// BuildSketch over the full column either way. While every row is sampled
+// (target <= kMaxSamples) the sample positions i*n/n == i form an identity
+// prefix, so appended rows extend the retained seen-set and curve in place
+// — the truly incremental path. Past the cap the sample positions stride
+// differently at every size, so the sketch resamples: a constant-cost
+// (kMaxSamples-row) pass, never O(N).
+void ColumnStore::RefreshSketchLocked(ColumnState& st,
+                                      uint64_t target) const {
+  const uint64_t covered = st.sketch_rows.load(std::memory_order_relaxed);
+  const bool incremental =
+      st.sketch_built && covered > 0 &&
+      covered <= DistinctSketch::kMaxSamples &&
+      target <= DistinctSketch::kMaxSamples &&
+      st.sketch.sample_size == covered && !st.sketch_seen.empty();
+  if (!incremental) {
+    st.sketch = BuildSketch(st.col);
+    st.sketch_seen.clear();
+    if (target <= DistinctSketch::kMaxSamples) {
+      // Retain the sample set so later small-relation appends stay O(delta).
+      for (uint64_t i = 0; i < target; ++i) {
+        st.sketch_seen.insert(st.col.codes[i]);
+      }
+    }
+  } else {
+    DistinctSketch& sk = st.sketch;
+    // Drop the trailing "final prefix" record unless it falls on a power of
+    // two: the cold curve for the grown column records powers of two plus
+    // the NEW final size only.
+    auto is_pow2 = [](uint32_t v) { return v != 0 && (v & (v - 1)) == 0; };
+    if (!sk.prefix_at.empty() && !is_pow2(sk.prefix_at.back())) {
+      sk.prefix_at.pop_back();
+      sk.distinct_at.pop_back();
+    }
+    uint32_t next_record = 1;
+    while (next_record <= covered) next_record *= 2;
+    const uint32_t s = static_cast<uint32_t>(target);
+    for (uint32_t i = static_cast<uint32_t>(covered); i < s; ++i) {
+      st.sketch_seen.insert(st.col.codes[i]);
+      if (i + 1 == next_record || i + 1 == s) {
+        sk.prefix_at.push_back(i + 1);
+        sk.distinct_at.push_back(
+            static_cast<uint32_t>(st.sketch_seen.size()));
+        while (next_record <= i + 1) next_record *= 2;
+      }
+    }
+    sk.sample_size = s;
+  }
+  st.sketch_built = true;
+  st.sketch_rows.store(target, std::memory_order_release);
+}
+
+const DistinctSketch& ColumnStore::sketch(uint32_t pos) const {
+  AJD_CHECK(pos < r_->NumAttrs());
+  ColumnState& st = states_[pos];
+  const uint64_t target = synced_rows_;
+  if (st.sketch_rows.load(std::memory_order_acquire) == target &&
+      st.sketch_built) {
+    return st.sketch;
+  }
+  column(pos);  // ensure codes cover the synced rows
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.sketch_rows.load(std::memory_order_relaxed) != target ||
+      !st.sketch_built) {
+    RefreshSketchLocked(st, target);
+  }
+  return st.sketch;
+}
+
 double DistinctSketch::EstimateDistinct(uint64_t m,
                                         uint32_t cardinality) const {
   if (m == 0 || sample_size == 0) return 0.0;
@@ -102,31 +235,6 @@ double DistinctSketch::EstimateDistinct(uint64_t m,
   const double y =
       y0 + (y1 - y0) * (static_cast<double>(m) - x0) / (x1 - x0);
   return std::min(y, card);
-}
-
-ColumnStore::ColumnStore(const Relation* r)
-    : r_(r),
-      columns_(r != nullptr ? r->NumAttrs() : 0),
-      built_(std::make_unique<std::once_flag[]>(
-          r != nullptr ? r->NumAttrs() : 0)),
-      sketches_(r != nullptr ? r->NumAttrs() : 0),
-      sketch_built_(std::make_unique<std::once_flag[]>(
-          r != nullptr ? r->NumAttrs() : 0)) {
-  AJD_CHECK(r != nullptr);
-}
-
-const Column& ColumnStore::column(uint32_t pos) const {
-  AJD_CHECK(pos < columns_.size());
-  std::call_once(built_[pos],
-                 [this, pos] { columns_[pos] = DensifyColumn(*r_, pos); });
-  return columns_[pos];
-}
-
-const DistinctSketch& ColumnStore::sketch(uint32_t pos) const {
-  AJD_CHECK(pos < sketches_.size());
-  std::call_once(sketch_built_[pos],
-                 [this, pos] { sketches_[pos] = BuildSketch(column(pos)); });
-  return sketches_[pos];
 }
 
 Column ColumnStore::ComposeColumns(const std::vector<uint32_t>& attrs) const {

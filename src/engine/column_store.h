@@ -1,5 +1,5 @@
-// ColumnStore: a column-major, dense-coded view of a Relation, built once
-// and shared by every entropy computation over that relation.
+// ColumnStore: a column-major, dense-coded view of a Relation, shared by
+// every entropy computation over that relation.
 //
 // The row-major Relation is ideal for projection and joins, but entropy
 // workloads (J-measure, Theorem 2.2 sandwiches, miner split scoring) touch
@@ -7,13 +7,27 @@
 // and remaps each attribute's value codes to a dense range [0, cardinality)
 // so that partition refinement (engine/partition.h) can use counting-sort
 // style scratch arrays instead of hashing.
+//
+// The store is EPOCH-AWARE: relations grow by batch appends
+// (relation/relation.h), and the store follows without rebuilding. It
+// serves columns as of its synced row count; CatchUp() advances that count
+// to the relation's current size, after which each built column extends
+// itself by densifying only the appended rows (the per-column raw->dense
+// remap survives across epochs, so catch-up is O(delta) per column, not
+// O(N)). Dense codes are assigned in first-occurrence order, so the
+// extended column is bit-identical to a cold densification of the full
+// relation — the property every incremental result above this layer
+// bottoms out in.
 #ifndef AJD_ENGINE_COLUMN_STORE_H_
 #define AJD_ENGINE_COLUMN_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "relation/relation.h"
@@ -27,6 +41,12 @@ namespace ajd {
 struct Column {
   std::vector<uint32_t> codes;
   uint32_t cardinality = 0;
+  /// first_row[c] = the row at which dense code c first appeared. Filled by
+  /// the store's densification (incremental extension keeps it current);
+  /// left EMPTY by ComposeColumns (a composite's cardinality can be far
+  /// larger than the row count). Partition delta-extension reads it to
+  /// locate the lone old row of a group a new row just joined.
+  std::vector<uint32_t> first_row;
 };
 
 /// Sampled distinct-count curve of one column: how many distinct values
@@ -58,6 +78,12 @@ struct DistinctSketch {
 /// Columns densify lazily on first touch (thread-safe), so constructing a
 /// store — and thus a throwaway EntropyCalculator — costs nothing for the
 /// attributes a workload never asks about.
+///
+/// Epoch contract: column()/sketch() serve data as of SyncedRows(), even if
+/// the relation has grown since — concurrent readers keep a consistent
+/// view. CatchUp() advances the synced count; it requires external
+/// quiescence (no concurrent column()/sketch() calls), which the engine's
+/// own catch-up barrier provides. The relation must never shrink.
 class ColumnStore {
  public:
   explicit ColumnStore(const Relation* r);
@@ -65,17 +91,34 @@ class ColumnStore {
   /// The underlying relation.
   const Relation& relation() const { return *r_; }
 
-  /// Number of rows (== relation().NumRows()).
-  uint64_t NumRows() const { return r_->NumRows(); }
+  /// Number of rows in the synced view (<= relation().NumRows() between an
+  /// append and the next CatchUp).
+  uint64_t NumRows() const { return synced_rows_; }
+
+  /// Rows the store has synced to (== NumRows(); spelled out for callers
+  /// reasoning about epochs).
+  uint64_t SyncedRows() const { return synced_rows_; }
 
   /// Number of attributes (== relation().NumAttrs()).
   uint32_t NumAttrs() const { return r_->NumAttrs(); }
 
-  /// The dense column for attribute `pos`, built on first use.
+  /// Advances the synced row count to the relation's current size. Built
+  /// columns and sketches extend lazily on their next access. Requires no
+  /// concurrent column()/sketch() calls; aborts if the relation shrank
+  /// (destroying a relation out from under its store is the bug this
+  /// catches).
+  void CatchUp();
+
+  /// The dense column for attribute `pos`, built on first use and extended
+  /// to the synced row count after a CatchUp. Thread-safe.
   const Column& column(uint32_t pos) const;
 
   /// The sampled distinct sketch for attribute `pos`, built on first use
-  /// (densifies the column if needed). Thread-safe.
+  /// (densifies the column if needed) and refreshed after a CatchUp:
+  /// extended in place while every row is sampled (n <= kMaxSamples, where
+  /// the sample is the identity prefix), resampled at constant cost above
+  /// that. Either way the result is bit-identical to a cold BuildSketch of
+  /// the full column. Thread-safe.
   const DistinctSketch& sketch(uint32_t pos) const;
 
   /// Materializes the mixed-radix composition of the given attributes'
@@ -87,11 +130,41 @@ class ColumnStore {
   Column ComposeColumns(const std::vector<uint32_t>& attrs) const;
 
  private:
+  /// Everything one column needs to grow across epochs: the dense codes,
+  /// the surviving raw->dense remap (direct table while the raw code range
+  /// stays comparable to the row count, hash map past that), and the
+  /// sketch with its retained sample set.
+  struct ColumnState {
+    mutable std::mutex mu;
+    Column col;
+    /// Rows densified so far; the lock-free fast path compares it to the
+    /// synced count (release store after the codes are fully written).
+    std::atomic<uint64_t> built_rows{0};
+    bool ever_built = false;
+    std::vector<uint32_t> direct_remap;  // raw -> dense, UINT32_MAX = unseen
+    std::unordered_map<uint32_t, uint32_t> hash_remap;
+    bool use_direct = false;
+
+    DistinctSketch sketch;
+    std::atomic<uint64_t> sketch_rows{0};  // rows the sketch covers
+    bool sketch_built = false;
+    /// Distinct codes among sampled rows, retained only while the sample is
+    /// the identity prefix (n <= kMaxSamples) so the curve can extend
+    /// without re-reading old rows.
+    std::unordered_set<uint32_t> sketch_seen;
+  };
+
+  /// Densifies rows [st.built_rows, target) into st.col. Requires st.mu.
+  void ExtendColumnLocked(ColumnState& st, uint32_t pos,
+                          uint64_t target) const;
+
+  /// Builds or extends the sketch to cover `target` rows. Requires st.mu
+  /// and st.col built to target.
+  void RefreshSketchLocked(ColumnState& st, uint64_t target) const;
+
   const Relation* r_;
-  mutable std::vector<Column> columns_;
-  mutable std::unique_ptr<std::once_flag[]> built_;
-  mutable std::vector<DistinctSketch> sketches_;
-  mutable std::unique_ptr<std::once_flag[]> sketch_built_;
+  uint64_t synced_rows_ = 0;
+  std::unique_ptr<ColumnState[]> states_;
 };
 
 }  // namespace ajd

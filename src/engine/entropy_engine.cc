@@ -27,7 +27,8 @@ constexpr size_t kMaxFuseColumns = 4;
 EntropyEngine::EntropyEngine(const Relation* r, EngineOptions options)
     : store_(r),
       options_(options),
-      fingerprint_(RelationFingerprint(*r)),
+      relation_uid_(r->uid()),
+      synced_epoch_(r->epoch()),
       pool_(options.worker_pool != nullptr ? options.worker_pool
                                            : WorkerPool::Shared()),
       arbiter_(options.cache_arbiter),
@@ -48,30 +49,253 @@ EntropyEngine::~EntropyEngine() {
   }
 }
 
-uint64_t EntropyEngine::RelationFingerprint(const Relation& r) {
-  uint64_t h =
-      Mix64(r.NumRows() ^ (static_cast<uint64_t>(r.NumAttrs()) << 32));
-  for (uint32_t a = 0; a < r.NumAttrs(); ++a) {
-    h = Mix64(h ^ r.schema().attr(a).domain_size);
-    h = Mix64(h ^ std::hash<std::string>{}(r.schema().attr(a).name));
+void EntropyEngine::CatchUp() {
+  if (relation().epoch() == synced_epoch_.load(std::memory_order_acquire)) {
+    return;
   }
-  const uint64_t n = r.NumRows();
-  if (n > 0) {
-    // Sample three full rows; enough to catch realistic address reuse
-    // without an O(N) pass per session lookup.
-    for (uint64_t i : {uint64_t{0}, n / 2, n - 1}) {
-      const uint32_t* row = r.Row(i);
-      for (uint32_t a = 0; a < r.NumAttrs(); ++a) {
-        h = Mix64(h ^ ((i << 32) | row[a]));
+  std::vector<std::pair<AttrSet, size_t>> resized;
+  std::vector<AttrSet> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (relation().epoch() ==
+        synced_epoch_.load(std::memory_order_relaxed)) {
+      return;  // another thread completed the catch-up first
+    }
+    CatchUpLocked(&resized, &dropped);
+  }
+  if (arbiter_ != nullptr) {
+    // Settle with the arbiter outside mu_: it may evict (from this engine
+    // or any other on the budget), and evict callbacks re-take engine
+    // mutexes — arbiter -> engine is the only permitted order.
+    if (!dropped.empty()) arbiter_->Discharge(this, dropped);
+    if (!resized.empty()) arbiter_->Resize(this, resized);
+  }
+}
+
+void EntropyEngine::CatchUpLocked(
+    std::vector<std::pair<AttrSet, size_t>>* resized,
+    std::vector<AttrSet>* dropped) {
+  const uint64_t old_rows = store_.SyncedRows();
+  store_.CatchUp();
+  const uint64_t epoch = relation().epoch();
+  ++stats_.epoch_catchups;
+
+  // Every cached entropy VALUE is stale at the new epoch (H moves with the
+  // data); partitions, by contrast, extend. Values recompute on demand
+  // from the extended partitions via the same XLogX-table accumulation the
+  // cold kernels use, so post-catch-up reads match the cold chain replay
+  // bit-for-bit.
+  entropies_.clear();
+
+  // Generational revalidation: extension costs O(mass) per partition, so
+  // paying it for entries nothing touched during the entire previous epoch
+  // — one-shot chain intermediates from a miner run, say — would turn
+  // catch-up into the O(cache) rebuild it exists to avoid. Entries used
+  // since the last catch-up stay, AND so do their chain ancestors: a hot
+  // entry's next extension is a cheap delta only while its recipe's
+  // prefixes survive (a base lookup touches just the LONGEST prefix, so
+  // without the closure the shorter ones would go idle, get dropped, and
+  // force a full replay of every hot chain each epoch). Everything else is
+  // dropped (an always-safe cache decision) and its bytes return to the
+  // budget.
+  std::unordered_map<AttrSet, bool, AttrSetHash> keep;
+  keep.reserve(partitions_.size());
+  for (const auto& entry : partitions_) {
+    if (entry.second.last_used <= last_catchup_tick_) continue;
+    keep.emplace(entry.first, true);
+    AttrSet prefix;
+    const std::vector<uint32_t>& chain = entry.second.chain;
+    for (size_t j = 0; j + 1 < chain.size(); ++j) {
+      prefix.Add(chain[j]);
+      auto pit = partitions_.find(prefix);
+      if (pit != partitions_.end() && pit->second.chain.size() == j + 1 &&
+          std::equal(pit->second.chain.begin(), pit->second.chain.end(),
+                     chain.begin())) {
+        keep.emplace(prefix, true);
       }
     }
   }
-  return h;
+  std::vector<AttrSet> stale;
+  for (const auto& entry : partitions_) {
+    if (keep.find(entry.first) == keep.end()) stale.push_back(entry.first);
+  }
+  for (AttrSet key : stale) {
+    EvictPartitionLocked(partitions_.find(key));
+    if (arbiter_ != nullptr) dropped->push_back(key);
+  }
+
+  // Extend the survivors in ascending set size: a chain's proper prefixes
+  // are strictly smaller sets, so every ancestor is extended before its
+  // descendants need it. Old forms are kept aside for the parent-block
+  // correspondence the delta path walks — but ONLY for entries some child
+  // will actually use as a direct parent: pinning every old partition
+  // until the end of catch-up would double peak memory and, worse, starve
+  // the allocator of the just-freed buffers the next extension would
+  // otherwise reuse (measurably slower on large caches).
+  std::unordered_map<AttrSet, std::shared_ptr<const Partition>, AttrSetHash>
+      old_parts;
+  old_parts.reserve(partitions_.size());
+  for (const auto& entry : partitions_) {
+    const std::vector<uint32_t>& chain = entry.second.chain;
+    if (chain.size() < 2) continue;
+    if (!entry.second.delta.run_lengths.empty() &&
+        entry.second.delta.run_lengths.size() ==
+            entry.second.delta.parent_first_rows.size()) {
+      // Scan-free child: its recorded correspondence replaces the old
+      // parent entirely, so the parent stays unpinned (and therefore
+      // eligible for in-place extension itself).
+      continue;
+    }
+    AttrSet parent;
+    for (size_t j = 0; j + 1 < chain.size(); ++j) parent.Add(chain[j]);
+    auto pit = partitions_.find(parent);
+    if (pit != partitions_.end() &&
+        pit->second.chain.size() + 1 == chain.size() &&
+        std::equal(pit->second.chain.begin(), pit->second.chain.end(),
+                   chain.begin())) {
+      old_parts.emplace(parent, pit->second.partition);
+    }
+  }
+  for (uint32_t level = 1; level <= kMaxAttrs; ++level) {
+    for (KeyEntry& key : keys_by_count_[level]) {
+      auto it = partitions_.find(key.set);
+      AJD_CHECK(it != partitions_.end());
+      CachedPartition& cp = it->second;
+      const std::vector<uint32_t>& chain = cp.chain;
+      AJD_CHECK(!chain.empty());
+
+      // Deepest cached ancestor whose recorded chain is a strict prefix of
+      // this one (set equality alone is not enough: the same AttrSet can
+      // have been rebuilt through a different column order after an
+      // eviction, and the block correspondence is chain-specific).
+      std::shared_ptr<const Partition> parent_new;
+      std::shared_ptr<const Partition> parent_old;
+      size_t ancestor_len = 0;
+      AttrSet prefix_sets[kMaxAttrs];
+      AttrSet acc;
+      for (size_t j = 0; j + 1 < chain.size(); ++j) {
+        acc.Add(chain[j]);
+        prefix_sets[j] = acc;  // prefix of length j+1
+      }
+      for (size_t len = chain.size() - 1; len >= 1; --len) {
+        auto pit = partitions_.find(prefix_sets[len - 1]);
+        if (pit == partitions_.end()) continue;
+        if (pit->second.chain.size() != len ||
+            !std::equal(pit->second.chain.begin(), pit->second.chain.end(),
+                        chain.begin())) {
+          continue;
+        }
+        parent_new = pit->second.partition;  // extended already (smaller set)
+        if (len + 1 == chain.size()) {
+          // Only a DIRECT parent's old form matters (the delta path walks
+          // its block correspondence); deeper ancestors feed the replay
+          // path, which reads just the extended form.
+          auto oit = old_parts.find(prefix_sets[len - 1]);
+          if (oit != old_parts.end()) parent_old = oit->second;
+        }
+        ancestor_len = len;
+        break;
+      }
+
+      std::shared_ptr<const Partition> np;
+      // Captured BEFORE extension: the in-place path mutates the cached
+      // object, so its post-extension MemoryBytes is the NEW size.
+      const size_t old_bytes = cp.partition->MemoryBytes();
+      const Column& last_col = store_.column(chain.back());
+      // Scan-free correspondence from the previous extension, if intact.
+      const bool meta_ok =
+          !cp.delta.run_lengths.empty() &&
+          cp.delta.run_lengths.size() == cp.delta.parent_first_rows.size();
+      const bool kernel_stable =
+          parent_new != nullptr &&
+          ChooseRefineKernel(last_col.cardinality,
+                             parent_new->NumStrippedRows()) ==
+              ChooseRefineKernel(cp.last_col_card,
+                                 parent_new->NumStrippedRows());
+      if (ancestor_len + 1 == chain.size() && kernel_stable &&
+          (meta_ok || parent_old != nullptr)) {
+        // Direct parent cached with the same chain and the kernel choice
+        // did not move: the O(delta + touched blocks) path — scan-free
+        // when the previous extension's metadata survived (steady state),
+        // seeding that metadata from the retained old parent otherwise. A
+        // sole-owner entry (nothing else aliases it — in particular it is
+        // nobody's retained old parent) extends IN PLACE: the bit-identical
+        // prefix before the first affected block is never copied, which is
+        // what makes catch-up track the changed region on locality-friendly
+        // streams instead of the partition's whole mass.
+        const PartitionDelta* meta = meta_ok ? &cp.delta : nullptr;
+        const Partition* old_parent_ptr =
+            meta_ok ? nullptr : parent_old.get();
+        PartitionDelta next;
+        if (cp.partition.use_count() == 1) {
+          std::const_pointer_cast<Partition>(cp.partition)
+              ->ExtendInPlaceBy(old_parent_ptr, *parent_new, last_col,
+                                old_rows, meta, &next);
+          np = cp.partition;
+        } else {
+          np = std::make_shared<Partition>(
+              cp.partition->ExtendedBy(old_parent_ptr, *parent_new,
+                                       last_col, old_rows, meta, &next));
+        }
+        cp.delta = std::move(next);
+        ++stats_.partitions_extended;
+      } else if (chain.size() == 1) {
+        np = std::make_shared<Partition>(
+            cp.partition->ExtendedOfColumn(last_col, old_rows));
+        ++stats_.partitions_extended;
+      } else {
+        // Fused gap, evicted ancestor, divergent chain, or a column whose
+        // cardinality crossed its kernel-selection threshold: replay the
+        // remaining chain cold from the deepest extended ancestor (bit-
+        // identical to the delta path by kernel reproducibility).
+        Partition cur;
+        const Partition* base = parent_new.get();
+        size_t j = ancestor_len;
+        if (base == nullptr) {
+          cur = Partition::OfColumn(store_.column(chain[0]));
+          base = &cur;
+          j = 1;
+        }
+        for (; j < chain.size(); ++j) {
+          cur = base->RefinedBy(store_.column(chain[j]));
+          base = &cur;
+        }
+        np = std::make_shared<Partition>(std::move(cur));
+        cp.delta.run_lengths.clear();
+        cp.delta.parent_first_rows.clear();
+        ++stats_.partitions_replayed;
+      }
+
+      const size_t new_bytes = np->MemoryBytes();
+      partition_bytes_ += new_bytes;
+      partition_bytes_ -= old_bytes;
+      key.mass = np->NumStrippedRows();
+      cp.partition = std::move(np);
+      cp.epoch = epoch;
+      cp.last_col_card = last_col.cardinality;
+      if (arbiter_ != nullptr) resized->emplace_back(key.set, new_bytes);
+    }
+  }
+  if (arbiter_ == nullptr) EvictToPrivateBudgetLocked(AttrSet());
+  last_catchup_tick_ = tick_;
+  synced_epoch_.store(epoch, std::memory_order_release);
+}
+
+bool EntropyEngine::CachedPartitionInfo(
+    AttrSet attrs, std::vector<uint32_t>* chain,
+    std::shared_ptr<const Partition>* partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = partitions_.find(attrs);
+  if (it == partitions_.end()) return false;
+  if (chain != nullptr) *chain = it->second.chain;
+  if (partition != nullptr) *partition = it->second.partition;
+  return true;
 }
 
 double EntropyEngine::Entropy(AttrSet attrs) {
   AJD_CHECK(attrs.IsSubsetOf(relation().schema().AllAttrs()));
-  if (attrs.Empty() || relation().NumRows() == 0) return 0.0;
+  CatchUp();
+  if (attrs.Empty() || store_.NumRows() == 0) return 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.queries;
@@ -85,7 +309,12 @@ double EntropyEngine::Entropy(AttrSet attrs) {
 }
 
 double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
-  const uint64_t n = relation().NumRows();
+  // The SYNCED row count, not the live one: columns and partitions cover
+  // exactly store_.NumRows() rows, and mixing a newer N into the entropy
+  // formula would silently skew every value if an append raced the
+  // single-writer contract instead of just serving consistently stale
+  // answers.
+  const uint64_t n = store_.NumRows();
 
   // Best cached base under the refinement cost model: each remaining step
   // scans at most the base's stripped rows, so refining base T costs about
@@ -98,6 +327,9 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
   // choice is deterministic given the cache contents.
   std::shared_ptr<const Partition> base;
   AttrSet base_set;
+  // The base's recorded build recipe; every partition cached below extends
+  // it, so catch-up can replay (or delta-extend) the exact chain later.
+  std::vector<uint32_t> cur_chain;
   // Partition-cache pressure: evictions have happened and the cache sits
   // near its budget, so intermediates cached now are unlikely to survive
   // until a reuse — the signal that lets the fused path run (below)
@@ -143,6 +375,7 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
     if (best_level != 0) {
       auto it = partitions_.find(base_set);
       base = it->second.partition;
+      cur_chain = it->second.chain;
       it->second.last_used = ++tick_;
       ++stats_.base_reuses;
     }
@@ -170,7 +403,13 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
   uint64_t builds = 0;
   uint64_t refinements = 0;
   uint64_t fused = 0;
-  std::vector<std::pair<AttrSet, std::shared_ptr<const Partition>>> fresh;
+  struct FreshEntry {
+    AttrSet set;
+    std::shared_ptr<const Partition> partition;
+    std::vector<uint32_t> chain;
+    uint32_t last_col_card = 0;
+  };
+  std::vector<FreshEntry> fresh;
   std::shared_ptr<const Partition> cur = std::move(base);
   AttrSet cur_set = base_set;
   double h = 0.0;
@@ -239,7 +478,13 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
         cur = std::make_shared<Partition>(cur->RefinedByAll(
             cols, remaining, static_cast<uint32_t>(composite_card)));
         cur_set = attrs;
-        fresh.emplace_back(cur_set, cur);
+        // A fused pass is bit-identical to the chain in the same column
+        // order, so the recipe records the columns flat.
+        for (size_t j = 0; j < remaining; ++j) {
+          cur_chain.push_back(missing[i + j]);
+        }
+        fresh.push_back({cur_set, cur, cur_chain,
+                         cols[remaining - 1]->cardinality});
         i = missing.size();
         break;
       }
@@ -263,7 +508,8 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
       ++refinements;
     }
     cur_set.Add(a);
-    fresh.emplace_back(cur_set, cur);
+    cur_chain.push_back(a);
+    fresh.push_back({cur_set, cur, cur_chain, col.cardinality});
     ++i;
     // All rows already unique: every superset partition is all-singletons
     // too, so H(attrs) = ln N and the remaining refinements are no-ops.
@@ -271,8 +517,18 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
       if (cur_set != attrs) {
         // The full set's stripped partition is empty too; cache a fresh
         // empty instance rather than aliasing cur, so the byte accounting
-        // doesn't count one allocation twice.
-        fresh.emplace_back(attrs, std::make_shared<Partition>());
+        // doesn't count one allocation twice. Its recipe extends the
+        // current chain by the never-applied columns (any order induces
+        // the same empty grouping NOW; the recorded order pins the replay
+        // after future appends un-singleton it).
+        std::vector<uint32_t> rest_chain = cur_chain;
+        for (size_t j = i; j < missing.size(); ++j) {
+          rest_chain.push_back(missing[j]);
+        }
+        const uint32_t rest_card =
+            store_.column(rest_chain.back()).cardinality;
+        fresh.push_back({attrs, std::make_shared<Partition>(),
+                         std::move(rest_chain), rest_card});
       }
       break;
     }
@@ -290,9 +546,10 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
     stats_.fused_refinements += fused;
     entropies_.emplace(attrs, h);
     for (auto& entry : fresh) {
-      const AttrSet set = entry.first;
+      const AttrSet set = entry.set;
       const size_t bytes =
-          InsertPartitionLocked(set, std::move(entry.second));
+          InsertPartitionLocked(set, std::move(entry.partition),
+                                std::move(entry.chain), entry.last_col_card);
       if (arbiter_ != nullptr && bytes > 0) charged.emplace_back(set, bytes);
     }
   }
@@ -305,8 +562,10 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
   return h;
 }
 
-size_t EntropyEngine::InsertPartitionLocked(
-    AttrSet attrs, std::shared_ptr<const Partition> p) {
+size_t EntropyEngine::InsertPartitionLocked(AttrSet attrs,
+                                            std::shared_ptr<const Partition> p,
+                                            std::vector<uint32_t> chain,
+                                            uint32_t last_col_card) {
   size_t inserted_bytes = 0;
   auto [it, inserted] = partitions_.emplace(attrs, CachedPartition{});
   if (inserted) {
@@ -314,12 +573,20 @@ size_t EntropyEngine::InsertPartitionLocked(
     partition_bytes_ += inserted_bytes;
     keys_by_count_[attrs.Count()].push_back({attrs, p->NumStrippedRows()});
     it->second.partition = std::move(p);
+    it->second.chain = std::move(chain);
+    it->second.last_col_card = last_col_card;
+    it->second.epoch = synced_epoch_.load(std::memory_order_relaxed);
   }
   it->second.last_used = ++tick_;
   // With a shared arbiter attached, eviction is global and happens when the
   // caller charges the arbiter after releasing mu_; the private budget is
   // inert.
   if (arbiter_ != nullptr) return inserted_bytes;
+  EvictToPrivateBudgetLocked(attrs);
+  return inserted_bytes;
+}
+
+void EntropyEngine::EvictToPrivateBudgetLocked(AttrSet spare) {
   // Evict least-recently-used partitions past the budget, sparing the entry
   // just touched. Linear scans are fine: the cache holds at most a few
   // hundred lattice points in practice.
@@ -328,7 +595,7 @@ size_t EntropyEngine::InsertPartitionLocked(
     auto victim = partitions_.end();
     uint64_t oldest = UINT64_MAX;
     for (auto jt = partitions_.begin(); jt != partitions_.end(); ++jt) {
-      if (jt->first == attrs) continue;
+      if (jt->first == spare) continue;
       if (jt->second.last_used < oldest) {
         oldest = jt->second.last_used;
         victim = jt;
@@ -337,7 +604,6 @@ size_t EntropyEngine::InsertPartitionLocked(
     if (victim == partitions_.end()) break;
     EvictPartitionLocked(victim);
   }
-  return inserted_bytes;
 }
 
 void EntropyEngine::EvictPartitionLocked(
@@ -383,6 +649,7 @@ uint32_t EntropyEngine::PoolSizeFor(size_t n) const {
 }
 
 void EntropyEngine::BatchEntropy(const AttrSet* sets, size_t n, double* out) {
+  CatchUp();
   // Size the pool by *distinct misses*, not batch size: waking workers to
   // service cache hits costs more than the hits themselves (the miner
   // re-batches mostly-warm term lists every split round), and dispatching
@@ -420,6 +687,7 @@ std::vector<double> EntropyEngine::BatchEntropy(
 }
 
 void EntropyEngine::WarmEntropies(const std::vector<AttrSet>& sets) {
+  CatchUp();
   std::vector<AttrSet> need;
   need.reserve(sets.size());
   {
@@ -430,7 +698,7 @@ void EntropyEngine::WarmEntropies(const std::vector<AttrSet>& sets) {
       }
     }
   }
-  if (relation().NumRows() == 0) return;
+  if (store_.NumRows() == 0) return;
   std::sort(need.begin(), need.end());
   need.erase(std::unique(need.begin(), need.end()), need.end());
   if (need.empty()) return;
@@ -446,6 +714,7 @@ void EntropyEngine::WarmEntropies(const std::vector<AttrSet>& sets) {
 }
 
 void EntropyEngine::PrewarmSubsets(const std::vector<AttrSet>& sets) {
+  CatchUp();
   // Only sets without a materialized partition need work; sorting the
   // survivors makes the serial fill order (and thus the exact cached
   // values) independent of the caller's enumeration order.
@@ -459,7 +728,7 @@ void EntropyEngine::PrewarmSubsets(const std::vector<AttrSet>& sets) {
       if (partitions_.find(s) == partitions_.end()) need.push_back(s);
     }
   }
-  if (relation().NumRows() == 0) return;
+  if (store_.NumRows() == 0) return;
   std::sort(need.begin(), need.end());
   need.erase(std::unique(need.begin(), need.end()), need.end());
   if (need.empty()) return;

@@ -21,14 +21,32 @@
 // it. BatchEntropy evaluates independent terms on a WorkerPool
 // (engine/worker_pool.h) shared across engines — the shape of the miner's
 // candidate-split enumeration.
+//
+// Epochs: the engine follows its relation across batch appends
+// (relation/relation.h). Every query entry point first catches up to the
+// relation's epoch: the column store extends its dense columns and
+// sketches over the appended suffix, and every cached partition USED SINCE
+// THE LAST CATCH-UP is extended in place — each one records the column
+// chain that built it, and the delta paths (Partition::ExtendedOfColumn /
+// ExtendedBy) reproduce the cold replay of that chain bit-for-bit.
+// Partitions idle through the whole previous epoch are dropped instead
+// (extension costs O(mass); paying it for a dead miner intermediate every
+// batch would turn catch-up back into the O(cache) rebuild it replaces).
+// Stale entropy values are cleared; subsequent queries recompute them from
+// the extended partitions through the same XLogX-table accumulation the
+// cold kernels use. Catch-up is a write barrier: the caller must not run
+// queries concurrently with AppendBatch or with the first query after it
+// (the single-writer streaming contract; see core/streaming.h).
 #ifndef AJD_ENGINE_ENTROPY_ENGINE_H_
 #define AJD_ENGINE_ENTROPY_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/column_store.h"
@@ -100,6 +118,14 @@ struct EngineStats {
   uint64_t fused_refinements = 0; ///< fused composite passes (each replaces
                                   ///< 2+ chained refinement steps).
   uint64_t evictions = 0;        ///< partitions dropped for the budget.
+  uint64_t epoch_catchups = 0;   ///< relation-epoch synchronizations.
+  uint64_t partitions_extended = 0; ///< cached partitions delta-extended
+                                    ///< during catch-up (O(delta + touched
+                                    ///< blocks) each).
+  uint64_t partitions_replayed = 0; ///< cached partitions rebuilt by chain
+                                    ///< replay instead (missing ancestor,
+                                    ///< fused gap, or kernel-threshold
+                                    ///< fallback).
 
   double HitRate() const {
     return queries == 0 ? 0.0
@@ -185,19 +211,57 @@ class EntropyEngine {
   /// Snapshot of the counters.
   EngineStats Stats() const;
 
-  /// Cheap content fingerprint of a relation (row/attr counts, schema,
-  /// sampled data words). AnalysisSession compares it against the value
-  /// captured at engine construction to catch a relation being destroyed
-  /// and a different one reusing its address mid-session.
-  static uint64_t RelationFingerprint(const Relation& r);
+  /// The uid of the relation this engine was built for. AnalysisSession
+  /// compares it against the relation currently at the registered address:
+  /// a mismatch means the relation died and a different one reuses the
+  /// address, and the session transparently rebuilds the engine (the
+  /// replacement for the old abort-on-mutation fingerprint guard — epoch
+  /// growth is now legitimate and handled by CatchUp).
+  uint64_t relation_uid() const { return relation_uid_; }
 
-  /// The fingerprint captured at construction.
-  uint64_t fingerprint() const { return fingerprint_; }
+  /// The relation epoch the caches are synchronized to.
+  uint64_t synced_epoch() const {
+    return synced_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Synchronizes the engine with the relation's current epoch: extends
+  /// columns/sketches over the appended rows, delta-extends every cached
+  /// partition along its recorded chain, drops stale entropy values, and
+  /// revalidates the grown bytes with the cache arbiter (charging only the
+  /// delta). Every query entry point calls this first (one atomic load
+  /// when already synced). NOT safe to run concurrently with queries —
+  /// appends require the single-writer quiescence documented above.
+  void CatchUp();
+
+  /// Test/introspection hook: the recorded build chain and current
+  /// partition of a cached attribute set, if materialized. The chain lists
+  /// the dense columns applied from scratch, in order — replaying it cold
+  /// over the full relation must reproduce `partition` bit-for-bit
+  /// (tests/epoch_test.cc enforces exactly that after catch-up).
+  bool CachedPartitionInfo(AttrSet attrs, std::vector<uint32_t>* chain,
+                           std::shared_ptr<const Partition>* partition) const;
 
  private:
   struct CachedPartition {
     std::shared_ptr<const Partition> partition;
     uint64_t last_used = 0;
+    /// Relation epoch the partition covers (== the engine's synced epoch;
+    /// catch-up revalidates entries in place rather than rebuilding them).
+    uint64_t epoch = 0;
+    /// The full column-application recipe, from scratch: partition ==
+    /// OfColumn(chain[0]).RefinedBy(chain[1])... (fused steps recorded
+    /// flat — a fused pass is bit-identical to the chain in the same
+    /// order). One entry per attribute of the key.
+    std::vector<uint32_t> chain;
+    /// Cardinality of chain.back()'s column when the partition was built;
+    /// catch-up falls back from delta extension to a full recompute when
+    /// the grown cardinality crosses a kernel-selection threshold.
+    uint32_t last_col_card = 0;
+    /// Parent-block correspondence emitted by the latest extension
+    /// (engine/partition.h): makes the NEXT extension scan-free and frees
+    /// catch-up from retaining the old parent partition. Empty until the
+    /// first (seeding) extension, and after any replay.
+    PartitionDelta delta;
   };
 
   /// Computes H(attrs) on a cache miss; called without holding mu_. When
@@ -206,12 +270,29 @@ class EntropyEngine {
   /// entropy-only pass (the PrewarmSubsets path).
   double ComputeEntropy(AttrSet attrs, bool materialize_final = false);
 
-  /// Inserts a partition; returns its heap bytes if actually inserted (0
-  /// for duplicates). With no arbiter attached, also evicts private-LRU
-  /// entries past cache_budget_bytes; with one, eviction is the arbiter's
-  /// job and the caller charges it AFTER releasing mu_. Requires mu_ held.
+  /// Inserts a partition with its build recipe; returns its heap bytes if
+  /// actually inserted (0 for duplicates). With no arbiter attached, also
+  /// evicts private-LRU entries past cache_budget_bytes; with one,
+  /// eviction is the arbiter's job and the caller charges it AFTER
+  /// releasing mu_. Requires mu_ held.
   size_t InsertPartitionLocked(AttrSet attrs,
-                               std::shared_ptr<const Partition> p);
+                               std::shared_ptr<const Partition> p,
+                               std::vector<uint32_t> chain,
+                               uint32_t last_col_card);
+
+  /// Evicts private-LRU entries until partition_bytes_ fits the private
+  /// budget, sparing `spare` (the entry just touched). Requires mu_ held
+  /// and no arbiter attached.
+  void EvictToPrivateBudgetLocked(AttrSet spare);
+
+  /// The catch-up body: extends columns, sketches, and the RECENTLY USED
+  /// cached partitions to the relation's current size, dropping entries
+  /// idle since the previous catch-up (generational policy) and clearing
+  /// stale entropy values. Appends each surviving entry's (key, new bytes)
+  /// to `resized` and each dropped key to `dropped` for arbiter settlement
+  /// by the caller (outside mu_). Requires mu_.
+  void CatchUpLocked(std::vector<std::pair<AttrSet, size_t>>* resized,
+                     std::vector<AttrSet>* dropped);
 
   /// The arbiter's evict callback: drops one cached partition (if still
   /// present) and counts the eviction. Takes mu_; never calls the arbiter
@@ -229,7 +310,10 @@ class EntropyEngine {
 
   ColumnStore store_;
   EngineOptions options_;
-  uint64_t fingerprint_ = 0;
+  uint64_t relation_uid_ = 0;
+  /// Relation epoch the caches cover; CatchUp's fast path is one acquire
+  /// load of this against Relation::epoch().
+  std::atomic<uint64_t> synced_epoch_{0};
   /// The shared batch pool (options_.worker_pool, or the process-wide
   /// default). Engines only ever submit batches; the pool owns the
   /// threads and serializes batches across engines.
@@ -255,6 +339,9 @@ class EntropyEngine {
   std::vector<std::vector<KeyEntry>> keys_by_count_;
   size_t partition_bytes_ = 0;
   uint64_t tick_ = 0;
+  /// tick_ at the end of the last catch-up: entries not touched since are
+  /// dropped rather than extended at the next one (generational policy).
+  uint64_t last_catchup_tick_ = 0;
   EngineStats stats_;
 };
 

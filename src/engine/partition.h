@@ -22,6 +22,21 @@
 
 namespace ajd {
 
+/// Cross-epoch correspondence metadata for delta extension, produced by one
+/// extension and consumed by the next (engine/entropy_engine.h keeps one
+/// per cached partition). run_lengths[j] = how many of the partition's
+/// blocks came from block j of its DIRECT parent; parent_first_rows[j] =
+/// that parent block's first row (stable across appends, so it identifies
+/// the block in the extended parent without touching the old parent at
+/// all). With this in hand the next extension is SCAN-FREE: no
+/// row->block index to fill, no per-sub-block membership test, and the old
+/// parent partition need not even be retained — which in turn lets parents
+/// extend in place.
+struct PartitionDelta {
+  std::vector<uint32_t> run_lengths;
+  std::vector<uint32_t> parent_first_rows;
+};
+
 /// A stripped partition of row indices. Value type; refinement returns a
 /// fresh partition and never mutates its input, so cached partitions can be
 /// shared across threads read-only.
@@ -89,7 +104,71 @@ class Partition {
   /// H over the empirical distribution whose grouping this partition is,
   /// in nats: ln n - (1/n) sum_blocks c ln c. `num_rows` is |R| (the
   /// stripped representation does not know how many singletons exist).
+  /// Accumulates through the same XLogX table as the refinement kernels,
+  /// in block order, so the value is bit-identical to the count-only
+  /// kernel that would have produced this partition's grouping.
   double EntropyNats(uint64_t num_rows) const;
+
+  // --- Delta extension (epoch catch-up) ---------------------------------
+  //
+  // Relations grow by appends only (relation/relation.h), so a partition
+  // computed over the first `old_rows` rows remains a valid grouping of
+  // those rows forever; extension folds the appended suffix in without
+  // re-deriving the prefix. Both methods are BIT-IDENTICAL — block
+  // boundaries, block order, row order — to the cold factory applied to
+  // the grown column(s), which is what makes incremental catch-up
+  // indistinguishable from a full rebuild (tests/epoch_test.cc).
+
+  /// Extension of a single-column partition: `this` must equal
+  /// OfColumn(col restricted to the first old_rows rows); returns
+  /// OfColumn(col) over all rows, computed by tallying only the appended
+  /// rows against the old code->block layout (old blocks keep their
+  /// ascending-code positions; codes promoted out of singledom or newly
+  /// appeared are merged in code order). Requires col.first_row (store
+  /// densification) to locate the lone old row of a promoted singleton.
+  Partition ExtendedOfColumn(const Column& col, uint64_t old_rows) const;
+
+  /// Extension one refinement step up a chain: `this` is the old child
+  /// (the chain's grouping over the first old_rows rows) and `parent_new`
+  /// that chain-minus-`col` parent already extended over all rows. Returns
+  /// parent_new.RefinedBy(col) bit-identically, but touches only the
+  /// parent blocks that received appended rows — untouched blocks'
+  /// sub-blocks are copied verbatim, and the leading output blocks BEFORE
+  /// the first affected parent block are not even walked (blocks hold row
+  /// ids, not positions, so the old prefix is already bit-exact).
+  ///
+  /// The parent-block correspondence comes from ONE of:
+  ///   - `meta`, the PartitionDelta this partition's previous extension
+  ///     emitted (the scan-free steady-state path), or
+  ///   - `parent_old`, the pre-extension parent partition (the seeding
+  ///     path: first extension after a cold build, evicted metadata).
+  /// At least one must be non-null. `delta_out`, when given, receives the
+  /// metadata for the NEXT extension.
+  Partition ExtendedBy(const Partition* parent_old,
+                       const Partition& parent_new, const Column& col,
+                       uint64_t old_rows, const PartitionDelta* meta,
+                       PartitionDelta* delta_out) const;
+
+  /// Convenience form for the seeding path (tests, one-shot callers).
+  Partition ExtendedBy(const Partition& parent_old,
+                       const Partition& parent_new, const Column& col,
+                       uint64_t old_rows) const {
+    return ExtendedBy(&parent_old, parent_new, col, old_rows, nullptr,
+                      nullptr);
+  }
+
+  /// In-place form of ExtendedBy for a sole-owner partition (the engine's
+  /// epoch catch-up on entries nothing else aliases): the identical prefix
+  /// is left untouched and only the suffix after the first affected parent
+  /// block is rewritten, with geometric capacity growth so repeated
+  /// batch extensions stop reallocating (and re-copying the prefix) every
+  /// time. On streams with temporal key locality — appends touch recent
+  /// values, old blocks go quiet — this is what makes catch-up scale with
+  /// the CHANGED region rather than the partition's whole mass.
+  void ExtendInPlaceBy(const Partition* parent_old,
+                       const Partition& parent_new, const Column& col,
+                       uint64_t old_rows, const PartitionDelta* meta,
+                       PartitionDelta* delta_out);
 
   /// Number of stripped (size >= 2) blocks.
   uint32_t NumBlocks() const {
@@ -121,6 +200,24 @@ class Partition {
   }
 
  private:
+  /// Outcome of the shared extension walk (partition.cc): the first
+  /// `prefix_blocks` output blocks are bit-identical to this partition's
+  /// own leading blocks (and are not staged); everything after them sits
+  /// in the walk's thread-local staging buffers at absolute offsets.
+  struct ExtendStaged {
+    uint32_t prefix_blocks = 0;
+    uint64_t prefix_rows = 0;
+    uint64_t total_rows = 0;    ///< prefix + staged suffix rows.
+    uint32_t staged_starts = 0; ///< block ends staged after the prefix.
+  };
+
+  /// The walk behind ExtendedBy / ExtendInPlaceBy. Requires
+  /// parent_new.NumBlocks() > 0 and (parent_old || meta).
+  ExtendStaged ExtendStageBy(const Partition* parent_old,
+                             const Partition& parent_new, const Column& col,
+                             uint64_t old_rows, const PartitionDelta* meta,
+                             PartitionDelta* delta_out) const;
+
   std::vector<uint32_t> rows_;    // concatenated members of stripped blocks
   std::vector<uint32_t> starts_;  // block b spans [starts_[b], starts_[b+1])
 };

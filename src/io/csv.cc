@@ -104,6 +104,103 @@ Result<Relation> ReadCsvFile(const std::string& path,
   return ReadCsv(in, options);
 }
 
+Status ReadCsvBatches(
+    std::istream& in, const CsvOptions& options, uint64_t batch_rows,
+    const std::function<Status(const std::vector<std::string>& header,
+                               std::vector<std::vector<std::string>> batch)>&
+        sink) {
+  if (batch_rows == 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
+  std::string line;
+  std::vector<std::string> header;
+  bool have_header = false;
+  std::vector<std::vector<std::string>> batch;
+  bool delivered = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line, options.separator);
+    if (!have_header) {
+      if (options.has_header) {
+        header = std::move(fields);
+        have_header = true;
+        continue;
+      }
+      header.reserve(fields.size());
+      for (size_t i = 0; i < fields.size(); ++i) {
+        header.push_back("col" + std::to_string(i));
+      }
+      have_header = true;
+    }
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "ragged CSV row: expected " + std::to_string(header.size()) +
+          " fields, got " + std::to_string(fields.size()));
+    }
+    batch.push_back(std::move(fields));
+    if (batch.size() >= batch_rows) {
+      Status s = sink(header, std::move(batch));
+      if (!s.ok()) return s;
+      delivered = true;
+      batch.clear();
+    }
+  }
+  if (!have_header) return Status::InvalidArgument("empty CSV input");
+  if (!batch.empty() || !delivered) {
+    // Flush the tail — or, for a header-only file, one empty batch so the
+    // sink still learns the schema.
+    Status s = sink(header, std::move(batch));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ReadCsvFileBatches(
+    const std::string& path, const CsvOptions& options, uint64_t batch_rows,
+    const std::function<Status(const std::vector<std::string>& header,
+                               std::vector<std::vector<std::string>> batch)>&
+        sink) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadCsvBatches(in, options, batch_rows, sink);
+}
+
+Status ValidateCsvHeader(const std::vector<std::string>& header,
+                         const Schema& schema, bool names_meaningful) {
+  if (header.size() != schema.size()) {
+    return Status::InvalidArgument(
+        "CSV width " + std::to_string(header.size()) +
+        " does not match relation width " + std::to_string(schema.size()));
+  }
+  if (!names_meaningful) return Status::OK();  // synthetic colN names
+  // Matching width alone would let a column-reordered file append values
+  // into the wrong attributes silently; with a real header the names must
+  // line up positionally.
+  for (uint32_t a = 0; a < schema.size(); ++a) {
+    if (header[a] != schema.attr(a).name) {
+      return Status::InvalidArgument(
+          "CSV column " + std::to_string(a) + " is named '" + header[a] +
+          "' but the relation attribute is '" + schema.attr(a).name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status AppendCsvBatches(std::istream& in, Relation* r,
+                        const CsvOptions& options, uint64_t batch_rows) {
+  AJD_CHECK(r != nullptr);
+  return ReadCsvBatches(
+      in, options, batch_rows,
+      [r, &options](const std::vector<std::string>& header,
+                    std::vector<std::vector<std::string>> batch) {
+        Status ok =
+            ValidateCsvHeader(header, r->schema(), options.has_header);
+        if (!ok.ok()) return ok;
+        if (batch.empty()) return Status::OK();
+        return r->AppendStringBatch(batch, options.dedupe);
+      });
+}
+
 Status WriteCsv(const Relation& r, std::ostream& out, char separator) {
   for (uint32_t a = 0; a < r.NumAttrs(); ++a) {
     if (a > 0) out << separator;

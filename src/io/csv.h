@@ -4,9 +4,12 @@
 #ifndef AJD_IO_CSV_H_
 #define AJD_IO_CSV_H_
 
+#include <cstdint>
+#include <functional>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "relation/relation.h"
 #include "util/status.h"
@@ -27,6 +30,40 @@ Result<Relation> ReadCsv(std::istream& in, const CsvOptions& options = {});
 /// Parses a relation from a file.
 Result<Relation> ReadCsvFile(const std::string& path,
                              const CsvOptions& options = {});
+
+/// Streaming chunked reader: parses `in` at most `batch_rows` rows at a
+/// time and hands each chunk (raw string fields) to `sink` along with the
+/// header names. The whole file is never materialized — the path that lets
+/// the streaming loss monitor (core/streaming.h) follow files larger than
+/// memory. Stops at the first non-OK sink status and returns it; ragged
+/// rows and empty input yield InvalidArgument. The sink also runs (with an
+/// empty batch) for a header-only file, so callers always learn the schema.
+Status ReadCsvBatches(
+    std::istream& in, const CsvOptions& options, uint64_t batch_rows,
+    const std::function<Status(const std::vector<std::string>& header,
+                               std::vector<std::vector<std::string>> batch)>&
+        sink);
+
+/// File form of ReadCsvBatches.
+Status ReadCsvFileBatches(
+    const std::string& path, const CsvOptions& options, uint64_t batch_rows,
+    const std::function<Status(const std::vector<std::string>& header,
+                               std::vector<std::vector<std::string>> batch)>&
+        sink);
+
+/// Validates a CSV header against a relation schema: the widths must
+/// match, and — when `names_meaningful` (the file had a real header row) —
+/// so must the column names, positionally, or a reordered file would
+/// silently append values into the wrong attributes.
+Status ValidateCsvHeader(const std::vector<std::string>& header,
+                         const Schema& schema, bool names_meaningful);
+
+/// Chunked ingestion into an existing relation: validates the header
+/// (width always; names too when options.has_header) and feeds every
+/// chunk straight to Relation::AppendStringBatch (one epoch bump per
+/// non-empty chunk). `options.dedupe` maps to the append's dedupe flag.
+Status AppendCsvBatches(std::istream& in, Relation* r,
+                        const CsvOptions& options, uint64_t batch_rows);
 
 /// Writes a relation as CSV (header + rows; dictionary values when
 /// available, otherwise numeric codes).

@@ -1,10 +1,72 @@
 #include "relation/relation.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "relation/row_hash.h"
 
 namespace ajd {
+
+namespace {
+
+// Process-unique relation ids. 0 is never handed out, so a moved-from husk
+// reset here can never collide with a live relation.
+uint64_t NextRelationUid() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Relation::Relation() : uid_(NextRelationUid()) {}
+
+Relation::Relation(const Relation& other)
+    : schema_(other.schema_),
+      data_(other.data_),
+      num_rows_(other.num_rows_),
+      dicts_(other.dicts_),
+      epoch_(other.epoch_),
+      uid_(NextRelationUid()) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  data_ = other.data_;
+  num_rows_ = other.num_rows_;
+  dicts_ = other.dicts_;
+  epoch_ = other.epoch_;
+  uid_ = NextRelationUid();
+  row_index_.reset();
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      data_(std::move(other.data_)),
+      num_rows_(other.num_rows_),
+      dicts_(std::move(other.dicts_)),
+      epoch_(other.epoch_),
+      uid_(other.uid_),
+      row_index_(std::move(other.row_index_)) {
+  other.num_rows_ = 0;
+  other.epoch_ = 0;
+  other.uid_ = 0;  // husk; see header. (0 is never a live uid.)
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  data_ = std::move(other.data_);
+  num_rows_ = other.num_rows_;
+  dicts_ = std::move(other.dicts_);
+  epoch_ = other.epoch_;
+  uid_ = other.uid_;
+  row_index_ = std::move(other.row_index_);
+  other.num_rows_ = 0;
+  other.epoch_ = 0;
+  other.uid_ = 0;
+  return *this;
+}
 
 uint32_t Dictionary::Intern(const std::string& value) {
   auto it = index_.find(value);
@@ -41,6 +103,100 @@ Result<Relation> Relation::FromRows(Schema schema,
   b.Reserve(rows.size());
   for (const auto& row : rows) b.AddRow(row);
   return std::move(b).Build(dedupe);
+}
+
+void Relation::AppendCodesUnchecked(const std::vector<uint32_t>& flat,
+                                    uint64_t rows, bool dedupe) {
+  const uint32_t width = NumAttrs();
+  if (rows == 0 || width == 0) return;
+  if (dedupe && row_index_ == nullptr) {
+    // First deduped append: index every existing row once (O(N)); later
+    // appends pay only their own rows.
+    row_index_ = std::make_unique<TupleCounter>(width, num_rows_ + rows);
+    for (uint64_t i = 0; i < num_rows_; ++i) row_index_->Add(Row(i));
+  }
+  uint64_t appended = 0;
+  std::vector<uint64_t> max_code(width, 0);
+  for (uint64_t i = 0; i < rows; ++i) {
+    const uint32_t* row = flat.data() + i * width;
+    if (dedupe) {
+      const size_t before = row_index_->NumDistinct();
+      row_index_->Add(row);
+      if (row_index_->NumDistinct() == before) continue;  // already present
+    } else if (row_index_ != nullptr) {
+      // Keep a previously built index exact across multiset appends too.
+      row_index_->Add(row);
+    }
+    data_.insert(data_.end(), row, row + width);
+    ++appended;
+    for (uint32_t a = 0; a < width; ++a) {
+      max_code[a] = std::max<uint64_t>(max_code[a], row[a]);
+    }
+  }
+  if (appended == 0) return;
+  num_rows_ += appended;
+  for (uint32_t a = 0; a < width; ++a) {
+    schema_.EnsureDomainSize(a, max_code[a] + 1);
+  }
+  ++epoch_;
+}
+
+Status Relation::AppendBatch(const std::vector<std::vector<uint32_t>>& rows,
+                             bool dedupe) {
+  const uint32_t width = NumAttrs();
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      return Status::InvalidArgument(
+          "append row width " + std::to_string(row.size()) +
+          " does not match schema width " + std::to_string(width));
+    }
+  }
+  std::vector<uint32_t> flat;
+  flat.reserve(rows.size() * width);
+  for (const auto& row : rows) {
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  AppendCodesUnchecked(flat, rows.size(), dedupe);
+  return Status::OK();
+}
+
+Status Relation::AppendStringBatch(
+    const std::vector<std::vector<std::string>>& rows, bool dedupe) {
+  const uint32_t width = NumAttrs();
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      return Status::InvalidArgument(
+          "append row width " + std::to_string(row.size()) +
+          " does not match schema width " + std::to_string(width));
+    }
+  }
+  // A non-empty relation built from raw codes has no dictionary to intern
+  // into: inventing one here would assign fresh codes starting at 0, which
+  // ALIAS the existing raw code space — silent corruption, not an append.
+  if (num_rows_ > 0) {
+    for (uint32_t a = 0; a < width; ++a) {
+      if (a >= dicts_.size() || !dicts_[a].has_value()) {
+        return Status::InvalidArgument(
+            "attribute " + std::to_string(a) +
+            " holds raw codes (no dictionary); string appends require a "
+            "dictionary-encoded relation (or an empty one)");
+      }
+    }
+  }
+  // Interning may create dictionary entries for rows that dedupe then
+  // drops; that only grows a dictionary, never the relation's data, so the
+  // append-only contract holds either way.
+  if (dicts_.size() < width) dicts_.resize(width);
+  std::vector<uint32_t> flat;
+  flat.reserve(rows.size() * width);
+  for (const auto& row : rows) {
+    for (uint32_t a = 0; a < width; ++a) {
+      if (!dicts_[a].has_value()) dicts_[a].emplace();
+      flat.push_back(dicts_[a]->Intern(row[a]));
+    }
+  }
+  AppendCodesUnchecked(flat, rows.size(), dedupe);
+  return Status::OK();
 }
 
 bool Relation::HasDuplicateRows() const {

@@ -5,10 +5,21 @@
 // and hashing. Relation instances are *sets*: builders deduplicate unless
 // multiset semantics is requested explicitly (the paper's empirical
 // distribution also covers multisets, so both are supported).
+//
+// Relations are VERSIONED: every instance carries an epoch counter bumped
+// by the batch-append API (AppendBatch / AppendStringBatch). Appends are
+// strictly additive — existing rows never move, change value, or disappear
+// — so everything derived from the first NumRows() rows at epoch e stays
+// valid at every later epoch, and epoch-aware consumers (engine/
+// column_store.h, engine/entropy_engine.h) can catch up by processing only
+// the appended suffix. A process-unique id (uid) distinguishes "the same
+// relation, grown" from "a different relation that happens to reuse the
+// address" (engine/analysis_session.h keys engines by address).
 #ifndef AJD_RELATION_RELATION_H_
 #define AJD_RELATION_RELATION_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -16,6 +27,7 @@
 #include <vector>
 
 #include "relation/attr_set.h"
+#include "relation/row_hash.h"
 #include "relation/schema.h"
 #include "util/status.h"
 
@@ -44,7 +56,22 @@ class Dictionary {
 /// A relation instance: Schema + N rows of uint32 codes.
 class Relation {
  public:
-  Relation() = default;
+  Relation();
+
+  /// Copies get a FRESH uid: the copy's future appends diverge from the
+  /// source's, so sharing identity would let a snapshot restored at a
+  /// served address (same uid, same epoch count, different rows) silently
+  /// pass the session's identity check and serve stale caches. A copy is
+  /// a new relation. (The dedupe row index is not copied; it rebuilds
+  /// lazily on the next deduped append.)
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+
+  /// Moves carry the uid with the data; the moved-from husk gets a FRESH
+  /// uid (and epoch 0), so a session engine keyed to the husk's address can
+  /// never mistake it for the relation that moved away.
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   /// Builds a relation from rows (each of schema.size() codes).
   /// Deduplicates rows when `dedupe` (set semantics; the default matches the
@@ -73,6 +100,37 @@ class Relation {
 
   /// Raw row-major data (NumRows() * NumAttrs() codes).
   const std::vector<uint32_t>& data() const { return data_; }
+
+  /// Data version: 0 at construction, +1 per batch append that actually
+  /// added rows. Epoch-aware consumers compare this against the epoch they
+  /// last synced to and process only the appended suffix.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Process-unique identity of this relation's content lineage (stable
+  /// across appends; fresh for every newly built relation). Used by
+  /// AnalysisSession to detect a dead relation's address being reused by a
+  /// different one.
+  uint64_t uid() const { return uid_; }
+
+  /// Appends a batch of code rows, bumping the epoch when at least one row
+  /// lands. Existing rows are never touched (the append-only contract that
+  /// makes epoch catch-up sound). Domain sizes grow to cover new codes.
+  /// With `dedupe`, rows equal to an existing row (or an earlier row of the
+  /// same batch) are dropped — set semantics; the membership index is built
+  /// on first deduped append (O(N)) and maintained incrementally after.
+  /// InvalidArgument if any row's width mismatches the schema; the relation
+  /// is unchanged on error.
+  Status AppendBatch(const std::vector<std::vector<uint32_t>>& rows,
+                     bool dedupe = false);
+
+  /// String form of AppendBatch: each value is interned into the
+  /// attribute's dictionary, exactly as RelationBuilder::AddStringRow
+  /// does. Dictionaries are created on first use only while the relation
+  /// is EMPTY; a non-empty relation whose attribute holds raw codes (no
+  /// dictionary) rejects string appends with InvalidArgument — freshly
+  /// interned codes would alias the existing code space.
+  Status AppendStringBatch(const std::vector<std::vector<std::string>>& rows,
+                           bool dedupe = false);
 
   /// True iff some row appears more than once (multiset data).
   bool HasDuplicateRows() const;
@@ -103,10 +161,20 @@ class Relation {
  private:
   friend class RelationBuilder;
 
+  /// Appends pre-validated code rows (flat, width-checked by the callers),
+  /// handling dedupe, domain growth, and the epoch bump.
+  void AppendCodesUnchecked(const std::vector<uint32_t>& flat,
+                            uint64_t rows, bool dedupe);
+
   Schema schema_;
   std::vector<uint32_t> data_;
   uint64_t num_rows_ = 0;
   std::vector<std::optional<Dictionary>> dicts_;
+  uint64_t epoch_ = 0;
+  uint64_t uid_ = 0;
+  /// Exact row-membership index for deduped appends; built lazily on the
+  /// first AppendBatch(dedupe=true) and maintained incrementally after.
+  std::unique_ptr<TupleCounter> row_index_;
 };
 
 /// Incremental construction of a Relation.

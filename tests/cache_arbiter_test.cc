@@ -5,7 +5,10 @@
 // through real EntropyEngines sharing one arbiter.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -274,6 +277,160 @@ TEST(CacheArbiter, SessionReleaseReturnsBytesToSurvivors) {
   EXPECT_TRUE(session.Release(drop));
   EXPECT_EQ(session.CacheBytes(), keep_bytes);
   EXPECT_EQ(session.cache_arbiter()->NumEngines(), 1u);
+}
+
+// --- Intrusive-LRU victim order vs the reference linear scan --------------
+
+// A reference model of the PRE-LRU-list arbiter: per-entry last-used ticks,
+// victim = argmin tick among engines above the (self-clamped) floor. The
+// intrusive list replaced the O(entries) scan per victim; this randomized
+// trace pins that the victim ORDER is unchanged.
+struct RefModel {
+  struct Entry {
+    size_t bytes = 0;
+    uint64_t last_used = 0;
+  };
+  struct Engine {
+    std::map<uint64_t, Entry> entries;  // key mask -> entry
+    size_t bytes = 0;
+  };
+  size_t budget = 0;
+  size_t floor_opt = 0;
+  uint64_t tick = 0;
+  size_t total = 0;
+  std::map<int, Engine> engines;
+  std::vector<std::pair<int, uint64_t>> victims;  // (engine id, key mask)
+
+  size_t Floor() const {
+    return engines.empty() ? floor_opt
+                           : std::min(floor_opt, budget / engines.size());
+  }
+  void EvictToBudget() {
+    const size_t floor = Floor();
+    while (total > budget) {
+      int victim_engine = -1;
+      uint64_t victim_key = 0;
+      uint64_t oldest = UINT64_MAX;
+      for (auto& [id, eng] : engines) {
+        if (eng.bytes <= floor) continue;
+        for (auto& [key, entry] : eng.entries) {
+          if (entry.last_used < oldest) {
+            oldest = entry.last_used;
+            victim_engine = id;
+            victim_key = key;
+          }
+        }
+      }
+      if (victim_engine < 0) break;
+      Engine& eng = engines[victim_engine];
+      total -= eng.entries[victim_key].bytes;
+      eng.bytes -= eng.entries[victim_key].bytes;
+      eng.entries.erase(victim_key);
+      victims.emplace_back(victim_engine, victim_key);
+    }
+  }
+  void Charge(int id, uint64_t key, size_t bytes) {
+    Engine& eng = engines[id];
+    auto [it, inserted] = eng.entries.emplace(key, Entry{});
+    if (inserted) {
+      it->second.bytes = bytes;
+      eng.bytes += bytes;
+      total += bytes;
+    }
+    it->second.last_used = ++tick;
+    EvictToBudget();
+  }
+  void Touch(int id, uint64_t key) {
+    auto eit = engines.find(id);
+    if (eit == engines.end()) return;
+    auto it = eit->second.entries.find(key);
+    if (it == eit->second.entries.end()) return;
+    it->second.last_used = ++tick;
+  }
+  void Resize(int id, uint64_t key, size_t bytes) {
+    auto eit = engines.find(id);
+    if (eit == engines.end()) return;
+    auto it = eit->second.entries.find(key);
+    if (it == eit->second.entries.end()) return;
+    eit->second.bytes += bytes;
+    eit->second.bytes -= it->second.bytes;
+    total += bytes;
+    total -= it->second.bytes;
+    it->second.bytes = bytes;
+    EvictToBudget();
+  }
+};
+
+TEST(CacheArbiter, LruListVictimOrderMatchesLinearScanOnRandomTrace) {
+  struct TraceEngine {
+    int id = 0;
+    std::vector<std::pair<int, uint64_t>>* log = nullptr;
+  };
+  ArbiterOptions opts;
+  opts.budget_bytes = 3000;
+  opts.engine_floor_bytes = 500;
+  CacheArbiter arb(opts);
+  RefModel ref;
+  ref.budget = opts.budget_bytes;
+  ref.floor_opt = opts.engine_floor_bytes;
+
+  std::vector<std::pair<int, uint64_t>> victims;
+  constexpr int kEngines = 3;
+  TraceEngine engines[kEngines];
+  for (int i = 0; i < kEngines; ++i) {
+    engines[i] = {i, &victims};
+    arb.RegisterEngine(&engines[i], [&victims, i](AttrSet key) {
+      victims.emplace_back(i, key.mask());
+    });
+    ref.engines[i];  // register in the model too
+  }
+
+  Rng rng(4242);
+  for (int op = 0; op < 600; ++op) {
+    const int id = static_cast<int>(rng.UniformU64(kEngines));
+    const uint64_t key = 1 + rng.UniformU64(24);
+    const size_t bytes = 50 + rng.UniformU64(400);
+    switch (rng.UniformU64(4)) {
+      case 0:
+      case 1:
+        arb.Charge(&engines[id], {{AttrSet::FromMask(key), bytes}});
+        ref.Charge(id, key, bytes);
+        break;
+      case 2:
+        arb.Touch(&engines[id], AttrSet::FromMask(key));
+        ref.Touch(id, key);
+        break;
+      default:
+        arb.Resize(&engines[id], {{AttrSet::FromMask(key), bytes}});
+        ref.Resize(id, key, bytes);
+        break;
+    }
+    ASSERT_EQ(arb.AccountedBytes(), ref.total) << "op " << op;
+    ASSERT_EQ(victims, ref.victims) << "op " << op;
+  }
+  EXPECT_GT(victims.size(), 0u);  // the trace actually exercised eviction
+}
+
+TEST(CacheArbiter, ResizeChargesOnlyTheDeltaAndPreservesRecency) {
+  ArbiterOptions opts;
+  opts.budget_bytes = 1000;
+  opts.engine_floor_bytes = 0;
+  CacheArbiter arb(opts);
+  FakeEngine e;
+  e.Register(&arb);
+  ChargeOne(&arb, &e, 1, 300);  // oldest
+  ChargeOne(&arb, &e, 2, 300);
+  // Growing key 1 by 100 bytes must NOT refresh its recency: when the next
+  // charge overflows, key 1 is still the victim.
+  arb.Resize(&e, {{AttrSet::FromMask(1), 400}});
+  EXPECT_EQ(arb.AccountedBytes(), 700u);
+  ChargeOne(&arb, &e, 3, 350);
+  ASSERT_GE(e.dropped.size(), 1u);
+  EXPECT_EQ(e.dropped[0], AttrSet::FromMask(1));
+  // Unknown keys are skipped, not charged (the entry was already evicted).
+  const size_t before = arb.AccountedBytes();
+  arb.Resize(&e, {{AttrSet::FromMask(1), 9999}});
+  EXPECT_EQ(arb.AccountedBytes(), before);
 }
 
 }  // namespace

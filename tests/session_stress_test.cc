@@ -1,7 +1,7 @@
 // Randomized stress/property suite for the sharded AnalysisSession: N
 // relations of random schemas and skews churned through one session —
 // created, queried, released, and recreated at REUSED addresses (the
-// fingerprint-guard path) — asserting after every operation that
+// uid-identity path) — asserting after every operation that
 //   (a) every entropy matches the legacy EntropyOf reference to 1e-9, and
 //   (b) the shared arbiter's accounted bytes never exceed the budget.
 // Plus the cross-engine concurrency coverage: multi-threaded BatchEntropy
@@ -66,7 +66,7 @@ AttrSet RandomNonEmptySubset(Rng* rng, uint32_t num_attrs) {
 
 // One churn pass: `slots` relations live in std::optional storage, so a
 // recreate lands at the SAME address as the released relation — exactly
-// the address-reuse scenario the fingerprint guard exists for (a fresh
+// the address-reuse scenario the uid identity check exists for (a fresh
 // engine after Release, never a stale one).
 void ChurnSession(AnalysisSession* session, uint64_t seed, size_t budget) {
   Rng rng(seed);
@@ -188,19 +188,51 @@ TEST(SessionStress, ReleaseOfUnknownRelationIsFalseAndDoubleReleaseIsNoOp) {
               EntropyOf(served, AttrSet{0, 1}), 1e-9);
 }
 
-TEST(SessionStressDeathTest, FingerprintGuardCatchesUnreleasedAddressReuse) {
-  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+TEST(SessionStress, UnreleasedAddressReuseRebuildsTransparently) {
+  // The old fingerprint guard ABORTED here; the uid check now rebuilds the
+  // engine transparently, because "relation changed" is a legitimate state
+  // (epochs) and only identity — a DIFFERENT relation at the same address
+  // — requires action. The new engine must serve the new relation's
+  // values, not the dead one's.
   Rng rng(952);
   std::optional<Relation> slot;
   slot.emplace(testing_util::RandomTestRelation(&rng, 3, 3, 40));
   AnalysisSession session;
-  session.EngineFor(*slot).Entropy(AttrSet{0, 1});
-  // Destroy and recreate at the same address WITHOUT releasing: the row
-  // counts differ, so the fingerprint cannot collide, and serving the
-  // stale engine must abort rather than return the dead relation's values.
+  const double before = session.EngineFor(*slot).Entropy(AttrSet{0, 1});
+  const uint64_t old_uid = slot->uid();
   slot.reset();
   slot.emplace(testing_util::RandomTestRelation(&rng, 3, 3, 60));
-  EXPECT_DEATH(session.EngineFor(*slot), "changed since its engine");
+  ASSERT_NE(slot->uid(), old_uid);
+  EntropyEngine& rebuilt = session.EngineFor(*slot);
+  EXPECT_EQ(rebuilt.relation_uid(), slot->uid());
+  EXPECT_NEAR(rebuilt.Entropy(AttrSet{0, 1}),
+              EntropyOf(*slot, AttrSet{0, 1}), 1e-9);
+  EXPECT_EQ(session.NumRelations(), 1u);
+  (void)before;
+}
+
+TEST(SessionStress, AppendUnderSessionCatchesUpInsteadOfAborting) {
+  // Growth of the SAME relation (same uid, newer epoch) must neither abort
+  // nor rebuild: the engine catches up and keeps serving exact values.
+  Rng rng(953);
+  Relation r = testing_util::RandomTestRelation(&rng, 3, 4, 50);
+  AnalysisSession session;
+  EntropyEngine& engine = session.EngineFor(r);
+  engine.Entropy(AttrSet{0, 1});
+  std::vector<std::vector<uint32_t>> batch;
+  for (int i = 0; i < 30; ++i) {
+    batch.push_back({static_cast<uint32_t>(rng.UniformU64(4)),
+                     static_cast<uint32_t>(rng.UniformU64(4)),
+                     static_cast<uint32_t>(rng.UniformU64(4))});
+  }
+  ASSERT_TRUE(r.AppendBatch(batch).ok());
+  EntropyEngine& same = session.EngineFor(r);
+  EXPECT_EQ(&same, &engine);  // no rebuild: identity matched
+  for (uint64_t mask = 1; mask < 8; ++mask) {
+    const AttrSet s = AttrSet::FromMask(mask);
+    EXPECT_NEAR(same.Entropy(s), EntropyOf(r, s), 1e-9) << mask;
+  }
+  EXPECT_EQ(same.Stats().epoch_catchups, 1u);
 }
 
 TEST(WorkerPool, BusyPoolRunsSubmitterInlineInsteadOfWaiting) {
