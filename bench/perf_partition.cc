@@ -41,20 +41,18 @@ double NowNs() {
 // code 0 re-densified so every code < cardinality stays possible.
 Column MakeColumn(uint32_t rows, uint32_t cardinality, double skew,
                   Rng* rng) {
-  Column col;
-  col.cardinality = cardinality;
-  col.codes.resize(rows);
+  std::vector<uint32_t> codes(rows);
   for (uint32_t i = 0; i < rows; ++i) {
     if (skew == 0.0) {
-      col.codes[i] = static_cast<uint32_t>(rng->UniformU64(cardinality));
+      codes[i] = static_cast<uint32_t>(rng->UniformU64(cardinality));
     } else {
       const double u = rng->NextDouble();
       const double v = std::pow(u, 1.0 + skew);
       uint32_t c = static_cast<uint32_t>(v * cardinality);
-      col.codes[i] = c >= cardinality ? cardinality - 1 : c;
+      codes[i] = c >= cardinality ? cardinality - 1 : c;
     }
   }
-  return col;
+  return MakeOwnedColumn(std::move(codes), cardinality);
 }
 
 bool SamePartition(const Partition& a, const Partition& b) {

@@ -14,15 +14,21 @@
 // rebuilding, so the per-batch cost is O(delta), not O(N).
 //
 // Drift policy: the tree being monitored goes stale as the distribution
-// shifts. When J(T) rises more than `drift_threshold` nats above its value
-// at the last (re)mine, the monitor re-mines a tree on the data so far —
-// through the same session, so the miner's thousands of entropy terms
-// reuse everything the monitoring already cached — and continues with it.
+// shifts. When J(T) rises sufficiently above its value at the last
+// (re)mine — by an absolute nat margin (DriftPolicy::kAbsolute, default)
+// or by a fraction of the baseline with an absolute floor
+// (DriftPolicy::kRelative, the scale-free choice when trees of very
+// different J magnitudes are monitored with one config) — the monitor
+// re-mines a tree on the data so far, through the same session, so the
+// miner's thousands of entropy terms reuse everything the monitoring
+// already cached, and continues with it.
 //
-// Threading: the monitor is single-writer by construction (ingest appends,
-// then queries), which is exactly the quiescence the engine's epoch
-// catch-up requires. Do not query the monitor's session from other threads
-// concurrently with Ingest*.
+// Threading: the monitor's own state (trajectory, tree, baselines) is
+// single-writer — call Ingest*/Observe from one thread at a time. The
+// underlying session and engine, however, are safe to QUERY from other
+// threads concurrently with ingestion: readers pin the epoch they start
+// with and keep computing over that prefix while a batch lands
+// (engine/entropy_engine.h). There is no quiescence requirement anymore.
 #ifndef AJD_CORE_STREAMING_H_
 #define AJD_CORE_STREAMING_H_
 
@@ -42,11 +48,32 @@
 
 namespace ajd {
 
+/// How `drift_threshold` is interpreted when deciding to re-mine.
+enum class DriftPolicy : uint8_t {
+  /// Trigger when J - baseline > drift_threshold nats. Simple and
+  /// predictable; the right default when the monitored J's magnitude is
+  /// roughly known.
+  kAbsolute = 0,
+  /// Trigger when J - baseline > max(drift_threshold * |baseline|,
+  /// drift_floor_nats). Scale-free: a 10% drift means the same thing for a
+  /// tree at J = 0.05 as for one at J = 5.0, while the floor keeps noise
+  /// from re-mining a near-perfect tree (|baseline| ~ 0) every batch.
+  kRelative = 1,
+};
+
 /// Tuning for a StreamingLossMonitor.
 struct StreamingOptions {
-  /// Re-mine when J(T) exceeds its last-mined value by this many nats;
-  /// <= 0 disables re-mining (pure fixed-tree monitoring).
+  /// Re-mine when J(T) exceeds its last-mined value by this margin —
+  /// absolute nats under DriftPolicy::kAbsolute, a fraction of the
+  /// baseline under kRelative; <= 0 disables re-mining (pure fixed-tree
+  /// monitoring).
   double drift_threshold = 0.1;
+  /// How drift_threshold is interpreted (see DriftPolicy).
+  DriftPolicy drift_policy = DriftPolicy::kAbsolute;
+  /// Minimum absolute drift (nats) that can trigger a kRelative re-mine:
+  /// the floor under drift_threshold * |baseline| when the baseline is
+  /// near zero. Ignored under kAbsolute.
+  double drift_floor_nats = 0.01;
   /// Minimum batches between re-mines. The default 1 allows a re-mine on
   /// the very next drifted batch (immediate re-tracking of a sustained
   /// shift); raise it to amortize the miner against drift spikes.

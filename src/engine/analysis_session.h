@@ -14,8 +14,14 @@
 // reuses its address, the uid mismatch makes EngineFor rebuild the engine
 // transparently instead of serving stale values (Release remains the tidy
 // way to drop an engine early and return its cache bytes). The session is
-// safe to share across threads; appends require the single-writer
-// quiescence documented on the engine.
+// safe to share across threads, INCLUDING concurrently with appends to its
+// relations: there is no quiescence rule. A reader pins the (rows, epoch)
+// stamp it starts with and computes the cold answer over that prefix while
+// batches land; the first reader of a new epoch (or a dedicated
+// engine/maintenance.h thread) runs the engine's catch-up while everyone
+// else keeps serving the previous stamp. The only remaining single-writer
+// requirement is the append side itself: one appender per relation at a
+// time (relation/relation.h).
 //
 // The session is SHARDED across relations: all of its engines share one
 // WorkerPool (batches serialize instead of oversubscribing cores) and, by

@@ -6,6 +6,30 @@
 
 namespace ajd {
 
+namespace {
+
+/// Backing storage for MakeOwnedColumn.
+struct OwnedColumnStorage {
+  std::vector<uint32_t> codes;
+  std::vector<uint32_t> first_row;
+};
+
+}  // namespace
+
+Column MakeOwnedColumn(std::vector<uint32_t> codes, uint32_t cardinality,
+                       std::vector<uint32_t> first_row) {
+  auto storage = std::make_shared<OwnedColumnStorage>();
+  storage->codes = std::move(codes);
+  storage->first_row = std::move(first_row);
+  Column out;
+  out.codes = CodeSpan(storage->codes.data(), storage->codes.size());
+  out.first_row =
+      CodeSpan(storage->first_row.data(), storage->first_row.size());
+  out.cardinality = cardinality;
+  out.owner = std::move(storage);
+  return out;
+}
+
 ColumnStore::ColumnStore(const Relation* r)
     : r_(r),
       synced_rows_(r != nullptr ? r->NumRows() : 0),
@@ -14,26 +38,57 @@ ColumnStore::ColumnStore(const Relation* r)
   AJD_CHECK(r != nullptr);
 }
 
-void ColumnStore::CatchUp() {
+void ColumnStore::CatchUp() { CatchUpTo(r_->NumRows()); }
+
+void ColumnStore::CatchUpTo(uint64_t rows) {
+  const uint64_t synced = synced_rows_.load(std::memory_order_relaxed);
   const uint64_t now = r_->NumRows();
-  AJD_CHECK_MSG(now >= synced_rows_,
+  AJD_CHECK_MSG(now >= synced,
                 "relation shrank from %llu to %llu rows under its "
                 "ColumnStore; relations are append-only",
-                static_cast<unsigned long long>(synced_rows_),
+                static_cast<unsigned long long>(synced),
                 static_cast<unsigned long long>(now));
-  synced_rows_ = now;
+  if (rows <= synced) return;
+  AJD_CHECK(rows <= now);
+  synced_rows_.store(rows, std::memory_order_release);
 }
 
-// Densifies rows [st.built_rows, target): remaps each raw code to its dense
-// first-occurrence code, reusing (and growing) the remap that survives from
-// earlier epochs. First-occurrence assignment makes the result bit-identical
-// to densifying the full prefix cold, whichever remap representation — or
-// sequence of representations — was used along the way.
+// Densifies rows [st.built_rows, target) into st.buffers and publishes a
+// fresh frozen view: remaps each raw code to its dense first-occurrence
+// code, reusing (and growing) the remap that survives from earlier epochs.
+// First-occurrence assignment makes the result bit-identical to densifying
+// the full prefix cold, whichever remap representation — or sequence of
+// representations — was used along the way.
+//
+// RCU discipline: rows [0, from) of the buffers are aliased by published
+// views and never touched. Capacity for the worst case is ensured BEFORE
+// any in-place write; if either vector would have to reallocate, the whole
+// storage moves to a fresh ColumnBuffers (old views keep the old one alive
+// through their owner pointer).
 void ColumnStore::ExtendColumnLocked(ColumnState& st, uint32_t pos,
                                      uint64_t target) const {
   const uint64_t from = st.built_rows.load(std::memory_order_relaxed);
-  Column& col = st.col;
-  col.codes.resize(target);
+  const RowsSnapshot rows = r_->Snapshot();
+  AJD_CHECK(rows.num_rows >= target);
+  if (st.buffers == nullptr) st.buffers = std::make_shared<ColumnBuffers>();
+
+  // Worst case every appended row introduces a new code.
+  const uint64_t fr_need = st.cardinality + (target - from);
+  if (target > st.buffers->codes.capacity() ||
+      fr_need > st.buffers->first_row.capacity()) {
+    auto grown = std::make_shared<ColumnBuffers>();
+    grown->codes.reserve(
+        std::max<uint64_t>(2 * st.buffers->codes.capacity(), target));
+    grown->codes.assign(st.buffers->codes.begin(), st.buffers->codes.end());
+    grown->first_row.reserve(
+        std::max<uint64_t>(2 * st.buffers->first_row.capacity(), fr_need));
+    grown->first_row.assign(st.buffers->first_row.begin(),
+                            st.buffers->first_row.end());
+    st.buffers = std::move(grown);
+  }
+  std::vector<uint32_t>& codes = st.buffers->codes;
+  std::vector<uint32_t>& first_row = st.buffers->first_row;
+  codes.resize(target);
 
   if (!st.ever_built) {
     // Pick the initial representation from the first chunk's raw range: a
@@ -42,7 +97,7 @@ void ColumnStore::ExtendColumnLocked(ColumnState& st, uint32_t pos,
     // when relations are built from FromRows without dictionaries).
     uint32_t max_raw = 0;
     for (uint64_t i = from; i < target; ++i) {
-      max_raw = std::max(max_raw, r_->At(i, pos));
+      max_raw = std::max(max_raw, rows.At(i, pos));
     }
     const uint64_t direct_limit = 4 * (target - from) + 1024;
     st.use_direct = static_cast<uint64_t>(max_raw) < direct_limit;
@@ -55,7 +110,7 @@ void ColumnStore::ExtendColumnLocked(ColumnState& st, uint32_t pos,
   }
 
   for (uint64_t i = from; i < target; ++i) {
-    const uint32_t raw = r_->At(i, pos);
+    const uint32_t raw = rows.At(i, pos);
     if (st.use_direct && static_cast<size_t>(raw) >= st.direct_remap.size()) {
       // The appended data outgrew the table. Keep growing while the range
       // stays comparable to the (current) row count; otherwise migrate the
@@ -79,35 +134,86 @@ void ColumnStore::ExtendColumnLocked(ColumnState& st, uint32_t pos,
     if (st.use_direct) {
       uint32_t& slot = st.direct_remap[raw];
       if (slot == UINT32_MAX) {
-        slot = col.cardinality++;
-        col.first_row.push_back(static_cast<uint32_t>(i));
+        slot = st.cardinality++;
+        first_row.push_back(static_cast<uint32_t>(i));
       }
       dense = slot;
     } else {
-      auto [it, inserted] = st.hash_remap.emplace(raw, col.cardinality);
+      auto [it, inserted] = st.hash_remap.emplace(raw, st.cardinality);
       if (inserted) {
-        ++col.cardinality;
-        col.first_row.push_back(static_cast<uint32_t>(i));
+        ++st.cardinality;
+        first_row.push_back(static_cast<uint32_t>(i));
       }
       dense = it->second;
     }
-    col.codes[i] = dense;
+    codes[i] = dense;
   }
+
+  auto view = std::make_shared<Column>();
+  view->codes = CodeSpan(codes.data(), target);
+  view->cardinality = st.cardinality;
+  view->first_row = CodeSpan(first_row.data(), st.cardinality);
+  view->owner = st.buffers;
+  std::atomic_store_explicit(&st.view,
+                             std::shared_ptr<const Column>(std::move(view)),
+                             std::memory_order_release);
   st.built_rows.store(target, std::memory_order_release);
 }
 
-const Column& ColumnStore::column(uint32_t pos) const {
+namespace {
+
+/// Derives the view of the first `rows` rows from a longer frozen view:
+/// the codes are a plain prefix, and because first_row is strictly
+/// ascending, the prefix's cardinality is the number of first occurrences
+/// below `rows`. Bit-identical to a cold densification of the prefix.
+std::shared_ptr<const Column> DerivePrefix(
+    const std::shared_ptr<const Column>& full, uint64_t rows) {
+  auto out = std::make_shared<Column>();
+  const uint32_t* fr = full->first_row.begin();
+  const uint32_t card = static_cast<uint32_t>(
+      std::lower_bound(fr, full->first_row.end(),
+                       static_cast<uint32_t>(rows)) -
+      fr);
+  out->codes = CodeSpan(full->codes.data(), rows);
+  out->first_row = CodeSpan(fr, card);
+  out->cardinality = card;
+  out->owner = full->owner;
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const Column> ColumnStore::ViewAt(uint32_t pos,
+                                                  uint64_t rows) const {
   AJD_CHECK(pos < r_->NumAttrs());
   ColumnState& st = states_[pos];
-  const uint64_t target = synced_rows_;
-  if (st.built_rows.load(std::memory_order_acquire) == target) {
-    return st.col;
+  std::shared_ptr<const Column> v =
+      std::atomic_load_explicit(&st.view, std::memory_order_acquire);
+  if (v != nullptr && v->codes.size() >= rows) {
+    if (v->codes.size() == rows) return v;
+    std::shared_ptr<const Column> cached =
+        std::atomic_load_explicit(&st.pinned_view, std::memory_order_acquire);
+    if (cached != nullptr && cached->codes.size() == rows) return cached;
+    std::shared_ptr<const Column> derived = DerivePrefix(v, rows);
+    std::atomic_store_explicit(&st.pinned_view, derived,
+                               std::memory_order_release);
+    return derived;
   }
   std::lock_guard<std::mutex> lock(st.mu);
-  if (st.built_rows.load(std::memory_order_relaxed) != target) {
-    ExtendColumnLocked(st, pos, target);
+  if (st.built_rows.load(std::memory_order_relaxed) < rows) {
+    ExtendColumnLocked(st, pos, rows);
   }
-  return st.col;
+  v = std::atomic_load_explicit(&st.view, std::memory_order_relaxed);
+  if (v->codes.size() == rows) return v;
+  return DerivePrefix(v, rows);
+}
+
+Column ColumnStore::column(uint32_t pos) const {
+  return *ViewAt(pos, NumRows());
+}
+
+Column ColumnStore::ColumnAt(uint32_t pos, uint64_t rows) const {
+  return *ViewAt(pos, rows);
 }
 
 // Builds the sampled distinct curve for one dense column: sample_size rows
@@ -139,32 +245,39 @@ DistinctSketch BuildSketch(const Column& col) {
   return sketch;
 }
 
-// Rebuilds or extends st.sketch to cover `target` rows, bit-identical to
-// BuildSketch over the full column either way. While every row is sampled
-// (target <= kMaxSamples) the sample positions i*n/n == i form an identity
-// prefix, so appended rows extend the retained seen-set and curve in place
-// — the truly incremental path. Past the cap the sample positions stride
-// differently at every size, so the sketch resamples: a constant-cost
-// (kMaxSamples-row) pass, never O(N).
-void ColumnStore::RefreshSketchLocked(ColumnState& st,
+// Rebuilds or extends the published sketch to cover `target` rows,
+// bit-identical to BuildSketch over the full column either way. While
+// every row is sampled (target <= kMaxSamples) the sample positions
+// i*n/n == i form an identity prefix, so appended rows extend the retained
+// seen-set and curve — COPY-ON-WRITE: the previous sketch is copied, the
+// copy extended, and the result published with an atomic store, so readers
+// holding the old sketch never see a mutation. Past the cap the sample
+// positions stride differently at every size, so the sketch resamples: a
+// constant-cost (kMaxSamples-row) pass, never O(N).
+void ColumnStore::RefreshSketchLocked(ColumnState& st, const Column& col,
                                       uint64_t target) const {
-  const uint64_t covered = st.sketch_rows.load(std::memory_order_relaxed);
+  const std::shared_ptr<const SketchBox> cur =
+      std::atomic_load_explicit(&st.sketch, std::memory_order_relaxed);
+  const uint64_t covered = cur != nullptr ? cur->rows : 0;
   const bool incremental =
       st.sketch_built && covered > 0 &&
       covered <= DistinctSketch::kMaxSamples &&
-      target <= DistinctSketch::kMaxSamples &&
-      st.sketch.sample_size == covered && !st.sketch_seen.empty();
+      target <= DistinctSketch::kMaxSamples && cur != nullptr &&
+      cur->sketch.sample_size == covered && !st.sketch_seen.empty();
+  auto box = std::make_shared<SketchBox>();
+  box->rows = target;
   if (!incremental) {
-    st.sketch = BuildSketch(st.col);
+    box->sketch = BuildSketch(col);
     st.sketch_seen.clear();
     if (target <= DistinctSketch::kMaxSamples) {
       // Retain the sample set so later small-relation appends stay O(delta).
       for (uint64_t i = 0; i < target; ++i) {
-        st.sketch_seen.insert(st.col.codes[i]);
+        st.sketch_seen.insert(col.codes[i]);
       }
     }
   } else {
-    DistinctSketch& sk = st.sketch;
+    box->sketch = cur->sketch;
+    DistinctSketch& sk = box->sketch;
     // Drop the trailing "final prefix" record unless it falls on a power of
     // two: the cold curve for the grown column records powers of two plus
     // the NEW final size only.
@@ -177,7 +290,7 @@ void ColumnStore::RefreshSketchLocked(ColumnState& st,
     while (next_record <= covered) next_record *= 2;
     const uint32_t s = static_cast<uint32_t>(target);
     for (uint32_t i = static_cast<uint32_t>(covered); i < s; ++i) {
-      st.sketch_seen.insert(st.col.codes[i]);
+      st.sketch_seen.insert(col.codes[i]);
       if (i + 1 == next_record || i + 1 == s) {
         sk.prefix_at.push_back(i + 1);
         sk.distinct_at.push_back(
@@ -188,24 +301,51 @@ void ColumnStore::RefreshSketchLocked(ColumnState& st,
     sk.sample_size = s;
   }
   st.sketch_built = true;
-  st.sketch_rows.store(target, std::memory_order_release);
+  std::atomic_store_explicit(
+      &st.sketch, std::shared_ptr<const SketchBox>(std::move(box)),
+      std::memory_order_release);
+}
+
+std::shared_ptr<const ColumnStore::SketchBox> ColumnStore::SketchBoxAt(
+    uint32_t pos, uint64_t rows) const {
+  AJD_CHECK(pos < r_->NumAttrs());
+  ColumnState& st = states_[pos];
+  std::shared_ptr<const SketchBox> sk =
+      std::atomic_load_explicit(&st.sketch, std::memory_order_acquire);
+  if (sk != nullptr && sk->rows == rows) return sk;
+  std::shared_ptr<const SketchBox> pinned = std::atomic_load_explicit(
+      &st.pinned_sketch, std::memory_order_acquire);
+  if (pinned != nullptr && pinned->rows == rows) return pinned;
+  const std::shared_ptr<const Column> view = ViewAt(pos, rows);
+  std::lock_guard<std::mutex> lock(st.mu);
+  sk = std::atomic_load_explicit(&st.sketch, std::memory_order_relaxed);
+  if (sk != nullptr && sk->rows == rows) return sk;
+  const uint64_t frontier = st.built_rows.load(std::memory_order_relaxed);
+  if (rows == frontier) {
+    // The store's current frontier: refresh the published sketch (the
+    // owner-side incremental path).
+    RefreshSketchLocked(st, *view, rows);
+    return std::atomic_load_explicit(&st.sketch, std::memory_order_relaxed);
+  }
+  // A pinned prefix behind the frontier: build cold off the pinned view
+  // (O(kMaxSamples)) without disturbing the owner-side sketch state.
+  auto box = std::make_shared<SketchBox>();
+  box->sketch = BuildSketch(*view);
+  box->rows = rows;
+  std::atomic_store_explicit(&st.pinned_sketch,
+                             std::shared_ptr<const SketchBox>(box),
+                             std::memory_order_release);
+  return box;
 }
 
 const DistinctSketch& ColumnStore::sketch(uint32_t pos) const {
-  AJD_CHECK(pos < r_->NumAttrs());
-  ColumnState& st = states_[pos];
-  const uint64_t target = synced_rows_;
-  if (st.sketch_rows.load(std::memory_order_acquire) == target &&
-      st.sketch_built) {
-    return st.sketch;
-  }
-  column(pos);  // ensure codes cover the synced rows
-  std::lock_guard<std::mutex> lock(st.mu);
-  if (st.sketch_rows.load(std::memory_order_relaxed) != target ||
-      !st.sketch_built) {
-    RefreshSketchLocked(st, target);
-  }
-  return st.sketch;
+  return SketchBoxAt(pos, NumRows())->sketch;
+}
+
+std::shared_ptr<const DistinctSketch> ColumnStore::SketchAt(
+    uint32_t pos, uint64_t rows) const {
+  std::shared_ptr<const SketchBox> box = SketchBoxAt(pos, rows);
+  return std::shared_ptr<const DistinctSketch>(box, &box->sketch);
 }
 
 double DistinctSketch::EstimateDistinct(uint64_t m,
@@ -240,24 +380,22 @@ double DistinctSketch::EstimateDistinct(uint64_t m,
 Column ColumnStore::ComposeColumns(const std::vector<uint32_t>& attrs) const {
   AJD_CHECK(!attrs.empty());
   const uint64_t n = NumRows();
-  Column out;
   uint64_t product = 1;
   for (uint32_t a : attrs) {
-    product *= column(a).cardinality;
+    product *= ColumnAt(a, n).cardinality;
     AJD_CHECK(product <= UINT32_MAX);
   }
-  out.cardinality = static_cast<uint32_t>(product);
-  out.codes.resize(n);
-  const Column& first = column(attrs[0]);
-  for (uint64_t i = 0; i < n; ++i) out.codes[i] = first.codes[i];
+  std::vector<uint32_t> codes(n);
+  const Column first = ColumnAt(attrs[0], n);
+  for (uint64_t i = 0; i < n; ++i) codes[i] = first.codes[i];
   for (size_t j = 1; j < attrs.size(); ++j) {
-    const Column& col = column(attrs[j]);
+    const Column col = ColumnAt(attrs[j], n);
     const uint32_t card = col.cardinality;
     for (uint64_t i = 0; i < n; ++i) {
-      out.codes[i] = out.codes[i] * card + col.codes[i];
+      codes[i] = codes[i] * card + col.codes[i];
     }
   }
-  return out;
+  return MakeOwnedColumn(std::move(codes), static_cast<uint32_t>(product));
 }
 
 }  // namespace ajd

@@ -10,22 +10,34 @@
 //
 // The store is EPOCH-AWARE: relations grow by batch appends
 // (relation/relation.h), and the store follows without rebuilding. It
-// serves columns as of its synced row count; CatchUp() advances that count
-// to the relation's current size, after which each built column extends
-// itself by densifying only the appended rows (the per-column raw->dense
-// remap survives across epochs, so catch-up is O(delta) per column, not
-// O(N)). Dense codes are assigned in first-occurrence order, so the
-// extended column is bit-identical to a cold densification of the full
-// relation — the property every incremental result above this layer
-// bottoms out in.
+// serves columns as of its synced row count; CatchUp()/CatchUpTo() advance
+// that count, after which each built column extends itself by densifying
+// only the appended rows (the per-column raw->dense remap survives across
+// epochs, so catch-up is O(delta) per column, not O(N)). Dense codes are
+// assigned in first-occurrence order, so the extended column is
+// bit-identical to a cold densification of the full relation — the
+// property every incremental result above this layer bottoms out in.
+//
+// CONCURRENCY: columns and sketches are served as immutable VIEWS published
+// RCU-style. Extension writes the new tail into growable owner-side
+// buffers (never mutating bytes a published view can see; regrows move to
+// a fresh buffer kept alive by the old views) and then publishes a new
+// frozen view with an atomic shared_ptr store. Readers pinned at an older
+// row count keep reading their prefix concurrently with extension —
+// ColumnAt()/SketchAt() derive a consistent prefix view for ANY pinned row
+// count from the same grown buffers, because first-occurrence ordering
+// makes every prefix of the grown codes exactly the cold densification of
+// that prefix.
 #ifndef AJD_ENGINE_COLUMN_STORE_H_
 #define AJD_ENGINE_COLUMN_STORE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -34,20 +46,71 @@
 
 namespace ajd {
 
+/// Borrowed, immutable view of a code array (a frozen prefix of a column's
+/// grown storage). Size and bytes never change for the lifetime of the
+/// view; the owning Column's `owner` field keeps the storage alive.
+class CodeSpan {
+ public:
+  CodeSpan() = default;
+  CodeSpan(const uint32_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint32_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t operator[](size_t i) const { return data_[i]; }
+  const uint32_t* begin() const { return data_; }
+  const uint32_t* end() const { return data_ + size_; }
+
+  /// Deep element-wise equality (mirrors the std::vector comparisons the
+  /// view replaced; tests compare incremental views against cold ones).
+  friend bool operator==(const CodeSpan& a, const CodeSpan& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const CodeSpan& a, const CodeSpan& b) {
+    return !(a == b);
+  }
+  friend std::ostream& operator<<(std::ostream& os, const CodeSpan& s) {
+    os << "CodeSpan{";
+    for (size_t i = 0; i < s.size_ && i < 16; ++i) {
+      if (i > 0) os << ", ";
+      os << s.data_[i];
+    }
+    if (s.size_ > 16) os << ", ...";
+    return os << "} (" << s.size_ << " codes)";
+  }
+
+ private:
+  const uint32_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// One dense-coded column: codes[i] in [0, cardinality) for every row i.
 /// Dense codes are assigned in first-occurrence order; they preserve
 /// equality (two rows share a dense code iff they share the raw value),
 /// which is all entropy computations need.
+///
+/// A Column is a cheap VALUE: two spans, a cardinality frozen at the
+/// column's row count, and a shared_ptr keeping the underlying storage
+/// alive. Copy it freely; the bytes it views are immutable.
 struct Column {
-  std::vector<uint32_t> codes;
+  CodeSpan codes;
   uint32_t cardinality = 0;
-  /// first_row[c] = the row at which dense code c first appeared. Filled by
-  /// the store's densification (incremental extension keeps it current);
-  /// left EMPTY by ComposeColumns (a composite's cardinality can be far
-  /// larger than the row count). Partition delta-extension reads it to
-  /// locate the lone old row of a group a new row just joined.
-  std::vector<uint32_t> first_row;
+  /// first_row[c] = the row at which dense code c first appeared (strictly
+  /// ascending — which is also what lets the store derive the cardinality
+  /// of ANY prefix by binary search). Filled by the store's densification;
+  /// left EMPTY by ComposeColumns / MakeOwnedColumn-without-first_row (a
+  /// composite's cardinality can be far larger than the row count).
+  /// Partition delta-extension reads it to locate the lone old row of a
+  /// group a new row just joined.
+  CodeSpan first_row;
+  /// Keeps the viewed storage alive; opaque to readers.
+  std::shared_ptr<const void> owner;
 };
+
+/// Builds a self-owning Column from materialized vectors. The standalone
+/// construction path for tests, benchmarks, and composite columns.
+Column MakeOwnedColumn(std::vector<uint32_t> codes, uint32_t cardinality,
+                       std::vector<uint32_t> first_row = {});
 
 /// Sampled distinct-count curve of one column: how many distinct values
 /// appear among the first 1, 2, 4, ... sampled rows (rows sampled evenly
@@ -80,10 +143,12 @@ struct DistinctSketch {
 /// attributes a workload never asks about.
 ///
 /// Epoch contract: column()/sketch() serve data as of SyncedRows(), even if
-/// the relation has grown since — concurrent readers keep a consistent
-/// view. CatchUp() advances the synced count; it requires external
-/// quiescence (no concurrent column()/sketch() calls), which the engine's
-/// own catch-up barrier provides. The relation must never shrink.
+/// the relation has grown since. ColumnAt()/SketchAt() serve a view pinned
+/// at ANY row count <= relation().NumRows(), concurrently with extension:
+/// readers of an old pin and the catch-up extending toward a new one never
+/// block each other or race on bytes. CatchUpTo() only advances the synced
+/// frontier (a single release store); the engine's catch-up owner calls it.
+/// The relation must never shrink.
 class ColumnStore {
  public:
   explicit ColumnStore(const Relation* r);
@@ -93,33 +158,56 @@ class ColumnStore {
 
   /// Number of rows in the synced view (<= relation().NumRows() between an
   /// append and the next CatchUp).
-  uint64_t NumRows() const { return synced_rows_; }
+  uint64_t NumRows() const {
+    return synced_rows_.load(std::memory_order_acquire);
+  }
 
   /// Rows the store has synced to (== NumRows(); spelled out for callers
   /// reasoning about epochs).
-  uint64_t SyncedRows() const { return synced_rows_; }
+  uint64_t SyncedRows() const { return NumRows(); }
 
   /// Number of attributes (== relation().NumAttrs()).
   uint32_t NumAttrs() const { return r_->NumAttrs(); }
 
   /// Advances the synced row count to the relation's current size. Built
-  /// columns and sketches extend lazily on their next access. Requires no
-  /// concurrent column()/sketch() calls; aborts if the relation shrank
-  /// (destroying a relation out from under its store is the bug this
-  /// catches).
+  /// columns and sketches extend lazily on their next access. Safe to call
+  /// while readers hold pinned views (they keep their pins); only one
+  /// catch-up owner should call it at a time (the engine's catch-up mutex
+  /// provides that). Aborts if the relation shrank (destroying a relation
+  /// out from under its store is the bug this catches).
   void CatchUp();
 
-  /// The dense column for attribute `pos`, built on first use and extended
-  /// to the synced row count after a CatchUp. Thread-safe.
-  const Column& column(uint32_t pos) const;
+  /// Advances the synced row count to `rows` (no-op when already past it).
+  /// Same ownership rules as CatchUp().
+  void CatchUpTo(uint64_t rows);
 
-  /// The sampled distinct sketch for attribute `pos`, built on first use
-  /// (densifies the column if needed) and refreshed after a CatchUp:
-  /// extended in place while every row is sampled (n <= kMaxSamples, where
-  /// the sample is the identity prefix), resampled at constant cost above
-  /// that. Either way the result is bit-identical to a cold BuildSketch of
-  /// the full column. Thread-safe.
+  /// The dense column for attribute `pos` as of the synced row count,
+  /// built on first use and extended after a CatchUp. Thread-safe; the
+  /// returned value stays consistent no matter what the store does next.
+  Column column(uint32_t pos) const;
+
+  /// The dense column for attribute `pos` pinned at exactly `rows` rows
+  /// (`rows` <= relation().NumRows()). Bit-identical to a cold
+  /// densification of the first `rows` rows. Thread-safe and safe
+  /// concurrently with extension toward any other row count.
+  Column ColumnAt(uint32_t pos, uint64_t rows) const;
+
+  /// The sampled distinct sketch for attribute `pos` as of the synced row
+  /// count, built on first use (densifies the column if needed) and
+  /// refreshed after a CatchUp: extended copy-on-write while every row is
+  /// sampled (n <= kMaxSamples, where the sample is the identity prefix),
+  /// resampled at constant cost above that. Either way the result is
+  /// bit-identical to a cold BuildSketch of the full column. Thread-safe;
+  /// the reference stays valid until the store next refreshes this
+  /// attribute's sketch (quiesced and steady-state callers; concurrent
+  /// readers use SketchAt, which hands out a keepalive).
   const DistinctSketch& sketch(uint32_t pos) const;
+
+  /// The sketch for attribute `pos` pinned at exactly `rows` rows,
+  /// bit-identical to BuildSketch over the first `rows` rows. The returned
+  /// pointer keeps the sketch alive independent of later refreshes.
+  std::shared_ptr<const DistinctSketch> SketchAt(uint32_t pos,
+                                                 uint64_t rows) const;
 
   /// Materializes the mixed-radix composition of the given attributes'
   /// columns into one temporary column: codes are
@@ -130,40 +218,79 @@ class ColumnStore {
   Column ComposeColumns(const std::vector<uint32_t>& attrs) const;
 
  private:
-  /// Everything one column needs to grow across epochs: the dense codes,
-  /// the surviving raw->dense remap (direct table while the raw code range
-  /// stays comparable to the row count, hash map past that), and the
-  /// sketch with its retained sample set.
+  /// Growable owner-side storage one column's views alias into. In-place
+  /// growth only ever writes past the longest published prefix; when
+  /// capacity runs out the storage moves to a fresh ColumnBuffers and old
+  /// views keep the old one alive through their Column::owner.
+  struct ColumnBuffers {
+    std::vector<uint32_t> codes;
+    std::vector<uint32_t> first_row;
+  };
+
+  /// An immutable sketch together with the row count it covers.
+  struct SketchBox {
+    DistinctSketch sketch;
+    uint64_t rows = 0;
+  };
+
+  /// Everything one column needs to grow across epochs: the growable
+  /// buffers, the surviving raw->dense remap (direct table while the raw
+  /// code range stays comparable to the row count, hash map past that),
+  /// the published frozen views, and the sketch state.
   struct ColumnState {
     mutable std::mutex mu;
-    Column col;
-    /// Rows densified so far; the lock-free fast path compares it to the
-    /// synced count (release store after the codes are fully written).
+    /// Owner-side storage (guarded by mu for growth).
+    std::shared_ptr<ColumnBuffers> buffers;
+    /// Distinct codes among the built rows; mirrors the published view's
+    /// cardinality. Guarded by mu.
+    uint32_t cardinality = 0;
+    /// Rows densified so far; release-stored after the codes are fully
+    /// written and the view republished.
     std::atomic<uint64_t> built_rows{0};
     bool ever_built = false;
     std::vector<uint32_t> direct_remap;  // raw -> dense, UINT32_MAX = unseen
     std::unordered_map<uint32_t, uint32_t> hash_remap;
     bool use_direct = false;
 
-    DistinctSketch sketch;
-    std::atomic<uint64_t> sketch_rows{0};  // rows the sketch covers
-    bool sketch_built = false;
+    /// Published frozen view over the built rows (std::atomic_load/store
+    /// access only outside mu).
+    std::shared_ptr<const Column> view;
+    /// One-slot cache of the most recently derived pinned-prefix view
+    /// (atomic access). Keeps steady single-pin readers allocation-free.
+    mutable std::shared_ptr<const Column> pinned_view;
+
+    /// Published sketch (atomic access) + one-slot pinned-derivation cache.
+    std::shared_ptr<const SketchBox> sketch;
+    mutable std::shared_ptr<const SketchBox> pinned_sketch;
     /// Distinct codes among sampled rows, retained only while the sample is
     /// the identity prefix (n <= kMaxSamples) so the curve can extend
-    /// without re-reading old rows.
+    /// without re-reading old rows. Owner-side, guarded by mu.
     std::unordered_set<uint32_t> sketch_seen;
+    bool sketch_built = false;
   };
 
-  /// Densifies rows [st.built_rows, target) into st.col. Requires st.mu.
+  /// Densifies rows [st.built_rows, target) into st.buffers and publishes
+  /// a new frozen view. Requires st.mu.
   void ExtendColumnLocked(ColumnState& st, uint32_t pos,
                           uint64_t target) const;
 
-  /// Builds or extends the sketch to cover `target` rows. Requires st.mu
-  /// and st.col built to target.
-  void RefreshSketchLocked(ColumnState& st, uint64_t target) const;
+  /// Builds or extends the published sketch (copy-on-write) to cover
+  /// `target` rows of `col` (a view over exactly `target` rows). Requires
+  /// st.mu.
+  void RefreshSketchLocked(ColumnState& st, const Column& col,
+                           uint64_t target) const;
+
+  /// The frozen view for `pos` covering exactly `rows` rows, building or
+  /// extending the column as needed and deriving a prefix view when the
+  /// built frontier is past `rows`.
+  std::shared_ptr<const Column> ViewAt(uint32_t pos, uint64_t rows) const;
+
+  /// The sketch box for `pos` covering exactly `rows` rows.
+  std::shared_ptr<const SketchBox> SketchBoxAt(uint32_t pos,
+                                               uint64_t rows) const;
 
   const Relation* r_;
-  uint64_t synced_rows_ = 0;
+  std::atomic<uint64_t> synced_rows_{0};
   std::unique_ptr<ColumnState[]> states_;
 };
 

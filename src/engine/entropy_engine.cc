@@ -33,6 +33,8 @@ EntropyEngine::EntropyEngine(const Relation* r, EngineOptions options)
                                            : WorkerPool::Shared()),
       arbiter_(options.cache_arbiter),
       keys_by_count_(kMaxAttrs + 1) {
+  stamp_ = std::make_shared<const EpochPin>(EpochPin{
+      store_.SyncedRows(), synced_epoch_.load(std::memory_order_relaxed)});
   if (arbiter_ != nullptr) {
     // No other thread can reach this engine yet, so registering before the
     // body finishes cannot race a Charge.
@@ -53,40 +55,35 @@ void EntropyEngine::CatchUp() {
   if (relation().epoch() == synced_epoch_.load(std::memory_order_acquire)) {
     return;
   }
-  std::vector<std::pair<AttrSet, size_t>> resized;
-  std::vector<AttrSet> dropped;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (relation().epoch() ==
-        synced_epoch_.load(std::memory_order_relaxed)) {
-      return;  // another thread completed the catch-up first
-    }
-    CatchUpLocked(&resized, &dropped);
+  // One caller owns the catch-up; everyone else returns immediately and
+  // keeps serving the previous stamp (their pinned reads stay valid — the
+  // point of the epoch-pinned design). try_lock, never lock: a reader must
+  // not block behind a catch-up it does not need.
+  std::unique_lock<std::mutex> own(catchup_mu_, std::try_to_lock);
+  if (!own.owns_lock()) return;
+  const uint64_t target_epoch = relation().epoch();
+  if (target_epoch == synced_epoch_.load(std::memory_order_acquire)) {
+    return;  // the previous owner finished this epoch already
   }
-  if (arbiter_ != nullptr) {
-    // Settle with the arbiter outside mu_: it may evict (from this engine
-    // or any other on the budget), and evict callbacks re-take engine
-    // mutexes — arbiter -> engine is the only permitted order.
-    if (!dropped.empty()) arbiter_->Discharge(this, dropped);
-    if (!resized.empty()) arbiter_->Resize(this, resized);
-  }
+  // Epoch FIRST (acquire), THEN the row count: the count read here covers
+  // at least every append the epoch load observed. A batch landing between
+  // the two loads merely over-syncs; its own epoch bump re-triggers a
+  // cheap catch-up that finds everything already extended.
+  RunCatchUp(target_epoch, relation().NumRows());
 }
 
-void EntropyEngine::CatchUpLocked(
-    std::vector<std::pair<AttrSet, size_t>>* resized,
-    std::vector<AttrSet>* dropped) {
-  const uint64_t old_rows = store_.SyncedRows();
-  store_.CatchUp();
-  const uint64_t epoch = relation().epoch();
-  ++stats_.epoch_catchups;
+void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
+  // Runs with catchup_mu_ held and mu_ NOT held. Readers of the old stamp
+  // proceed concurrently throughout; the new generation becomes visible
+  // atomically at the publish step.
+  const uint64_t old_rows =
+      std::atomic_load_explicit(&stamp_, std::memory_order_relaxed)->rows;
 
-  // Every cached entropy VALUE is stale at the new epoch (H moves with the
-  // data); partitions, by contrast, extend. Values recompute on demand
-  // from the extended partitions via the same XLogX-table accumulation the
-  // cold kernels use, so post-catch-up reads match the cold chain replay
-  // bit-for-bit.
-  entropies_.clear();
+  // Columns and sketches first: extension publishes fresh RCU views over
+  // the grown buffers, never touching bytes an old-pin view can see.
+  store_.CatchUpTo(target_rows);
 
+  // --- CLAIM (under mu_) --------------------------------------------------
   // Generational revalidation: extension costs O(mass) per partition, so
   // paying it for entries nothing touched during the entire previous epoch
   // — one-shot chain intermediates from a miner run, say — would turn
@@ -97,50 +94,105 @@ void EntropyEngine::CatchUpLocked(
   // without the closure the shorter ones would go idle, get dropped, and
   // force a full replay of every hot chain each epoch). Everything else is
   // dropped (an always-safe cache decision) and its bytes return to the
-  // budget.
-  std::unordered_map<AttrSet, bool, AttrSetHash> keep;
-  keep.reserve(partitions_.size());
-  for (const auto& entry : partitions_) {
-    if (entry.second.last_used <= last_catchup_tick_) continue;
-    keep.emplace(entry.first, true);
-    AttrSet prefix;
-    const std::vector<uint32_t>& chain = entry.second.chain;
-    for (size_t j = 0; j + 1 < chain.size(); ++j) {
-      prefix.Add(chain[j]);
-      auto pit = partitions_.find(prefix);
-      if (pit != partitions_.end() && pit->second.chain.size() == j + 1 &&
-          std::equal(pit->second.chain.begin(), pit->second.chain.end(),
-                     chain.begin())) {
-        keep.emplace(prefix, true);
+  // budget. Survivors are CLAIMED — removed from the visible cache — so the
+  // long extension below runs without mu_ while concurrent readers keep
+  // resolving (or recomputing) against a consistent map.
+  struct Claimed {
+    AttrSet set;
+    CachedPartition cp;
+  };
+  std::vector<Claimed> claimed;
+  std::vector<AttrSet> discharged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.epoch_catchups;
+    std::unordered_map<AttrSet, bool, AttrSetHash> keep;
+    keep.reserve(partitions_.size());
+    for (const auto& entry : partitions_) {
+      if (entry.second.last_used <= last_catchup_tick_) continue;
+      if (entry.second.rows != old_rows) continue;
+      keep.emplace(entry.first, true);
+      AttrSet prefix;
+      const std::vector<uint32_t>& chain = entry.second.chain;
+      for (size_t j = 0; j + 1 < chain.size(); ++j) {
+        prefix.Add(chain[j]);
+        auto pit = partitions_.find(prefix);
+        if (pit != partitions_.end() && pit->second.rows == old_rows &&
+            pit->second.chain.size() == j + 1 &&
+            std::equal(pit->second.chain.begin(), pit->second.chain.end(),
+                       chain.begin())) {
+          keep.emplace(prefix, true);
+        }
       }
     }
+    std::vector<AttrSet> idle;
+    std::vector<AttrSet> keep_keys;
+    for (const auto& entry : partitions_) {
+      if (keep.find(entry.first) == keep.end()) {
+        idle.push_back(entry.first);
+      } else {
+        keep_keys.push_back(entry.first);
+      }
+    }
+    for (AttrSet key : idle) {
+      EvictPartitionLocked(partitions_.find(key));
+      discharged.push_back(key);
+    }
+    claimed.reserve(keep_keys.size());
+    for (AttrSet key : keep_keys) {
+      auto it = partitions_.find(key);
+      Claimed c;
+      c.set = key;
+      // The partition pointer is COPIED (not moved) so RemovePartitionLocked
+      // below can still read its byte size; the bulky recipe vectors move.
+      c.cp.partition = it->second.partition;
+      c.cp.last_used = it->second.last_used;
+      c.cp.epoch = it->second.epoch;
+      c.cp.rows = it->second.rows;
+      c.cp.last_col_card = it->second.last_col_card;
+      c.cp.chain = std::move(it->second.chain);
+      c.cp.delta = std::move(it->second.delta);
+      RemovePartitionLocked(it);
+      discharged.push_back(key);
+      claimed.push_back(std::move(c));
+    }
   }
-  std::vector<AttrSet> stale;
-  for (const auto& entry : partitions_) {
-    if (keep.find(entry.first) == keep.end()) stale.push_back(entry.first);
-  }
-  for (AttrSet key : stale) {
-    EvictPartitionLocked(partitions_.find(key));
-    if (arbiter_ != nullptr) dropped->push_back(key);
+  if (arbiter_ != nullptr && !discharged.empty()) {
+    // Settle outside mu_ (arbiter -> engine is the only permitted lock
+    // order). Claimed entries leave the arbiter's books for the duration of
+    // the extension and are re-charged at publish — Discharge/Charge rather
+    // than Resize, because the arbiter must not pick eviction victims that
+    // are not in the visible cache.
+    arbiter_->Discharge(this, discharged);
   }
 
-  // Extend the survivors in ascending set size: a chain's proper prefixes
-  // are strictly smaller sets, so every ancestor is extended before its
-  // descendants need it. Old forms are kept aside for the parent-block
-  // correspondence the delta path walks — but ONLY for entries some child
-  // will actually use as a direct parent: pinning every old partition
-  // until the end of catch-up would double peak memory and, worse, starve
-  // the allocator of the just-freed buffers the next extension would
-  // otherwise reuse (measurably slower on large caches).
+  // --- EXTEND (no locks) ---------------------------------------------------
+  // Ascending set size: a chain's proper prefixes are strictly smaller
+  // sets, so every ancestor is extended before its descendants need it
+  // (tie-break by set value for determinism). Old forms are kept aside for
+  // the parent-block correspondence the seeding path walks — but ONLY for
+  // entries some child will actually use as a direct parent: pinning every
+  // old partition until the end of catch-up would double peak memory and,
+  // worse, starve the allocator of the just-freed buffers the next
+  // extension would otherwise reuse (measurably slower on large caches).
+  std::sort(claimed.begin(), claimed.end(),
+            [](const Claimed& a, const Claimed& b) {
+              const uint32_t ca = a.set.Count();
+              const uint32_t cb = b.set.Count();
+              if (ca != cb) return ca < cb;
+              return a.set < b.set;
+            });
+  std::unordered_map<AttrSet, Claimed*, AttrSetHash> by_set;
+  by_set.reserve(claimed.size());
+  for (Claimed& c : claimed) by_set.emplace(c.set, &c);
   std::unordered_map<AttrSet, std::shared_ptr<const Partition>, AttrSetHash>
       old_parts;
-  old_parts.reserve(partitions_.size());
-  for (const auto& entry : partitions_) {
-    const std::vector<uint32_t>& chain = entry.second.chain;
+  for (const Claimed& c : claimed) {
+    const std::vector<uint32_t>& chain = c.cp.chain;
     if (chain.size() < 2) continue;
-    if (!entry.second.delta.run_lengths.empty() &&
-        entry.second.delta.run_lengths.size() ==
-            entry.second.delta.parent_first_rows.size()) {
+    if (!c.cp.delta.run_lengths.empty() &&
+        c.cp.delta.run_lengths.size() ==
+            c.cp.delta.parent_first_rows.size()) {
       // Scan-free child: its recorded correspondence replaces the old
       // parent entirely, so the parent stays unpinned (and therefore
       // eligible for in-place extension itself).
@@ -148,137 +200,189 @@ void EntropyEngine::CatchUpLocked(
     }
     AttrSet parent;
     for (size_t j = 0; j + 1 < chain.size(); ++j) parent.Add(chain[j]);
-    auto pit = partitions_.find(parent);
-    if (pit != partitions_.end() &&
-        pit->second.chain.size() + 1 == chain.size() &&
-        std::equal(pit->second.chain.begin(), pit->second.chain.end(),
-                   chain.begin())) {
-      old_parts.emplace(parent, pit->second.partition);
+    auto pit = by_set.find(parent);
+    if (pit != by_set.end() &&
+        pit->second->cp.chain.size() + 1 == chain.size() &&
+        std::equal(pit->second->cp.chain.begin(),
+                   pit->second->cp.chain.end(), chain.begin())) {
+      old_parts.emplace(parent, pit->second->cp.partition);
     }
   }
-  for (uint32_t level = 1; level <= kMaxAttrs; ++level) {
-    for (KeyEntry& key : keys_by_count_[level]) {
-      auto it = partitions_.find(key.set);
-      AJD_CHECK(it != partitions_.end());
-      CachedPartition& cp = it->second;
-      const std::vector<uint32_t>& chain = cp.chain;
-      AJD_CHECK(!chain.empty());
+  uint64_t extended_count = 0;
+  uint64_t replayed_count = 0;
+  for (Claimed& c : claimed) {
+    CachedPartition& cp = c.cp;
+    const std::vector<uint32_t>& chain = cp.chain;
+    AJD_CHECK(!chain.empty());
 
-      // Deepest cached ancestor whose recorded chain is a strict prefix of
-      // this one (set equality alone is not enough: the same AttrSet can
-      // have been rebuilt through a different column order after an
-      // eviction, and the block correspondence is chain-specific).
-      std::shared_ptr<const Partition> parent_new;
-      std::shared_ptr<const Partition> parent_old;
-      size_t ancestor_len = 0;
-      AttrSet prefix_sets[kMaxAttrs];
-      AttrSet acc;
-      for (size_t j = 0; j + 1 < chain.size(); ++j) {
-        acc.Add(chain[j]);
-        prefix_sets[j] = acc;  // prefix of length j+1
+    // Deepest claimed ancestor whose recorded chain is a strict prefix of
+    // this one (set equality alone is not enough: the same AttrSet can
+    // have been rebuilt through a different column order after an
+    // eviction, and the block correspondence is chain-specific).
+    std::shared_ptr<const Partition> parent_new;
+    std::shared_ptr<const Partition> parent_old;
+    size_t ancestor_len = 0;
+    AttrSet prefix_sets[kMaxAttrs];
+    AttrSet acc;
+    for (size_t j = 0; j + 1 < chain.size(); ++j) {
+      acc.Add(chain[j]);
+      prefix_sets[j] = acc;  // prefix of length j+1
+    }
+    for (size_t len = chain.size() - 1; len >= 1; --len) {
+      auto pit = by_set.find(prefix_sets[len - 1]);
+      if (pit == by_set.end()) continue;
+      if (pit->second->cp.chain.size() != len ||
+          !std::equal(pit->second->cp.chain.begin(),
+                      pit->second->cp.chain.end(), chain.begin())) {
+        continue;
       }
-      for (size_t len = chain.size() - 1; len >= 1; --len) {
-        auto pit = partitions_.find(prefix_sets[len - 1]);
-        if (pit == partitions_.end()) continue;
-        if (pit->second.chain.size() != len ||
-            !std::equal(pit->second.chain.begin(), pit->second.chain.end(),
-                        chain.begin())) {
-          continue;
-        }
-        parent_new = pit->second.partition;  // extended already (smaller set)
-        if (len + 1 == chain.size()) {
-          // Only a DIRECT parent's old form matters (the delta path walks
-          // its block correspondence); deeper ancestors feed the replay
-          // path, which reads just the extended form.
-          auto oit = old_parts.find(prefix_sets[len - 1]);
-          if (oit != old_parts.end()) parent_old = oit->second;
-        }
-        ancestor_len = len;
-        break;
+      parent_new = pit->second->cp.partition;  // extended already (smaller)
+      if (len + 1 == chain.size()) {
+        // Only a DIRECT parent's old form matters (the delta path walks
+        // its block correspondence); deeper ancestors feed the replay
+        // path, which reads just the extended form.
+        auto oit = old_parts.find(prefix_sets[len - 1]);
+        if (oit != old_parts.end()) parent_old = oit->second;
       }
+      ancestor_len = len;
+      break;
+    }
 
-      std::shared_ptr<const Partition> np;
-      // Captured BEFORE extension: the in-place path mutates the cached
-      // object, so its post-extension MemoryBytes is the NEW size.
-      const size_t old_bytes = cp.partition->MemoryBytes();
-      const Column& last_col = store_.column(chain.back());
-      // Scan-free correspondence from the previous extension, if intact.
-      const bool meta_ok =
-          !cp.delta.run_lengths.empty() &&
-          cp.delta.run_lengths.size() == cp.delta.parent_first_rows.size();
-      const bool kernel_stable =
-          parent_new != nullptr &&
-          ChooseRefineKernel(last_col.cardinality,
-                             parent_new->NumStrippedRows()) ==
-              ChooseRefineKernel(cp.last_col_card,
-                                 parent_new->NumStrippedRows());
-      if (ancestor_len + 1 == chain.size() && kernel_stable &&
-          (meta_ok || parent_old != nullptr)) {
-        // Direct parent cached with the same chain and the kernel choice
-        // did not move: the O(delta + touched blocks) path — scan-free
-        // when the previous extension's metadata survived (steady state),
-        // seeding that metadata from the retained old parent otherwise. A
-        // sole-owner entry (nothing else aliases it — in particular it is
-        // nobody's retained old parent) extends IN PLACE: the bit-identical
-        // prefix before the first affected block is never copied, which is
-        // what makes catch-up track the changed region on locality-friendly
-        // streams instead of the partition's whole mass.
-        const PartitionDelta* meta = meta_ok ? &cp.delta : nullptr;
-        const Partition* old_parent_ptr =
-            meta_ok ? nullptr : parent_old.get();
-        PartitionDelta next;
-        if (cp.partition.use_count() == 1) {
-          std::const_pointer_cast<Partition>(cp.partition)
-              ->ExtendInPlaceBy(old_parent_ptr, *parent_new, last_col,
-                                old_rows, meta, &next);
-          np = cp.partition;
-        } else {
-          np = std::make_shared<Partition>(
-              cp.partition->ExtendedBy(old_parent_ptr, *parent_new,
-                                       last_col, old_rows, meta, &next));
-        }
-        cp.delta = std::move(next);
-        ++stats_.partitions_extended;
-      } else if (chain.size() == 1) {
-        np = std::make_shared<Partition>(
-            cp.partition->ExtendedOfColumn(last_col, old_rows));
-        ++stats_.partitions_extended;
+    std::shared_ptr<const Partition> np;
+    const Column last_col = store_.ColumnAt(chain.back(), target_rows);
+    // Scan-free correspondence from the previous extension (or the build
+    // itself — the refinement kernels emit it at build time), if intact.
+    const bool meta_ok =
+        !cp.delta.run_lengths.empty() &&
+        cp.delta.run_lengths.size() == cp.delta.parent_first_rows.size();
+    const bool kernel_stable =
+        parent_new != nullptr &&
+        ChooseRefineKernel(last_col.cardinality,
+                           parent_new->NumStrippedRows()) ==
+            ChooseRefineKernel(cp.last_col_card,
+                               parent_new->NumStrippedRows());
+    if (ancestor_len + 1 == chain.size() && kernel_stable &&
+        (meta_ok || parent_old != nullptr)) {
+      // Direct parent claimed with the same chain and the kernel choice
+      // did not move: the O(delta + touched blocks) path — scan-free
+      // when the build's or previous extension's metadata survived (steady
+      // state), seeding that metadata from the retained old parent
+      // otherwise. A sole-owner entry (nothing else aliases it — no
+      // concurrent reader holds a reference and it is nobody's retained
+      // old parent) extends IN PLACE: the bit-identical prefix before the
+      // first affected block is never copied, which is what makes catch-up
+      // track the changed region on locality-friendly streams instead of
+      // the partition's whole mass. Reader-held entries take the copying
+      // path, leaving the old object untouched for its pinned readers.
+      const PartitionDelta* meta = meta_ok ? &cp.delta : nullptr;
+      const Partition* old_parent_ptr = meta_ok ? nullptr : parent_old.get();
+      PartitionDelta next;
+      if (cp.partition.use_count() == 1) {
+        std::const_pointer_cast<Partition>(cp.partition)
+            ->ExtendInPlaceBy(old_parent_ptr, *parent_new, last_col,
+                              old_rows, meta, &next);
+        np = cp.partition;
       } else {
-        // Fused gap, evicted ancestor, divergent chain, or a column whose
-        // cardinality crossed its kernel-selection threshold: replay the
-        // remaining chain cold from the deepest extended ancestor (bit-
-        // identical to the delta path by kernel reproducibility).
-        Partition cur;
-        const Partition* base = parent_new.get();
-        size_t j = ancestor_len;
-        if (base == nullptr) {
-          cur = Partition::OfColumn(store_.column(chain[0]));
-          base = &cur;
-          j = 1;
-        }
-        for (; j < chain.size(); ++j) {
-          cur = base->RefinedBy(store_.column(chain[j]));
-          base = &cur;
-        }
-        np = std::make_shared<Partition>(std::move(cur));
-        cp.delta.run_lengths.clear();
-        cp.delta.parent_first_rows.clear();
-        ++stats_.partitions_replayed;
+        np = std::make_shared<Partition>(
+            cp.partition->ExtendedBy(old_parent_ptr, *parent_new, last_col,
+                                     old_rows, meta, &next));
       }
-
-      const size_t new_bytes = np->MemoryBytes();
-      partition_bytes_ += new_bytes;
-      partition_bytes_ -= old_bytes;
-      key.mass = np->NumStrippedRows();
-      cp.partition = std::move(np);
-      cp.epoch = epoch;
-      cp.last_col_card = last_col.cardinality;
-      if (arbiter_ != nullptr) resized->emplace_back(key.set, new_bytes);
+      cp.delta = std::move(next);
+      ++extended_count;
+    } else if (chain.size() == 1) {
+      np = std::make_shared<Partition>(
+          cp.partition->ExtendedOfColumn(last_col, old_rows));
+      ++extended_count;
+    } else {
+      // Fused gap, evicted ancestor, divergent chain, or a column whose
+      // cardinality crossed its kernel-selection threshold: replay the
+      // remaining chain cold from the deepest extended ancestor (bit-
+      // identical to the delta path by kernel reproducibility). The LAST
+      // refinement step emits the parent->child correspondence at build
+      // time, so even a replayed entry's NEXT catch-up is scan-free.
+      Partition cur;
+      const Partition* base = parent_new.get();
+      size_t j = ancestor_len;
+      if (base == nullptr) {
+        cur = Partition::OfColumn(store_.ColumnAt(chain[0], target_rows));
+        base = &cur;
+        j = 1;
+      }
+      PartitionDelta next;
+      for (; j < chain.size(); ++j) {
+        const Column cj = store_.ColumnAt(chain[j], target_rows);
+        cur = base->RefinedBy(cj, RefineKernel::kAuto,
+                              j + 1 == chain.size() ? &next : nullptr);
+        base = &cur;
+      }
+      np = std::make_shared<Partition>(std::move(cur));
+      cp.delta = std::move(next);
+      ++replayed_count;
     }
+    cp.partition = std::move(np);
+    cp.epoch = target_epoch;
+    cp.rows = target_rows;
+    cp.last_col_card = last_col.cardinality;
   }
-  if (arbiter_ == nullptr) EvictToPrivateBudgetLocked(AttrSet());
-  last_catchup_tick_ = tick_;
-  synced_epoch_.store(epoch, std::memory_order_release);
+  old_parts.clear();
+
+  // --- PUBLISH (under mu_) --------------------------------------------------
+  std::vector<AttrSet> swept;
+  std::vector<std::pair<AttrSet, size_t>> charges;
+  charges.reserve(claimed.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Sweep whatever old-generation state concurrent readers seeded while
+    // the extension ran (their inserts carry the old row tag). Entropy
+    // values recompute on demand from the extended partitions via the same
+    // XLogX-table accumulation the cold kernels use, so post-catch-up reads
+    // match the cold chain replay bit-for-bit.
+    std::vector<AttrSet> stale;
+    for (const auto& entry : partitions_) {
+      if (entry.second.rows != target_rows) stale.push_back(entry.first);
+    }
+    for (AttrSet key : stale) {
+      EvictPartitionLocked(partitions_.find(key));
+      swept.push_back(key);
+    }
+    for (auto it = entropies_.begin(); it != entropies_.end();) {
+      if (it->second.rows != target_rows) {
+        it = entropies_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Reinsert the extended generation (original recency preserved). A key
+    // can collide only when the relation bumped its epoch without growing
+    // (target row count == old): the resident entry then covers the same
+    // rows, so the claimed copy is simply dropped.
+    for (Claimed& c : claimed) {
+      if (partitions_.find(c.set) != partitions_.end()) continue;
+      const size_t bytes = c.cp.partition->MemoryBytes();
+      const uint64_t mass = c.cp.partition->NumStrippedRows();
+      partitions_.emplace(c.set, std::move(c.cp));
+      partition_bytes_ += bytes;
+      keys_by_count_[c.set.Count()].push_back({c.set, mass, target_rows});
+      charges.emplace_back(c.set, bytes);
+    }
+    stats_.partitions_extended += extended_count;
+    stats_.partitions_replayed += replayed_count;
+    if (arbiter_ == nullptr) EvictToPrivateBudgetLocked(AttrSet());
+    last_catchup_tick_ = tick_;
+    // The stamp flips INSIDE mu_, atomically with the sweep: a reader that
+    // pins the new generation afterwards can never observe (or seed)
+    // old-generation cache state, and vice versa.
+    std::atomic_store_explicit(
+        &stamp_,
+        std::shared_ptr<const EpochPin>(std::make_shared<const EpochPin>(
+            EpochPin{target_rows, target_epoch})),
+        std::memory_order_release);
+    synced_epoch_.store(target_epoch, std::memory_order_release);
+  }
+  if (arbiter_ != nullptr) {
+    if (!swept.empty()) arbiter_->Discharge(this, swept);
+    if (!charges.empty()) arbiter_->Charge(this, charges);
+  }
 }
 
 bool EntropyEngine::CachedPartitionInfo(
@@ -293,28 +397,36 @@ bool EntropyEngine::CachedPartitionInfo(
 }
 
 double EntropyEngine::Entropy(AttrSet attrs) {
-  AJD_CHECK(attrs.IsSubsetOf(relation().schema().AllAttrs()));
   CatchUp();
-  if (attrs.Empty() || store_.NumRows() == 0) return 0.0;
+  return EntropyAt(attrs, Pin());
+}
+
+EpochPin EntropyEngine::Pin() const {
+  return *std::atomic_load_explicit(&stamp_, std::memory_order_acquire);
+}
+
+double EntropyEngine::EntropyAt(AttrSet attrs, const EpochPin& pin) {
+  AJD_CHECK(attrs.IsSubsetOf(relation().schema().AllAttrs()));
+  if (attrs.Empty() || pin.rows == 0) return 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.queries;
     auto it = entropies_.find(attrs);
-    if (it != entropies_.end()) {
+    if (it != entropies_.end() && it->second.rows == pin.rows) {
       ++stats_.hits;
-      return it->second;
+      return it->second.h;
     }
   }
-  return ComputeEntropy(attrs);
+  return ComputeEntropy(attrs, pin);
 }
 
-double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
-  // The SYNCED row count, not the live one: columns and partitions cover
-  // exactly store_.NumRows() rows, and mixing a newer N into the entropy
-  // formula would silently skew every value if an append raced the
-  // single-writer contract instead of just serving consistently stale
-  // answers.
-  const uint64_t n = store_.NumRows();
+double EntropyEngine::ComputeEntropy(AttrSet attrs, const EpochPin& pin,
+                                     bool materialize_final) {
+  // The PINNED row count, not the live one: every column view, sketch, and
+  // cached base consumed below is frozen at pin.rows, so the value is the
+  // cold answer over exactly that prefix no matter how many appends land
+  // while this computation runs.
+  const uint64_t n = pin.rows;
 
   // Best cached base under the refinement cost model: each remaining step
   // scans at most the base's stripped rows, so refining base T costs about
@@ -355,6 +467,7 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
       // appears, or misses over a cache full of collapsed partitions turn
       // the scan itself into the bottleneck.
       for (const KeyEntry& entry : keys_by_count_[level]) {
+        if (entry.rows != pin.rows) continue;  // different generation
         if (!entry.set.IsSubsetOf(attrs)) continue;
         const uint32_t steps = attrs.Count() - level;
         const double cost = static_cast<double>(entry.mass) *
@@ -408,6 +521,10 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
     std::shared_ptr<const Partition> partition;
     std::vector<uint32_t> chain;
     uint32_t last_col_card = 0;
+    /// Build-time parent->child correspondence (empty for roots, fused
+    /// passes, and the all-singleton shortcut): makes the entry's FIRST
+    /// epoch catch-up scan-free.
+    PartitionDelta delta;
   };
   std::vector<FreshEntry> fresh;
   std::shared_ptr<const Partition> cur = std::move(base);
@@ -429,13 +546,14 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
     const size_t tail = missing.size() - i;
     for (size_t j = 0; j < tail; ++j) {
       const uint32_t a = missing[i + j];
-      const Column& col = store_.column(a);
+      const Column col = store_.ColumnAt(a, pin.rows);
       // Quantized to whole distinct values: sampling noise below one value
       // must not reorder columns on unskewed data, where every column ties
       // and the cardinality/index tie-breaks keep the old deterministic
       // order. Genuine skew shifts the estimate by many values and wins.
       const double p = std::floor(std::min(
-          store_.sketch(a).EstimateDistinct(mass, col.cardinality),
+          store_.SketchAt(a, pin.rows)
+              ->EstimateDistinct(mass, col.cardinality),
           static_cast<double>(mass)));
       ranks[j] = {p, col.cardinality, a};
     }
@@ -460,9 +578,14 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
             ? (cache_pressure ? kMaxFuseColumns : 1)
             : std::min<uint32_t>(options_.max_fuse_columns, kMaxFuseColumns);
     if (cur != nullptr && remaining >= 2 && remaining <= fuse_limit) {
+      // Column VALUES held locally: ColumnAt returns a by-value view, so
+      // the pointer array the fused kernels take must alias storage that
+      // outlives the pass.
+      Column fused_cols[kMaxFuseColumns];
       const Column* cols[kMaxFuseColumns];
       for (size_t j = 0; j < remaining; ++j) {
-        cols[j] = &store_.column(missing[i + j]);
+        fused_cols[j] = store_.ColumnAt(missing[i + j], pin.rows);
+        cols[j] = &fused_cols[j];
       }
       const uint64_t composite_card =
           FusedCardinality(cols, remaining, FuseBudget(mass));
@@ -484,14 +607,15 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
           cur_chain.push_back(missing[i + j]);
         }
         fresh.push_back({cur_set, cur, cur_chain,
-                         cols[remaining - 1]->cardinality});
+                         cols[remaining - 1]->cardinality, PartitionDelta{}});
         i = missing.size();
         break;
       }
     }
 
     const uint32_t a = missing[i];
-    const Column& col = store_.column(a);
+    const Column col = store_.ColumnAt(a, pin.rows);
+    PartitionDelta step_delta;
     if (cur == nullptr) {
       cur = std::make_shared<Partition>(Partition::OfColumn(col));
       ++builds;
@@ -504,12 +628,16 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
       ++refinements;
       break;
     } else {
-      cur = std::make_shared<Partition>(cur->RefinedBy(col));
+      // The three-argument form captures the parent->child correspondence
+      // at build time, making this entry's first catch-up scan-free.
+      cur = std::make_shared<Partition>(
+          cur->RefinedBy(col, RefineKernel::kAuto, &step_delta));
       ++refinements;
     }
     cur_set.Add(a);
     cur_chain.push_back(a);
-    fresh.push_back({cur_set, cur, cur_chain, col.cardinality});
+    fresh.push_back({cur_set, cur, cur_chain, col.cardinality,
+                     std::move(step_delta)});
     ++i;
     // All rows already unique: every superset partition is all-singletons
     // too, so H(attrs) = ln N and the remaining refinements are no-ops.
@@ -526,9 +654,9 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
           rest_chain.push_back(missing[j]);
         }
         const uint32_t rest_card =
-            store_.column(rest_chain.back()).cardinality;
+            store_.ColumnAt(rest_chain.back(), pin.rows).cardinality;
         fresh.push_back({attrs, std::make_shared<Partition>(),
-                         std::move(rest_chain), rest_card});
+                         std::move(rest_chain), rest_card, PartitionDelta{}});
       }
       break;
     }
@@ -544,12 +672,20 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
     stats_.partition_builds += builds;
     stats_.refinements += refinements;
     stats_.fused_refinements += fused;
-    entropies_.emplace(attrs, h);
+    // Cache the value only while the pin is still current: a superseded
+    // pin's value would be invisible to every future lookup (they filter
+    // by row tag) yet sit in the map until a sweep that may never come.
+    // InsertPartitionLocked applies the same rule to the partitions.
+    if (pin.rows ==
+        std::atomic_load_explicit(&stamp_, std::memory_order_relaxed)
+            ->rows) {
+      entropies_[attrs] = CachedEntropy{h, pin.rows};
+    }
     for (auto& entry : fresh) {
       const AttrSet set = entry.set;
-      const size_t bytes =
-          InsertPartitionLocked(set, std::move(entry.partition),
-                                std::move(entry.chain), entry.last_col_card);
+      const size_t bytes = InsertPartitionLocked(
+          set, std::move(entry.partition), std::move(entry.chain),
+          entry.last_col_card, pin.rows, std::move(entry.delta));
       if (arbiter_ != nullptr && bytes > 0) charged.emplace_back(set, bytes);
     }
   }
@@ -565,19 +701,38 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, bool materialize_final) {
 size_t EntropyEngine::InsertPartitionLocked(AttrSet attrs,
                                             std::shared_ptr<const Partition> p,
                                             std::vector<uint32_t> chain,
-                                            uint32_t last_col_card) {
-  size_t inserted_bytes = 0;
-  auto [it, inserted] = partitions_.emplace(attrs, CachedPartition{});
-  if (inserted) {
-    inserted_bytes = p->MemoryBytes();
-    partition_bytes_ += inserted_bytes;
-    keys_by_count_[attrs.Count()].push_back({attrs, p->NumStrippedRows()});
-    it->second.partition = std::move(p);
-    it->second.chain = std::move(chain);
-    it->second.last_col_card = last_col_card;
-    it->second.epoch = synced_epoch_.load(std::memory_order_relaxed);
+                                            uint32_t last_col_card,
+                                            uint64_t rows,
+                                            PartitionDelta delta) {
+  auto it = partitions_.find(attrs);
+  if (it != partitions_.end()) {
+    // Never replace: the resident entry may belong to the CURRENT
+    // generation while this insert races in from a reader at a superseded
+    // pin. Touch it for recency and drop the new copy.
+    it->second.last_used = ++tick_;
+    if (arbiter_ == nullptr) EvictToPrivateBudgetLocked(attrs);
+    return 0;
   }
-  it->second.last_used = ++tick_;
+  // A stale-pin compute must not seed the cache either: an entry tagged
+  // behind the current stamp would be invisible to every future reader yet
+  // hold budget until a catch-up sweep that never comes if appends stop.
+  if (rows !=
+      std::atomic_load_explicit(&stamp_, std::memory_order_relaxed)->rows) {
+    return 0;
+  }
+  const size_t inserted_bytes = p->MemoryBytes();
+  const uint64_t mass = p->NumStrippedRows();
+  CachedPartition cp;
+  cp.partition = std::move(p);
+  cp.chain = std::move(chain);
+  cp.last_col_card = last_col_card;
+  cp.epoch = synced_epoch_.load(std::memory_order_relaxed);
+  cp.rows = rows;
+  cp.delta = std::move(delta);
+  cp.last_used = ++tick_;
+  partitions_.emplace(attrs, std::move(cp));
+  partition_bytes_ += inserted_bytes;
+  keys_by_count_[attrs.Count()].push_back({attrs, mass, rows});
   // With a shared arbiter attached, eviction is global and happens when the
   // caller charges the arbiter after releasing mu_; the private budget is
   // inert.
@@ -606,7 +761,7 @@ void EntropyEngine::EvictToPrivateBudgetLocked(AttrSet spare) {
   }
 }
 
-void EntropyEngine::EvictPartitionLocked(
+void EntropyEngine::RemovePartitionLocked(
     std::unordered_map<AttrSet, CachedPartition, AttrSetHash>::iterator it) {
   const AttrSet attrs = it->first;
   partition_bytes_ -= it->second.partition->MemoryBytes();
@@ -618,6 +773,11 @@ void EntropyEngine::EvictPartitionLocked(
   *pos = bucket.back();
   bucket.pop_back();
   partitions_.erase(it);
+}
+
+void EntropyEngine::EvictPartitionLocked(
+    std::unordered_map<AttrSet, CachedPartition, AttrSetHash>::iterator it) {
+  RemovePartitionLocked(it);
   ++stats_.evictions;
 }
 
@@ -650,6 +810,10 @@ uint32_t EntropyEngine::PoolSizeFor(size_t n) const {
 
 void EntropyEngine::BatchEntropy(const AttrSet* sets, size_t n, double* out) {
   CatchUp();
+  // ONE pin for the whole batch: every term is evaluated over the same
+  // pinned prefix, so the batch is internally consistent even if appends
+  // land mid-flight.
+  const EpochPin pin = Pin();
   // Size the pool by *distinct misses*, not batch size: waking workers to
   // service cache hits costs more than the hits themselves (the miner
   // re-batches mostly-warm term lists every split round), and dispatching
@@ -659,24 +823,25 @@ void EntropyEngine::BatchEntropy(const AttrSet* sets, size_t n, double* out) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < n; ++i) {
-      if (!sets[i].Empty() &&
-          entropies_.find(sets[i]) == entropies_.end()) {
+      if (sets[i].Empty()) continue;
+      auto it = entropies_.find(sets[i]);
+      if (it == entropies_.end() || it->second.rows != pin.rows) {
         misses.push_back(sets[i]);
       }
     }
   }
   std::sort(misses.begin(), misses.end());
   misses.erase(std::unique(misses.begin(), misses.end()), misses.end());
-  const uint32_t pool = PoolSizeFor(misses.size());
+  const uint32_t pool = pin.rows == 0 ? 1 : PoolSizeFor(misses.size());
   if (pool > 1) {
     // Fill the cache from the deduped miss list in parallel, then read the
     // whole batch out of it below.
-    std::function<void(size_t)> fn = [this, &misses](size_t i) {
-      ComputeEntropy(misses[i]);
+    std::function<void(size_t)> fn = [this, &misses, pin](size_t i) {
+      ComputeEntropy(misses[i], pin);
     };
     pool_->Run(misses.size(), pool, fn);
   }
-  for (size_t i = 0; i < n; ++i) out[i] = Entropy(sets[i]);
+  for (size_t i = 0; i < n; ++i) out[i] = EntropyAt(sets[i], pin);
 }
 
 std::vector<double> EntropyEngine::BatchEntropy(
@@ -688,36 +853,41 @@ std::vector<double> EntropyEngine::BatchEntropy(
 
 void EntropyEngine::WarmEntropies(const std::vector<AttrSet>& sets) {
   CatchUp();
+  const EpochPin pin = Pin();
+  if (pin.rows == 0) return;
   std::vector<AttrSet> need;
   need.reserve(sets.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (AttrSet s : sets) {
-      if (!s.Empty() && entropies_.find(s) == entropies_.end()) {
+      if (s.Empty()) continue;
+      auto it = entropies_.find(s);
+      if (it == entropies_.end() || it->second.rows != pin.rows) {
         need.push_back(s);
       }
     }
   }
-  if (store_.NumRows() == 0) return;
   std::sort(need.begin(), need.end());
   need.erase(std::unique(need.begin(), need.end()), need.end());
   if (need.empty()) return;
   const uint32_t pool = PoolSizeFor(need.size());
   if (pool <= 1) {
-    for (AttrSet s : need) ComputeEntropy(s);
+    for (AttrSet s : need) ComputeEntropy(s, pin);
     return;
   }
-  std::function<void(size_t)> fn = [this, &need](size_t i) {
-    ComputeEntropy(need[i]);
+  std::function<void(size_t)> fn = [this, &need, pin](size_t i) {
+    ComputeEntropy(need[i], pin);
   };
   pool_->Run(need.size(), pool, fn);
 }
 
 void EntropyEngine::PrewarmSubsets(const std::vector<AttrSet>& sets) {
   CatchUp();
-  // Only sets without a materialized partition need work; sorting the
-  // survivors makes the serial fill order (and thus the exact cached
-  // values) independent of the caller's enumeration order.
+  const EpochPin pin = Pin();
+  if (pin.rows == 0) return;
+  // Only sets without a pin-current materialized partition need work;
+  // sorting the survivors makes the serial fill order (and thus the exact
+  // cached values) independent of the caller's enumeration order.
   std::vector<AttrSet> need;
   need.reserve(sets.size());
   {
@@ -725,21 +895,23 @@ void EntropyEngine::PrewarmSubsets(const std::vector<AttrSet>& sets) {
     for (AttrSet s : sets) {
       if (s.Empty()) continue;
       AJD_CHECK(s.IsSubsetOf(relation().schema().AllAttrs()));
-      if (partitions_.find(s) == partitions_.end()) need.push_back(s);
+      auto it = partitions_.find(s);
+      if (it == partitions_.end() || it->second.rows != pin.rows) {
+        need.push_back(s);
+      }
     }
   }
-  if (store_.NumRows() == 0) return;
   std::sort(need.begin(), need.end());
   need.erase(std::unique(need.begin(), need.end()), need.end());
   if (need.empty()) return;
 
   const uint32_t pool = PoolSizeFor(need.size());
   if (pool <= 1) {
-    for (AttrSet s : need) ComputeEntropy(s, /*materialize_final=*/true);
+    for (AttrSet s : need) ComputeEntropy(s, pin, /*materialize_final=*/true);
     return;
   }
-  std::function<void(size_t)> fn = [this, &need](size_t i) {
-    ComputeEntropy(need[i], /*materialize_final=*/true);
+  std::function<void(size_t)> fn = [this, &need, pin](size_t i) {
+    ComputeEntropy(need[i], pin, /*materialize_final=*/true);
   };
   pool_->Run(need.size(), pool, fn);
 }

@@ -16,27 +16,36 @@
 // product fits the fuse budget, they are applied as ONE fused composite
 // pass (engine/refine_kernels.h) instead of a refinement chain.
 //
-// Thread safety: all public methods are safe to call concurrently; the
-// caches are guarded by a mutex and the heavy refinement work runs outside
-// it. BatchEntropy evaluates independent terms on a WorkerPool
-// (engine/worker_pool.h) shared across engines — the shape of the miner's
-// candidate-split enumeration.
+// Thread safety: all public methods are safe to call concurrently — WHILE
+// THE RELATION IS BEING APPENDED TO. There is no quiescence rule. Readers
+// pin the (synced row count, epoch) pair they started with (Pin()) and
+// never look past it: cached entropies and partitions are tagged with the
+// row count they cover, pinned column/sketch views come from the column
+// store's RCU publication, and a reader of epoch k computes exactly the
+// cold answer over the first rows-at-k rows no matter how many epochs land
+// meanwhile. The caches are guarded by a mutex and the heavy refinement
+// work runs outside it. BatchEntropy evaluates independent terms on a
+// WorkerPool (engine/worker_pool.h) shared across engines — the shape of
+// the miner's candidate-split enumeration.
 //
 // Epochs: the engine follows its relation across batch appends
-// (relation/relation.h). Every query entry point first catches up to the
-// relation's epoch: the column store extends its dense columns and
-// sketches over the appended suffix, and every cached partition USED SINCE
-// THE LAST CATCH-UP is extended in place — each one records the column
-// chain that built it, and the delta paths (Partition::ExtendedOfColumn /
-// ExtendedBy) reproduce the cold replay of that chain bit-for-bit.
-// Partitions idle through the whole previous epoch are dropped instead
-// (extension costs O(mass); paying it for a dead miner intermediate every
-// batch would turn catch-up back into the O(cache) rebuild it replaces).
-// Stale entropy values are cleared; subsequent queries recompute them from
-// the extended partitions through the same XLogX-table accumulation the
-// cold kernels use. Catch-up is a write barrier: the caller must not run
-// queries concurrently with AppendBatch or with the first query after it
-// (the single-writer streaming contract; see core/streaming.h).
+// (relation/relation.h). Every query entry point calls CatchUp() first
+// (one atomic load when already synced). Catch-up is COOPERATIVE: the
+// first reader of a new epoch that wins a try-lock runs it — or a
+// dedicated maintenance thread does (engine/maintenance.h) — while every
+// other reader keeps serving off the previous stamp concurrently. The
+// catch-up owner CLAIMS the recently-used cached partitions (removing them
+// from the visible cache under the mutex), extends each along its recorded
+// chain OUTSIDE the mutex (Partition::ExtendedOfColumn / ExtendedBy
+// reproduce the cold replay of that chain bit-for-bit; readers that still
+// hold references force the copying path, sole-owner entries extend in
+// place), then PUBLISHES the extended generation and the new stamp
+// atomically. Partitions idle through the whole previous epoch are dropped
+// instead (extension costs O(mass); paying it for a dead miner
+// intermediate every batch would turn catch-up back into the O(cache)
+// rebuild it replaces). Stale entropy values are swept by row-count tag;
+// subsequent queries recompute them from the extended partitions through
+// the same XLogX-table accumulation the cold kernels use.
 #ifndef AJD_ENGINE_ENTROPY_ENGINE_H_
 #define AJD_ENGINE_ENTROPY_ENGINE_H_
 
@@ -58,6 +67,15 @@ namespace ajd {
 
 class CacheArbiter;  // engine/cache_arbiter.h
 class WorkerPool;    // engine/worker_pool.h
+
+/// A reader's pinned view of the relation: the synced row count and epoch
+/// the engine's caches covered when the pin was taken. Every value
+/// computed against a pin is the cold answer over the first `rows` rows —
+/// regardless of how many appends land while the reader runs.
+struct EpochPin {
+  uint64_t rows = 0;
+  uint64_t epoch = 0;
+};
 
 /// Tuning knobs for an EntropyEngine.
 struct EngineOptions {
@@ -148,8 +166,21 @@ class EntropyEngine {
   /// H(empty) = 0. Agrees with EntropyOf (info/entropy.h) up to
   /// floating-point accumulation order — the partition path sums c ln c
   /// in refinement order, which depends on prior query history, so expect
-  /// ~1e-12 relative agreement, not bit identity.
+  /// ~1e-12 relative agreement, not bit identity. Equivalent to
+  /// CatchUp() + EntropyAt(attrs, Pin()).
   double Entropy(AttrSet attrs);
+
+  /// The engine's current synchronized view: the row count and epoch a
+  /// reader starting now would be pinned to. One atomic load; safe
+  /// concurrently with appends and catch-ups.
+  EpochPin Pin() const;
+
+  /// H(attrs) over exactly the first pin.rows rows — the pinned-reader
+  /// entry point. Does NOT catch up: a reader holding a pin taken before
+  /// an append keeps getting the cold answer at its pinned epoch while
+  /// later epochs are published concurrently. Values computed at a
+  /// superseded pin bypass (and never pollute) the caches of newer pins.
+  double EntropyAt(AttrSet attrs, const EpochPin& pin);
 
   /// Evaluates n independent entropy terms, writing out[i] = H(sets[i]).
   /// Runs on the engine's thread pool when it pays; safe to call while
@@ -225,12 +256,15 @@ class EntropyEngine {
   }
 
   /// Synchronizes the engine with the relation's current epoch: extends
-  /// columns/sketches over the appended rows, delta-extends every cached
-  /// partition along its recorded chain, drops stale entropy values, and
-  /// revalidates the grown bytes with the cache arbiter (charging only the
-  /// delta). Every query entry point calls this first (one atomic load
-  /// when already synced). NOT safe to run concurrently with queries —
-  /// appends require the single-writer quiescence documented above.
+  /// columns/sketches over the appended rows, delta-extends the
+  /// recently-used cached partitions along their recorded chains, sweeps
+  /// stale entropy values, and settles the bytes with the cache arbiter.
+  /// Every query entry point calls this first (one atomic load when
+  /// already synced). SAFE concurrently with queries and with appends:
+  /// one caller wins the catch-up try-lock and becomes the owner; everyone
+  /// else returns immediately and keeps serving the previous stamp. A
+  /// dedicated maintenance thread (engine/maintenance.h) can call it
+  /// periodically to take the work off the query path entirely.
   void CatchUp();
 
   /// Test/introspection hook: the recorded build chain and current
@@ -248,6 +282,10 @@ class EntropyEngine {
     /// Relation epoch the partition covers (== the engine's synced epoch;
     /// catch-up revalidates entries in place rather than rebuilding them).
     uint64_t epoch = 0;
+    /// Row count the partition covers — the generation tag. Readers pinned
+    /// at a row count only consume entries with a matching tag; catch-up
+    /// sweeps mismatched entries when publishing a new generation.
+    uint64_t rows = 0;
     /// The full column-application recipe, from scratch: partition ==
     /// OfColumn(chain[0]).RefinedBy(chain[1])... (fused steps recorded
     /// flat — a fused pass is bit-identical to the chain in the same
@@ -264,35 +302,42 @@ class EntropyEngine {
     PartitionDelta delta;
   };
 
-  /// Computes H(attrs) on a cache miss; called without holding mu_. When
+  /// Computes H(attrs) at `pin` on a cache miss; called without holding
+  /// mu_. Reads only pin-consistent state: ColumnAt/SketchAt views frozen
+  /// at pin.rows and cached entries whose row tag equals pin.rows. When
   /// `materialize_final` is set, the last refinement step builds and caches
   /// the full partition of `attrs` instead of taking the fused
   /// entropy-only pass (the PrewarmSubsets path).
-  double ComputeEntropy(AttrSet attrs, bool materialize_final = false);
+  double ComputeEntropy(AttrSet attrs, const EpochPin& pin,
+                        bool materialize_final = false);
 
-  /// Inserts a partition with its build recipe; returns its heap bytes if
-  /// actually inserted (0 for duplicates). With no arbiter attached, also
-  /// evicts private-LRU entries past cache_budget_bytes; with one,
-  /// eviction is the arbiter's job and the caller charges it AFTER
-  /// releasing mu_. Requires mu_ held.
+  /// Inserts a partition with its build recipe and row tag; returns its
+  /// heap bytes if actually inserted (0 for duplicates — an existing entry
+  /// under the key, at any tag, is only touched, never replaced: the
+  /// current generation's entry must not be clobbered by a stale-pin
+  /// compute). With no arbiter attached, also evicts private-LRU entries
+  /// past cache_budget_bytes; with one, eviction is the arbiter's job and
+  /// the caller charges it AFTER releasing mu_. Requires mu_ held.
   size_t InsertPartitionLocked(AttrSet attrs,
                                std::shared_ptr<const Partition> p,
                                std::vector<uint32_t> chain,
-                               uint32_t last_col_card);
+                               uint32_t last_col_card, uint64_t rows,
+                               PartitionDelta delta);
 
   /// Evicts private-LRU entries until partition_bytes_ fits the private
   /// budget, sparing `spare` (the entry just touched). Requires mu_ held
   /// and no arbiter attached.
   void EvictToPrivateBudgetLocked(AttrSet spare);
 
-  /// The catch-up body: extends columns, sketches, and the RECENTLY USED
-  /// cached partitions to the relation's current size, dropping entries
-  /// idle since the previous catch-up (generational policy) and clearing
-  /// stale entropy values. Appends each surviving entry's (key, new bytes)
-  /// to `resized` and each dropped key to `dropped` for arbiter settlement
-  /// by the caller (outside mu_). Requires mu_.
-  void CatchUpLocked(std::vector<std::pair<AttrSet, size_t>>* resized,
-                     std::vector<AttrSet>* dropped);
+  /// The catch-up owner's body; runs with catchup_mu_ held and mu_ NOT
+  /// held. Three phases: CLAIM (under mu_: remove the recently-used cached
+  /// partitions from the visible cache, drop the generationally idle ones),
+  /// EXTEND (no locks: delta-extend each claimed entry along its recorded
+  /// chain against the target-rows column views), PUBLISH (under mu_:
+  /// sweep every remaining stale-tagged partition/entropy entry, reinsert
+  /// the extended generation, store the new stamp). Arbiter settlement —
+  /// discharge at claim/sweep, charge at publish — happens outside mu_.
+  void RunCatchUp(uint64_t target_epoch, uint64_t target_rows);
 
   /// The arbiter's evict callback: drops one cached partition (if still
   /// present) and counts the eviction. Takes mu_; never calls the arbiter
@@ -300,7 +345,16 @@ class EntropyEngine {
   void DropPartitionForArbiter(AttrSet attrs);
 
   /// Removes one cached partition — map entry, popcount-bucket index
-  /// entry, byte accounting — and counts the eviction. Requires mu_ held.
+  /// entry, byte accounting — WITHOUT counting an eviction (catch-up's
+  /// claim step uses it: claimed entries come back at publish). Requires
+  /// mu_ held.
+  void RemovePartitionLocked(
+      std::unordered_map<AttrSet, CachedPartition, AttrSetHash>::iterator
+          it);
+
+  /// RemovePartitionLocked plus the eviction counter — the true-eviction
+  /// form (budget pressure, generational drop, stale-generation sweep).
+  /// Requires mu_ held.
   void EvictPartitionLocked(
       std::unordered_map<AttrSet, CachedPartition, AttrSetHash>::iterator
           it);
@@ -323,15 +377,33 @@ class EntropyEngine {
   /// destruction. Arbiter calls are made only while mu_ is NOT held.
   std::shared_ptr<CacheArbiter> arbiter_;
 
+  /// Serializes catch-up owners. Acquired BEFORE mu_ (lock order:
+  /// catchup_mu_ -> mu_, catchup_mu_ -> column-store internals; never the
+  /// reverse) and held across the whole claim/extend/publish sequence;
+  /// CatchUp() only try-locks it, so readers never block on a running
+  /// catch-up.
+  std::mutex catchup_mu_;
+  /// The published stamp readers pin (atomic shared_ptr access). Written
+  /// only by the catch-up owner, last step of publish.
+  std::shared_ptr<const EpochPin> stamp_;
+
   mutable std::mutex mu_;
-  std::unordered_map<AttrSet, double, AttrSetHash> entropies_;
+  /// One cached entropy value and the row count it was computed over.
+  /// Lookups match the tag against the reader's pin; catch-up sweeps
+  /// stale tags at publish.
+  struct CachedEntropy {
+    double h = 0.0;
+    uint64_t rows = 0;
+  };
+  std::unordered_map<AttrSet, CachedEntropy, AttrSetHash> entropies_;
   std::unordered_map<AttrSet, CachedPartition, AttrSetHash> partitions_;
-  /// One cached-partition index entry: the key and its (immutable)
-  /// stripped mass, so the best-base scan prices candidates without a
-  /// hash lookup per key.
+  /// One cached-partition index entry: the key, its (immutable at a given
+  /// row tag) stripped mass, and the row tag, so the best-base scan prices
+  /// pin-consistent candidates without a hash lookup per key.
   struct KeyEntry {
     AttrSet set;
     uint64_t mass;
+    uint64_t rows;
   };
   /// Cached partition keys bucketed by popcount, so the best-base lookup
   /// scans the largest-subset levels first and stops at the first hit

@@ -1,0 +1,50 @@
+#include "engine/maintenance.h"
+
+#include "engine/entropy_engine.h"
+
+namespace ajd {
+
+EpochMaintenance::EpochMaintenance(EntropyEngine* engine,
+                                   std::chrono::microseconds poll)
+    : engine_(engine), poll_(poll), thread_([this] { Loop(); }) {}
+
+EpochMaintenance::~EpochMaintenance() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void EpochMaintenance::Poke() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pokes_;
+  }
+  cv_.notify_all();
+}
+
+void EpochMaintenance::Loop() {
+  uint64_t seen_pokes = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Wait for a poke, a stop, or the poll interval — whichever first.
+      // Missing a wakeup is harmless (the next poll catches up); the poke
+      // counter just keeps bursts from coalescing into a sleep.
+      cv_.wait_for(lock, poll_,
+                   [&] { return stop_ || pokes_ != seen_pokes; });
+      if (stop_) return;
+      seen_pokes = pokes_;
+    }
+    // Outside mu_: CatchUp can run long, and Poke must never block on it.
+    // A no-op when already synced (one atomic compare), so polling is
+    // cheap; when an epoch is pending this thread usually wins the
+    // catch-up try-lock simply because it gets there first, and readers
+    // keep serving the previous stamp throughout.
+    engine_->CatchUp();
+  }
+}
+
+}  // namespace ajd

@@ -1,0 +1,65 @@
+// EpochMaintenance: a dedicated catch-up thread for serve-while-ingest
+// deployments.
+//
+// EntropyEngine::CatchUp is cooperative by default — the first reader of a
+// new epoch that wins the catch-up try-lock pays the extension cost while
+// everyone else keeps serving the previous stamp. That is the right default
+// for single-threaded and bursty workloads, but under a steady query load
+// it taxes one unlucky reader per batch with the whole catch-up latency.
+// This helper moves that work OFF the query path: a background thread polls
+// the relation's epoch (and can be Poke()d by the appender right after a
+// batch lands) and runs the catch-up itself, so readers only ever take the
+// fast path — one atomic epoch compare, then a failed try_lock at worst.
+//
+// Everything here is plain composition of the engine's public, concurrency-
+// safe surface: the thread simply calls CatchUp() like any reader would,
+// and the engine's internal claim/extend/publish protocol does the rest.
+// One instance per engine; the engine (and its relation) must outlive it.
+#ifndef AJD_ENGINE_MAINTENANCE_H_
+#define AJD_ENGINE_MAINTENANCE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace ajd {
+
+class EntropyEngine;  // engine/entropy_engine.h
+
+class EpochMaintenance {
+ public:
+  /// Starts the maintenance thread. `poll` bounds how stale the engine can
+  /// go without a Poke (the thread re-checks the epoch at least this
+  /// often); appenders that Poke() after every batch can use a long poll.
+  explicit EpochMaintenance(
+      EntropyEngine* engine,
+      std::chrono::microseconds poll = std::chrono::microseconds(200));
+
+  /// Stops and joins the thread. Pending catch-up work is finished by the
+  /// next query's cooperative catch-up, so destruction never loses epochs.
+  ~EpochMaintenance();
+
+  EpochMaintenance(const EpochMaintenance&) = delete;
+  EpochMaintenance& operator=(const EpochMaintenance&) = delete;
+
+  /// Wakes the thread now — the appender's post-batch nudge, turning the
+  /// poll interval into a worst-case bound instead of the common case.
+  void Poke();
+
+ private:
+  void Loop();
+
+  EntropyEngine* engine_;
+  const std::chrono::microseconds poll_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t pokes_ = 0;   // guarded by mu_; counts wake requests
+  bool stop_ = false;    // guarded by mu_
+  std::thread thread_;   // started last, joined in the destructor
+};
+
+}  // namespace ajd
+
+#endif  // AJD_ENGINE_MAINTENANCE_H_

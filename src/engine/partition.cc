@@ -60,12 +60,14 @@ Partition Partition::OfColumn(const Column& col) {
   return out;
 }
 
-Partition Partition::RefinedBy(const Column& col, RefineKernel kernel) const {
+Partition Partition::RefinedBy(const Column& col, RefineKernel kernel,
+                               PartitionDelta* delta_out) const {
   Partition out;
   // The kernel stages into thread-local scratch and copies out at exact
   // size, so the result carries no dead capacity into the engine's cache.
   RefineByColumn(PartitionView{rows_.data(), starts_.data(), NumBlocks()},
-                 col, kernel, PartitionBuild{&out.rows_, &out.starts_});
+                 col, kernel, PartitionBuild{&out.rows_, &out.starts_},
+                 delta_out);
   return out;
 }
 

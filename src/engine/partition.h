@@ -22,20 +22,10 @@
 
 namespace ajd {
 
-/// Cross-epoch correspondence metadata for delta extension, produced by one
-/// extension and consumed by the next (engine/entropy_engine.h keeps one
-/// per cached partition). run_lengths[j] = how many of the partition's
-/// blocks came from block j of its DIRECT parent; parent_first_rows[j] =
-/// that parent block's first row (stable across appends, so it identifies
-/// the block in the extended parent without touching the old parent at
-/// all). With this in hand the next extension is SCAN-FREE: no
-/// row->block index to fill, no per-sub-block membership test, and the old
-/// parent partition need not even be retained — which in turn lets parents
-/// extend in place.
-struct PartitionDelta {
-  std::vector<uint32_t> run_lengths;
-  std::vector<uint32_t> parent_first_rows;
-};
+// PartitionDelta (the cross-epoch correspondence metadata consumed by the
+// delta-extension methods below) lives in engine/refine_kernels.h: the
+// refinement kernels emit it at build time, so the first catch-up after a
+// cold build is scan-free.
 
 /// A stripped partition of row indices. Value type; refinement returns a
 /// fresh partition and never mutates its input, so cached partitions can be
@@ -64,7 +54,14 @@ class Partition {
   Partition RefinedBy(const Column& col) const {
     return RefinedBy(col, RefineKernel::kAuto);
   }
-  Partition RefinedBy(const Column& col, RefineKernel kernel) const;
+  Partition RefinedBy(const Column& col, RefineKernel kernel) const {
+    return RefinedBy(col, kernel, nullptr);
+  }
+  /// Three-argument form additionally emits the parent->child
+  /// PartitionDelta at build time (one entry per block of `this`, in block
+  /// order), making the FIRST epoch catch-up of the result scan-free.
+  Partition RefinedBy(const Column& col, RefineKernel kernel,
+                      PartitionDelta* delta_out) const;
 
   /// H of the refined grouping WITHOUT materializing it: a single fused
   /// counting pass over the stripped rows. Equivalent to

@@ -656,9 +656,16 @@ uint64_t FusedCardinality(const Column* const* cols, size_t k,
 }
 
 void RefineByColumn(const PartitionView& in, const Column& col,
-                    RefineKernel kernel, const PartitionBuild& out) {
+                    RefineKernel kernel, const PartitionBuild& out,
+                    PartitionDelta* delta_out) {
   out.rows->clear();
   out.starts->clear();
+  if (delta_out != nullptr) {
+    delta_out->run_lengths.clear();
+    delta_out->run_lengths.reserve(in.num_blocks);
+    delta_out->parent_first_rows.clear();
+    delta_out->parent_first_rows.reserve(in.num_blocks);
+  }
   if (in.num_blocks == 0) return;
   const uint64_t mass = StrippedMass(in);
   if (kernel == RefineKernel::kAuto) {
@@ -690,15 +697,26 @@ void RefineByColumn(const PartitionView& in, const Column& col,
   uint32_t total = 0;
   uint32_t num_out = 0;
   out_starts[num_out++] = 0;
+  // Build-time delta: one (parent first row, emitted sub-blocks) entry per
+  // input block, in block order — zero-count entries included, which is
+  // exactly the correspondence Partition::ExtendedBy consumes scan-free.
+  auto emit_delta = [&](const uint32_t* begin, uint32_t emitted) {
+    if (delta_out != nullptr) {
+      delta_out->parent_first_rows.push_back(begin[0]);
+      delta_out->run_lengths.push_back(emitted);
+    }
+  };
 
   if (kernel == RefineKernel::kSort) {
     for (uint32_t b = 0; b < in.num_blocks; ++b) {
       const uint32_t* begin = in.rows + in.starts[b];
       const uint32_t* end = in.rows + in.starts[b + 1];
       const size_t m = static_cast<size_t>(end - begin);
+      const uint32_t before = num_out;
       if (m <= kTinyBlockMax) {
         total = TinyBlockRefine(begin, m, codes, out_rows, total, out_starts,
                                 &num_out);
+        emit_delta(begin, num_out - before);
         continue;
       }
       const size_t num_groups =
@@ -713,6 +731,7 @@ void RefineByColumn(const PartitionView& in, const Column& col,
         }
         out_starts[num_out++] = total;
       }
+      emit_delta(begin, num_out - before);
     }
   } else {
     const uint32_t* hard_end = in.rows + in.starts[in.num_blocks];
@@ -720,9 +739,11 @@ void RefineByColumn(const PartitionView& in, const Column& col,
       const uint32_t* begin = in.rows + in.starts[b];
       const uint32_t* end = in.rows + in.starts[b + 1];
       const size_t m = static_cast<size_t>(end - begin);
+      const uint32_t before = num_out;
       if (m <= kTinyBlockMax) {
         total = TinyBlockRefine(begin, m, codes, out_rows, total, out_starts,
                                 &num_out);
+        emit_delta(begin, num_out - before);
         continue;
       }
       const size_t t =
@@ -734,6 +755,7 @@ void RefineByColumn(const PartitionView& in, const Column& col,
       // emits nothing, and an unsplit block (one code) is copied verbatim.
       if (t == m) {
         for (size_t j = 0; j < t; ++j) scratch.count[scratch.touched[j]] = 0;
+        emit_delta(begin, 0);
         continue;
       }
       if (t == 1) {
@@ -741,6 +763,7 @@ void RefineByColumn(const PartitionView& in, const Column& col,
         total += static_cast<uint32_t>(m);
         out_starts[num_out++] = total;
         scratch.count[scratch.touched[0]] = 0;
+        emit_delta(begin, 1);
         continue;
       }
       const uint32_t base = total;
@@ -765,6 +788,7 @@ void RefineByColumn(const PartitionView& in, const Column& col,
       }
       // Reset touched counters once per block (t entries), not per row.
       for (size_t j = 0; j < t; ++j) scratch.count[scratch.touched[j]] = 0;
+      emit_delta(begin, num_out - before);
     }
   }
   out.rows->assign(out_rows, out_rows + total);

@@ -101,11 +101,30 @@ struct PartitionBuild {
   std::vector<uint32_t>* starts = nullptr;
 };
 
+/// Cross-epoch correspondence metadata for delta extension, produced by a
+/// refinement (at build time, see RefineByColumn) or by one extension and
+/// consumed by the next (engine/entropy_engine.h keeps one per cached
+/// partition). run_lengths[j] = how many of the partition's blocks came
+/// from block j of its DIRECT parent; parent_first_rows[j] = that parent
+/// block's first row (stable across appends, so it identifies the block in
+/// the extended parent without touching the old parent at all). With this
+/// in hand the next extension is SCAN-FREE: no row->block index to fill,
+/// no per-sub-block membership test, and the old parent partition need not
+/// even be retained — which in turn lets parents extend in place.
+struct PartitionDelta {
+  std::vector<uint32_t> run_lengths;
+  std::vector<uint32_t> parent_first_rows;
+};
+
 /// Refines `in` by `col` with the chosen kernel (kAuto dispatches), writing
 /// the result into `out` (cleared first). Output is identical across
-/// kernels.
+/// kernels. When `delta_out` is non-null it receives the parent->child
+/// correspondence (one entry per block of `in`, in block order, zero-count
+/// entries included) so the FIRST catch-up after this cold build is
+/// scan-free — costs one push_back pair per input block, nothing per row.
 void RefineByColumn(const PartitionView& in, const Column& col,
-                    RefineKernel kernel, const PartitionBuild& out);
+                    RefineKernel kernel, const PartitionBuild& out,
+                    PartitionDelta* delta_out = nullptr);
 
 /// Entropy of the refinement WITHOUT materializing it: ln n - (1/n) sum of
 /// c ln c over the refined blocks, accumulated in emission order (so the

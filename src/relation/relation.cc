@@ -18,23 +18,31 @@ uint64_t NextRelationUid() {
 
 }  // namespace
 
-Relation::Relation() : uid_(NextRelationUid()) {}
+Relation::Relation()
+    : data_(std::make_shared<std::vector<uint32_t>>()),
+      uid_(NextRelationUid()) {}
 
+// Copies and moves are quiesced-context operations (no concurrent appender
+// on `other`): they read the counters with plain loads and the buffer
+// non-atomically. A copy deep-copies the buffer so the source's future
+// in-place appends can never bleed into the copy.
 Relation::Relation(const Relation& other)
     : schema_(other.schema_),
-      data_(other.data_),
-      num_rows_(other.num_rows_),
+      data_(std::make_shared<std::vector<uint32_t>>(*other.data_)),
+      num_rows_(other.num_rows_.load(std::memory_order_relaxed)),
       dicts_(other.dicts_),
-      epoch_(other.epoch_),
+      epoch_(other.epoch_.load(std::memory_order_relaxed)),
       uid_(NextRelationUid()) {}
 
 Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;
   schema_ = other.schema_;
-  data_ = other.data_;
-  num_rows_ = other.num_rows_;
+  data_ = std::make_shared<std::vector<uint32_t>>(*other.data_);
+  num_rows_.store(other.num_rows_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
   dicts_ = other.dicts_;
-  epoch_ = other.epoch_;
+  epoch_.store(other.epoch_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
   uid_ = NextRelationUid();
   row_index_.reset();
   return *this;
@@ -43,13 +51,14 @@ Relation& Relation::operator=(const Relation& other) {
 Relation::Relation(Relation&& other) noexcept
     : schema_(std::move(other.schema_)),
       data_(std::move(other.data_)),
-      num_rows_(other.num_rows_),
+      num_rows_(other.num_rows_.load(std::memory_order_relaxed)),
       dicts_(std::move(other.dicts_)),
-      epoch_(other.epoch_),
+      epoch_(other.epoch_.load(std::memory_order_relaxed)),
       uid_(other.uid_),
       row_index_(std::move(other.row_index_)) {
-  other.num_rows_ = 0;
-  other.epoch_ = 0;
+  other.data_ = std::make_shared<std::vector<uint32_t>>();
+  other.num_rows_.store(0, std::memory_order_relaxed);
+  other.epoch_.store(0, std::memory_order_relaxed);
   other.uid_ = 0;  // husk; see header. (0 is never a live uid.)
 }
 
@@ -57,15 +66,31 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   if (this == &other) return *this;
   schema_ = std::move(other.schema_);
   data_ = std::move(other.data_);
-  num_rows_ = other.num_rows_;
+  num_rows_.store(other.num_rows_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
   dicts_ = std::move(other.dicts_);
-  epoch_ = other.epoch_;
+  epoch_.store(other.epoch_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
   uid_ = other.uid_;
   row_index_ = std::move(other.row_index_);
-  other.num_rows_ = 0;
-  other.epoch_ = 0;
+  other.data_ = std::make_shared<std::vector<uint32_t>>();
+  other.num_rows_.store(0, std::memory_order_relaxed);
+  other.epoch_.store(0, std::memory_order_relaxed);
   other.uid_ = 0;
   return *this;
+}
+
+RowsSnapshot Relation::Snapshot() const {
+  RowsSnapshot snap;
+  // Order matters: the row count is loaded FIRST (acquire), the buffer
+  // second. The buffer pointer only ever moves forward (regrows copy the
+  // full committed prefix), so the buffer loaded after the count is the
+  // same or newer and contains at least `num_rows` committed rows.
+  snap.num_rows = num_rows_.load(std::memory_order_acquire);
+  snap.keepalive = std::atomic_load_explicit(&data_, std::memory_order_acquire);
+  snap.data = snap.keepalive->data();
+  snap.width = NumAttrs();
+  return snap;
 }
 
 uint32_t Dictionary::Intern(const std::string& value) {
@@ -109,11 +134,28 @@ void Relation::AppendCodesUnchecked(const std::vector<uint32_t>& flat,
                                     uint64_t rows, bool dedupe) {
   const uint32_t width = NumAttrs();
   if (rows == 0 || width == 0) return;
+  const uint64_t committed = num_rows_.load(std::memory_order_relaxed);
   if (dedupe && row_index_ == nullptr) {
     // First deduped append: index every existing row once (O(N)); later
     // appends pay only their own rows.
-    row_index_ = std::make_unique<TupleCounter>(width, num_rows_ + rows);
-    for (uint64_t i = 0; i < num_rows_; ++i) row_index_->Add(Row(i));
+    row_index_ = std::make_unique<TupleCounter>(width, committed + rows);
+    for (uint64_t i = 0; i < committed; ++i) row_index_->Add(Row(i));
+  }
+  // RCU storage discipline: concurrent readers hold RowsSnapshot pins into
+  // the current buffer, so committed bytes are immutable. Reserve the
+  // worst-case capacity UP FRONT — if the current buffer can't hold the
+  // whole batch, the committed prefix is copied into a fresh buffer
+  // published with an atomic store (pinned readers keep the old one alive)
+  // and every per-row insert below is then guaranteed in place.
+  const uint64_t need = (committed + rows) * static_cast<uint64_t>(width);
+  std::vector<uint32_t>* buf = data_.get();
+  if (need > buf->capacity()) {
+    auto grown = std::make_shared<std::vector<uint32_t>>();
+    grown->reserve(std::max<uint64_t>(2 * buf->capacity(), need));
+    grown->insert(grown->end(), buf->begin(), buf->end());
+    buf = grown.get();
+    std::atomic_store_explicit(&data_, std::move(grown),
+                               std::memory_order_release);
   }
   uint64_t appended = 0;
   std::vector<uint64_t> max_code(width, 0);
@@ -127,18 +169,27 @@ void Relation::AppendCodesUnchecked(const std::vector<uint32_t>& flat,
       // Keep a previously built index exact across multiset appends too.
       row_index_->Add(row);
     }
-    data_.insert(data_.end(), row, row + width);
+    buf->insert(buf->end(), row, row + width);
     ++appended;
     for (uint32_t a = 0; a < width; ++a) {
       max_code[a] = std::max<uint64_t>(max_code[a], row[a]);
     }
   }
   if (appended == 0) return;
-  num_rows_ += appended;
+  // Domain sizes grow before the rows publish so a reader that sees the new
+  // rows also sees domains covering them. (Schema counters are
+  // appender-side state; concurrent readers only use the attribute count,
+  // which never changes.)
   for (uint32_t a = 0; a < width; ++a) {
     schema_.EnsureDomainSize(a, max_code[a] + 1);
   }
-  ++epoch_;
+  // Publication order: row bytes are fully written above; release the row
+  // count, then release the epoch. Readers pair acquire loads in the
+  // opposite order (epoch first), so a reader at epoch e sees at least the
+  // rows of epoch e.
+  num_rows_.store(committed + appended, std::memory_order_release);
+  epoch_.store(epoch_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_release);
 }
 
 Status Relation::AppendBatch(const std::vector<std::vector<uint32_t>>& rows,
@@ -173,7 +224,7 @@ Status Relation::AppendStringBatch(
   // A non-empty relation built from raw codes has no dictionary to intern
   // into: inventing one here would assign fresh codes starting at 0, which
   // ALIAS the existing raw code space — silent corruption, not an append.
-  if (num_rows_ > 0) {
+  if (NumRows() > 0) {
     for (uint32_t a = 0; a < width; ++a) {
       if (a >= dicts_.size() || !dicts_[a].has_value()) {
         return Status::InvalidArgument(
@@ -200,19 +251,21 @@ Status Relation::AppendStringBatch(
 }
 
 bool Relation::HasDuplicateRows() const {
-  return NumDistinctRows() != num_rows_;
+  return NumDistinctRows() != NumRows();
 }
 
 uint64_t Relation::NumDistinctRows() const {
-  if (num_rows_ == 0) return 0;
-  TupleCounter counter(NumAttrs(), num_rows_);
-  for (uint64_t i = 0; i < num_rows_; ++i) counter.Add(Row(i));
+  const uint64_t n = NumRows();
+  if (n == 0) return 0;
+  TupleCounter counter(NumAttrs(), n);
+  for (uint64_t i = 0; i < n; ++i) counter.Add(Row(i));
   return counter.NumDistinct();
 }
 
 bool Relation::ContainsRow(const uint32_t* row) const {
   const uint32_t width = NumAttrs();
-  for (uint64_t i = 0; i < num_rows_; ++i) {
+  const uint64_t n = NumRows();
+  for (uint64_t i = 0; i < n; ++i) {
     if (std::memcmp(Row(i), row, width * sizeof(uint32_t)) == 0) return true;
   }
   return false;
@@ -237,14 +290,15 @@ std::string Relation::RowToString(uint64_t i) const {
 }
 
 std::string Relation::ToString(uint64_t max_rows) const {
+  const uint64_t n = NumRows();
   std::string out = "Relation[" + schema_.ToString() + "] N=" +
-                    std::to_string(num_rows_) + "\n";
-  uint64_t shown = std::min(num_rows_, max_rows);
+                    std::to_string(n) + "\n";
+  uint64_t shown = std::min(n, max_rows);
   for (uint64_t i = 0; i < shown; ++i) {
     out += "  " + RowToString(i) + "\n";
   }
-  if (shown < num_rows_) {
-    out += "  ... (" + std::to_string(num_rows_ - shown) + " more)\n";
+  if (shown < n) {
+    out += "  ... (" + std::to_string(n - shown) + " more)\n";
   }
   return out;
 }
@@ -299,19 +353,20 @@ Relation RelationBuilder::Build(bool dedupe) && {
         unique.insert(unique.end(), row, row + width);
       }
     }
-    r.data_ = std::move(unique);
-    r.num_rows_ = r.data_.size() / width;
+    r.data_ = std::make_shared<std::vector<uint32_t>>(std::move(unique));
+    r.num_rows_.store(r.data_->size() / width, std::memory_order_relaxed);
   } else {
-    r.data_ = std::move(data_);
-    r.num_rows_ = num_rows_;
+    r.data_ = std::make_shared<std::vector<uint32_t>>(std::move(data_));
+    r.num_rows_.store(num_rows_, std::memory_order_relaxed);
   }
   // Grow domain sizes to cover observed codes.
+  const uint64_t built_rows = r.NumRows();
   for (uint32_t a = 0; a < width; ++a) {
     uint64_t max_code = 0;
-    for (uint64_t i = 0; i < r.num_rows_; ++i) {
+    for (uint64_t i = 0; i < built_rows; ++i) {
       max_code = std::max<uint64_t>(max_code, r.Row(i)[a]);
     }
-    if (r.num_rows_ > 0) r.schema_.EnsureDomainSize(a, max_code + 1);
+    if (built_rows > 0) r.schema_.EnsureDomainSize(a, max_code + 1);
   }
   return r;
 }

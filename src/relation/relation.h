@@ -15,9 +15,22 @@
 // the appended suffix. A process-unique id (uid) distinguishes "the same
 // relation, grown" from "a different relation that happens to reuse the
 // address" (engine/analysis_session.h keys engines by address).
+//
+// CONCURRENCY: appends publish RCU-style, so readers never quiesce.
+// Committed row bytes are immutable — the single appender writes only past
+// the committed prefix, and when capacity runs out the data moves to a NEW
+// buffer published with an atomic pointer store (readers pin the old one
+// alive through Snapshot()). Publication order is: row bytes, then
+// NumRows() (release), then epoch() (release). A reader that loads the
+// epoch FIRST and the row count second therefore sees at least every row
+// of that epoch, and rows [0, NumRows()) are always fully written.
+// Appends themselves are single-writer (one appending thread at a time);
+// dictionaries, schema domain sizes, and the dedupe index are
+// appender-side state with no reader-safe access.
 #ifndef AJD_RELATION_RELATION_H_
 #define AJD_RELATION_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -32,6 +45,20 @@
 #include "util/status.h"
 
 namespace ajd {
+
+/// A pinned, immutable view of a relation's committed rows, safe to read
+/// while the appender keeps appending. `keepalive` holds the storage alive
+/// across buffer regrows; `data`/`num_rows` never change after the snapshot
+/// is taken, and every row in [0, num_rows) is fully written.
+struct RowsSnapshot {
+  std::shared_ptr<const std::vector<uint32_t>> keepalive;
+  const uint32_t* data = nullptr;
+  uint64_t num_rows = 0;
+  uint32_t width = 0;
+
+  const uint32_t* Row(uint64_t i) const { return data + i * width; }
+  uint32_t At(uint64_t i, uint32_t pos) const { return Row(i)[pos]; }
+};
 
 /// Per-attribute dictionary mapping string values to dense codes.
 class Dictionary {
@@ -84,27 +111,39 @@ class Relation {
   /// The schema.
   const Schema& schema() const { return schema_; }
 
-  /// Number of rows, N = |R|.
-  uint64_t NumRows() const { return num_rows_; }
+  /// Number of committed rows, N = |R| (acquire: every row below the
+  /// returned count is fully written, even when read concurrently with an
+  /// append).
+  uint64_t NumRows() const { return num_rows_.load(std::memory_order_acquire); }
 
   /// Number of attributes.
   uint32_t NumAttrs() const { return schema_.size(); }
 
-  /// Pointer to row `i` (NumAttrs() codes).
+  /// Pointer to row `i` (NumAttrs() codes). APPENDER-SIDE / quiesced use
+  /// only: the backing buffer can move under a concurrent append. Threads
+  /// racing with an appender must read rows through Snapshot().
   const uint32_t* Row(uint64_t i) const {
-    return data_.data() + i * NumAttrs();
+    return data_->data() + i * NumAttrs();
   }
 
-  /// Value of attribute `pos` in row `i`.
+  /// Value of attribute `pos` in row `i` (same caveat as Row()).
   uint32_t At(uint64_t i, uint32_t pos) const { return Row(i)[pos]; }
 
-  /// Raw row-major data (NumRows() * NumAttrs() codes).
-  const std::vector<uint32_t>& data() const { return data_; }
+  /// Raw row-major data (NumRows() * NumAttrs() codes; same caveat as
+  /// Row()).
+  const std::vector<uint32_t>& data() const { return *data_; }
+
+  /// Pins the current committed rows for concurrent reading. The snapshot
+  /// is immutable: its row count and bytes never change while held, no
+  /// matter how many appends land after it is taken.
+  RowsSnapshot Snapshot() const;
 
   /// Data version: 0 at construction, +1 per batch append that actually
   /// added rows. Epoch-aware consumers compare this against the epoch they
-  /// last synced to and process only the appended suffix.
-  uint64_t epoch() const { return epoch_; }
+  /// last synced to and process only the appended suffix. Published with
+  /// release semantics AFTER NumRows(): a reader that loads the epoch first
+  /// and the row count second sees at least every row of that epoch.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// Process-unique identity of this relation's content lineage (stable
   /// across appends; fresh for every newly built relation). Used by
@@ -167,10 +206,15 @@ class Relation {
                             uint64_t rows, bool dedupe);
 
   Schema schema_;
-  std::vector<uint32_t> data_;
-  uint64_t num_rows_ = 0;
+  /// Row-major code storage behind a shared pointer so concurrent readers
+  /// can pin the buffer across capacity regrows: the appender writes new
+  /// rows in place while capacity lasts (committed bytes are never
+  /// touched), and publishes a NEW buffer with std::atomic_store when it
+  /// must regrow. Never null.
+  std::shared_ptr<std::vector<uint32_t>> data_;
+  std::atomic<uint64_t> num_rows_{0};
   std::vector<std::optional<Dictionary>> dicts_;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_{0};
   uint64_t uid_ = 0;
   /// Exact row-membership index for deduped appends; built lazily on the
   /// first AppendBatch(dedupe=true) and maintained incrementally after.

@@ -80,9 +80,7 @@ TEST(Partition, TrivialAndColumnBasics) {
   EXPECT_EQ(all.BlockSize(0), 5u);
   EXPECT_NEAR(all.EntropyNats(5), 0.0, 1e-12);
 
-  Column col;
-  col.codes = {0, 1, 0, 2, 1, 0};
-  col.cardinality = 3;
+  Column col = MakeOwnedColumn({0, 1, 0, 2, 1, 0}, 3);
   Partition p = Partition::OfColumn(col);
   // Code 0 has 3 rows, code 1 has 2; code 2 is a stripped singleton.
   ASSERT_EQ(p.NumBlocks(), 2u);
@@ -347,20 +345,18 @@ void ExpectSamePartition(const Partition& want, const Partition& got,
 // A synthetic dense column; skew > 0 concentrates mass on low codes.
 Column SyntheticColumn(Rng* rng, uint32_t rows, uint32_t cardinality,
                        double skew) {
-  Column col;
-  col.cardinality = cardinality;
-  col.codes.resize(rows);
+  std::vector<uint32_t> codes(rows);
   for (uint32_t i = 0; i < rows; ++i) {
     if (skew == 0.0) {
-      col.codes[i] = static_cast<uint32_t>(rng->UniformU64(cardinality));
+      codes[i] = static_cast<uint32_t>(rng->UniformU64(cardinality));
     } else {
       const double u = rng->NextDouble();
       uint32_t c = static_cast<uint32_t>(std::pow(u, 1.0 + skew) *
                                          cardinality);
-      col.codes[i] = c >= cardinality ? cardinality - 1 : c;
+      codes[i] = c >= cardinality ? cardinality - 1 : c;
     }
   }
-  return col;
+  return MakeOwnedColumn(std::move(codes), cardinality);
 }
 
 TEST(RefineKernels, AllStrategiesMatchScalarAcrossCardinalityAndSkew) {
@@ -445,19 +441,19 @@ TEST(Partition, OfColumnNearKeySortPathMatchesCountingConstruction) {
   // provably what the counting construction emits.
   Rng rng(922);
   const uint32_t kRows = 400;
-  Column col;
-  col.cardinality = 0;
-  col.codes.resize(kRows);
+  std::vector<uint32_t> codes(kRows);
+  uint32_t cardinality = 0;
   std::unordered_map<uint64_t, uint32_t> dense;
   for (uint32_t i = 0; i < kRows; ++i) {
     // ~70% unique raw values, densified first-occurrence.
     const uint64_t raw = rng.UniformU64(3 * kRows);
-    auto [it, inserted] = dense.emplace(raw, col.cardinality);
-    if (inserted) ++col.cardinality;
-    col.codes[i] = it->second;
+    auto [it, inserted] = dense.emplace(raw, cardinality);
+    if (inserted) ++cardinality;
+    codes[i] = it->second;
   }
-  col.cardinality = std::max(col.cardinality, kRows);  // force sort path
-  ASSERT_GE(col.cardinality, kRows);
+  cardinality = std::max(cardinality, kRows);  // force sort path
+  ASSERT_GE(cardinality, kRows);
+  Column col = MakeOwnedColumn(std::move(codes), cardinality);
   Partition via_of_column = Partition::OfColumn(col);
   Partition via_refine =
       Partition::Trivial(kRows).RefinedBy(col, RefineKernel::kDense);

@@ -11,11 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/analysis_session.h"
@@ -259,6 +262,123 @@ TEST(WorkerPool, BusyPoolRunsSubmitterInlineInsteadOfWaiting) {
   EXPECT_EQ(processed.load(), 3);
   second_done.store(true);
   first.join();
+}
+
+// --- Serve-while-ingest: readers pinned across appends -------------------
+
+TEST(SessionStress, MultiReaderSingleAppenderSoakHoldsValueAndBudget) {
+  // One appender thread grows a relation under the session while reader
+  // threads pin and query it — no quiescence, catch-up running
+  // cooperatively on whichever reader wins the try-lock, under enough
+  // arbiter pressure that claims, evictions, and publishes interleave.
+  // Every observed value must match the cold reference at the reader's
+  // pinned row count, and the budget invariant must hold at the end. The
+  // TSan CI leg runs this test.
+  Rng rng(970);
+  const uint32_t num_attrs = 4;
+  const uint32_t domain = 3;
+  const uint32_t kBatches = 5;
+  auto draw_rows = [&rng, num_attrs, domain](uint32_t count) {
+    std::vector<std::vector<uint32_t>> rows(
+        count, std::vector<uint32_t>(num_attrs));
+    for (auto& row : rows) {
+      for (uint32_t a = 0; a < num_attrs; ++a) {
+        row[a] = static_cast<uint32_t>(rng.UniformU64(domain));
+      }
+    }
+    return rows;
+  };
+  auto rows = draw_rows(100);
+  std::vector<std::vector<std::vector<uint32_t>>> batches;
+  for (uint32_t k = 0; k < kBatches; ++k) batches.push_back(draw_rows(40));
+
+  auto from_rows = [num_attrs](
+                       const std::vector<std::vector<uint32_t>>& content) {
+    std::vector<uint64_t> dims(num_attrs, 2);
+    RelationBuilder b(Schema::MakeSynthetic(dims).value());
+    for (const auto& row : content) b.AddRow(row);
+    return std::move(b).Build(/*dedupe=*/false);
+  };
+  // Cold reference at every batch boundary (the only pinnable row counts).
+  std::unordered_map<uint64_t, std::vector<double>> expected;
+  {
+    auto prefix = rows;
+    auto record = [&] {
+      Relation cold = from_rows(prefix);
+      std::vector<double> vals(16, 0.0);
+      for (uint64_t mask = 1; mask < 16; ++mask) {
+        vals[mask] = EntropyOf(cold, AttrSet::FromMask(mask));
+      }
+      expected[prefix.size()] = std::move(vals);
+    };
+    record();
+    for (const auto& batch : batches) {
+      prefix.insert(prefix.end(), batch.begin(), batch.end());
+      record();
+    }
+  }
+
+  SessionOptions opts;
+  opts.cache_budget_bytes = 24 << 10;  // small: evictions mid-soak
+  AnalysisSession session(opts);
+  Relation r = from_rows(rows);
+  EntropyEngine& engine = session.EngineFor(r);
+  engine.Entropy(AttrSet{0, 1});
+
+  struct Obs {
+    uint64_t rows;
+    uint32_t mask;
+    double h;
+  };
+  constexpr int kReaders = 4;
+  std::vector<std::vector<Obs>> observed(kReaders);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&engine, &observed, &done, t] {
+      Rng trng(9800 + static_cast<uint64_t>(t));
+      auto& out = observed[static_cast<size_t>(t)];
+      while (!done.load(std::memory_order_acquire)) {
+        // No maintenance thread here: catch-up is purely cooperative, so
+        // readers poll for new epochs themselves.
+        if (trng.Bernoulli(0.5)) engine.CatchUp();
+        const EpochPin pin = engine.Pin();
+        for (int q = 0; q < 3; ++q) {
+          const uint32_t mask =
+              1 + static_cast<uint32_t>(trng.UniformU64(15));
+          out.push_back({pin.rows, mask,
+                         engine.EntropyAt(AttrSet::FromMask(mask), pin)});
+        }
+      }
+    });
+  }
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(r.AppendBatch(batch).ok());
+    std::this_thread::sleep_for(std::chrono::microseconds(400));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  size_t checked = 0;
+  for (const auto& per_thread : observed) {
+    for (const Obs& o : per_thread) {
+      auto it = expected.find(o.rows);
+      ASSERT_NE(it, expected.end()) << "pin at non-boundary rows " << o.rows;
+      EXPECT_NEAR(o.h, it->second[o.mask], 1e-9)
+          << "rows " << o.rows << " mask " << o.mask;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+  engine.CatchUp();
+  const std::vector<double>& final_vals = expected.at(r.NumRows());
+  for (uint64_t mask = 1; mask < 16; ++mask) {
+    EXPECT_NEAR(engine.Entropy(AttrSet::FromMask(mask)), final_vals[mask],
+                1e-9)
+        << mask;
+  }
+  EXPECT_LE(session.CacheBytes(), *opts.cache_budget_bytes);
 }
 
 // --- Cross-engine concurrency on one arbiter ----------------------------

@@ -4,13 +4,18 @@
 // ingestion without materializing the whole relation.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/streaming.h"
+#include "engine/entropy_engine.h"
 #include "info/entropy.h"
 #include "info/j_measure.h"
 #include "io/csv.h"
@@ -122,6 +127,141 @@ TEST(Streaming, DriftTriggersRemineAndResetsBaseline) {
   // The re-mined tree is a valid tree over the schema and is what J is
   // now tracked against.
   EXPECT_NEAR(JMeasure(r, monitor.tree()), monitor.BaselineJ(), 1e-9);
+}
+
+TEST(Streaming, RelativeDriftPolicyScalesMarginWithBaselineAndFloor) {
+  // Identical structured-then-noise streams under three drift configs:
+  //   absolute 0.05                    -> re-mines (the control, as above);
+  //   relative 0.5 with a 10-nat floor -> margin = max(0.5 * |0|, 10):
+  //                                       the floor absorbs the drift, no
+  //                                       re-mine;
+  //   relative 0.5 with a 0.01 floor   -> margin = 0.01 near the zero
+  //                                       baseline: re-mines like the
+  //                                       control.
+  Rng rng(8802);
+  const uint32_t num_attrs = 3;
+  std::vector<std::vector<uint32_t>> structured;
+  for (uint32_t i = 0; i < 40; ++i) {
+    const uint32_t x = i % 6;
+    structured.push_back({x, x, x});
+  }
+  std::vector<std::vector<std::vector<uint32_t>>> batches;
+  for (int k = 0; k < 6; ++k) {
+    batches.push_back(RandomRows(&rng, num_attrs, 6, 60));
+  }
+
+  auto remines_under = [&](DriftPolicy policy, double floor_nats) {
+    Relation r = EmptyRelation(num_attrs, 6);
+    EXPECT_TRUE(r.AppendBatch(structured).ok());
+    StreamingOptions opts;
+    opts.drift_threshold = policy == DriftPolicy::kAbsolute ? 0.05 : 0.5;
+    opts.drift_policy = policy;
+    opts.drift_floor_nats = floor_nats;
+    Result<StreamingLossMonitor> made =
+        StreamingLossMonitor::WithMinedTree(&r, opts);
+    EXPECT_TRUE(made.ok());
+    StreamingLossMonitor monitor = std::move(made).value();
+    EXPECT_NEAR(monitor.BaselineJ(), 0.0, 1e-9);
+    for (const auto& batch : batches) {
+      Result<StreamingPoint> point = monitor.IngestBatch(batch);
+      EXPECT_TRUE(point.ok());
+    }
+    return monitor.NumRemines();
+  };
+
+  EXPECT_GT(remines_under(DriftPolicy::kAbsolute, 0.01), 0u);
+  EXPECT_EQ(remines_under(DriftPolicy::kRelative, 10.0), 0u);
+  EXPECT_GT(remines_under(DriftPolicy::kRelative, 0.01), 0u);
+}
+
+TEST(StreamingConcurrency, PinnedQueriesDuringIngestStayExact) {
+  // Readers query the monitor's session WHILE batches are ingested: each
+  // reader pins the (rows, epoch) stamp it starts with and must get the
+  // cold answer at exactly that prefix, even as the monitor's own
+  // J-evaluation drives catch-up concurrently. The TSan CI leg runs this.
+  Rng rng(8900);
+  const uint32_t num_attrs = 3;
+  const uint32_t domain = 3;
+  Relation r = EmptyRelation(num_attrs, domain);
+  auto rows = RandomRows(&rng, num_attrs, domain, 40);
+  ASSERT_TRUE(r.AppendBatch(rows).ok());
+  const uint32_t kBatches = 4;
+  std::vector<std::vector<std::vector<uint32_t>>> batches;
+  for (uint32_t k = 0; k < kBatches; ++k) {
+    batches.push_back(RandomRows(&rng, num_attrs, domain, 20));
+  }
+  // Cold reference at every batch boundary.
+  std::unordered_map<uint64_t, std::vector<double>> expected;
+  {
+    auto prefix = rows;
+    auto record = [&] {
+      Relation cold = EmptyRelation(num_attrs, domain);
+      ASSERT_TRUE(cold.AppendBatch(prefix).ok());
+      std::vector<double> vals(8, 0.0);
+      for (uint64_t mask = 1; mask < 8; ++mask) {
+        vals[mask] = EntropyOf(cold, AttrSet::FromMask(mask));
+      }
+      expected[prefix.size()] = std::move(vals);
+    };
+    record();
+    for (const auto& batch : batches) {
+      prefix.insert(prefix.end(), batch.begin(), batch.end());
+      record();
+    }
+  }
+
+  JoinTree tree =
+      JoinTree::Path({AttrSet{0, 1}, AttrSet{1, 2}}).value();
+  StreamingOptions opts;
+  opts.drift_threshold = 0.0;  // fixed tree
+  StreamingLossMonitor monitor(&r, tree, opts);
+  EntropyEngine& engine = monitor.session().EngineFor(r);
+
+  struct Obs {
+    uint64_t rows;
+    uint32_t mask;
+    double h;
+  };
+  constexpr int kReaders = 2;
+  std::vector<std::vector<Obs>> observed(kReaders);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&engine, &observed, &done, t] {
+      Rng trng(9900 + static_cast<uint64_t>(t));
+      auto& out = observed[static_cast<size_t>(t)];
+      while (!done.load(std::memory_order_acquire)) {
+        const EpochPin pin = engine.Pin();
+        for (int q = 0; q < 2; ++q) {
+          const uint32_t mask =
+              1 + static_cast<uint32_t>(trng.UniformU64(7));
+          out.push_back({pin.rows, mask,
+                         engine.EntropyAt(AttrSet::FromMask(mask), pin)});
+        }
+      }
+    });
+  }
+  for (const auto& batch : batches) {
+    Result<StreamingPoint> point = monitor.IngestBatch(batch);
+    ASSERT_TRUE(point.ok());
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  size_t checked = 0;
+  for (const auto& per_thread : observed) {
+    for (const Obs& o : per_thread) {
+      auto it = expected.find(o.rows);
+      ASSERT_NE(it, expected.end()) << "pin at non-boundary rows " << o.rows;
+      EXPECT_NEAR(o.h, it->second[o.mask], 1e-9)
+          << "rows " << o.rows << " mask " << o.mask;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_NEAR(monitor.trajectory().back().j, JMeasure(r, tree), 1e-9);
 }
 
 TEST(Streaming, PointJsonLineIsWellFormed) {
