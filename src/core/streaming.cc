@@ -10,6 +10,7 @@
 #include "info/j_measure.h"
 #include "io/csv.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace ajd {
 
@@ -49,12 +50,29 @@ StreamingLossMonitor::StreamingLossMonitor(Relation* r, JoinTree tree,
   AJD_CHECK_MSG(
       tree_.AllAttrs().IsSubsetOf(r_->schema().AllAttrs()),
       "monitored tree mentions attributes outside the relation's schema");
-  j_at_mine_ = CurrentJ();
+  j_at_mine_ = CurrentJ(tree_);
+}
+
+Result<StreamingLossMonitor> StreamingLossMonitor::Create(
+    Relation* r, JoinTree tree, StreamingOptions options) {
+  if (r == nullptr) {
+    return Status::InvalidArgument(
+        "StreamingLossMonitor: relation must be non-null");
+  }
+  if (!tree.AllAttrs().IsSubsetOf(r->schema().AllAttrs())) {
+    return Status::InvalidArgument(
+        "StreamingLossMonitor: monitored tree mentions attributes outside "
+        "the relation's schema");
+  }
+  return StreamingLossMonitor(r, std::move(tree), std::move(options));
 }
 
 Result<StreamingLossMonitor> StreamingLossMonitor::WithMinedTree(
     Relation* r, StreamingOptions options) {
-  AJD_CHECK(r != nullptr);
+  if (r == nullptr) {
+    return Status::InvalidArgument(
+        "StreamingLossMonitor: relation must be non-null");
+  }
   // Start from the trivial one-bag tree (J = 0 by construction), then mine
   // through the monitor's own session so the miner's terms pre-warm the
   // monitoring cache.
@@ -67,11 +85,11 @@ Result<StreamingLossMonitor> StreamingLossMonitor::WithMinedTree(
       MineJoinTree(&monitor.session(), *r, monitor.options_.miner);
   if (!mined.ok()) return mined.status();
   monitor.tree_ = std::move(mined).value().tree;
-  monitor.j_at_mine_ = monitor.CurrentJ();
+  monitor.j_at_mine_ = monitor.CurrentJ(monitor.tree_);
   return monitor;
 }
 
-double StreamingLossMonitor::CurrentJ() {
+double StreamingLossMonitor::CurrentJ(const JoinTree& tree) {
   // The calculator shares the session's engine for r_, which catches up to
   // the relation's epoch on the first call — the incremental hot path.
   EntropyCalculator calc(session_.get(), r_);
@@ -81,55 +99,68 @@ double StreamingLossMonitor::CurrentJ() {
   // is one XLogX sweep over the stored blocks. The prewarm is a no-op on
   // every batch after the first (the partitions stay cached and hot).
   std::vector<AttrSet> terms;
-  terms.reserve(2 * tree_.NumNodes());
-  for (AttrSet bag : tree_.bags()) terms.push_back(bag);
-  for (const auto& [u, v] : tree_.Edges()) {
-    terms.push_back(tree_.bag(u).Intersect(tree_.bag(v)));
+  terms.reserve(2 * tree.NumNodes());
+  for (AttrSet bag : tree.bags()) terms.push_back(bag);
+  for (const auto& [u, v] : tree.Edges()) {
+    terms.push_back(tree.bag(u).Intersect(tree.bag(v)));
   }
-  terms.push_back(tree_.AllAttrs());
+  terms.push_back(tree.AllAttrs());
   calc.engine().PrewarmSubsets(terms);
-  return JMeasureDetailed(&calc, tree_).j;
+  return JMeasureDetailed(&calc, tree).j;
 }
 
 Result<StreamingPoint> StreamingLossMonitor::Observe() {
   const uint64_t rows_now = r_->NumRows();
-  AJD_CHECK_MSG(rows_now >= observed_rows_,
-                "monitored relation shrank; relations are append-only");
+  if (rows_now < observed_rows_) {
+    // User-reachable (hand a monitor a relation that was moved-from or
+    // restored), so an error, not a CHECK: the monitor's incremental
+    // caches are only sound over append-only growth.
+    return Status::FailedPrecondition(
+        "monitored relation shrank; relations are append-only");
+  }
   StreamingPoint point;
   point.epoch = r_->epoch();
   point.rows = rows_now;
   point.batch_rows = rows_now - observed_rows_;
-  point.j = CurrentJ();
-  point.rho_lower_bound = std::expm1(point.j);
-  if (options_.compute_exact_loss) {
-    // Fallible steps run BEFORE any monitor state moves: on error the
-    // appended rows simply remain unobserved, and the next Observe folds
-    // them into its batch instead of dropping a trajectory point.
-    Result<LossReport> loss = ComputeLoss(*r_, tree_);
-    if (!loss.ok()) return loss.status();
-    point.rho = loss.value().rho;
-  }
-
   const uint32_t batches_since = batches_since_remine_ + 1;
   JoinTree remined_tree = tree_;
-  // The drift margin the trigger compares against: plain nats under
-  // kAbsolute; a baseline-scaled fraction with an absolute floor under
-  // kRelative (scale-free across trees of very different J magnitudes,
-  // with the floor absorbing noise around a near-zero baseline).
-  const double margin =
-      options_.drift_policy == DriftPolicy::kRelative
-          ? std::max(options_.drift_threshold * std::abs(j_at_mine_),
-                     options_.drift_floor_nats)
-          : options_.drift_threshold;
-  const bool drifted = options_.drift_threshold > 0.0 &&
-                       point.j - j_at_mine_ > margin;
-  if (drifted && batches_since >= options_.min_batches_between_remines &&
-      r_->NumAttrs() >= 2 && rows_now >= 1) {
-    Result<MinerReport> mined =
-        MineJoinTree(session_.get(), *r_, options_.miner);
-    if (!mined.ok()) return mined.status();
-    remined_tree = std::move(mined).value().tree;
-    point.remined = true;
+  std::optional<double> j_after_remine;
+  // Every fallible step — entropy terms, exact loss, re-mining — runs
+  // BEFORE any monitor state moves, and exceptions (allocation failure,
+  // injected faults in the engine) convert to Status here: on error the
+  // appended rows simply remain unobserved, and the next Observe folds
+  // them into its batch instead of dropping a trajectory point.
+  try {
+    point.j = CurrentJ(tree_);
+    point.rho_lower_bound = std::expm1(point.j);
+    if (options_.compute_exact_loss) {
+      Result<LossReport> loss = ComputeLoss(*r_, tree_);
+      if (!loss.ok()) return loss.status();
+      point.rho = loss.value().rho;
+    }
+    // The drift margin the trigger compares against: plain nats under
+    // kAbsolute; a baseline-scaled fraction with an absolute floor under
+    // kRelative (scale-free across trees of very different J magnitudes,
+    // with the floor absorbing noise around a near-zero baseline).
+    const double margin =
+        options_.drift_policy == DriftPolicy::kRelative
+            ? std::max(options_.drift_threshold * std::abs(j_at_mine_),
+                       options_.drift_floor_nats)
+            : options_.drift_threshold;
+    const bool drifted = options_.drift_threshold > 0.0 &&
+                         point.j - j_at_mine_ > margin;
+    if (drifted && batches_since >= options_.min_batches_between_remines &&
+        r_->NumAttrs() >= 2 && rows_now >= 1) {
+      Result<MinerReport> mined =
+          MineJoinTree(session_.get(), *r_, options_.miner);
+      if (!mined.ok()) return mined.status();
+      remined_tree = std::move(mined).value().tree;
+      point.remined = true;
+      j_after_remine = CurrentJ(remined_tree);
+    }
+  } catch (const std::exception& e) {
+    return Status::CapacityExceeded(
+        std::string("observe failed; rows remain unobserved: ") + e.what());
   }
 
   // Commit: everything fallible succeeded.
@@ -138,31 +169,61 @@ Result<StreamingPoint> StreamingLossMonitor::Observe() {
   if (point.remined) {
     tree_ = std::move(remined_tree);
     ++remines_;
-    point.j_after_remine = CurrentJ();
+    point.j_after_remine = j_after_remine;
     j_at_mine_ = *point.j_after_remine;
   }
   trajectory_.push_back(point);
   return point;
 }
 
+Result<StreamingPoint> StreamingLossMonitor::IngestWith(
+    const std::function<Status()>& append) {
+  const BatchFaultPolicy policy = options_.batch_fault_policy;
+  const bool retry = policy == BatchFaultPolicy::kRetryThenFail ||
+                     policy == BatchFaultPolicy::kRetryThenSkip;
+  const bool skip = policy == BatchFaultPolicy::kRetryThenSkip ||
+                    policy == BatchFaultPolicy::kSkip;
+  const uint32_t attempts = 1 + (retry ? options_.max_batch_retries : 0);
+  Status last = Status::OK();
+  for (uint32_t a = 0; a < attempts; ++a) {
+    last = append();
+    if (last.ok()) return Observe();
+  }
+  if (!skip) return last;
+  // Quarantine: the append rolled the relation back (all-or-nothing), so
+  // dropping the batch leaves everything consistent; record it and keep
+  // the stream alive with a no-op point.
+  ++quarantined_batches_;
+  last_quarantine_error_ = last;
+  return Observe();
+}
+
 Result<StreamingPoint> StreamingLossMonitor::IngestBatch(
     const std::vector<std::vector<uint32_t>>& rows, bool dedupe) {
-  Status s = r_->AppendBatch(rows, dedupe);
-  if (!s.ok()) return s;
-  return Observe();
+  return IngestWith([&] {
+    if (AJD_FAILPOINT(failpoints::kStreamingIngestBatch)) {
+      return Status::Internal("injected fault: streaming/ingest_batch");
+    }
+    return r_->AppendBatch(rows, dedupe);
+  });
 }
 
 Result<StreamingPoint> StreamingLossMonitor::IngestStringBatch(
     const std::vector<std::vector<std::string>>& rows, bool dedupe) {
-  Status s = r_->AppendStringBatch(rows, dedupe);
-  if (!s.ok()) return s;
-  return Observe();
+  return IngestWith([&] {
+    if (AJD_FAILPOINT(failpoints::kStreamingIngestBatch)) {
+      return Status::Internal("injected fault: streaming/ingest_batch");
+    }
+    return r_->AppendStringBatch(rows, dedupe);
+  });
 }
 
 Status IngestCsvStream(StreamingLossMonitor* monitor, std::istream& in,
                        uint64_t batch_rows, bool has_header, char separator,
                        bool dedupe) {
-  AJD_CHECK(monitor != nullptr);
+  if (monitor == nullptr) {
+    return Status::InvalidArgument("IngestCsvStream: monitor is null");
+  }
   CsvOptions csv;
   csv.separator = separator;
   csv.has_header = has_header;

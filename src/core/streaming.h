@@ -33,6 +33,7 @@
 #define AJD_CORE_STREAMING_H_
 
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <memory>
 #include <optional>
@@ -61,6 +62,23 @@ enum class DriftPolicy : uint8_t {
   kRelative = 1,
 };
 
+/// What an Ingest* call does with a batch whose append FAILS (allocation
+/// failure, injected fault — the relation itself rolls back either way,
+/// see Relation::AppendBatch's all-or-nothing contract).
+enum class BatchFaultPolicy : uint8_t {
+  /// Return the error to the caller immediately. The monitor stays
+  /// consistent and the batch can be re-submitted (the default).
+  kFail = 0,
+  /// Retry the append up to max_batch_retries times, then fail.
+  kRetryThenFail = 1,
+  /// Retry up to max_batch_retries times, then QUARANTINE: drop the batch,
+  /// record it (NumQuarantinedBatches / LastQuarantineError), and keep the
+  /// stream going with a no-op trajectory point.
+  kRetryThenSkip = 2,
+  /// Quarantine immediately, no retries.
+  kSkip = 3,
+};
+
 /// Tuning for a StreamingLossMonitor.
 struct StreamingOptions {
   /// Re-mine when J(T) exceeds its last-mined value by this margin —
@@ -82,6 +100,11 @@ struct StreamingOptions {
   /// O(N) per batch with no incremental reuse — the J-trajectory is the
   /// cheap default; flip this on when the exact join-size blowup matters.
   bool compute_exact_loss = false;
+  /// Poison-batch handling for IngestBatch/IngestStringBatch (and the CSV
+  /// ingest built on them): one bad batch need not kill a stream.
+  BatchFaultPolicy batch_fault_policy = BatchFaultPolicy::kFail;
+  /// Append retries before the policy's terminal action (kRetryThen*).
+  uint32_t max_batch_retries = 2;
   /// Miner configuration for WithMinedTree and every re-mine.
   MinerOptions miner;
   /// Session tuning (cache budget, threads, shared pool/arbiter).
@@ -110,27 +133,45 @@ struct StreamingPoint {
 /// Monitors one caller-owned relation. The relation must outlive the
 /// monitor and must only grow through it (or at least: between Ingest
 /// calls, not during them).
+/// Failure semantics: every Ingest*/Observe call returns Status through
+/// Result — an error never aborts the process and never leaves the monitor
+/// half-updated (trajectory, baselines, and observed-row watermark only
+/// move after every fallible step succeeded; rows appended before a failed
+/// Observe simply stay unobserved and fold into the next point). The
+/// constructor CHECK-aborts on invalid arguments (programmer contract);
+/// user input should flow through Create/WithMinedTree, which validate and
+/// return InvalidArgument instead.
 class StreamingLossMonitor {
  public:
   /// Monitors `r` against a fixed starting tree. The tree's attributes
-  /// must be covered by r's schema.
+  /// must be covered by r's schema — CHECKED (aborts on violation); use
+  /// Create() when the tree or relation comes from user input.
   StreamingLossMonitor(Relation* r, JoinTree tree,
                        StreamingOptions options = {});
 
+  /// Validating form of the constructor: InvalidArgument on a null
+  /// relation or a tree mentioning attributes outside its schema.
+  static Result<StreamingLossMonitor> Create(Relation* r, JoinTree tree,
+                                             StreamingOptions options = {});
+
   /// Mines the starting tree from the relation's current contents (which
   /// must satisfy the miner's preconditions: >= 2 attributes, >= 1 row).
+  /// InvalidArgument on a null relation.
   static Result<StreamingLossMonitor> WithMinedTree(
       Relation* r, StreamingOptions options = {});
 
   StreamingLossMonitor(StreamingLossMonitor&&) = default;
   StreamingLossMonitor& operator=(StreamingLossMonitor&&) = delete;
 
-  /// Appends a batch of code rows and records a trajectory point.
+  /// Appends a batch of code rows and records a trajectory point. A batch
+  /// whose append fails is handled per options().batch_fault_policy:
+  /// failed, retried, or quarantined (the stream continues with a no-op
+  /// point). The relation is never left half-appended either way.
   Result<StreamingPoint> IngestBatch(
       const std::vector<std::vector<uint32_t>>& rows, bool dedupe = false);
 
   /// Appends a batch of string rows (dictionary-interned) and records a
-  /// trajectory point.
+  /// trajectory point. Same fault policy as IngestBatch.
   Result<StreamingPoint> IngestStringBatch(
       const std::vector<std::vector<std::string>>& rows,
       bool dedupe = false);
@@ -138,7 +179,17 @@ class StreamingLossMonitor {
   /// Records a trajectory point for rows the CALLER already appended to
   /// the relation (e.g. io/csv.h's AppendCsvBatches feeding AppendBatch
   /// directly). A no-op point results if nothing was appended.
+  /// FailedPrecondition if the relation shrank (relations are append-only);
+  /// on any error no monitor state moves — the rows stay unobserved and
+  /// fold into the next successful Observe.
   Result<StreamingPoint> Observe();
+
+  /// Batches dropped by a kSkip/kRetryThenSkip fault policy so far.
+  uint64_t NumQuarantinedBatches() const { return quarantined_batches_; }
+
+  /// The error that quarantined the most recent dropped batch (OK when
+  /// nothing was ever quarantined).
+  const Status& LastQuarantineError() const { return last_quarantine_error_; }
 
   /// The tree currently monitored (the latest re-mine's output, or the
   /// constructor's tree).
@@ -164,8 +215,12 @@ class StreamingLossMonitor {
   const Relation& relation() const { return *r_; }
 
  private:
-  /// J(T) of the current tree via the session's (epoch-caught-up) engine.
-  double CurrentJ();
+  /// J(`tree`) via the session's (epoch-caught-up) engine.
+  double CurrentJ(const JoinTree& tree);
+
+  /// Shared Ingest* body: runs `append` under the batch fault policy
+  /// (retry/quarantine), then Observes.
+  Result<StreamingPoint> IngestWith(const std::function<Status()>& append);
 
   Relation* r_;
   JoinTree tree_;
@@ -178,6 +233,8 @@ class StreamingLossMonitor {
   uint32_t remines_ = 0;
   uint32_t batches_since_remine_ = 0;
   uint64_t observed_rows_ = 0;  ///< rows covered by the last point.
+  uint64_t quarantined_batches_ = 0;
+  Status last_quarantine_error_;
 };
 
 /// Ingests a CSV stream into the monitor's relation in `batch_rows`-sized

@@ -11,6 +11,7 @@
 #include "engine/refine_kernels.h"
 #include "engine/worker_pool.h"
 #include "relation/row_hash.h"
+#include "util/failpoint.h"
 
 namespace ajd {
 
@@ -69,7 +70,19 @@ void EntropyEngine::CatchUp() {
   // at least every append the epoch load observed. A batch landing between
   // the two loads merely over-syncs; its own epoch bump re-triggers a
   // cheap catch-up that finds everything already extended.
-  RunCatchUp(target_epoch, relation().NumRows());
+  try {
+    RunCatchUp(target_epoch, relation().NumRows());
+  } catch (...) {
+    // A failure that escapes RunCatchUp (e.g. between claim and publish)
+    // leaves the engine consistent-but-colder: claimed entries are out of
+    // the cache AND off the arbiter's books (discharged at claim), the
+    // stamp and synced epoch are unchanged, so readers keep serving the
+    // previous generation and the next query retries the catch-up. Never
+    // let it unwind into callers — catch-up is a cache maintenance step,
+    // not part of any query's contract.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.catchup_aborts;
+  }
 }
 
 void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
@@ -210,7 +223,8 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
   }
   uint64_t extended_count = 0;
   uint64_t replayed_count = 0;
-  for (Claimed& c : claimed) {
+  uint64_t dropped_count = 0;
+  auto extend_entry = [&](Claimed& c) {
     CachedPartition& cp = c.cp;
     const std::vector<uint32_t>& chain = cp.chain;
     AJD_CHECK(!chain.empty());
@@ -231,6 +245,13 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
     for (size_t len = chain.size() - 1; len >= 1; --len) {
       auto pit = by_set.find(prefix_sets[len - 1]);
       if (pit == by_set.end()) continue;
+      // An ancestor whose own extension FAILED (degradable catch-up drops
+      // it: partition nulled, rows never advanced) must not seed this
+      // entry's delta/replay — fall back to a cold replay instead.
+      if (pit->second->cp.partition == nullptr ||
+          pit->second->cp.rows != target_rows) {
+        continue;
+      }
       if (pit->second->cp.chain.size() != len ||
           !std::equal(pit->second->cp.chain.begin(),
                       pit->second->cp.chain.end(), chain.begin())) {
@@ -323,8 +344,26 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
     cp.epoch = target_epoch;
     cp.rows = target_rows;
     cp.last_col_card = last_col.cardinality;
+  };
+  for (Claimed& c : claimed) {
+    try {
+      AJD_INJECT_BAD_ALLOC(failpoints::kEngineCatchupExtend);
+      extend_entry(c);
+    } catch (const std::exception&) {
+      // Degradable catch-up: a failed extension (allocation failure,
+      // injected fault) drops just this entry. Its bytes were already
+      // settled with the arbiter at claim time and publish skips it below,
+      // so the books stay consistent and later reads simply recompute it
+      // cold — bit-identical by kernel reproducibility. Descendants see
+      // the nulled partition through the ancestor guard above and replay
+      // cold instead of consuming a failed parent.
+      c.cp.partition = nullptr;
+      ++dropped_count;
+    }
   }
   old_parts.clear();
+
+  AJD_INJECT_FAULT(failpoints::kEngineCatchupPublish);
 
   // --- PUBLISH (under mu_) --------------------------------------------------
   std::vector<AttrSet> swept;
@@ -357,6 +396,7 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
     // (target row count == old): the resident entry then covers the same
     // rows, so the claimed copy is simply dropped.
     for (Claimed& c : claimed) {
+      if (c.cp.partition == nullptr) continue;  // dropped by failed extension
       if (partitions_.find(c.set) != partitions_.end()) continue;
       const size_t bytes = c.cp.partition->MemoryBytes();
       const uint64_t mass = c.cp.partition->NumStrippedRows();
@@ -367,6 +407,7 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
     }
     stats_.partitions_extended += extended_count;
     stats_.partitions_replayed += replayed_count;
+    stats_.catchup_dropped += dropped_count;
     if (arbiter_ == nullptr) EvictToPrivateBudgetLocked(AttrSet());
     last_catchup_tick_ = tick_;
     // The stamp flips INSIDE mu_, atomically with the sweep: a reader that
@@ -427,6 +468,7 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, const EpochPin& pin,
   // cold answer over exactly that prefix no matter how many appends land
   // while this computation runs.
   const uint64_t n = pin.rows;
+  AJD_INJECT_BAD_ALLOC(failpoints::kEngineComputePartition);
 
   // Best cached base under the refinement cost model: each remaining step
   // scans at most the base's stripped rows, so refining base T costs about
@@ -837,6 +879,7 @@ void EntropyEngine::BatchEntropy(const AttrSet* sets, size_t n, double* out) {
     // Fill the cache from the deduped miss list in parallel, then read the
     // whole batch out of it below.
     std::function<void(size_t)> fn = [this, &misses, pin](size_t i) {
+      AJD_INJECT_FAULT(failpoints::kEngineBatchTask);
       ComputeEntropy(misses[i], pin);
     };
     pool_->Run(misses.size(), pool, fn);

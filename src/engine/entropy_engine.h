@@ -46,6 +46,27 @@
 // rebuild it replaces). Stale entropy values are swept by row-count tag;
 // subsequent queries recompute them from the extended partitions through
 // the same XLogX-table accumulation the cold kernels use.
+//
+// Failure semantics: no runtime failure aborts the process or corrupts a
+// served answer.
+//   - Query paths (Entropy/EntropyAt/BatchEntropy/Prewarm*) propagate
+//     failures — allocation exhaustion, injected faults — to the CALLING
+//     thread as exceptions, with no partial cache entries left behind; a
+//     batch task that throws is contained by the WorkerPool (the batch
+//     completes, the first error rethrows on the submitter —
+//     engine/worker_pool.h). Retrying the same query is always safe.
+//   - Catch-up DEGRADES instead of failing: a claimed entry whose
+//     extension throws is dropped (EngineStats::catchup_dropped) and the
+//     new epoch still publishes; dropped entries recompute cold — and
+//     bitwise-correct — on next use, and arbiter settlement stays exact
+//     (discharged at claim, simply never recharged). A failure after
+//     extension but before publish abandons the attempt whole
+//     (EngineStats::catchup_aborts) with the previous stamp intact:
+//     readers keep serving that epoch's cold-correct answers and the
+//     next query retries. CatchUp() itself never throws.
+// The fault-injection soak (tests/fault_injection_test.cc, failpoints
+// engine/compute_partition, engine/batch_task, engine/catchup_extend,
+// engine/catchup_publish — util/failpoint.h) enforces all of this.
 #ifndef AJD_ENGINE_ENTROPY_ENGINE_H_
 #define AJD_ENGINE_ENTROPY_ENGINE_H_
 
@@ -144,6 +165,12 @@ struct EngineStats {
                                     ///< replay instead (missing ancestor,
                                     ///< fused gap, or kernel-threshold
                                     ///< fallback).
+  uint64_t catchup_dropped = 0;  ///< claimed entries dropped because their
+                                 ///< extension failed mid-catch-up; later
+                                 ///< reads recompute them cold.
+  uint64_t catchup_aborts = 0;   ///< catch-up attempts abandoned whole by a
+                                 ///< failure before publish; retried on the
+                                 ///< next query.
 
   double HitRate() const {
     return queries == 0 ? 0.0

@@ -43,7 +43,14 @@ void EpochMaintenance::Loop() {
     // cheap; when an epoch is pending this thread usually wins the
     // catch-up try-lock simply because it gets there first, and readers
     // keep serving the previous stamp throughout.
-    engine_->CatchUp();
+    try {
+      engine_->CatchUp();
+    } catch (...) {
+      // CatchUp swallows its own failures, but this thread's top frame
+      // must still never unwind — a dead maintenance thread would silently
+      // stop epoch syncs (and an escaped exception would terminate the
+      // process). The next poll simply retries.
+    }
   }
 }
 

@@ -13,11 +13,30 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+namespace {
+
+// Inline fallback shared by the workers<=1 and busy-pool paths: run every
+// index even if one throws, then surface the first failure — identical
+// semantics to a pool-run batch.
+void RunInlineContained(size_t n, const std::function<void(size_t)>& fn) {
+  std::exception_ptr first_error;
+  for (size_t i = 0; i < n; ++i) {
+    try {
+      fn(i);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
 void WorkerPool::Run(size_t n, uint32_t workers,
                      const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (workers <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    RunInlineContained(n, fn);
     return;
   }
   std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
@@ -30,7 +49,7 @@ void WorkerPool::Run(size_t n, uint32_t workers,
     // got there first. Values land in the same caches either way (the
     // engine documents pool-vs-serial agreement to fp accumulation
     // noise).
-    for (size_t i = 0; i < n; ++i) fn(i);
+    RunInlineContained(n, fn);
     return;
   }
   auto batch = std::make_shared<Batch>();
@@ -47,8 +66,18 @@ void WorkerPool::Run(size_t n, uint32_t workers,
   }
   wake_cv_.notify_all();
   TakeBatchShare(batch.get());
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return batch->completed.load() == n; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch->completed.load() == n; });
+  }
+  // All tasks finished (completed == n observed above), so first_error is
+  // final; the lock orders its write with this read.
+  std::exception_ptr first_error;
+  {
+    std::lock_guard<std::mutex> elock(batch->err_mu);
+    first_error = batch->first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 size_t WorkerPool::NumThreads() const {
@@ -67,7 +96,15 @@ void WorkerPool::TakeBatchShare(Batch* batch) {
   while (true) {
     size_t i = batch->next.fetch_add(1);
     if (i >= n) return;
-    (*batch->fn)(i);
+    try {
+      (*batch->fn)(i);
+    } catch (...) {
+      // Contain the failure: record the first one for the submitter and
+      // keep counting this index as completed so the batch latch can
+      // never deadlock and no pool thread unwinds into std::terminate.
+      std::lock_guard<std::mutex> elock(batch->err_mu);
+      if (!batch->first_error) batch->first_error = std::current_exception();
+    }
     if (batch->completed.fetch_add(1) + 1 == n) {
       // Notify under the waiter's mutex so the wakeup cannot be missed.
       std::lock_guard<std::mutex> lock(mu_);

@@ -19,6 +19,16 @@
 // engines at once (engine/cache_arbiter.h charges concurrently either
 // way), and head-of-line blocking behind another relation's fan-out would
 // waste exactly the thread the submitter already owns.
+//
+// Failure semantics: a task that throws is CONTAINED. The exception never
+// reaches a pool thread's top frame (no std::terminate) and never strands
+// the batch latch — every index of the batch is still claimed and counted,
+// remaining tasks run to completion, and the FIRST exception (in completion
+// order) is rethrown on the submitting thread after the batch drains. The
+// workers<=1 and busy-pool inline fallbacks behave identically: finish the
+// whole index range, then rethrow the first failure. The pool itself stays
+// healthy across a throwing batch (basic guarantee for the pool, and the
+// submitter sees exactly one exception per failed batch).
 #ifndef AJD_ENGINE_WORKER_POOL_H_
 #define AJD_ENGINE_WORKER_POOL_H_
 
@@ -26,6 +36,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -49,6 +60,10 @@ class WorkerPool {
   /// workers <= 1 — or when another submitter's batch currently owns the
   /// pool — the calling thread simply loops; no pool involvement, no
   /// waiting behind the other batch.
+  ///
+  /// If any fn(i) throws, every remaining index still runs, the batch
+  /// completes, and the first exception raised is rethrown here on the
+  /// calling thread. Pool threads survive.
   void Run(size_t n, uint32_t workers, const std::function<void(size_t)>& fn);
 
   /// Number of parked worker threads currently spawned.
@@ -75,6 +90,11 @@ class WorkerPool {
     std::atomic<uint32_t> helpers{0};
     std::atomic<size_t> next{0};
     std::atomic<size_t> completed{0};
+    /// First exception thrown by any task of this batch (completion
+    /// order); rethrown on the submitter once the batch drains. Guarded by
+    /// err_mu; the submitter reads it only after observing completed == n.
+    std::mutex err_mu;
+    std::exception_ptr first_error;
   };
 
   /// Claims and processes indexes of `batch` until none remain; notifies

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace ajd {
@@ -187,17 +188,46 @@ Status ValidateCsvHeader(const std::vector<std::string>& header,
 }
 
 Status AppendCsvBatches(std::istream& in, Relation* r,
-                        const CsvOptions& options, uint64_t batch_rows) {
-  AJD_CHECK(r != nullptr);
+                        const CsvOptions& options, uint64_t batch_rows,
+                        CsvIngestSummary* summary) {
+  if (r == nullptr) {
+    return Status::InvalidArgument("AppendCsvBatches: relation is null");
+  }
+  CsvIngestSummary local;
+  CsvIngestSummary* out = summary != nullptr ? summary : &local;
+  *out = CsvIngestSummary{};
   return ReadCsvBatches(
       in, options, batch_rows,
-      [r, &options](const std::vector<std::string>& header,
-                    std::vector<std::vector<std::string>> batch) {
+      [r, &in, &options, out](const std::vector<std::string>& header,
+                              std::vector<std::vector<std::string>> batch) {
         Status ok =
             ValidateCsvHeader(header, r->schema(), options.has_header);
         if (!ok.ok()) return ok;
-        if (batch.empty()) return Status::OK();
-        return r->AppendStringBatch(batch, options.dedupe);
+        if (AJD_FAILPOINT(failpoints::kCsvBatch)) {
+          return Status::IoError("injected fault: io/csv_batch");
+        }
+        if (!batch.empty()) {
+          const uint64_t before = r->NumRows();
+          Status append = r->AppendStringBatch(batch, options.dedupe);
+          if (!append.ok()) return append;
+          out->rows_read += batch.size();
+          out->rows_appended += r->NumRows() - before;
+          ++out->batches_committed;
+        }
+        // The sink runs immediately after getline consumed the batch's
+        // last row, so tellg() here is the offset just past that row. At
+        // the tail flush the stream sits at EOF (tellg = -1): clearing
+        // eofbit first yields the end-of-file offset, and the read loop
+        // has already finished, so the cleared state is never re-read.
+        std::streampos pos = in.tellg();
+        if (pos == std::streampos(-1) && in.eof()) {
+          in.clear();
+          pos = in.tellg();
+        }
+        if (pos != std::streampos(-1)) {
+          out->resume_offset = static_cast<int64_t>(pos);
+        }
+        return Status::OK();
       });
 }
 

@@ -58,12 +58,37 @@ Status ReadCsvFileBatches(
 Status ValidateCsvHeader(const std::vector<std::string>& header,
                          const Schema& schema, bool names_meaningful);
 
+/// What a chunked CSV ingestion actually committed — filled in even when
+/// the overall Status is an error, so a caller can resume after a mid-file
+/// failure instead of guessing how much landed.
+struct CsvIngestSummary {
+  /// Data rows handed to the relation by committed batches (including
+  /// rows dedupe then dropped).
+  uint64_t rows_read = 0;
+  /// Rows that actually landed in the relation (NumRows() delta).
+  uint64_t rows_appended = 0;
+  /// Batches fully committed (each bumped the epoch unless empty/all-dup).
+  uint64_t batches_committed = 0;
+  /// Stream offset just past the last committed batch — seek here (and
+  /// set has_header=false) to resume after a mid-file failure. -1 when the
+  /// stream is not seekable or nothing committed.
+  int64_t resume_offset = -1;
+};
+
 /// Chunked ingestion into an existing relation: validates the header
 /// (width always; names too when options.has_header) and feeds every
 /// chunk straight to Relation::AppendStringBatch (one epoch bump per
 /// non-empty chunk). `options.dedupe` maps to the append's dedupe flag.
+///
+/// Failure semantics: each batch commits atomically (AppendStringBatch's
+/// all-or-nothing contract), so a mid-file failure — ragged row, header
+/// mismatch, allocation failure — leaves the relation holding exactly the
+/// batches committed before it. `summary` (optional) reports how many
+/// rows/batches landed and the byte offset to resume from; it is filled
+/// on both success and failure.
 Status AppendCsvBatches(std::istream& in, Relation* r,
-                        const CsvOptions& options, uint64_t batch_rows);
+                        const CsvOptions& options, uint64_t batch_rows,
+                        CsvIngestSummary* summary = nullptr);
 
 /// Writes a relation as CSV (header + rows; dictionary values when
 /// available, otherwise numeric codes).

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "relation/row_hash.h"
+#include "util/failpoint.h"
 
 namespace ajd {
 
@@ -102,6 +103,14 @@ uint32_t Dictionary::Intern(const std::string& value) {
   return code;
 }
 
+void Dictionary::TruncateTo(uint32_t size) {
+  if (size >= values_.size()) return;
+  for (uint32_t code = size; code < values_.size(); ++code) {
+    index_.erase(values_[code]);
+  }
+  values_.resize(size);
+}
+
 std::optional<uint32_t> Dictionary::Lookup(const std::string& value) const {
   auto it = index_.find(value);
   if (it == index_.end()) return std::nullopt;
@@ -130,66 +139,84 @@ Result<Relation> Relation::FromRows(Schema schema,
   return std::move(b).Build(dedupe);
 }
 
-void Relation::AppendCodesUnchecked(const std::vector<uint32_t>& flat,
-                                    uint64_t rows, bool dedupe) {
+Status Relation::AppendCodesUnchecked(const std::vector<uint32_t>& flat,
+                                      uint64_t rows, bool dedupe) {
   const uint32_t width = NumAttrs();
-  if (rows == 0 || width == 0) return;
+  if (rows == 0 || width == 0) return Status::OK();
   const uint64_t committed = num_rows_.load(std::memory_order_relaxed);
-  if (dedupe && row_index_ == nullptr) {
-    // First deduped append: index every existing row once (O(N)); later
-    // appends pay only their own rows.
-    row_index_ = std::make_unique<TupleCounter>(width, committed + rows);
-    for (uint64_t i = 0; i < committed; ++i) row_index_->Add(Row(i));
-  }
-  // RCU storage discipline: concurrent readers hold RowsSnapshot pins into
-  // the current buffer, so committed bytes are immutable. Reserve the
-  // worst-case capacity UP FRONT — if the current buffer can't hold the
-  // whole batch, the committed prefix is copied into a fresh buffer
-  // published with an atomic store (pinned readers keep the old one alive)
-  // and every per-row insert below is then guaranteed in place.
-  const uint64_t need = (committed + rows) * static_cast<uint64_t>(width);
-  std::vector<uint32_t>* buf = data_.get();
-  if (need > buf->capacity()) {
-    auto grown = std::make_shared<std::vector<uint32_t>>();
-    grown->reserve(std::max<uint64_t>(2 * buf->capacity(), need));
-    grown->insert(grown->end(), buf->begin(), buf->end());
-    buf = grown.get();
-    std::atomic_store_explicit(&data_, std::move(grown),
-                               std::memory_order_release);
-  }
   uint64_t appended = 0;
-  std::vector<uint64_t> max_code(width, 0);
-  for (uint64_t i = 0; i < rows; ++i) {
-    const uint32_t* row = flat.data() + i * width;
-    if (dedupe) {
-      const size_t before = row_index_->NumDistinct();
-      row_index_->Add(row);
-      if (row_index_->NumDistinct() == before) continue;  // already present
-    } else if (row_index_ != nullptr) {
-      // Keep a previously built index exact across multiset appends too.
-      row_index_->Add(row);
+  try {
+    AJD_INJECT_BAD_ALLOC(failpoints::kRelationAppendReserve);
+    if (dedupe && row_index_ == nullptr) {
+      // First deduped append: index every existing row once (O(N)); later
+      // appends pay only their own rows.
+      row_index_ = std::make_unique<TupleCounter>(width, committed + rows);
+      for (uint64_t i = 0; i < committed; ++i) row_index_->Add(Row(i));
     }
-    buf->insert(buf->end(), row, row + width);
-    ++appended;
+    // RCU storage discipline: concurrent readers hold RowsSnapshot pins
+    // into the current buffer, so committed bytes are immutable. Reserve
+    // the worst-case capacity UP FRONT — if the current buffer can't hold
+    // the whole batch, the committed prefix is copied into a fresh buffer
+    // published with an atomic store (pinned readers keep the old one
+    // alive) and every per-row insert below is then guaranteed in place.
+    const uint64_t need = (committed + rows) * static_cast<uint64_t>(width);
+    std::vector<uint32_t>* buf = data_.get();
+    if (need > buf->capacity()) {
+      auto grown = std::make_shared<std::vector<uint32_t>>();
+      grown->reserve(std::max<uint64_t>(2 * buf->capacity(), need));
+      grown->insert(grown->end(), buf->begin(), buf->end());
+      buf = grown.get();
+      std::atomic_store_explicit(&data_, std::move(grown),
+                                 std::memory_order_release);
+    }
+    std::vector<uint64_t> max_code(width, 0);
+    for (uint64_t i = 0; i < rows; ++i) {
+      AJD_INJECT_BAD_ALLOC(failpoints::kRelationAppendStage);
+      const uint32_t* row = flat.data() + i * width;
+      if (dedupe) {
+        const size_t before = row_index_->NumDistinct();
+        row_index_->Add(row);
+        if (row_index_->NumDistinct() == before) continue;  // already present
+      } else if (row_index_ != nullptr) {
+        // Keep a previously built index exact across multiset appends too.
+        row_index_->Add(row);
+      }
+      buf->insert(buf->end(), row, row + width);
+      ++appended;
+      for (uint32_t a = 0; a < width; ++a) {
+        max_code[a] = std::max<uint64_t>(max_code[a], row[a]);
+      }
+    }
+    if (appended == 0) return Status::OK();
+    // Domain sizes grow before the rows publish so a reader that sees the
+    // new rows also sees domains covering them. (Schema counters are
+    // appender-side state; concurrent readers only use the attribute
+    // count, which never changes.)
     for (uint32_t a = 0; a < width; ++a) {
-      max_code[a] = std::max<uint64_t>(max_code[a], row[a]);
+      schema_.EnsureDomainSize(a, max_code[a] + 1);
     }
-  }
-  if (appended == 0) return;
-  // Domain sizes grow before the rows publish so a reader that sees the new
-  // rows also sees domains covering them. (Schema counters are
-  // appender-side state; concurrent readers only use the attribute count,
-  // which never changes.)
-  for (uint32_t a = 0; a < width; ++a) {
-    schema_.EnsureDomainSize(a, max_code[a] + 1);
+  } catch (const std::exception& e) {
+    // All-or-nothing rollback. Nothing was published (num_rows_/epoch_
+    // advance only below), so readers never saw the staged rows; truncate
+    // them out of the active buffer (shrinking resize: no reallocation, no
+    // throw, committed bytes untouched) and drop the dedupe index, which
+    // may hold rows from the failed batch — it rebuilds lazily on the next
+    // deduped append. A mid-batch regrow needs no undo: the fresh buffer
+    // holds the full committed prefix and truncates identically.
+    data_->resize(committed * static_cast<size_t>(width));
+    row_index_.reset();
+    return Status::CapacityExceeded(
+        std::string("append failed mid-batch; relation rolled back: ") +
+        e.what());
   }
   // Publication order: row bytes are fully written above; release the row
   // count, then release the epoch. Readers pair acquire loads in the
   // opposite order (epoch first), so a reader at epoch e sees at least the
-  // rows of epoch e.
+  // rows of epoch e. Stores cannot fail: the batch is committed.
   num_rows_.store(committed + appended, std::memory_order_release);
   epoch_.store(epoch_.load(std::memory_order_relaxed) + 1,
                std::memory_order_release);
+  return Status::OK();
 }
 
 Status Relation::AppendBatch(const std::vector<std::vector<uint32_t>>& rows,
@@ -202,13 +229,18 @@ Status Relation::AppendBatch(const std::vector<std::vector<uint32_t>>& rows,
           " does not match schema width " + std::to_string(width));
     }
   }
-  std::vector<uint32_t> flat;
-  flat.reserve(rows.size() * width);
-  for (const auto& row : rows) {
-    flat.insert(flat.end(), row.begin(), row.end());
+  try {
+    std::vector<uint32_t> flat;
+    flat.reserve(rows.size() * width);
+    for (const auto& row : rows) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    return AppendCodesUnchecked(flat, rows.size(), dedupe);
+  } catch (const std::exception& e) {
+    // Flattening failed before any relation state was touched.
+    return Status::CapacityExceeded(
+        std::string("append failed staging the batch: ") + e.what());
   }
-  AppendCodesUnchecked(flat, rows.size(), dedupe);
-  return Status::OK();
 }
 
 Status Relation::AppendStringBatch(
@@ -236,18 +268,44 @@ Status Relation::AppendStringBatch(
   }
   // Interning may create dictionary entries for rows that dedupe then
   // drops; that only grows a dictionary, never the relation's data, so the
-  // append-only contract holds either way.
+  // append-only contract holds either way. On FAILURE, though, the batch's
+  // entries are rolled back below so the call leaves the dictionaries
+  // bit-identical: record each dictionary's pre-batch size (UINT32_MAX =
+  // "did not exist") before interning anything.
   if (dicts_.size() < width) dicts_.resize(width);
-  std::vector<uint32_t> flat;
-  flat.reserve(rows.size() * width);
-  for (const auto& row : rows) {
-    for (uint32_t a = 0; a < width; ++a) {
-      if (!dicts_[a].has_value()) dicts_[a].emplace();
-      flat.push_back(dicts_[a]->Intern(row[a]));
-    }
+  std::vector<uint32_t> dict_sizes(width, UINT32_MAX);
+  for (uint32_t a = 0; a < width; ++a) {
+    if (dicts_[a].has_value()) dict_sizes[a] = dicts_[a]->size();
   }
-  AppendCodesUnchecked(flat, rows.size(), dedupe);
-  return Status::OK();
+  auto roll_back_dicts = [&] {
+    for (uint32_t a = 0; a < width; ++a) {
+      if (dict_sizes[a] == UINT32_MAX) {
+        dicts_[a].reset();  // created by this batch
+      } else {
+        dicts_[a]->TruncateTo(dict_sizes[a]);
+      }
+    }
+  };
+  Status append;
+  try {
+    std::vector<uint32_t> flat;
+    flat.reserve(rows.size() * width);
+    for (const auto& row : rows) {
+      for (uint32_t a = 0; a < width; ++a) {
+        AJD_INJECT_BAD_ALLOC(failpoints::kRelationIntern);
+        if (!dicts_[a].has_value()) dicts_[a].emplace();
+        flat.push_back(dicts_[a]->Intern(row[a]));
+      }
+    }
+    append = AppendCodesUnchecked(flat, rows.size(), dedupe);
+  } catch (const std::exception& e) {
+    roll_back_dicts();
+    return Status::CapacityExceeded(
+        std::string("string append failed interning; rolled back: ") +
+        e.what());
+  }
+  if (!append.ok()) roll_back_dicts();
+  return append;
 }
 
 bool Relation::HasDuplicateRows() const {

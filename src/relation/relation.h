@@ -66,6 +66,12 @@ class Dictionary {
   /// Returns the code for `value`, inserting it if new.
   uint32_t Intern(const std::string& value);
 
+  /// Drops every value with code >= `size` (appender-side rollback after a
+  /// failed batch: codes are assigned densely in intern order, so the
+  /// entries staged by the failed batch are exactly the tail). No-op when
+  /// `size` >= size().
+  void TruncateTo(uint32_t size);
+
   /// Returns the code for `value` if already interned.
   std::optional<uint32_t> Lookup(const std::string& value) const;
 
@@ -157,8 +163,15 @@ class Relation {
   /// With `dedupe`, rows equal to an existing row (or an earlier row of the
   /// same batch) are dropped — set semantics; the membership index is built
   /// on first deduped append (O(N)) and maintained incrementally after.
-  /// InvalidArgument if any row's width mismatches the schema; the relation
-  /// is unchanged on error.
+  /// InvalidArgument if any row's width mismatches the schema.
+  ///
+  /// ALL-OR-NOTHING (strong guarantee): on ANY failure — width mismatch,
+  /// allocation failure mid-batch, injected fault — the relation is
+  /// bit-identical to before the call: same rows, same NumRows(), same
+  /// epoch, same domain sizes. Allocation failures surface as
+  /// CapacityExceeded, never as an exception. (The lazily built dedupe
+  /// membership index may be dropped on failure; it rebuilds on the next
+  /// deduped append and is not observable through any read API.)
   Status AppendBatch(const std::vector<std::vector<uint32_t>>& rows,
                      bool dedupe = false);
 
@@ -168,6 +181,12 @@ class Relation {
   /// is EMPTY; a non-empty relation whose attribute holds raw codes (no
   /// dictionary) rejects string appends with InvalidArgument — freshly
   /// interned codes would alias the existing code space.
+  ///
+  /// Same ALL-OR-NOTHING contract as AppendBatch, including the
+  /// dictionaries: entries interned by a failed batch are truncated back
+  /// out, so a failed call leaves every dictionary bit-identical too. (On
+  /// SUCCESS, dedupe-dropped rows may still leave their values interned —
+  /// that only grows a dictionary, never the relation's data.)
   Status AppendStringBatch(const std::vector<std::vector<std::string>>& rows,
                            bool dedupe = false);
 
@@ -201,9 +220,11 @@ class Relation {
   friend class RelationBuilder;
 
   /// Appends pre-validated code rows (flat, width-checked by the callers),
-  /// handling dedupe, domain growth, and the epoch bump.
-  void AppendCodesUnchecked(const std::vector<uint32_t>& flat,
-                            uint64_t rows, bool dedupe);
+  /// handling dedupe, domain growth, and the epoch bump. Strong guarantee:
+  /// a mid-batch failure truncates staged bytes back to the committed
+  /// prefix (never published) and returns CapacityExceeded.
+  Status AppendCodesUnchecked(const std::vector<uint32_t>& flat,
+                              uint64_t rows, bool dedupe);
 
   Schema schema_;
   /// Row-major code storage behind a shared pointer so concurrent readers

@@ -58,6 +58,24 @@ TEST(Dictionary, InternIsIdempotent) {
   EXPECT_EQ(d.size(), 2u);
 }
 
+TEST(Dictionary, TruncateToRollsBackATailOfInterns) {
+  Dictionary d;
+  uint32_t a = d.Intern("alpha");
+  uint32_t b = d.Intern("beta");
+  d.Intern("gamma");
+  d.Intern("delta");
+  d.TruncateTo(2);  // roll back a failed batch's interns
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_FALSE(d.Lookup("gamma").has_value());
+  EXPECT_FALSE(d.Lookup("delta").has_value());
+  EXPECT_EQ(d.Lookup("alpha").value(), a);
+  EXPECT_EQ(d.Lookup("beta").value(), b);
+  // Re-interning after rollback reuses the freed code range densely.
+  EXPECT_EQ(d.Intern("epsilon"), 2u);
+  d.TruncateTo(99);  // no-op beyond current size
+  EXPECT_EQ(d.size(), 3u);
+}
+
 TEST(RelationBuilder, BuildsAndDedupes) {
   Schema s = Schema::Make({{"A", 0}, {"B", 0}}).value();
   RelationBuilder b(s);

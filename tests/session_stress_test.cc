@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -262,6 +263,54 @@ TEST(WorkerPool, BusyPoolRunsSubmitterInlineInsteadOfWaiting) {
   EXPECT_EQ(processed.load(), 3);
   second_done.store(true);
   first.join();
+}
+
+TEST(WorkerPool, ThrowingTaskIsContainedOnEveryPath) {
+  // A task that throws must neither kill a pool thread (std::terminate)
+  // nor strand the batch latch: the remaining indexes run, the batch
+  // drains, and the first exception resurfaces on the submitter. All
+  // three execution paths — pool-run, workers<=1 inline, and busy-pool
+  // inline — must behave identically, and the pool must stay usable for
+  // later batches.
+  WorkerPool pool;
+  auto run_and_expect_contained = [&](uint32_t workers) {
+    std::atomic<int> processed{0};
+    std::function<void(size_t)> task = [&](size_t i) {
+      if (i == 2) throw std::runtime_error("task boom");
+      ++processed;
+    };
+    try {
+      pool.Run(6, workers, task);
+      FAIL() << "expected the task's exception to resurface";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task boom");
+    }
+    EXPECT_EQ(processed.load(), 5);  // every non-throwing index still ran
+  };
+  run_and_expect_contained(/*workers=*/4);  // pool path
+  run_and_expect_contained(/*workers=*/1);  // inline path
+
+  // Busy-pool inline path: occupy the pool from another thread, then
+  // submit a throwing batch that must run inline with the same semantics.
+  std::atomic<bool> first_started{false};
+  std::atomic<bool> release{false};
+  std::thread occupier([&] {
+    std::function<void(size_t)> block = [&](size_t) {
+      first_started.store(true);
+      while (!release.load()) std::this_thread::yield();
+    };
+    pool.Run(1, 2, block);
+  });
+  while (!first_started.load()) std::this_thread::yield();
+  run_and_expect_contained(/*workers=*/4);  // busy -> inline fallback
+  release.store(true);
+  occupier.join();
+
+  // The pool survived: a clean batch still completes on pool threads.
+  std::atomic<int> clean{0};
+  std::function<void(size_t)> count = [&](size_t) { ++clean; };
+  pool.Run(8, 4, count);
+  EXPECT_EQ(clean.load(), 8);
 }
 
 // --- Serve-while-ingest: readers pinned across appends -------------------

@@ -264,6 +264,94 @@ TEST(StreamingConcurrency, PinnedQueriesDuringIngestStayExact) {
   EXPECT_NEAR(monitor.trajectory().back().j, JMeasure(r, tree), 1e-9);
 }
 
+TEST(Streaming, CreateValidatesUserInputInsteadOfAborting) {
+  Rng rng(4410);
+  Relation r = EmptyRelation(3, 3);
+  ASSERT_TRUE(r.AppendBatch(RandomRows(&rng, 3, 3, 10)).ok());
+
+  // Null relation: an error, not a CHECK abort.
+  Result<StreamingLossMonitor> null_r = StreamingLossMonitor::Create(
+      nullptr, testing_util::RandomPathJoinTree(&rng, 3));
+  EXPECT_EQ(null_r.status().code(), StatusCode::kInvalidArgument);
+
+  // Tree mentioning attributes the relation does not have.
+  JoinTree wide = testing_util::RandomPathJoinTree(&rng, 5);
+  Result<StreamingLossMonitor> bad_tree =
+      StreamingLossMonitor::Create(&r, wide);
+  EXPECT_EQ(bad_tree.status().code(), StatusCode::kInvalidArgument);
+
+  // Valid input constructs a working monitor.
+  Result<StreamingLossMonitor> good = StreamingLossMonitor::Create(
+      &r, testing_util::RandomPathJoinTree(&rng, 3));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good.value().IngestBatch(RandomRows(&rng, 3, 3, 5)).ok());
+
+  // Null monitor into the CSV driver: error, not abort.
+  std::istringstream in("a,b\n1,2\n");
+  EXPECT_EQ(IngestCsvStream(nullptr, in, 2).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Streaming, ObserveReportsShrunkRelationAsFailedPrecondition) {
+  Rng rng(4411);
+  Relation r = EmptyRelation(3, 3);
+  ASSERT_TRUE(r.AppendBatch(RandomRows(&rng, 3, 3, 20)).ok());
+  StreamingOptions opts;
+  opts.drift_threshold = 0.0;
+  StreamingLossMonitor monitor(
+      &r, testing_util::RandomPathJoinTree(&rng, 3), opts);
+  // Replace the monitored relation with a smaller one at the same address
+  // — the append-only contract the monitor's caches rely on is broken, and
+  // Observe must say so instead of aborting the process.
+  Relation smaller = EmptyRelation(3, 3);
+  ASSERT_TRUE(smaller.AppendBatch(RandomRows(&rng, 3, 3, 5)).ok());
+  r = smaller;
+  Result<StreamingPoint> point = monitor.Observe();
+  EXPECT_EQ(point.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Streaming, PoisonBatchQuarantineKeepsTheStreamAlive) {
+  Rng rng(4412);
+  const uint32_t num_attrs = 3;
+  Relation r = EmptyRelation(num_attrs, 3);
+  ASSERT_TRUE(r.AppendBatch(RandomRows(&rng, num_attrs, 3, 20)).ok());
+
+  // A string batch against a raw-code relation fails deterministically
+  // (no dictionaries to intern into) — a poison batch without failpoints.
+  const std::vector<std::vector<std::string>> poison = {{"a", "b", "c"}};
+
+  // Default policy: the error surfaces and nothing is recorded.
+  StreamingOptions fail_opts;
+  fail_opts.drift_threshold = 0.0;
+  StreamingLossMonitor strict(
+      &r, testing_util::RandomPathJoinTree(&rng, num_attrs), fail_opts);
+  EXPECT_FALSE(strict.IngestStringBatch(poison).ok());
+  EXPECT_EQ(strict.NumQuarantinedBatches(), 0u);
+  EXPECT_TRUE(strict.trajectory().empty());
+
+  // Skip policy: the batch quarantines, the stream keeps going, and later
+  // good batches land normally.
+  StreamingOptions skip_opts;
+  skip_opts.drift_threshold = 0.0;
+  skip_opts.batch_fault_policy = BatchFaultPolicy::kRetryThenSkip;
+  skip_opts.max_batch_retries = 1;
+  StreamingLossMonitor lax(
+      &r, testing_util::RandomPathJoinTree(&rng, num_attrs), skip_opts);
+  const uint64_t rows_before = r.NumRows();
+  Result<StreamingPoint> skipped = lax.IngestStringBatch(poison);
+  ASSERT_TRUE(skipped.ok());  // no-op point, stream alive
+  EXPECT_EQ(skipped.value().batch_rows, 0u);
+  EXPECT_EQ(lax.NumQuarantinedBatches(), 1u);
+  EXPECT_EQ(lax.LastQuarantineError().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.NumRows(), rows_before);  // relation untouched (rolled back)
+
+  Result<StreamingPoint> good =
+      lax.IngestBatch(RandomRows(&rng, num_attrs, 3, 5));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().batch_rows, 5u);
+  EXPECT_EQ(lax.NumQuarantinedBatches(), 1u);  // unchanged
+}
+
 TEST(Streaming, PointJsonLineIsWellFormed) {
   StreamingPoint p;
   p.epoch = 3;
@@ -356,6 +444,62 @@ TEST(CsvBatches, AppendCsvBatchesFeedsRelationEpochs) {
   EXPECT_EQ(AppendCsvBatches(reordered, &r, CsvOptions{}, 2).code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(r.NumRows(), 5u);  // nothing appended
+}
+
+TEST(CsvBatches, IngestSummaryReportsCommitsAndResumeOffset) {
+  RelationBuilder b(Schema::MakeUniform({"x", "y"}, 0).value());
+  b.AddStringRow({"a", "p"});
+  Relation r = std::move(b).Build(/*dedupe=*/false);
+
+  CsvOptions opts;
+  opts.dedupe = false;
+
+  // Clean full-file ingest: the summary covers every batch and the resume
+  // offset lands at end-of-file.
+  const std::string text = "x,y\na,p\nb,q\nc,r\nd,s\ne,t\n";
+  std::istringstream in(text);
+  CsvIngestSummary summary;
+  ASSERT_TRUE(AppendCsvBatches(in, &r, opts, 2, &summary).ok());
+  EXPECT_EQ(summary.rows_read, 5u);
+  EXPECT_EQ(summary.rows_appended, 5u);
+  EXPECT_EQ(summary.batches_committed, 3u);  // 2 + 2 + tail of 1
+  EXPECT_EQ(summary.resume_offset, static_cast<int64_t>(text.size()));
+
+  // Mid-file failure (ragged row in the second batch): exactly the first
+  // batch committed, and the resume offset points just past it.
+  RelationBuilder b2(Schema::MakeUniform({"x", "y"}, 0).value());
+  Relation r2 = std::move(b2).Build(/*dedupe=*/false);
+  const std::string head = "x,y\na,p\nb,q\n";
+  const std::string broken = head + "c\nd,s\n";
+  std::istringstream in2(broken);
+  CsvIngestSummary s2;
+  EXPECT_EQ(AppendCsvBatches(in2, &r2, opts, 2, &s2).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(s2.rows_read, 2u);
+  EXPECT_EQ(s2.rows_appended, 2u);
+  EXPECT_EQ(s2.batches_committed, 1u);
+  EXPECT_EQ(r2.NumRows(), 2u);  // the committed batch, nothing of the rest
+  EXPECT_EQ(s2.resume_offset, static_cast<int64_t>(head.size()));
+
+  // Resuming from the reported offset (headerless: the header was already
+  // consumed in the first pass) ingests exactly the remaining good rows.
+  const std::string fixed = head + "c,r\nd,s\n";
+  std::istringstream in3(fixed);
+  in3.seekg(s2.resume_offset);
+  CsvOptions resume = opts;
+  resume.has_header = false;
+  CsvIngestSummary s3;
+  ASSERT_TRUE(AppendCsvBatches(in3, &r2, resume, 2, &s3).ok());
+  EXPECT_EQ(s3.rows_appended, 2u);
+  EXPECT_EQ(r2.NumRows(), 4u);
+
+  // With dedupe, rows_read counts what the committed batches carried while
+  // rows_appended counts what landed.
+  std::istringstream dup("x,y\na,p\nz,z\n");
+  CsvIngestSummary s4;
+  ASSERT_TRUE(AppendCsvBatches(dup, &r, CsvOptions{}, 10, &s4).ok());
+  EXPECT_EQ(s4.rows_read, 2u);
+  EXPECT_EQ(s4.rows_appended, 1u);  // "a,p" already present
 }
 
 TEST(Streaming, CsvIngestionDrivesTheMonitor) {
