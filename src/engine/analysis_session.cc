@@ -64,6 +64,27 @@ bool AnalysisSession::Release(const Relation& r) {
   return engines_.erase(&r) > 0;
 }
 
+Status AnalysisSession::PersistAll() {
+  // Snapshot the engine pointers under mu_, persist outside it: PersistCache
+  // runs a catch-up plus blob writes per engine, and holding the session
+  // mutex across that would block EngineFor on every other thread. The
+  // unique_ptrs stay valid because only Release/~AnalysisSession drop them
+  // and callers of PersistAll own the shutdown sequence.
+  std::vector<EntropyEngine*> engines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    engines.reserve(engines_.size());
+    for (const auto& entry : engines_) engines.push_back(entry.second.get());
+  }
+  Status first = Status::OK();
+  for (EntropyEngine* e : engines) {
+    if (options().persist_store == nullptr) break;
+    Status s = e->PersistCache();
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
 size_t AnalysisSession::NumRelations() const {
   std::lock_guard<std::mutex> lock(mu_);
   return engines_.size();
@@ -90,6 +111,13 @@ EngineStats AnalysisSession::TotalStats() const {
     total.epoch_catchups += s.epoch_catchups;
     total.partitions_extended += s.partitions_extended;
     total.partitions_replayed += s.partitions_replayed;
+    total.catchup_dropped += s.catchup_dropped;
+    total.catchup_aborts += s.catchup_aborts;
+    total.persist_hits += s.persist_hits;
+    total.persist_reloads += s.persist_reloads;
+    total.persist_extended += s.persist_extended;
+    total.persist_spills += s.persist_spills;
+    total.persist_fallbacks += s.persist_fallbacks;
   }
   return total;
 }

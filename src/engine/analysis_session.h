@@ -108,6 +108,13 @@ class AnalysisSession {
   /// references previously returned for `r` are invalidated.
   bool Release(const Relation& r);
 
+  /// Writes every engine's current cache generation down to its disk tier
+  /// (EntropyEngine::PersistCache) — the planned-shutdown hook that makes
+  /// the next process's sessions warm-start. A no-op OK without a
+  /// persistent store (EngineOptions::persist_store); otherwise returns the
+  /// first failure, after attempting every engine.
+  Status PersistAll();
+
   /// Number of relations with a live engine.
   size_t NumRelations() const;
 

@@ -10,6 +10,8 @@
 #include "engine/cache_arbiter.h"
 #include "engine/refine_kernels.h"
 #include "engine/worker_pool.h"
+#include "persist/persistent_store.h"
+#include "relation/fingerprint.h"
 #include "relation/row_hash.h"
 #include "util/failpoint.h"
 
@@ -33,6 +35,7 @@ EntropyEngine::EntropyEngine(const Relation* r, EngineOptions options)
       pool_(options.worker_pool != nullptr ? options.worker_pool
                                            : WorkerPool::Shared()),
       arbiter_(options.cache_arbiter),
+      persist_(options.persist_store),
       keys_by_count_(kMaxAttrs + 1) {
   stamp_ = std::make_shared<const EpochPin>(EpochPin{
       store_.SyncedRows(), synced_epoch_.load(std::memory_order_relaxed)});
@@ -41,6 +44,17 @@ EntropyEngine::EntropyEngine(const Relation* r, EngineOptions options)
     // body finishes cannot race a Charge.
     arbiter_->RegisterEngine(
         this, [this](AttrSet attrs) { DropPartitionForArbiter(attrs); });
+  }
+  if (persist_ != nullptr) {
+    fp_ = std::make_unique<FingerprintTracker>(r);
+    try {
+      WarmStartFromPersist();
+    } catch (const std::exception&) {
+      // Warm restart is an optimization, never a requirement: on any
+      // failure (allocation, I/O) the engine simply starts cold.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.persist_fallbacks;
+    }
   }
 }
 
@@ -91,6 +105,11 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
   // atomically at the publish step.
   const uint64_t old_rows =
       std::atomic_load_explicit(&stamp_, std::memory_order_relaxed)->rows;
+  // The superseded generation's fingerprint, captured while the tracker
+  // still sits at old_rows (one cached read); the publish-down step below
+  // erases the disk entries it supersedes under this key.
+  const bool persist_down = persist_ != nullptr && options_.persist_on_catchup;
+  const uint64_t fp_old = persist_down ? FingerprintFor(old_rows) : 0;
 
   // Columns and sketches first: extension publishes fresh RCU views over
   // the grown buffers, never touching bytes an old-pin view can see.
@@ -148,7 +167,9 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
       }
     }
     for (AttrSet key : idle) {
-      EvictPartitionLocked(partitions_.find(key));
+      // Idle entries still carry the current generation's row tag; demote
+      // them to the disk tier rather than discarding the work outright.
+      EvictPartitionLocked(partitions_.find(key), /*allow_spill=*/true);
       discharged.push_back(key);
     }
     claimed.reserve(keep_keys.size());
@@ -369,6 +390,16 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
   std::vector<AttrSet> swept;
   std::vector<std::pair<AttrSet, size_t>> charges;
   charges.reserve(claimed.size());
+  /// Extended entries to publish DOWN to the disk tier after the in-memory
+  /// publish (captured under mu_, written outside it; the partition
+  /// pointers are immutable shared state, so the writes race nothing).
+  struct DownEntry {
+    AttrSet set;
+    std::shared_ptr<const Partition> partition;
+    std::vector<uint32_t> chain;
+    uint32_t last_col_card = 0;
+  };
+  std::vector<DownEntry> down;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Sweep whatever old-generation state concurrent readers seeded while
@@ -381,7 +412,9 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
       if (entry.second.rows != target_rows) stale.push_back(entry.first);
     }
     for (AttrSet key : stale) {
-      EvictPartitionLocked(partitions_.find(key));
+      // Never spill a stale-generation entry: its row tag is superseded
+      // and the extended form is being published right now.
+      EvictPartitionLocked(partitions_.find(key), /*allow_spill=*/false);
       swept.push_back(key);
     }
     for (auto it = entropies_.begin(); it != entropies_.end();) {
@@ -400,6 +433,10 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
       if (partitions_.find(c.set) != partitions_.end()) continue;
       const size_t bytes = c.cp.partition->MemoryBytes();
       const uint64_t mass = c.cp.partition->NumStrippedRows();
+      if (persist_down) {
+        down.push_back(
+            {c.set, c.cp.partition, c.cp.chain, c.cp.last_col_card});
+      }
       partitions_.emplace(c.set, std::move(c.cp));
       partition_bytes_ += bytes;
       keys_by_count_[c.set.Count()].push_back({c.set, mass, target_rows});
@@ -423,6 +460,33 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
   if (arbiter_ != nullptr) {
     if (!swept.empty()) arbiter_->Discharge(this, swept);
     if (!charges.empty()) arbiter_->Charge(this, charges);
+  }
+
+  // Publish DOWN: the disk tier follows the in-memory cache to the new
+  // generation, so a restart right now warm-starts at target_rows instead
+  // of the previous epoch's prefix. Each write supersedes that entry's
+  // old-generation record, which is erased under the old fingerprint.
+  // Best effort throughout — a full disk degrades the tier, never the
+  // published generation.
+  if (persist_down && !down.empty()) {
+    const uint64_t fp_new = FingerprintFor(target_rows);
+    uint64_t spilled = 0;
+    for (const DownEntry& d : down) {
+      PersistedEntryMeta meta;
+      meta.fingerprint = fp_new;
+      meta.attrs = d.set;
+      meta.rows = target_rows;
+      meta.chain = d.chain;
+      meta.last_col_card = d.last_col_card;
+      PartitionPayload payload{d.partition->RawRows(),
+                               d.partition->RawBlockOffsets()};
+      if (persist_->Put(meta, &payload).ok()) ++spilled;
+      if (target_rows != old_rows) {
+        (void)persist_->Erase(fp_old, d.set, old_rows);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.persist_spills += spilled;
   }
 }
 
@@ -469,6 +533,18 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, const EpochPin& pin,
   // while this computation runs.
   const uint64_t n = pin.rows;
   AJD_INJECT_BAD_ALLOC(failpoints::kEngineComputePartition);
+
+  // Disk tier first (persist/persistent_store.h): an exact-key persisted
+  // entry — same content fingerprint, same set, same row count — serves the
+  // miss for the cost of a reload instead of a refinement chain. Any
+  // lookup, load, or validation failure falls through to the cold path
+  // below; a bad disk entry can cost time, never change an answer.
+  if (persist_ != nullptr) {
+    double h_disk;
+    if (TryServeFromDisk(attrs, pin, materialize_final, &h_disk)) {
+      return h_disk;
+    }
+  }
 
   // Best cached base under the refinement cost model: each remaining step
   // scans at most the base's stripped rows, so refining base T costs about
@@ -799,7 +875,7 @@ void EntropyEngine::EvictToPrivateBudgetLocked(AttrSet spare) {
       }
     }
     if (victim == partitions_.end()) break;
-    EvictPartitionLocked(victim);
+    EvictPartitionLocked(victim, /*allow_spill=*/true);
   }
 }
 
@@ -818,16 +894,52 @@ void EntropyEngine::RemovePartitionLocked(
 }
 
 void EntropyEngine::EvictPartitionLocked(
-    std::unordered_map<AttrSet, CachedPartition, AttrSetHash>::iterator it) {
+    std::unordered_map<AttrSet, CachedPartition, AttrSetHash>::iterator it,
+    bool allow_spill) {
+  if (allow_spill && persist_ != nullptr && options_.persist_spill_on_evict &&
+      it->second.partition != nullptr) {
+    try {
+      SpillPartitionLocked(it->first, it->second);
+    } catch (const std::exception&) {
+      // A spill that cannot even be attempted (allocation) degrades to a
+      // plain eviction; the entry recomputes cold like any evicted one.
+      ++stats_.persist_fallbacks;
+    }
+  }
   RemovePartitionLocked(it);
   ++stats_.evictions;
+}
+
+void EntropyEngine::SpillPartitionLocked(AttrSet attrs,
+                                         const CachedPartition& cp) {
+  // Only current-generation entries go down: a superseded row tag would
+  // persist an entry no restart could use past the next catch-up anyway.
+  if (cp.rows !=
+      std::atomic_load_explicit(&stamp_, std::memory_order_relaxed)->rows) {
+    return;
+  }
+  PersistedEntryMeta meta;
+  meta.fingerprint = FingerprintFor(cp.rows);  // fp_mu_ is a leaf under mu_
+  meta.attrs = attrs;
+  meta.rows = cp.rows;
+  meta.chain = cp.chain;
+  meta.last_col_card = cp.last_col_card;
+  auto eit = entropies_.find(attrs);
+  if (eit != entropies_.end() && eit->second.rows == cp.rows) {
+    meta.has_entropy = true;
+    meta.entropy = eit->second.h;
+  }
+  PartitionPayload payload{cp.partition->RawRows(),
+                           cp.partition->RawBlockOffsets()};
+  if (persist_->Put(meta, &payload).ok()) ++stats_.persist_spills;
 }
 
 void EntropyEngine::DropPartitionForArbiter(AttrSet attrs) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = partitions_.find(attrs);
   if (it == partitions_.end()) return;
-  EvictPartitionLocked(it);
+  // An arbiter victim is a cold-ish but current entry: demote it to disk.
+  EvictPartitionLocked(it, /*allow_spill=*/true);
 }
 
 bool EntropyEngine::ParallelBatches() const {
@@ -976,6 +1088,375 @@ double EntropyEngine::ConditionalMutualInformation(AttrSet a, AttrSet b,
 
 double EntropyEngine::MutualInformation(AttrSet a, AttrSet b) {
   return ConditionalMutualInformation(a, b, AttrSet());
+}
+
+uint64_t EntropyEngine::FingerprintFor(uint64_t rows) {
+  std::lock_guard<std::mutex> lock(fp_mu_);
+  return fp_->At(rows);
+}
+
+bool EntropyEngine::TryServeFromDisk(AttrSet attrs, const EpochPin& pin,
+                                     bool materialize_final, double* h_out) {
+  {
+    // The entropy VALUE can miss while the partition itself is resident at
+    // the pinned row count (a catch-up sweeps entropies_ but revalidates
+    // partitions_ in place). Recomputing from the in-memory partition is
+    // strictly cheaper than a disk round-trip, so only a true double miss
+    // probes the store.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = partitions_.find(attrs);
+    if (it != partitions_.end() && it->second.rows == pin.rows) return false;
+  }
+  {
+    // A pin behind the tracker is a superseded generation mid-catch-up:
+    // probing it would pay a full O(pin.rows) fingerprint recompute per
+    // miss (the tracker only moves forward). Stale pins are transient —
+    // they just compute cold.
+    std::lock_guard<std::mutex> lock(fp_mu_);
+    if (pin.rows < fp_->rows()) return false;
+  }
+  const uint64_t fp = FingerprintFor(pin.rows);
+  PersistedEntryMeta meta;
+  if (!persist_->LookupExact(fp, attrs, pin.rows, &meta)) return false;
+
+  if (!meta.has_payload) {
+    // Value-only entry: the stored H (its journal record is CRC-verified,
+    // and the fingerprint key pins the exact relation content it was
+    // computed over). Useless when the caller needs the partition itself.
+    if (!meta.has_entropy || materialize_final) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.persist_hits;
+    if (pin.rows ==
+        std::atomic_load_explicit(&stamp_, std::memory_order_relaxed)
+            ->rows) {
+      entropies_[attrs] = CachedEntropy{meta.entropy, pin.rows};
+    }
+    *h_out = meta.entropy;
+    return true;
+  }
+
+  // The recorded chain must be a permutation of exactly this attribute
+  // set — anything else is a stale or foreign producer's record, and a
+  // partition admitted under the wrong recipe would extend incorrectly at
+  // the next catch-up.
+  AttrSet chain_set;
+  bool chain_ok =
+      !meta.chain.empty() && meta.chain.size() == attrs.Count();
+  for (uint32_t a : meta.chain) {
+    if (!chain_ok) break;
+    if (a >= kMaxAttrs || chain_set.Contains(a)) {
+      chain_ok = false;
+      break;
+    }
+    chain_set.Add(a);
+  }
+  if (!chain_ok || chain_set != attrs) {
+    (void)persist_->Erase(fp, attrs, pin.rows);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.persist_fallbacks;
+    return false;
+  }
+  Result<PartitionPayload> loaded = persist_->LoadPayload(meta);
+  if (!loaded.ok()) {
+    // Corrupt or vanished blob: the store quarantined it; compute cold.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.persist_fallbacks;
+    return false;
+  }
+  Result<Partition> rebuilt = Partition::FromStripped(
+      std::move(loaded.value().rows), std::move(loaded.value().offsets),
+      pin.rows);
+  if (!rebuilt.ok()) {
+    // Checksum-clean but structurally invalid (stale producer): the entry
+    // can never serve, so drop it rather than re-failing every miss.
+    (void)persist_->Erase(fp, attrs, pin.rows);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.persist_fallbacks;
+    return false;
+  }
+  auto p = std::make_shared<const Partition>(std::move(rebuilt).value());
+  // H derives from the VALIDATED partition, not the stored double: the
+  // partition is the entry's load-bearing content, and EntropyNats runs
+  // the same XLogX block-order accumulation the engine uses everywhere.
+  const double h = p->EntropyNats(pin.rows);
+  size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.persist_hits;
+    ++stats_.persist_reloads;
+    if (pin.rows ==
+        std::atomic_load_explicit(&stamp_, std::memory_order_relaxed)
+            ->rows) {
+      entropies_[attrs] = CachedEntropy{h, pin.rows};
+    }
+    bytes = InsertPartitionLocked(attrs, p, std::move(meta.chain),
+                                  meta.last_col_card, pin.rows,
+                                  PartitionDelta{});
+  }
+  if (arbiter_ != nullptr && bytes > 0) {
+    std::vector<std::pair<AttrSet, size_t>> charged{{attrs, bytes}};
+    arbiter_->Charge(this, charged);
+  }
+  *h_out = h;
+  return true;
+}
+
+void EntropyEngine::WarmStartFromPersist() {
+  const uint64_t now = store_.SyncedRows();
+  const std::vector<PersistedEntryMeta> all = persist_->AllEntries();
+
+  // Fingerprints of every persisted prefix length, computed ascending so
+  // the tracker extends incrementally — one O(now) hashing pass total.
+  std::vector<uint64_t> row_counts;
+  for (const PersistedEntryMeta& e : all) {
+    if (e.rows > 0 && e.rows <= now) row_counts.push_back(e.rows);
+  }
+  std::sort(row_counts.begin(), row_counts.end());
+  row_counts.erase(std::unique(row_counts.begin(), row_counts.end()),
+                   row_counts.end());
+  std::unordered_map<uint64_t, uint64_t> fp_at;
+  for (uint64_t m : row_counts) fp_at.emplace(m, FingerprintFor(m));
+  // Leave the tracker at the current row count: the miss-path probe and
+  // spills read it from here on.
+  (void)FingerprintFor(now);
+
+  // Per attribute set, the deepest usable prefix entry: content-verified
+  // (its fingerprint matches OUR relation at its recorded row count —
+  // entries of other relations sharing the store simply never match) and
+  // longest, payload-carrying entries preferred on ties.
+  std::unordered_map<AttrSet, const PersistedEntryMeta*, AttrSetHash> best;
+  for (const PersistedEntryMeta& e : all) {
+    if (e.rows == 0 || e.rows > now) continue;
+    auto fit = fp_at.find(e.rows);
+    if (fit == fp_at.end() || fit->second != e.fingerprint) continue;
+    auto [bit, inserted] = best.emplace(e.attrs, &e);
+    if (!inserted && (e.rows > bit->second->rows ||
+                      (e.rows == bit->second->rows && e.has_payload &&
+                       !bit->second->has_payload))) {
+      bit->second = &e;
+    }
+  }
+  if (best.empty()) return;
+
+  // Chain length ascending, so every entry's direct parent (a strict chain
+  // prefix, hence a smaller set) is reloaded and extended before the entry
+  // needs it — the same order catch-up extends in.
+  std::vector<const PersistedEntryMeta*> picked;
+  picked.reserve(best.size());
+  for (const auto& kv : best) picked.push_back(kv.second);
+  std::sort(picked.begin(), picked.end(),
+            [](const PersistedEntryMeta* a, const PersistedEntryMeta* b) {
+              if (a->attrs.Count() != b->attrs.Count()) {
+                return a->attrs.Count() < b->attrs.Count();
+              }
+              return a->attrs < b->attrs;
+            });
+
+  struct Reloaded {
+    std::shared_ptr<const Partition> original;  // at meta->rows
+    std::shared_ptr<const Partition> final;     // extended to `now`
+    const PersistedEntryMeta* meta = nullptr;
+    PartitionDelta delta;  // emitted by the extension, when one ran
+  };
+  std::unordered_map<AttrSet, Reloaded, AttrSetHash> ready;
+  uint64_t reloads = 0, extended = 0, fallbacks = 0, value_hits = 0;
+
+  for (const PersistedEntryMeta* e : picked) {
+    if (!e->has_payload) continue;  // value-only entries handled below
+    // Same recipe sanity as the miss path.
+    AttrSet chain_set;
+    bool chain_ok =
+        !e->chain.empty() && e->chain.size() == e->attrs.Count();
+    for (uint32_t a : e->chain) {
+      if (!chain_ok) break;
+      if (a >= kMaxAttrs || chain_set.Contains(a)) {
+        chain_ok = false;
+        break;
+      }
+      chain_set.Add(a);
+    }
+    if (!chain_ok || chain_set != e->attrs) {
+      ++fallbacks;
+      continue;
+    }
+    Result<PartitionPayload> loaded = persist_->LoadPayload(*e);
+    if (!loaded.ok()) {
+      ++fallbacks;
+      continue;
+    }
+    Result<Partition> rebuilt = Partition::FromStripped(
+        std::move(loaded.value().rows), std::move(loaded.value().offsets),
+        e->rows);
+    if (!rebuilt.ok()) {
+      (void)persist_->Erase(e->fingerprint, e->attrs, e->rows);
+      ++fallbacks;
+      continue;
+    }
+    Reloaded r;
+    r.meta = e;
+    r.original =
+        std::make_shared<const Partition>(std::move(rebuilt).value());
+    ++reloads;
+    const uint64_t m = e->rows;
+    if (m == now) {
+      r.final = r.original;
+    } else if (e->chain.size() == 1) {
+      // Root of a chain: the single-column extension needs no parent.
+      const Column col = store_.ColumnAt(e->chain[0], now);
+      r.final = std::make_shared<const Partition>(
+          r.original->ExtendedOfColumn(col, m));
+      ++extended;
+    } else {
+      // Deeper entry: the delta path needs the direct parent both in its
+      // persisted form (at the same row count — the block correspondence
+      // seed) and already extended to `now`. Entries that can't extend
+      // cheaply are SKIPPED, not replayed: a warm restart that silently
+      // replays chains cold costs more than the cold start it replaces.
+      AttrSet parent_set;
+      for (size_t j = 0; j + 1 < e->chain.size(); ++j) {
+        parent_set.Add(e->chain[j]);
+      }
+      auto pit = ready.find(parent_set);
+      const Column col = store_.ColumnAt(e->chain.back(), now);
+      const bool parent_usable =
+          pit != ready.end() && pit->second.final != nullptr &&
+          pit->second.meta->rows == m &&
+          pit->second.meta->chain.size() + 1 == e->chain.size() &&
+          std::equal(pit->second.meta->chain.begin(),
+                     pit->second.meta->chain.end(), e->chain.begin());
+      const bool kernel_stable =
+          parent_usable &&
+          ChooseRefineKernel(col.cardinality,
+                             pit->second.final->NumStrippedRows()) ==
+              ChooseRefineKernel(e->last_col_card,
+                                 pit->second.final->NumStrippedRows());
+      if (!parent_usable || !kernel_stable) {
+        ++fallbacks;
+        continue;
+      }
+      r.final = std::make_shared<const Partition>(r.original->ExtendedBy(
+          pit->second.original.get(), *pit->second.final, col, m, nullptr,
+          &r.delta));
+      ++extended;
+    }
+    ready.emplace(e->attrs, std::move(r));
+  }
+
+  std::vector<std::pair<AttrSet, size_t>> charged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& kv : ready) {
+      Reloaded& r = kv.second;
+      const uint32_t last_col_card =
+          store_.ColumnAt(r.meta->chain.back(), now).cardinality;
+      const size_t bytes = InsertPartitionLocked(
+          kv.first, r.final, r.meta->chain, last_col_card, now,
+          std::move(r.delta));
+      if (arbiter_ != nullptr && bytes > 0) {
+        charged.emplace_back(kv.first, bytes);
+      }
+      // A stored H is only current when the entry needed no extension.
+      if (r.meta->rows == now && r.meta->has_entropy) {
+        entropies_[kv.first] = CachedEntropy{r.meta->entropy, now};
+        ++value_hits;
+      }
+    }
+    for (const PersistedEntryMeta* e : picked) {
+      if (e->has_payload || !e->has_entropy || e->rows != now) continue;
+      entropies_[e->attrs] = CachedEntropy{e->entropy, now};
+      ++value_hits;
+    }
+    stats_.persist_reloads += reloads;
+    stats_.persist_extended += extended;
+    stats_.persist_fallbacks += fallbacks;
+    stats_.persist_hits += value_hits;
+  }
+  if (arbiter_ != nullptr && !charged.empty()) {
+    arbiter_->Charge(this, charged);
+  }
+}
+
+Status EntropyEngine::PersistCache() {
+  if (persist_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no persistent store attached (EngineOptions::persist_store)");
+  }
+  CatchUp();
+  struct Item {
+    AttrSet set;
+    std::shared_ptr<const Partition> partition;
+    std::vector<uint32_t> chain;
+    uint32_t last_col_card = 0;
+    bool has_entropy = false;
+    double h = 0.0;
+  };
+  std::vector<Item> items;
+  uint64_t rows_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_now =
+        std::atomic_load_explicit(&stamp_, std::memory_order_relaxed)->rows;
+    for (const auto& kv : partitions_) {
+      if (kv.second.rows != rows_now || kv.second.partition == nullptr) {
+        continue;
+      }
+      Item item;
+      item.set = kv.first;
+      item.partition = kv.second.partition;
+      item.chain = kv.second.chain;
+      item.last_col_card = kv.second.last_col_card;
+      auto eit = entropies_.find(kv.first);
+      if (eit != entropies_.end() && eit->second.rows == rows_now) {
+        item.has_entropy = true;
+        item.h = eit->second.h;
+      }
+      items.push_back(std::move(item));
+    }
+    // Entropy-only terms (the common case: final chain steps take the
+    // fused counting pass and never materialize) persist as value-only
+    // records — 16 bytes of journal each, no blob.
+    for (const auto& kv : entropies_) {
+      if (kv.second.rows != rows_now) continue;
+      if (partitions_.find(kv.first) != partitions_.end()) continue;
+      Item item;
+      item.set = kv.first;
+      item.has_entropy = true;
+      item.h = kv.second.h;
+      items.push_back(std::move(item));
+    }
+  }
+  if (rows_now == 0 || items.empty()) return Status::OK();
+  const uint64_t fp = FingerprintFor(rows_now);
+  Status first = Status::OK();
+  uint64_t spilled = 0;
+  for (const Item& item : items) {
+    PersistedEntryMeta meta;
+    meta.fingerprint = fp;
+    meta.attrs = item.set;
+    meta.rows = rows_now;
+    meta.has_entropy = item.has_entropy;
+    meta.entropy = item.h;
+    meta.chain = item.chain;
+    meta.last_col_card = item.last_col_card;
+    Status s;
+    if (item.partition != nullptr) {
+      PartitionPayload payload{item.partition->RawRows(),
+                               item.partition->RawBlockOffsets()};
+      s = persist_->Put(meta, &payload);
+    } else {
+      s = persist_->Put(meta, nullptr);
+    }
+    if (s.ok()) {
+      ++spilled;
+    } else if (first.ok()) {
+      first = s;  // keep going: persist everything that still can be
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.persist_spills += spilled;
+  }
+  return first;
 }
 
 size_t EntropyEngine::CacheSize() const {

@@ -86,8 +86,11 @@
 
 namespace ajd {
 
-class CacheArbiter;  // engine/cache_arbiter.h
-class WorkerPool;    // engine/worker_pool.h
+class CacheArbiter;          // engine/cache_arbiter.h
+class WorkerPool;            // engine/worker_pool.h
+class PersistentCacheStore;  // persist/persistent_store.h
+class FingerprintTracker;    // relation/fingerprint.h
+struct PersistedEntryMeta;   // persist/persistent_store.h
 
 /// A reader's pinned view of the relation: the synced row count and epoch
 /// the engine's caches covered when the pin was taken. Every value
@@ -143,6 +146,27 @@ struct EngineOptions {
   /// so a many-relation sweep spends ONE budget where the reuse actually
   /// is, instead of slicing it evenly per relation.
   std::shared_ptr<CacheArbiter> cache_arbiter;
+  /// The crash-safe on-disk cache tier (persist/persistent_store.h), shared
+  /// across engines and PROCESS LIFETIMES. When set, the engine consults it
+  /// on a cache miss before computing cold (entries are keyed by relation
+  /// content fingerprint, so a foreign or stale file can cost a probe,
+  /// never change an answer), seeds its in-memory cache from it at
+  /// construction (warm restart: persisted prefix partitions are reloaded
+  /// and delta-extended to the current row count through the same
+  /// bit-identical extension machinery catch-up uses), and publishes
+  /// extended entries back down after each catch-up. nullptr (default): no
+  /// disk tier.
+  std::shared_ptr<PersistentCacheStore> persist_store;
+  /// With a disk tier attached: spill a partition to disk when it is
+  /// evicted from memory (budget pressure, generational idle drop), so the
+  /// eviction demotes the entry a tier instead of discarding the work.
+  /// Stale-generation sweeps never spill (their row tag is superseded).
+  bool persist_spill_on_evict = true;
+  /// With a disk tier attached: after each epoch catch-up, write the
+  /// extended partitions back down so the disk tier tracks the current row
+  /// count (and erase the superseded prefix entries they replace). Off, the
+  /// disk tier only learns entries at eviction/PersistCache time.
+  bool persist_on_catchup = true;
 };
 
 /// Monotonically increasing counters describing engine behavior. Hit rate
@@ -171,6 +195,19 @@ struct EngineStats {
   uint64_t catchup_aborts = 0;   ///< catch-up attempts abandoned whole by a
                                  ///< failure before publish; retried on the
                                  ///< next query.
+  // Disk tier (EngineOptions::persist_store; all zero without one).
+  uint64_t persist_hits = 0;     ///< misses answered from the disk tier.
+  uint64_t persist_reloads = 0;  ///< partitions reloaded from disk (misses
+                                 ///< and warm restart).
+  uint64_t persist_extended = 0; ///< warm-restart reloads delta-extended
+                                 ///< from their persisted row count to the
+                                 ///< relation's current one.
+  uint64_t persist_spills = 0;   ///< entries written down to the disk tier
+                                 ///< (evictions, catch-up publish,
+                                 ///< PersistCache).
+  uint64_t persist_fallbacks = 0; ///< disk entries that failed to load or
+                                  ///< validate; served cold instead (the
+                                  ///< degrade-never-corrupt path).
 
   double HitRate() const {
     return queries == 0 ? 0.0
@@ -294,6 +331,16 @@ class EntropyEngine {
   /// periodically to take the work off the query path entirely.
   void CatchUp();
 
+  /// Writes the current generation of the in-memory cache down to the disk
+  /// tier: every cached partition (with payload and, when cached, its
+  /// entropy value) and every value-only entropy term. The complement of
+  /// the constructor's warm restart — call it before a planned shutdown so
+  /// the next process starts where this one left off. Identical-content
+  /// entries already on disk are skipped (the store dedups). Returns the
+  /// first write failure (remaining entries are still attempted);
+  /// FailedPrecondition without a disk tier.
+  Status PersistCache();
+
   /// Test/introspection hook: the recorded build chain and current
   /// partition of a cached attribute set, if materialized. The chain lists
   /// the dense columns applied from scratch, in order — replaying it cold
@@ -381,10 +428,37 @@ class EntropyEngine {
 
   /// RemovePartitionLocked plus the eviction counter — the true-eviction
   /// form (budget pressure, generational drop, stale-generation sweep).
-  /// Requires mu_ held.
+  /// `allow_spill` additionally offers the entry to the disk tier first
+  /// (EngineOptions::persist_spill_on_evict): true for evictions of
+  /// current-generation entries (budget pressure, idle drop, arbiter
+  /// victims), false for stale-generation sweeps. Requires mu_ held (the
+  /// store is a leaf in the lock order, so the synchronous spill is legal).
   void EvictPartitionLocked(
-      std::unordered_map<AttrSet, CachedPartition, AttrSetHash>::iterator
-          it);
+      std::unordered_map<AttrSet, CachedPartition, AttrSetHash>::iterator it,
+      bool allow_spill);
+
+  /// The relation's content fingerprint over its first `rows` rows, via the
+  /// incremental tracker (fp_mu_, a leaf: callable with or without mu_).
+  uint64_t FingerprintFor(uint64_t rows);
+
+  /// Miss-path probe of the disk tier: serves H(attrs) at `pin` from a
+  /// persisted entry when one matches exactly, reloading (and caching) its
+  /// partition. False on miss or any load/validation failure — the caller
+  /// computes cold (counted in persist_fallbacks). Called without mu_.
+  bool TryServeFromDisk(AttrSet attrs, const EpochPin& pin,
+                        bool materialize_final, double* h_out);
+
+  /// Offers one evicted current-generation entry to the disk tier (best
+  /// effort; failures degrade to a plain eviction). Requires mu_ held.
+  void SpillPartitionLocked(AttrSet attrs, const CachedPartition& cp);
+
+  /// Constructor-time warm restart: reloads this relation's persisted
+  /// entries (fingerprint-verified at their recorded row counts) and
+  /// delta-extends them to the current row count through the engine's
+  /// bit-identical extension machinery. Entries that cannot be extended
+  /// cheaply (missing parent, kernel threshold crossed) are skipped, not
+  /// replayed — warm restart must never cost more than a cold start.
+  void WarmStartFromPersist();
 
   /// Resolved BatchEntropy pool size for a batch of n terms.
   uint32_t PoolSizeFor(size_t n) const;
@@ -403,6 +477,13 @@ class EntropyEngine {
   /// registers at construction and releases its whole footprint at
   /// destruction. Arbiter calls are made only while mu_ is NOT held.
   std::shared_ptr<CacheArbiter> arbiter_;
+  /// The disk tier, if any (options_.persist_store). A LEAF in the lock
+  /// order (arbiter -> engine -> store): safe to call under mu_.
+  std::shared_ptr<PersistentCacheStore> persist_;
+  /// Incremental content fingerprint of the relation prefix (leaf mutex;
+  /// only used with a disk tier attached).
+  mutable std::mutex fp_mu_;
+  std::unique_ptr<FingerprintTracker> fp_;
 
   /// Serializes catch-up owners. Acquired BEFORE mu_ (lock order:
   /// catchup_mu_ -> mu_, catchup_mu_ -> column-store internals; never the

@@ -19,6 +19,7 @@
 
 #include "engine/column_store.h"
 #include "engine/refine_kernels.h"
+#include "util/status.h"
 
 namespace ajd {
 
@@ -189,6 +190,35 @@ class Partition {
     AJD_CHECK(b < NumBlocks());
     return starts_[b + 1] - starts_[b];
   }
+
+  // --- Raw stripped representation (persistence tier) -------------------
+  //
+  // The persistent cache store (persist/persistent_store.h) serializes a
+  // partition as exactly these two arrays and rebuilds it through
+  // FromStripped. The accessors expose the internal vectors read-only; the
+  // factory VALIDATES, because its input crossed a process boundary — a
+  // checksum catches torn bytes, not a stale file written by a buggy or
+  // hostile producer, and a malformed partition admitted to the cache
+  // could corrupt served answers rather than just wasting time.
+
+  /// Concatenated members of the stripped blocks, in block order.
+  const std::vector<uint32_t>& RawRows() const { return rows_; }
+
+  /// Block-boundary offsets into RawRows(): block b spans
+  /// [offsets[b], offsets[b+1]). Empty (like RawRows()) for the empty
+  /// stripped partition.
+  const std::vector<uint32_t>& RawBlockOffsets() const { return starts_; }
+
+  /// Rebuilds a partition from a deserialized raw representation.
+  /// InvalidArgument unless the shape is one the factories could have
+  /// produced: offsets start at 0, strictly increase, and end at
+  /// rows.size(); every block has >= 2 members; rows are strictly
+  /// ascending within each block; every row id is < row_bound and appears
+  /// in at most one block. (Both arrays empty is the valid empty
+  /// partition.)
+  static Result<Partition> FromStripped(std::vector<uint32_t> rows,
+                                        std::vector<uint32_t> offsets,
+                                        uint64_t row_bound);
 
   /// Heap bytes held (for the engine's cache budget accounting).
   size_t MemoryBytes() const {

@@ -231,6 +231,33 @@ Status AppendCsvBatches(std::istream& in, Relation* r,
       });
 }
 
+Status ResumeCsvIngest(std::istream& in, Relation* r,
+                       const CsvOptions& options, uint64_t batch_rows,
+                       int64_t resume_offset, CsvIngestSummary* summary) {
+  if (r == nullptr) {
+    return Status::InvalidArgument("ResumeCsvIngest: relation is null");
+  }
+  if (resume_offset < 0) {
+    return Status::InvalidArgument(
+        "ResumeCsvIngest: negative resume offset (the failed ingest "
+        "reported the stream as not resumable)");
+  }
+  // The failed pass may have left the stream failed or at EOF; both must
+  // clear before seekg can position it.
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(resume_offset));
+  if (!in) {
+    return Status::IoError("ResumeCsvIngest: cannot seek to offset " +
+                           std::to_string(resume_offset));
+  }
+  // The header row (if the file had one) lies BEFORE the resume offset —
+  // the original pass consumed and validated it — so the continuation
+  // parses data rows only. Width validation still applies per batch.
+  CsvOptions resumed = options;
+  resumed.has_header = false;
+  return AppendCsvBatches(in, r, resumed, batch_rows, summary);
+}
+
 Status WriteCsv(const Relation& r, std::ostream& out, char separator) {
   for (uint32_t a = 0; a < r.NumAttrs(); ++a) {
     if (a > 0) out << separator;

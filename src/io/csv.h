@@ -90,6 +90,21 @@ Status AppendCsvBatches(std::istream& in, Relation* r,
                         const CsvOptions& options, uint64_t batch_rows,
                         CsvIngestSummary* summary = nullptr);
 
+/// Resumes a previously failed AppendCsvBatches from the offset its summary
+/// reported: seeks `in` to `resume_offset` and continues batch ingestion of
+/// the REMAINING rows into `r` (header already consumed by the original
+/// pass, so options.has_header is ignored and no header row is expected at
+/// the offset). The committed result of a failed ingest plus a successful
+/// resume is bit-identical to one uninterrupted ingest of the whole stream
+/// — batches commit atomically and the offset sits exactly past the last
+/// committed batch. InvalidArgument when `resume_offset` is negative (the
+/// original summary said "not resumable"); IoError when the stream cannot
+/// seek there.
+Status ResumeCsvIngest(std::istream& in, Relation* r,
+                       const CsvOptions& options, uint64_t batch_rows,
+                       int64_t resume_offset,
+                       CsvIngestSummary* summary = nullptr);
+
 /// Writes a relation as CSV (header + rows; dictionary values when
 /// available, otherwise numeric codes).
 Status WriteCsv(const Relation& r, std::ostream& out, char separator = ',');

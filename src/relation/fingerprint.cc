@@ -1,0 +1,43 @@
+#include "relation/fingerprint.h"
+
+#include "relation/row_hash.h"
+#include "util/check.h"
+
+namespace ajd {
+
+uint64_t FingerprintSeed(uint32_t width) {
+  // Any fixed constant works; this one just keeps the empty-prefix states
+  // of different widths distinct from each other and from zero.
+  return Mix64(0x414A4446'50525354ULL ^ width);
+}
+
+uint64_t FingerprintExtend(uint64_t h, const uint32_t* data, uint32_t width,
+                           uint64_t from_row, uint64_t to_row) {
+  for (uint64_t i = from_row; i < to_row; ++i) {
+    h = Mix64(h ^ HashTuple(data + i * width, width));
+  }
+  return h;
+}
+
+uint64_t FingerprintAt(const Relation& r, uint64_t rows) {
+  const RowsSnapshot snap = r.Snapshot();
+  AJD_CHECK(rows <= snap.num_rows);
+  return FingerprintExtend(FingerprintSeed(snap.width), snap.data, snap.width,
+                           0, rows);
+}
+
+FingerprintTracker::FingerprintTracker(const Relation* r)
+    : r_(r), hash_(FingerprintSeed(r->NumAttrs())) {}
+
+uint64_t FingerprintTracker::At(uint64_t rows) {
+  if (rows < rows_) return FingerprintAt(*r_, rows);
+  if (rows > rows_) {
+    const RowsSnapshot snap = r_->Snapshot();
+    AJD_CHECK(rows <= snap.num_rows);
+    hash_ = FingerprintExtend(hash_, snap.data, snap.width, rows_, rows);
+    rows_ = rows;
+  }
+  return hash_;
+}
+
+}  // namespace ajd

@@ -1,0 +1,78 @@
+// Content fingerprint of a relation prefix: the 64-bit key that lets the
+// persistent cache tier (persist/persistent_store.h) recognize "this is the
+// same data" across process lifetimes, where the in-process uid cannot.
+//
+// The fingerprint of the first `rows` rows is a CHAINED hash — width mixed
+// in first, then each row's HashTuple folded in, in row order:
+//
+//   h_0        = Mix64(seed ^ width)
+//   h_{i+1}    = Mix64(h_i ^ HashTuple(row_i, width))
+//
+// Chaining is what makes it fit the epoch design: relations grow by appends
+// only, so fingerprint(N) extends fingerprint(M) for every M <= N by hashing
+// just rows [M, N) — the FingerprintTracker below advances incrementally and
+// each row is hashed exactly once over the relation's lifetime. A persisted
+// cache entry keyed by (fingerprint at M, attrs, M) therefore stays
+// addressable forever: a restarted process re-deriving fingerprint(M) over
+// its first M rows gets the same key and can delta-extend the payload.
+//
+// The hash covers the dense CODES, not the strings behind them. That is
+// sound for entropy payloads — H(attrs) depends only on the code-level
+// grouping — and deterministic across restarts because dictionary codes are
+// assigned densely in first-occurrence intern order: re-ingesting the same
+// tuples in the same order reproduces the same codes (relation/relation.h).
+// Ingesting the same SET of rows in a different order produces a different
+// fingerprint and simply misses the cache — a performance event, never a
+// correctness one.
+#ifndef AJD_RELATION_FINGERPRINT_H_
+#define AJD_RELATION_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "relation/relation.h"
+
+namespace ajd {
+
+/// The chain's initial state for a relation of `width` attributes (the
+/// fingerprint of the empty prefix).
+uint64_t FingerprintSeed(uint32_t width);
+
+/// Folds rows [from_row, to_row) of row-major `data` (width codes per row)
+/// into chain state `h`.
+uint64_t FingerprintExtend(uint64_t h, const uint32_t* data, uint32_t width,
+                           uint64_t from_row, uint64_t to_row);
+
+/// Fingerprint of the first `rows` rows of `r`, computed from scratch.
+/// `rows` must not exceed r.NumRows(). Safe concurrently with appends
+/// (reads through Snapshot()).
+uint64_t FingerprintAt(const Relation& r, uint64_t rows);
+
+/// Incremental fingerprint chain over one relation: At(rows) hashes only
+/// the rows appended since the previous call, so a consumer that follows
+/// the relation's growth (the engine's persist tier) pays O(total rows)
+/// hashing over the relation's whole lifetime, not per epoch.
+///
+/// NOT thread-safe; the engine guards its tracker with a private mutex.
+/// The relation must outlive the tracker.
+class FingerprintTracker {
+ public:
+  explicit FingerprintTracker(const Relation* r);
+
+  /// The fingerprint of the first `rows` rows. Advances the chain when
+  /// `rows` is at or past the current position; falls back to a cold
+  /// O(rows) recompute (without disturbing the chain) when asked about an
+  /// earlier prefix. `rows` must not exceed r->NumRows().
+  uint64_t At(uint64_t rows);
+
+  /// The chain's current position (rows covered by the cached state).
+  uint64_t rows() const { return rows_; }
+
+ private:
+  const Relation* r_;
+  uint64_t rows_ = 0;
+  uint64_t hash_;
+};
+
+}  // namespace ajd
+
+#endif  // AJD_RELATION_FINGERPRINT_H_

@@ -125,6 +125,10 @@ const std::vector<std::string>& FailpointRegistry::Catalog() {
       failpoints::kEngineCatchupExtend,
       failpoints::kEngineCatchupPublish,
       failpoints::kStreamingIngestBatch,
+      failpoints::kPersistManifestAppend,
+      failpoints::kPersistBlobWrite,
+      failpoints::kPersistBlobRead,
+      failpoints::kPersistCompactRename,
   };
   return catalog;
 }

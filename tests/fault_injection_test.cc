@@ -21,10 +21,12 @@
 // to actually fire GTEST_SKIPs. The registry's policy arithmetic is
 // build-independent and tested unconditionally.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <filesystem>
 #include <memory>
 #include <new>
 #include <optional>
@@ -40,6 +42,7 @@
 #include "engine/entropy_engine.h"
 #include "info/entropy.h"
 #include "io/csv.h"
+#include "persist/persistent_store.h"
 #include "random/rng.h"
 #include "relation/attr_set.h"
 #include "relation/relation.h"
@@ -159,7 +162,9 @@ TEST(FailpointRegistryTest, CatalogListsEveryCompiledSite) {
       failpoints::kRelationIntern,        failpoints::kCsvBatch,
       failpoints::kEngineComputePartition, failpoints::kEngineBatchTask,
       failpoints::kEngineCatchupExtend,   failpoints::kEngineCatchupPublish,
-      failpoints::kStreamingIngestBatch};
+      failpoints::kStreamingIngestBatch,  failpoints::kPersistManifestAppend,
+      failpoints::kPersistBlobWrite,      failpoints::kPersistBlobRead,
+      failpoints::kPersistCompactRename};
   EXPECT_EQ(catalog, want);
 }
 
@@ -489,6 +494,18 @@ class FaultSoak {
         stream_rel_(testing_util::RandomTestRelation(&rng_, 3, 3, 40)),
         string_rel_(EmptyStringRelation({"a", "b", "c"})),
         csv_rel_(EmptyStringRelation({"a", "b"})) {
+    // A live persistent store so the soak drives the persist/* failpoints
+    // too: puts (manifest_append + blob_write), loads (blob_read), and
+    // periodic compactions (compact_rename). Its API is exception-free —
+    // under injected faults every op must still return a Status and leave
+    // the store usable.
+    store_dir_ = std::filesystem::temp_directory_path() /
+                 ("ajd_fault_soak_" +
+                  std::to_string(static_cast<unsigned long>(::getpid())));
+    std::filesystem::remove_all(store_dir_);
+    auto opened = PersistentCacheStore::Open(store_dir_.string());
+    EXPECT_TRUE(opened.ok());
+    store_ = opened.value();
     SessionOptions sopts;
     sopts.engine.num_threads = 4;
     sopts.cache_budget_bytes = size_t{2} << 20;
@@ -502,6 +519,12 @@ class FaultSoak {
     EXPECT_TRUE(
         string_rel_.AppendStringBatch(RandomStringRows(&rng_, 3, 5, 10))
             .ok());
+  }
+
+  ~FaultSoak() {
+    store_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(store_dir_, ec);
   }
 
   /// One iteration of the mixed workload. Every operation either succeeds,
@@ -547,6 +570,32 @@ class FaultSoak {
       // Streaming ingest (ingest_batch) with quarantine-on-exhaustion —
       // the stream must survive no matter what fires.
       (void)monitor_->IngestBatch(RandomRows(&rng_, 3, 3, 4));
+      // Persistent store ops (manifest_append, blob_write, blob_read,
+      // compact_rename). A failed put leaves the entry unpersisted; a
+      // failed load quarantines the blob and drops the entry — the next
+      // iteration's put rewrites it. Either way the store object must
+      // stay usable across the whole soak.
+      {
+        PersistedEntryMeta meta;
+        meta.fingerprint = 0xFA0C + (it % 4);
+        meta.attrs = RandomNonEmptySubset(&rng_, 4);
+        meta.rows = 40 + it;
+        meta.has_entropy = true;
+        meta.entropy = 1.5;
+        meta.chain = meta.attrs.ToIndices();
+        PartitionPayload payload;
+        for (uint32_t k = 0; k < 16; ++k) payload.rows.push_back(k);
+        payload.offsets = {0, 8, 16};
+        (void)store_->Put(meta, &payload);
+        PersistedEntryMeta got;
+        if (store_->LookupExact(meta.fingerprint, meta.attrs, meta.rows,
+                                &got)) {
+          (void)store_->LoadPayload(got);
+        }
+        // Every other iteration so even a two-iteration Drive() reaches
+        // the compact_rename site at least once.
+        if (it % 2 == 1) (void)store_->Compact();
+      }
       CheckBudget();
     }
   }
@@ -585,6 +634,8 @@ class FaultSoak {
   Relation stream_rel_;
   Relation string_rel_;
   Relation csv_rel_;
+  std::filesystem::path store_dir_;
+  std::shared_ptr<PersistentCacheStore> store_;
   std::unique_ptr<AnalysisSession> session_;
   std::unique_ptr<StreamingLossMonitor> monitor_;
 };

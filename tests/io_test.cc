@@ -96,6 +96,71 @@ TEST(Csv, MissingFileFails) {
             StatusCode::kIoError);
 }
 
+TEST(Csv, ResumeIngestMatchesUninterruptedBitIdentical) {
+  // An ingest that stops after two committed batches (the "crash"), then a
+  // second pass resuming at the recorded offset, must land exactly the
+  // relation an uninterrupted ingest produces.
+  const std::string text =
+      "a,b\n"
+      "x1,y1\nx2,y2\n"
+      "x3,y3\nx4,y4\n"
+      "x5,y5\nx6,y6\nx7,y7\n";
+  CsvOptions opts;
+  opts.dedupe = false;
+  auto empty_rel = [] {
+    Schema s = Schema::Make({{"a", 0}, {"b", 0}}).value();
+    return std::move(RelationBuilder(s)).Build(false);
+  };
+
+  Relation clean = empty_rel();
+  {
+    std::istringstream in(text);
+    ASSERT_TRUE(AppendCsvBatches(in, &clean, opts, 2).ok());
+    ASSERT_EQ(clean.NumRows(), 7u);
+  }
+
+  // First pass sees only a prefix of the file (the bytes that made it
+  // before the interruption): 4 complete data rows.
+  const size_t prefix_end = text.find("x5");
+  Relation r = empty_rel();
+  CsvIngestSummary first;
+  {
+    std::istringstream in(text.substr(0, prefix_end));
+    ASSERT_TRUE(AppendCsvBatches(in, &r, opts, 2, &first).ok());
+  }
+  EXPECT_EQ(first.batches_committed, 2u);
+  EXPECT_EQ(r.NumRows(), 4u);
+  ASSERT_EQ(first.resume_offset, static_cast<int64_t>(prefix_end));
+
+  // Second pass: the full file again, resumed at the recorded offset. The
+  // header lies before the offset — the continuation must not re-consume
+  // (or misparse) it.
+  CsvIngestSummary resumed;
+  {
+    std::istringstream in(text);
+    ASSERT_TRUE(
+        ResumeCsvIngest(in, &r, opts, 2, first.resume_offset, &resumed)
+            .ok());
+  }
+  EXPECT_EQ(resumed.rows_appended, 3u);
+  EXPECT_EQ(r.NumRows(), clean.NumRows());
+  EXPECT_EQ(r.data(), clean.data());
+  for (uint32_t a = 0; a < 2; ++a) {
+    ASSERT_NE(r.dict(a), nullptr);
+    EXPECT_EQ(r.dict(a)->size(), clean.dict(a)->size());
+  }
+}
+
+TEST(Csv, ResumeIngestRejectsNegativeOffset) {
+  std::istringstream in("a,b\nx,y\n");
+  Schema s = Schema::Make({{"a", 0}, {"b", 0}}).value();
+  Relation r = std::move(RelationBuilder(s)).Build(false);
+  CsvOptions opts;
+  // -1 is AppendCsvBatches' "stream not resumable" sentinel.
+  EXPECT_EQ(ResumeCsvIngest(in, &r, opts, 2, -1).code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(TablePrinter, AlignsColumns) {
   TablePrinter t({"id", "value"});
   t.AddRow({"1", "short"});

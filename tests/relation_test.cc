@@ -76,6 +76,51 @@ TEST(Dictionary, TruncateToRollsBackATailOfInterns) {
   EXPECT_EQ(d.size(), 3u);
 }
 
+TEST(Dictionary, TruncateToZeroEmptiesCompletely) {
+  Dictionary d;
+  d.Intern("alpha");
+  d.Intern("beta");
+  d.TruncateTo(0);
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_FALSE(d.Lookup("alpha").has_value());
+  EXPECT_FALSE(d.Lookup("beta").has_value());
+  // The dictionary is reusable from scratch: dense codes start at 0 again.
+  EXPECT_EQ(d.Intern("gamma"), 0u);
+  EXPECT_EQ(d.Intern("alpha"), 1u);  // no ghost of the old code 0
+}
+
+TEST(Dictionary, TruncateToExactSizeIsANoOp) {
+  Dictionary d;
+  uint32_t a = d.Intern("alpha");
+  uint32_t b = d.Intern("beta");
+  d.TruncateTo(2);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.Lookup("alpha").value(), a);
+  EXPECT_EQ(d.Lookup("beta").value(), b);
+}
+
+TEST(Dictionary, TruncateKeepsValuesInternedBeforeTheCutoff) {
+  // A failed batch re-interning EXISTING values stages no new codes for
+  // them; rolling back to the pre-batch size must keep those values alive
+  // under their original codes, and drop only the genuinely fresh tail.
+  Dictionary d;
+  uint32_t a = d.Intern("alpha");
+  uint32_t b = d.Intern("beta");
+  const uint32_t pre_batch_size = d.size();
+  EXPECT_EQ(d.Intern("alpha"), a);   // duplicate: no new code
+  uint32_t fresh = d.Intern("new");  // fresh: staged at the tail
+  EXPECT_EQ(fresh, pre_batch_size);
+  EXPECT_EQ(d.Intern("beta"), b);    // duplicate after the fresh one
+  d.TruncateTo(pre_batch_size);      // the batch failed
+  EXPECT_EQ(d.size(), pre_batch_size);
+  EXPECT_EQ(d.Lookup("alpha").value(), a);
+  EXPECT_EQ(d.Lookup("beta").value(), b);
+  EXPECT_FALSE(d.Lookup("new").has_value());
+  // A clean retry recovers the identical code assignment a never-failed
+  // run would have produced.
+  EXPECT_EQ(d.Intern("new"), fresh);
+}
+
 TEST(RelationBuilder, BuildsAndDedupes) {
   Schema s = Schema::Make({{"A", 0}, {"B", 0}}).value();
   RelationBuilder b(s);
