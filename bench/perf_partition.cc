@@ -13,11 +13,13 @@
 // One machine-readable JSON line per case. `--smoke` shrinks sizes to keep
 // the guard and the emitter alive in CI, where shared-runner timings mean
 // nothing.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/column_store.h"
@@ -53,6 +55,32 @@ Column MakeColumn(uint32_t rows, uint32_t cardinality, double skew,
     }
   }
   return MakeOwnedColumn(std::move(codes), cardinality);
+}
+
+// First-occurrence densification of a raw value stream with the first_row
+// table (the store's contract, which delta extension requires). Prefix-
+// consistent: every cut of the stream shares the same dense codes.
+void DensifyStream(const std::vector<uint32_t>& raw,
+                   std::vector<uint32_t>* codes,
+                   std::vector<uint32_t>* first_row) {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  codes->reserve(raw.size());
+  for (uint32_t i = 0; i < raw.size(); ++i) {
+    auto [it, fresh] =
+        remap.emplace(raw[i], static_cast<uint32_t>(first_row->size()));
+    if (fresh) first_row->push_back(i);
+    codes->push_back(it->second);
+  }
+}
+
+Column ColumnAtCut(const std::vector<uint32_t>& codes,
+                   const std::vector<uint32_t>& first_row, uint32_t n) {
+  const uint32_t card = static_cast<uint32_t>(
+      std::lower_bound(first_row.begin(), first_row.end(), n) -
+      first_row.begin());
+  return MakeOwnedColumn(
+      std::vector<uint32_t>(codes.begin(), codes.begin() + n), card,
+      std::vector<uint32_t>(first_row.begin(), first_row.begin() + card));
 }
 
 bool SamePartition(const Partition& a, const Partition& b) {
@@ -233,6 +261,148 @@ int main(int argc, char** argv) {
                       }) /
                    static_cast<double>(mass));
     }
+  }
+
+  // --- Uniform append-extension sweep: chunked in-place vs flat copy ----
+  //
+  // A uniform (zero temporal locality) append stream is the flat layout's
+  // worst case: every batch touches essentially every block, so the copy
+  // paths rewrite the whole mass per batch while the chunked in-place
+  // paths append each batch into per-block tail slack. Timed per APPENDED
+  // row; both arms' final partitions are pinned bitwise against cold
+  // builds over the full stream (the exit-1 guard).
+  //
+  // The cardinality is sized so the value set SATURATES over the base
+  // rows (every (parent, code) pair already owns a sub-block before the
+  // first batch): what the sweep measures is the steady-state delta path,
+  // not the transient where brand-new codes force per-block re-refinement
+  // on copy and in-place arms alike.
+  {
+    const uint32_t kBase = kRows;
+    const uint32_t kBatches = 16;
+    const uint32_t kBatch = smoke ? 500 : 8192;
+    const uint32_t kTotal = kBase + kBatches * kBatch;
+    const uint32_t kExtCard = 512;
+    const uint64_t appended = kTotal - kBase;
+
+    std::vector<uint32_t> raw(kTotal);
+    for (auto& v : raw) v = static_cast<uint32_t>(rng.UniformU64(kExtCard));
+    std::vector<uint32_t> ext_codes, ext_first;
+    DensifyStream(raw, &ext_codes, &ext_first);
+    for (auto& v : raw) v = static_cast<uint32_t>(rng.UniformU64(64));
+    std::vector<uint32_t> par_codes, par_first;
+    DensifyStream(raw, &par_codes, &par_first);
+
+    std::vector<uint32_t> cuts;
+    std::vector<Column> ext_cols;
+    std::vector<Partition> parents;  // cold per cut, outside all timers
+    for (uint32_t i = 1; i <= kBatches; ++i) {
+      const uint32_t cut = kBase + i * kBatch;
+      cuts.push_back(cut);
+      ext_cols.push_back(ColumnAtCut(ext_codes, ext_first, cut));
+      parents.push_back(
+          Partition::OfColumn(ColumnAtCut(par_codes, par_first, cut)));
+    }
+    const Column ext0 = ColumnAtCut(ext_codes, ext_first, kBase);
+    const Column par0 = ColumnAtCut(par_codes, par_first, kBase);
+    const Partition root0 = Partition::OfColumn(ext0);
+    const Partition parent0 = Partition::OfColumn(par0);
+    PartitionDelta meta0;
+    const Partition child0 = parent0.RefinedBy(ext0, RefineKernel::kAuto,
+                                               &meta0);
+
+    // Per-rep state reset happens OUTSIDE the timer so both arms time
+    // exactly the extension calls.
+    Partition final_flat_root, final_chunked_root;
+    Partition final_flat_child, final_chunked_child;
+    double flat_root_ns = 0, chunked_root_ns = 0;
+    double flat_child_ns = 0, chunked_child_ns = 0;
+    for (int r = 0; r < kReps; ++r) {
+      {
+        Partition p = root0;
+        const double t0 = NowNs();
+        uint64_t prev = kBase;
+        for (uint32_t i = 0; i < kBatches; ++i) {
+          p = p.ExtendedOfColumn(ext_cols[i], prev);
+          prev = cuts[i];
+        }
+        const double dt = NowNs() - t0;
+        if (r == 0 || dt < flat_root_ns) flat_root_ns = dt;
+        final_flat_root = std::move(p);
+      }
+      {
+        Partition p = root0;
+        const double t0 = NowNs();
+        uint64_t prev = kBase;
+        for (uint32_t i = 0; i < kBatches; ++i) {
+          p.ExtendOfColumnInPlace(ext_cols[i], prev);
+          prev = cuts[i];
+        }
+        const double dt = NowNs() - t0;
+        if (r == 0 || dt < chunked_root_ns) chunked_root_ns = dt;
+        final_chunked_root = std::move(p);
+      }
+      {
+        Partition c = child0;
+        PartitionDelta meta = meta0;
+        const double t0 = NowNs();
+        uint64_t prev = kBase;
+        for (uint32_t i = 0; i < kBatches; ++i) {
+          PartitionDelta next;
+          c = c.ExtendedBy(nullptr, parents[i], ext_cols[i], prev, &meta,
+                           &next);
+          meta = std::move(next);
+          prev = cuts[i];
+        }
+        const double dt = NowNs() - t0;
+        if (r == 0 || dt < flat_child_ns) flat_child_ns = dt;
+        final_flat_child = std::move(c);
+      }
+      {
+        Partition c = child0;
+        PartitionDelta meta = meta0;
+        const double t0 = NowNs();
+        uint64_t prev = kBase;
+        for (uint32_t i = 0; i < kBatches; ++i) {
+          PartitionDelta next;
+          c.ExtendInPlaceBy(nullptr, parents[i], ext_cols[i], prev, &meta,
+                            &next);
+          meta = std::move(next);
+          prev = cuts[i];
+        }
+        const double dt = NowNs() - t0;
+        if (r == 0 || dt < chunked_child_ns) chunked_child_ns = dt;
+        final_chunked_child = std::move(c);
+      }
+    }
+
+    const Partition cold_root =
+        Partition::OfColumn(ColumnAtCut(ext_codes, ext_first, kTotal));
+    const Partition cold_child =
+        parents.back().RefinedBy(ext_cols.back());
+    Check(SamePartition(final_flat_root, cold_root),
+          "extend_root flat vs cold");
+    Check(SamePartition(final_chunked_root, cold_root),
+          "extend_root chunked vs cold");
+    Check(SamePartition(final_flat_child, cold_child),
+          "extend_child flat vs cold");
+    Check(SamePartition(final_chunked_child, cold_child),
+          "extend_child chunked vs cold");
+
+    const double ap = static_cast<double>(appended);
+    EmitLine(smoke, "extend_root", "flat", kTotal, appended, kExtCard, 0.0,
+             flat_root_ns / ap);
+    EmitLine(smoke, "extend_root", "chunked", kTotal, appended, kExtCard,
+             0.0, chunked_root_ns / ap);
+    EmitLine(smoke, "extend_child", "flat", kTotal, appended, kExtCard, 0.0,
+             flat_child_ns / ap);
+    EmitLine(smoke, "extend_child", "chunked", kTotal, appended, kExtCard,
+             0.0, chunked_child_ns / ap);
+    std::fprintf(stderr,
+                 "extend speedup (flat/chunked, uniform stream): root %.2fx"
+                 " child %.2fx\n",
+                 flat_root_ns / chunked_root_ns,
+                 flat_child_ns / chunked_child_ns);
   }
 
   // Near-key OfColumn: the sort path must match the counting construction.

@@ -2,8 +2,9 @@
 // the empty-initializer branch and reports memmove(nullptr) as -Wnonnull,
 // a libstdc++ false positive (the branch guards the call at runtime).
 // Suppressed for this TU only so the rest of the build keeps the
-// diagnostic; revisit when the toolchain moves past gcc 12.
-#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ <= 12
+// diagnostic, and pinned to gcc 12 exactly so the workaround self-retires
+// — a newer gcc reporting -Wnonnull here is a real finding, not this one.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ == 12
 #pragma GCC diagnostic ignored "-Wnonnull"
 #endif
 

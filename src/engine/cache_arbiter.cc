@@ -70,30 +70,6 @@ void CacheArbiter::Touch(const void* engine, AttrSet key) {
   ++stats_.touches;
 }
 
-void CacheArbiter::Resize(
-    const void* engine,
-    const std::vector<std::pair<AttrSet, size_t>>& entries) {
-  if (entries.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = engines_.find(engine);
-  AJD_CHECK_MSG(it != engines_.end(), "resize from unregistered engine %p",
-                engine);
-  EngineRecord& rec = it->second;
-  for (const auto& [key, bytes] : entries) {
-    auto et = rec.entries.find(key);
-    if (et == rec.entries.end()) continue;  // evicted since; engine dropped it
-    // In-place revalidation: bytes move, recency does not (growing with the
-    // relation is maintenance, not a reuse signal).
-    rec.bytes += bytes;
-    rec.bytes -= et->second.bytes;
-    total_bytes_ += bytes;
-    total_bytes_ -= et->second.bytes;
-    et->second.bytes = bytes;
-  }
-  EvictToBudgetLocked();
-  UpdatePressureLocked();
-}
-
 void CacheArbiter::Discharge(const void* engine,
                              const std::vector<AttrSet>& keys) {
   if (keys.empty()) return;

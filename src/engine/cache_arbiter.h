@@ -108,16 +108,6 @@ class CacheArbiter {
   /// shared_ptr, only the recency signal is lost).
   void Touch(const void* engine, AttrSet key);
 
-  /// Revalidates accounted entries in place after an epoch catch-up grew
-  /// them: each (key, new bytes) pair replaces the entry's accounted size
-  /// WITHOUT touching its recency — extension is maintenance, not reuse —
-  /// so only the byte delta is charged. Keys no longer accounted (evicted
-  /// between the engine's catch-up and this call) are skipped: the evict
-  /// callback already dropped them engine-side. Evicts to budget after the
-  /// batch is applied.
-  void Resize(const void* engine,
-              const std::vector<std::pair<AttrSet, size_t>>& entries);
-
   /// Engine-initiated discharge of specific entries the engine already
   /// dropped on its side (catch-up's generational policy evicts partitions
   /// that sat idle through a whole epoch rather than paying to extend

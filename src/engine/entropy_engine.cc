@@ -332,8 +332,18 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
       cp.delta = std::move(next);
       ++extended_count;
     } else if (chain.size() == 1) {
-      np = std::make_shared<Partition>(
-          cp.partition->ExtendedOfColumn(last_col, old_rows));
+      if (cp.partition.use_count() == 1) {
+        // Sole-owner root: blocks the appended rows touched grow through
+        // their chunk slack in place — no full ascending-code rebuild of
+        // the untouched blocks. Reader-held (or old-parent-retained) roots
+        // take the copying merge, leaving the old object untouched.
+        std::const_pointer_cast<Partition>(cp.partition)
+            ->ExtendOfColumnInPlace(last_col, old_rows);
+        np = cp.partition;
+      } else {
+        np = std::make_shared<Partition>(
+            cp.partition->ExtendedOfColumn(last_col, old_rows));
+      }
       ++extended_count;
     } else {
       // Fused gap, evicted ancestor, divergent chain, or a column whose
@@ -478,8 +488,8 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
       meta.rows = target_rows;
       meta.chain = d.chain;
       meta.last_col_card = d.last_col_card;
-      PartitionPayload payload{d.partition->RawRows(),
-                               d.partition->RawBlockOffsets()};
+      PartitionPayload payload;
+      d.partition->FlattenStripped(&payload.rows, &payload.offsets);
       if (persist_->Put(meta, &payload).ok()) ++spilled;
       if (target_rows != old_rows) {
         (void)persist_->Erase(fp_old, d.set, old_rows);
@@ -929,8 +939,8 @@ void EntropyEngine::SpillPartitionLocked(AttrSet attrs,
     meta.has_entropy = true;
     meta.entropy = eit->second.h;
   }
-  PartitionPayload payload{cp.partition->RawRows(),
-                           cp.partition->RawBlockOffsets()};
+  PartitionPayload payload;
+  cp.partition->FlattenStripped(&payload.rows, &payload.offsets);
   if (persist_->Put(meta, &payload).ok()) ++stats_.persist_spills;
 }
 
@@ -1440,8 +1450,8 @@ Status EntropyEngine::PersistCache() {
     meta.last_col_card = item.last_col_card;
     Status s;
     if (item.partition != nullptr) {
-      PartitionPayload payload{item.partition->RawRows(),
-                               item.partition->RawBlockOffsets()};
+      PartitionPayload payload;
+      item.partition->FlattenStripped(&payload.rows, &payload.offsets);
       s = persist_->Put(meta, &payload);
     } else {
       s = persist_->Put(meta, nullptr);

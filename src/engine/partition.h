@@ -35,6 +35,47 @@ namespace ajd {
 /// Invariant: rows within every block are in ascending order (every factory
 /// scans rows ascending, and refinement preserves relative order). The
 /// sort-based refinement kernel relies on it.
+///
+/// --- Storage: flat vs chunked -------------------------------------------
+///
+/// Two physical layouts back the same logical partition:
+///
+///   flat    — one rows array plus block-boundary offsets, exact-sized with
+///             zero slack. Every factory (Trivial/OfColumn/RefinedBy*/
+///             FromStripped) and every copy-form extension produces this:
+///             refinement stages into thread-local buffers and copies out
+///             exact-sized, so cached partitions carry no dead capacity and
+///             the arbiter's byte accounting charges only live rows.
+///   chunked — entered the first time a partition is extended IN PLACE.
+///             Rows live in append-only chunks (each chunk's storage is
+///             allocated once and never moves, so block pointers stay
+///             stable); each block is described by a 20-byte header
+///             (chunk, offset, size, cap) kept in a dense side array in
+///             logical block order. A block's chunk region reserves
+///             cap >= size words — the header plus implicitly reserved
+///             trailing storage, capacity fixed at allocation time, the
+///             classic inline-capacity allocation shape — so appended rows
+///             land in the existing tail slack and extension writes only
+///             the changed region, no matter how the append stream is
+///             distributed over the key space.
+///
+/// Tail-slack policy: adoption from flat lays every block out with its full
+/// slack up front (cap = size + size/2 + 2 — one organized O(mass) copy, so
+/// a uniform first batch doesn't relocate every block at once); a block
+/// that later outgrows its cap relocates within the chunks to the same
+/// geometric cap, so a repeatedly-growing block relocates O(log growth)
+/// times total. Relocation strands the old region; once strands push the
+/// held words past twice the live mass BEYOND the freshly-adopted baseline
+/// (~1.5x mass + 2 words/block) the partition drops back to the canonical
+/// flat layout (copy-out staging reclaims all slack at once), and the next
+/// in-place extension re-adopts chunked form. MemoryBytes() always reports
+/// the true footprint, slack and strands included, so the cache arbiter
+/// charges what is actually held.
+///
+/// Kernels never see the layout: View() materializes the partition as
+/// maximal contiguous runs of blocks (a flat partition is one run aliasing
+/// its own arrays at zero cost), and the refinement kernels iterate runs
+/// outer / blocks inner, emitting exactly the flat iteration's output.
 class Partition {
  public:
   /// The trivial partition {all rows}: what the empty attribute set induces.
@@ -126,6 +167,15 @@ class Partition {
   /// densification) to locate the lone old row of a promoted singleton.
   Partition ExtendedOfColumn(const Column& col, uint64_t old_rows) const;
 
+  /// In-place form of ExtendedOfColumn for a sole-owner partition: adopts
+  /// the chunked layout on first use and then touches only the blocks that
+  /// actually received appended rows — grown blocks append into their tail
+  /// slack (relocating within the chunks when it runs out), promoted
+  /// singletons and brand-new codes splice fresh blocks into the ascending
+  /// code order in O(blocks) header moves, and a pure tail-growth batch
+  /// rewrites nothing else at all. Bit-identical to ExtendedOfColumn.
+  void ExtendOfColumnInPlace(const Column& col, uint64_t old_rows);
+
   /// Extension one refinement step up a chain: `this` is the old child
   /// (the chain's grouping over the first old_rows rows) and `parent_new`
   /// that chain-minus-`col` parent already extended over all rows. Returns
@@ -156,13 +206,15 @@ class Partition {
   }
 
   /// In-place form of ExtendedBy for a sole-owner partition (the engine's
-  /// epoch catch-up on entries nothing else aliases): the identical prefix
-  /// is left untouched and only the suffix after the first affected parent
-  /// block is rewritten, with geometric capacity growth so repeated
-  /// batch extensions stop reallocating (and re-copying the prefix) every
-  /// time. On streams with temporal key locality — appends touch recent
-  /// values, old blocks go quiet — this is what makes catch-up scale with
-  /// the CHANGED region rather than the partition's whole mass.
+  /// epoch catch-up on entries nothing else aliases): adopts the chunked
+  /// layout on first use, then rewrites only the sub-block runs under
+  /// parent blocks that received appended rows — grown sub-blocks append
+  /// into tail slack, re-shattered runs get fresh chunk regions, and
+  /// untouched runs keep their storage (their headers move in O(blocks)
+  /// only when the block STRUCTURE changes). Unlike the flat suffix
+  /// rewrite this stays O(changed region) even when appends spray across
+  /// the whole key space — chunk metadata IS the delta, so no suffix copy
+  /// and no locality assumption.
   void ExtendInPlaceBy(const Partition* parent_old,
                        const Partition& parent_new, const Column& col,
                        uint64_t old_rows, const PartitionDelta* meta,
@@ -170,44 +222,66 @@ class Partition {
 
   /// Number of stripped (size >= 2) blocks.
   uint32_t NumBlocks() const {
+    if (chunked_) return static_cast<uint32_t>(blocks_.size());
     return starts_.empty() ? 0 : static_cast<uint32_t>(starts_.size() - 1);
   }
 
   /// Total rows across stripped blocks. 0 means every row is unique under
   /// this grouping (and under any refinement of it).
-  uint64_t NumStrippedRows() const { return rows_.size(); }
+  uint64_t NumStrippedRows() const {
+    return chunked_ ? mass_ : rows_.size();
+  }
 
-  /// Rows of block `b` as [begin, end) into RowData().
+  /// Rows of block `b` as [begin, end); contiguous per block in BOTH
+  /// layouts (a block never straddles a chunk boundary).
   const uint32_t* BlockBegin(uint32_t b) const {
     AJD_CHECK(b < NumBlocks());
+    if (chunked_) {
+      const BlockRef& r = blocks_[b];
+      return chunks_[r.chunk].data.data() + r.offset;
+    }
     return rows_.data() + starts_[b];
   }
   const uint32_t* BlockEnd(uint32_t b) const {
     AJD_CHECK(b < NumBlocks());
+    if (chunked_) {
+      const BlockRef& r = blocks_[b];
+      return chunks_[r.chunk].data.data() + r.offset + r.size;
+    }
     return rows_.data() + starts_[b + 1];
   }
   uint32_t BlockSize(uint32_t b) const {
     AJD_CHECK(b < NumBlocks());
+    if (chunked_) return blocks_[b].size;
     return starts_[b + 1] - starts_[b];
   }
 
-  // --- Raw stripped representation (persistence tier) -------------------
+  /// Materializes the kernel-facing run view into `scratch` (grow-only,
+  /// reusable). Flat: one run aliasing the partition's own arrays, zero
+  /// copies. Chunked: one run per maximal contiguous stretch of blocks,
+  /// with per-run block offsets rebased into the scratch — O(blocks), no
+  /// row copies. The view (and the runs it points at) stays valid only
+  /// while both the partition and the scratch are unmodified.
+  PartitionView View(PartitionViewScratch* scratch) const;
+
+  // --- Canonical flat representation (persistence tier) -----------------
   //
   // The persistent cache store (persist/persistent_store.h) serializes a
-  // partition as exactly these two arrays and rebuilds it through
-  // FromStripped. The accessors expose the internal vectors read-only; the
-  // factory VALIDATES, because its input crossed a process boundary — a
-  // checksum catches torn bytes, not a stale file written by a buggy or
-  // hostile producer, and a malformed partition admitted to the cache
-  // could corrupt served answers rather than just wasting time.
+  // partition as the two flat arrays FlattenStripped produces and rebuilds
+  // it through FromStripped. Flattening is the canonical form: a chunked
+  // partition serializes exactly like the flat partition a cold build
+  // would have produced, so persisted blobs round-trip the layout change
+  // unseen. The factory VALIDATES, because its input crossed a process
+  // boundary — a checksum catches torn bytes, not a stale file written by
+  // a buggy or hostile producer, and a malformed partition admitted to
+  // the cache could corrupt served answers rather than just wasting time.
 
-  /// Concatenated members of the stripped blocks, in block order.
-  const std::vector<uint32_t>& RawRows() const { return rows_; }
-
-  /// Block-boundary offsets into RawRows(): block b spans
-  /// [offsets[b], offsets[b+1]). Empty (like RawRows()) for the empty
-  /// stripped partition.
-  const std::vector<uint32_t>& RawBlockOffsets() const { return starts_; }
+  /// Writes the canonical flat form: concatenated block members in block
+  /// order into *rows, block-boundary offsets into *offsets (block b spans
+  /// [offsets[b], offsets[b+1]); both empty for the empty partition).
+  /// Identical output in both layouts.
+  void FlattenStripped(std::vector<uint32_t>* rows,
+                       std::vector<uint32_t>* offsets) const;
 
   /// Rebuilds a partition from a deserialized raw representation.
   /// InvalidArgument unless the shape is one the factories could have
@@ -220,10 +294,18 @@ class Partition {
                                         std::vector<uint32_t> offsets,
                                         uint64_t row_bound);
 
-  /// Heap bytes held (for the engine's cache budget accounting).
+  /// Heap bytes held (for the engine's cache budget accounting). Chunked
+  /// partitions report chunks, slack and block headers included — the
+  /// arbiter must charge what the process actually holds, not the live
+  /// mass.
   size_t MemoryBytes() const {
-    return rows_.capacity() * sizeof(uint32_t) +
-           starts_.capacity() * sizeof(uint32_t);
+    size_t bytes = rows_.capacity() * sizeof(uint32_t) +
+                   starts_.capacity() * sizeof(uint32_t) +
+                   blocks_.capacity() * sizeof(BlockRef);
+    for (const Chunk& c : chunks_) {
+      bytes += c.data.capacity() * sizeof(uint32_t);
+    }
+    return bytes;
   }
 
  private:
@@ -238,15 +320,71 @@ class Partition {
     uint32_t staged_starts = 0; ///< block ends staged after the prefix.
   };
 
-  /// The walk behind ExtendedBy / ExtendInPlaceBy. Requires
+  /// The walk behind the copy-form ExtendedBy. Requires a FLAT `this`,
   /// parent_new.NumBlocks() > 0 and (parent_old || meta).
   ExtendStaged ExtendStageBy(const Partition* parent_old,
                              const Partition& parent_new, const Column& col,
                              uint64_t old_rows, const PartitionDelta* meta,
                              PartitionDelta* delta_out) const;
 
+  /// One append-only row arena. `data` is sized once at construction and
+  /// never resized, so pointers into it stay stable for the partition's
+  /// lifetime (readers hold BlockBegin pointers across view builds).
+  struct Chunk {
+    std::vector<uint32_t> data;
+    uint32_t used = 0;  ///< words handed out; data[used..) is virgin.
+  };
+
+  /// Block header: rows live at chunks_[chunk].data[offset .. offset+size),
+  /// with [offset+size, offset+cap) reserved tail slack.
+  ///
+  /// `code` memoizes the block's value code under the column that refines
+  /// this partition (every row of a block shares it, and column codes are
+  /// append-only so it never goes stale; in-place extension always extends
+  /// along the same chain position, which is what makes the cache sound).
+  /// kNoCode until the first extension walk visits the block — adoption
+  /// from flat has no column in hand — after which the walks read block
+  /// codes sequentially from the headers instead of re-gathering
+  /// codes[first row] through two levels of indirection per block per
+  /// batch.
+  static constexpr uint32_t kNoCode = UINT32_MAX;
+  struct BlockRef {
+    uint32_t chunk = 0;
+    uint32_t offset = 0;
+    uint32_t size = 0;
+    uint32_t cap = 0;
+    uint32_t code = kNoCode;
+  };
+
+  /// Flat -> chunked: copies every block into chunk regions with its full
+  /// tail slack (cap = GrowCap(size)) and builds the block headers.
+  void AdoptChunked();
+
+  /// Chunked -> flat canonical form (slack and strands reclaimed).
+  void FlattenInPlace();
+
+  /// Reclamation policy: once held words exceed 3x the live mass plus the
+  /// per-block slack allowance (plus a one-chunk grace so small partitions
+  /// don't thrash between layouts), drop back to flat; the next in-place
+  /// extension re-adopts. Called at the end of every in-place extension.
+  void MaybeReclaim();
+
+  /// Reserves a cap-word region in the chunks (appending a new chunk when
+  /// the tail chunk is full) and returns its header with size 0.
+  BlockRef AllocRegion(uint32_t cap);
+
+  uint32_t* MutableBlockRows(const BlockRef& r) {
+    return chunks_[r.chunk].data.data() + r.offset;
+  }
+
+  // Flat layout (chunked_ == false):
   std::vector<uint32_t> rows_;    // concatenated members of stripped blocks
   std::vector<uint32_t> starts_;  // block b spans [starts_[b], starts_[b+1])
+  // Chunked layout (chunked_ == true; rows_/starts_ empty):
+  std::vector<Chunk> chunks_;
+  std::vector<BlockRef> blocks_;  // logical block order
+  uint64_t mass_ = 0;             // total stripped rows across blocks_
+  bool chunked_ = false;
 };
 
 }  // namespace ajd

@@ -611,10 +611,6 @@ void ChainOrderLeaves(size_t k, size_t t, const uint32_t* lvl_ng,
   }
 }
 
-uint64_t StrippedMass(const PartitionView& in) {
-  return in.num_blocks == 0 ? 0 : in.starts[in.num_blocks];
-}
-
 }  // namespace
 
 RefineKernel ChooseRefineKernel(uint32_t cardinality,
@@ -660,14 +656,18 @@ void RefineByColumn(const PartitionView& in, const Column& col,
                     PartitionDelta* delta_out) {
   out.rows->clear();
   out.starts->clear();
+  uint32_t in_blocks = 0;
+  for (uint32_t r = 0; r < in.num_runs; ++r) {
+    in_blocks += in.runs[r].num_blocks;
+  }
   if (delta_out != nullptr) {
     delta_out->run_lengths.clear();
-    delta_out->run_lengths.reserve(in.num_blocks);
+    delta_out->run_lengths.reserve(in_blocks);
     delta_out->parent_first_rows.clear();
-    delta_out->parent_first_rows.reserve(in.num_blocks);
+    delta_out->parent_first_rows.reserve(in_blocks);
   }
-  if (in.num_blocks == 0) return;
-  const uint64_t mass = StrippedMass(in);
+  if (in_blocks == 0) return;
+  const uint64_t mass = in.mass;
   if (kernel == RefineKernel::kAuto) {
     kernel = ChooseRefineKernel(col.cardinality, mass);
   }
@@ -708,87 +708,95 @@ void RefineByColumn(const PartitionView& in, const Column& col,
   };
 
   if (kernel == RefineKernel::kSort) {
-    for (uint32_t b = 0; b < in.num_blocks; ++b) {
-      const uint32_t* begin = in.rows + in.starts[b];
-      const uint32_t* end = in.rows + in.starts[b + 1];
-      const size_t m = static_cast<size_t>(end - begin);
-      const uint32_t before = num_out;
-      if (m <= kTinyBlockMax) {
-        total = TinyBlockRefine(begin, m, codes, out_rows, total, out_starts,
-                                &num_out);
-        emit_delta(begin, num_out - before);
-        continue;
-      }
-      const size_t num_groups =
-          SortBlockIntoGroups(begin, end, codes, col.cardinality, &scratch);
-      OrderGroupsByFirstRow(&scratch, num_groups);
-      const uint64_t* pairs = scratch.pairs.data();
-      for (size_t g = 0; g < num_groups; ++g) {
-        const uint32_t start = scratch.groups[2 * g];
-        const uint32_t len = scratch.groups[2 * g + 1];
-        for (uint32_t i = 0; i < len; ++i) {
-          out_rows[total++] = static_cast<uint32_t>(pairs[start + i]);
+    for (uint32_t r = 0; r < in.num_runs; ++r) {
+      const PartitionRun& run = in.runs[r];
+      for (uint32_t b = 0; b < run.num_blocks; ++b) {
+        const uint32_t* begin = run.rows + run.starts[b];
+        const uint32_t* end = run.rows + run.starts[b + 1];
+        const size_t m = static_cast<size_t>(end - begin);
+        const uint32_t before = num_out;
+        if (m <= kTinyBlockMax) {
+          total = TinyBlockRefine(begin, m, codes, out_rows, total, out_starts,
+                                  &num_out);
+          emit_delta(begin, num_out - before);
+          continue;
         }
-        out_starts[num_out++] = total;
+        const size_t num_groups =
+            SortBlockIntoGroups(begin, end, codes, col.cardinality, &scratch);
+        OrderGroupsByFirstRow(&scratch, num_groups);
+        const uint64_t* pairs = scratch.pairs.data();
+        for (size_t g = 0; g < num_groups; ++g) {
+          const uint32_t start = scratch.groups[2 * g];
+          const uint32_t len = scratch.groups[2 * g + 1];
+          for (uint32_t i = 0; i < len; ++i) {
+            out_rows[total++] = static_cast<uint32_t>(pairs[start + i]);
+          }
+          out_starts[num_out++] = total;
+        }
+        emit_delta(begin, num_out - before);
       }
-      emit_delta(begin, num_out - before);
     }
   } else {
-    const uint32_t* hard_end = in.rows + in.starts[in.num_blocks];
-    for (uint32_t b = 0; b < in.num_blocks; ++b) {
-      const uint32_t* begin = in.rows + in.starts[b];
-      const uint32_t* end = in.rows + in.starts[b + 1];
-      const size_t m = static_cast<size_t>(end - begin);
-      const uint32_t before = num_out;
-      if (m <= kTinyBlockMax) {
-        total = TinyBlockRefine(begin, m, codes, out_rows, total, out_starts,
-                                &num_out);
-        emit_delta(begin, num_out - before);
-        continue;
-      }
-      const size_t t =
-          kernel == RefineKernel::kMid
-              ? Tally<true, true>(begin, end, hard_end, codes, &scratch)
-              : Tally<false, true>(begin, end, hard_end, codes, &scratch);
-      // The two degenerate outcomes dominate real chains and need no
-      // emit/scatter: a fully-shattered block (every row its own code)
-      // emits nothing, and an unsplit block (one code) is copied verbatim.
-      if (t == m) {
+    for (uint32_t r = 0; r < in.num_runs; ++r) {
+      const PartitionRun& run = in.runs[r];
+      // The gather-prefetch lookahead may cross block boundaries, but
+      // never the run's contiguous row storage.
+      const uint32_t* hard_end = run.rows + run.starts[run.num_blocks];
+      for (uint32_t b = 0; b < run.num_blocks; ++b) {
+        const uint32_t* begin = run.rows + run.starts[b];
+        const uint32_t* end = run.rows + run.starts[b + 1];
+        const size_t m = static_cast<size_t>(end - begin);
+        const uint32_t before = num_out;
+        if (m <= kTinyBlockMax) {
+          total = TinyBlockRefine(begin, m, codes, out_rows, total, out_starts,
+                                  &num_out);
+          emit_delta(begin, num_out - before);
+          continue;
+        }
+        const size_t t =
+            kernel == RefineKernel::kMid
+                ? Tally<true, true>(begin, end, hard_end, codes, &scratch)
+                : Tally<false, true>(begin, end, hard_end, codes, &scratch);
+        // The two degenerate outcomes dominate real chains and need no
+        // emit/scatter: a fully-shattered block (every row its own code)
+        // emits nothing, and an unsplit block (one code) is copied verbatim.
+        if (t == m) {
+          for (size_t j = 0; j < t; ++j) scratch.count[scratch.touched[j]] = 0;
+          emit_delta(begin, 0);
+          continue;
+        }
+        if (t == 1) {
+          std::memcpy(out_rows + total, begin, m * sizeof(uint32_t));
+          total += static_cast<uint32_t>(m);
+          out_starts[num_out++] = total;
+          scratch.count[scratch.touched[0]] = 0;
+          emit_delta(begin, 1);
+          continue;
+        }
+        const uint32_t base = total;
+        uint32_t pos = 0;
+        for (size_t j = 0; j < t; ++j) {
+          const uint32_t c = scratch.touched[j];
+          if (scratch.count[c] >= 2) {
+            scratch.offset[c] = base + pos;
+            pos += scratch.count[c];
+            out_starts[num_out++] = base + pos;
+          } else {
+            scratch.offset[c] = UINT32_MAX;
+          }
+        }
+        total = base + pos;
+        const uint32_t* comp = scratch.comp.data();
+        for (size_t i2 = 0; i2 < m; ++i2) {
+          const uint32_t c = comp[i2];
+          if (scratch.offset[c] != UINT32_MAX) {
+            out_rows[scratch.offset[c]++] = begin[i2];
+          }
+        }
+        // Reset touched counters once per block (t entries), not per row.
         for (size_t j = 0; j < t; ++j) scratch.count[scratch.touched[j]] = 0;
-        emit_delta(begin, 0);
-        continue;
+        emit_delta(begin, num_out - before);
       }
-      if (t == 1) {
-        std::memcpy(out_rows + total, begin, m * sizeof(uint32_t));
-        total += static_cast<uint32_t>(m);
-        out_starts[num_out++] = total;
-        scratch.count[scratch.touched[0]] = 0;
-        emit_delta(begin, 1);
-        continue;
-      }
-      const uint32_t base = total;
-      uint32_t pos = 0;
-      for (size_t j = 0; j < t; ++j) {
-        const uint32_t c = scratch.touched[j];
-        if (scratch.count[c] >= 2) {
-          scratch.offset[c] = base + pos;
-          pos += scratch.count[c];
-          out_starts[num_out++] = base + pos;
-        } else {
-          scratch.offset[c] = UINT32_MAX;
-        }
-      }
-      total = base + pos;
-      const uint32_t* comp = scratch.comp.data();
-      for (size_t i2 = 0; i2 < m; ++i2) {
-        const uint32_t c = comp[i2];
-        if (scratch.offset[c] != UINT32_MAX) {
-          out_rows[scratch.offset[c]++] = begin[i2];
-        }
-      }
-      // Reset touched counters once per block (t entries), not per row.
-      for (size_t j = 0; j < t; ++j) scratch.count[scratch.touched[j]] = 0;
-      emit_delta(begin, num_out - before);
     }
   }
   out.rows->assign(out_rows, out_rows + total);
@@ -799,7 +807,7 @@ void RefineByColumn(const PartitionView& in, const Column& col,
 
 double RefineEntropy(const PartitionView& in, const Column& col,
                      RefineKernel kernel, uint64_t num_rows) {
-  const uint64_t mass = StrippedMass(in);
+  const uint64_t mass = in.mass;
   if (kernel == RefineKernel::kAuto) {
     kernel = ChooseRefineKernel(col.cardinality, mass);
   }
@@ -809,56 +817,62 @@ double RefineEntropy(const PartitionView& in, const Column& col,
 
   if (kernel == RefineKernel::kSort) {
     ScratchGuard guard(&scratch, /*cardinality=*/0);
-    for (uint32_t b = 0; b < in.num_blocks; ++b) {
-      const uint32_t* begin = in.rows + in.starts[b];
-      const uint32_t* end = in.rows + in.starts[b + 1];
-      const size_t m = static_cast<size_t>(end - begin);
-      if (m <= kTinyBlockMax) {
-        sum_clogc += TinyBlockEntropy(begin, m, codes);
-        continue;
-      }
-      const size_t num_groups =
-          SortBlockIntoGroups(begin, end, codes, col.cardinality, &scratch);
-      // Singleton groups contribute XLogX(1) = 0 exactly, so summing only
-      // the size >= 2 groups — in first-occurrence order, like the counting
-      // kernels' touched list — is bit-identical to the scalar path.
-      OrderGroupsByFirstRow(&scratch, num_groups);
-      for (size_t g = 0; g < num_groups; ++g) {
-        sum_clogc += XLogXCount(scratch.groups[2 * g + 1]);
+    for (uint32_t r = 0; r < in.num_runs; ++r) {
+      const PartitionRun& run = in.runs[r];
+      for (uint32_t b = 0; b < run.num_blocks; ++b) {
+        const uint32_t* begin = run.rows + run.starts[b];
+        const uint32_t* end = run.rows + run.starts[b + 1];
+        const size_t m = static_cast<size_t>(end - begin);
+        if (m <= kTinyBlockMax) {
+          sum_clogc += TinyBlockEntropy(begin, m, codes);
+          continue;
+        }
+        const size_t num_groups =
+            SortBlockIntoGroups(begin, end, codes, col.cardinality, &scratch);
+        // Singleton groups contribute XLogX(1) = 0 exactly, so summing only
+        // the size >= 2 groups — in first-occurrence order, like the counting
+        // kernels' touched list — is bit-identical to the scalar path.
+        OrderGroupsByFirstRow(&scratch, num_groups);
+        for (size_t g = 0; g < num_groups; ++g) {
+          sum_clogc += XLogXCount(scratch.groups[2 * g + 1]);
+        }
       }
     }
   } else {
     ScratchGuard guard(&scratch, col.cardinality);
-    // An empty partition has null arrays; guard before forming hard_end.
-    const uint32_t* hard_end =
-        in.num_blocks > 0 ? in.rows + in.starts[in.num_blocks] : nullptr;
-    for (uint32_t b = 0; b < in.num_blocks; ++b) {
-      const uint32_t* begin = in.rows + in.starts[b];
-      const uint32_t* end = in.rows + in.starts[b + 1];
-      const size_t m = static_cast<size_t>(end - begin);
-      if (m <= kTinyBlockMax) {
-        sum_clogc += TinyBlockEntropy(begin, m, codes);
-        continue;
-      }
-      const size_t t =
-          EntropyTally(begin, end, hard_end, codes, kernel, &scratch);
-      if (t == 1) {
-        // Unsplit block: one group of m rows.
-        sum_clogc += XLogXCount(static_cast<uint32_t>(m));
-        scratch.count[scratch.touched[0]] = 0;
-        continue;
-      }
-      if (t == m) {
-        // Fully shattered: every group is a sub-singleton, contributing
-        // an exact 0 apiece.
-        for (size_t j = 0; j < t; ++j) scratch.count[scratch.touched[j]] = 0;
-        continue;
-      }
-      for (size_t j = 0; j < t; ++j) {
-        const uint32_t c = scratch.touched[j];
-        // XLogX(1) == 0: sub-singletons vanish, exactly as if stripped.
-        sum_clogc += XLogXCount(scratch.count[c]);
-        scratch.count[c] = 0;
+    for (uint32_t r = 0; r < in.num_runs; ++r) {
+      const PartitionRun& run = in.runs[r];
+      // The gather-prefetch lookahead may cross block boundaries, but
+      // never the run's contiguous row storage.
+      const uint32_t* hard_end = run.rows + run.starts[run.num_blocks];
+      for (uint32_t b = 0; b < run.num_blocks; ++b) {
+        const uint32_t* begin = run.rows + run.starts[b];
+        const uint32_t* end = run.rows + run.starts[b + 1];
+        const size_t m = static_cast<size_t>(end - begin);
+        if (m <= kTinyBlockMax) {
+          sum_clogc += TinyBlockEntropy(begin, m, codes);
+          continue;
+        }
+        const size_t t =
+            EntropyTally(begin, end, hard_end, codes, kernel, &scratch);
+        if (t == 1) {
+          // Unsplit block: one group of m rows.
+          sum_clogc += XLogXCount(static_cast<uint32_t>(m));
+          scratch.count[scratch.touched[0]] = 0;
+          continue;
+        }
+        if (t == m) {
+          // Fully shattered: every group is a sub-singleton, contributing
+          // an exact 0 apiece.
+          for (size_t j = 0; j < t; ++j) scratch.count[scratch.touched[j]] = 0;
+          continue;
+        }
+        for (size_t j = 0; j < t; ++j) {
+          const uint32_t c = scratch.touched[j];
+          // XLogX(1) == 0: sub-singletons vanish, exactly as if stripped.
+          sum_clogc += XLogXCount(scratch.count[c]);
+          scratch.count[c] = 0;
+        }
       }
     }
   }
@@ -872,38 +886,41 @@ void RefineByComposite(const PartitionView& in, const Column* const* cols,
   AJD_CHECK(k >= 2 && composite_card > 0);
   out.rows->clear();
   out.starts->clear();
-  if (in.num_blocks == 0) return;
+  if (in.num_runs == 0) return;
   RefineScratch& scratch = LocalScratch();
   ScratchGuard guard(&scratch, composite_card);
-  out.rows->reserve(StrippedMass(in));
+  out.rows->reserve(in.mass);
   out.starts->push_back(0);
   uint32_t lvl_ng[kMaxAttrs];
-  for (uint32_t b = 0; b < in.num_blocks; ++b) {
-    const uint32_t* begin = in.rows + in.starts[b];
-    const uint32_t* end = in.rows + in.starts[b + 1];
-    const size_t t = FusedTally(begin, end, cols, k, /*keep_codes=*/true,
-                                &scratch, lvl_ng);
-    ChainOrderLeaves(k, t, lvl_ng, &scratch);
-    const uint32_t base = static_cast<uint32_t>(out.rows->size());
-    uint32_t pos = 0;
-    for (size_t j = 0; j < t; ++j) {
-      const uint32_t c = scratch.touched[scratch.groups[j]];
-      if (scratch.count[c] >= 2) {
-        scratch.offset[c] = base + pos;
-        pos += scratch.count[c];
-        out.starts->push_back(base + pos);
-      } else {
-        scratch.offset[c] = UINT32_MAX;
+  for (uint32_t r = 0; r < in.num_runs; ++r) {
+    const PartitionRun& run = in.runs[r];
+    for (uint32_t b = 0; b < run.num_blocks; ++b) {
+      const uint32_t* begin = run.rows + run.starts[b];
+      const uint32_t* end = run.rows + run.starts[b + 1];
+      const size_t t = FusedTally(begin, end, cols, k, /*keep_codes=*/true,
+                                  &scratch, lvl_ng);
+      ChainOrderLeaves(k, t, lvl_ng, &scratch);
+      const uint32_t base = static_cast<uint32_t>(out.rows->size());
+      uint32_t pos = 0;
+      for (size_t j = 0; j < t; ++j) {
+        const uint32_t c = scratch.touched[scratch.groups[j]];
+        if (scratch.count[c] >= 2) {
+          scratch.offset[c] = base + pos;
+          pos += scratch.count[c];
+          out.starts->push_back(base + pos);
+        } else {
+          scratch.offset[c] = UINT32_MAX;
+        }
       }
-    }
-    out.rows->resize(base + pos);
-    const size_t m = static_cast<size_t>(end - begin);
-    for (size_t i = 0; i < m; ++i) {
-      const uint32_t c = scratch.comp[i];
-      if (scratch.offset[c] != UINT32_MAX) {
-        (*out.rows)[scratch.offset[c]++] = begin[i];
+      out.rows->resize(base + pos);
+      const size_t m = static_cast<size_t>(end - begin);
+      for (size_t i = 0; i < m; ++i) {
+        const uint32_t c = scratch.comp[i];
+        if (scratch.offset[c] != UINT32_MAX) {
+          (*out.rows)[scratch.offset[c]++] = begin[i];
+        }
+        scratch.count[c] = 0;
       }
-      scratch.count[c] = 0;
     }
   }
   if (out.starts->size() == 1) out.starts->clear();
@@ -917,18 +934,21 @@ double RefineCompositeEntropy(const PartitionView& in,
   ScratchGuard guard(&scratch, composite_card);
   double sum_clogc = 0.0;
   uint32_t lvl_ng[kMaxAttrs];
-  for (uint32_t b = 0; b < in.num_blocks; ++b) {
-    const uint32_t* begin = in.rows + in.starts[b];
-    const uint32_t* end = in.rows + in.starts[b + 1];
-    const size_t t = FusedTally(begin, end, cols, k, /*keep_codes=*/false,
-                                &scratch, lvl_ng);
-    // The chain's final count-only pass visits leaves in chain order;
-    // summing in that order keeps the accumulation bit-identical to it.
-    ChainOrderLeaves(k, t, lvl_ng, &scratch);
-    for (size_t j = 0; j < t; ++j) {
-      const uint32_t c = scratch.touched[scratch.groups[j]];
-      sum_clogc += XLogXCount(scratch.count[c]);
-      scratch.count[c] = 0;
+  for (uint32_t r = 0; r < in.num_runs; ++r) {
+    const PartitionRun& run = in.runs[r];
+    for (uint32_t b = 0; b < run.num_blocks; ++b) {
+      const uint32_t* begin = run.rows + run.starts[b];
+      const uint32_t* end = run.rows + run.starts[b + 1];
+      const size_t t = FusedTally(begin, end, cols, k, /*keep_codes=*/false,
+                                  &scratch, lvl_ng);
+      // The chain's final count-only pass visits leaves in chain order;
+      // summing in that order keeps the accumulation bit-identical to it.
+      ChainOrderLeaves(k, t, lvl_ng, &scratch);
+      for (size_t j = 0; j < t; ++j) {
+        const uint32_t c = scratch.touched[scratch.groups[j]];
+        sum_clogc += XLogXCount(scratch.count[c]);
+        scratch.count[c] = 0;
+      }
     }
   }
   const double n = static_cast<double>(num_rows);
@@ -943,7 +963,7 @@ double RefineByColumnWithEntropy(const PartitionView& in, const Column& c1,
   out.rows->clear();
   out.starts->clear();
   double sum_clogc = 0.0;
-  if (in.num_blocks > 0) {
+  if (in.num_runs > 0) {
     RefineScratch& scratch = LocalScratch();
     ScratchGuard guard(&scratch, composite_card);
     if (scratch.count1.size() < c1.cardinality) {
@@ -956,114 +976,117 @@ double RefineByColumnWithEntropy(const PartitionView& in, const Column& c1,
     uint32_t* count = scratch.count.data();
     uint32_t* count1 = scratch.count1.data();
     uint32_t* seq1 = scratch.seq1.data();
-    out.rows->resize(StrippedMass(in));
+    out.rows->resize(in.mass);
     uint32_t* out_rows = out.rows->data();
     uint32_t total = 0;
     out.starts->push_back(0);
-    for (uint32_t b = 0; b < in.num_blocks; ++b) {
-      const uint32_t* begin = in.rows + in.starts[b];
-      const uint32_t* end = in.rows + in.starts[b + 1];
-      const size_t m = static_cast<size_t>(end - begin);
-      if (m > scratch.block_watermark) scratch.block_watermark = m;
-      if (scratch.comp.size() < m) scratch.comp.resize(m);
-      uint32_t* comp1 = scratch.comp.data();  // c1 code per block row
-      // Tally composite (c1, c2) pairs and c1 groups in one scan. Every
-      // leaf (distinct pair) remembers which c1 group it belongs to;
-      // groups and leaves are both recorded in first-occurrence order.
-      scratch.touched.clear();    // leaf -> composite code
-      scratch.leaf_group.clear(); // leaf -> c1 group sequence number
-      scratch.touched1.clear();   // group -> c1 code
-      for (size_t i = 0; i < m; ++i) {
-        const uint32_t r = begin[i];
-        const uint32_t a = codes1[r];
-        const uint32_t code = a * card2 + codes2[r];
-        comp1[i] = a;
-        if (count1[a]++ == 0) {
-          seq1[a] = static_cast<uint32_t>(scratch.touched1.size());
-          scratch.touched1.push_back(a);
-        }
-        if (count[code]++ == 0) {
-          scratch.touched.push_back(code);
-          scratch.leaf_group.push_back(seq1[a]);
-        }
-      }
-      const size_t t = scratch.touched.size();
-      const size_t g = scratch.touched1.size();
-      // Emit the c1 sub-blocks in group order (identical to RefinedBy(c1))
-      // and accumulate the final c2 split's c ln c terms in chain order:
-      // group by group, and within a group in leaf first-occurrence order
-      // — exactly the order the chain's last count-only pass visits them.
-      // A c1-singleton group is stripped before the chain would refine it
-      // by c2; its lone leaf contributes an exact 0, so skipping it keeps
-      // the accumulation bit-identical. Within-group leaf order is
-      // recovered stably by a counting pass over the leaves (first_pos
-      // reused as per-group cursors).
-      if (scratch.first_pos.size() < g) scratch.first_pos.resize(g);
-      uint32_t* cursor = scratch.first_pos.data();
-      const uint32_t base = total;
-      uint32_t pos = 0;
-      for (size_t s = 0; s < g; ++s) {
-        const uint32_t a = scratch.touched1[s];
-        cursor[s] = UINT32_MAX;  // becomes the group's emit slot below
-        if (count1[a] >= 2) {
-          scratch.offset[a] = base + pos;
-          pos += count1[a];
-          out.starts->push_back(base + pos);
-          cursor[s] = 0;
-        } else {
-          scratch.offset[a] = UINT32_MAX;
-        }
-        count1[a] = 0;
-      }
-      total = base + pos;
-      // Chain-order entropy: leaves sit in GLOBAL first-occurrence order,
-      // but the chain's last pass visits them group by group (groups in
-      // first-occurrence order, leaves within a group in first-occurrence
-      // order). A stable counting regroup recovers that order in O(t + g):
-      // count leaves per group, prefix-sum, place.
-      if (g == 1) {
-        // One c1 group: global leaf order IS chain order.
-        if (cursor[0] != UINT32_MAX) {
-          for (size_t l = 0; l < t; ++l) {
-            sum_clogc += XLogXCount(count[scratch.touched[l]]);
+    for (uint32_t r = 0; r < in.num_runs; ++r) {
+      const PartitionRun& run = in.runs[r];
+      for (uint32_t b = 0; b < run.num_blocks; ++b) {
+        const uint32_t* begin = run.rows + run.starts[b];
+        const uint32_t* end = run.rows + run.starts[b + 1];
+        const size_t m = static_cast<size_t>(end - begin);
+        if (m > scratch.block_watermark) scratch.block_watermark = m;
+        if (scratch.comp.size() < m) scratch.comp.resize(m);
+        uint32_t* comp1 = scratch.comp.data();  // c1 code per block row
+        // Tally composite (c1, c2) pairs and c1 groups in one scan. Every
+        // leaf (distinct pair) remembers which c1 group it belongs to;
+        // groups and leaves are both recorded in first-occurrence order.
+        scratch.touched.clear();    // leaf -> composite code
+        scratch.leaf_group.clear(); // leaf -> c1 group sequence number
+        scratch.touched1.clear();   // group -> c1 code
+        for (size_t i = 0; i < m; ++i) {
+          const uint32_t r = begin[i];
+          const uint32_t a = codes1[r];
+          const uint32_t code = a * card2 + codes2[r];
+          comp1[i] = a;
+          if (count1[a]++ == 0) {
+            seq1[a] = static_cast<uint32_t>(scratch.touched1.size());
+            scratch.touched1.push_back(a);
+          }
+          if (count[code]++ == 0) {
+            scratch.touched.push_back(code);
+            scratch.leaf_group.push_back(seq1[a]);
           }
         }
-        for (size_t l = 0; l < t; ++l) count[scratch.touched[l]] = 0;
-      } else {
-        scratch.groups.assign(g + 1, 0);
-        for (size_t l = 0; l < t; ++l) ++scratch.groups[scratch.leaf_group[l]];
-        uint32_t run = 0;
+        const size_t t = scratch.touched.size();
+        const size_t g = scratch.touched1.size();
+        // Emit the c1 sub-blocks in group order (identical to RefinedBy(c1))
+        // and accumulate the final c2 split's c ln c terms in chain order:
+        // group by group, and within a group in leaf first-occurrence order
+        // — exactly the order the chain's last count-only pass visits them.
+        // A c1-singleton group is stripped before the chain would refine it
+        // by c2; its lone leaf contributes an exact 0, so skipping it keeps
+        // the accumulation bit-identical. Within-group leaf order is
+        // recovered stably by a counting pass over the leaves (first_pos
+        // reused as per-group cursors).
+        if (scratch.first_pos.size() < g) scratch.first_pos.resize(g);
+        uint32_t* cursor = scratch.first_pos.data();
+        const uint32_t base = total;
+        uint32_t pos = 0;
         for (size_t s = 0; s < g; ++s) {
-          const uint32_t len = scratch.groups[s];
-          scratch.groups[s] = run;
-          run += len;
+          const uint32_t a = scratch.touched1[s];
+          cursor[s] = UINT32_MAX;  // becomes the group's emit slot below
+          if (count1[a] >= 2) {
+            scratch.offset[a] = base + pos;
+            pos += count1[a];
+            out.starts->push_back(base + pos);
+            cursor[s] = 0;
+          } else {
+            scratch.offset[a] = UINT32_MAX;
+          }
+          count1[a] = 0;
         }
-        if (scratch.leaf_keys.size() < t) scratch.leaf_keys.resize(t);
-        uint32_t* ordered = scratch.leaf_keys.data();
-        for (size_t l = 0; l < t; ++l) {
-          ordered[scratch.groups[scratch.leaf_group[l]]++] = static_cast<uint32_t>(l);
-        }
-        // groups[s] now holds each group's END slot; walk groups in order,
-        // skipping stripped (singleton) ones — their lone leaf's XLogX(1)
-        // is an exact 0, so the sum stays bit-identical to the chain.
-        uint32_t start = 0;
-        for (size_t s = 0; s < g; ++s) {
-          const uint32_t stop = scratch.groups[s];
-          if (cursor[s] != UINT32_MAX) {
-            for (uint32_t idx = start; idx < stop; ++idx) {
-              sum_clogc +=
-                  XLogXCount(count[scratch.touched[ordered[idx]]]);
+        total = base + pos;
+        // Chain-order entropy: leaves sit in GLOBAL first-occurrence order,
+        // but the chain's last pass visits them group by group (groups in
+        // first-occurrence order, leaves within a group in first-occurrence
+        // order). A stable counting regroup recovers that order in O(t + g):
+        // count leaves per group, prefix-sum, place.
+        if (g == 1) {
+          // One c1 group: global leaf order IS chain order.
+          if (cursor[0] != UINT32_MAX) {
+            for (size_t l = 0; l < t; ++l) {
+              sum_clogc += XLogXCount(count[scratch.touched[l]]);
             }
           }
-          start = stop;
+          for (size_t l = 0; l < t; ++l) count[scratch.touched[l]] = 0;
+        } else {
+          scratch.groups.assign(g + 1, 0);
+          for (size_t l = 0; l < t; ++l) ++scratch.groups[scratch.leaf_group[l]];
+          uint32_t run = 0;
+          for (size_t s = 0; s < g; ++s) {
+            const uint32_t len = scratch.groups[s];
+            scratch.groups[s] = run;
+            run += len;
+          }
+          if (scratch.leaf_keys.size() < t) scratch.leaf_keys.resize(t);
+          uint32_t* ordered = scratch.leaf_keys.data();
+          for (size_t l = 0; l < t; ++l) {
+            ordered[scratch.groups[scratch.leaf_group[l]]++] = static_cast<uint32_t>(l);
+          }
+          // groups[s] now holds each group's END slot; walk groups in order,
+          // skipping stripped (singleton) ones — their lone leaf's XLogX(1)
+          // is an exact 0, so the sum stays bit-identical to the chain.
+          uint32_t start = 0;
+          for (size_t s = 0; s < g; ++s) {
+            const uint32_t stop = scratch.groups[s];
+            if (cursor[s] != UINT32_MAX) {
+              for (uint32_t idx = start; idx < stop; ++idx) {
+                sum_clogc +=
+                    XLogXCount(count[scratch.touched[ordered[idx]]]);
+              }
+            }
+            start = stop;
+          }
+          for (size_t l = 0; l < t; ++l) count[scratch.touched[l]] = 0;
         }
-        for (size_t l = 0; l < t; ++l) count[scratch.touched[l]] = 0;
-      }
-      // Scatter rows into their c1 sub-blocks (scan order = ascending).
-      for (size_t i = 0; i < m; ++i) {
-        const uint32_t a = comp1[i];
-        if (scratch.offset[a] != UINT32_MAX) {
-          out_rows[scratch.offset[a]++] = begin[i];
+        // Scatter rows into their c1 sub-blocks (scan order = ascending).
+        for (size_t i = 0; i < m; ++i) {
+          const uint32_t a = comp1[i];
+          if (scratch.offset[a] != UINT32_MAX) {
+            out_rows[scratch.offset[a]++] = begin[i];
+          }
         }
       }
     }

@@ -86,12 +86,37 @@ inline uint64_t FuseBudget(uint64_t stripped_rows) {
 uint64_t FusedCardinality(const Column* const* cols, size_t k,
                           uint64_t budget);
 
-/// Read-only view of a stripped partition's storage (engine/partition.h
-/// passes its private arrays through this; empty partition = all null/0).
-struct PartitionView {
+/// One maximal contiguous run of a stripped partition's storage: blocks
+/// whose rows sit back to back in memory with no slack between them. A
+/// flat partition is a single run over its whole row array; a chunked
+/// partition (engine/partition.h) yields one run per contiguous stretch of
+/// blocks inside its chunks.
+struct PartitionRun {
   const uint32_t* rows = nullptr;    // concatenated block members
   const uint32_t* starts = nullptr;  // block b spans [starts[b], starts[b+1])
   uint32_t num_blocks = 0;
+};
+
+/// Read-only view of a stripped partition as an ordered sequence of runs.
+/// Blocks keep their logical (emission) order across runs, so kernels that
+/// iterate runs outer / blocks inner emit exactly what the flat iteration
+/// emitted. `mass` is the total stripped row count (sum of all run spans).
+/// Empty partition = all null/0. Produced by Partition::View(); the view
+/// borrows the partition's storage and the scratch it was built into, so
+/// neither may be mutated while the view is live.
+struct PartitionView {
+  const PartitionRun* runs = nullptr;
+  uint32_t num_runs = 0;
+  uint64_t mass = 0;
+};
+
+/// Caller-owned scratch a PartitionView is materialized into (grow-only;
+/// reusable across calls). Flat partitions alias their own arrays and only
+/// use `runs`; chunked partitions also rebase per-run block offsets into
+/// `starts`.
+struct PartitionViewScratch {
+  std::vector<PartitionRun> runs;
+  std::vector<uint32_t> starts;
 };
 
 /// Output arrays of a refinement (the caller owns the vectors; starts gets

@@ -95,8 +95,9 @@ struct PersistedEntryMeta {
   uint64_t blob_id = 0;      ///< blob file id (meaningful iff has_payload)
 };
 
-/// A partition's serialized form: Partition::RawRows() and
-/// Partition::RawBlockOffsets(), verbatim. Rebuilt (validated) through
+/// A partition's serialized form: the canonical flat arrays from
+/// Partition::FlattenStripped (chunked partitions flatten on the way out,
+/// so blobs are layout-independent). Rebuilt (validated) through
 /// Partition::FromStripped.
 struct PartitionPayload {
   std::vector<uint32_t> rows;

@@ -347,17 +347,16 @@ struct RefModel {
     if (it == eit->second.entries.end()) return;
     it->second.last_used = ++tick;
   }
-  void Resize(int id, uint64_t key, size_t bytes) {
+  void Discharge(int id, uint64_t key) {
     auto eit = engines.find(id);
     if (eit == engines.end()) return;
     auto it = eit->second.entries.find(key);
     if (it == eit->second.entries.end()) return;
-    eit->second.bytes += bytes;
     eit->second.bytes -= it->second.bytes;
-    total += bytes;
     total -= it->second.bytes;
-    it->second.bytes = bytes;
-    EvictToBudget();
+    eit->second.entries.erase(it);
+    // No victim record: the engine already dropped the entry itself, so no
+    // evict callback runs.
   }
 };
 
@@ -401,8 +400,10 @@ TEST(CacheArbiter, LruListVictimOrderMatchesLinearScanOnRandomTrace) {
         ref.Touch(id, key);
         break;
       default:
-        arb.Resize(&engines[id], {{AttrSet::FromMask(key), bytes}});
-        ref.Resize(id, key, bytes);
+        // The live maintenance protocol: catch-up discharges a claimed
+        // entry up front and re-charges the grown bytes at publish.
+        arb.Discharge(&engines[id], {AttrSet::FromMask(key)});
+        ref.Discharge(id, key);
         break;
     }
     ASSERT_EQ(arb.AccountedBytes(), ref.total) << "op " << op;
@@ -411,26 +412,32 @@ TEST(CacheArbiter, LruListVictimOrderMatchesLinearScanOnRandomTrace) {
   EXPECT_GT(victims.size(), 0u);  // the trace actually exercised eviction
 }
 
-TEST(CacheArbiter, ResizeChargesOnlyTheDeltaAndPreservesRecency) {
+TEST(CacheArbiter, DischargeThenChargeReaccountsGrownEntries) {
+  // The catch-up maintenance protocol: claimed entries are discharged up
+  // front and their grown bytes re-charged at publish, so the books track
+  // the new sizes exactly.
   ArbiterOptions opts;
   opts.budget_bytes = 1000;
   opts.engine_floor_bytes = 0;
   CacheArbiter arb(opts);
   FakeEngine e;
   e.Register(&arb);
-  ChargeOne(&arb, &e, 1, 300);  // oldest
+  ChargeOne(&arb, &e, 1, 300);
   ChargeOne(&arb, &e, 2, 300);
-  // Growing key 1 by 100 bytes must NOT refresh its recency: when the next
-  // charge overflows, key 1 is still the victim.
-  arb.Resize(&e, {{AttrSet::FromMask(1), 400}});
+  arb.Discharge(&e, {AttrSet::FromMask(1)});
+  EXPECT_EQ(arb.AccountedBytes(), 300u);
+  EXPECT_TRUE(e.dropped.empty());  // engine-initiated: no evict callback
+  // Unknown keys (already evicted, or double-discharged) are ignored.
+  arb.Discharge(&e, {AttrSet::FromMask(1)});
+  arb.Discharge(&e, {AttrSet::FromMask(7)});
+  EXPECT_EQ(arb.AccountedBytes(), 300u);
+  // Re-charging the grown entry accounts the NEW size and makes it MRU:
+  // the next overflow victimizes key 2, not the freshly published key 1.
+  ChargeOne(&arb, &e, 1, 400);
   EXPECT_EQ(arb.AccountedBytes(), 700u);
   ChargeOne(&arb, &e, 3, 350);
   ASSERT_GE(e.dropped.size(), 1u);
-  EXPECT_EQ(e.dropped[0], AttrSet::FromMask(1));
-  // Unknown keys are skipped, not charged (the entry was already evicted).
-  const size_t before = arb.AccountedBytes();
-  arb.Resize(&e, {{AttrSet::FromMask(1), 9999}});
-  EXPECT_EQ(arb.AccountedBytes(), before);
+  EXPECT_EQ(e.dropped[0], AttrSet::FromMask(2));
 }
 
 }  // namespace

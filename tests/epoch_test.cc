@@ -17,6 +17,7 @@
 //    bitwise indistinguishable from a cold engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -378,6 +379,157 @@ TEST(EpochPartition, MetadataDrivenExtensionMatchesSeededWalk) {
     ExpectPartitionsIdentical(child2_inplace, child3, "in-place scan-free");
     EXPECT_EQ(meta3b.run_lengths, meta3.run_lengths);
     EXPECT_EQ(meta3b.parent_first_rows, meta3.parent_first_rows);
+  }
+}
+
+// --- Chunked in-place storage ---------------------------------------------
+
+// First-occurrence densification of a raw value stream: dense codes plus
+// the strictly ascending first_row table — exactly the store's contract,
+// and consistent across every prefix of the stream.
+void DensifyStream(const std::vector<uint32_t>& raw,
+                   std::vector<uint32_t>* codes,
+                   std::vector<uint32_t>* first_row) {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  codes->reserve(raw.size());
+  for (uint32_t i = 0; i < raw.size(); ++i) {
+    auto [it, fresh] =
+        remap.emplace(raw[i], static_cast<uint32_t>(first_row->size()));
+    if (fresh) first_row->push_back(i);
+    codes->push_back(it->second);
+  }
+}
+
+// The densified stream truncated at `n` rows: prefix codes, prefix
+// cardinality (first_row is strictly ascending, so a binary search finds
+// it), prefix first_row.
+Column ColumnAtCut(const std::vector<uint32_t>& codes,
+                   const std::vector<uint32_t>& first_row, uint32_t n) {
+  const uint32_t card = static_cast<uint32_t>(
+      std::lower_bound(first_row.begin(), first_row.end(), n) -
+      first_row.begin());
+  return MakeOwnedColumn(
+      std::vector<uint32_t>(codes.begin(), codes.begin() + n), card,
+      std::vector<uint32_t>(first_row.begin(), first_row.begin() + card));
+}
+
+TEST(EpochPartition, ChunkedInPlaceSoakMatchesColdAcrossManyBatches) {
+  // Multi-batch soak of the chunked in-place layout: ONE root and ONE
+  // child object live across every epoch (adopting the chunked layout on
+  // the first in-place extension, relocating blocks through their slack,
+  // possibly reclaiming back to flat), pinned bitwise against cold
+  // rebuilds each epoch. The copy forms — ExtendedOfColumn on a chunked
+  // `this`, ExtendedBy with a chunked child (the flatten-first branch) —
+  // and the FlattenStripped/FromStripped canonical round-trip ride along.
+  Rng rng(7300);
+  for (int trial = 0; trial < 12; ++trial) {
+    const uint32_t domain = 2 + static_cast<uint32_t>(rng.UniformU64(40));
+    const uint32_t batches = 4 + static_cast<uint32_t>(rng.UniformU64(5));
+    std::vector<uint32_t> cuts;
+    uint32_t n = 8 + static_cast<uint32_t>(rng.UniformU64(40));
+    for (uint32_t b = 0; b < batches; ++b) {
+      cuts.push_back(n);
+      n += 1 + static_cast<uint32_t>(rng.UniformU64(60));
+    }
+    auto rows = RandomRows(&rng, 2, domain, cuts.back());
+
+    Partition root;   // extended in place every epoch after the first
+    Partition child;  // "
+    PartitionDelta meta;
+    uint64_t prev = 0;
+    for (uint32_t cut : cuts) {
+      Relation r = RelationFromRows(
+          2, std::vector<std::vector<uint32_t>>(rows.begin(),
+                                                rows.begin() + cut));
+      ColumnStore s(&r);
+      const Column& c0 = s.column(0);
+      const Column& c1 = s.column(1);
+      if (prev == 0) {
+        root = Partition::OfColumn(c0);
+        child = root.RefinedBy(c1, RefineKernel::kAuto, &meta);
+      } else {
+        // Copy forms first, from the (chunked after epoch 1) old objects.
+        Partition root_copy = root.ExtendedOfColumn(c0, prev);
+        Partition child_copy =
+            child.ExtendedBy(nullptr, root_copy, c1, prev, &meta, nullptr);
+        root.ExtendOfColumnInPlace(c0, prev);
+        PartitionDelta next;
+        child.ExtendInPlaceBy(nullptr, root, c1, prev, &meta, &next);
+        meta = std::move(next);
+        ExpectPartitionsIdentical(root_copy, root, "root copy vs in-place");
+        ExpectPartitionsIdentical(child_copy, child,
+                                  "child copy vs in-place");
+      }
+      Partition cold_root = Partition::OfColumn(c0);
+      Partition cold_child = cold_root.RefinedBy(c1);
+      ExpectPartitionsIdentical(root, cold_root, "in-place root vs cold");
+      ExpectPartitionsIdentical(child, cold_child, "in-place child vs cold");
+      EXPECT_EQ(child.EntropyNats(cut), cold_child.EntropyNats(cut));
+
+      // Canonical flat form round-trips the chunked layout unchanged.
+      std::vector<uint32_t> flat_rows, flat_offsets;
+      child.FlattenStripped(&flat_rows, &flat_offsets);
+      Result<Partition> rebuilt = Partition::FromStripped(
+          std::move(flat_rows), std::move(flat_offsets), cut);
+      ASSERT_TRUE(rebuilt.ok());
+      ExpectPartitionsIdentical(rebuilt.value(), cold_child,
+                                "flatten round-trip");
+      prev = cut;
+    }
+  }
+}
+
+TEST(EpochPartition, KernelCrossoverMidExtensionMatchesColdRebuild) {
+  // The counting->radix selection threshold (cardinality > 64Ki AND
+  // cardinality >= mass/2) flips between epochs as the stripped mass
+  // outgrows the fixed value set. The in-place-extended chunked partitions
+  // must stay bitwise identical to cold rebuilds even as the cold side
+  // switches kernels mid-trajectory.
+  Rng rng(7350);
+  // Uniform draws only SHOW a fraction of the domain (coupon collector),
+  // so the domain is sized for the observed prefix cardinality to land
+  // above the 64Ki radix floor and above mass/2 at the start (~82k seen
+  // among 140k rows), and below mass/2 by the end (~110k seen among 300k).
+  constexpr uint32_t kCard = 120000;
+  constexpr uint32_t kStart = 140000;  // card >= mass/2 -> radix (kSort)
+  constexpr uint32_t kEnd = 300000;    // card <  mass/2 -> counting (kMid)
+  std::vector<uint32_t> raw(kEnd);
+  for (auto& v : raw) v = static_cast<uint32_t>(rng.UniformU64(kCard));
+  std::vector<uint32_t> codes, first_row;
+  DensifyStream(raw, &codes, &first_row);
+
+  // The trajectory really does cross the selection threshold.
+  const Column c_start = ColumnAtCut(codes, first_row, kStart);
+  const Column c_end = ColumnAtCut(codes, first_row, kEnd);
+  ASSERT_EQ(ChooseRefineKernel(c_start.cardinality, kStart),
+            RefineKernel::kSort);
+  ASSERT_EQ(ChooseRefineKernel(c_end.cardinality, kEnd), RefineKernel::kMid);
+
+  Partition parent = Partition::Trivial(kStart);
+  PartitionDelta meta;
+  Partition child = parent.RefinedBy(c_start, RefineKernel::kAuto, &meta);
+  Partition root = Partition::OfColumn(c_start);
+  uint64_t prev = kStart;
+  std::vector<uint32_t> cuts;
+  for (int i = 0; i < 3; ++i) {
+    cuts.push_back(kStart + 1 +
+                   static_cast<uint32_t>(rng.UniformU64(kEnd - kStart - 1)));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.push_back(kEnd);
+  for (uint32_t cut : cuts) {
+    const Column c = ColumnAtCut(codes, first_row, cut);
+    Partition parent_new = Partition::Trivial(cut);
+    PartitionDelta next;
+    child.ExtendInPlaceBy(nullptr, parent_new, c, prev, &meta, &next);
+    meta = std::move(next);
+    root.ExtendOfColumnInPlace(c, prev);
+    Partition cold_child = parent_new.RefinedBy(c);
+    ExpectPartitionsIdentical(child, cold_child, "crossover child");
+    ExpectPartitionsIdentical(root, Partition::OfColumn(c),
+                              "crossover root");
+    EXPECT_EQ(child.EntropyNats(cut), cold_child.EntropyNats(cut));
+    prev = cut;
   }
 }
 

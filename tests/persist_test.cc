@@ -406,10 +406,12 @@ TEST(PersistEngine, WarmRestartServesColdAnswersWithBitwisePartitions) {
     for (size_t j = 1; j < chain.size(); ++j) {
       replay = replay.RefinedBy(cold.column(chain[j]));
     }
-    EXPECT_EQ(cached->RawRows(), replay.RawRows())
-        << "attrs=" << s.ToString();
-    EXPECT_EQ(cached->RawBlockOffsets(), replay.RawBlockOffsets())
-        << "attrs=" << s.ToString();
+    std::vector<uint32_t> cached_rows, cached_offsets;
+    std::vector<uint32_t> replay_rows, replay_offsets;
+    cached->FlattenStripped(&cached_rows, &cached_offsets);
+    replay.FlattenStripped(&replay_rows, &replay_offsets);
+    EXPECT_EQ(cached_rows, replay_rows) << "attrs=" << s.ToString();
+    EXPECT_EQ(cached_offsets, replay_offsets) << "attrs=" << s.ToString();
     EXPECT_EQ(engine.Entropy(s), replay.EntropyNats(r.NumRows()))
         << "attrs=" << s.ToString();
     ++checked;

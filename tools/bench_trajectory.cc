@@ -1,0 +1,108 @@
+// bench_trajectory: merges the per-bench JSONL emitted by the bench/
+// binaries into ONE committed-format trajectory file, so per-PR perf
+// numbers accumulate in-repo instead of dying as CI artifacts.
+//
+//   bench_trajectory <out.json> <in1.jsonl> [in2.jsonl ...]
+//
+// Inputs are the benches' stdout captures: one JSON object per line, each
+// carrying a "bench":"<name>" field. The tool does NOT parse JSON — every
+// line passes through verbatim (the emitters are the single source of
+// truth for the schema) — it only groups lines by bench name and promotes
+// the partition append-extension sweep ("op":"extend_...") to the headline
+// series, since delta extension is the number the paper's growing-relation
+// trajectory lives or dies on.
+//
+// Output format (committed as BENCH_partition.json at the repo root):
+//   {
+//     "format": "ajd-bench-trajectory-v1",
+//     "headline": [ <extend_* lines from perf_partition> ],
+//     "series": { "<bench>": [ <lines> ], ... }
+//   }
+//
+// Exit codes: 0 written; 1 usage/IO error. Lines without a "bench" field
+// are skipped with a warning (they are progress chatter, not data).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+// The value of "bench":"..." inside a raw JSON line, or "" if absent.
+std::string BenchName(const std::string& line) {
+  static const char kKey[] = "\"bench\":\"";
+  const size_t at = line.find(kKey);
+  if (at == std::string::npos) return "";
+  const size_t begin = at + sizeof(kKey) - 1;
+  const size_t end = line.find('"', begin);
+  if (end == std::string::npos) return "";
+  return line.substr(begin, end - begin);
+}
+
+bool IsHeadline(const std::string& bench, const std::string& line) {
+  return bench == "perf_partition" &&
+         line.find("\"op\":\"extend_") != std::string::npos;
+}
+
+void EmitArray(std::FILE* out, const std::vector<std::string>& lines,
+               const char* indent) {
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::fprintf(out, "%s%s%s\n", indent, lines[i].c_str(),
+                 i + 1 < lines.size() ? "," : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_trajectory <out.json> <in1.jsonl> "
+                 "[in2.jsonl ...]\n");
+    return 1;
+  }
+  std::map<std::string, std::vector<std::string>> series;
+  std::vector<std::string> headline;
+  for (int i = 2; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "bench_trajectory: cannot read %s\n", argv[i]);
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (line.empty()) continue;
+      const std::string bench = BenchName(line);
+      if (bench.empty()) {
+        std::fprintf(stderr, "bench_trajectory: skipping non-bench line: %s\n",
+                     line.c_str());
+        continue;
+      }
+      if (IsHeadline(bench, line)) headline.push_back(line);
+      series[bench].push_back(line);
+    }
+  }
+  std::FILE* out = std::fopen(argv[1], "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_trajectory: cannot write %s\n", argv[1]);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"format\": \"ajd-bench-trajectory-v1\",\n");
+  std::fprintf(out, "  \"headline\": [\n");
+  EmitArray(out, headline, "    ");
+  std::fprintf(out, "  ],\n  \"series\": {\n");
+  size_t done = 0;
+  for (const auto& [bench, lines] : series) {
+    std::fprintf(out, "    \"%s\": [\n", bench.c_str());
+    EmitArray(out, lines, "      ");
+    std::fprintf(out, "    ]%s\n", ++done < series.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  return 0;
+}
