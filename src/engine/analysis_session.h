@@ -54,7 +54,11 @@ struct SessionOptions {
   /// so all engines share one of each; an arbiter injected here is kept
   /// as-is (several sessions can then share ONE budget — in which case
   /// the two budget fields below are ignored), otherwise the session
-  /// builds its own from `cache_budget_bytes`.
+  /// builds its own from `cache_budget_bytes`. `refine_threads` (intra-op
+  /// sharding of ONE large refinement, bit-identical to serial at any
+  /// thread count) rides through here too and fans out on the same shared
+  /// pool; nested submission from a batch task degrades to serial via the
+  /// pool's busy-inline fallback, so enabling both never deadlocks.
   EngineOptions engine;
 
   /// The session-global partition-cache budget. Unset (the default)

@@ -242,9 +242,9 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
       old_parts.emplace(parent, pit->second->cp.partition);
     }
   }
-  uint64_t extended_count = 0;
-  uint64_t replayed_count = 0;
-  uint64_t dropped_count = 0;
+  std::atomic<uint64_t> extended_count{0};
+  std::atomic<uint64_t> replayed_count{0};
+  std::atomic<uint64_t> dropped_count{0};
   auto extend_entry = [&](Claimed& c) {
     CachedPartition& cp = c.cp;
     const std::vector<uint32_t>& chain = cp.chain;
@@ -376,7 +376,7 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
     cp.rows = target_rows;
     cp.last_col_card = last_col.cardinality;
   };
-  for (Claimed& c : claimed) {
+  auto run_one = [&](Claimed& c) {
     try {
       AJD_INJECT_BAD_ALLOC(failpoints::kEngineCatchupExtend);
       extend_entry(c);
@@ -391,6 +391,40 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
       c.cp.partition = nullptr;
       ++dropped_count;
     }
+  };
+  // Fan the extensions out LEVEL BY LEVEL (ascending set size, the sort
+  // above): every ancestor an entry can look up lives in a strictly
+  // earlier level (proper prefixes are strictly smaller sets), so the pool
+  // barrier between levels guarantees each task reads only fully-extended
+  // parents, and entries within a level never read each other. by_set and
+  // old_parts are read-only during the fan-out; each task writes only its
+  // own entry. Extension is bit-identical to the serial loop by kernel
+  // reproducibility (and per-entry work is order-independent), so the
+  // published cache — and every value served from it — is unchanged at any
+  // thread count. Publish order below stays serial and sorted.
+  const uint32_t catchup_threads =
+      options_.refine_threads != 0 ? options_.refine_threads
+      : options_.num_threads != 0
+          ? options_.num_threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  size_t lvl_begin = 0;
+  while (lvl_begin < claimed.size()) {
+    const uint32_t level = claimed[lvl_begin].set.Count();
+    size_t lvl_end = lvl_begin + 1;
+    while (lvl_end < claimed.size() &&
+           claimed[lvl_end].set.Count() == level) {
+      ++lvl_end;
+    }
+    const size_t lvl_n = lvl_end - lvl_begin;
+    const uint32_t workers =
+        static_cast<uint32_t>(std::min<size_t>(catchup_threads, lvl_n));
+    if (workers <= 1 || pool_ == nullptr) {
+      for (size_t i = lvl_begin; i < lvl_end; ++i) run_one(claimed[i]);
+    } else {
+      pool_->Run(lvl_n, workers,
+                 [&](size_t i) { run_one(claimed[lvl_begin + i]); });
+    }
+    lvl_begin = lvl_end;
   }
   old_parts.clear();
 
@@ -720,14 +754,20 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, const EpochPin& pin,
       if (composite_card > 0) {
         refinements += remaining;
         ++fused;
+        // Intra-op sharding: bit-identical to the serial kernels at any
+        // thread count (engine/refine_kernels.h), so unlike the batch
+        // fan-out this never perturbs seeded reproducibility.
+        const uint32_t rt = RefineThreadsFor(cur->NumStrippedRows());
         if (!materialize_final) {
-          h = cur->RefinedEntropyAll(
-              cols, remaining, static_cast<uint32_t>(composite_card), n);
+          h = cur->RefinedEntropyAllSharded(
+              cols, remaining, static_cast<uint32_t>(composite_card), n, rt,
+              pool_.get());
           have_h = true;
           break;
         }
-        cur = std::make_shared<Partition>(cur->RefinedByAll(
-            cols, remaining, static_cast<uint32_t>(composite_card)));
+        cur = std::make_shared<Partition>(cur->RefinedByAllSharded(
+            cols, remaining, static_cast<uint32_t>(composite_card), rt,
+            pool_.get()));
         cur_set = attrs;
         // A fused pass is bit-identical to the chain in the same column
         // order, so the recipe records the columns flat.
@@ -751,15 +791,18 @@ double EntropyEngine::ComputeEntropy(AttrSet attrs, const EpochPin& pin,
       // Last step: only H is needed, so run the fused counting pass and
       // skip materializing the final partition. If a later query wants it
       // as a base, it refines from the cached prefix at one step's cost.
-      h = cur->RefinedEntropy(col, n);
+      h = cur->RefinedEntropySharded(col, n, RefineKernel::kAuto,
+                                     RefineThreadsFor(cur->NumStrippedRows()),
+                                     pool_.get());
       have_h = true;
       ++refinements;
       break;
     } else {
       // The three-argument form captures the parent->child correspondence
       // at build time, making this entry's first catch-up scan-free.
-      cur = std::make_shared<Partition>(
-          cur->RefinedBy(col, RefineKernel::kAuto, &step_delta));
+      cur = std::make_shared<Partition>(cur->RefinedBySharded(
+          col, RefineKernel::kAuto, RefineThreadsFor(cur->NumStrippedRows()),
+          pool_.get(), &step_delta));
       ++refinements;
     }
     cur_set.Add(a);
@@ -970,6 +1013,21 @@ uint32_t EntropyEngine::PoolSizeFor(size_t n) const {
                          : std::max(1u, std::thread::hardware_concurrency());
   return static_cast<uint32_t>(
       std::min<size_t>(threads, n / kMinMissesPerWorker));
+}
+
+uint32_t EntropyEngine::RefineThreadsFor(uint64_t mass) const {
+  uint32_t threads = options_.refine_threads != 0 ? options_.refine_threads
+                     : options_.num_threads != 0
+                         ? options_.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  if (threads <= 1 || mass < kShardedRefineMinMass) return 1;
+  // One thread per shard's worth of rows: below that a shard finishes
+  // faster than the fan-out costs (PlanShardCount in the kernels clamps
+  // identically; clamping here too keeps the resolved count honest for
+  // observers).
+  const uint64_t by_mass = mass / kShardedRefineShardMass;
+  if (by_mass < threads) threads = static_cast<uint32_t>(by_mass);
+  return threads < 1 ? 1 : threads;
 }
 
 void EntropyEngine::BatchEntropy(const AttrSet* sets, size_t n, double* out) {

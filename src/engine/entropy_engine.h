@@ -167,6 +167,18 @@ struct EngineOptions {
   /// count (and erase the superseded prefix entries they replace). Off, the
   /// disk tier only learns entries at eviction/PersistCache time.
   bool persist_on_catchup = true;
+  /// Threads for ONE refinement (intra-operation sharding,
+  /// engine/refine_kernels.h): a single large query or catch-up extension
+  /// is split into mass-balanced block shards fanned out on the pool. 0
+  /// (default) inherits the batch policy: num_threads, with num_threads'
+  /// own 0 meaning hardware_concurrency(). 1 pins every refinement
+  /// serial. The engine goes parallel only above a mass threshold
+  /// (kShardedRefineMinMass), so small refinements keep their current
+  /// nanosecond paths. Unlike cross-entry batching, intra-op sharding is
+  /// BIT-IDENTICAL to serial at any thread count — same blocks, same
+  /// rows, same entropies — so it never costs seeded drivers their
+  /// reproducibility.
+  uint32_t refine_threads = 0;
 };
 
 /// Monotonically increasing counters describing engine behavior. Hit rate
@@ -462,6 +474,14 @@ class EntropyEngine {
 
   /// Resolved BatchEntropy pool size for a batch of n terms.
   uint32_t PoolSizeFor(size_t n) const;
+
+  /// Resolved intra-operation shard thread count for ONE refinement over
+  /// `mass` stripped rows: options_.refine_threads (0 inherits
+  /// num_threads, whose own 0 means hardware_concurrency()), clamped to 1
+  /// below kShardedRefineMinMass and to one thread per
+  /// kShardedRefineShardMass rows above it. Returning 1 selects the
+  /// serial kernel unchanged.
+  uint32_t RefineThreadsFor(uint64_t mass) const;
 
   ColumnStore store_;
   EngineOptions options_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
 
+#include "engine/worker_pool.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -805,15 +807,22 @@ void RefineByColumn(const PartitionView& in, const Column& col,
   }
 }
 
-double RefineEntropy(const PartitionView& in, const Column& col,
-                     RefineKernel kernel, uint64_t num_rows) {
-  const uint64_t mass = in.mass;
-  if (kernel == RefineKernel::kAuto) {
-    kernel = ChooseRefineKernel(col.cardinality, mass);
-  }
+namespace {
+
+// The body of RefineEntropy, parameterized on the accumulator: `emit` is
+// called once per PARTIAL — exactly the operand sequence the serial
+// accumulation adds, in emission order (one c ln c term per emitted group,
+// one pre-reduced term per tiny block). The serial wrapper reduces on the
+// fly; the sharded wrapper records each shard's partials and reduces them
+// left-to-right afterwards, which is the same reduction in the same order
+// — the mechanism behind the bit-identical-at-any-thread-count contract.
+// `kernel` must be concrete (kAuto resolved by the caller, from the FULL
+// view's mass so shard sub-views never flip the choice).
+template <typename Emit>
+void RefineEntropyScan(const PartitionView& in, const Column& col,
+                       RefineKernel kernel, Emit&& emit) {
   RefineScratch& scratch = LocalScratch();
   const uint32_t* codes = col.codes.data();
-  double sum_clogc = 0.0;
 
   if (kernel == RefineKernel::kSort) {
     ScratchGuard guard(&scratch, /*cardinality=*/0);
@@ -824,7 +833,7 @@ double RefineEntropy(const PartitionView& in, const Column& col,
         const uint32_t* end = run.rows + run.starts[b + 1];
         const size_t m = static_cast<size_t>(end - begin);
         if (m <= kTinyBlockMax) {
-          sum_clogc += TinyBlockEntropy(begin, m, codes);
+          emit(TinyBlockEntropy(begin, m, codes));
           continue;
         }
         const size_t num_groups =
@@ -834,7 +843,7 @@ double RefineEntropy(const PartitionView& in, const Column& col,
         // kernels' touched list — is bit-identical to the scalar path.
         OrderGroupsByFirstRow(&scratch, num_groups);
         for (size_t g = 0; g < num_groups; ++g) {
-          sum_clogc += XLogXCount(scratch.groups[2 * g + 1]);
+          emit(XLogXCount(scratch.groups[2 * g + 1]));
         }
       }
     }
@@ -850,14 +859,14 @@ double RefineEntropy(const PartitionView& in, const Column& col,
         const uint32_t* end = run.rows + run.starts[b + 1];
         const size_t m = static_cast<size_t>(end - begin);
         if (m <= kTinyBlockMax) {
-          sum_clogc += TinyBlockEntropy(begin, m, codes);
+          emit(TinyBlockEntropy(begin, m, codes));
           continue;
         }
         const size_t t =
             EntropyTally(begin, end, hard_end, codes, kernel, &scratch);
         if (t == 1) {
           // Unsplit block: one group of m rows.
-          sum_clogc += XLogXCount(static_cast<uint32_t>(m));
+          emit(XLogXCount(static_cast<uint32_t>(m)));
           scratch.count[scratch.touched[0]] = 0;
           continue;
         }
@@ -870,12 +879,23 @@ double RefineEntropy(const PartitionView& in, const Column& col,
         for (size_t j = 0; j < t; ++j) {
           const uint32_t c = scratch.touched[j];
           // XLogX(1) == 0: sub-singletons vanish, exactly as if stripped.
-          sum_clogc += XLogXCount(scratch.count[c]);
+          emit(XLogXCount(scratch.count[c]));
           scratch.count[c] = 0;
         }
       }
     }
   }
+}
+
+}  // namespace
+
+double RefineEntropy(const PartitionView& in, const Column& col,
+                     RefineKernel kernel, uint64_t num_rows) {
+  if (kernel == RefineKernel::kAuto) {
+    kernel = ChooseRefineKernel(col.cardinality, in.mass);
+  }
+  double sum_clogc = 0.0;
+  RefineEntropyScan(in, col, kernel, [&](double v) { sum_clogc += v; });
   const double n = static_cast<double>(num_rows);
   return std::log(n) - sum_clogc / n;
 }
@@ -926,13 +946,16 @@ void RefineByComposite(const PartitionView& in, const Column* const* cols,
   if (out.starts->size() == 1) out.starts->clear();
 }
 
-double RefineCompositeEntropy(const PartitionView& in,
-                              const Column* const* cols, size_t k,
-                              uint32_t composite_card, uint64_t num_rows) {
-  AJD_CHECK(k >= 2 && composite_card > 0);
+namespace {
+
+// RefineCompositeEntropy's body, parameterized on the accumulator exactly
+// like RefineEntropyScan (one emitted partial per leaf, in chain order).
+template <typename Emit>
+void RefineCompositeEntropyScan(const PartitionView& in,
+                                const Column* const* cols, size_t k,
+                                uint32_t composite_card, Emit&& emit) {
   RefineScratch& scratch = LocalScratch();
   ScratchGuard guard(&scratch, composite_card);
-  double sum_clogc = 0.0;
   uint32_t lvl_ng[kMaxAttrs];
   for (uint32_t r = 0; r < in.num_runs; ++r) {
     const PartitionRun& run = in.runs[r];
@@ -946,23 +969,37 @@ double RefineCompositeEntropy(const PartitionView& in,
       ChainOrderLeaves(k, t, lvl_ng, &scratch);
       for (size_t j = 0; j < t; ++j) {
         const uint32_t c = scratch.touched[scratch.groups[j]];
-        sum_clogc += XLogXCount(scratch.count[c]);
+        emit(XLogXCount(scratch.count[c]));
         scratch.count[c] = 0;
       }
     }
   }
+}
+
+}  // namespace
+
+double RefineCompositeEntropy(const PartitionView& in,
+                              const Column* const* cols, size_t k,
+                              uint32_t composite_card, uint64_t num_rows) {
+  AJD_CHECK(k >= 2 && composite_card > 0);
+  double sum_clogc = 0.0;
+  RefineCompositeEntropyScan(in, cols, k, composite_card,
+                             [&](double v) { sum_clogc += v; });
   const double n = static_cast<double>(num_rows);
   return std::log(n) - sum_clogc / n;
 }
 
-double RefineByColumnWithEntropy(const PartitionView& in, const Column& c1,
-                                 const Column& c2, uint32_t composite_card,
-                                 uint64_t num_rows,
-                                 const PartitionBuild& out) {
-  AJD_CHECK(composite_card > 0);
+namespace {
+
+// RefineByColumnWithEntropy's body, parameterized on the entropy
+// accumulator (one emitted partial per leaf of the final c2 split, in
+// chain order). Builds the c1 refinement into `out` either way.
+template <typename Emit>
+void RefineByColumnWithEntropyScan(const PartitionView& in, const Column& c1,
+                                   const Column& c2, uint32_t composite_card,
+                                   const PartitionBuild& out, Emit&& emit) {
   out.rows->clear();
   out.starts->clear();
-  double sum_clogc = 0.0;
   if (in.num_runs > 0) {
     RefineScratch& scratch = LocalScratch();
     ScratchGuard guard(&scratch, composite_card);
@@ -1047,7 +1084,7 @@ double RefineByColumnWithEntropy(const PartitionView& in, const Column& c1,
           // One c1 group: global leaf order IS chain order.
           if (cursor[0] != UINT32_MAX) {
             for (size_t l = 0; l < t; ++l) {
-              sum_clogc += XLogXCount(count[scratch.touched[l]]);
+              emit(XLogXCount(count[scratch.touched[l]]));
             }
           }
           for (size_t l = 0; l < t; ++l) count[scratch.touched[l]] = 0;
@@ -1073,8 +1110,7 @@ double RefineByColumnWithEntropy(const PartitionView& in, const Column& c1,
             const uint32_t stop = scratch.groups[s];
             if (cursor[s] != UINT32_MAX) {
               for (uint32_t idx = start; idx < stop; ++idx) {
-                sum_clogc +=
-                    XLogXCount(count[scratch.touched[ordered[idx]]]);
+                emit(XLogXCount(count[scratch.touched[ordered[idx]]]));
               }
             }
             start = stop;
@@ -1093,6 +1129,18 @@ double RefineByColumnWithEntropy(const PartitionView& in, const Column& c1,
     out.rows->resize(total);
     if (out.starts->size() == 1) out.starts->clear();
   }
+}
+
+}  // namespace
+
+double RefineByColumnWithEntropy(const PartitionView& in, const Column& c1,
+                                 const Column& c2, uint32_t composite_card,
+                                 uint64_t num_rows,
+                                 const PartitionBuild& out) {
+  AJD_CHECK(composite_card > 0);
+  double sum_clogc = 0.0;
+  RefineByColumnWithEntropyScan(in, c1, c2, composite_card, out,
+                                [&](double v) { sum_clogc += v; });
   const double n = static_cast<double>(num_rows);
   return std::log(n) - sum_clogc / n;
 }
@@ -1136,6 +1184,379 @@ void SortPartitionOfColumn(const Column& col, const PartitionBuild& out) {
     }
   }
   if (out.starts->size() == 1) out.starts->clear();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded (intra-operation parallel) entry points. See the header contract:
+// shards are contiguous block ranges of the input view, each processed by
+// the unchanged serial kernel, outputs concatenated in shard (= block)
+// order; entropy partials are reduced strictly left-to-right in global
+// emission order, so every result is byte/bit-identical to the serial
+// kernel at any shard count.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// How many shards a view of this mass supports at this thread budget:
+// never more than `threads`, never so many that a shard falls below
+// kShardedRefineShardMass rows (a shard that small finishes faster than
+// the fan-out costs).
+uint32_t PlanShardCount(uint64_t mass, uint32_t threads) {
+  if (threads <= 1) return 1;
+  const uint64_t by_mass = mass / kShardedRefineShardMass;
+  const uint64_t n = by_mass < threads ? by_mass : threads;
+  return n < 1 ? 1 : static_cast<uint32_t>(n);
+}
+
+// Per-shard output for the materializing paths; concatenated in shard
+// order after the batch drains.
+struct ShardOut {
+  std::vector<uint32_t> rows;
+  std::vector<uint32_t> starts;
+  PartitionDelta delta;
+  std::vector<double> partials;  // entropy terms, in shard emission order
+};
+
+// Concatenates per-shard refinement outputs into `out` (and `delta_out`
+// when non-null) in shard order. Shard row indices are partition-global
+// already (kernels copy parent rows through), so only the block-boundary
+// offsets need rebasing.
+void ConcatShardOutputs(const std::vector<ShardOut>& parts,
+                        const PartitionBuild& out,
+                        PartitionDelta* delta_out) {
+  size_t total_rows = 0;
+  size_t total_blocks = 0;
+  size_t total_delta = 0;
+  for (const ShardOut& p : parts) {
+    total_rows += p.rows.size();
+    if (!p.starts.empty()) total_blocks += p.starts.size() - 1;
+    total_delta += p.delta.run_lengths.size();
+  }
+  out.rows->clear();
+  out.starts->clear();
+  out.rows->resize(total_rows);
+  if (total_blocks > 0) {
+    out.starts->reserve(total_blocks + 1);
+    out.starts->push_back(0);
+  }
+  if (delta_out != nullptr) {
+    delta_out->run_lengths.clear();
+    delta_out->parent_first_rows.clear();
+    delta_out->run_lengths.reserve(total_delta);
+    delta_out->parent_first_rows.reserve(total_delta);
+  }
+  uint32_t off = 0;
+  uint32_t* dst = out.rows->data();
+  for (const ShardOut& p : parts) {
+    if (!p.rows.empty()) {
+      std::memcpy(dst + off, p.rows.data(), p.rows.size() * sizeof(uint32_t));
+    }
+    for (size_t j = 1; j < p.starts.size(); ++j) {
+      out.starts->push_back(p.starts[j] + off);
+    }
+    off += static_cast<uint32_t>(p.rows.size());
+    if (delta_out != nullptr) {
+      delta_out->run_lengths.insert(delta_out->run_lengths.end(),
+                                    p.delta.run_lengths.begin(),
+                                    p.delta.run_lengths.end());
+      delta_out->parent_first_rows.insert(delta_out->parent_first_rows.end(),
+                                          p.delta.parent_first_rows.begin(),
+                                          p.delta.parent_first_rows.end());
+    }
+  }
+}
+
+// Reduces per-shard entropy partials strictly left-to-right in global
+// emission order — the exact operand sequence the serial accumulation
+// adds, in the exact order it adds them.
+double ReduceEntropyPartials(const std::vector<ShardOut>& parts,
+                             uint64_t num_rows) {
+  double sum_clogc = 0.0;
+  for (const ShardOut& p : parts) {
+    for (const double v : p.partials) sum_clogc += v;
+  }
+  const double n = static_cast<double>(num_rows);
+  return std::log(n) - sum_clogc / n;
+}
+
+}  // namespace
+
+uint32_t SplitViewForRefine(const PartitionView& in, uint32_t max_shards,
+                            std::vector<PartitionRun>* runs_scratch,
+                            std::vector<PartitionView>* shards) {
+  runs_scratch->clear();
+  shards->clear();
+  if (in.mass == 0 || in.num_runs == 0) return 0;
+  if (max_shards < 1) max_shards = 1;
+  // Pass 1: record each shard's sub-runs into runs_scratch plus per-shard
+  // run counts and masses. Views are materialized only after the scratch
+  // vector stops growing — growth would invalidate their run pointers.
+  std::vector<uint32_t> shard_runs;
+  std::vector<uint64_t> shard_mass;
+  const uint64_t total = in.mass;
+  uint64_t cum = 0;       // mass assigned so far, across all shards
+  uint32_t cur_runs = 0;  // sub-runs in the currently-open shard
+  uint64_t cur_mass = 0;  // mass in the currently-open shard
+  for (uint32_t r = 0; r < in.num_runs; ++r) {
+    const PartitionRun& run = in.runs[r];
+    uint32_t sub_begin = 0;
+    for (uint32_t b = 0; b < run.num_blocks; ++b) {
+      const uint64_t block = run.starts[b + 1] - run.starts[b];
+      cum += block;
+      cur_mass += block;
+      // Cut after this block once the open shard reaches its proportional
+      // share of the total mass (cum >= total * (closed+1) / max_shards,
+      // kept in integers). The last shard stays open for the remainder, so
+      // every closed shard holds at least one block and the shard count
+      // never exceeds max_shards.
+      const uint32_t closed = static_cast<uint32_t>(shard_runs.size());
+      if (closed + 1 < max_shards &&
+          cum * max_shards >= total * (closed + 1)) {
+        runs_scratch->push_back(
+            PartitionRun{run.rows, run.starts + sub_begin, b + 1 - sub_begin});
+        ++cur_runs;
+        shard_runs.push_back(cur_runs);
+        shard_mass.push_back(cur_mass);
+        cur_runs = 0;
+        cur_mass = 0;
+        sub_begin = b + 1;
+      }
+    }
+    if (sub_begin < run.num_blocks) {
+      runs_scratch->push_back(PartitionRun{run.rows, run.starts + sub_begin,
+                                           run.num_blocks - sub_begin});
+      ++cur_runs;
+    }
+  }
+  if (cur_runs > 0) {
+    shard_runs.push_back(cur_runs);
+    shard_mass.push_back(cur_mass);
+  }
+  size_t off = 0;
+  for (size_t s = 0; s < shard_runs.size(); ++s) {
+    shards->push_back(PartitionView{runs_scratch->data() + off, shard_runs[s],
+                                    shard_mass[s]});
+    off += shard_runs[s];
+  }
+  return static_cast<uint32_t>(shards->size());
+}
+
+void RefineByColumnSharded(const PartitionView& in, const Column& col,
+                           RefineKernel kernel, uint32_t threads,
+                           WorkerPool* pool, const PartitionBuild& out,
+                           PartitionDelta* delta_out) {
+  // Resolve kAuto from the FULL view's mass before sharding: a shard
+  // sub-view's smaller mass could flip the kSort choice and change which
+  // kernel runs — harmless for correctness (all kernels agree bitwise)
+  // but it would make the sharded path exercise different code than the
+  // serial one it must mirror.
+  if (kernel == RefineKernel::kAuto) {
+    kernel = ChooseRefineKernel(col.cardinality, in.mass);
+  }
+  const uint32_t want = PlanShardCount(in.mass, threads);
+  if (want <= 1 || pool == nullptr) {
+    RefineByColumn(in, col, kernel, out, delta_out);
+    return;
+  }
+  std::vector<PartitionRun> runs;
+  std::vector<PartitionView> shards;
+  const uint32_t ns = SplitViewForRefine(in, want, &runs, &shards);
+  if (ns <= 1) {
+    RefineByColumn(in, col, kernel, out, delta_out);
+    return;
+  }
+  std::vector<ShardOut> parts(ns);
+  pool->Run(ns, ns, [&](size_t i) {
+    RefineByColumn(shards[i], col, kernel,
+                   PartitionBuild{&parts[i].rows, &parts[i].starts},
+                   delta_out != nullptr ? &parts[i].delta : nullptr);
+  });
+  ConcatShardOutputs(parts, out, delta_out);
+}
+
+double RefineEntropySharded(const PartitionView& in, const Column& col,
+                            RefineKernel kernel, uint64_t num_rows,
+                            uint32_t threads, WorkerPool* pool) {
+  if (kernel == RefineKernel::kAuto) {
+    kernel = ChooseRefineKernel(col.cardinality, in.mass);
+  }
+  const uint32_t want = PlanShardCount(in.mass, threads);
+  if (want <= 1 || pool == nullptr) {
+    return RefineEntropy(in, col, kernel, num_rows);
+  }
+  std::vector<PartitionRun> runs;
+  std::vector<PartitionView> shards;
+  const uint32_t ns = SplitViewForRefine(in, want, &runs, &shards);
+  if (ns <= 1) return RefineEntropy(in, col, kernel, num_rows);
+  std::vector<ShardOut> parts(ns);
+  pool->Run(ns, ns, [&](size_t i) {
+    std::vector<double>& partials = parts[i].partials;
+    RefineEntropyScan(shards[i], col, kernel,
+                      [&partials](double v) { partials.push_back(v); });
+  });
+  return ReduceEntropyPartials(parts, num_rows);
+}
+
+void RefineByCompositeSharded(const PartitionView& in,
+                              const Column* const* cols, size_t k,
+                              uint32_t composite_card, uint32_t threads,
+                              WorkerPool* pool, const PartitionBuild& out) {
+  AJD_CHECK(k >= 2 && composite_card > 0);
+  const uint32_t want = PlanShardCount(in.mass, threads);
+  if (want <= 1 || pool == nullptr) {
+    RefineByComposite(in, cols, k, composite_card, out);
+    return;
+  }
+  std::vector<PartitionRun> runs;
+  std::vector<PartitionView> shards;
+  const uint32_t ns = SplitViewForRefine(in, want, &runs, &shards);
+  if (ns <= 1) {
+    RefineByComposite(in, cols, k, composite_card, out);
+    return;
+  }
+  std::vector<ShardOut> parts(ns);
+  pool->Run(ns, ns, [&](size_t i) {
+    RefineByComposite(shards[i], cols, k, composite_card,
+                      PartitionBuild{&parts[i].rows, &parts[i].starts});
+  });
+  ConcatShardOutputs(parts, out, /*delta_out=*/nullptr);
+}
+
+double RefineCompositeEntropySharded(const PartitionView& in,
+                                     const Column* const* cols, size_t k,
+                                     uint32_t composite_card,
+                                     uint64_t num_rows, uint32_t threads,
+                                     WorkerPool* pool) {
+  AJD_CHECK(k >= 2 && composite_card > 0);
+  const uint32_t want = PlanShardCount(in.mass, threads);
+  if (want <= 1 || pool == nullptr) {
+    return RefineCompositeEntropy(in, cols, k, composite_card, num_rows);
+  }
+  std::vector<PartitionRun> runs;
+  std::vector<PartitionView> shards;
+  const uint32_t ns = SplitViewForRefine(in, want, &runs, &shards);
+  if (ns <= 1) {
+    return RefineCompositeEntropy(in, cols, k, composite_card, num_rows);
+  }
+  std::vector<ShardOut> parts(ns);
+  pool->Run(ns, ns, [&](size_t i) {
+    std::vector<double>& partials = parts[i].partials;
+    RefineCompositeEntropyScan(shards[i], cols, k, composite_card,
+                               [&partials](double v) { partials.push_back(v); });
+  });
+  return ReduceEntropyPartials(parts, num_rows);
+}
+
+double RefineByColumnWithEntropySharded(const PartitionView& in,
+                                        const Column& c1, const Column& c2,
+                                        uint32_t composite_card,
+                                        uint64_t num_rows, uint32_t threads,
+                                        WorkerPool* pool,
+                                        const PartitionBuild& out) {
+  AJD_CHECK(composite_card > 0);
+  const uint32_t want = PlanShardCount(in.mass, threads);
+  if (want <= 1 || pool == nullptr) {
+    return RefineByColumnWithEntropy(in, c1, c2, composite_card, num_rows,
+                                     out);
+  }
+  std::vector<PartitionRun> runs;
+  std::vector<PartitionView> shards;
+  const uint32_t ns = SplitViewForRefine(in, want, &runs, &shards);
+  if (ns <= 1) {
+    return RefineByColumnWithEntropy(in, c1, c2, composite_card, num_rows,
+                                     out);
+  }
+  std::vector<ShardOut> parts(ns);
+  pool->Run(ns, ns, [&](size_t i) {
+    std::vector<double>& partials = parts[i].partials;
+    RefineByColumnWithEntropyScan(
+        shards[i], c1, c2, composite_card,
+        PartitionBuild{&parts[i].rows, &parts[i].starts},
+        [&partials](double v) { partials.push_back(v); });
+  });
+  ConcatShardOutputs(parts, out, /*delta_out=*/nullptr);
+  return ReduceEntropyPartials(parts, num_rows);
+}
+
+size_t ShedOversizedRefineScratch() {
+  RefineScratch& s = LocalScratch();
+  // Same keep threshold as ScratchGuard: steady-state capacity stays, only
+  // spikes are released.
+  constexpr size_t kKeepEntries = size_t{1} << 16;
+  size_t freed = 0;
+  const auto shed32 = [&freed](std::vector<uint32_t>& v) {
+    if (v.capacity() > kKeepEntries) {
+      freed += v.capacity() * sizeof(uint32_t);
+      std::vector<uint32_t>().swap(v);
+    }
+  };
+  // FusedTally resets the previous block's lvl_seq slots lazily via
+  // lvl_touched; shedding lvl_seq (a fresh resize re-fills UINT32_MAX)
+  // with stale lvl_touched entries would index out of a smaller future
+  // arena, so the reset list is cleared whenever the arena is dropped —
+  // the same pairing ScratchGuard's destructor maintains.
+  if (s.lvl_seq.capacity() > kKeepEntries) s.lvl_touched.clear();
+  // Buffers that are resized as a pair under a size check on the FIRST
+  // member (count/offset, count1/seq1, pairs/pairs_tmp) must shed as a
+  // pair too: dropping only the second would leave it undersized behind a
+  // check that no longer fires.
+  const auto shed_pair32 = [&freed, kKeepEntries](std::vector<uint32_t>& a,
+                                                  std::vector<uint32_t>& b) {
+    if (a.capacity() > kKeepEntries || b.capacity() > kKeepEntries) {
+      freed += (a.capacity() + b.capacity()) * sizeof(uint32_t);
+      std::vector<uint32_t>().swap(a);
+      std::vector<uint32_t>().swap(b);
+    }
+  };
+  shed_pair32(s.count, s.offset);
+  shed_pair32(s.count1, s.seq1);
+  if (s.pairs.capacity() > kKeepEntries ||
+      s.pairs_tmp.capacity() > kKeepEntries) {
+    freed += (s.pairs.capacity() + s.pairs_tmp.capacity()) * sizeof(uint64_t);
+    std::vector<uint64_t>().swap(s.pairs);
+    std::vector<uint64_t>().swap(s.pairs_tmp);
+  }
+  shed32(s.touched);
+  shed32(s.first_pos);
+  shed32(s.comp);
+  shed32(s.groups);
+  shed32(s.leaf_keys);
+  shed32(s.lvl_seq);
+  shed32(s.lvl_touched);
+  shed32(s.touched1);
+  shed32(s.leaf_group);
+  shed32(s.stage_rows);
+  shed32(s.stage_starts);
+  return freed;
+}
+
+size_t RefineScratchBytes() {
+  const RefineScratch& s = LocalScratch();
+  size_t bytes = 0;
+  const auto add32 = [&bytes](const std::vector<uint32_t>& v) {
+    bytes += v.capacity() * sizeof(uint32_t);
+  };
+  const auto add64 = [&bytes](const std::vector<uint64_t>& v) {
+    bytes += v.capacity() * sizeof(uint64_t);
+  };
+  add32(s.count);
+  add32(s.offset);
+  add32(s.touched);
+  add32(s.first_pos);
+  add32(s.comp);
+  add64(s.pairs);
+  add64(s.pairs_tmp);
+  add32(s.groups);
+  add32(s.leaf_keys);
+  add32(s.lvl_seq);
+  add32(s.lvl_touched);
+  add32(s.count1);
+  add32(s.seq1);
+  add32(s.touched1);
+  add32(s.leaf_group);
+  add32(s.stage_rows);
+  add32(s.stage_starts);
+  return bytes;
 }
 
 }  // namespace ajd

@@ -33,6 +33,36 @@
 // only vectorizes the codes[row] gather; tallying stays scalar and in scan
 // order, so touched-code order (and therefore output and fp accumulation
 // order) is identical to the scalar kernels.
+//
+// --- Sharded (intra-operation parallel) entry points ----------------------
+//
+// Every kernel above is block-local: no state crosses an input-block
+// boundary (the gather prefetch does, but it only affects timing, never
+// output). Refinement is therefore embarrassingly parallel across parent
+// blocks, and the *Sharded entry points exploit exactly that: the input
+// view is split into contiguous, row-mass-balanced shard ranges
+// (SplitViewForRefine), each shard runs the UNCHANGED serial kernel on a
+// WorkerPool, and the per-shard outputs are concatenated in shard order.
+// Because shards are contiguous block ranges in logical order, block
+// order, row order, and the PartitionDelta come out identical to the
+// serial kernel by construction — not within tolerance, byte-identical.
+//
+// Entropy accumulation is the one place parallelism could perturb output:
+// float addition is not associative, so per-shard running sums would
+// change the value with the thread count. The sharded entropy kernels
+// instead record one PARTIAL SUM PER EMITTED BLOCK (exactly the operand
+// sequence the serial accumulation adds, in emission order: one c ln c
+// term per emitted group, one pre-reduced term per tiny block) and reduce
+// the partials STRICTLY LEFT TO RIGHT in global emission order after all
+// shards complete. The serial kernels are that same reduction at one
+// shard, so every entropy is bit-identical at ANY thread count, including
+// 1 — the thread-count-independence contract the engine's reproducibility
+// guarantees (and the TSan equivalence suite) rest on.
+//
+// Nested submission is safe by the pool's busy-inline contract
+// (engine/worker_pool.h): a sharded kernel invoked from inside a pool
+// task finds the pool busy and degrades to running its shards serially
+// inline — same bytes out, no deadlock.
 #ifndef AJD_ENGINE_REFINE_KERNELS_H_
 #define AJD_ENGINE_REFINE_KERNELS_H_
 
@@ -43,6 +73,8 @@
 #include "engine/column_store.h"
 
 namespace ajd {
+
+class WorkerPool;  // engine/worker_pool.h
 
 /// Refinement strategy. kAuto picks per call from the column cardinality
 /// and the partition's stripped mass (thresholds below).
@@ -194,6 +226,86 @@ double RefineByColumnWithEntropy(const PartitionView& in, const Column& c1,
 /// with scratch sized by the row count, not the cardinality. Used for
 /// near-key columns where cardinality >= rows.
 void SortPartitionOfColumn(const Column& col, const PartitionBuild& out);
+
+// --- Sharded (intra-operation parallel) entry points ----------------------
+// Contract: each *Sharded function produces output BYTE-IDENTICAL to its
+// serial counterpart above — block order, row order, PartitionDelta, and
+// every entropy BIT — at any `threads` value, including 1 (see the header
+// comment for why: contiguous row-mass-balanced shards over block-local
+// kernels, plus strictly left-to-right reduction of per-emitted-block
+// entropy partials in global emission order). With threads <= 1, a null
+// pool, or fewer than two plannable shards, they simply call the serial
+// kernel. Invoked from inside a pool task they degrade to serial via the
+// pool's busy-inline fallback. kAuto is resolved ONCE from the full view's
+// mass before sharding, so kernel choice never depends on the shard split.
+
+/// Row mass below which the engine keeps a refinement on the serial
+/// nanosecond path: at ~5 ns/row a shard must amortize the pool wakeup
+/// (tens of microseconds), measured on the perf_partition threads sweep.
+inline constexpr uint64_t kShardedRefineMinMass = uint64_t{1} << 19;
+
+/// Minimum row mass per shard: splitting finer than this loses more to
+/// per-shard staging and wakeup than the extra core returns.
+inline constexpr uint64_t kShardedRefineShardMass = uint64_t{1} << 17;
+
+/// Splits `in` into at most `max_shards` contiguous, row-mass-balanced
+/// shard sub-views (shard i covers the blocks up to the point where the
+/// cumulative mass reaches i+1 shares). Blocks are the atomic unit — a
+/// single huge block is never split — and every returned shard is
+/// non-empty, so the count actually returned can be lower than requested.
+/// The sub-views alias `in`'s row storage; `runs_scratch` backs their run
+/// tables and must outlive them. Returns the shard count (0 iff `in` is
+/// empty).
+uint32_t SplitViewForRefine(const PartitionView& in, uint32_t max_shards,
+                            std::vector<PartitionRun>* runs_scratch,
+                            std::vector<PartitionView>* shards);
+
+/// Sharded RefineByColumn: byte-identical output and delta at any thread
+/// count.
+void RefineByColumnSharded(const PartitionView& in, const Column& col,
+                           RefineKernel kernel, uint32_t threads,
+                           WorkerPool* pool, const PartitionBuild& out,
+                           PartitionDelta* delta_out = nullptr);
+
+/// Sharded RefineEntropy: bit-identical value at any thread count.
+double RefineEntropySharded(const PartitionView& in, const Column& col,
+                            RefineKernel kernel, uint64_t num_rows,
+                            uint32_t threads, WorkerPool* pool);
+
+/// Sharded RefineByComposite: byte-identical output at any thread count.
+void RefineByCompositeSharded(const PartitionView& in,
+                              const Column* const* cols, size_t k,
+                              uint32_t composite_card, uint32_t threads,
+                              WorkerPool* pool, const PartitionBuild& out);
+
+/// Sharded RefineCompositeEntropy: bit-identical value at any thread count.
+double RefineCompositeEntropySharded(const PartitionView& in,
+                                     const Column* const* cols, size_t k,
+                                     uint32_t composite_card,
+                                     uint64_t num_rows, uint32_t threads,
+                                     WorkerPool* pool);
+
+/// Sharded RefineByColumnWithEntropy: byte-identical partition AND
+/// bit-identical entropy at any thread count.
+double RefineByColumnWithEntropySharded(const PartitionView& in,
+                                        const Column& c1, const Column& c2,
+                                        uint32_t composite_card,
+                                        uint64_t num_rows, uint32_t threads,
+                                        WorkerPool* pool,
+                                        const PartitionBuild& out);
+
+/// Frees this thread's kernel scratch buffers whose capacity exceeds the
+/// ScratchGuard keep threshold (64Ki entries), returning the bytes freed.
+/// The guard already sheds SPIKES relative to a call's own cardinality,
+/// but deliberately keeps steady-state-sized buffers warm across calls —
+/// right for an application thread, wrong for a pool worker that may park
+/// indefinitely after one large refinement. WorkerPool calls this when a
+/// worker parks between batches.
+size_t ShedOversizedRefineScratch();
+
+/// Heap bytes currently held by this thread's kernel scratch (test hook
+/// for the park-shed policy above).
+size_t RefineScratchBytes();
 
 }  // namespace ajd
 

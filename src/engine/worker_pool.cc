@@ -1,5 +1,7 @@
 #include "engine/worker_pool.h"
 
+#include "engine/refine_kernels.h"
+
 namespace ajd {
 
 WorkerPool::WorkerPool() = default;
@@ -30,12 +32,19 @@ void RunInlineContained(size_t n, const std::function<void(size_t)>& fn) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+// True while this thread is inside a Run() it submitted or is helping
+// with: a nested Run from such a frame must not touch submit_mu_ at all
+// (the submitter's own frame already OWNS it, and try_lock on a mutex the
+// thread holds is undefined for std::mutex) — it degrades straight to the
+// inline loop, which is the documented nested-submission contract.
+thread_local bool t_in_batch = false;
+
 }  // namespace
 
 void WorkerPool::Run(size_t n, uint32_t workers,
                      const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (workers <= 1) {
+  if (workers <= 1 || t_in_batch) {
     RunInlineContained(n, fn);
     return;
   }
@@ -93,9 +102,16 @@ const std::shared_ptr<WorkerPool>& WorkerPool::Shared() {
 
 void WorkerPool::TakeBatchShare(Batch* batch) {
   const size_t n = batch->n;
+  // Mark the thread batch-bound for the duration: a task that submits a
+  // nested Run is routed straight to the inline loop (see t_in_batch).
+  const bool was_in_batch = t_in_batch;
+  t_in_batch = true;
   while (true) {
     size_t i = batch->next.fetch_add(1);
-    if (i >= n) return;
+    if (i >= n) {
+      t_in_batch = was_in_batch;
+      return;
+    }
     try {
       (*batch->fn)(i);
     } catch (...) {
@@ -128,6 +144,14 @@ void WorkerPool::WorkerLoop() {
     if (batch->helpers.fetch_add(1) < batch->max_helpers) {
       TakeBatchShare(batch.get());
     }
+    // About to park: shed any kernel scratch this batch spiked on this
+    // thread. ScratchGuard's end-of-call shed polices a single refinement,
+    // but its steady-state keep allowance would otherwise linger on every
+    // pool thread for the pool's lifetime — N threads x keep-sized buffers
+    // held by a pool that may see no refinement work for hours. Outside
+    // the lock: shedding is thread-local and must not extend the roster's
+    // critical section.
+    ShedOversizedRefineScratch();
     lock.lock();
   }
 }

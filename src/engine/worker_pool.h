@@ -18,7 +18,16 @@
 // batch inline on the calling thread. Sharded sessions batch from several
 // engines at once (engine/cache_arbiter.h charges concurrently either
 // way), and head-of-line blocking behind another relation's fan-out would
-// waste exactly the thread the submitter already owns.
+// waste exactly the thread the submitter already owns. The same fallback
+// makes NESTED submission safe: a pool task that itself calls Run() (the
+// sharded refine kernels do, when a batched query crosses the intra-op
+// threshold) finds submit_mu_ held by its own enclosing batch and degrades
+// to the inline loop — serial on that task's thread, never a deadlock.
+//
+// Workers shed oversized thread-local kernel scratch (refine_kernels.h's
+// ShedOversizedRefineScratch) each time they park: ScratchGuard polices a
+// single call's spike, but its keep allowance would otherwise linger on
+// every pool thread for the pool's lifetime.
 //
 // Failure semantics: a task that throws is CONTAINED. The exception never
 // reaches a pool thread's top frame (no std::terminate) and never strands

@@ -683,6 +683,54 @@ TEST(EpochEngine, CatchUpThenParallelBatchIsCorrect) {
   EXPECT_EQ(engine.Stats().epoch_catchups, 1u);
 }
 
+TEST(EpochEngine, ThreadedCatchUpSoakIsBitwiseEqualToSerial) {
+  // The parallel EXTEND fan-out (refine_threads > 1 fans claimed entries
+  // out level-by-level on the pool) must publish a cache — and serve
+  // values — bitwise equal to the serial catch-up. Two engines over
+  // identical relations run the same append/query schedule, one with
+  // parallel catch-up and one pinned serial; every served value must be
+  // EQ, and the threaded engine's final cache must equal the cold replay
+  // exactly. The TSan leg runs this file, so the fan-out's memory
+  // ordering (level barriers, atomic counters, shared parent reads) is
+  // exercised under the race detector.
+  Rng rng(7600);
+  for (int trial = 0; trial < 4; ++trial) {
+    const uint32_t num_attrs = 4 + static_cast<uint32_t>(rng.UniformU64(2));
+    const uint32_t domain = 3 + static_cast<uint32_t>(rng.UniformU64(5));
+    auto first = RandomRows(&rng, num_attrs, domain, 60);
+    Relation r_par = RelationFromRows(num_attrs, first);
+    Relation r_ser = RelationFromRows(num_attrs, first);
+    EngineOptions par_opts;
+    par_opts.refine_threads = 4;
+    EntropyEngine par(&r_par, par_opts);
+    EntropyEngine ser(&r_ser);
+    const uint64_t all_masks = (uint64_t{1} << num_attrs) - 1;
+    const uint32_t batches = 4;
+    for (uint32_t k = 0; k < batches; ++k) {
+      // Warm a spread of chains so each catch-up claims several entries
+      // across several set-size levels (the fan-out's unit of work).
+      for (int q = 0; q < 12; ++q) {
+        const AttrSet s =
+            AttrSet::FromMask(1 + rng.UniformU64(all_masks - 1));
+        ASSERT_EQ(par.Entropy(s), ser.Entropy(s))
+            << "trial " << trial << " epoch " << k << " mask " << s.mask();
+      }
+      const auto batch =
+          RandomRows(&rng, num_attrs, domain + k,
+                     5 + static_cast<uint32_t>(rng.UniformU64(30)));
+      ASSERT_TRUE(r_par.AppendBatch(batch).ok());
+      ASSERT_TRUE(r_ser.AppendBatch(batch).ok());
+    }
+    ASSERT_EQ(par.Entropy(AttrSet::FromMask(all_masks)),
+              ser.Entropy(AttrSet::FromMask(all_masks)));
+    ASSERT_EQ(par.Stats().epoch_catchups, batches);
+    EXPECT_EQ(par.Stats().partitions_extended + par.Stats().partitions_replayed,
+              ser.Stats().partitions_extended + ser.Stats().partitions_replayed);
+    EXPECT_EQ(par.Stats().catchup_dropped, 0u);
+    VerifyCachedPartitionsAgainstColdReplay(&par, r_par);
+  }
+}
+
 // --- Concurrent readers under ingestion ----------------------------------
 
 TEST(EpochConcurrency, PinnedReaderIsBitwiseColdWhileNextEpochLands) {

@@ -313,6 +313,51 @@ TEST(WorkerPool, ThrowingTaskIsContainedOnEveryPath) {
   EXPECT_EQ(clean.load(), 8);
 }
 
+TEST(WorkerPool, NestedSubmissionRunsInlineAndCompletes) {
+  // A pool task that itself submits a sub-batch (the sharded refine
+  // kernels do exactly this when a batched query crosses the intra-op
+  // threshold) must take the busy-inline path — the outer Run holds the
+  // submit lock for its whole duration — and complete every sub-index on
+  // the task's own thread. Under a waiting submit lock this test
+  // deadlocks: the inner Run would park on a lock its own batch holds.
+  WorkerPool pool;
+  constexpr size_t kOuter = 4;
+  constexpr size_t kInner = 5;
+  std::atomic<int> inner_ran{0};
+  std::function<void(size_t)> outer = [&](size_t) {
+    std::function<void(size_t)> inner = [&](size_t) { ++inner_ran; };
+    pool.Run(kInner, 4, inner);
+  };
+  pool.Run(kOuter, 3, outer);
+  EXPECT_EQ(inner_ran.load(), static_cast<int>(kOuter * kInner));
+
+  // Exceptions from a NESTED batch stay contained with the usual
+  // semantics: every inner index still runs, the first inner exception
+  // resurfaces on the outer task (its submitter), and — rethrown there —
+  // is contained again by the OUTER batch, reaching the real submitter
+  // exactly once. The pool survives for later batches.
+  std::atomic<int> inner_ok{0};
+  std::function<void(size_t)> outer_throwing = [&](size_t) {
+    std::function<void(size_t)> inner = [&](size_t i) {
+      if (i == 1) throw std::runtime_error("nested boom");
+      ++inner_ok;
+    };
+    pool.Run(kInner, 4, inner);
+  };
+  try {
+    pool.Run(kOuter, 3, outer_throwing);
+    FAIL() << "expected the nested exception to resurface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "nested boom");
+  }
+  EXPECT_EQ(inner_ok.load(), static_cast<int>(kOuter * (kInner - 1)));
+
+  std::atomic<int> clean{0};
+  std::function<void(size_t)> count = [&](size_t) { ++clean; };
+  pool.Run(8, 4, count);
+  EXPECT_EQ(clean.load(), 8);
+}
+
 // --- Serve-while-ingest: readers pinned across appends -------------------
 
 TEST(SessionStress, MultiReaderSingleAppenderSoakHoldsValueAndBudget) {

@@ -1,8 +1,9 @@
 // bench_trajectory: merges the per-bench JSONL emitted by the bench/
-// binaries into ONE committed-format trajectory file, so per-PR perf
-// numbers accumulate in-repo instead of dying as CI artifacts.
+// binaries into the committed trajectory format, so per-PR perf numbers
+// accumulate in-repo instead of dying as CI artifacts.
 //
 //   bench_trajectory <out.json> <in1.jsonl> [in2.jsonl ...]
+//   bench_trajectory --split <outdir> <in1.jsonl> [in2.jsonl ...]
 //
 // Inputs are the benches' stdout captures: one JSON object per line, each
 // carrying a "bench":"<name>" field. The tool does NOT parse JSON — every
@@ -12,7 +13,13 @@
 // series, since delta extension is the number the paper's growing-relation
 // trajectory lives or dies on.
 //
-// Output format (committed as BENCH_partition.json at the repo root):
+// The single-file form writes every bench into one document. The --split
+// form writes one file PER bench, <outdir>/BENCH_<name>.json with the
+// leading "perf_" stripped from the name — the committed-baseline layout
+// (BENCH_partition.json, BENCH_miner.json, ...) that keeps each driver's
+// Release-run numbers independently diffable.
+//
+// Output format (each file):
 //   {
 //     "format": "ajd-bench-trajectory-v1",
 //     "headline": [ <extend_* lines from perf_partition> ],
@@ -54,18 +61,61 @@ void EmitArray(std::FILE* out, const std::vector<std::string>& lines,
   }
 }
 
+// One trajectory document: the shared format for both the combined file
+// and each --split per-bench file.
+bool WriteTrajectory(
+    const std::string& path, const std::vector<std::string>& headline,
+    const std::map<std::string, std::vector<std::string>>& series) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_trajectory: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n  \"format\": \"ajd-bench-trajectory-v1\",\n");
+  std::fprintf(out, "  \"headline\": [\n");
+  EmitArray(out, headline, "    ");
+  std::fprintf(out, "  ],\n  \"series\": {\n");
+  size_t done = 0;
+  for (const auto& [bench, lines] : series) {
+    std::fprintf(out, "    \"%s\": [\n", bench.c_str());
+    EmitArray(out, lines, "      ");
+    std::fprintf(out, "    ]%s\n", ++done < series.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  return true;
+}
+
+// perf_partition -> partition, anything without the prefix stays as-is.
+std::string BaselineStem(const std::string& bench) {
+  static const char kPrefix[] = "perf_";
+  if (bench.rfind(kPrefix, 0) == 0) {
+    return bench.substr(sizeof(kPrefix) - 1);
+  }
+  return bench;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  bool split = false;
+  int arg_at = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--split") == 0) {
+    split = true;
+    arg_at = 2;
+  }
+  if (argc < arg_at + 2) {
     std::fprintf(stderr,
                  "usage: bench_trajectory <out.json> <in1.jsonl> "
+                 "[in2.jsonl ...]\n"
+                 "       bench_trajectory --split <outdir> <in1.jsonl> "
                  "[in2.jsonl ...]\n");
     return 1;
   }
+  const std::string out_arg = argv[arg_at];
   std::map<std::string, std::vector<std::string>> series;
   std::vector<std::string> headline;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = arg_at + 1; i < argc; ++i) {
     std::ifstream in(argv[i]);
     if (!in) {
       std::fprintf(stderr, "bench_trajectory: cannot read %s\n", argv[i]);
@@ -87,22 +137,21 @@ int main(int argc, char** argv) {
       series[bench].push_back(line);
     }
   }
-  std::FILE* out = std::fopen(argv[1], "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "bench_trajectory: cannot write %s\n", argv[1]);
-    return 1;
+  if (!split) {
+    return WriteTrajectory(out_arg, headline, series) ? 0 : 1;
   }
-  std::fprintf(out, "{\n  \"format\": \"ajd-bench-trajectory-v1\",\n");
-  std::fprintf(out, "  \"headline\": [\n");
-  EmitArray(out, headline, "    ");
-  std::fprintf(out, "  ],\n  \"series\": {\n");
-  size_t done = 0;
   for (const auto& [bench, lines] : series) {
-    std::fprintf(out, "    \"%s\": [\n", bench.c_str());
-    EmitArray(out, lines, "      ");
-    std::fprintf(out, "    ]%s\n", ++done < series.size() ? "," : "");
+    const std::string path =
+        out_arg + "/BENCH_" + BaselineStem(bench) + ".json";
+    std::map<std::string, std::vector<std::string>> one;
+    one.emplace(bench, lines);
+    std::vector<std::string> one_headline;
+    for (const std::string& line : lines) {
+      if (IsHeadline(bench, line)) one_headline.push_back(line);
+    }
+    if (!WriteTrajectory(path, one_headline, one)) return 1;
+    std::fprintf(stderr, "bench_trajectory: wrote %s (%zu lines)\n",
+                 path.c_str(), lines.size());
   }
-  std::fprintf(out, "  }\n}\n");
-  std::fclose(out);
   return 0;
 }
