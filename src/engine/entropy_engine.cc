@@ -418,7 +418,26 @@ void EntropyEngine::RunCatchUp(uint64_t target_epoch, uint64_t target_rows) {
     const size_t lvl_n = lvl_end - lvl_begin;
     const uint32_t workers =
         static_cast<uint32_t>(std::min<size_t>(catchup_threads, lvl_n));
-    if (workers <= 1 || pool_ == nullptr) {
+    // Work floor, mirroring RefineThreadsFor's mass gating: when the thread
+    // count is INHERITED (refine_threads == 0), a level of tiny extensions
+    // runs serially — the pool dispatch costs more than the extensions
+    // themselves. The old stripped mass is an upper proxy for per-entry
+    // extension work (delta paths touch less, replays touch chain × mass).
+    // An explicit refine_threads bypasses the floor: the caller asked for
+    // that fan-out, and the threaded catch-up soak relies on this to
+    // exercise the fan-out under TSan at toy sizes.
+    bool below_floor = false;
+    if (options_.refine_threads == 0) {
+      uint64_t lvl_mass = 0;
+      for (size_t i = lvl_begin;
+           i < lvl_end && lvl_mass < kShardedRefineMinMass; ++i) {
+        if (claimed[i].cp.partition != nullptr) {
+          lvl_mass += claimed[i].cp.partition->NumStrippedRows();
+        }
+      }
+      below_floor = lvl_mass < kShardedRefineMinMass;
+    }
+    if (workers <= 1 || pool_ == nullptr || below_floor) {
       for (size_t i = lvl_begin; i < lvl_end; ++i) run_one(claimed[i]);
     } else {
       pool_->Run(lvl_n, workers,

@@ -1232,6 +1232,10 @@ void ConcatShardOutputs(const std::vector<ShardOut>& parts,
     if (!p.starts.empty()) total_blocks += p.starts.size() - 1;
     total_delta += p.delta.run_lengths.size();
   }
+  // The row-rebase offset below accumulates in a uint32_t (rows and starts
+  // are uint32-indexed throughout); make the no-wrap invariant explicit
+  // rather than relying on callers never exceeding it.
+  AJD_CHECK(total_rows <= UINT32_MAX);
   out.rows->clear();
   out.starts->clear();
   out.rows->resize(total_rows);
@@ -1490,12 +1494,6 @@ size_t ShedOversizedRefineScratch() {
       std::vector<uint32_t>().swap(v);
     }
   };
-  // FusedTally resets the previous block's lvl_seq slots lazily via
-  // lvl_touched; shedding lvl_seq (a fresh resize re-fills UINT32_MAX)
-  // with stale lvl_touched entries would index out of a smaller future
-  // arena, so the reset list is cleared whenever the arena is dropped —
-  // the same pairing ScratchGuard's destructor maintains.
-  if (s.lvl_seq.capacity() > kKeepEntries) s.lvl_touched.clear();
   // Buffers that are resized as a pair under a size check on the FIRST
   // member (count/offset, count1/seq1, pairs/pairs_tmp) must shed as a
   // pair too: dropping only the second would leave it undersized behind a
@@ -1521,8 +1519,18 @@ size_t ShedOversizedRefineScratch() {
   shed32(s.comp);
   shed32(s.groups);
   shed32(s.leaf_keys);
-  shed32(s.lvl_seq);
-  shed32(s.lvl_touched);
+  // FusedTally resets the previous block's lvl_seq slots lazily via
+  // lvl_touched, so the two buffers are a unit: a dirty arena is only safe
+  // while its pending reset list survives, and a reset list is only valid
+  // against the arena it indexes. ScratchGuard's spike shed can leave them
+  // in a split state (arena swapped away, reset list merely clear()ed but
+  // still holding its capacity), so judging either buffer's capacity alone
+  // could drop the pending resets while KEEPING the dirty arena — the next
+  // fused call would then read stale ranks. Shed them as a pair: dropping
+  // lvl_seq makes the dropped resets moot (a fresh resize re-fills
+  // UINT32_MAX), and dropping lvl_touched is safe only because the arena
+  // it indexed goes with it.
+  shed_pair32(s.lvl_seq, s.lvl_touched);
   shed32(s.touched1);
   shed32(s.leaf_group);
   shed32(s.stage_rows);

@@ -238,6 +238,15 @@ void SortPartitionOfColumn(const Column& col, const PartitionBuild& out);
 // kernel. Invoked from inside a pool task they degrade to serial via the
 // pool's busy-inline fallback. kAuto is resolved ONCE from the full view's
 // mass before sharding, so kernel choice never depends on the shard split.
+//
+// Memory note: the entropy-returning variants buffer one double per emitted
+// group in per-shard partial vectors before the ordered reduction — an
+// O(groups) transient (worst case ~8 bytes per stripped row, since
+// singleton groups emit XLogX(1) == 0 terms too) that the serial O(1)
+// accumulation never allocates. The terms must be kept individually because
+// bit-identity requires adding them in exactly the serial emission order;
+// dropping even exact-zero terms would have to be mirrored in a serial
+// reduction that does not exist.
 
 /// Row mass below which the engine keeps a refinement on the serial
 /// nanosecond path: at ~5 ns/row a shard must amortize the pool wakeup

@@ -318,6 +318,61 @@ TEST(RefineScratchShed, ShedReleasesSpikesAndKeepsKernelsCorrect) {
   EXPECT_EQ(ShedOversizedRefineScratch(), 0u);
 }
 
+TEST(RefineScratchShed, ShedDropsFusedArenaAndResetListAsPair) {
+  // Regression: ScratchGuard's spike shed swaps the fused level arena
+  // (lvl_seq) away but only clear()s its lazy-reset list (lvl_touched),
+  // which keeps the list's capacity. A later small fused call then
+  // re-dirties a SMALL arena and leaves its last block's slots pending in
+  // the still-huge list. Shedding the two buffers independently (each by
+  // its own capacity) at that point would drop the pending resets while
+  // KEEPING the dirty arena — the next fused call on this thread would
+  // read stale first-occurrence ranks with lvl_ng == 0: silently wrong
+  // leaf grouping plus an out-of-bounds counting-sort histogram in
+  // ChainOrderLeaves. The shed must treat arena + reset list as a pair.
+  Rng rng(9506);
+  Partition base_small = Partition::Trivial(1000);
+  Column a7 = DensifiedColumn(&rng, 1000, 7, 0.0);
+  Column b5 = DensifiedColumn(&rng, 1000, 5, 0.0);
+  const Column* small_cols[2] = {&a7, &b5};
+  const uint32_t small_card = a7.cardinality * b5.cardinality;
+  const Partition want = base_small.RefinedByAll(small_cols, 2, small_card);
+
+  // 1) Spike: a single-block fused refinement whose prefix column touches
+  //    > 64Ki arena slots sizes BOTH lvl_seq and lvl_touched past the keep
+  //    threshold. Capacity tracks this call's own need, so ScratchGuard's
+  //    relative spike rule keeps everything on the call itself.
+  const uint32_t rows = 800000;
+  Column wide = DensifiedColumn(&rng, rows, 70000, 0.0);
+  Column narrow = DensifiedColumn(&rng, rows, 5, 0.0);
+  ASSERT_GT(wide.cardinality, uint32_t{1} << 16);
+  const uint64_t wide_card = uint64_t{wide.cardinality} * narrow.cardinality;
+  ASSERT_LT(wide_card, uint64_t{rows} / 2) << "must stay off the sort path";
+  const Column* wide_cols[2] = {&wide, &narrow};
+  Partition::Trivial(rows).RefinedByAll(wide_cols, 2,
+                                        static_cast<uint32_t>(wide_card));
+
+  // 2) Small fused call: its ScratchGuard judges the spiked counters
+  //    against this call's tiny cardinality and sheds — swapping lvl_seq
+  //    away but only clear()ing lvl_touched (capacity survives).
+  ExpectSamePartition(want,
+                      base_small.RefinedByAll(small_cols, 2, small_card),
+                      "post-spike small fused");
+
+  // 3) Another small fused call re-dirties the now-small arena and leaves
+  //    its block's slots PENDING in the still-oversized reset list.
+  ExpectSamePartition(want,
+                      base_small.RefinedByAll(small_cols, 2, small_card),
+                      "re-dirty small fused");
+
+  // 4) Park-shed, then replay: with the pair invariant respected the
+  //    replay is byte-identical; an independent per-vector shed reads
+  //    stale ranks here.
+  ShedOversizedRefineScratch();
+  ExpectSamePartition(want,
+                      base_small.RefinedByAll(small_cols, 2, small_card),
+                      "post-shed small fused replay");
+}
+
 TEST(RefineScratchShed, PoolThreadsShedScratchWhenParking) {
   // A batch whose tasks spike thread-local kernel scratch on the pool's
   // worker threads must not pin those allocations for the pool's
